@@ -1,0 +1,84 @@
+//! # krb-apps — the Kerberized applications
+//!
+//! The "applications" of Figure 1 and §7.1 of Steiner, Neuman & Schiller
+//! (USENIX 1988): the appendix's [`mod@login`] program (Kerberos + Hesiod +
+//! NFS mount), [`rlogin`]/`rsh` with `.rhosts` fallback, the Kerberized
+//! Post Office Protocol ([`pop`]), the [`zephyr`] notification service,
+//! and the [`mod@register`] signup program (SMS + Kerberos uniqueness).
+//!
+//! Each application follows §6.2's recipe for "Kerberizing" a program: a
+//! `krb_mk_req` on the client side at connection setup, a `krb_rd_req` on
+//! the server side, and the session key for anything needing privacy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod login;
+pub mod netproto;
+pub mod pop;
+pub mod register;
+pub mod rlogin;
+pub mod zephyr;
+
+pub use login::{login, logout, LoginSession};
+pub use netproto::{
+    frame_err, frame_ok, frame_request, open_pop_reply, parse_reply, parse_request,
+    PopNetService, RloginNetService, ZephyrNetService,
+};
+pub use pop::{Mail, PopServer};
+pub use register::{register, Sms};
+pub use rlogin::{AuthMethod, RemoteSession, RloginServer};
+pub use zephyr::{Notice, ZephyrServer};
+
+/// Application-level errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AppError {
+    /// Kerberos protocol failure.
+    Krb(kerberos::ErrorCode),
+    /// Workstation/user-program failure (network, no TGT...).
+    Tool(krb_tools::ToolError),
+    /// NFS failure.
+    Nfs(krb_nfs::NfsError),
+    /// Hesiod lookup failure.
+    Hesiod(krb_hesiod::HesiodError),
+    /// Authorization denied.
+    Denied(String),
+    /// Username already taken (register).
+    NotUnique(String),
+}
+
+impl From<kerberos::ErrorCode> for AppError {
+    fn from(e: kerberos::ErrorCode) -> Self {
+        AppError::Krb(e)
+    }
+}
+impl From<krb_tools::ToolError> for AppError {
+    fn from(e: krb_tools::ToolError) -> Self {
+        AppError::Tool(e)
+    }
+}
+impl From<krb_nfs::NfsError> for AppError {
+    fn from(e: krb_nfs::NfsError) -> Self {
+        AppError::Nfs(e)
+    }
+}
+impl From<krb_hesiod::HesiodError> for AppError {
+    fn from(e: krb_hesiod::HesiodError) -> Self {
+        AppError::Hesiod(e)
+    }
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::Krb(e) => write!(f, "kerberos: {e}"),
+            AppError::Tool(e) => write!(f, "{e}"),
+            AppError::Nfs(e) => write!(f, "{e}"),
+            AppError::Hesiod(e) => write!(f, "{e}"),
+            AppError::Denied(w) => write!(f, "denied: {w}"),
+            AppError::NotUnique(u) => write!(f, "username not unique: {u}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}

@@ -1,0 +1,85 @@
+//! The Athena `log-in` program (appendix).
+//!
+//! "When a user logs in to one of these publicly available workstations,
+//! rather then validate her/his name and password against a locally
+//! resident password file, we use Kerberos to determine her/his
+//! authenticity. ... This username is used to fetch a Kerberos
+//! ticket-granting ticket. ... If decryption is successful, the user's
+//! home directory is located by consulting the Hesiod naming service and
+//! mounted through NFS. The log-in program then turns control over to the
+//! user's shell. ... The Hesiod service is also used to construct an
+//! entry in the local password file."
+
+use crate::AppError;
+use kerberos::Principal;
+use krb_hesiod::Hesiod;
+use krb_netsim::Router;
+use krb_nfs::{MountD, NfsServer};
+use krb_tools::Workstation;
+
+/// The state of a successful login.
+#[derive(Debug)]
+pub struct LoginSession {
+    /// Who is logged in.
+    pub principal: Principal,
+    /// Server-side uid (from Hesiod).
+    pub uid: u32,
+    /// The uid used locally on the workstation.
+    pub uid_on_workstation: u32,
+    /// The `/etc/passwd` line constructed from Hesiod data.
+    pub passwd_entry: String,
+    /// Inode of the mounted home directory on the fileserver.
+    pub home_ino: krb_nfs::Ino,
+}
+
+/// The full login flow of the appendix. `uid_on_ws` is the uid the
+/// workstation assigns locally (what NFS requests will claim).
+#[allow(clippy::too_many_arguments)]
+pub fn login(
+    ws: &mut Workstation,
+    router: &mut Router,
+    hesiod: &Hesiod,
+    mountd: &mut MountD,
+    nfs: &mut NfsServer,
+    username: &str,
+    password: &str,
+    uid_on_ws: u32,
+) -> Result<LoginSession, AppError> {
+    // 1. Kerberos initial authentication (fails on wrong password: the
+    //    AS reply will not decrypt).
+    ws.kinit(router, username, password)?;
+    let principal = ws.whoami().cloned().expect("kinit succeeded");
+
+    // 2. Hesiod: user info for the passwd entry, filsys for the mount.
+    let user = hesiod.getpwnam(username)?;
+    let filsys = hesiod.getfilsys(username)?;
+    let passwd_entry = hesiod.query(&format!("passwd {username}"))?;
+
+    // 3. Kerberos-moderated NFS mount: get a ticket for the fileserver's
+    //    nfs service, present it to the mount daemon with UID-ON-CLIENT.
+    let nfs_host = format!("{}", u32::from(filsys.server_addr[3])); // host tag
+    let service = Principal::new("nfs", &format!("fs{nfs_host}"), &ws.realm)?;
+    let (ap, _) = ws.mk_request(router, &service, uid_on_ws, false)?;
+    mountd.map_request(&mut nfs.credmap, &ap, ws.addr, ws.now())?;
+
+    // 4. Locate the home directory on the (now accessible) fileserver.
+    let cred = krb_nfs::NfsCredential { uid: user.uid, gids: user.gids.clone() };
+    let home_ino = nfs.vfs.resolve(&filsys.path, &cred)?;
+
+    Ok(LoginSession {
+        principal,
+        uid: user.uid,
+        uid_on_workstation: uid_on_ws,
+        passwd_entry,
+        home_ino,
+    })
+}
+
+/// Logout: destroy tickets (§6.1) and clean the server's credential
+/// mappings ("thus cleaning up any remaining mappings that exist ...
+/// before the workstation is made available for the next user").
+pub fn logout(ws: &mut Workstation, mountd: &mut MountD, nfs: &mut NfsServer, session: &LoginSession) {
+    ws.kdestroy();
+    mountd.unmount(&mut nfs.credmap, ws.addr, session.uid_on_workstation);
+    mountd.logout(&mut nfs.credmap, session.uid);
+}

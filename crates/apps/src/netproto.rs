@@ -1,0 +1,227 @@
+//! The applications over the wire (paper §6.2).
+//!
+//! > "The client then sends the message returned by the krb_mk_req call
+//! > over the network to the server side of the application. When the
+//! > server receives this message, it makes a call to the library routine
+//! > krb_rd_req."
+//!
+//! This module gives the §7.1 applications real datagram framing and
+//! [`krb_netsim::Service`] adapters, so they run over the simulated
+//! network (or UDP) instead of in-process calls. POP replies ride in
+//! *private* messages sealed in the session key — mail content never
+//! crosses the wire in the clear — demonstrating §2.1's highest
+//! protection level in an application.
+
+use crate::pop::PopServer;
+use crate::rlogin::RloginServer;
+use crate::zephyr::ZephyrServer;
+use kerberos::wire::{Reader, Writer};
+use kerberos::{
+    krb_mk_priv, krb_rd_priv, ApReq, EncryptedTicket, ErrorCode, HostAddr, KrbResult, PrivMsg,
+};
+use krb_crypto::DesKey;
+use krb_netsim::{Packet, Service};
+
+/// Frame an authenticated application request: the `AP_REQ` plus an
+/// operation string and payload bytes.
+pub fn frame_request(ap: &ApReq, op: &str, payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.str(&ap.realm);
+    w.bytes(&ap.ticket.0);
+    w.bytes(&ap.authenticator);
+    w.u8(u8::from(ap.mutual));
+    w.str(op);
+    w.bytes(payload);
+    w.finish()
+}
+
+/// Parse a framed request back into its parts.
+pub fn parse_request(buf: &[u8]) -> KrbResult<(ApReq, String, Vec<u8>)> {
+    let mut r = Reader::new(buf);
+    let ap = ApReq {
+        realm: r.str()?,
+        ticket: EncryptedTicket(r.bytes()?),
+        authenticator: r.bytes()?,
+        mutual: r.u8()? != 0,
+    };
+    let op = r.str()?;
+    let payload = r.bytes()?;
+    r.expect_end()?;
+    Ok((ap, op, payload))
+}
+
+/// Server reply: either `+` followed by payload, or `-` and an error code.
+pub fn frame_ok(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + payload.len());
+    out.push(b'+');
+    out.extend_from_slice(payload);
+    out
+}
+
+/// An error reply.
+pub fn frame_err(code: ErrorCode) -> Vec<u8> {
+    vec![b'-', code as u8]
+}
+
+/// Parse a reply.
+pub fn parse_reply(buf: &[u8]) -> Result<Vec<u8>, ErrorCode> {
+    match buf.first() {
+        Some(b'+') => Ok(buf[1..].to_vec()),
+        Some(b'-') if buf.len() >= 2 => Err(ErrorCode::from_u8(buf[1])),
+        _ => Err(ErrorCode::RdApUndec),
+    }
+}
+
+/// `rlogin`/`rsh` served on the network. Ops: `login` (payload: claimed
+/// username) and `rsh` (payload: `user\0command`).
+pub struct RloginNetService {
+    /// The wrapped server logic (replay cache, `.rhosts`, connection log).
+    pub server: RloginServer,
+    clock: krb_kdc::Clock,
+}
+
+impl RloginNetService {
+    /// Wrap an [`RloginServer`].
+    pub fn new(server: RloginServer, clock: krb_kdc::Clock) -> Self {
+        RloginNetService { server, clock }
+    }
+}
+
+impl Service for RloginNetService {
+    fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
+        let from: HostAddr = req.src.addr.0;
+        let now = (self.clock)();
+        let Ok((ap, op, payload)) = parse_request(&req.payload) else {
+            return Some(frame_err(ErrorCode::RdApUndec));
+        };
+        match op.as_str() {
+            "login" => {
+                let claimed = String::from_utf8_lossy(&payload).to_string();
+                match self.server.connect(Some(&ap), &claimed, from, now) {
+                    Ok(session) => {
+                        // Mutual auth reply rides back in the payload.
+                        let rep = session.ap_rep.map(|r| r.enc_part).unwrap_or_default();
+                        Some(frame_ok(&rep))
+                    }
+                    Err(_) => Some(frame_err(ErrorCode::KadmUnauth)),
+                }
+            }
+            "rsh" => {
+                let text = String::from_utf8_lossy(&payload);
+                let (user, command) = text.split_once('\0')?;
+                match self.server.rsh(Some(&ap), user, from, now, command) {
+                    Ok(output) => Some(frame_ok(output.as_bytes())),
+                    Err(_) => Some(frame_err(ErrorCode::KadmUnauth)),
+                }
+            }
+            _ => Some(frame_err(ErrorCode::RdApUndec)),
+        }
+    }
+}
+
+/// POP served on the network. Op `retrieve`: the mailbox comes back as a
+/// **private message** sealed in the session key (mail is confidential).
+pub struct PopNetService {
+    /// The wrapped post office.
+    pub server: PopServer,
+    clock: krb_kdc::Clock,
+}
+
+impl PopNetService {
+    /// Wrap a [`PopServer`].
+    pub fn new(server: PopServer, clock: krb_kdc::Clock) -> Self {
+        PopNetService { server, clock }
+    }
+}
+
+impl Service for PopNetService {
+    fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
+        let from: HostAddr = req.src.addr.0;
+        let now = (self.clock)();
+        let Ok((ap, op, _)) = parse_request(&req.payload) else {
+            return Some(frame_err(ErrorCode::RdApUndec));
+        };
+        if op != "retrieve" {
+            return Some(frame_err(ErrorCode::RdApUndec));
+        }
+        // We need the session key to seal the reply; retrieve() verifies
+        // and consumes the AP_REQ, so extract the key via a second
+        // verification-free path: the server returns mail, and we re-open
+        // the ticket with our own key to recover the session key.
+        match self.server.retrieve_with_key(&ap, from, now) {
+            Ok((mail, session_key)) => {
+                let mut w = Writer::new();
+                w.u16(mail.len() as u16);
+                for m in &mail {
+                    w.str(&m.from);
+                    w.bytes(m.body.as_bytes());
+                }
+                let sealed = krb_mk_priv(&w.finish(), &session_key, server_addr(req), now);
+                Some(frame_ok(&sealed.enc_part))
+            }
+            Err(_) => Some(frame_err(ErrorCode::KadmUnauth)),
+        }
+    }
+}
+
+fn server_addr(req: &Packet) -> HostAddr {
+    req.dst.addr.0
+}
+
+/// Client side: open a POP `retrieve` reply.
+pub fn open_pop_reply(
+    reply: &[u8],
+    session_key: &DesKey,
+    server_addr: HostAddr,
+    now: u32,
+) -> Result<Vec<crate::pop::Mail>, ErrorCode> {
+    let sealed = parse_reply(reply)?;
+    let plain = krb_rd_priv(&PrivMsg { enc_part: sealed }, session_key, Some(server_addr), now)?;
+    let mut r = Reader::new(&plain);
+    let n = r.u16()? as usize;
+    let mut mail = Vec::with_capacity(n);
+    for _ in 0..n {
+        let from = r.str()?;
+        let body = String::from_utf8_lossy(&r.bytes()?).to_string();
+        mail.push(crate::pop::Mail { from, body });
+    }
+    r.expect_end()?;
+    Ok(mail)
+}
+
+/// Zephyr served on the network. Op `send`: payload `to\0class\0body`.
+pub struct ZephyrNetService {
+    /// The wrapped notification server.
+    pub server: ZephyrServer,
+    clock: krb_kdc::Clock,
+}
+
+impl ZephyrNetService {
+    /// Wrap a [`ZephyrServer`].
+    pub fn new(server: ZephyrServer, clock: krb_kdc::Clock) -> Self {
+        ZephyrNetService { server, clock }
+    }
+}
+
+impl Service for ZephyrNetService {
+    fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
+        let from: HostAddr = req.src.addr.0;
+        let now = (self.clock)();
+        let Ok((ap, op, payload)) = parse_request(&req.payload) else {
+            return Some(frame_err(ErrorCode::RdApUndec));
+        };
+        if op != "send" {
+            return Some(frame_err(ErrorCode::RdApUndec));
+        }
+        let text = String::from_utf8_lossy(&payload);
+        let mut parts = text.splitn(3, '\0');
+        let (Some(to), Some(class), Some(body)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Some(frame_err(ErrorCode::RdApUndec));
+        };
+        match self.server.send(&ap, from, now, to, class, body) {
+            Ok(()) => Some(frame_ok(b"")),
+            Err(_) => Some(frame_err(ErrorCode::KadmUnauth)),
+        }
+    }
+}

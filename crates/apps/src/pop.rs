@@ -1,0 +1,67 @@
+//! The Kerberized Post Office Protocol (paper §7.1).
+//!
+//! "We have modified the Post Office Protocol to use Kerberos for
+//! authenticating users who wish to retrieve their electronic mail from
+//! the 'post office'." Mail is delivered unauthenticated (as SMTP-era mail
+//! was); *retrieval* requires a verified ticket, and you can only retrieve
+//! your own mailbox.
+
+use crate::AppError;
+use kerberos::{krb_rd_req, ApReq, HostAddr, Principal, ReplayCache};
+use krb_crypto::DesKey;
+use std::collections::HashMap;
+
+/// One stored message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mail {
+    /// Envelope sender (unauthenticated, as in 1988 mail).
+    pub from: String,
+    /// Body text.
+    pub body: String,
+}
+
+/// The post office server.
+pub struct PopServer {
+    service: Principal,
+    key: DesKey,
+    replay: ReplayCache,
+    mailboxes: HashMap<String, Vec<Mail>>,
+}
+
+impl PopServer {
+    /// A post office authenticating as `service` (e.g. `pop.paris`).
+    pub fn new(service: Principal, key: DesKey) -> Self {
+        PopServer { service, key, replay: ReplayCache::new(), mailboxes: HashMap::new() }
+    }
+
+    /// Deliver mail into a user's box (no authentication — delivery is the
+    /// MTA's business, retrieval is POP's).
+    pub fn deliver(&mut self, to: &str, mail: Mail) {
+        self.mailboxes.entry(to.to_string()).or_default().push(mail);
+    }
+
+    /// Messages waiting for `user` (server-side view).
+    pub fn pending(&self, user: &str) -> usize {
+        self.mailboxes.get(user).map_or(0, Vec::len)
+    }
+
+    /// Retrieve and drain the authenticated user's mailbox. The mailbox
+    /// name comes from the *verified* principal, never from a request
+    /// parameter — that is the entire point of Kerberizing POP.
+    pub fn retrieve(&mut self, ap: &ApReq, from: HostAddr, now: u32) -> Result<Vec<Mail>, AppError> {
+        self.retrieve_with_key(ap, from, now).map(|(mail, _)| mail)
+    }
+
+    /// As [`PopServer::retrieve`], but also hands back the session key so
+    /// the network adapter can seal the reply as a private message (§2.1).
+    pub fn retrieve_with_key(
+        &mut self,
+        ap: &ApReq,
+        from: HostAddr,
+        now: u32,
+    ) -> Result<(Vec<Mail>, krb_crypto::DesKey), AppError> {
+        let v = krb_rd_req(ap, &self.service, &self.key, from, now, &mut self.replay)?;
+        let mail = self.mailboxes.remove(&v.client.name).unwrap_or_default();
+        Ok((mail, v.session_key))
+    }
+}

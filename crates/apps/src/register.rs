@@ -1,0 +1,72 @@
+//! The `register` program for signing up new users (paper §7.1).
+//!
+//! "The program for signing up new users, called register, uses both the
+//! Service Management System (SMS) and Kerberos. From SMS, it determines
+//! whether the information entered by the would-be new Athena user, such
+//! as name and MIT identification number, is valid. It then checks with
+//! Kerberos to see if the requested username is unique. If all goes well,
+//! a new entry is made to the Kerberos database, containing the username
+//! and password."
+
+use crate::AppError;
+use krb_crypto::string_to_key;
+use krb_kdb::Store;
+use krb_kdc::Kdc;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The Service Management System stub: the registrar's roll of people
+/// entitled to Athena accounts.
+#[derive(Default)]
+pub struct Sms {
+    eligible: HashSet<(String, String)>,
+}
+
+impl Sms {
+    /// An empty roll.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enter a (real name, MIT id) pair onto the roll.
+    pub fn enroll(&mut self, real_name: &str, mit_id: &str) {
+        self.eligible.insert((real_name.to_string(), mit_id.to_string()));
+    }
+
+    /// Validate a would-be user's information.
+    pub fn validate(&self, real_name: &str, mit_id: &str) -> bool {
+        self.eligible.contains(&(real_name.to_string(), mit_id.to_string()))
+    }
+}
+
+/// Run the registration flow against the master KDC.
+pub fn register<S: Store + Send>(
+    sms: &Sms,
+    master: &Arc<Mutex<Kdc<S>>>,
+    real_name: &str,
+    mit_id: &str,
+    username: &str,
+    password: &str,
+    now: u32,
+) -> Result<(), AppError> {
+    // 1. SMS validity check.
+    if !sms.validate(real_name, mit_id) {
+        return Err(AppError::Denied(format!("SMS does not know {real_name}/{mit_id}")));
+    }
+    let mut kdc = master.lock();
+    // 2. Kerberos uniqueness check.
+    let exists = kdc
+        .db()
+        .exists(username, "")
+        .map_err(|_| AppError::Denied("database error".into()))?;
+    if exists {
+        return Err(AppError::NotUnique(username.to_string()));
+    }
+    // 3. New database entry with the username and password.
+    let db = kdc.db_mut().ok_or_else(|| AppError::Denied("register requires the master".into()))?;
+    let far_future = now.saturating_add(4 * 365 * 24 * 3600);
+    db.add_principal(username, "", &string_to_key(password), far_future, 96, now, "register.")
+        .map_err(|e| AppError::Denied(format!("registration failed: {e}")))?;
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Kerberized `rlogin`/`rsh` (paper §7.1).
+//!
+//! "The rlogin and rsh commands first try to authenticate using Kerberos.
+//! A user with valid Kerberos tickets can rlogin to another Athena machine
+//! without having to set up .rhosts files. If the Kerberos authentication
+//! fails, the programs fall back on their usual methods of authorization,
+//! in this case, the .rhosts files."
+
+use crate::AppError;
+use kerberos::{krb_mk_rep, krb_rd_req, ApReq, HostAddr, Principal, ReplayCache};
+use krb_crypto::DesKey;
+use std::collections::HashSet;
+
+/// How a connection was authorized.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AuthMethod {
+    /// Kerberos ticket verified.
+    Kerberos,
+    /// Fell back to the `.rhosts` file.
+    Rhosts,
+}
+
+/// An accepted remote session.
+#[derive(Clone, Debug)]
+pub struct RemoteSession {
+    /// The authorized username on the server.
+    pub user: String,
+    /// How it was authorized.
+    pub method: AuthMethod,
+    /// Mutual-authentication reply to send back, if requested.
+    pub ap_rep: Option<kerberos::ApRep>,
+}
+
+/// The server side of `rlogin`/`rsh` on one host.
+pub struct RloginServer {
+    service: Principal,
+    key: DesKey,
+    replay: ReplayCache,
+    /// `.rhosts` entries: (username, trusted client host).
+    rhosts: HashSet<(String, HostAddr)>,
+    /// Connection log: (user, method).
+    pub connections: Vec<(String, AuthMethod)>,
+}
+
+impl RloginServer {
+    /// A server for `rcmd.<host>` with its srvtab key.
+    pub fn new(service: Principal, key: DesKey) -> Self {
+        RloginServer {
+            service,
+            key,
+            replay: ReplayCache::new(),
+            rhosts: HashSet::new(),
+            connections: Vec::new(),
+        }
+    }
+
+    /// Add a `.rhosts` entry (the old, address-trusting world).
+    pub fn add_rhosts(&mut self, user: &str, host: HostAddr) {
+        self.rhosts.insert((user.to_string(), host));
+    }
+
+    /// Handle a connection attempt. `ap` is the Kerberos credential if the
+    /// client had one; `claimed_user` is the username asserted (all the
+    /// old protocol ever had).
+    pub fn connect(
+        &mut self,
+        ap: Option<&ApReq>,
+        claimed_user: &str,
+        from: HostAddr,
+        now: u32,
+    ) -> Result<RemoteSession, AppError> {
+        // First, try Kerberos.
+        if let Some(ap) = ap {
+            match krb_rd_req(ap, &self.service, &self.key, from, now, &mut self.replay) {
+                Ok(v) => {
+                    let user = v.client.name.clone();
+                    let ap_rep = v.mutual_requested.then(|| krb_mk_rep(&v));
+                    self.connections.push((user.clone(), AuthMethod::Kerberos));
+                    return Ok(RemoteSession { user, method: AuthMethod::Kerberos, ap_rep });
+                }
+                Err(_) => {
+                    // Fall through to .rhosts, as the paper specifies.
+                }
+            }
+        }
+        if self.rhosts.contains(&(claimed_user.to_string(), from)) {
+            self.connections.push((claimed_user.to_string(), AuthMethod::Rhosts));
+            return Ok(RemoteSession {
+                user: claimed_user.to_string(),
+                method: AuthMethod::Rhosts,
+                ap_rep: None,
+            });
+        }
+        Err(AppError::Denied(format!("rlogin denied for {claimed_user}")))
+    }
+
+    /// `rsh`: authorize, then run a command under the authorized identity.
+    pub fn rsh(
+        &mut self,
+        ap: Option<&ApReq>,
+        claimed_user: &str,
+        from: HostAddr,
+        now: u32,
+        command: &str,
+    ) -> Result<String, AppError> {
+        let session = self.connect(ap, claimed_user, from, now)?;
+        // The "shell": echo identity and command, as a real test harness.
+        Ok(format!("{}@{}: {}", session.user, self.service.instance, command))
+    }
+}

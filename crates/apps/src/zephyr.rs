@@ -1,0 +1,75 @@
+//! The Zephyr notification service (paper §7.1).
+//!
+//! "A message delivery program, called Zephyr, has been recently developed
+//! at Athena, and it uses Kerberos for authentication as well." Notices
+//! carry an authenticated sender: subscribers can trust the `from` field
+//! because the server verified a ticket before accepting the notice.
+
+use crate::AppError;
+use kerberos::{krb_rd_req, ApReq, HostAddr, Principal, ReplayCache};
+use krb_crypto::DesKey;
+use std::collections::HashMap;
+
+/// A delivered notice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Notice {
+    /// Authenticated sender (`name@realm`).
+    pub from: String,
+    /// Recipient username.
+    pub to: String,
+    /// Notice class (e.g. "MESSAGE").
+    pub class: String,
+    /// Body.
+    pub body: String,
+}
+
+/// The Zephyr server (`zhm`/`zserver` collapsed into one).
+pub struct ZephyrServer {
+    service: Principal,
+    key: DesKey,
+    replay: ReplayCache,
+    /// Subscriptions: username → queue of undelivered notices.
+    queues: HashMap<String, Vec<Notice>>,
+}
+
+impl ZephyrServer {
+    /// A Zephyr server authenticating as `service` (e.g. `zephyr.zion`).
+    pub fn new(service: Principal, key: DesKey) -> Self {
+        ZephyrServer { service, key, replay: ReplayCache::new(), queues: HashMap::new() }
+    }
+
+    /// Subscribe a user (creates their queue).
+    pub fn subscribe(&mut self, user: &str) {
+        self.queues.entry(user.to_string()).or_default();
+    }
+
+    /// Send a notice. The sender's identity is taken from the verified
+    /// ticket, not from the notice — a forged `from` is impossible.
+    pub fn send(
+        &mut self,
+        ap: &ApReq,
+        sender_addr: HostAddr,
+        now: u32,
+        to: &str,
+        class: &str,
+        body: &str,
+    ) -> Result<(), AppError> {
+        let v = krb_rd_req(ap, &self.service, &self.key, sender_addr, now, &mut self.replay)?;
+        let queue = self
+            .queues
+            .get_mut(to)
+            .ok_or_else(|| AppError::Denied(format!("no subscription for {to}")))?;
+        queue.push(Notice {
+            from: format!("{}@{}", v.client.name, v.client.realm),
+            to: to.to_string(),
+            class: class.to_string(),
+            body: body.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Drain a user's pending notices (the windowgram client polling).
+    pub fn receive(&mut self, user: &str) -> Vec<Notice> {
+        self.queues.get_mut(user).map(std::mem::take).unwrap_or_default()
+    }
+}

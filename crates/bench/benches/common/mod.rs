@@ -1,0 +1,61 @@
+#![allow(dead_code)] // shared across bench targets; each target uses a subset
+//! Shared rig-building helpers for the experiment benches.
+
+use criterion::Criterion;
+use kerberos::Principal;
+use krb_crypto::string_to_key;
+use krb_kdb::{MemStore, PrincipalDb};
+use krb_kdc::{Kdc, KdcRole, RealmConfig};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub const REALM: &str = "ATHENA.MIT.EDU";
+pub const WS: [u8; 4] = [18, 72, 0, 5];
+pub const NOW: u32 = krb_netsim::EPOCH_1987;
+
+/// Criterion configuration tuned so the full 12-target suite finishes in
+/// minutes, not hours. The experiment driver binary cross-checks numbers.
+pub fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .configure_from_args()
+}
+
+/// A master KDC over a database with `users` user principals, `krbtgt`,
+/// and `rlogin.priam`, on a shared advancing clock.
+pub fn kdc_with_users(users: usize) -> (Kdc<MemStore>, Arc<AtomicU32>) {
+    let mut db = PrincipalDb::create(MemStore::new(), string_to_key("master"), NOW).unwrap();
+    db.add_principal("krbtgt", REALM, &string_to_key("tgs"), NOW * 2, 96, NOW, "i.").unwrap();
+    db.add_principal("rlogin", "priam", &string_to_key("srv"), NOW * 2, 96, NOW, "i.").unwrap();
+    for i in 0..users {
+        db.add_principal(&format!("u{i}"), "", &string_to_key(&format!("p{i}")), NOW * 2, 96, NOW, "i.")
+            .unwrap();
+    }
+    let cell = Arc::new(AtomicU32::new(NOW));
+    let kdc = Kdc::new(
+        db,
+        RealmConfig::new(REALM),
+        krb_kdc::shared_clock(Arc::clone(&cell)),
+        KdcRole::Master,
+        1,
+    );
+    (kdc, cell)
+}
+
+/// Advance the shared clock one second and return the new reading.
+pub fn tick(cell: &Arc<AtomicU32>) -> u32 {
+    cell.fetch_add(1, Ordering::SeqCst) + 1
+}
+
+/// The client `u0` with a fresh TGT from `kdc`.
+pub fn login(kdc: &mut Kdc<MemStore>, cell: &Arc<AtomicU32>) -> (Principal, kerberos::Credential) {
+    let client = Principal::parse("u0", REALM).unwrap();
+    let tgs = Principal::tgs(REALM, REALM);
+    let t = tick(cell);
+    let req = kerberos::build_as_req(&client, &tgs, 96, t);
+    let tgt = kerberos::read_as_reply_with_password(&kdc.handle(&req, WS), "p0", t).unwrap();
+    (client, tgt)
+}

@@ -1,0 +1,26 @@
+//! E1 (Fig. 2, §3): principal naming — parse/format round trips.
+
+mod common;
+
+use common::quick;
+use criterion::Criterion;
+use kerberos::Principal;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e01_names");
+    for text in ["bcn", "treese.root", "jis@LCS.MIT.EDU", "rlogin.priam@ATHENA.MIT.EDU"] {
+        g.bench_function(format!("parse/{text}"), |b| {
+            b.iter(|| black_box(Principal::parse(black_box(text), "ATHENA.MIT.EDU").unwrap()))
+        });
+    }
+    let p = Principal::parse("rlogin.priam@ATHENA.MIT.EDU", "X").unwrap();
+    g.bench_function("format", |b| b.iter(|| black_box(p.to_string())));
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,36 @@
+//! E2/E3 (Fig. 3/4): ticket and authenticator seal/open costs and sizes.
+
+mod common;
+
+use common::{quick, NOW, REALM, WS};
+use criterion::Criterion;
+use kerberos::{Authenticator, Principal, Ticket};
+use krb_crypto::string_to_key;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let server = Principal::parse("rlogin.priam", REALM).unwrap();
+    let client = Principal::parse("bcn", REALM).unwrap();
+    let skey = string_to_key("srv");
+    let sess = string_to_key("sess");
+    let ticket = Ticket::new(&server, &client, WS, NOW, 96, *sess.as_bytes());
+    let sealed = ticket.seal(&skey);
+
+    let mut g = c.benchmark_group("e02_tickets");
+    g.bench_function("seal", |b| b.iter(|| black_box(ticket.seal(&skey))));
+    g.bench_function("open", |b| b.iter(|| black_box(sealed.open(&skey).unwrap())));
+    g.finish();
+
+    let auth = Authenticator::new(&client, WS, NOW, 0);
+    let sealed_auth = auth.seal(&sess);
+    let mut g = c.benchmark_group("e03_authenticators");
+    g.bench_function("seal", |b| b.iter(|| black_box(auth.seal(&sess))));
+    g.bench_function("open", |b| b.iter(|| black_box(sealed_auth.open(&sess).unwrap())));
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

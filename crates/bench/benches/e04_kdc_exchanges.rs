@@ -1,0 +1,103 @@
+//! E4–E8 (Fig. 5–9): the three protocol exchanges and the full flow.
+//!
+//! The shared clock ticks one second per iteration (authenticators must be
+//! unique per second), so long benchmark runs would outlive the 8-hour
+//! tickets; each bench refreshes its credentials as they age — amortized
+//! to ~1 refresh per 20k iterations.
+
+mod common;
+
+use common::{kdc_with_users, login, quick, tick, NOW, REALM, WS};
+use criterion::Criterion;
+use kerberos::{krb_mk_rep, krb_mk_req, krb_rd_rep, krb_rd_req, Principal, ReplayCache};
+use krb_crypto::string_to_key;
+use krb_kdb::MemStore;
+use krb_kdc::Kdc;
+use std::hint::black_box;
+use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
+
+fn fresh_cred(
+    kdc: &mut Kdc<MemStore>,
+    clock: &Arc<AtomicU32>,
+    client: &Principal,
+    service: &Principal,
+) -> kerberos::Credential {
+    let (_, tgt) = login(kdc, clock);
+    let t = tick(clock);
+    let req = kerberos::build_tgs_req(&tgt, client, WS, t, service, 96);
+    kerberos::read_tgs_reply(&kdc.handle(&req, WS), &tgt, t).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let (mut kdc, clock) = kdc_with_users(1000);
+    let client = Principal::parse("u0", REALM).unwrap();
+    let tgs = Principal::tgs(REALM, REALM);
+    let rlogin = Principal::parse("rlogin.priam", REALM).unwrap();
+    let srv_key = string_to_key("srv");
+
+    c.bench_function("e04_as_exchange", |b| {
+        b.iter(|| {
+            let t = tick(&clock);
+            let req = kerberos::build_as_req(&client, &tgs, 96, t);
+            let reply = kdc.handle(&req, WS);
+            black_box(kerberos::read_as_reply_with_password(&reply, "p0", t).unwrap())
+        })
+    });
+
+    let (_, mut tgt) = login(&mut kdc, &clock);
+    c.bench_function("e07_tgs_exchange", |b| {
+        b.iter(|| {
+            let t = tick(&clock);
+            if t.saturating_sub(tgt.issued) > 20_000 {
+                tgt = login(&mut kdc, &clock).1;
+            }
+            let req = kerberos::build_tgs_req(&tgt, &client, WS, t, &rlogin, 96);
+            black_box(kerberos::read_tgs_reply(&kdc.handle(&req, WS), &tgt, t).unwrap())
+        })
+    });
+
+    let mut cred = fresh_cred(&mut kdc, &clock, &client, &rlogin);
+    let mut rc = ReplayCache::new();
+    c.bench_function("e05_ap_verify", |b| {
+        b.iter(|| {
+            let t = tick(&clock);
+            if t.saturating_sub(cred.issued) > 20_000 {
+                cred = fresh_cred(&mut kdc, &clock, &client, &rlogin);
+            }
+            let ap = krb_mk_req(&cred.ticket, REALM, &cred.key(), &client, WS, t, 0, false);
+            black_box(krb_rd_req(&ap, &rlogin, &srv_key, WS, t, &mut rc).unwrap())
+        })
+    });
+    c.bench_function("e06_mutual_auth", |b| {
+        b.iter(|| {
+            let t = tick(&clock);
+            if t.saturating_sub(cred.issued) > 20_000 {
+                cred = fresh_cred(&mut kdc, &clock, &client, &rlogin);
+            }
+            let ap = krb_mk_req(&cred.ticket, REALM, &cred.key(), &client, WS, t, 0, true);
+            let v = krb_rd_req(&ap, &rlogin, &srv_key, WS, t, &mut rc).unwrap();
+            let rep = krb_mk_rep(&v);
+            black_box(krb_rd_rep(&rep, &cred.key(), v.timestamp).unwrap())
+        })
+    });
+    c.bench_function("e08_full_protocol", |b| {
+        b.iter(|| {
+            // Fresh everything each iteration: the full three phases.
+            let t = tick(&clock);
+            let req = kerberos::build_as_req(&client, &tgs, 96, t);
+            let tgt = kerberos::read_as_reply_with_password(&kdc.handle(&req, WS), "p0", t).unwrap();
+            let req = kerberos::build_tgs_req(&tgt, &client, WS, t, &rlogin, 96);
+            let cred = kerberos::read_tgs_reply(&kdc.handle(&req, WS), &tgt, t).unwrap();
+            let ap = krb_mk_req(&cred.ticket, REALM, &cred.key(), &client, WS, t, 0, false);
+            black_box(krb_rd_req(&ap, &rlogin, &srv_key, WS, t, &mut rc).unwrap())
+        })
+    });
+    let _ = NOW;
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

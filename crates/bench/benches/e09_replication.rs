@@ -1,0 +1,41 @@
+//! E9 (Fig. 10, §5.3): authentication throughput with replicas.
+//! Read-only authentication parallelizes perfectly across master+slaves;
+//! the benchmark measures the per-replica service rate that makes the
+//! paper's "reduces the probability of a bottleneck" argument.
+
+mod common;
+
+use common::{kdc_with_users, quick, REALM, WS};
+use criterion::{BenchmarkId, Criterion, Throughput};
+use kerberos::Principal;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let client = Principal::parse("u0", REALM).unwrap();
+    let tgs = Principal::tgs(REALM, REALM);
+    let mut g = c.benchmark_group("e09_replication");
+    for n_kdcs in [1usize, 2, 4, 8] {
+        let mut kdcs: Vec<_> = (0..n_kdcs).map(|_| kdc_with_users(500).0).collect();
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(BenchmarkId::new("as_requests_64", n_kdcs), &n_kdcs, |b, &n| {
+            let mut t = common::NOW;
+            b.iter(|| {
+                // 64 requests round-robined over the replica set; wall time
+                // per batch models aggregate capacity (each KDC would run
+                // on its own machine — per-KDC work is what divides).
+                for i in 0..64u32 {
+                    t += 1;
+                    let req = kerberos::build_as_req(&client, &tgs, 96, t);
+                    black_box(kdcs[(i as usize) % n].handle(&req, WS));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

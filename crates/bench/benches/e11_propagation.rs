@@ -1,0 +1,41 @@
+//! E11 (Fig. 13, §5.3): database propagation cost vs database size.
+
+mod common;
+
+use common::{quick, NOW};
+use criterion::{BenchmarkId, Criterion, Throughput};
+use krb_crypto::string_to_key;
+use krb_kdb::{MemStore, PrincipalDb};
+use krb_kprop::{kprop_build, kpropd_verify};
+use std::hint::black_box;
+
+fn db_of(n: usize) -> PrincipalDb<MemStore> {
+    let mut db = PrincipalDb::create(MemStore::new(), string_to_key("mk"), NOW).unwrap();
+    for i in 0..n {
+        db.add_principal(&format!("u{i}"), "", &string_to_key(&format!("p{i}")), NOW * 2, 96, NOW, "i.")
+            .unwrap();
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_propagation");
+    for n in [100usize, 1000, 5000] {
+        let db = db_of(n);
+        let packet = kprop_build(&db).unwrap();
+        g.throughput(Throughput::Bytes(packet.len() as u64));
+        g.bench_with_input(BenchmarkId::new("kprop_dump", n), &n, |b, _| {
+            b.iter(|| black_box(kprop_build(&db).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("kpropd_verify", n), &n, |b, _| {
+            b.iter(|| black_box(kpropd_verify(&packet, &string_to_key("mk")).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

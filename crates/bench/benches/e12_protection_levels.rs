@@ -1,0 +1,38 @@
+//! E12 (§2.1): the three protection levels — per-message cost of
+//! authentication-only (free after the AP exchange), safe, and private.
+
+mod common;
+
+use common::{quick, NOW, WS};
+use criterion::{BenchmarkId, Criterion, Throughput};
+use kerberos::{krb_mk_priv, krb_mk_safe, krb_rd_priv, krb_rd_safe};
+use krb_crypto::string_to_key;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let key = string_to_key("session");
+    let mut g = c.benchmark_group("e12_protection_levels");
+    for size in [64usize, 1024, 8192] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("safe", size), &size, |b, _| {
+            b.iter(|| {
+                let m = krb_mk_safe(&data, &key, WS, NOW);
+                black_box(krb_rd_safe(&m, &key, NOW).unwrap())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("private", size), &size, |b, _| {
+            b.iter(|| {
+                let m = krb_mk_priv(&data, &key, WS, NOW);
+                black_box(krb_rd_priv(&m, &key, Some(WS), NOW).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,81 @@
+//! E13 (appendix): NFS per-transaction authentication — the kernel
+//! credential map vs the rejected full-Kerberos-per-operation design.
+//! The paper's envelope calculation said full auth "would have delivered
+//! unacceptable performance"; this bench measures the factor.
+
+mod common;
+
+use common::{quick, tick, NOW, REALM, WS};
+use criterion::Criterion;
+use kerberos::{krb_mk_req, Principal, Ticket};
+use krb_crypto::string_to_key;
+use krb_nfs::{FullAuthNfsServer, MountD, NfsCredential, NfsOp, NfsServer, ServerPolicy, UserTable, Vfs};
+use std::hint::black_box;
+use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    // Mapped server.
+    let mut vfs = Vfs::new();
+    vfs.provision_home("bcn", 8042, 8042).unwrap();
+    let mut server = NfsServer::new(vfs, ServerPolicy::Friendly);
+    server.credmap.add(WS, 500, NfsCredential { uid: 8042, gids: vec![8042] });
+    let cred = NfsCredential { uid: 500, gids: vec![500] };
+    c.bench_function("e13_mapped_getattr", |b| {
+        b.iter(|| black_box(server.handle(WS, &cred, &NfsOp::Getattr(1)).unwrap()))
+    });
+
+    // Full-auth server.
+    let mut vfs = Vfs::new();
+    vfs.provision_home("bcn", 8042, 8042).unwrap();
+    let svc = Principal::parse("nfs.charon", REALM).unwrap();
+    let skey = string_to_key("nfs-srv");
+    let mut full = FullAuthNfsServer::new(vfs, svc.clone(), skey);
+    full.add_user("bcn", NfsCredential { uid: 8042, gids: vec![8042] });
+    let client = Principal::parse("bcn", REALM).unwrap();
+    let sess = string_to_key("sess");
+    let mint = |issued: u32| {
+        Ticket::new(&svc, &client, WS, issued, 255, *sess.as_bytes())
+            .seal(&string_to_key("nfs-srv"))
+    };
+    let mut ticket = mint(NOW);
+    let mut issued = NOW;
+    let clock = Arc::new(AtomicU32::new(NOW));
+    c.bench_function("e13_fullauth_getattr", |b| {
+        b.iter(|| {
+            let t = tick(&clock);
+            // The clock ticks per iteration; re-mint before the ticket ages out.
+            if t.saturating_sub(issued) > 60_000 {
+                ticket = mint(t);
+                issued = t;
+            }
+            let ap = krb_mk_req(&ticket, REALM, &sess, &client, WS, t, 0, false);
+            black_box(full.handle(WS, &ap, t, &NfsOp::Getattr(1)).unwrap())
+        })
+    });
+
+    // Mount-time cost: the one-time Kerberos mapping transaction.
+    let mut vfs = Vfs::new();
+    vfs.provision_home("bcn", 8042, 8042).unwrap();
+    let mut mapped = NfsServer::new(vfs, ServerPolicy::Friendly);
+    let mut users = UserTable::new();
+    users.add("bcn", 8042, vec![8042]);
+    let mut mountd = MountD::new(svc.clone(), string_to_key("nfs-srv"), users);
+    c.bench_function("e13_mount_transaction", |b| {
+        b.iter(|| {
+            let t = tick(&clock);
+            if t.saturating_sub(issued) > 60_000 {
+                ticket = mint(t);
+                issued = t;
+            }
+            let ap = krb_mk_req(&ticket, REALM, &sess, &client, WS, t, 500, false);
+            black_box(mountd.map_request(&mut mapped.credmap, &ap, WS, t).unwrap())
+        })
+    });
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

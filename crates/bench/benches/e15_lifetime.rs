@@ -1,0 +1,25 @@
+//! E15 (§8): the ticket-lifetime tradeoff Monte Carlo.
+
+mod common;
+
+use common::quick;
+use criterion::Criterion;
+use krb_sim::{tradeoff, LifetimeConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e15_lifetime_grid", |b| {
+        b.iter(|| {
+            black_box(tradeoff(
+                LifetimeConfig { users: 200, ..Default::default() },
+                &[6, 24, 96, 255],
+            ))
+        })
+    });
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,59 @@
+//! E16 (§7.2): cross-realm authentication — the extra TGS leg.
+
+mod common;
+
+use common::{kdc_with_users, quick, tick, REALM, WS};
+use criterion::Criterion;
+use kerberos::Principal;
+use krb_crypto::string_to_key;
+use krb_kdb::{MemStore, PrincipalDb};
+use krb_kdc::{pair_realms, Kdc, KdcRole, RealmConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    const LCS: &str = "LCS.MIT.EDU";
+    let mut athena_cfg = RealmConfig::new(REALM);
+    let mut lcs_cfg = RealmConfig::new(LCS);
+    pair_realms(&mut athena_cfg, &mut lcs_cfg, string_to_key("inter")).unwrap();
+
+    let (base, clock) = kdc_with_users(100);
+    let db = {
+        let dump = krb_kdb::dump::dump(base.db()).unwrap();
+        let entries = krb_kdb::dump::parse(&dump).unwrap();
+        let mut store = MemStore::new();
+        krb_kdb::dump::install(&mut store, &entries).unwrap();
+        PrincipalDb::open(store, string_to_key("master")).unwrap()
+    };
+    let mut athena = Kdc::new(db, athena_cfg, krb_kdc::shared_clock(Arc::clone(&clock)), KdcRole::Master, 3);
+
+    let mut lcs_db = PrincipalDb::create(MemStore::new(), string_to_key("lcs-mk"), common::NOW).unwrap();
+    lcs_db.add_principal("krbtgt", LCS, &string_to_key("lcs-tgs"), common::NOW * 2, 96, common::NOW, "i.").unwrap();
+    lcs_db.add_principal("supdup", "zeus", &string_to_key("supdup"), common::NOW * 2, 96, common::NOW, "i.").unwrap();
+    let mut lcs = Kdc::new(lcs_db, lcs_cfg, krb_kdc::shared_clock(Arc::clone(&clock)), KdcRole::Master, 4);
+
+    let client = Principal::parse("u5", REALM).unwrap();
+    let tgs = Principal::tgs(REALM, REALM);
+    let remote_tgs = Principal::tgs(LCS, REALM);
+    let supdup = Principal::parse(&format!("supdup.zeus@{LCS}"), REALM).unwrap();
+
+    c.bench_function("e16_cross_realm_full", |b| {
+        b.iter(|| {
+            let t = tick(&clock);
+            let req = kerberos::build_as_req(&client, &tgs, 96, t);
+            let tgt = kerberos::read_as_reply_with_password(&athena.handle(&req, WS), "p5", t).unwrap();
+            let t2 = tick(&clock);
+            let req = kerberos::build_tgs_req(&tgt, &client, WS, t2, &remote_tgs, 96);
+            let xr = kerberos::read_tgs_reply(&athena.handle(&req, WS), &tgt, t2).unwrap();
+            let t3 = tick(&clock);
+            let req = kerberos::build_tgs_req(&xr, &client, WS, t3, &supdup, 96);
+            black_box(kerberos::read_tgs_reply(&lcs.handle(&req, WS), &xr, t3).unwrap())
+        })
+    });
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

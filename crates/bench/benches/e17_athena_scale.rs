@@ -1,0 +1,33 @@
+//! E17 (§9): an Athena day at reduced scale (the full 5000/650/65 run is
+//! `cargo run --release --example athena_day`).
+
+mod common;
+
+use common::quick;
+use criterion::Criterion;
+use krb_sim::{run, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e17_athena");
+    g.sample_size(10);
+    g.bench_function("day_50_users", |b| {
+        b.iter(|| {
+            black_box(run(ScenarioConfig {
+                users: 50,
+                workstations: 10,
+                services: 8,
+                slaves: 2,
+                duration: 6 * 3600,
+                ..Default::default()
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,441 @@
+//! The application-authentication library routines (paper §4.3, §6.2).
+//!
+//! "The most commonly used library functions are `krb_mk_req` on the client
+//! side, and `krb_rd_req` on the server side." This module provides those,
+//! the mutual-authentication pair (Fig. 7), and the safe/private message
+//! routines `krb_mk_safe`/`krb_rd_safe` and `krb_mk_priv`/`krb_rd_priv`
+//! (§2.1's three protection levels).
+
+use crate::authent::{Authenticator, SealedAuthenticator};
+use crate::msg::{ApRep, ApReq, Message, PrivMsg, SafeMsg};
+use crate::replay::{hash_bytes, ReplayCache, ReplayKey};
+use crate::ticket::{EncryptedTicket, Ticket};
+use crate::time::{is_expired, within_skew};
+use crate::wire::{Reader, Writer};
+use crate::{ErrorCode, HostAddr, KrbResult, Principal};
+use krb_crypto::{open, quad_cksum, seal, DesKey, Mode};
+
+/// What `krb_rd_req` returns on success: the verified identity and the
+/// session key for further traffic.
+#[derive(Clone, Debug)]
+pub struct VerifiedRequest {
+    /// The authenticated client (name, instance, *original* realm).
+    pub client: Principal,
+    /// The session key from the ticket.
+    pub session_key: DesKey,
+    /// The authenticator timestamp (needed for the mutual-auth reply).
+    pub timestamp: u32,
+    /// Application checksum carried in the authenticator.
+    pub cksum: u32,
+    /// The decrypted ticket (lifetime inspection, TGS re-issue).
+    pub ticket: Ticket,
+    /// Whether the client asked for mutual authentication.
+    pub mutual_requested: bool,
+}
+
+/// Client side: build an `AP_REQ` for `service` from a ticket and session
+/// key (paper §4.3; `krb_mk_req` of §6.2). `cksum` binds application data.
+#[allow(clippy::too_many_arguments)]
+pub fn krb_mk_req(
+    ticket: &EncryptedTicket,
+    ticket_realm: &str,
+    session_key: &DesKey,
+    client: &Principal,
+    addr: HostAddr,
+    now: u32,
+    cksum: u32,
+    mutual: bool,
+) -> ApReq {
+    let auth = Authenticator::new(client, addr, now, cksum);
+    ApReq {
+        realm: ticket_realm.to_string(),
+        ticket: ticket.clone(),
+        authenticator: auth.seal(session_key).0,
+        mutual,
+    }
+}
+
+/// Server side: verify an `AP_REQ` (paper §4.3; `krb_rd_req` of §6.2).
+///
+/// The checks, in the paper's order: decrypt the ticket with the server's
+/// key; use the session key inside to decrypt the authenticator; compare
+/// ticket against authenticator; compare the source address of the packet;
+/// check freshness against the server clock; consult the replay cache; and
+/// check ticket expiry.
+pub fn krb_rd_req(
+    req: &ApReq,
+    service: &Principal,
+    service_key: &DesKey,
+    sender_addr: HostAddr,
+    now: u32,
+    replay: &mut ReplayCache,
+) -> KrbResult<VerifiedRequest> {
+    let ticket = req.ticket.open(service_key)?;
+    if ticket.sname != service.name || ticket.sinstance != service.instance {
+        return Err(ErrorCode::RdApNotUs);
+    }
+    let session_key = DesKey::from_bytes(ticket.session_key);
+    let auth = SealedAuthenticator(req.authenticator.clone()).open(&session_key)?;
+    if !auth.matches_ticket(&ticket) {
+        return Err(ErrorCode::RdApIncon);
+    }
+    if ticket.addr != sender_addr {
+        // "the IP address from which the request was received" must match.
+        return Err(ErrorCode::RdApBadAddr);
+    }
+    if !within_skew(auth.timestamp, now) {
+        // "If the time in the request is too far in the future or the past,
+        // the server treats the request as an attempt to replay".
+        return Err(ErrorCode::RdApTime);
+    }
+    if is_expired(ticket.timestamp, ticket.life, now) {
+        return Err(ErrorCode::RdApExp);
+    }
+    // Issue time sanity: a ticket from the far future is not yet valid.
+    if ticket.timestamp > now && !within_skew(ticket.timestamp, now) {
+        return Err(ErrorCode::RdApTime);
+    }
+    let key = ReplayKey {
+        client: ticket.client().to_string(),
+        timestamp: auth.timestamp,
+        auth_hash: hash_bytes(&req.authenticator),
+    };
+    if !replay.check_and_insert(key, now) {
+        return Err(ErrorCode::RdApRepeat);
+    }
+    Ok(VerifiedRequest {
+        client: ticket.client(),
+        session_key,
+        timestamp: auth.timestamp,
+        cksum: auth.cksum,
+        ticket,
+        mutual_requested: req.mutual,
+    })
+}
+
+/// Server side of mutual authentication (Fig. 7): "the server adds one to
+/// the time stamp the client sent in the authenticator, encrypts the result
+/// in the session key, and sends the result back to the client."
+pub fn krb_mk_rep(verified: &VerifiedRequest) -> ApRep {
+    let mut w = Writer::new();
+    w.u32(verified.timestamp.wrapping_add(1));
+    let enc = seal(Mode::Pcbc, &verified.session_key, &[0u8; 8], &w.finish())
+        .expect("fixed-size payload");
+    ApRep { enc_part: enc }
+}
+
+/// Client side of mutual authentication: check the reply is `ts + 1`
+/// sealed in the session key. Success convinces the client "that the
+/// server is authentic".
+pub fn krb_rd_rep(rep: &ApRep, session_key: &DesKey, sent_timestamp: u32) -> KrbResult<()> {
+    let plain = open(Mode::Pcbc, session_key, &[0u8; 8], &rep.enc_part)
+        .map_err(|_| ErrorCode::RdApModified)?;
+    let mut r = Reader::new(&plain);
+    let got = r.u32()?;
+    r.expect_end()?;
+    if got != sent_timestamp.wrapping_add(1) {
+        return Err(ErrorCode::RdApModified);
+    }
+    Ok(())
+}
+
+/// `krb_mk_safe` (§2.1): authenticated but unencrypted message. The keyed
+/// quadratic checksum covers data, sender address and timestamp.
+pub fn krb_mk_safe(data: &[u8], session_key: &DesKey, addr: HostAddr, now: u32) -> SafeMsg {
+    let cksum = safe_cksum(data, session_key, addr, now);
+    SafeMsg { data: data.to_vec(), addr, timestamp: now, cksum }
+}
+
+/// `krb_rd_safe`: verify the checksum and freshness of a safe message.
+pub fn krb_rd_safe(msg: &SafeMsg, session_key: &DesKey, now: u32) -> KrbResult<Vec<u8>> {
+    let expect = safe_cksum(&msg.data, session_key, msg.addr, msg.timestamp);
+    if expect != msg.cksum {
+        return Err(ErrorCode::RdApModified);
+    }
+    if !within_skew(msg.timestamp, now) {
+        return Err(ErrorCode::RdApTime);
+    }
+    Ok(msg.data.clone())
+}
+
+fn safe_cksum(data: &[u8], session_key: &DesKey, addr: HostAddr, ts: u32) -> u32 {
+    let mut covered = Vec::with_capacity(data.len() + 8);
+    covered.extend_from_slice(data);
+    covered.extend_from_slice(&addr);
+    covered.extend_from_slice(&ts.to_be_bytes());
+    quad_cksum(session_key.as_bytes(), &covered)
+}
+
+/// `krb_mk_priv` (§2.1): "each message is not only authenticated, but also
+/// encrypted" — data, sender address and timestamp sealed in the session key.
+pub fn krb_mk_priv(data: &[u8], session_key: &DesKey, addr: HostAddr, now: u32) -> PrivMsg {
+    let mut w = Writer::new();
+    w.bytes(data);
+    w.addr(&addr);
+    w.u32(now);
+    let enc = seal(Mode::Pcbc, session_key, &[0u8; 8], &w.finish()).expect("bounded payload");
+    PrivMsg { enc_part: enc }
+}
+
+/// `krb_rd_priv`: decrypt and check freshness and (optionally) the
+/// expected sender address.
+pub fn krb_rd_priv(
+    msg: &PrivMsg,
+    session_key: &DesKey,
+    expected_addr: Option<HostAddr>,
+    now: u32,
+) -> KrbResult<Vec<u8>> {
+    let plain = open(Mode::Pcbc, session_key, &[0u8; 8], &msg.enc_part)
+        .map_err(|_| ErrorCode::RdApModified)?;
+    let mut r = Reader::new(&plain);
+    let data = r.bytes()?;
+    let addr = r.addr()?;
+    let ts = r.u32()?;
+    r.expect_end()?;
+    if let Some(expect) = expected_addr {
+        if addr != expect {
+            return Err(ErrorCode::RdApBadAddr);
+        }
+    }
+    if !within_skew(ts, now) {
+        return Err(ErrorCode::RdApTime);
+    }
+    Ok(data)
+}
+
+/// Helper: wrap an `AP_REQ` in a [`Message`] and encode for the wire.
+pub fn encode_ap_req(req: &ApReq) -> Vec<u8> {
+    Message::ApReq(req.clone()).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MAX_SKEW_SECS;
+    use krb_crypto::string_to_key;
+
+    const REALM: &str = "ATHENA.MIT.EDU";
+    const ADDR: HostAddr = [18, 72, 0, 5];
+    const NOW: u32 = 1_000_000;
+
+    fn setup() -> (Principal, Principal, DesKey, DesKey, EncryptedTicket) {
+        let client = Principal::parse("bcn", REALM).unwrap();
+        let service = Principal::parse("rlogin.priam", REALM).unwrap();
+        let service_key = string_to_key("srvtab-rlogin-priam");
+        let session_key = string_to_key("session");
+        let ticket = Ticket::new(&service, &client, ADDR, NOW, 96, *session_key.as_bytes())
+            .seal(&service_key);
+        (client, service, service_key, session_key, ticket)
+    }
+
+    #[test]
+    fn full_ap_exchange_succeeds() {
+        let (client, service, service_key, session_key, ticket) = setup();
+        let req = krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW + 5, 42, false);
+        let mut rc = ReplayCache::new();
+        let v = krb_rd_req(&req, &service, &service_key, ADDR, NOW + 6, &mut rc).unwrap();
+        assert_eq!(v.client, client);
+        assert_eq!(v.cksum, 42);
+        assert_eq!(v.session_key.as_bytes(), session_key.as_bytes());
+    }
+
+    #[test]
+    fn replayed_request_rejected() {
+        let (client, service, service_key, session_key, ticket) = setup();
+        let req = krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW, 0, false);
+        let mut rc = ReplayCache::new();
+        assert!(krb_rd_req(&req, &service, &service_key, ADDR, NOW, &mut rc).is_ok());
+        assert_eq!(
+            krb_rd_req(&req, &service, &service_key, ADDR, NOW + 1, &mut rc).unwrap_err(),
+            ErrorCode::RdApRepeat
+        );
+    }
+
+    #[test]
+    fn stolen_ticket_from_wrong_address_rejected() {
+        let (client, service, service_key, session_key, ticket) = setup();
+        // Attacker captured ticket+authenticator, resends from their host.
+        let req = krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW, 0, false);
+        let mut rc = ReplayCache::new();
+        let attacker_addr = [10, 0, 0, 66];
+        assert_eq!(
+            krb_rd_req(&req, &service, &service_key, attacker_addr, NOW, &mut rc).unwrap_err(),
+            ErrorCode::RdApBadAddr
+        );
+    }
+
+    #[test]
+    fn stale_authenticator_rejected() {
+        let (client, service, service_key, session_key, ticket) = setup();
+        let req = krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW, 0, false);
+        let mut rc = ReplayCache::new();
+        let late = NOW + MAX_SKEW_SECS + 1;
+        assert_eq!(
+            krb_rd_req(&req, &service, &service_key, ADDR, late, &mut rc).unwrap_err(),
+            ErrorCode::RdApTime
+        );
+    }
+
+    #[test]
+    fn future_authenticator_rejected() {
+        let (client, service, service_key, session_key, ticket) = setup();
+        let req =
+            krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW + MAX_SKEW_SECS + 10, 0, false);
+        let mut rc = ReplayCache::new();
+        assert_eq!(
+            krb_rd_req(&req, &service, &service_key, ADDR, NOW, &mut rc).unwrap_err(),
+            ErrorCode::RdApTime
+        );
+    }
+
+    #[test]
+    fn expired_ticket_rejected() {
+        let (client, service, service_key, session_key, _) = setup();
+        let old = NOW - 10 * 3600;
+        let ticket = Ticket::new(&service, &client, ADDR, old, 12, *session_key.as_bytes())
+            .seal(&service_key);
+        let req = krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW, 0, false);
+        let mut rc = ReplayCache::new();
+        assert_eq!(
+            krb_rd_req(&req, &service, &service_key, ADDR, NOW, &mut rc).unwrap_err(),
+            ErrorCode::RdApExp
+        );
+    }
+
+    #[test]
+    fn ticket_for_other_service_rejected() {
+        let (client, _, _, session_key, ticket) = setup();
+        let other = Principal::parse("pop.paris", REALM).unwrap();
+        let other_key = string_to_key("srvtab-pop");
+        let req = krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW, 0, false);
+        let mut rc = ReplayCache::new();
+        assert_eq!(
+            krb_rd_req(&req, &other, &other_key, ADDR, NOW, &mut rc).unwrap_err(),
+            ErrorCode::RdApNotUs
+        );
+    }
+
+    #[test]
+    fn attacker_without_session_key_cannot_authenticate() {
+        // Eavesdropper got the (encrypted) ticket but not the session key:
+        // their authenticator is sealed in a guessed key.
+        let (client, service, service_key, _, ticket) = setup();
+        let guessed = string_to_key("guess");
+        let req = krb_mk_req(&ticket, REALM, &guessed, &client, ADDR, NOW, 0, false);
+        let mut rc = ReplayCache::new();
+        assert_eq!(
+            krb_rd_req(&req, &service, &service_key, ADDR, NOW, &mut rc).unwrap_err(),
+            ErrorCode::RdApIncon
+        );
+    }
+
+    #[test]
+    fn mutual_authentication_round_trip() {
+        let (client, service, service_key, session_key, ticket) = setup();
+        let req = krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW, 0, true);
+        let mut rc = ReplayCache::new();
+        let v = krb_rd_req(&req, &service, &service_key, ADDR, NOW, &mut rc).unwrap();
+        assert!(v.mutual_requested);
+        let rep = krb_mk_rep(&v);
+        assert!(krb_rd_rep(&rep, &session_key, NOW).is_ok());
+    }
+
+    #[test]
+    fn mutual_auth_detects_fake_server() {
+        // A masquerading server cannot produce {ts+1}K without the session
+        // key (it cannot decrypt the ticket to extract it).
+        let (_, _, _, session_key, _) = setup();
+        let fake_key = string_to_key("fake-server");
+        let mut w = Writer::new();
+        w.u32(NOW + 1);
+        let forged = ApRep {
+            enc_part: seal(Mode::Pcbc, &fake_key, &[0u8; 8], &w.finish()).unwrap(),
+        };
+        assert_eq!(
+            krb_rd_rep(&forged, &session_key, NOW).unwrap_err(),
+            ErrorCode::RdApModified
+        );
+    }
+
+    #[test]
+    fn mutual_auth_rejects_wrong_timestamp() {
+        let (client, service, service_key, session_key, ticket) = setup();
+        let req = krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW, 0, true);
+        let mut rc = ReplayCache::new();
+        let v = krb_rd_req(&req, &service, &service_key, ADDR, NOW, &mut rc).unwrap();
+        let rep = krb_mk_rep(&v);
+        // Client checks against a different timestamp than it sent.
+        assert!(krb_rd_rep(&rep, &session_key, NOW + 7).is_err());
+    }
+
+    #[test]
+    fn safe_messages_detect_tampering() {
+        let key = string_to_key("session");
+        let msg = krb_mk_safe(b"transfer $100 to bcn", &key, ADDR, NOW);
+        assert_eq!(krb_rd_safe(&msg, &key, NOW).unwrap(), b"transfer $100 to bcn");
+
+        let mut tampered = msg.clone();
+        tampered.data = b"transfer $999 to eve".to_vec();
+        assert_eq!(krb_rd_safe(&tampered, &key, NOW).unwrap_err(), ErrorCode::RdApModified);
+
+        let mut retimed = msg.clone();
+        retimed.timestamp += 1; // covered by the checksum too
+        assert_eq!(krb_rd_safe(&retimed, &key, NOW).unwrap_err(), ErrorCode::RdApModified);
+    }
+
+    #[test]
+    fn safe_messages_are_readable_on_the_wire() {
+        // §2.1: safe messages authenticate but "do not care whether the
+        // content of the message is disclosed" — data rides in the clear.
+        let key = string_to_key("session");
+        let msg = krb_mk_safe(b"public content", &key, ADDR, NOW);
+        assert_eq!(msg.data, b"public content");
+    }
+
+    #[test]
+    fn safe_message_freshness() {
+        let key = string_to_key("session");
+        let msg = krb_mk_safe(b"x", &key, ADDR, NOW);
+        assert_eq!(
+            krb_rd_safe(&msg, &key, NOW + MAX_SKEW_SECS + 1).unwrap_err(),
+            ErrorCode::RdApTime
+        );
+    }
+
+    #[test]
+    fn private_messages_hide_and_authenticate() {
+        let key = string_to_key("session");
+        let msg = krb_mk_priv(b"new password: hunter2", &key, ADDR, NOW);
+        // Content is not visible in the ciphertext.
+        assert!(!msg
+            .enc_part
+            .windows(8)
+            .any(|w| w == b"password"));
+        let data = krb_rd_priv(&msg, &key, Some(ADDR), NOW).unwrap();
+        assert_eq!(data, b"new password: hunter2");
+
+        // Wrong key fails.
+        let wrong = string_to_key("other");
+        assert!(krb_rd_priv(&msg, &wrong, Some(ADDR), NOW).is_err());
+        // Wrong claimed source fails.
+        assert_eq!(
+            krb_rd_priv(&msg, &key, Some([9, 9, 9, 9]), NOW).unwrap_err(),
+            ErrorCode::RdApBadAddr
+        );
+        // Stale fails.
+        assert_eq!(
+            krb_rd_priv(&msg, &key, Some(ADDR), NOW + MAX_SKEW_SECS + 1).unwrap_err(),
+            ErrorCode::RdApTime
+        );
+    }
+
+    #[test]
+    fn verified_request_exposes_remaining_ticket() {
+        let (client, service, service_key, session_key, ticket) = setup();
+        let req = krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW, 0, false);
+        let mut rc = ReplayCache::new();
+        let v = krb_rd_req(&req, &service, &service_key, ADDR, NOW, &mut rc).unwrap();
+        assert_eq!(v.ticket.life, 96);
+        assert_eq!(v.ticket.timestamp, NOW);
+    }
+}

@@ -1,0 +1,168 @@
+//! Authenticators (paper §4.1, Figure 4).
+//!
+//! > `{c, addr, timestamp} Ks,c`
+//!
+//! "Unlike the ticket, the authenticator can only be used once. A new one
+//! must be generated each time a client wants to use a service. This does
+//! not present a problem because the client is able to build the
+//! authenticator itself." The authenticator proves the presenter of the
+//! ticket knows the session key sealed inside it, and its timestamp is the
+//! replay-detection handle.
+
+use crate::wire::{Reader, Writer};
+use crate::{ErrorCode, HostAddr, KrbResult, Principal};
+use krb_crypto::{open, seal, DesKey, Mode};
+
+/// The plaintext contents of an authenticator.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Authenticator {
+    /// Client primary name (`c`).
+    pub cname: String,
+    /// Client instance.
+    pub cinstance: String,
+    /// Realm in which the client was originally authenticated.
+    pub crealm: String,
+    /// The workstation's address (`addr`).
+    pub addr: HostAddr,
+    /// The current workstation time (`timestamp`).
+    pub timestamp: u32,
+    /// Application-data checksum bound into the request (`krb_mk_req` may
+    /// carry "a checksum of the data to be sent", §6.2). Zero when unused.
+    pub cksum: u32,
+}
+
+/// An authenticator encrypted in the session key.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SealedAuthenticator(pub Vec<u8>);
+
+impl Authenticator {
+    /// Build an authenticator for `client` at `addr`, time `now`.
+    pub fn new(client: &Principal, addr: HostAddr, now: u32, cksum: u32) -> Self {
+        Authenticator {
+            cname: client.name.clone(),
+            cinstance: client.instance.clone(),
+            crealm: client.realm.clone(),
+            addr,
+            timestamp: now,
+            cksum,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.str(&self.cname);
+        w.str(&self.cinstance);
+        w.str(&self.crealm);
+        w.addr(&self.addr);
+        w.u32(self.timestamp);
+        w.u32(self.cksum);
+        w.finish()
+    }
+
+    fn decode(buf: &[u8]) -> KrbResult<Self> {
+        let mut r = Reader::new(buf);
+        let a = Authenticator {
+            cname: r.str()?,
+            cinstance: r.str()?,
+            crealm: r.str()?,
+            addr: r.addr()?,
+            timestamp: r.u32()?,
+            cksum: r.u32()?,
+        };
+        r.expect_end()?;
+        Ok(a)
+    }
+
+    /// Encrypt in the session key shared with the server.
+    pub fn seal(&self, session_key: &DesKey) -> SealedAuthenticator {
+        let ct = seal(Mode::Pcbc, session_key, &[0u8; 8], &self.encode())
+            .expect("authenticator encode length is bounded");
+        SealedAuthenticator(ct)
+    }
+
+    /// Whether this authenticator agrees with the identity sealed in a
+    /// ticket (the server "compares the information in the ticket with that
+    /// in the authenticator", §4.3).
+    pub fn matches_ticket(&self, t: &crate::ticket::Ticket) -> bool {
+        self.cname == t.cname
+            && self.cinstance == t.cinstance
+            && self.crealm == t.crealm
+            && self.addr == t.addr
+    }
+}
+
+impl SealedAuthenticator {
+    /// Decrypt with the session key. Failure means the presenter did not
+    /// know the session key — the ticket was stolen without its key.
+    pub fn open(&self, session_key: &DesKey) -> KrbResult<Authenticator> {
+        let plain = open(Mode::Pcbc, session_key, &[0u8; 8], &self.0)
+            .map_err(|_| ErrorCode::RdApIncon)?;
+        Authenticator::decode(&plain).map_err(|_| ErrorCode::RdApIncon)
+    }
+
+    /// Ciphertext length (E3 size report).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the ciphertext is empty (never true for a sealed value).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ticket::Ticket;
+    use krb_crypto::string_to_key;
+
+    fn athena(p: &str) -> Principal {
+        Principal::parse(p, "ATHENA.MIT.EDU").unwrap()
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let key = string_to_key("session");
+        let a = Authenticator::new(&athena("bcn"), [18, 72, 0, 5], 12345, 77);
+        let opened = a.seal(&key).open(&key).unwrap();
+        assert_eq!(opened, a);
+    }
+
+    #[test]
+    fn wrong_session_key_fails() {
+        let a = Authenticator::new(&athena("bcn"), [1, 2, 3, 4], 1, 0);
+        let sealed = a.seal(&string_to_key("right"));
+        assert_eq!(
+            sealed.open(&string_to_key("wrong")).unwrap_err(),
+            ErrorCode::RdApIncon
+        );
+    }
+
+    #[test]
+    fn matches_ticket_checks_all_identity_fields() {
+        let client = athena("bcn");
+        let server = athena("rlogin.priam");
+        let addr = [18, 72, 0, 5];
+        let t = Ticket::new(&server, &client, addr, 100, 96, [0; 8]);
+        let good = Authenticator::new(&client, addr, 105, 0);
+        assert!(good.matches_ticket(&t));
+
+        let wrong_user = Authenticator::new(&athena("jis"), addr, 105, 0);
+        assert!(!wrong_user.matches_ticket(&t));
+
+        let wrong_addr = Authenticator::new(&client, [9, 9, 9, 9], 105, 0);
+        assert!(!wrong_addr.matches_ticket(&t));
+
+        let mut foreign = good.clone();
+        foreign.crealm = "LCS.MIT.EDU".into();
+        assert!(!foreign.matches_ticket(&t));
+    }
+
+    #[test]
+    fn checksum_is_preserved() {
+        let key = string_to_key("k");
+        let a = Authenticator::new(&athena("bcn"), [1, 1, 1, 1], 42, 0xCAFEBABE);
+        assert_eq!(a.seal(&key).open(&key).unwrap().cksum, 0xCAFEBABE);
+    }
+}

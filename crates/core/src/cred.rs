@@ -1,0 +1,298 @@
+//! Kerberos credentials and the ticket file (credential cache).
+//!
+//! "The ticket and the session key, along with some of the other
+//! information, are stored for future use" (§4.2). The cache mirrors V4's
+//! per-login ticket file: it holds the principal's identity plus one
+//! credential per service, is consulted before asking the TGS for a new
+//! ticket, is listed by `klist`, and is destroyed on logout by `kdestroy`
+//! (§6.1: "tickets are automatically destroyed when a user logs out").
+
+use crate::ticket::EncryptedTicket;
+use crate::time::{expiry, is_expired, remaining_life};
+use crate::wire::{Reader, Writer};
+use crate::{ErrorCode, KrbResult, Principal};
+use krb_crypto::DesKey;
+
+/// One cached credential: everything needed to build an `AP_REQ` for a
+/// service (plus bookkeeping for expiry).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Credential {
+    /// The service this credential is for.
+    pub service: Principal,
+    /// Realm of the issuing KDC (differs from `service.realm` only for
+    /// cross-realm TGTs in flight).
+    pub issuing_realm: String,
+    /// The session key shared with the service.
+    pub session_key: [u8; 8],
+    /// The ticket, encrypted in the service's key.
+    pub ticket: EncryptedTicket,
+    /// Lifetime granted, 5-minute units.
+    pub life: u8,
+    /// KDC time of issue.
+    pub issued: u32,
+    /// Key version of the service key the ticket is sealed in.
+    pub kvno: u8,
+}
+
+impl Credential {
+    /// Session key as a [`DesKey`].
+    pub fn key(&self) -> DesKey {
+        DesKey::from_bytes(self.session_key)
+    }
+
+    /// Expiration instant.
+    pub fn expires(&self) -> u32 {
+        expiry(self.issued, self.life)
+    }
+
+    /// Whether the credential is expired at `now`.
+    pub fn expired(&self, now: u32) -> bool {
+        is_expired(self.issued, self.life, now)
+    }
+
+    /// Whole lifetime units remaining at `now`.
+    pub fn remaining(&self, now: u32) -> u8 {
+        remaining_life(self.issued, self.life, now)
+    }
+
+    fn encode_into(&self, w: &mut Writer) {
+        w.str(&self.service.name);
+        w.str(&self.service.instance);
+        w.str(&self.service.realm);
+        w.str(&self.issuing_realm);
+        w.block(&self.session_key);
+        w.bytes(&self.ticket.0);
+        w.u8(self.life);
+        w.u32(self.issued);
+        w.u8(self.kvno);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> KrbResult<Self> {
+        Ok(Credential {
+            service: Principal {
+                name: r.str()?,
+                instance: r.str()?,
+                realm: r.str()?,
+            },
+            issuing_realm: r.str()?,
+            session_key: r.block()?,
+            ticket: EncryptedTicket(r.bytes()?),
+            life: r.u8()?,
+            issued: r.u32()?,
+            kvno: r.u8()?,
+        })
+    }
+}
+
+/// The per-login credential cache (V4: `/tmp/tkt<uid>`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CredentialCache {
+    /// Whose credentials these are.
+    pub owner: Option<Principal>,
+    creds: Vec<Credential>,
+}
+
+impl CredentialCache {
+    /// An empty cache (pre-login state).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install the owner and their first credential (the TGT) — the final
+    /// step of a successful login.
+    pub fn initialize(&mut self, owner: Principal, tgt: Credential) {
+        self.owner = Some(owner);
+        self.creds = vec![tgt];
+    }
+
+    /// Store a credential, replacing any previous one for the same service.
+    pub fn store(&mut self, cred: Credential) {
+        self.creds.retain(|c| c.service != cred.service);
+        self.creds.push(cred);
+    }
+
+    /// Look up an unexpired credential for `service`.
+    pub fn get(&self, service: &Principal, now: u32) -> Option<&Credential> {
+        self.creds.iter().find(|c| &c.service == service && !c.expired(now))
+    }
+
+    /// The ticket-granting ticket for `realm`, if present and fresh.
+    pub fn tgt(&self, realm: &str, now: u32) -> Option<&Credential> {
+        let tgs = Principal::tgs(realm, realm);
+        self.get(&tgs, now).or_else(|| {
+            // Cross-realm TGT: issued by our realm for the remote TGS.
+            self.creds.iter().find(|c| {
+                c.service.name == "krbtgt" && c.service.instance == realm && !c.expired(now)
+            })
+        })
+    }
+
+    /// All credentials (what `klist` prints).
+    pub fn list(&self) -> &[Credential] {
+        &self.creds
+    }
+
+    /// Discard expired entries; returns how many were removed.
+    pub fn expire(&mut self, now: u32) -> usize {
+        let before = self.creds.len();
+        self.creds.retain(|c| !c.expired(now));
+        before - self.creds.len()
+    }
+
+    /// Destroy all credentials (`kdestroy`). The cache is unusable until
+    /// the next login.
+    pub fn destroy(&mut self) {
+        self.owner = None;
+        self.creds.clear();
+    }
+
+    /// Serialize to the ticket-file format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(1); // file format version
+        match &self.owner {
+            Some(p) => {
+                w.u8(1);
+                w.str(&p.name);
+                w.str(&p.instance);
+                w.str(&p.realm);
+            }
+            None => w.u8(0),
+        }
+        w.u16(self.creds.len() as u16);
+        for c in &self.creds {
+            c.encode_into(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Parse a ticket file.
+    pub fn from_bytes(buf: &[u8]) -> KrbResult<Self> {
+        let mut r = Reader::new(buf);
+        if r.u8()? != 1 {
+            return Err(ErrorCode::RdApVersion);
+        }
+        let owner = match r.u8()? {
+            0 => None,
+            1 => Some(Principal { name: r.str()?, instance: r.str()?, realm: r.str()? }),
+            _ => return Err(ErrorCode::RdApUndec),
+        };
+        let n = r.u16()? as usize;
+        let mut creds = Vec::with_capacity(n);
+        for _ in 0..n {
+            creds.push(Credential::decode_from(&mut r)?);
+        }
+        r.expect_end()?;
+        Ok(CredentialCache { owner, creds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REALM: &str = "ATHENA.MIT.EDU";
+
+    fn cred(service: &str, issued: u32, life: u8) -> Credential {
+        Credential {
+            service: Principal::parse(service, REALM).unwrap(),
+            issuing_realm: REALM.into(),
+            session_key: [1, 2, 3, 4, 5, 6, 7, 8],
+            ticket: EncryptedTicket(vec![0xAB; 64]),
+            life,
+            issued,
+            kvno: 1,
+        }
+    }
+
+    #[test]
+    fn initialize_store_get() {
+        let mut cache = CredentialCache::new();
+        let owner = Principal::parse("bcn", REALM).unwrap();
+        let tgt = Credential {
+            service: Principal::tgs(REALM, REALM),
+            ..cred("unused", 100, 96)
+        };
+        cache.initialize(owner.clone(), tgt);
+        assert_eq!(cache.owner.as_ref(), Some(&owner));
+        assert!(cache.tgt(REALM, 200).is_some());
+
+        cache.store(cred("rlogin.priam", 150, 96));
+        assert!(cache.get(&Principal::parse("rlogin.priam", REALM).unwrap(), 200).is_some());
+        assert!(cache.get(&Principal::parse("pop.paris", REALM).unwrap(), 200).is_none());
+    }
+
+    #[test]
+    fn expired_credentials_are_invisible_and_expirable() {
+        let mut cache = CredentialCache::new();
+        cache.store(cred("rlogin.priam", 0, 1)); // expires at t=300
+        let svc = Principal::parse("rlogin.priam", REALM).unwrap();
+        assert!(cache.get(&svc, 100).is_some());
+        assert!(cache.get(&svc, 10_000).is_none());
+        assert_eq!(cache.expire(10_000), 1);
+        assert!(cache.list().is_empty());
+    }
+
+    #[test]
+    fn store_replaces_same_service() {
+        let mut cache = CredentialCache::new();
+        cache.store(cred("rlogin.priam", 0, 96));
+        cache.store(cred("rlogin.priam", 500, 96));
+        assert_eq!(cache.list().len(), 1);
+        assert_eq!(cache.list()[0].issued, 500);
+    }
+
+    #[test]
+    fn destroy_clears_everything() {
+        let mut cache = CredentialCache::new();
+        cache.initialize(Principal::parse("bcn", REALM).unwrap(), cred("krbtgt", 0, 96));
+        cache.store(cred("rlogin.priam", 0, 96));
+        cache.destroy();
+        assert!(cache.owner.is_none());
+        assert!(cache.list().is_empty());
+    }
+
+    #[test]
+    fn ticket_file_round_trip() {
+        let mut cache = CredentialCache::new();
+        cache.initialize(
+            Principal::parse("bcn", REALM).unwrap(),
+            Credential { service: Principal::tgs(REALM, REALM), ..cred("u", 10, 96) },
+        );
+        cache.store(cred("rlogin.priam", 20, 48));
+        cache.store(cred("pop.paris", 30, 12));
+        let bytes = cache.to_bytes();
+        let back = CredentialCache::from_bytes(&bytes).unwrap();
+        assert_eq!(back, cache);
+    }
+
+    #[test]
+    fn ticket_file_rejects_bad_version_and_truncation() {
+        let mut cache = CredentialCache::new();
+        cache.store(cred("rlogin.priam", 0, 96));
+        let mut bytes = cache.to_bytes();
+        assert!(CredentialCache::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        bytes[0] = 9;
+        assert!(CredentialCache::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn cross_realm_tgt_lookup() {
+        let mut cache = CredentialCache::new();
+        // TGT for the LCS realm issued by ATHENA: krbtgt.LCS.MIT.EDU@ATHENA.
+        cache.store(Credential {
+            service: Principal::tgs("LCS.MIT.EDU", REALM),
+            ..cred("u", 0, 96)
+        });
+        assert!(cache.tgt("LCS.MIT.EDU", 10).is_some());
+        assert!(cache.tgt(REALM, 10).is_none());
+    }
+
+    #[test]
+    fn remaining_life_reported() {
+        let c = cred("rlogin.priam", 0, 96);
+        assert_eq!(c.remaining(0), 96);
+        assert_eq!(c.remaining(4 * 3600), 48);
+        assert!(c.expired(9 * 3600));
+    }
+}

@@ -1,0 +1,172 @@
+//! Protocol error codes, following the V4 library's families:
+//! `KDC_*` from the authentication/ticket-granting server, `RD_AP_*` from
+//! `krb_rd_req` on the application-server side, `INTK_*` from initial-ticket
+//! processing on the client side, and `KADM_*` from the administration
+//! service.
+
+/// A protocol-level error code. Carried in `KRB_ERROR` replies and returned
+/// by library routines.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// No error (wire placeholder).
+    Ok = 0,
+    /// Client principal unknown to the database.
+    KdcPrUnknown = 1,
+    /// Client principal's entry has expired.
+    KdcNameExp = 2,
+    /// Service principal's entry has expired.
+    KdcServiceExp = 3,
+    /// Principal has a null/disabled key.
+    KdcNullKey = 4,
+    /// Malformed principal name in request.
+    KdcNameFormat = 5,
+    /// General KDC failure.
+    KdcGenErr = 6,
+    /// The TGS will not issue tickets for this service (AS-only services
+    /// such as the KDBM; paper §5.1).
+    KdcNoTgsForService = 7,
+    /// Cross-realm: no key shared with the requested realm.
+    KdcUnknownRealm = 8,
+
+    /// Cannot decode the message.
+    RdApUndec = 32,
+    /// Ticket expired.
+    RdApExp = 33,
+    /// Repeated request (replay detected).
+    RdApRepeat = 34,
+    /// Ticket is not for this server.
+    RdApNotUs = 35,
+    /// Ticket and authenticator disagree.
+    RdApIncon = 36,
+    /// Timestamp outside the skew window.
+    RdApTime = 37,
+    /// Request came from the wrong network address.
+    RdApBadAddr = 38,
+    /// Protocol version mismatch.
+    RdApVersion = 39,
+    /// Message integrity check failed (checksum mismatch / tampering).
+    RdApModified = 40,
+    /// Server key not available (no srvtab entry).
+    RdApNoKey = 41,
+
+    /// Wrong password: the AS reply would not decrypt.
+    IntkBadPw = 62,
+    /// The protocol exchange itself failed.
+    IntkErr = 63,
+
+    /// Not authorized for the requested administration operation.
+    KadmUnauth = 80,
+    /// Administration request malformed.
+    KadmBadReq = 81,
+
+    /// Unrecognized code from the wire.
+    Unknown = 255,
+}
+
+impl ErrorCode {
+    /// Decode from the wire byte.
+    pub fn from_u8(v: u8) -> ErrorCode {
+        use ErrorCode::*;
+        match v {
+            0 => Ok,
+            1 => KdcPrUnknown,
+            2 => KdcNameExp,
+            3 => KdcServiceExp,
+            4 => KdcNullKey,
+            5 => KdcNameFormat,
+            6 => KdcGenErr,
+            7 => KdcNoTgsForService,
+            8 => KdcUnknownRealm,
+            32 => RdApUndec,
+            33 => RdApExp,
+            34 => RdApRepeat,
+            35 => RdApNotUs,
+            36 => RdApIncon,
+            37 => RdApTime,
+            38 => RdApBadAddr,
+            39 => RdApVersion,
+            40 => RdApModified,
+            41 => RdApNoKey,
+            62 => IntkBadPw,
+            63 => IntkErr,
+            80 => KadmUnauth,
+            81 => KadmBadReq,
+            _ => Unknown,
+        }
+    }
+
+    /// Short description matching the historical error strings.
+    pub fn describe(self) -> &'static str {
+        use ErrorCode::*;
+        match self {
+            Ok => "no error",
+            KdcPrUnknown => "principal unknown",
+            KdcNameExp => "principal expired",
+            KdcServiceExp => "service expired",
+            KdcNullKey => "principal has null key",
+            KdcNameFormat => "bad principal name format",
+            KdcGenErr => "general KDC error",
+            KdcNoTgsForService => "TGS will not issue tickets for this service",
+            KdcUnknownRealm => "no key shared with requested realm",
+            RdApUndec => "can't decode message",
+            RdApExp => "ticket expired",
+            RdApRepeat => "request is a replay",
+            RdApNotUs => "ticket is not for us",
+            RdApIncon => "ticket/authenticator mismatch",
+            RdApTime => "clock skew too great",
+            RdApBadAddr => "request from wrong address",
+            RdApVersion => "protocol version mismatch",
+            RdApModified => "message integrity check failed",
+            RdApNoKey => "server key unavailable",
+            IntkBadPw => "password incorrect",
+            IntkErr => "initial ticket exchange failed",
+            KadmUnauth => "not authorized for administration request",
+            KadmBadReq => "malformed administration request",
+            Unknown => "unknown error code",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({:?})", self.describe(), self)
+    }
+}
+
+impl std::error::Error for ErrorCode {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip_for_all_codes() {
+        use ErrorCode::*;
+        for code in [
+            Ok, KdcPrUnknown, KdcNameExp, KdcServiceExp, KdcNullKey, KdcNameFormat, KdcGenErr,
+            KdcNoTgsForService, KdcUnknownRealm, RdApUndec, RdApExp, RdApRepeat, RdApNotUs,
+            RdApIncon, RdApTime, RdApBadAddr, RdApVersion, RdApModified, RdApNoKey, IntkBadPw,
+            IntkErr, KadmUnauth, KadmBadReq,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code as u8), code);
+        }
+    }
+
+    #[test]
+    fn unknown_codes_map_to_unknown() {
+        assert_eq!(ErrorCode::from_u8(200), ErrorCode::Unknown);
+    }
+
+    #[test]
+    fn descriptions_are_distinct() {
+        let codes = [
+            ErrorCode::RdApExp,
+            ErrorCode::RdApRepeat,
+            ErrorCode::RdApBadAddr,
+            ErrorCode::RdApTime,
+        ];
+        let set: std::collections::HashSet<_> = codes.iter().map(|c| c.describe()).collect();
+        assert_eq!(set.len(), codes.len());
+    }
+}

@@ -1,0 +1,435 @@
+//! The wire messages of the Kerberos protocol (paper §4, Figures 5–9).
+//!
+//! Every message starts with a protocol version byte and a message type
+//! byte. The message set:
+//!
+//! | type | message | figure |
+//! |------|---------|--------|
+//! | 1 | `AS_REQ` — initial ticket request, in the clear | Fig. 5 |
+//! | 2 | `KDC_REP` — AS or TGS reply; payload encrypted in the user's key (AS) or the TGT session key (TGS) | Fig. 5, 8 |
+//! | 3 | `TGS_REQ` — service-ticket request: AP_REQ for the TGS + target | Fig. 8 |
+//! | 5 | `AP_REQ` — ticket + authenticator presented to a server | Fig. 6 |
+//! | 6 | `AP_REP` — mutual-authentication reply `{ts+1}Ks,c` | Fig. 7 |
+//! | 7 | `KRB_SAFE` — authenticated plaintext (§2.1 "safe messages") |
+//! | 8 | `KRB_PRIV` — authenticated and encrypted (§2.1 "private messages") |
+//! | 9 | `KRB_ERROR` — error code + text |
+
+use crate::ticket::EncryptedTicket;
+use crate::wire::{Reader, Writer};
+use crate::{ErrorCode, HostAddr, KrbResult};
+
+/// Protocol version carried in every message (we are a V4-shaped protocol).
+pub const PROTO_VERSION: u8 = 4;
+
+/// Initial (AS) request: "a request is sent to the authentication server
+/// containing the user's name and the name of ... the ticket-granting
+/// service" (§4.2). Sent in the clear; contains no secrets.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsReq {
+    /// Client primary name.
+    pub cname: String,
+    /// Client instance.
+    pub cinstance: String,
+    /// Client realm (the realm being asked).
+    pub crealm: String,
+    /// Requested service primary name (normally `krbtgt`, but the KDBM
+    /// flow requests `changepw` directly from the AS; §5.1).
+    pub sname: String,
+    /// Requested service instance.
+    pub sinstance: String,
+    /// Requested ticket lifetime, 5-minute units.
+    pub life: u8,
+    /// Client's current time; echoed in the reply to bind request/response.
+    pub ctime: u32,
+}
+
+/// The encrypted payload of a [`KdcRep`]: "the ticket, along with a copy of
+/// the random session key and some additional information" (§4.2),
+/// encrypted in the client's private key (AS) or TGT session key (TGS).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EncKdcReplyPart {
+    /// The new session key.
+    pub session_key: [u8; 8],
+    /// Service primary name the ticket is for.
+    pub sname: String,
+    /// Service instance.
+    pub sinstance: String,
+    /// Realm of the KDC that issued the ticket.
+    pub srealm: String,
+    /// Granted lifetime (may be less than requested).
+    pub life: u8,
+    /// Key version number of the key this reply is encrypted in.
+    pub kvno: u8,
+    /// KDC's time of issue.
+    pub kdc_time: u32,
+    /// Echo of the request's `ctime` (binds reply to request).
+    pub nonce: u32,
+    /// The ticket, encrypted in the *server's* key — opaque to the client.
+    pub ticket: EncryptedTicket,
+}
+
+/// AS/TGS reply wrapper; `enc_part` is an [`EncKdcReplyPart`] sealed in a
+/// key the client knows.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KdcRep {
+    /// Sealed [`EncKdcReplyPart`].
+    pub enc_part: Vec<u8>,
+}
+
+/// Application request (Fig. 6): the encrypted ticket plus an authenticator
+/// sealed in the session key.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ApReq {
+    /// Realm whose KDC issued the ticket (tells a TGS which key to try:
+    /// its own, or an inter-realm key; §7.2).
+    pub realm: String,
+    /// The ticket, encrypted in the server's key.
+    pub ticket: EncryptedTicket,
+    /// The authenticator, encrypted in the session key.
+    pub authenticator: Vec<u8>,
+    /// Whether the client requests mutual authentication (Fig. 7).
+    pub mutual: bool,
+}
+
+/// Ticket-granting request (Fig. 8): an [`ApReq`] for the TGS plus the name
+/// of the target service and requested lifetime.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TgsReq {
+    /// Authentication to the TGS itself (TGT + authenticator).
+    pub ap: ApReq,
+    /// Target service primary name.
+    pub sname: String,
+    /// Target service instance.
+    pub sinstance: String,
+    /// Requested lifetime.
+    pub life: u8,
+}
+
+/// Mutual-authentication reply (Fig. 7): `{timestamp + 1}Ks,c`, sealed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ApRep {
+    /// Sealed 4-byte big-endian `timestamp + 1`.
+    pub enc_part: Vec<u8>,
+}
+
+/// Safe message (§2.1): plaintext data plus a keyed checksum; sender
+/// address and timestamp are covered by the checksum.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SafeMsg {
+    /// Application data, in the clear.
+    pub data: Vec<u8>,
+    /// Sender address.
+    pub addr: HostAddr,
+    /// Sender timestamp.
+    pub timestamp: u32,
+    /// `quad_cksum` over (data, addr, timestamp), keyed by the session key.
+    pub cksum: u32,
+}
+
+/// Private message (§2.1): data, address and timestamp sealed in the
+/// session key.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PrivMsg {
+    /// Sealed (data, addr, timestamp).
+    pub enc_part: Vec<u8>,
+}
+
+/// Error reply.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ErrMsg {
+    /// Protocol error code.
+    pub code: ErrorCode,
+    /// Human-readable context.
+    pub text: String,
+}
+
+/// Any Kerberos protocol message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Message {
+    /// Initial ticket request.
+    AsReq(AsReq),
+    /// AS/TGS reply.
+    KdcRep(KdcRep),
+    /// Service ticket request.
+    TgsReq(TgsReq),
+    /// Application request.
+    ApReq(ApReq),
+    /// Mutual-authentication reply.
+    ApRep(ApRep),
+    /// Authenticated plaintext.
+    Safe(SafeMsg),
+    /// Authenticated ciphertext.
+    Priv(PrivMsg),
+    /// Error reply.
+    Err(ErrMsg),
+}
+
+impl Message {
+    /// Serialize with the version/type header.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(PROTO_VERSION);
+        match self {
+            Message::AsReq(m) => {
+                w.u8(1);
+                w.str(&m.cname);
+                w.str(&m.cinstance);
+                w.str(&m.crealm);
+                w.str(&m.sname);
+                w.str(&m.sinstance);
+                w.u8(m.life);
+                w.u32(m.ctime);
+            }
+            Message::KdcRep(m) => {
+                w.u8(2);
+                w.bytes(&m.enc_part);
+            }
+            Message::TgsReq(m) => {
+                w.u8(3);
+                encode_ap(&mut w, &m.ap);
+                w.str(&m.sname);
+                w.str(&m.sinstance);
+                w.u8(m.life);
+            }
+            Message::ApReq(m) => {
+                w.u8(5);
+                encode_ap(&mut w, m);
+            }
+            Message::ApRep(m) => {
+                w.u8(6);
+                w.bytes(&m.enc_part);
+            }
+            Message::Safe(m) => {
+                w.u8(7);
+                w.bytes(&m.data);
+                w.addr(&m.addr);
+                w.u32(m.timestamp);
+                w.u32(m.cksum);
+            }
+            Message::Priv(m) => {
+                w.u8(8);
+                w.bytes(&m.enc_part);
+            }
+            Message::Err(m) => {
+                w.u8(9);
+                w.u8(m.code as u8);
+                w.str(&m.text);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parse a message; checks version and consumes the whole buffer.
+    pub fn decode(buf: &[u8]) -> KrbResult<Message> {
+        let mut r = Reader::new(buf);
+        let version = r.u8()?;
+        if version != PROTO_VERSION {
+            return Err(ErrorCode::RdApVersion);
+        }
+        let msg = match r.u8()? {
+            1 => Message::AsReq(AsReq {
+                cname: r.str()?,
+                cinstance: r.str()?,
+                crealm: r.str()?,
+                sname: r.str()?,
+                sinstance: r.str()?,
+                life: r.u8()?,
+                ctime: r.u32()?,
+            }),
+            2 => Message::KdcRep(KdcRep { enc_part: r.bytes()? }),
+            3 => Message::TgsReq(TgsReq {
+                ap: decode_ap(&mut r)?,
+                sname: r.str()?,
+                sinstance: r.str()?,
+                life: r.u8()?,
+            }),
+            5 => Message::ApReq(decode_ap(&mut r)?),
+            6 => Message::ApRep(ApRep { enc_part: r.bytes()? }),
+            7 => Message::Safe(SafeMsg {
+                data: r.bytes()?,
+                addr: r.addr()?,
+                timestamp: r.u32()?,
+                cksum: r.u32()?,
+            }),
+            8 => Message::Priv(PrivMsg { enc_part: r.bytes()? }),
+            9 => Message::Err(ErrMsg { code: ErrorCode::from_u8(r.u8()?), text: r.str()? }),
+            _ => return Err(ErrorCode::RdApUndec),
+        };
+        r.expect_end()?;
+        Ok(msg)
+    }
+
+    /// Convenience: an error message, encoded.
+    pub fn error(code: ErrorCode, text: impl Into<String>) -> Vec<u8> {
+        Message::Err(ErrMsg { code, text: text.into() }).encode()
+    }
+}
+
+fn encode_ap(w: &mut Writer, m: &ApReq) {
+    w.str(&m.realm);
+    w.bytes(&m.ticket.0);
+    w.bytes(&m.authenticator);
+    w.u8(u8::from(m.mutual));
+}
+
+fn decode_ap(r: &mut Reader<'_>) -> KrbResult<ApReq> {
+    Ok(ApReq {
+        realm: r.str()?,
+        ticket: EncryptedTicket(r.bytes()?),
+        authenticator: r.bytes()?,
+        mutual: match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(ErrorCode::RdApUndec),
+        },
+    })
+}
+
+impl EncKdcReplyPart {
+    /// Serialize (before sealing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.block(&self.session_key);
+        w.str(&self.sname);
+        w.str(&self.sinstance);
+        w.str(&self.srealm);
+        w.u8(self.life);
+        w.u8(self.kvno);
+        w.u32(self.kdc_time);
+        w.u32(self.nonce);
+        w.bytes(&self.ticket.0);
+        w.finish()
+    }
+
+    /// Parse (after opening).
+    pub fn decode(buf: &[u8]) -> KrbResult<Self> {
+        let mut r = Reader::new(buf);
+        let p = EncKdcReplyPart {
+            session_key: r.block()?,
+            sname: r.str()?,
+            sinstance: r.str()?,
+            srealm: r.str()?,
+            life: r.u8()?,
+            kvno: r.u8()?,
+            kdc_time: r.u32()?,
+            nonce: r.u32()?,
+            ticket: EncryptedTicket(r.bytes()?),
+        };
+        r.expect_end()?;
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::AsReq(AsReq {
+                cname: "bcn".into(),
+                cinstance: "".into(),
+                crealm: "ATHENA.MIT.EDU".into(),
+                sname: "krbtgt".into(),
+                sinstance: "ATHENA.MIT.EDU".into(),
+                life: 96,
+                ctime: 123_456,
+            }),
+            Message::KdcRep(KdcRep { enc_part: vec![1, 2, 3, 4, 5, 6, 7, 8] }),
+            Message::TgsReq(TgsReq {
+                ap: ApReq {
+                    realm: "ATHENA.MIT.EDU".into(),
+                    ticket: EncryptedTicket(vec![0xAA; 72]),
+                    authenticator: vec![0xBB; 40],
+                    mutual: false,
+                },
+                sname: "rlogin".into(),
+                sinstance: "priam".into(),
+                life: 96,
+            }),
+            Message::ApReq(ApReq {
+                realm: "LCS.MIT.EDU".into(),
+                ticket: EncryptedTicket(vec![0xCC; 64]),
+                authenticator: vec![0xDD; 48],
+                mutual: true,
+            }),
+            Message::ApRep(ApRep { enc_part: vec![5; 16] }),
+            Message::Safe(SafeMsg {
+                data: b"meeting at 8".to_vec(),
+                addr: [18, 72, 0, 5],
+                timestamp: 99,
+                cksum: 0xFEEDFACE,
+            }),
+            Message::Priv(PrivMsg { enc_part: vec![7; 24] }),
+            Message::Err(ErrMsg { code: ErrorCode::KdcPrUnknown, text: "principal unknown".into() }),
+        ]
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        for m in samples() {
+            let buf = m.encode();
+            assert_eq!(Message::decode(&buf).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = samples()[0].encode();
+        buf[0] = 5;
+        assert_eq!(Message::decode(&buf).unwrap_err(), ErrorCode::RdApVersion);
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let buf = vec![PROTO_VERSION, 99];
+        assert_eq!(Message::decode(&buf).unwrap_err(), ErrorCode::RdApUndec);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut buf = samples()[1].encode();
+        buf.push(0);
+        assert_eq!(Message::decode(&buf).unwrap_err(), ErrorCode::RdApUndec);
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        for m in samples() {
+            let buf = m.encode();
+            for cut in 0..buf.len() {
+                let _ = Message::decode(&buf[..cut]); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn enc_kdc_reply_part_round_trip() {
+        let p = EncKdcReplyPart {
+            session_key: [1; 8],
+            sname: "krbtgt".into(),
+            sinstance: "ATHENA.MIT.EDU".into(),
+            srealm: "ATHENA.MIT.EDU".into(),
+            life: 96,
+            kvno: 3,
+            kdc_time: 1_000,
+            nonce: 999,
+            ticket: EncryptedTicket(vec![9; 80]),
+        };
+        assert_eq!(EncKdcReplyPart::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn bad_mutual_flag_rejected() {
+        let m = Message::ApReq(ApReq {
+            realm: "R".into(),
+            ticket: EncryptedTicket(vec![1; 8]),
+            authenticator: vec![2; 8],
+            mutual: true,
+        });
+        let mut buf = m.encode();
+        let n = buf.len();
+        buf[n - 1] = 7; // mutual flag is the last byte
+        assert_eq!(Message::decode(&buf).unwrap_err(), ErrorCode::RdApUndec);
+    }
+}

@@ -1,0 +1,133 @@
+//! The replay cache (paper §4.3).
+//!
+//! > "The server is also allowed to keep track of all past requests with
+//! > time stamps that are still valid. In order to further foil replay
+//! > attacks, a request received with the same ticket and time stamp as one
+//! > already received can be discarded."
+//!
+//! Entries are keyed by (client identity, authenticator timestamp, a hash
+//! of the authenticator ciphertext) and expire once their timestamp falls
+//! outside the skew window — after that, the freshness check alone rejects
+//! them, so the cache stays bounded.
+
+use crate::time::MAX_SKEW_SECS;
+use std::collections::HashMap;
+
+/// Identity of one request for replay purposes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ReplayKey {
+    /// Client `name.instance@realm`.
+    pub client: String,
+    /// Authenticator timestamp.
+    pub timestamp: u32,
+    /// FNV hash of the authenticator ciphertext (distinguishes two honest
+    /// requests in the same second from a byte-identical replay).
+    pub auth_hash: u64,
+}
+
+/// Bounded cache of recently seen requests.
+#[derive(Default, Debug)]
+pub struct ReplayCache {
+    seen: HashMap<ReplayKey, u32>,
+    last_purge: u32,
+}
+
+/// Hash bytes for [`ReplayKey::auth_hash`].
+pub fn hash_bytes(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ReplayCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a request. Returns `false` if it was already seen (a replay).
+    pub fn check_and_insert(&mut self, key: ReplayKey, now: u32) -> bool {
+        self.maybe_purge(now);
+        if self.seen.contains_key(&key) {
+            return false;
+        }
+        self.seen.insert(key, now);
+        true
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    fn maybe_purge(&mut self, now: u32) {
+        // Purge at most once per skew window; entries older than the window
+        // are unreachable (freshness check rejects them first).
+        if now.saturating_sub(self.last_purge) < MAX_SKEW_SECS {
+            return;
+        }
+        self.last_purge = now;
+        self.seen.retain(|k, _| now.saturating_sub(k.timestamp) <= 2 * MAX_SKEW_SECS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(client: &str, ts: u32, auth: &[u8]) -> ReplayKey {
+        ReplayKey { client: client.into(), timestamp: ts, auth_hash: hash_bytes(auth) }
+    }
+
+    #[test]
+    fn detects_exact_replay() {
+        let mut rc = ReplayCache::new();
+        assert!(rc.check_and_insert(key("bcn@A", 100, b"auth1"), 100));
+        assert!(!rc.check_and_insert(key("bcn@A", 100, b"auth1"), 101), "replay");
+    }
+
+    #[test]
+    fn distinct_requests_same_second_pass() {
+        let mut rc = ReplayCache::new();
+        assert!(rc.check_and_insert(key("bcn@A", 100, b"auth1"), 100));
+        assert!(rc.check_and_insert(key("bcn@A", 100, b"auth2"), 100));
+    }
+
+    #[test]
+    fn different_clients_do_not_collide() {
+        let mut rc = ReplayCache::new();
+        assert!(rc.check_and_insert(key("bcn@A", 100, b"x"), 100));
+        assert!(rc.check_and_insert(key("jis@A", 100, b"x"), 100));
+    }
+
+    #[test]
+    fn old_entries_are_purged() {
+        let mut rc = ReplayCache::new();
+        for i in 0..100 {
+            assert!(rc.check_and_insert(key("bcn@A", i, &i.to_be_bytes()), i));
+        }
+        assert_eq!(rc.len(), 100);
+        // Far in the future: purge clears everything stale.
+        assert!(rc.check_and_insert(key("bcn@A", 10_000, b"new"), 10_000));
+        assert!(rc.len() < 100, "purge ran: {} entries", rc.len());
+    }
+
+    #[test]
+    fn purge_is_rate_limited() {
+        let mut rc = ReplayCache::new();
+        rc.check_and_insert(key("a@A", 0, b"1"), 0);
+        // Within one skew window, purging doesn't run on every insert.
+        for i in 1..10 {
+            rc.check_and_insert(key("a@A", i, &i.to_be_bytes()), i);
+        }
+        assert_eq!(rc.len(), 10);
+    }
+}

@@ -1,0 +1,104 @@
+//! Time, lifetimes and the clock-skew window.
+//!
+//! Tickets carry a timestamp plus a lifetime in 5-minute units (one byte on
+//! the wire, V4 style), so the maximum expressible lifetime is 21¼ hours.
+//! The paper's defaults: ticket-granting tickets live 8 hours (§6.1:
+//! "currently 8 hours"), and "it is assumed that clocks are synchronized to
+//! within several minutes" (§4.3) — we use 5 minutes, as V4 did.
+
+/// Seconds per lifetime unit.
+pub const LIFE_UNIT_SECS: u32 = 300;
+
+/// Default ticket-granting-ticket lifetime: 8 hours (96 units).
+pub const DEFAULT_TGT_LIFE: u8 = 96;
+
+/// Default service-ticket lifetime: 8 hours.
+pub const DEFAULT_SERVICE_LIFE: u8 = 96;
+
+/// Allowed clock skew between hosts: 5 minutes.
+pub const MAX_SKEW_SECS: u32 = 300;
+
+/// Convert a lifetime in units to seconds.
+pub fn life_to_secs(life: u8) -> u32 {
+    u32::from(life) * LIFE_UNIT_SECS
+}
+
+/// Convert seconds to lifetime units, rounding up and saturating.
+pub fn secs_to_life(secs: u32) -> u8 {
+    secs.div_ceil(LIFE_UNIT_SECS).min(255) as u8
+}
+
+/// Expiration instant of a ticket issued at `issued` for `life` units.
+pub fn expiry(issued: u32, life: u8) -> u32 {
+    issued.saturating_add(life_to_secs(life))
+}
+
+/// Whether a ticket issued at `issued` for `life` units is expired at `now`,
+/// allowing the skew window on the expiry edge.
+pub fn is_expired(issued: u32, life: u8, now: u32) -> bool {
+    now > expiry(issued, life).saturating_add(MAX_SKEW_SECS)
+}
+
+/// Whether two clock readings agree within the skew window.
+pub fn within_skew(a: u32, b: u32) -> bool {
+    a.abs_diff(b) <= MAX_SKEW_SECS
+}
+
+/// Remaining lifetime (in units, rounded down) of a ticket at `now`; zero if
+/// expired. The TGS grants `min(remaining TGT life, service default)` (§4.4).
+pub fn remaining_life(issued: u32, life: u8, now: u32) -> u8 {
+    let exp = expiry(issued, life);
+    if now >= exp {
+        0
+    } else {
+        ((exp - now) / LIFE_UNIT_SECS).min(255) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(life_to_secs(1), 300);
+        assert_eq!(life_to_secs(DEFAULT_TGT_LIFE), 8 * 3600);
+        assert_eq!(secs_to_life(300), 1);
+        assert_eq!(secs_to_life(301), 2, "rounds up");
+        assert_eq!(secs_to_life(u32::MAX), 255, "saturates");
+    }
+
+    #[test]
+    fn expiry_and_skew_edges() {
+        let issued = 1_000_000;
+        let life = 12; // one hour
+        assert!(!is_expired(issued, life, issued + 3600));
+        assert!(!is_expired(issued, life, issued + 3600 + MAX_SKEW_SECS), "grace window");
+        assert!(is_expired(issued, life, issued + 3600 + MAX_SKEW_SECS + 1));
+    }
+
+    #[test]
+    fn skew_window() {
+        assert!(within_skew(1000, 1000));
+        assert!(within_skew(1000, 1000 + MAX_SKEW_SECS));
+        assert!(within_skew(1000 + MAX_SKEW_SECS, 1000));
+        assert!(!within_skew(1000, 1001 + MAX_SKEW_SECS));
+    }
+
+    #[test]
+    fn remaining_life_is_min_path_input() {
+        let issued = 500_000;
+        assert_eq!(remaining_life(issued, 96, issued), 96);
+        assert_eq!(remaining_life(issued, 96, issued + 4 * 3600), 48);
+        assert_eq!(remaining_life(issued, 96, issued + 8 * 3600), 0);
+        assert_eq!(remaining_life(issued, 96, issued + 100 * 3600), 0);
+        // Partial units round down: a ticket with 299s left has 0 whole units.
+        assert_eq!(remaining_life(issued, 1, issued + 1), 0);
+    }
+
+    #[test]
+    fn expiry_saturates_instead_of_wrapping() {
+        assert_eq!(expiry(u32::MAX - 10, 255), u32::MAX);
+        assert!(!is_expired(u32::MAX - 10, 255, u32::MAX));
+    }
+}

@@ -1,0 +1,190 @@
+//! Byte-level encoding helpers shared by every protocol structure.
+//!
+//! The reproduction uses a faithful big-endian binary codec (see DESIGN.md:
+//! field-for-field equivalent to V4's wire format, not bit-for-bit). Strings
+//! are length-prefixed with one byte — principal components are capped at 40
+//! characters, realms at 40 — and byte strings with two bytes.
+
+use crate::{ErrorCode, KrbResult};
+
+/// Incremental writer over a growable buffer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Start with an empty buffer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::with_capacity(128) }
+    }
+
+    /// Finish, returning the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    /// Append a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    /// Append a 1-byte-length-prefixed string (≤255 bytes).
+    pub fn str(&mut self, s: &str) {
+        debug_assert!(s.len() <= 255, "string too long for wire format");
+        self.buf.push(s.len() as u8);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    /// Append a 2-byte-length-prefixed byte string (≤65535 bytes).
+    pub fn bytes(&mut self, b: &[u8]) {
+        debug_assert!(b.len() <= u16::MAX as usize);
+        self.u16(b.len() as u16);
+        self.buf.extend_from_slice(b);
+    }
+    /// Append exactly 4 bytes (host addresses).
+    pub fn addr(&mut self, a: &[u8; 4]) {
+        self.buf.extend_from_slice(a);
+    }
+    /// Append exactly 8 bytes (keys, single blocks).
+    pub fn block(&mut self, b: &[u8; 8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Incremental reader with strict bounds checking. Every decode error maps
+/// to [`ErrorCode::RdApUndec`] ("can't decode") as in the V4 library.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fail unless the whole input was consumed.
+    pub fn expect_end(&self) -> KrbResult<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(ErrorCode::RdApUndec)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> KrbResult<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(ErrorCode::RdApUndec);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> KrbResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+    /// Read a big-endian u16.
+    pub fn u16(&mut self) -> KrbResult<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+    /// Read a big-endian u32.
+    pub fn u32(&mut self) -> KrbResult<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    /// Read a 1-byte-length-prefixed string.
+    pub fn str(&mut self) -> KrbResult<String> {
+        let len = self.u8()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| ErrorCode::RdApUndec)
+    }
+    /// Read a 2-byte-length-prefixed byte string.
+    pub fn bytes(&mut self) -> KrbResult<Vec<u8>> {
+        let len = self.u16()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+    /// Read exactly 4 bytes.
+    pub fn addr(&mut self) -> KrbResult<[u8; 4]> {
+        Ok(self.take(4)?.try_into().expect("4 bytes"))
+    }
+    /// Read exactly 8 bytes.
+    pub fn block(&mut self) -> KrbResult<[u8; 8]> {
+        Ok(self.take(8)?.try_into().expect("8 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_field_kinds() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(513);
+        w.u32(0xDEADBEEF);
+        w.str("rlogin");
+        w.bytes(b"ciphertext here");
+        w.addr(&[18, 72, 0, 5]);
+        w.block(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let buf = w.finish();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 513);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.str().unwrap(), "rlogin");
+        assert_eq!(r.bytes().unwrap(), b"ciphertext here");
+        assert_eq!(r.addr().unwrap(), [18, 72, 0, 5]);
+        assert_eq!(r.block().unwrap(), [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn truncation_is_an_undec_error() {
+        let mut w = Writer::new();
+        w.str("kerberos");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf[..4]);
+        assert_eq!(r.str(), Err(ErrorCode::RdApUndec));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.expect_end(), Err(ErrorCode::RdApUndec));
+    }
+
+    #[test]
+    fn empty_string_and_bytes() {
+        let mut w = Writer::new();
+        w.str("");
+        w.bytes(b"");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.str().unwrap(), "");
+        assert_eq!(r.bytes().unwrap(), b"");
+    }
+
+    #[test]
+    fn non_utf8_string_rejected() {
+        let buf = [2u8, 0xFF, 0xFE];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.str(), Err(ErrorCode::RdApUndec));
+    }
+}

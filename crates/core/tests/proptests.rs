@@ -1,0 +1,118 @@
+//! Property-based tests: every protocol structure must round-trip through
+//! the wire codec, and decoders must never panic on arbitrary bytes.
+
+use kerberos::{
+    ApRep, ApReq, AsReq, EncKdcReplyPart, EncryptedTicket, ErrMsg, ErrorCode, KdcRep, Message,
+    PrivMsg, Principal, SafeMsg, TgsReq, Ticket,
+};
+use krb_crypto::DesKey;
+use proptest::prelude::*;
+
+fn arb_component() -> impl Strategy<Value = String> {
+    "[a-z0-9_-]{1,12}"
+}
+
+fn arb_realm() -> impl Strategy<Value = String> {
+    "[A-Z]{1,8}(\\.[A-Z]{1,8}){0,2}"
+}
+
+prop_compose! {
+    fn arb_principal()(name in arb_component(), inst in prop_oneof![Just(String::new()), arb_component()], realm in arb_realm()) -> Principal {
+        Principal { name, instance: inst, realm }
+    }
+}
+
+prop_compose! {
+    fn arb_ticket()(
+        s in arb_principal(),
+        c in arb_principal(),
+        addr in any::<[u8; 4]>(),
+        ts in any::<u32>(),
+        life in any::<u8>(),
+        key in any::<[u8; 8]>(),
+    ) -> Ticket {
+        Ticket::new(&s, &c, addr, ts, life, key)
+    }
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (arb_principal(), arb_principal(), any::<u8>(), any::<u32>()).prop_map(|(c, s, life, t)| {
+            Message::AsReq(AsReq {
+                cname: c.name, cinstance: c.instance, crealm: c.realm,
+                sname: s.name, sinstance: s.instance, life, ctime: t,
+            })
+        }),
+        proptest::collection::vec(any::<u8>(), 0..200).prop_map(|b| Message::KdcRep(KdcRep { enc_part: b })),
+        (arb_realm(), proptest::collection::vec(any::<u8>(), 0..100), proptest::collection::vec(any::<u8>(), 0..100), any::<bool>(), arb_component(), arb_component(), any::<u8>())
+            .prop_map(|(realm, t, a, m, sn, si, life)| Message::TgsReq(TgsReq {
+                ap: ApReq { realm, ticket: EncryptedTicket(t), authenticator: a, mutual: m },
+                sname: sn, sinstance: si, life,
+            })),
+        (arb_realm(), proptest::collection::vec(any::<u8>(), 0..100), proptest::collection::vec(any::<u8>(), 0..100), any::<bool>())
+            .prop_map(|(realm, t, a, m)| Message::ApReq(ApReq { realm, ticket: EncryptedTicket(t), authenticator: a, mutual: m })),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|b| Message::ApRep(ApRep { enc_part: b })),
+        (proptest::collection::vec(any::<u8>(), 0..300), any::<[u8; 4]>(), any::<u32>(), any::<u32>())
+            .prop_map(|(d, a, t, ck)| Message::Safe(SafeMsg { data: d, addr: a, timestamp: t, cksum: ck })),
+        proptest::collection::vec(any::<u8>(), 0..300).prop_map(|b| Message::Priv(PrivMsg { enc_part: b })),
+        (any::<u8>(), "[ -~]{0,40}").prop_map(|(c, t)| Message::Err(ErrMsg { code: ErrorCode::from_u8(ErrorCode::from_u8(c) as u8), text: t })),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn message_codec_round_trip(m in arb_message()) {
+        let buf = m.encode();
+        prop_assert_eq!(Message::decode(&buf).unwrap(), m);
+    }
+
+    #[test]
+    fn message_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn ticket_seal_open_round_trip(t in arb_ticket(), key in any::<[u8; 8]>()) {
+        let k = DesKey::from_bytes(key);
+        let sealed = t.seal(&k);
+        prop_assert_eq!(sealed.open(&k).unwrap(), t);
+    }
+
+    #[test]
+    fn tampered_ticket_never_opens_identically(t in arb_ticket(), key in any::<[u8; 8]>(), flip in any::<(u16, u8)>()) {
+        let k = DesKey::from_bytes(key);
+        let mut sealed = t.seal(&k);
+        let idx = (flip.0 as usize) % sealed.0.len();
+        sealed.0[idx] ^= 1 << (flip.1 % 8);
+        match sealed.open(&k) {
+            Err(_) => {}
+            Ok(opened) => prop_assert_ne!(opened, t),
+        }
+    }
+
+    #[test]
+    fn enc_kdc_part_round_trip(
+        key in any::<[u8; 8]>(),
+        s in arb_principal(),
+        life in any::<u8>(),
+        kvno in any::<u8>(),
+        t in any::<u32>(),
+        nonce in any::<u32>(),
+        ticket in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let p = EncKdcReplyPart {
+            session_key: key,
+            sname: s.name, sinstance: s.instance, srealm: s.realm,
+            life, kvno, kdc_time: t, nonce,
+            ticket: EncryptedTicket(ticket),
+        };
+        prop_assert_eq!(EncKdcReplyPart::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn principal_display_parse_round_trip(p in arb_principal()) {
+        let text = p.to_string();
+        let q = Principal::parse(&text, "FALLBACK").unwrap();
+        prop_assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,100 @@
+//! The quadratic checksum, modeled on Kerberos V4's `quad_cksum`.
+//!
+//! Used by "safe" messages (§2.1: "authentication of each message" without
+//! disclosure protection) and by `krb_mk_req` to bind application data to an
+//! authenticator. The checksum is keyed by a seed derived from the session
+//! key, so a forger who can see traffic but not the session key cannot
+//! produce a matching checksum for altered data.
+//!
+//! The arithmetic runs in GF(2³¹ − 1) with two lanes that cross-feed, so
+//! both word order and word content affect the result.
+
+const P: u64 = 0x7FFF_FFFF; // the Mersenne prime 2^31 - 1
+
+/// Compute the quadratic checksum of `data` under an 8-byte `seed`.
+///
+/// The seed is typically the session key's bytes; the same (data, seed)
+/// pair always yields the same checksum.
+pub fn quad_cksum(seed: &[u8; 8], data: &[u8]) -> u32 {
+    let mut z = u64::from(u32::from_le_bytes(seed[0..4].try_into().expect("4 bytes"))) % P;
+    let mut z2 = u64::from(u32::from_le_bytes(seed[4..8].try_into().expect("4 bytes"))) % P;
+
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let w1 = u64::from(u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")));
+        let w2 = u64::from(u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes")));
+        step(&mut z, &mut z2, w1, w2);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rest.len()].copy_from_slice(rest);
+        // Encode the tail length so "abc" and "abc\0" differ.
+        tail[7] ^= rest.len() as u8;
+        let w1 = u64::from(u32::from_le_bytes(tail[0..4].try_into().expect("4 bytes")));
+        let w2 = u64::from(u32::from_le_bytes(tail[4..8].try_into().expect("4 bytes")));
+        step(&mut z, &mut z2, w1, w2);
+    }
+    ((z ^ (z2 << 1)) & 0xFFFF_FFFF) as u32
+}
+
+fn step(z: &mut u64, z2: &mut u64, w1: u64, w2: u64) {
+    let t = (*z + w1) % P;
+    let t2 = (*z2 + w2) % P;
+    *z = (t * t + t2) % P;
+    *z2 = (t2 * t2 + t + 1) % P;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: [u8; 8] = [0x9A, 0x5C, 0x11, 0xF0, 0x3B, 0x7D, 0x42, 0xE8];
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(quad_cksum(&SEED, b"hello"), quad_cksum(&SEED, b"hello"));
+    }
+
+    #[test]
+    fn seed_matters() {
+        let other = [0u8; 8];
+        assert_ne!(quad_cksum(&SEED, b"hello"), quad_cksum(&other, b"hello"));
+    }
+
+    #[test]
+    fn content_matters() {
+        assert_ne!(quad_cksum(&SEED, b"hello"), quad_cksum(&SEED, b"hellp"));
+    }
+
+    #[test]
+    fn order_matters() {
+        assert_ne!(
+            quad_cksum(&SEED, b"aaaaaaaabbbbbbbb"),
+            quad_cksum(&SEED, b"bbbbbbbbaaaaaaaa")
+        );
+    }
+
+    #[test]
+    fn trailing_zeros_matter() {
+        assert_ne!(quad_cksum(&SEED, b"abc"), quad_cksum(&SEED, b"abc\0"));
+        assert_ne!(quad_cksum(&SEED, b""), quad_cksum(&SEED, b"\0"));
+    }
+
+    #[test]
+    fn empty_input_is_defined() {
+        let a = quad_cksum(&SEED, b"");
+        let b = quad_cksum(&SEED, b"");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distribution_smoke() {
+        // 1000 distinct inputs should produce (nearly) 1000 distinct sums.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..1000 {
+            seen.insert(quad_cksum(&SEED, &i.to_le_bytes()));
+        }
+        assert!(seen.len() >= 999, "collisions: {}", 1000 - seen.len());
+    }
+}

@@ -1,0 +1,264 @@
+//! The DES block cipher (FIPS 46), implemented directly from the standard's
+//! tables in the private `tables` module.
+//!
+//! This is the core of the paper's "encryption library" component (Figure 1).
+//! The implementation favours clarity over speed: permutations are executed
+//! as table-driven bit gathers on `u64` values. The round keys are
+//! precomputed once per [`Des`] instance, which is what the Kerberos library
+//! does per session key.
+
+use crate::key::DesKey;
+use crate::tables::{E, FP, IP, P, PC1, PC2, SBOX, SHIFTS};
+
+/// A DES instance with a precomputed key schedule.
+#[derive(Clone)]
+pub struct Des {
+    /// 16 round keys of 48 bits each, stored right-aligned in a `u64`.
+    subkeys: [u64; 16],
+}
+
+/// Apply a FIPS-style permutation table: output bit `i` (MSB-first, `out_bits`
+/// wide) takes input bit `table[i]` (1-based, MSB-first, `in_bits` wide).
+fn permute(value: u64, in_bits: u32, table: &[u8]) -> u64 {
+    let mut out = 0u64;
+    for &src in table {
+        let bit = (value >> (in_bits - u32::from(src))) & 1;
+        out = (out << 1) | bit;
+    }
+    out
+}
+
+/// The DES round function f(R, K): expand, mix with round key, substitute, permute.
+fn feistel(r: u32, subkey: u64) -> u32 {
+    let expanded = permute(u64::from(r), 32, &E); // 48 bits
+    let mixed = expanded ^ subkey;
+    // Split into eight 6-bit groups, substitute through the S-boxes.
+    let mut sboxed = 0u32;
+    for (i, sbox) in SBOX.iter().enumerate() {
+        let group = ((mixed >> (42 - 6 * i)) & 0x3F) as u8;
+        let row = ((group & 0x20) >> 4) | (group & 0x01);
+        let col = (group >> 1) & 0x0F;
+        sboxed = (sboxed << 4) | u32::from(sbox[row as usize][col as usize]);
+    }
+    permute(u64::from(sboxed), 32, &P) as u32
+}
+
+impl Des {
+    /// Build the 16-round key schedule for `key`.
+    pub fn new(key: &DesKey) -> Self {
+        let permuted = permute(key.to_u64(), 64, &PC1); // 56 bits
+        let mut c = ((permuted >> 28) & 0x0FFF_FFFF) as u32;
+        let mut d = (permuted & 0x0FFF_FFFF) as u32;
+        let mut subkeys = [0u64; 16];
+        for (round, &shift) in SHIFTS.iter().enumerate() {
+            c = ((c << shift) | (c >> (28 - u32::from(shift)))) & 0x0FFF_FFFF;
+            d = ((d << shift) | (d >> (28 - u32::from(shift)))) & 0x0FFF_FFFF;
+            let cd = (u64::from(c) << 28) | u64::from(d);
+            subkeys[round] = permute(cd, 56, &PC2); // 48 bits
+        }
+        Des { subkeys }
+    }
+
+    /// Encrypt one 64-bit block.
+    pub fn encrypt_block_u64(&self, block: u64) -> u64 {
+        self.crypt(block, false)
+    }
+
+    /// Decrypt one 64-bit block.
+    pub fn decrypt_block_u64(&self, block: u64) -> u64 {
+        self.crypt(block, true)
+    }
+
+    /// Encrypt one 8-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 8]) {
+        *block = self.encrypt_block_u64(u64::from_be_bytes(*block)).to_be_bytes();
+    }
+
+    /// Decrypt one 8-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 8]) {
+        *block = self.decrypt_block_u64(u64::from_be_bytes(*block)).to_be_bytes();
+    }
+
+    /// The 16 round keys (shared with [`crate::fast::FastDes`], which uses
+    /// the same schedule with a faster round engine).
+    pub(crate) fn subkeys(&self) -> [u64; 16] {
+        self.subkeys
+    }
+
+    fn crypt(&self, block: u64, decrypt: bool) -> u64 {
+        let permuted = permute(block, 64, &IP);
+        let mut l = (permuted >> 32) as u32;
+        let mut r = (permuted & 0xFFFF_FFFF) as u32;
+        for round in 0..16 {
+            let k = if decrypt {
+                self.subkeys[15 - round]
+            } else {
+                self.subkeys[round]
+            };
+            let next_r = l ^ feistel(r, k);
+            l = r;
+            r = next_r;
+        }
+        // Note the final swap: the preoutput block is R16 L16.
+        let preoutput = (u64::from(r) << 32) | u64::from(l);
+        permute(preoutput, 64, &FP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(bytes: u64) -> DesKey {
+        DesKey::from_bytes(bytes.to_be_bytes())
+    }
+
+    /// The worked example from FIPS 46 / Stallings: this known-answer vector
+    /// pins the entire pipeline (IP, E, S-boxes, P, key schedule, FP).
+    #[test]
+    fn known_answer_classic() {
+        let des = Des::new(&key(0x133457799BBCDFF1));
+        assert_eq!(des.encrypt_block_u64(0x0123456789ABCDEF), 0x85E813540F0AB405);
+        assert_eq!(des.decrypt_block_u64(0x85E813540F0AB405), 0x0123456789ABCDEF);
+    }
+
+    /// NBS validation vector: encrypting 0x8787878787878787 under
+    /// 0x0E329232EA6D0D73 yields the all-zero block.
+    #[test]
+    fn known_answer_nbs_zero_ciphertext() {
+        let des = Des::new(&key(0x0E329232EA6D0D73));
+        assert_eq!(des.encrypt_block_u64(0x8787878787878787), 0);
+        assert_eq!(des.decrypt_block_u64(0), 0x8787878787878787);
+    }
+
+    /// Further published single-block vectors (key, plaintext, ciphertext).
+    #[test]
+    fn known_answer_table() {
+        let cases: &[(u64, u64, u64)] = &[
+            (0x0101010101010101, 0x0000000000000000, 0x8CA64DE9C1B123A7),
+            (0xFEDCBA9876543210, 0x0123456789ABCDEF, 0xED39D950FA74BCC4),
+            (0x7CA110454A1A6E57, 0x01A1D6D039776742, 0x690F5B0D9A26939B),
+            (0x0131D9619DC1376E, 0x5CD54CA83DEF57DA, 0x7A389D10354BD271),
+        ];
+        for &(k, p, c) in cases {
+            let des = Des::new(&key(k));
+            assert_eq!(des.encrypt_block_u64(p), c, "key {k:#018x}");
+            assert_eq!(des.decrypt_block_u64(c), p, "key {k:#018x}");
+        }
+    }
+
+    /// DES complementation property: E(~k, ~p) == ~E(k, p).
+    #[test]
+    fn complementation_property() {
+        let k = 0x133457799BBCDFF1u64;
+        let p = 0x0123456789ABCDEFu64;
+        let c = Des::new(&key(k)).encrypt_block_u64(p);
+        let c2 = Des::new(&key(!k)).encrypt_block_u64(!p);
+        assert_eq!(c2, !c);
+    }
+
+    #[test]
+    fn byte_api_matches_u64_api() {
+        let des = Des::new(&key(0x133457799BBCDFF1));
+        let mut block = 0x0123456789ABCDEFu64.to_be_bytes();
+        des.encrypt_block(&mut block);
+        assert_eq!(u64::from_be_bytes(block), 0x85E813540F0AB405);
+        des.decrypt_block(&mut block);
+        assert_eq!(u64::from_be_bytes(block), 0x0123456789ABCDEF);
+    }
+
+    #[test]
+    fn weak_key_schedule_is_palindromic() {
+        // For a weak key, encryption equals decryption — the reason they are
+        // rejected by DesKey::from_bytes_checked.
+        let des = Des::new(&DesKey::from_bytes([0x01; 8]));
+        let p = 0xDEADBEEF01234567u64;
+        assert_eq!(des.encrypt_block_u64(des.encrypt_block_u64(p)), p);
+    }
+}
+
+#[cfg(test)]
+mod extended_vectors {
+    use super::*;
+    use crate::key::DesKey;
+
+    fn key(bytes: u64) -> DesKey {
+        DesKey::from_bytes(bytes.to_be_bytes())
+    }
+
+    /// A slice of the published NBS/Rivest validation set: each row pins
+    /// the implementation against an independently published result.
+    #[test]
+    fn nbs_validation_vectors() {
+        let cases: &[(u64, u64, u64)] = &[
+            (0x10316E028C8F3B4A, 0x0000000000000000, 0x82DCBAFBDEAB6602),
+            (0x0101010101010101, 0x0123456789ABCDEF, 0x617B3A0CE8F07100),
+            (0x1F1F1F1F0E0E0E0E, 0x0123456789ABCDEF, 0xDB958605F8C8C606),
+            (0xE0FEE0FEF1FEF1FE, 0x0123456789ABCDEF, 0xEDBFD1C66C29CCC7),
+            (0x0000000000000000, 0xFFFFFFFFFFFFFFFF, 0x355550B2150E2451),
+            (0xFFFFFFFFFFFFFFFF, 0x0000000000000000, 0xCAAAAF4DEAF1DBAE),
+            (0x0123456789ABCDEF, 0x0000000000000000, 0xD5D44FF720683D0D),
+            (0xFEDCBA9876543210, 0xFFFFFFFFFFFFFFFF, 0x2A2BB008DF97C2F2),
+            (0x7CA110454A1A6E57, 0x01A1D6D039776742, 0x690F5B0D9A26939B),
+            (0x0131D9619DC1376E, 0x5CD54CA83DEF57DA, 0x7A389D10354BD271),
+            (0x07A1133E4A0B2686, 0x0248D43806F67172, 0x868EBB51CAB4599A),
+            (0x3849674C2602319E, 0x51454B582DDF440A, 0x7178876E01F19B2A),
+            (0x04B915BA43FEB5B6, 0x42FD443059577FA2, 0xAF37FB421F8C4095),
+            (0x0113B970FD34F2CE, 0x059B5E0851CF143A, 0x86A560F10EC6D85B),
+            (0x0170F175468FB5E6, 0x0756D8E0774761D2, 0x0CD3DA020021DC09),
+            (0x43297FAD38E373FE, 0x762514B829BF486A, 0xEA676B2CB7DB2B7A),
+            (0x07A7137045DA2A16, 0x3BDD119049372802, 0xDFD64A815CAF1A0F),
+            (0x04689104C2FD3B2F, 0x26955F6835AF609A, 0x5C513C9C4886C088),
+            (0x37D06BB516CB7546, 0x164D5E404F275232, 0x0A2AEEAE3FF4AB77),
+            (0x1F08260D1AC2465E, 0x6B056E18759F5CCA, 0xEF1BF03E5DFA575A),
+            (0x584023641ABA6176, 0x004BD6EF09176062, 0x88BF0DB6D70DEE56),
+            (0x025816164629B007, 0x480D39006EE762F2, 0xA1F9915541020B56),
+            (0x49793EBC79B3258F, 0x437540C8698F3CFA, 0x6FBF1CAFCFFD0556),
+            (0x4FB05E1515AB73A7, 0x072D43A077075292, 0x2F22E49BAB7CA1AC),
+            (0x49E95D6D4CA229BF, 0x02FE55778117F12A, 0x5A6B612CC26CCE4A),
+            (0x018310DC409B26D6, 0x1D9D5C5018F728C2, 0x5F4C038ED12B2E41),
+            (0x1C587F1C13924FEF, 0x305532286D6F295A, 0x63FAC0D034D9F793),
+        ];
+        for &(k, p, c) in cases {
+            let des = Des::new(&key(k));
+            assert_eq!(des.encrypt_block_u64(p), c, "key {k:#018x} plain {p:#018x}");
+            assert_eq!(des.decrypt_block_u64(c), p, "inverse for key {k:#018x}");
+        }
+    }
+
+    /// Avalanche: a single flipped plaintext or key bit changes roughly
+    /// half the ciphertext bits (a DES design property; sanity-check with
+    /// generous bounds).
+    #[test]
+    fn avalanche_property() {
+        let base_key = 0x133457799BBCDFF1u64;
+        let base_plain = 0x0123456789ABCDEFu64;
+        let base_ct = Des::new(&key(base_key)).encrypt_block_u64(base_plain);
+
+        let mut total_plain = 0u32;
+        for bit in (0..64).step_by(7) {
+            let ct = Des::new(&key(base_key)).encrypt_block_u64(base_plain ^ (1 << bit));
+            total_plain += (ct ^ base_ct).count_ones();
+        }
+        let avg = total_plain as f64 / 10.0;
+        assert!((20.0..44.0).contains(&avg), "plaintext avalanche weak: {avg}");
+
+        let mut total_key = 0u32;
+        let mut samples = 0u32;
+        for bit in (1..64).step_by(7) {
+            // Skip parity bits (multiples of 8 from the LSB side).
+            if (bit + 1) % 8 == 0 {
+                continue;
+            }
+            let k2 = key(base_key ^ (1 << bit));
+            if k2.to_u64() == base_key {
+                continue; // flip landed on parity, repaired away
+            }
+            let ct = Des::new(&k2).encrypt_block_u64(base_plain);
+            total_key += (ct ^ base_ct).count_ones();
+            samples += 1;
+        }
+        let avg = f64::from(total_key) / f64::from(samples);
+        assert!((20.0..44.0).contains(&avg), "key avalanche weak: {avg}");
+    }
+}

@@ -1,0 +1,245 @@
+//! The fast DES implementation.
+//!
+//! Paper §2.2: "Several methods of encryption are provided, with tradeoffs
+//! between speed and security" — and the encryption library "may be
+//! replaced with other DES implementations". This module is that other
+//! implementation: bit-identical to [`crate::des::Des`] (property-tested
+//! against it and against the NBS vectors) but substantially faster.
+//!
+//! Two classic techniques, both built *from the reference tables at
+//! startup* so correctness is by construction:
+//!
+//! * fused S-box+P lookup: `SP[box][group6]` maps each 6-bit group
+//!   directly to its 32-bit post-P contribution — one round is 8 lookups
+//!   and XORs instead of hundreds of single-bit gathers;
+//! * byte-indexed permutation tables for IP and FP: `IP8[pos][byte]`
+//!   gives the whole 64-bit contribution of one input byte.
+
+use crate::key::DesKey;
+use crate::tables::{FP, IP, P, SBOX};
+use std::sync::OnceLock;
+
+/// Fused S-box+P tables.
+fn sp_tables() -> &'static [[u32; 64]; 8] {
+    static SP: OnceLock<[[u32; 64]; 8]> = OnceLock::new();
+    SP.get_or_init(|| {
+        // Where each pre-P bit lands: P maps output bit `dst` (0-based,
+        // MSB-first) from input bit `P[dst]` (1-based).
+        let mut p_of_bit = [0u32; 32];
+        for (dst, &src) in P.iter().enumerate() {
+            p_of_bit[(src - 1) as usize] |= 1 << (31 - dst);
+        }
+        let mut sp = [[0u32; 64]; 8];
+        for (b, sbox) in SBOX.iter().enumerate() {
+            for group in 0..64u8 {
+                let row = ((group & 0x20) >> 4) | (group & 0x01);
+                let col = (group >> 1) & 0x0F;
+                let s = u32::from(sbox[row as usize][col as usize]);
+                // S-box b's 4 output bits occupy pre-P positions 4b..4b+3.
+                let mut out = 0u32;
+                for bit in 0..4 {
+                    if s & (1 << (3 - bit)) != 0 {
+                        out |= p_of_bit[4 * b + bit];
+                    }
+                }
+                sp[b][group as usize] = out;
+            }
+        }
+        sp
+    })
+}
+
+/// Byte-indexed permutation: `table[pos][byte]` is the 64-bit output
+/// contribution of input byte `byte` at byte position `pos` (0 = MSB).
+type BytePerm = [[u64; 256]; 8];
+
+fn build_byte_perm(perm: &[u8; 64]) -> BytePerm {
+    // For each input bit (0-based from MSB), find its output position.
+    let mut out_pos_of_in = [0usize; 64];
+    for (dst, &src) in perm.iter().enumerate() {
+        out_pos_of_in[(src - 1) as usize] = dst;
+    }
+    let mut table = [[0u64; 256]; 8];
+    for (pos, row) in table.iter_mut().enumerate() {
+        for (byte, slot) in row.iter_mut().enumerate() {
+            let mut out = 0u64;
+            for bit in 0..8 {
+                if byte & (1 << (7 - bit)) != 0 {
+                    let in_bit = pos * 8 + bit;
+                    out |= 1u64 << (63 - out_pos_of_in[in_bit]);
+                }
+            }
+            *slot = out;
+        }
+    }
+    table
+}
+
+fn ip_tables() -> &'static BytePerm {
+    static T: OnceLock<BytePerm> = OnceLock::new();
+    T.get_or_init(|| build_byte_perm(&IP))
+}
+
+fn fp_tables() -> &'static BytePerm {
+    static T: OnceLock<BytePerm> = OnceLock::new();
+    T.get_or_init(|| build_byte_perm(&FP))
+}
+
+#[inline]
+fn apply_byte_perm(table: &BytePerm, block: u64) -> u64 {
+    let b = block.to_be_bytes();
+    table[0][b[0] as usize]
+        | table[1][b[1] as usize]
+        | table[2][b[2] as usize]
+        | table[3][b[3] as usize]
+        | table[4][b[4] as usize]
+        | table[5][b[5] as usize]
+        | table[6][b[6] as usize]
+        | table[7][b[7] as usize]
+}
+
+/// A DES instance using the fused tables. Drop-in alternative to
+/// [`crate::des::Des`], as the paper says the library should permit.
+#[derive(Clone)]
+pub struct FastDes {
+    subkeys: [u64; 16],
+}
+
+impl FastDes {
+    /// Build the key schedule (shared with the reference implementation —
+    /// the schedule is off the per-block hot path).
+    pub fn new(key: &DesKey) -> Self {
+        FastDes { subkeys: crate::des::Des::new(key).subkeys() }
+    }
+
+    /// One Feistel round via the fused tables.
+    #[inline]
+    fn round(sp: &[[u32; 64]; 8], r: u32, subkey: u64) -> u32 {
+        // E selects, for box b, R bits (1-based) 4b, 4b+1..4b+5, where
+        // "bit 0" wraps to bit 32. With rot = R >>> 1, rot's 0-based
+        // MSB-first position p holds R bit p (p=0 holds R[32]), so box b's
+        // group sits at positions 4b..4b+5.
+        let rot = r.rotate_right(1);
+        let mut out = 0u32;
+        for (b, table) in sp.iter().enumerate() {
+            let six = if b < 7 {
+                (rot >> (26 - 4 * b)) & 0x3F
+            } else {
+                // Box 7 wraps: positions 28..31 then 0..1.
+                ((rot & 0xF) << 2) | ((rot >> 30) & 0x3)
+            };
+            let k6 = ((subkey >> (42 - 6 * b)) & 0x3F) as u32;
+            out ^= table[(six ^ k6) as usize];
+        }
+        out
+    }
+
+    /// Encrypt one 64-bit block.
+    pub fn encrypt_block_u64(&self, block: u64) -> u64 {
+        self.crypt(block, false)
+    }
+
+    /// Decrypt one 64-bit block.
+    pub fn decrypt_block_u64(&self, block: u64) -> u64 {
+        self.crypt(block, true)
+    }
+
+    /// Encrypt one 8-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 8]) {
+        *block = self.encrypt_block_u64(u64::from_be_bytes(*block)).to_be_bytes();
+    }
+
+    /// Decrypt one 8-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 8]) {
+        *block = self.decrypt_block_u64(u64::from_be_bytes(*block)).to_be_bytes();
+    }
+
+    fn crypt(&self, block: u64, decrypt: bool) -> u64 {
+        let sp = sp_tables();
+        let permuted = apply_byte_perm(ip_tables(), block);
+        let mut l = (permuted >> 32) as u32;
+        let mut r = (permuted & 0xFFFF_FFFF) as u32;
+        for round in 0..16 {
+            let k = if decrypt { self.subkeys[15 - round] } else { self.subkeys[round] };
+            let next_r = l ^ Self::round(sp, r, k);
+            l = r;
+            r = next_r;
+        }
+        apply_byte_perm(fp_tables(), (u64::from(r) << 32) | u64::from(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::Des;
+
+    fn key(bytes: u64) -> DesKey {
+        DesKey::from_bytes(bytes.to_be_bytes())
+    }
+
+    #[test]
+    fn byte_perm_matches_reference_permutation() {
+        let table_perm = |value: u64, table: &[u8]| -> u64 {
+            let mut out = 0u64;
+            for &src in table {
+                out = (out << 1) | ((value >> (64 - u32::from(src))) & 1);
+            }
+            out
+        };
+        for x in [
+            0u64,
+            u64::MAX,
+            0x0123456789ABCDEF,
+            0xDEADBEEF01234567,
+            0x8000000000000001,
+            0x00000000FFFFFFFF,
+            0x5555555555555555,
+        ] {
+            assert_eq!(apply_byte_perm(ip_tables(), x), table_perm(x, &IP), "IP({x:#x})");
+            assert_eq!(apply_byte_perm(fp_tables(), x), table_perm(x, &FP), "FP({x:#x})");
+            assert_eq!(apply_byte_perm(fp_tables(), apply_byte_perm(ip_tables(), x)), x);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_known_vectors() {
+        let cases: &[(u64, u64)] = &[
+            (0x133457799BBCDFF1, 0x0123456789ABCDEF),
+            (0x0E329232EA6D0D73, 0x8787878787878787),
+            (0x0101010101010101, 0x0000000000000000),
+            (0xFEDCBA9876543210, 0x0123456789ABCDEF),
+        ];
+        for &(k, p) in cases {
+            let reference = Des::new(&key(k)).encrypt_block_u64(p);
+            let fast = FastDes::new(&key(k)).encrypt_block_u64(p);
+            assert_eq!(fast, reference, "key {k:#018x}");
+            assert_eq!(FastDes::new(&key(k)).decrypt_block_u64(fast), p);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_many_random_inputs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xFA57);
+        for _ in 0..500 {
+            let k = key(rng.random());
+            let p: u64 = rng.random();
+            let reference = Des::new(&k);
+            let fast = FastDes::new(&k);
+            let c = reference.encrypt_block_u64(p);
+            assert_eq!(fast.encrypt_block_u64(p), c);
+            assert_eq!(fast.decrypt_block_u64(c), p);
+        }
+    }
+
+    #[test]
+    fn byte_api_round_trip() {
+        let fast = FastDes::new(&key(0x133457799BBCDFF1));
+        let mut block = 0x0123456789ABCDEFu64.to_be_bytes();
+        fast.encrypt_block(&mut block);
+        assert_eq!(u64::from_be_bytes(block), 0x85E813540F0AB405);
+        fast.decrypt_block(&mut block);
+        assert_eq!(u64::from_be_bytes(block), 0x0123456789ABCDEF);
+    }
+}

@@ -1,0 +1,198 @@
+//! DES key material: parity handling, weak-key detection, random generation.
+//!
+//! The paper (§2.1) has Kerberos generate "temporary private keys, called
+//! *session keys*"; [`KeyGenerator`] is that facility. Keys are 8 bytes with
+//! odd parity in the low bit of every byte, per FIPS 46.
+
+use crate::CryptoError;
+use rand::RngCore;
+
+/// A DES key: 8 bytes, odd parity enforced on construction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesKey([u8; 8]);
+
+/// The four weak keys of DES (self-inverse key schedules), parity-adjusted.
+pub const WEAK_KEYS: [[u8; 8]; 4] = [
+    [0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01, 0x01],
+    [0xFE, 0xFE, 0xFE, 0xFE, 0xFE, 0xFE, 0xFE, 0xFE],
+    [0xE0, 0xE0, 0xE0, 0xE0, 0xF1, 0xF1, 0xF1, 0xF1],
+    [0x1F, 0x1F, 0x1F, 0x1F, 0x0E, 0x0E, 0x0E, 0x0E],
+];
+
+/// The twelve semi-weak keys of DES (pairs whose schedules are reverses).
+pub const SEMI_WEAK_KEYS: [[u8; 8]; 12] = [
+    [0x01, 0xFE, 0x01, 0xFE, 0x01, 0xFE, 0x01, 0xFE],
+    [0xFE, 0x01, 0xFE, 0x01, 0xFE, 0x01, 0xFE, 0x01],
+    [0x1F, 0xE0, 0x1F, 0xE0, 0x0E, 0xF1, 0x0E, 0xF1],
+    [0xE0, 0x1F, 0xE0, 0x1F, 0xF1, 0x0E, 0xF1, 0x0E],
+    [0x01, 0xE0, 0x01, 0xE0, 0x01, 0xF1, 0x01, 0xF1],
+    [0xE0, 0x01, 0xE0, 0x01, 0xF1, 0x01, 0xF1, 0x01],
+    [0x1F, 0xFE, 0x1F, 0xFE, 0x0E, 0xFE, 0x0E, 0xFE],
+    [0xFE, 0x1F, 0xFE, 0x1F, 0xFE, 0x0E, 0xFE, 0x0E],
+    [0x01, 0x1F, 0x01, 0x1F, 0x01, 0x0E, 0x01, 0x0E],
+    [0x1F, 0x01, 0x1F, 0x01, 0x0E, 0x01, 0x0E, 0x01],
+    [0xE0, 0xFE, 0xE0, 0xFE, 0xF1, 0xFE, 0xF1, 0xFE],
+    [0xFE, 0xE0, 0xFE, 0xE0, 0xFE, 0xF1, 0xFE, 0xF1],
+];
+
+/// Set the low bit of `b` so the byte has odd parity.
+pub fn odd_parity(b: u8) -> u8 {
+    let ones = (b >> 1).count_ones();
+    (b & 0xFE) | u8::from(ones.is_multiple_of(2))
+}
+
+impl DesKey {
+    /// Build a key from raw bytes, fixing parity. Never fails: parity is
+    /// normative, not informative, so we repair rather than reject.
+    pub fn from_bytes(mut bytes: [u8; 8]) -> Self {
+        for b in &mut bytes {
+            *b = odd_parity(*b);
+        }
+        DesKey(bytes)
+    }
+
+    /// Build a key and reject weak or semi-weak keys.
+    ///
+    /// Registration of new principals (paper §5.1) and session-key generation
+    /// use this so that no principal ends up with a degenerate key.
+    pub fn from_bytes_checked(bytes: [u8; 8]) -> Result<Self, CryptoError> {
+        let key = Self::from_bytes(bytes);
+        if key.is_weak() {
+            return Err(CryptoError::WeakKey);
+        }
+        Ok(key)
+    }
+
+    /// The parity-fixed key bytes.
+    pub fn as_bytes(&self) -> &[u8; 8] {
+        &self.0
+    }
+
+    /// The key as a big-endian 64-bit integer (FIPS bit numbering).
+    pub fn to_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0)
+    }
+
+    /// Whether this key is weak or semi-weak.
+    pub fn is_weak(&self) -> bool {
+        WEAK_KEYS.contains(&self.0) || SEMI_WEAK_KEYS.contains(&self.0)
+    }
+
+    /// An all-zero-looking key (parity-fixed 0x01 bytes). Useful as a
+    /// sentinel in tests; note this is one of the weak keys.
+    pub fn zeroed() -> Self {
+        DesKey::from_bytes([0u8; 8])
+    }
+}
+
+impl std::fmt::Debug for DesKey {
+    // Keys must never leak through logs; Debug prints a redaction marker.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DesKey(<redacted>)")
+    }
+}
+
+/// Source of fresh session keys (paper §2.1: "Kerberos also generates
+/// temporary private keys, called session keys").
+///
+/// Weak and semi-weak keys are rejected and regenerated.
+pub struct KeyGenerator<R: RngCore> {
+    rng: R,
+}
+
+impl<R: RngCore> KeyGenerator<R> {
+    /// Wrap an RNG as a key source.
+    pub fn new(rng: R) -> Self {
+        KeyGenerator { rng }
+    }
+
+    /// Produce one fresh, non-weak DES key.
+    pub fn generate(&mut self) -> DesKey {
+        loop {
+            let mut bytes = [0u8; 8];
+            self.rng.fill_bytes(&mut bytes);
+            if let Ok(key) = DesKey::from_bytes_checked(bytes) {
+                return key;
+            }
+        }
+    }
+}
+
+/// Compare two byte strings without early exit, so an attacker timing the
+/// comparison of checksums or keys learns nothing about the prefix.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn parity_is_odd_for_every_byte_value() {
+        for b in 0u16..=255 {
+            let p = odd_parity(b as u8);
+            assert_eq!(p.count_ones() % 2, 1, "byte {b:#x} -> {p:#x}");
+            assert_eq!(p & 0xFE, (b as u8) & 0xFE, "upper bits must not change");
+        }
+    }
+
+    #[test]
+    fn from_bytes_repairs_parity() {
+        let k = DesKey::from_bytes([0u8; 8]);
+        assert_eq!(k.as_bytes(), &[0x01; 8]);
+    }
+
+    #[test]
+    fn weak_keys_are_detected() {
+        for w in WEAK_KEYS.iter().chain(SEMI_WEAK_KEYS.iter()) {
+            assert!(DesKey::from_bytes(*w).is_weak());
+            assert!(matches!(
+                DesKey::from_bytes_checked(*w),
+                Err(CryptoError::WeakKey)
+            ));
+        }
+    }
+
+    #[test]
+    fn normal_key_is_not_weak() {
+        let k = DesKey::from_bytes([0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1]);
+        assert!(!k.is_weak());
+    }
+
+    #[test]
+    fn generator_yields_distinct_non_weak_keys() {
+        let mut g = KeyGenerator::new(StdRng::seed_from_u64(7));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let k = g.generate();
+            assert!(!k.is_weak());
+            seen.insert(*k.as_bytes());
+        }
+        assert!(seen.len() > 250, "keys should be essentially unique");
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let k = DesKey::from_bytes([0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1]);
+        let s = format!("{k:?}");
+        assert!(!s.contains("13"));
+        assert!(s.contains("redacted"));
+    }
+
+    #[test]
+    fn constant_time_eq_basic() {
+        assert!(constant_time_eq(b"abcd", b"abcd"));
+        assert!(!constant_time_eq(b"abcd", b"abce"));
+        assert!(!constant_time_eq(b"abcd", b"abc"));
+        assert!(constant_time_eq(b"", b""));
+    }
+}

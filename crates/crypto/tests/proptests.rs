@@ -1,0 +1,120 @@
+//! Property-based tests for the encryption library.
+
+use krb_crypto::{
+    decrypt_raw, encrypt_raw, open, quad_cksum, seal, string_to_key, Des, DesKey, Mode,
+};
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = DesKey> {
+    any::<[u8; 8]>().prop_map(DesKey::from_bytes)
+}
+
+fn arb_mode() -> impl Strategy<Value = Mode> {
+    prop_oneof![Just(Mode::Ecb), Just(Mode::Cbc), Just(Mode::Pcbc)]
+}
+
+proptest! {
+    /// DES is a permutation: decrypt(encrypt(x)) == x for any key/block.
+    #[test]
+    fn des_block_invertible(key in arb_key(), block in any::<u64>()) {
+        let des = Des::new(&key);
+        prop_assert_eq!(des.decrypt_block_u64(des.encrypt_block_u64(block)), block);
+    }
+
+    /// The published complementation property holds for all keys/blocks.
+    #[test]
+    fn des_complementation(kb in any::<[u8; 8]>(), block in any::<u64>()) {
+        let k = DesKey::from_bytes(kb);
+        let mut inv = *k.as_bytes();
+        for b in &mut inv { *b = !*b; }
+        let kc = DesKey::from_bytes(inv);
+        let c = Des::new(&k).encrypt_block_u64(block);
+        let cc = Des::new(&kc).encrypt_block_u64(!block);
+        prop_assert_eq!(cc, !c);
+    }
+
+    /// Raw mode round trip for whole-block payloads.
+    #[test]
+    fn modes_round_trip(
+        key in arb_key(),
+        mode in arb_mode(),
+        iv in any::<[u8; 8]>(),
+        blocks in proptest::collection::vec(any::<u8>(), 0..32).prop_map(|v| {
+            let mut v = v;
+            let len = v.len() / 8 * 8;
+            v.truncate(len);
+            v
+        }),
+    ) {
+        let c = encrypt_raw(mode, &key, &iv, &blocks).unwrap();
+        prop_assert_eq!(decrypt_raw(mode, &key, &iv, &c).unwrap(), blocks);
+    }
+
+    /// seal/open round trip for arbitrary payloads.
+    #[test]
+    fn seal_open_round_trip(
+        key in arb_key(),
+        mode in arb_mode(),
+        iv in any::<[u8; 8]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let c = seal(mode, &key, &iv, &data).unwrap();
+        prop_assert_eq!(open(mode, &key, &iv, &c).unwrap(), data);
+    }
+
+    /// PCBC propagation: corrupting any ciphertext block garbles the final
+    /// plaintext block (this is what makes PCBC detect mid-message errors).
+    #[test]
+    fn pcbc_corruption_reaches_final_block(
+        key in arb_key(),
+        iv in any::<[u8; 8]>(),
+        data in proptest::collection::vec(any::<u8>(), 32..64).prop_map(|mut v| {
+            v.truncate(v.len() / 8 * 8);
+            v
+        }),
+        corrupt_block in 0usize..3,
+        bit in 0usize..64,
+    ) {
+        let mut c = encrypt_raw(Mode::Pcbc, &key, &iv, &data).unwrap();
+        c[corrupt_block * 8 + bit / 8] ^= 1 << (bit % 8);
+        let p = decrypt_raw(Mode::Pcbc, &key, &iv, &c).unwrap();
+        let last = data.len() - 8;
+        prop_assert_ne!(&p[last..], &data[last..]);
+    }
+
+    /// string_to_key is a function (deterministic) and never weak.
+    #[test]
+    fn string_to_key_props(pw in "\\PC{0,40}") {
+        let a = string_to_key(&pw);
+        let b = string_to_key(&pw);
+        prop_assert_eq!(a.as_bytes(), b.as_bytes());
+        prop_assert!(!a.is_weak());
+    }
+
+    /// quad_cksum: appending a byte changes the checksum (prefix-freeness in
+    /// practice), and the checksum is seed-dependent.
+    #[test]
+    fn quad_cksum_props(seed in any::<[u8; 8]>(), data in proptest::collection::vec(any::<u8>(), 0..128), extra in any::<u8>()) {
+        let base = quad_cksum(&seed, &data);
+        prop_assert_eq!(base, quad_cksum(&seed, &data));
+        let mut longer = data.clone();
+        longer.push(extra);
+        // Not a cryptographic guarantee, but collisions here would indicate
+        // a broken mixing step; tolerate none in the sampled space.
+        prop_assert_ne!(base, quad_cksum(&seed, &longer));
+    }
+}
+
+proptest! {
+    /// The fast (fused-table) implementation is bit-identical to the
+    /// reference table-driven one for every key and block.
+    #[test]
+    fn fast_des_equals_reference(key in arb_key(), block in any::<u64>()) {
+        use krb_crypto::FastDes;
+        let reference = Des::new(&key);
+        let fast = FastDes::new(&key);
+        let c = reference.encrypt_block_u64(block);
+        prop_assert_eq!(fast.encrypt_block_u64(block), c);
+        prop_assert_eq!(fast.decrypt_block_u64(c), block);
+    }
+}

@@ -1,0 +1,28 @@
+//! # krb-kadm — the Kerberos administration service
+//!
+//! The "administration server" and "database administration programs" of
+//! Figure 1 in Steiner, Neuman & Schiller (USENIX 1988): the KDBM server
+//! (§5.1) with its access control list and audit log, and the client sides
+//! of `kpasswd` and `kadmin` (§5.2, Figure 12).
+//!
+//! Two properties of the paper are enforced here and in `krb-kdc`:
+//!
+//! 1. tickets for the KDBM come only from the **authentication service**
+//!    (the TGS refuses, via the `NO_TGS` attribute), so every admin
+//!    operation requires a freshly typed password;
+//! 2. writes happen only on the **master** — a KDBM cannot be attached to
+//!    a slave KDC.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{
+    build_admin_request, build_kdbm_ticket_request, kadmin_add_op, kadmin_cpw_op, kpasswd_op,
+    read_admin_reply, read_kdbm_ticket_reply,
+};
+pub use proto::{AdminOp, AdminRequest};
+pub use server::{Acl, AuditRecord, KdbmServer, KdbmService};

@@ -1,0 +1,208 @@
+//! The administration protocol messages (paper §5, Figure 12).
+//!
+//! An admin request is an `AP_REQ` for the KDBM service plus a *private*
+//! message (§2.1: "Private messages are used, for example, by the Kerberos
+//! server itself for sending passwords over the network") carrying the
+//! operation — new keys never travel in the clear.
+
+use kerberos::wire::{Reader, Writer};
+use kerberos::{ApReq, EncryptedTicket, ErrorCode, KrbResult};
+
+/// An administration operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AdminOp {
+    /// `kpasswd`: change the requester's own key.
+    ChangeOwnPassword {
+        /// The new key (derived from the new password on the client).
+        new_key: [u8; 8],
+    },
+    /// `kadmin add_new_key`: register a principal.
+    AddPrincipal {
+        /// Primary name.
+        name: String,
+        /// Instance.
+        instance: String,
+        /// Initial key.
+        key: [u8; 8],
+        /// Expiration date.
+        expiration: u32,
+        /// Maximum ticket lifetime (5-minute units).
+        max_life: u8,
+    },
+    /// `kadmin change_password`: change another principal's key.
+    ChangePasswordOf {
+        /// Target primary name.
+        name: String,
+        /// Target instance.
+        instance: String,
+        /// The new key.
+        new_key: [u8; 8],
+    },
+}
+
+impl AdminOp {
+    /// Target of the operation as `name.instance` (`*` = the requester).
+    pub fn target(&self) -> (String, String) {
+        match self {
+            AdminOp::ChangeOwnPassword { .. } => ("*".into(), "*".into()),
+            AdminOp::AddPrincipal { name, instance, .. }
+            | AdminOp::ChangePasswordOf { name, instance, .. } => (name.clone(), instance.clone()),
+        }
+    }
+
+    /// Short operation name for the audit log.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            AdminOp::ChangeOwnPassword { .. } => "change_own_password",
+            AdminOp::AddPrincipal { .. } => "add_principal",
+            AdminOp::ChangePasswordOf { .. } => "change_password_of",
+        }
+    }
+
+    /// Serialize (goes inside a private message).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            AdminOp::ChangeOwnPassword { new_key } => {
+                w.u8(1);
+                w.block(new_key);
+            }
+            AdminOp::AddPrincipal { name, instance, key, expiration, max_life } => {
+                w.u8(2);
+                w.str(name);
+                w.str(instance);
+                w.block(key);
+                w.u32(*expiration);
+                w.u8(*max_life);
+            }
+            AdminOp::ChangePasswordOf { name, instance, new_key } => {
+                w.u8(3);
+                w.str(name);
+                w.str(instance);
+                w.block(new_key);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parse.
+    pub fn decode(buf: &[u8]) -> KrbResult<Self> {
+        let mut r = Reader::new(buf);
+        let op = match r.u8()? {
+            1 => AdminOp::ChangeOwnPassword { new_key: r.block()? },
+            2 => AdminOp::AddPrincipal {
+                name: r.str()?,
+                instance: r.str()?,
+                key: r.block()?,
+                expiration: r.u32()?,
+                max_life: r.u8()?,
+            },
+            3 => AdminOp::ChangePasswordOf {
+                name: r.str()?,
+                instance: r.str()?,
+                new_key: r.block()?,
+            },
+            _ => return Err(ErrorCode::KadmBadReq),
+        };
+        r.expect_end()?;
+        Ok(op)
+    }
+}
+
+/// The full request envelope: `AP_REQ` + sealed operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AdminRequest {
+    /// Authentication to the KDBM service.
+    pub ap: ApReq,
+    /// [`AdminOp`] wrapped with `krb_mk_priv` in the session key.
+    pub sealed_op: Vec<u8>,
+}
+
+impl AdminRequest {
+    /// Serialize the envelope.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.str(&self.ap.realm);
+        w.bytes(&self.ap.ticket.0);
+        w.bytes(&self.ap.authenticator);
+        w.u8(u8::from(self.ap.mutual));
+        w.bytes(&self.sealed_op);
+        w.finish()
+    }
+
+    /// Parse the envelope.
+    pub fn decode(buf: &[u8]) -> KrbResult<Self> {
+        let mut r = Reader::new(buf);
+        let ap = ApReq {
+            realm: r.str()?,
+            ticket: EncryptedTicket(r.bytes()?),
+            authenticator: r.bytes()?,
+            mutual: r.u8()? != 0,
+        };
+        let sealed_op = r.bytes()?;
+        r.expect_end()?;
+        Ok(AdminRequest { ap, sealed_op })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_round_trip() {
+        let ops = [
+            AdminOp::ChangeOwnPassword { new_key: [1; 8] },
+            AdminOp::AddPrincipal {
+                name: "newbie".into(),
+                instance: "".into(),
+                key: [2; 8],
+                expiration: 999,
+                max_life: 96,
+            },
+            AdminOp::ChangePasswordOf { name: "jis".into(), instance: "".into(), new_key: [3; 8] },
+        ];
+        for op in ops {
+            assert_eq!(AdminOp::decode(&op.encode()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert_eq!(AdminOp::decode(&[9]).unwrap_err(), ErrorCode::KadmBadReq);
+    }
+
+    #[test]
+    fn truncated_op_rejected() {
+        let buf = AdminOp::ChangeOwnPassword { new_key: [1; 8] }.encode();
+        assert!(AdminOp::decode(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn envelope_round_trip() {
+        let req = AdminRequest {
+            ap: ApReq {
+                realm: "ATHENA.MIT.EDU".into(),
+                ticket: EncryptedTicket(vec![1; 40]),
+                authenticator: vec![2; 24],
+                mutual: false,
+            },
+            sealed_op: vec![3; 32],
+        };
+        assert_eq!(AdminRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn target_and_names() {
+        assert_eq!(AdminOp::ChangeOwnPassword { new_key: [0; 8] }.target().0, "*");
+        let add = AdminOp::AddPrincipal {
+            name: "x".into(),
+            instance: "y".into(),
+            key: [0; 8],
+            expiration: 0,
+            max_life: 0,
+        };
+        assert_eq!(add.target(), ("x".into(), "y".into()));
+        assert_eq!(add.op_name(), "add_principal");
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests for the administration protocol codec and server
+//! robustness: no admin datagram — however malformed — may panic the KDBM
+//! or slip past authorization.
+
+use krb_kadm::{AdminOp, AdminRequest};
+use kerberos::{ApReq, EncryptedTicket};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = AdminOp> {
+    prop_oneof![
+        any::<[u8; 8]>().prop_map(|new_key| AdminOp::ChangeOwnPassword { new_key }),
+        ("[a-z]{1,12}", "[a-z]{0,8}", any::<[u8; 8]>(), any::<u32>(), any::<u8>()).prop_map(
+            |(name, instance, key, expiration, max_life)| AdminOp::AddPrincipal {
+                name, instance, key, expiration, max_life,
+            }
+        ),
+        ("[a-z]{1,12}", "[a-z]{0,8}", any::<[u8; 8]>()).prop_map(|(name, instance, new_key)| {
+            AdminOp::ChangePasswordOf { name, instance, new_key }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn admin_op_codec_round_trip(op in arb_op()) {
+        prop_assert_eq!(AdminOp::decode(&op.encode()).unwrap(), op);
+    }
+
+    #[test]
+    fn admin_op_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let _ = AdminOp::decode(&bytes);
+    }
+
+    #[test]
+    fn envelope_round_trip(
+        realm in "[A-Z]{1,10}",
+        ticket in proptest::collection::vec(any::<u8>(), 0..120),
+        auth in proptest::collection::vec(any::<u8>(), 0..80),
+        mutual in any::<bool>(),
+        sealed in proptest::collection::vec(any::<u8>(), 0..160),
+    ) {
+        let req = AdminRequest {
+            ap: ApReq { realm, ticket: EncryptedTicket(ticket), authenticator: auth, mutual },
+            sealed_op: sealed,
+        };
+        prop_assert_eq!(AdminRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn envelope_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = AdminRequest::decode(&bytes);
+    }
+}

@@ -1,0 +1,524 @@
+//! `ndbm` replacement: a file-backed extendible-hashing key/value store.
+//!
+//! Like the original `ndbm`, the store keeps two files: `<name>.pag` with
+//! the hash bucket pages and `<name>.dir` with the directory. Each bucket
+//! is one 4 KiB page; when a page overflows it is split and the directory
+//! doubled as needed (classic extendible hashing). Also like `ndbm`, a
+//! single record must fit in one page — ample for principal records.
+//!
+//! Durability model: bucket pages are written through on every mutation;
+//! the directory is rewritten atomically (temp file + rename) on [`sync`]
+//! (and by [`HashStore::close`]). A crash between mutation and sync can
+//! lose directory growth but never corrupts the page file, because a
+//! re-split on reopen is idempotent — the Kerberos master additionally
+//! dumps the database hourly (paper §5.3), which is the real recovery
+//! mechanism of the system.
+//!
+//! [`sync`]: Store::sync
+
+use crate::store::Store;
+use crate::DbError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Size of one bucket page.
+pub const PAGE_SIZE: usize = 4096;
+/// Bytes of bucket header before entry data.
+const BUCKET_HDR: usize = 8;
+/// Largest key+value a single record may occupy (ndbm-style limit).
+pub const MAX_RECORD: usize = PAGE_SIZE - BUCKET_HDR - 4;
+/// Upper bound on directory growth: 2^24 entries (16M buckets).
+const MAX_GLOBAL_DEPTH: u8 = 24;
+const DIR_MAGIC: &[u8; 8] = b"KRBNDBM1";
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One in-memory bucket page image.
+#[derive(Clone)]
+struct Page(Box<[u8; PAGE_SIZE]>);
+
+impl Page {
+    fn empty(local_depth: u8) -> Self {
+        let mut p = Page(Box::new([0u8; PAGE_SIZE]));
+        p.set_local_depth(local_depth);
+        p
+    }
+
+    fn local_depth(&self) -> u8 {
+        self.0[0]
+    }
+    fn set_local_depth(&mut self, d: u8) {
+        self.0[0] = d;
+    }
+    fn nkeys(&self) -> usize {
+        u16::from_be_bytes([self.0[2], self.0[3]]) as usize
+    }
+    fn set_nkeys(&mut self, n: usize) {
+        self.0[2..4].copy_from_slice(&(n as u16).to_be_bytes());
+    }
+    fn used(&self) -> usize {
+        u16::from_be_bytes([self.0[4], self.0[5]]) as usize
+    }
+    fn set_used(&mut self, n: usize) {
+        self.0[4..6].copy_from_slice(&(n as u16).to_be_bytes());
+    }
+
+    /// Iterate entry offsets: (entry_start, key_range, val_range).
+    fn entries(&self) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::with_capacity(self.nkeys());
+        let mut off = BUCKET_HDR;
+        for _ in 0..self.nkeys() {
+            let klen = u16::from_be_bytes([self.0[off], self.0[off + 1]]) as usize;
+            let vlen = u16::from_be_bytes([self.0[off + 2], self.0[off + 3]]) as usize;
+            out.push((off, klen, vlen));
+            off += 4 + klen + vlen;
+        }
+        out
+    }
+
+    fn key_at(&self, (off, klen, _vlen): (usize, usize, usize)) -> &[u8] {
+        &self.0[off + 4..off + 4 + klen]
+    }
+    fn val_at(&self, (off, klen, vlen): (usize, usize, usize)) -> &[u8] {
+        &self.0[off + 4 + klen..off + 4 + klen + vlen]
+    }
+
+    fn find(&self, key: &[u8]) -> Option<(usize, usize, usize)> {
+        self.entries().into_iter().find(|&e| self.key_at(e) == key)
+    }
+
+    fn free_space(&self) -> usize {
+        PAGE_SIZE - BUCKET_HDR - self.used()
+    }
+
+    /// Append an entry; caller must have checked `free_space`.
+    fn push(&mut self, key: &[u8], value: &[u8]) {
+        let off = BUCKET_HDR + self.used();
+        self.0[off..off + 2].copy_from_slice(&(key.len() as u16).to_be_bytes());
+        self.0[off + 2..off + 4].copy_from_slice(&(value.len() as u16).to_be_bytes());
+        self.0[off + 4..off + 4 + key.len()].copy_from_slice(key);
+        self.0[off + 4 + key.len()..off + 4 + key.len() + value.len()].copy_from_slice(value);
+        self.set_nkeys(self.nkeys() + 1);
+        self.set_used(self.used() + 4 + key.len() + value.len());
+    }
+
+    /// Remove the entry at `entry`, compacting the data region.
+    fn remove(&mut self, entry: (usize, usize, usize)) {
+        let (off, klen, vlen) = entry;
+        let entry_len = 4 + klen + vlen;
+        let data_end = BUCKET_HDR + self.used();
+        self.0.copy_within(off + entry_len..data_end, off);
+        // Zero the now-unused tail so pages stay canonical on disk.
+        self.0[data_end - entry_len..data_end].fill(0);
+        self.set_nkeys(self.nkeys() - 1);
+        self.set_used(self.used() - entry_len);
+    }
+
+    /// Drain all entries as owned pairs (used when splitting).
+    fn drain_all(&mut self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let pairs = self
+            .entries()
+            .into_iter()
+            .map(|e| (self.key_at(e).to_vec(), self.val_at(e).to_vec()))
+            .collect();
+        let depth = self.local_depth();
+        *self = Page::empty(depth);
+        pairs
+    }
+}
+
+/// File-backed extendible-hash store (the `ndbm` role).
+pub struct HashStore {
+    pag: File,
+    pag_path: PathBuf,
+    dir_path: PathBuf,
+    /// Directory: bucket-page number per hash prefix; length `2^global_depth`.
+    dir: Vec<u32>,
+    global_depth: u8,
+    page_count: u32,
+    record_count: u64,
+    /// Write-through page cache (all pages touched since open).
+    cache: std::collections::HashMap<u32, Page>,
+}
+
+impl HashStore {
+    /// Open (or create) the store rooted at `path` (files `path.pag`, `path.dir`).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, DbError> {
+        let base = path.as_ref();
+        let pag_path = base.with_extension("pag");
+        let dir_path = base.with_extension("dir");
+        let pag = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&pag_path)
+            .map_err(DbError::io)?;
+        let mut store = HashStore {
+            pag,
+            pag_path,
+            dir_path,
+            dir: vec![0],
+            global_depth: 0,
+            page_count: 1,
+            record_count: 0,
+            cache: std::collections::HashMap::new(),
+        };
+        if store.dir_path.exists() {
+            store.load_dir()?;
+        } else {
+            // Fresh store: one empty bucket of depth 0.
+            store.write_page(0, &Page::empty(0))?;
+            store.sync_dir()?;
+        }
+        Ok(store)
+    }
+
+    fn load_dir(&mut self) -> Result<(), DbError> {
+        let mut buf = Vec::new();
+        File::open(&self.dir_path)
+            .map_err(DbError::io)?
+            .read_to_end(&mut buf)
+            .map_err(DbError::io)?;
+        if buf.len() < 8 + 1 + 4 + 8 || &buf[..8] != DIR_MAGIC {
+            return Err(DbError::Corrupt("bad directory magic".into()));
+        }
+        self.global_depth = buf[8];
+        self.page_count = u32::from_be_bytes(buf[9..13].try_into().expect("4 bytes"));
+        self.record_count = u64::from_be_bytes(buf[13..21].try_into().expect("8 bytes"));
+        let n = 1usize << self.global_depth;
+        if buf.len() != 21 + n * 4 {
+            return Err(DbError::Corrupt("directory length mismatch".into()));
+        }
+        self.dir = (0..n)
+            .map(|i| u32::from_be_bytes(buf[21 + i * 4..25 + i * 4].try_into().expect("4 bytes")))
+            .collect();
+        Ok(())
+    }
+
+    fn sync_dir(&mut self) -> Result<(), DbError> {
+        let mut buf = Vec::with_capacity(21 + self.dir.len() * 4);
+        buf.extend_from_slice(DIR_MAGIC);
+        buf.push(self.global_depth);
+        buf.extend_from_slice(&self.page_count.to_be_bytes());
+        buf.extend_from_slice(&self.record_count.to_be_bytes());
+        for &p in &self.dir {
+            buf.extend_from_slice(&p.to_be_bytes());
+        }
+        let tmp = self.dir_path.with_extension("dir.tmp");
+        {
+            let mut f = File::create(&tmp).map_err(DbError::io)?;
+            f.write_all(&buf).map_err(DbError::io)?;
+            f.sync_all().map_err(DbError::io)?;
+        }
+        std::fs::rename(&tmp, &self.dir_path).map_err(DbError::io)?;
+        Ok(())
+    }
+
+    fn read_page(&mut self, page_no: u32) -> Result<&mut Page, DbError> {
+        if !self.cache.contains_key(&page_no) {
+            let mut raw = Box::new([0u8; PAGE_SIZE]);
+            self.pag
+                .seek(SeekFrom::Start(u64::from(page_no) * PAGE_SIZE as u64))
+                .map_err(DbError::io)?;
+            self.pag.read_exact(&mut raw[..]).map_err(DbError::io)?;
+            self.cache.insert(page_no, Page(raw));
+        }
+        Ok(self.cache.get_mut(&page_no).expect("just inserted"))
+    }
+
+    fn write_page(&mut self, page_no: u32, page: &Page) -> Result<(), DbError> {
+        self.pag
+            .seek(SeekFrom::Start(u64::from(page_no) * PAGE_SIZE as u64))
+            .map_err(DbError::io)?;
+        self.pag.write_all(&page.0[..]).map_err(DbError::io)?;
+        self.cache.insert(page_no, page.clone());
+        Ok(())
+    }
+
+    fn dir_index(&self, hash: u64) -> usize {
+        (hash & ((1u64 << self.global_depth) - 1)) as usize
+    }
+
+    /// Split the bucket at `page_no`, doubling the directory if required.
+    fn split(&mut self, page_no: u32) -> Result<(), DbError> {
+        let (local, pairs) = {
+            let page = self.read_page(page_no)?;
+            (page.local_depth(), page.drain_all())
+        };
+        if local == self.global_depth {
+            if self.global_depth >= MAX_GLOBAL_DEPTH {
+                return Err(DbError::Full);
+            }
+            let old = self.dir.clone();
+            self.dir = old.iter().chain(old.iter()).copied().collect();
+            self.global_depth += 1;
+        }
+        let new_page_no = self.page_count;
+        self.page_count += 1;
+        let mut old_page = Page::empty(local + 1);
+        let mut new_page = Page::empty(local + 1);
+        for (k, v) in &pairs {
+            let h = fnv1a(k);
+            if (h >> local) & 1 == 1 {
+                new_page.push(k, v);
+            } else {
+                old_page.push(k, v);
+            }
+        }
+        // Redirect the directory entries whose split bit is set.
+        for (j, slot) in self.dir.iter_mut().enumerate() {
+            if *slot == page_no && (j >> local) & 1 == 1 {
+                *slot = new_page_no;
+            }
+        }
+        self.write_page(page_no, &old_page)?;
+        self.write_page(new_page_no, &new_page)?;
+        Ok(())
+    }
+
+    /// Flush the directory and page file, leaving both files consistent.
+    pub fn close(mut self) -> Result<(), DbError> {
+        self.sync()
+    }
+
+    /// Paths of the underlying files (for propagation and tests).
+    pub fn paths(&self) -> (&Path, &Path) {
+        (&self.pag_path, &self.dir_path)
+    }
+
+    /// Current number of bucket pages (exposed for inspection/benches).
+    pub fn pages(&self) -> u32 {
+        self.page_count
+    }
+
+    /// Current global directory depth.
+    pub fn depth(&self) -> u8 {
+        self.global_depth
+    }
+}
+
+impl Store for HashStore {
+    fn fetch(&self, key: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
+        // `fetch` takes &self; go through an interior read without mutating
+        // the cache by reading the page directly if it is not cached.
+        let h = fnv1a(key);
+        let page_no = self.dir[self.dir_index(h)];
+        if let Some(page) = self.cache.get(&page_no) {
+            return Ok(page.find(key).map(|e| page.val_at(e).to_vec()));
+        }
+        let mut raw = Box::new([0u8; PAGE_SIZE]);
+        let mut f = File::open(&self.pag_path).map_err(DbError::io)?;
+        f.seek(SeekFrom::Start(u64::from(page_no) * PAGE_SIZE as u64))
+            .map_err(DbError::io)?;
+        f.read_exact(&mut raw[..]).map_err(DbError::io)?;
+        let page = Page(raw);
+        Ok(page.find(key).map(|e| page.val_at(e).to_vec()))
+    }
+
+    fn store(&mut self, key: &[u8], value: &[u8]) -> Result<(), DbError> {
+        if key.len() + value.len() > MAX_RECORD {
+            return Err(DbError::RecordTooLarge(key.len() + value.len()));
+        }
+        let h = fnv1a(key);
+        loop {
+            let page_no = self.dir[self.dir_index(h)];
+            let page = self.read_page(page_no)?;
+            let mut is_new = true;
+            if let Some(e) = page.find(key) {
+                page.remove(e);
+                is_new = false;
+            }
+            if page.free_space() >= 4 + key.len() + value.len() {
+                page.push(key, value);
+                let snapshot = page.clone();
+                self.write_page(page_no, &snapshot)?;
+                if is_new {
+                    self.record_count += 1;
+                }
+                return Ok(());
+            }
+            // Didn't fit: if we removed an old value, it is re-inserted by
+            // the retry after the split (it lives in `pairs` drained below).
+            if !is_new {
+                // Put the old entry count right: the removed value is gone;
+                // re-adding below will count as new unless we adjust here.
+                self.record_count -= 1;
+            }
+            // Persist the removal before splitting so the split sees it.
+            let snapshot = self.read_page(page_no)?.clone();
+            self.write_page(page_no, &snapshot)?;
+            self.split(page_no)?;
+        }
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<bool, DbError> {
+        let h = fnv1a(key);
+        let page_no = self.dir[self.dir_index(h)];
+        let page = self.read_page(page_no)?;
+        match page.find(key) {
+            Some(e) => {
+                page.remove(e);
+                let snapshot = page.clone();
+                self.write_page(page_no, &snapshot)?;
+                self.record_count -= 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.record_count as usize
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&[u8], &[u8])) -> Result<(), DbError> {
+        // Every allocated page is exactly one live bucket, so scanning the
+        // page range visits each record once.
+        let mut file = File::open(&self.pag_path).map_err(DbError::io)?;
+        for page_no in 0..self.page_count {
+            let page = if let Some(p) = self.cache.get(&page_no) {
+                p.clone()
+            } else {
+                let mut raw = Box::new([0u8; PAGE_SIZE]);
+                file.seek(SeekFrom::Start(u64::from(page_no) * PAGE_SIZE as u64))
+                    .map_err(DbError::io)?;
+                file.read_exact(&mut raw[..]).map_err(DbError::io)?;
+                Page(raw)
+            };
+            for e in page.entries() {
+                f(page.key_at(e), page.val_at(e));
+            }
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), DbError> {
+        self.pag.sync_all().map_err(DbError::io)?;
+        self.sync_dir()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("krb-kdb-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(dir.with_extension("pag"));
+        let _ = std::fs::remove_file(dir.with_extension("dir"));
+        dir
+    }
+
+    #[test]
+    fn crud_round_trip() {
+        let mut s = HashStore::open(tmp("crud")).unwrap();
+        s.store(b"alpha", b"1").unwrap();
+        s.store(b"beta", b"2").unwrap();
+        assert_eq!(s.fetch(b"alpha").unwrap().as_deref(), Some(&b"1"[..]));
+        assert_eq!(s.fetch(b"gamma").unwrap(), None);
+        s.store(b"alpha", b"one").unwrap();
+        assert_eq!(s.fetch(b"alpha").unwrap().as_deref(), Some(&b"one"[..]));
+        assert_eq!(s.len(), 2);
+        assert!(s.delete(b"alpha").unwrap());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn splits_and_directory_growth() {
+        let mut s = HashStore::open(tmp("split")).unwrap();
+        // Values sized to force many splits.
+        for i in 0u32..2000 {
+            let key = format!("principal-{i}");
+            let val = vec![i as u8; 100];
+            s.store(key.as_bytes(), &val).unwrap();
+        }
+        assert!(s.pages() > 1, "store must have split");
+        assert!(s.depth() > 0);
+        for i in 0u32..2000 {
+            let key = format!("principal-{i}");
+            assert_eq!(
+                s.fetch(key.as_bytes()).unwrap().as_deref(),
+                Some(&vec![i as u8; 100][..]),
+                "key {i}"
+            );
+        }
+        assert_eq!(s.len(), 2000);
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let path = tmp("persist");
+        {
+            let mut s = HashStore::open(&path).unwrap();
+            for i in 0u32..500 {
+                s.store(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                    .unwrap();
+            }
+            s.sync().unwrap();
+        }
+        let s = HashStore::open(&path).unwrap();
+        assert_eq!(s.len(), 500);
+        for i in 0u32..500 {
+            assert_eq!(
+                s.fetch(format!("k{i}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_records() {
+        let mut s = HashStore::open(tmp("big")).unwrap();
+        let big = vec![0u8; MAX_RECORD + 1];
+        assert!(matches!(
+            s.store(b"", &big),
+            Err(DbError::RecordTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn for_each_visits_every_record_once() {
+        let mut s = HashStore::open(tmp("scan")).unwrap();
+        for i in 0u32..300 {
+            s.store(format!("key{i}").as_bytes(), &i.to_be_bytes()).unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        s.for_each(&mut |k, _| {
+            assert!(seen.insert(k.to_vec()), "duplicate {k:?}");
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 300);
+    }
+
+    #[test]
+    fn overwrite_larger_value_forcing_split() {
+        let mut s = HashStore::open(tmp("grow")).unwrap();
+        for i in 0u32..30 {
+            s.store(format!("k{i}").as_bytes(), &[0u8; 64]).unwrap();
+        }
+        // Grow one value past what its bucket can absorb.
+        s.store(b"k7", &[1u8; 3000]).unwrap();
+        assert_eq!(s.fetch(b"k7").unwrap().unwrap().len(), 3000);
+        assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn delete_then_reinsert() {
+        let mut s = HashStore::open(tmp("delre")).unwrap();
+        s.store(b"x", b"1").unwrap();
+        assert!(s.delete(b"x").unwrap());
+        assert_eq!(s.len(), 0);
+        s.store(b"x", b"2").unwrap();
+        assert_eq!(s.fetch(b"x").unwrap().as_deref(), Some(&b"2"[..]));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! The storage interface of the database library.
+//!
+//! The paper (§2.2): "Another replaceable module is the database management
+//! system. The current Athena implementation of the database library uses
+//! *ndbm* ... Other database management libraries could be used as well."
+//!
+//! [`Store`] is that replaceable seam. Two implementations ship:
+//! [`crate::ndbm::HashStore`] (file-backed extendible hashing, the `ndbm`
+//! role) and [`MemStore`] (in-memory, for simulators and tests).
+
+use crate::DbError;
+use std::collections::BTreeMap;
+
+/// A flat key/value store with `ndbm`-style semantics: byte-string keys and
+/// values, single writer, full-scan iteration (`firstkey`/`nextkey`).
+pub trait Store {
+    /// Fetch the value stored under `key`, if any.
+    fn fetch(&self, key: &[u8]) -> Result<Option<Vec<u8>>, DbError>;
+    /// Insert or replace the value under `key`.
+    fn store(&mut self, key: &[u8], value: &[u8]) -> Result<(), DbError>;
+    /// Remove `key`. Returns whether it was present.
+    fn delete(&mut self, key: &[u8]) -> Result<bool, DbError>;
+    /// Number of live records.
+    fn len(&self) -> usize;
+    /// Whether the store holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Visit every record. Order is unspecified (hash order for `ndbm`).
+    fn for_each(&self, f: &mut dyn FnMut(&[u8], &[u8])) -> Result<(), DbError>;
+    /// Flush buffered state to durable storage (no-op for memory stores).
+    fn sync(&mut self) -> Result<(), DbError>;
+}
+
+/// In-memory [`Store`], ordered for deterministic iteration in tests.
+#[derive(Default, Debug, Clone)]
+pub struct MemStore {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl MemStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Store for MemStore {
+    fn fetch(&self, key: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
+        Ok(self.map.get(key).cloned())
+    }
+
+    fn store(&mut self, key: &[u8], value: &[u8]) -> Result<(), DbError> {
+        self.map.insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<bool, DbError> {
+        Ok(self.map.remove(key).is_some())
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&[u8], &[u8])) -> Result<(), DbError> {
+        for (k, v) in &self.map {
+            f(k, v);
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), DbError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memstore_basic_crud() {
+        let mut s = MemStore::new();
+        assert!(s.is_empty());
+        s.store(b"k1", b"v1").unwrap();
+        s.store(b"k2", b"v2").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.fetch(b"k1").unwrap().as_deref(), Some(&b"v1"[..]));
+        s.store(b"k1", b"v1b").unwrap();
+        assert_eq!(s.fetch(b"k1").unwrap().as_deref(), Some(&b"v1b"[..]));
+        assert_eq!(s.len(), 2, "overwrite must not grow the store");
+        assert!(s.delete(b"k1").unwrap());
+        assert!(!s.delete(b"k1").unwrap());
+        assert_eq!(s.fetch(b"k1").unwrap(), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn memstore_for_each_sees_all() {
+        let mut s = MemStore::new();
+        for i in 0u32..50 {
+            s.store(&i.to_be_bytes(), &[i as u8]).unwrap();
+        }
+        let mut n = 0;
+        s.for_each(&mut |_, _| n += 1).unwrap();
+        assert_eq!(n, 50);
+    }
+}
+
+/// `ndbm`-style cursor iteration: `firstkey`/`nextkey` walk every live key
+/// in unspecified (hash) order. Implemented over [`Store::for_each`] so it
+/// works for any engine; the historical interface shape is preserved for
+/// callers ported from `ndbm`.
+pub trait Cursor: Store {
+    /// The first key in iteration order, if any.
+    fn firstkey(&self) -> Result<Option<Vec<u8>>, DbError> {
+        let mut first = None;
+        self.for_each(&mut |k, _| {
+            if first.is_none() {
+                first = Some(k.to_vec());
+            }
+        })?;
+        Ok(first)
+    }
+
+    /// The key following `prev` in iteration order, if any.
+    fn nextkey(&self, prev: &[u8]) -> Result<Option<Vec<u8>>, DbError> {
+        let mut found_prev = false;
+        let mut next = None;
+        self.for_each(&mut |k, _| {
+            if next.is_some() {
+                return;
+            }
+            if found_prev {
+                next = Some(k.to_vec());
+            } else if k == prev {
+                found_prev = true;
+            }
+        })?;
+        Ok(next)
+    }
+}
+
+impl<S: Store + ?Sized> Cursor for S {}
+
+#[cfg(test)]
+mod cursor_tests {
+    use super::*;
+
+    #[test]
+    fn firstkey_nextkey_walks_everything_once() {
+        let mut s = MemStore::new();
+        for i in 0..25u32 {
+            s.store(format!("key{i:02}").as_bytes(), &[0]).unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = s.firstkey().unwrap();
+        while let Some(k) = cur {
+            assert!(seen.insert(k.clone()), "duplicate {k:?}");
+            cur = s.nextkey(&k).unwrap();
+        }
+        assert_eq!(seen.len(), 25);
+    }
+
+    #[test]
+    fn empty_store_has_no_firstkey() {
+        let s = MemStore::new();
+        assert_eq!(s.firstkey().unwrap(), None);
+    }
+
+    #[test]
+    fn nextkey_of_missing_key_is_none() {
+        let mut s = MemStore::new();
+        s.store(b"a", b"1").unwrap();
+        assert_eq!(s.nextkey(b"zzz").unwrap(), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Robustness of the file-backed store against damaged files: corruption
+//! must surface as `DbError::Corrupt`, never as a panic or silent
+//! garbage.
+
+use krb_kdb::{DbError, HashStore, Store};
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("kdb-corrupt-{}-{name}", std::process::id()));
+    let _ = fs::remove_file(p.with_extension("pag"));
+    let _ = fs::remove_file(p.with_extension("dir"));
+    p
+}
+
+fn populated(path: &PathBuf) {
+    let mut s = HashStore::open(path).unwrap();
+    for i in 0..100u32 {
+        s.store(format!("key{i}").as_bytes(), &i.to_be_bytes()).unwrap();
+    }
+    s.sync().unwrap();
+}
+
+#[test]
+fn bad_directory_magic_is_corrupt() {
+    let path = tmp("magic");
+    populated(&path);
+    let dir = path.with_extension("dir");
+    let mut bytes = fs::read(&dir).unwrap();
+    bytes[0] ^= 0xFF;
+    fs::write(&dir, &bytes).unwrap();
+    match HashStore::open(&path) {
+        Err(DbError::Corrupt(w)) => assert!(w.contains("magic"), "{w}"),
+        other => panic!("expected Corrupt, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn truncated_directory_is_corrupt() {
+    let path = tmp("trunc");
+    populated(&path);
+    let dir = path.with_extension("dir");
+    let bytes = fs::read(&dir).unwrap();
+    fs::write(&dir, &bytes[..bytes.len() - 2]).unwrap();
+    assert!(matches!(HashStore::open(&path), Err(DbError::Corrupt(_))));
+}
+
+#[test]
+fn missing_pag_file_fails_cleanly() {
+    let path = tmp("nopag");
+    populated(&path);
+    fs::remove_file(path.with_extension("pag")).unwrap();
+    // Open recreates an empty pag; fetches hit short reads -> Io, not panic.
+    match HashStore::open(&path) {
+        Ok(s) => {
+            let r = s.fetch(b"key1");
+            assert!(r.is_err() || r.unwrap().is_none());
+        }
+        Err(e) => {
+            let _ = e; // also acceptable: refused at open
+        }
+    }
+}
+
+#[test]
+fn directory_length_mismatch_is_corrupt() {
+    let path = tmp("len");
+    populated(&path);
+    let dir = path.with_extension("dir");
+    let mut bytes = fs::read(&dir).unwrap();
+    bytes.extend_from_slice(&[0, 0, 0, 0]); // extra directory slot
+    fs::write(&dir, &bytes).unwrap();
+    assert!(matches!(HashStore::open(&path), Err(DbError::Corrupt(_))));
+}
+
+#[test]
+fn close_flushes_everything() {
+    let path = tmp("close");
+    {
+        let mut s = HashStore::open(&path).unwrap();
+        for i in 0..50u32 {
+            s.store(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        s.close().unwrap();
+    }
+    let s = HashStore::open(&path).unwrap();
+    assert_eq!(s.len(), 50);
+}

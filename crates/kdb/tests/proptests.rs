@@ -1,0 +1,95 @@
+//! Model-based property tests: the extendible-hash store must agree with a
+//! reference `HashMap` under arbitrary operation sequences.
+
+use krb_kdb::{HashStore, MemStore, Store};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Fetch(Vec<u8>),
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    // Small key space to provoke overwrites and deletes of present keys.
+    proptest::collection::vec(0u8..8, 1..4)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_key(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(|(k, v)| Op::Store(k, v)),
+        arb_key().prop_map(Op::Delete),
+        arb_key().prop_map(Op::Fetch),
+    ]
+}
+
+fn check_against_model<S: Store>(store: &mut S, ops: &[Op]) {
+    let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+    for op in ops {
+        match op {
+            Op::Store(k, v) => {
+                store.store(k, v).unwrap();
+                model.insert(k.clone(), v.clone());
+            }
+            Op::Delete(k) => {
+                let was = store.delete(k).unwrap();
+                assert_eq!(was, model.remove(k).is_some());
+            }
+            Op::Fetch(k) => {
+                assert_eq!(store.fetch(k).unwrap(), model.get(k).cloned());
+            }
+        }
+        assert_eq!(store.len(), model.len());
+    }
+    let mut seen = HashMap::new();
+    store
+        .for_each(&mut |k, v| {
+            seen.insert(k.to_vec(), v.to_vec());
+        })
+        .unwrap();
+    assert_eq!(seen, model);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hashstore_matches_model(ops in proptest::collection::vec(arb_op(), 0..120)) {
+        let path = std::env::temp_dir().join(format!(
+            "kdb-prop-{}-{:x}",
+            std::process::id(),
+            rand_suffix()
+        ));
+        let _ = std::fs::remove_file(path.with_extension("pag"));
+        let _ = std::fs::remove_file(path.with_extension("dir"));
+        let mut s = HashStore::open(&path).unwrap();
+        check_against_model(&mut s, &ops);
+        let _ = std::fs::remove_file(path.with_extension("pag"));
+        let _ = std::fs::remove_file(path.with_extension("dir"));
+    }
+
+    #[test]
+    fn memstore_matches_model(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let mut s = MemStore::new();
+        check_against_model(&mut s, &ops);
+    }
+}
+
+fn rand_suffix() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+        ^ (std::thread::current().id().as_u64_hack())
+}
+
+trait ThreadIdHack {
+    fn as_u64_hack(&self) -> u64;
+}
+impl ThreadIdHack for std::thread::ThreadId {
+    fn as_u64_hack(&self) -> u64 {
+        // Debug prints as "ThreadId(N)"; good enough for a temp-file suffix.
+        let s = format!("{self:?}");
+        s.bytes().map(u64::from).sum()
+    }
+}

@@ -1,0 +1,22 @@
+//! # krb-kdc — the Kerberos authentication server
+//!
+//! The "authentication server" component of Figure 1 in Steiner, Neuman &
+//! Schiller (USENIX 1988): the initial-ticket service of §4.2 (Fig. 5) and
+//! the ticket-granting service of §4.4 (Fig. 8), with the replay cache of
+//! §4.3, cross-realm issuing/accepting of §7.2, and master/slave roles of
+//! §5 (Fig. 10).
+//!
+//! [`server::Kdc`] is transport-free (`handle(bytes, sender) -> bytes`);
+//! [`service::KdcService`] binds it to the network substrate and
+//! [`service::Deployment`] stands up a master plus slaves as in Figure 10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod realm;
+pub mod server;
+pub mod service;
+
+pub use realm::{pair_realms, RealmConfig};
+pub use server::{fixed_clock, shared_clock, Clock, Kdc, KdcRole, KdcStats};
+pub use service::{Deployment, KdcService};

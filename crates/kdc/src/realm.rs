@@ -1,0 +1,86 @@
+//! Realm configuration (paper §3, §7.2).
+//!
+//! "The realm is the name of an administrative entity that maintains
+//! authentication data." Each KDC serves one realm; cross-realm
+//! authentication requires that "the administrators of each pair of realms
+//! select a key to be shared between their realms."
+
+use kerberos::KrbResult;
+use krb_crypto::DesKey;
+use std::collections::HashMap;
+
+/// Static configuration of one realm's KDC.
+#[derive(Clone)]
+pub struct RealmConfig {
+    /// The realm this KDC serves (e.g. `ATHENA.MIT.EDU`).
+    pub realm: String,
+    /// Keys shared with other realms, by remote realm name. The same key
+    /// decrypts cross-realm TGTs issued by the remote realm and seals
+    /// cross-realm TGTs we issue *for* the remote realm.
+    inter_realm: HashMap<String, DesKey>,
+    /// Default maximum ticket lifetime granted when a principal's own
+    /// limit is higher, in 5-minute units.
+    pub default_max_life: u8,
+}
+
+impl RealmConfig {
+    /// A realm with no cross-realm agreements.
+    pub fn new(realm: &str) -> Self {
+        RealmConfig {
+            realm: realm.to_string(),
+            inter_realm: HashMap::new(),
+            default_max_life: kerberos::DEFAULT_TGT_LIFE,
+        }
+    }
+
+    /// Register the key shared with `remote` (both sides must do this with
+    /// the same key; see [`pair_realms`]).
+    pub fn add_inter_realm_key(&mut self, remote: &str, key: DesKey) {
+        self.inter_realm.insert(remote.to_string(), key);
+    }
+
+    /// Key shared with `remote`, if any agreement exists.
+    pub fn inter_realm_key(&self, remote: &str) -> Option<&DesKey> {
+        self.inter_realm.get(remote)
+    }
+
+    /// Realms we have agreements with (for `klist`-style display).
+    pub fn peer_realms(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.inter_realm.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Establish a shared key between two realm configurations — the
+/// administrative act of §7.2.
+pub fn pair_realms(a: &mut RealmConfig, b: &mut RealmConfig, key: DesKey) -> KrbResult<()> {
+    a.add_inter_realm_key(&b.realm.clone(), key);
+    b.add_inter_realm_key(&a.realm.clone(), key);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krb_crypto::string_to_key;
+
+    #[test]
+    fn pairing_is_symmetric() {
+        let mut athena = RealmConfig::new("ATHENA.MIT.EDU");
+        let mut lcs = RealmConfig::new("LCS.MIT.EDU");
+        let k = string_to_key("inter-realm");
+        pair_realms(&mut athena, &mut lcs, k).unwrap();
+        assert_eq!(
+            athena.inter_realm_key("LCS.MIT.EDU").unwrap().as_bytes(),
+            lcs.inter_realm_key("ATHENA.MIT.EDU").unwrap().as_bytes()
+        );
+    }
+
+    #[test]
+    fn unknown_realm_has_no_key() {
+        let athena = RealmConfig::new("ATHENA.MIT.EDU");
+        assert!(athena.inter_realm_key("EVIL.ORG").is_none());
+        assert!(athena.peer_realms().is_empty());
+    }
+}

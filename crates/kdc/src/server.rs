@@ -1,0 +1,520 @@
+//! The authentication server (paper §2.2, §4): both the initial-ticket
+//! service (Fig. 5) and the ticket-granting service (Fig. 8) in one
+//! request handler, as at Athena.
+//!
+//! The server "performs read-only operations on the Kerberos database,
+//! namely, the authentication of principals, and generation of session
+//! keys. Since this server does not modify the Kerberos database, it may
+//! run on a machine housing a read-only copy" — a slave (Fig. 10).
+
+use crate::realm::RealmConfig;
+use kerberos::msg::{AsReq, EncKdcReplyPart, KdcRep, Message, TgsReq};
+use kerberos::{
+    krb_rd_req, remaining_life, ErrorCode, HostAddr, KrbResult, Principal, ReplayCache, Ticket,
+};
+use krb_kdb::{PrincipalDb, Store, ATTR_NO_TGS};
+use krb_crypto::{DesKey, KeyGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Time source: the KDC reads its own host clock.
+pub type Clock = Arc<dyn Fn() -> u32 + Send + Sync>;
+
+/// A clock pinned to a constant (unit tests).
+pub fn fixed_clock(t: u32) -> Clock {
+    Arc::new(move || t)
+}
+
+/// A clock backed by a shared atomic (discrete-event simulations).
+pub fn shared_clock(cell: Arc<std::sync::atomic::AtomicU32>) -> Clock {
+    Arc::new(move || cell.load(std::sync::atomic::Ordering::SeqCst))
+}
+
+/// Whether this KDC holds the master database or a propagated copy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KdcRole {
+    /// Houses the definitive database (one per realm).
+    Master,
+    /// Read-only copy fed by `kprop` (any number).
+    Slave,
+}
+
+/// Request counters (E9 replication experiment reads these).
+#[derive(Default, Debug, Clone, Copy)]
+pub struct KdcStats {
+    /// Initial-ticket requests served.
+    pub as_ok: u64,
+    /// Ticket-granting requests served.
+    pub tgs_ok: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+}
+
+/// One authentication server instance.
+pub struct Kdc<S: Store> {
+    db: PrincipalDb<S>,
+    config: RealmConfig,
+    clock: Clock,
+    keygen: KeyGenerator<StdRng>,
+    replay: ReplayCache,
+    role: KdcRole,
+    /// Counters, readable by experiments.
+    pub stats: KdcStats,
+}
+
+impl<S: Store> Kdc<S> {
+    /// Create a KDC over an opened principal database.
+    pub fn new(db: PrincipalDb<S>, config: RealmConfig, clock: Clock, role: KdcRole, seed: u64) -> Self {
+        Kdc {
+            db,
+            config,
+            clock,
+            keygen: KeyGenerator::new(StdRng::seed_from_u64(seed)),
+            replay: ReplayCache::new(),
+            role,
+            stats: KdcStats::default(),
+        }
+    }
+
+    /// The realm this KDC serves.
+    pub fn realm(&self) -> &str {
+        &self.config.realm
+    }
+
+    /// Master or slave.
+    pub fn role(&self) -> KdcRole {
+        self.role
+    }
+
+    /// Access the database (the admin server shares the master's DB).
+    pub fn db(&self) -> &PrincipalDb<S> {
+        &self.db
+    }
+
+    /// Mutable database access — only meaningful on the master, where the
+    /// KDBM runs (paper §5: "changes may only be made to the master").
+    pub fn db_mut(&mut self) -> Option<&mut PrincipalDb<S>> {
+        match self.role {
+            KdcRole::Master => Some(&mut self.db),
+            KdcRole::Slave => None,
+        }
+    }
+
+    /// Replace the database contents (slave side of propagation).
+    pub fn install_db(&mut self, db: PrincipalDb<S>) {
+        self.db = db;
+    }
+
+    /// Handle one datagram; always returns a reply (success or KRB_ERROR).
+    pub fn handle(&mut self, request: &[u8], sender_addr: HostAddr) -> Vec<u8> {
+        let result = match Message::decode(request) {
+            Ok(Message::AsReq(req)) => self.handle_as(&req, sender_addr),
+            Ok(Message::TgsReq(req)) => self.handle_tgs(&req, sender_addr),
+            Ok(_) => Err(ErrorCode::RdApUndec),
+            Err(e) => Err(e),
+        };
+        match result {
+            Ok(reply) => reply,
+            Err(code) => {
+                self.stats.errors += 1;
+                Message::error(code, code.describe())
+            }
+        }
+    }
+
+    /// The initial ticket exchange (Fig. 5). The request is in the clear;
+    /// the reply is "encrypted in the client's private key" so that only
+    /// someone knowing the password can use it.
+    fn handle_as(&mut self, req: &AsReq, sender: HostAddr) -> KrbResult<Vec<u8>> {
+        if req.crealm != self.config.realm {
+            return Err(ErrorCode::KdcUnknownRealm);
+        }
+        let now = (self.clock)();
+        let (centry, ckey) = self.lookup(&req.cname, &req.cinstance, now)?;
+        // For the TGT request the service is krbtgt.<realm>; for AS-only
+        // services (KDBM) it is the service itself. Cross-realm TGTs are
+        // NOT available from the AS — only via the TGS.
+        let (sentry, skey) = self.lookup(&req.sname, &req.sinstance, now)?;
+        let client = Principal::new(&req.cname, &req.cinstance, &req.crealm)?;
+        let service = Principal::new(&req.sname, &req.sinstance, &self.config.realm)?;
+
+        let session_key = self.keygen.generate();
+        let life = req
+            .life
+            .min(centry.max_life)
+            .min(effective_max_life(sentry.max_life, self.config.default_max_life));
+        // The ticket is bound to the workstation the request came from:
+        // the packet's source address goes into the ticket (Fig. 3 "addr").
+        let addr = sender;
+        let ticket = Ticket::new(&service, &client, addr, now, life, *session_key.as_bytes())
+            .seal(&skey);
+        let part = EncKdcReplyPart {
+            session_key: *session_key.as_bytes(),
+            sname: service.name.clone(),
+            sinstance: service.instance.clone(),
+            srealm: self.config.realm.clone(),
+            life,
+            kvno: centry.key_version,
+            kdc_time: now,
+            nonce: req.ctime,
+            ticket,
+        };
+        let enc = krb_crypto::seal(krb_crypto::Mode::Pcbc, &ckey, &[0u8; 8], &part.encode())
+            .map_err(|_| ErrorCode::KdcGenErr)?;
+        self.stats.as_ok += 1;
+        Ok(Message::KdcRep(KdcRep { enc_part: enc }).encode())
+    }
+
+    /// The ticket-granting exchange (Fig. 8): verify the TGT + authenticator
+    /// exactly as any server verifies an AP_REQ, then issue a ticket for the
+    /// target with lifetime "the minimum of the remaining life for the
+    /// ticket-granting ticket and the default for the service".
+    fn handle_tgs(&mut self, req: &TgsReq, sender: HostAddr) -> KrbResult<Vec<u8>> {
+        let now = (self.clock)();
+        // Which key sealed the presented TGT? Ours, or an inter-realm key.
+        let (tgt_key, foreign) = if req.ap.realm == self.config.realm {
+            let (_, k) = self.lookup("krbtgt", &self.config.realm.clone(), now)?;
+            (k, false)
+        } else {
+            let k = self
+                .config
+                .inter_realm_key(&req.ap.realm)
+                .copied()
+                .ok_or(ErrorCode::KdcUnknownRealm)?;
+            (k, true)
+        };
+        let tgs_principal = Principal::tgs(&self.config.realm, &self.config.realm);
+        let verified = krb_rd_req(&req.ap, &tgs_principal, &tgt_key, sender, now, &mut self.replay)?;
+        // "the remote ticket-granting server recognizes that the request is
+        // not from its own realm" — the client keeps its original realm.
+        let client = verified.client.clone();
+        debug_assert!(!foreign || client.realm != self.config.realm);
+
+        // Target may be a service of this realm, or the TGS of a *remote*
+        // realm ("a user ... can request a ticket-granting ticket from the
+        // local authentication server for the ticket-granting server in the
+        // remote realm", §7.2) — sealed in the shared inter-realm key.
+        let cross_realm_target = req.sname == "krbtgt" && req.sinstance != self.config.realm;
+        let (skey, smax_life, skvno) = if cross_realm_target {
+            // §7.2's closing paragraph: authenticating "through a series of
+            // realms" would require recording the entire path ("A says that
+            // B says that C says..."), which V4 tickets cannot express. So
+            // a client that is itself foreign may not hop onward: only
+            // locally-authenticated clients get cross-realm TGTs.
+            if foreign {
+                return Err(ErrorCode::KdcUnknownRealm);
+            }
+            let k = self
+                .config
+                .inter_realm_key(&req.sinstance)
+                .copied()
+                .ok_or(ErrorCode::KdcUnknownRealm)?;
+            (k, self.config.default_max_life, 1)
+        } else {
+            let (sentry, k) = self.lookup(&req.sname, &req.sinstance, now)?;
+            if sentry.attributes & ATTR_NO_TGS != 0 {
+                // §5.1: "the ticket-granting service will not issue tickets
+                // for it. Instead, the authentication service itself must be
+                // used."
+                return Err(ErrorCode::KdcNoTgsForService);
+            }
+            (
+                k,
+                effective_max_life(sentry.max_life, self.config.default_max_life),
+                sentry.key_version,
+            )
+        };
+        let service = Principal::new(&req.sname, &req.sinstance, &self.config.realm)?;
+
+        let session_key = self.keygen.generate();
+        let tgt_remaining = remaining_life(verified.ticket.timestamp, verified.ticket.life, now);
+        let life = req.life.min(tgt_remaining).min(smax_life);
+        let ticket = Ticket::new(&service, &client, sender, now, life, *session_key.as_bytes())
+            .seal(&skey);
+        let part = EncKdcReplyPart {
+            session_key: *session_key.as_bytes(),
+            sname: service.name.clone(),
+            sinstance: service.instance.clone(),
+            srealm: self.config.realm.clone(),
+            life,
+            kvno: skvno,
+            kdc_time: now,
+            nonce: verified.timestamp,
+            ticket,
+        };
+        // "the reply is encrypted in the session key that was part of the
+        // ticket-granting ticket" — no password needed.
+        let enc = krb_crypto::seal(
+            krb_crypto::Mode::Pcbc,
+            &verified.session_key,
+            &[0u8; 8],
+            &part.encode(),
+        )
+        .map_err(|_| ErrorCode::KdcGenErr)?;
+        self.stats.tgs_ok += 1;
+        Ok(Message::KdcRep(KdcRep { enc_part: enc }).encode())
+    }
+
+    fn lookup(&self, name: &str, instance: &str, now: u32) -> KrbResult<(krb_kdb::PrincipalEntry, DesKey)> {
+        match self.db.get_with_key(name, instance) {
+            Ok(Some((e, k))) => {
+                if e.expiration < now {
+                    return Err(if name == "krbtgt" || instance_is_service(&e) {
+                        ErrorCode::KdcServiceExp
+                    } else {
+                        ErrorCode::KdcNameExp
+                    });
+                }
+                Ok((e, k))
+            }
+            Ok(None) => Err(ErrorCode::KdcPrUnknown),
+            Err(krb_kdb::DbError::Disabled(_)) => Err(ErrorCode::KdcNullKey),
+            Err(_) => Err(ErrorCode::KdcGenErr),
+        }
+    }
+}
+
+fn effective_max_life(principal_max: u8, realm_default: u8) -> u8 {
+    if principal_max == 0 {
+        realm_default
+    } else {
+        principal_max
+    }
+}
+
+fn instance_is_service(e: &krb_kdb::PrincipalEntry) -> bool {
+    // Heuristic only used to pick between two error codes: services at
+    // Athena carry a host instance.
+    !e.instance.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kerberos::{build_as_req, build_tgs_req, read_as_reply_with_password, read_tgs_reply};
+    use krb_crypto::string_to_key;
+    use krb_kdb::MemStore;
+
+    const REALM: &str = "ATHENA.MIT.EDU";
+    const WS: HostAddr = [18, 72, 0, 5];
+    const NOW: u32 = 600_000_000;
+
+    fn test_kdc() -> Kdc<MemStore> {
+        let mut db = PrincipalDb::create(MemStore::new(), string_to_key("master"), NOW).unwrap();
+        let far = NOW + 3 * 365 * 24 * 3600;
+        db.add_principal("krbtgt", REALM, &string_to_key("tgs-secret"), far, 96, NOW, "init.").unwrap();
+        db.add_principal("bcn", "", &string_to_key("bcn-password"), far, 96, NOW, "init.").unwrap();
+        db.add_principal("rlogin", "priam", &string_to_key("rlogin-srvtab"), far, 96, NOW, "init.").unwrap();
+        Kdc::new(db, RealmConfig::new(REALM), fixed_clock(NOW), KdcRole::Master, 7)
+    }
+
+    fn principal(p: &str) -> Principal {
+        Principal::parse(p, REALM).unwrap()
+    }
+
+    #[test]
+    fn as_exchange_full_round_trip() {
+        let mut kdc = test_kdc();
+        let client = principal("bcn");
+        let tgs = Principal::tgs(REALM, REALM);
+        let req = build_as_req(&client, &tgs, 96, NOW);
+        let reply = kdc.handle(&req, WS);
+        let tgt = read_as_reply_with_password(&reply, "bcn-password", NOW).unwrap();
+        assert_eq!(tgt.service.name, "krbtgt");
+        assert_eq!(tgt.life, 96);
+        assert_eq!(kdc.stats.as_ok, 1);
+    }
+
+    #[test]
+    fn wrong_password_cannot_use_reply() {
+        let mut kdc = test_kdc();
+        let req = build_as_req(&principal("bcn"), &Principal::tgs(REALM, REALM), 96, NOW);
+        let reply = kdc.handle(&req, WS);
+        assert_eq!(
+            read_as_reply_with_password(&reply, "guess", NOW).unwrap_err(),
+            ErrorCode::IntkBadPw
+        );
+    }
+
+    #[test]
+    fn unknown_principal_rejected() {
+        let mut kdc = test_kdc();
+        let req = build_as_req(&principal("mallory"), &Principal::tgs(REALM, REALM), 96, NOW);
+        let reply = kdc.handle(&req, WS);
+        assert_eq!(
+            read_as_reply_with_password(&reply, "x", NOW).unwrap_err(),
+            ErrorCode::KdcPrUnknown
+        );
+        assert_eq!(kdc.stats.errors, 1);
+    }
+
+    #[test]
+    fn expired_principal_rejected() {
+        let mut kdc = test_kdc();
+        kdc.db_mut()
+            .unwrap()
+            .add_principal("olduser", "", &string_to_key("pw"), NOW - 1, 96, NOW, "t.")
+            .unwrap();
+        let req = build_as_req(&principal("olduser"), &Principal::tgs(REALM, REALM), 96, NOW);
+        let reply = kdc.handle(&req, WS);
+        assert_eq!(
+            read_as_reply_with_password(&reply, "pw", NOW).unwrap_err(),
+            ErrorCode::KdcNameExp
+        );
+    }
+
+    #[test]
+    fn full_three_phase_protocol() {
+        // Figure 9: AS exchange, TGS exchange, then the ticket is usable.
+        let mut kdc = test_kdc();
+        let client = principal("bcn");
+        let tgs = Principal::tgs(REALM, REALM);
+
+        let as_req = build_as_req(&client, &tgs, 96, NOW);
+        let tgt = read_as_reply_with_password(&kdc.handle(&as_req, WS), "bcn-password", NOW).unwrap();
+
+        let rlogin = principal("rlogin.priam");
+        let tgs_req = build_tgs_req(&tgt, &client, WS, NOW + 10, &rlogin, 96);
+        let cred = read_tgs_reply(&kdc.handle(&tgs_req, WS), &tgt, NOW + 10).unwrap();
+        assert_eq!(cred.service, rlogin);
+        assert_eq!(kdc.stats.tgs_ok, 1);
+
+        // The issued ticket opens under the rlogin server's srvtab key and
+        // names the right client.
+        let t = cred.ticket.open(&string_to_key("rlogin-srvtab")).unwrap();
+        assert_eq!(t.cname, "bcn");
+        assert_eq!(t.addr, WS);
+        assert_eq!(t.session_key, cred.session_key);
+    }
+
+    #[test]
+    fn tgs_lifetime_is_min_of_remaining_and_default() {
+        // §4.4: "The lifetime of the new ticket is the minimum of the
+        // remaining life for the ticket-granting ticket and the default for
+        // the service."
+        let mut kdc = test_kdc();
+        let client = principal("bcn");
+        let tgt = {
+            let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
+            read_as_reply_with_password(&kdc.handle(&req, WS), "bcn-password", NOW).unwrap()
+        };
+        // 6 hours later, 2 hours (24 units) remain on the TGT.
+        let later = NOW + 6 * 3600;
+        kdc.clock = fixed_clock(later);
+        let rlogin = principal("rlogin.priam");
+        let req = build_tgs_req(&tgt, &client, WS, later, &rlogin, 96);
+        let cred = read_tgs_reply(&kdc.handle(&req, WS), &tgt, later).unwrap();
+        assert_eq!(cred.life, 24, "remaining TGT life caps the new ticket");
+    }
+
+    #[test]
+    fn tgs_rejects_expired_tgt() {
+        let mut kdc = test_kdc();
+        let client = principal("bcn");
+        let tgt = {
+            let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
+            read_as_reply_with_password(&kdc.handle(&req, WS), "bcn-password", NOW).unwrap()
+        };
+        let much_later = NOW + 9 * 3600; // past the 8-hour TGT
+        kdc.clock = fixed_clock(much_later);
+        let req = build_tgs_req(&tgt, &client, WS, much_later, &principal("rlogin.priam"), 96);
+        let err = read_tgs_reply(&kdc.handle(&req, WS), &tgt, much_later).unwrap_err();
+        assert_eq!(err, ErrorCode::RdApExp);
+    }
+
+    #[test]
+    fn tgs_replay_detected() {
+        let mut kdc = test_kdc();
+        let client = principal("bcn");
+        let tgt = {
+            let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
+            read_as_reply_with_password(&kdc.handle(&req, WS), "bcn-password", NOW).unwrap()
+        };
+        let req = build_tgs_req(&tgt, &client, WS, NOW, &principal("rlogin.priam"), 96);
+        assert!(read_tgs_reply(&kdc.handle(&req, WS), &tgt, NOW).is_ok());
+        // Byte-identical resend (stolen off the wire).
+        let err = read_tgs_reply(&kdc.handle(&req, WS), &tgt, NOW).unwrap_err();
+        assert_eq!(err, ErrorCode::RdApRepeat);
+    }
+
+    #[test]
+    fn tgs_rejects_request_from_wrong_address() {
+        let mut kdc = test_kdc();
+        let client = principal("bcn");
+        let tgt = {
+            let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
+            read_as_reply_with_password(&kdc.handle(&req, WS), "bcn-password", NOW).unwrap()
+        };
+        let req = build_tgs_req(&tgt, &client, WS, NOW, &principal("rlogin.priam"), 96);
+        let attacker: HostAddr = [10, 66, 66, 66];
+        let err = read_tgs_reply(&kdc.handle(&req, attacker), &tgt, NOW).unwrap_err();
+        assert_eq!(err, ErrorCode::RdApBadAddr);
+    }
+
+    #[test]
+    fn foreign_realm_as_request_rejected() {
+        let mut kdc = test_kdc();
+        let foreign = Principal::parse("bcn@LCS.MIT.EDU", REALM).unwrap();
+        let req = build_as_req(&foreign, &Principal::tgs(REALM, REALM), 96, NOW);
+        let reply = kdc.handle(&req, WS);
+        assert_eq!(
+            read_as_reply_with_password(&reply, "bcn-password", NOW).unwrap_err(),
+            ErrorCode::KdcUnknownRealm
+        );
+    }
+
+    #[test]
+    fn no_tgs_flag_forces_as_only() {
+        let mut kdc = test_kdc();
+        {
+            let db = kdc.db_mut().unwrap();
+            db.add_principal("changepw", "kerberos", &string_to_key("kdbm"), NOW * 2, 12, NOW, "i.").unwrap();
+            let mut e = db.get("changepw", "kerberos").unwrap().unwrap();
+            e.attributes |= ATTR_NO_TGS;
+            db.update_entry(&e).unwrap();
+        }
+        let client = principal("bcn");
+        // Via TGS: refused.
+        let tgt = {
+            let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
+            read_as_reply_with_password(&kdc.handle(&req, WS), "bcn-password", NOW).unwrap()
+        };
+        let kdbm = Principal::kdbm(REALM);
+        let req = build_tgs_req(&tgt, &client, WS, NOW, &kdbm, 12);
+        assert_eq!(
+            read_tgs_reply(&kdc.handle(&req, WS), &tgt, NOW).unwrap_err(),
+            ErrorCode::KdcNoTgsForService
+        );
+        // Via AS (password entry): granted.
+        let as_req = build_as_req(&client, &kdbm, 12, NOW);
+        let cred = read_as_reply_with_password(&kdc.handle(&as_req, WS), "bcn-password", NOW).unwrap();
+        assert_eq!(cred.service.local_str(), "changepw.kerberos");
+    }
+
+    #[test]
+    fn slave_serves_reads_but_refuses_writes() {
+        let kdc = test_kdc();
+        let dump = krb_kdb::dump::dump(kdc.db()).unwrap();
+        let entries = krb_kdb::dump::parse(&dump).unwrap();
+        let mut store = MemStore::new();
+        krb_kdb::dump::install(&mut store, &entries).unwrap();
+        let slave_db = PrincipalDb::open(store, string_to_key("master")).unwrap();
+        let mut slave = Kdc::new(slave_db, RealmConfig::new(REALM), fixed_clock(NOW), KdcRole::Slave, 8);
+        assert!(slave.db_mut().is_none(), "slave database is read-only");
+
+        let req = build_as_req(&principal("bcn"), &Principal::tgs(REALM, REALM), 96, NOW);
+        let reply = slave.handle(&req, WS);
+        assert!(read_as_reply_with_password(&reply, "bcn-password", NOW).is_ok());
+    }
+
+    #[test]
+    fn garbage_request_gets_error_reply() {
+        let mut kdc = test_kdc();
+        let reply = kdc.handle(b"not a kerberos message", WS);
+        match Message::decode(&reply).unwrap() {
+            Message::Err(e) => assert_eq!(e.code, ErrorCode::RdApVersion),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! # krb-kprop — Kerberos database propagation
+//!
+//! The "propagation software" of Figure 1 in Steiner, Neuman & Schiller
+//! (USENIX 1988), per §5.3 and Figure 13:
+//!
+//! > "The master database is dumped every hour. The database is sent, in
+//! > its entirety, to the slave machines ... First kprop sends a checksum
+//! > of the new database it is about to send. The checksum is encrypted in
+//! > the Kerberos master database key, which both the master and slave
+//! > Kerberos machines possess. ... The slave propagation server
+//! > calculates a checksum of the data it has received, and if it matches
+//! > the checksum sent by the master, the new information is used to
+//! > update the slave's database."
+//!
+//! The dump itself is safe to send because every key in it is already
+//! encrypted in the master database key; the checksum defends against
+//! *tampering* and against accepting data from anyone but the master.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod net;
+
+use krb_crypto::{cbc_checksum, constant_time_eq, DesKey};
+use krb_kdb::dump as kdump;
+use krb_kdb::{DbError, PrincipalDb, PrincipalEntry, Store};
+
+pub use net::{tcp_kprop_send, KpropdService, TcpKpropd};
+
+/// How often the master dumps and propagates: hourly (§5.3).
+pub const PROPAGATION_INTERVAL_SECS: u32 = 3600;
+
+/// Propagation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropError {
+    /// Transfer framing is damaged.
+    BadPacket,
+    /// The keyed checksum did not match: tampering, corruption, or a
+    /// sender who does not possess the master database key.
+    ChecksumMismatch,
+    /// The dump did not parse or install.
+    Db(DbError),
+}
+
+impl std::fmt::Display for PropError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropError::BadPacket => write!(f, "malformed propagation packet"),
+            PropError::ChecksumMismatch => write!(f, "propagation checksum mismatch"),
+            PropError::Db(e) => write!(f, "propagation database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PropError {}
+
+impl From<DbError> for PropError {
+    fn from(e: DbError) -> Self {
+        PropError::Db(e)
+    }
+}
+
+/// Master side (`kprop`): dump the database and frame it with the keyed
+/// checksum. Wire layout: 8-byte checksum, 4-byte big-endian length, dump.
+pub fn kprop_build<S: Store>(db: &PrincipalDb<S>) -> Result<Vec<u8>, PropError> {
+    let dump = kdump::dump(db)?;
+    Ok(frame(db.master_key(), dump.as_bytes()))
+}
+
+/// Frame pre-dumped bytes (benches reuse a fixed dump).
+pub fn frame(master_key: &DesKey, dump: &[u8]) -> Vec<u8> {
+    let checksum = cbc_checksum(master_key, &[0u8; 8], dump);
+    let mut out = Vec::with_capacity(12 + dump.len());
+    out.extend_from_slice(&checksum);
+    out.extend_from_slice(&(dump.len() as u32).to_be_bytes());
+    out.extend_from_slice(dump);
+    out
+}
+
+/// Slave side (`kpropd`), verification half: check framing and checksum,
+/// parse the dump. Returns the entries ready to install.
+pub fn kpropd_verify(packet: &[u8], master_key: &DesKey) -> Result<Vec<PrincipalEntry>, PropError> {
+    if packet.len() < 12 {
+        return Err(PropError::BadPacket);
+    }
+    let sent_sum: [u8; 8] = packet[..8].try_into().expect("8 bytes");
+    let len = u32::from_be_bytes(packet[8..12].try_into().expect("4 bytes")) as usize;
+    if packet.len() != 12 + len {
+        return Err(PropError::BadPacket);
+    }
+    let dump = &packet[12..];
+    let local_sum = cbc_checksum(master_key, &[0u8; 8], dump);
+    if !constant_time_eq(&local_sum, &sent_sum) {
+        return Err(PropError::ChecksumMismatch);
+    }
+    let text = std::str::from_utf8(dump).map_err(|_| PropError::BadPacket)?;
+    Ok(kdump::parse(text)?)
+}
+
+/// Slave side, install half: replace the slave store's contents and reopen
+/// it as a principal database under the same master key.
+pub fn kpropd_install<S: Store>(
+    mut store: S,
+    entries: &[PrincipalEntry],
+    master_key: DesKey,
+) -> Result<PrincipalDb<S>, PropError> {
+    kdump::install(&mut store, entries)?;
+    Ok(PrincipalDb::open(store, master_key)?)
+}
+
+/// One-shot: verify and install in a fresh store.
+pub fn kpropd_receive<S: Store>(
+    packet: &[u8],
+    store: S,
+    master_key: DesKey,
+) -> Result<PrincipalDb<S>, PropError> {
+    let entries = kpropd_verify(packet, &master_key)?;
+    kpropd_install(store, &entries, master_key)
+}
+
+/// Hourly schedule bookkeeping: decides when the next dump is due.
+#[derive(Debug, Clone, Copy)]
+pub struct PropSchedule {
+    last_dump: u32,
+    /// Interval between dumps (seconds); hourly by default.
+    pub interval: u32,
+}
+
+impl PropSchedule {
+    /// Start the schedule at `now`.
+    pub fn new(now: u32) -> Self {
+        PropSchedule { last_dump: now, interval: PROPAGATION_INTERVAL_SECS }
+    }
+
+    /// Whether a propagation is due, and if so, mark it done.
+    pub fn due(&mut self, now: u32) -> bool {
+        if now.saturating_sub(self.last_dump) >= self.interval {
+            self.last_dump = now;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krb_crypto::string_to_key;
+    use krb_kdb::MemStore;
+
+    const NOW: u32 = 600_000_000;
+
+    fn master() -> PrincipalDb<MemStore> {
+        let mut db = PrincipalDb::create(MemStore::new(), string_to_key("master"), NOW).unwrap();
+        for i in 0..20 {
+            db.add_principal(&format!("user{i}"), "", &string_to_key(&format!("pw{i}")), NOW * 2, 96, NOW, "i.")
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn propagation_round_trip() {
+        let m = master();
+        let packet = kprop_build(&m).unwrap();
+        let slave = kpropd_receive(&packet, MemStore::new(), string_to_key("master")).unwrap();
+        assert_eq!(slave.len(), m.len());
+        // The slave can authenticate a user: keys decrypt identically.
+        let (_, k) = slave.get_with_key("user7", "").unwrap().unwrap();
+        assert_eq!(k.as_bytes(), string_to_key("pw7").as_bytes());
+    }
+
+    #[test]
+    fn tampered_dump_rejected() {
+        let m = master();
+        let mut packet = kprop_build(&m).unwrap();
+        // Flip one byte of the payload (an attacker editing an entry).
+        let n = packet.len() - 5;
+        packet[n] ^= 0x20;
+        assert_eq!(
+            kpropd_receive(&packet, MemStore::new(), string_to_key("master")).map(|_| ()).unwrap_err(),
+            PropError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn forged_checksum_without_master_key_rejected() {
+        // An attacker who can compute checksums but lacks the master key
+        // cannot make the slave accept their data.
+        let m = master();
+        let dump = krb_kdb::dump::dump(&m).unwrap();
+        let forged = frame(&string_to_key("attacker-guess"), dump.as_bytes());
+        assert_eq!(
+            kpropd_receive(&forged, MemStore::new(), string_to_key("master")).map(|_| ()).unwrap_err(),
+            PropError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn truncated_packet_rejected() {
+        let m = master();
+        let packet = kprop_build(&m).unwrap();
+        for cut in [0, 5, 11, packet.len() - 1] {
+            assert_eq!(
+                kpropd_verify(&packet[..cut], &string_to_key("master")).unwrap_err(),
+                PropError::BadPacket,
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let m = master();
+        let mut packet = kprop_build(&m).unwrap();
+        packet.push(0);
+        assert_eq!(
+            kpropd_verify(&packet, &string_to_key("master")).unwrap_err(),
+            PropError::BadPacket
+        );
+    }
+
+    #[test]
+    fn dump_contains_no_plaintext_keys() {
+        // §5.3: "the information passed from master to slave over the
+        // network is not useful to an eavesdropper".
+        let m = master();
+        let packet = kprop_build(&m).unwrap();
+        let user_key = string_to_key("pw3");
+        let hex: String = user_key.as_bytes().iter().map(|b| format!("{b:02x}")).collect();
+        let text = String::from_utf8_lossy(&packet);
+        assert!(!text.contains(&hex));
+    }
+
+    #[test]
+    fn schedule_fires_hourly() {
+        let mut s = PropSchedule::new(NOW);
+        assert!(!s.due(NOW + 1800));
+        assert!(s.due(NOW + 3600));
+        assert!(!s.due(NOW + 3601), "just fired");
+        assert!(s.due(NOW + 7300));
+    }
+
+    #[test]
+    fn repeated_propagation_is_idempotent() {
+        let m = master();
+        let packet = kprop_build(&m).unwrap();
+        let slave1 = kpropd_receive(&packet, MemStore::new(), string_to_key("master")).unwrap();
+        assert_eq!(slave1.len(), m.len());
+        // Re-install the same dump over an already-populated store.
+        let entries = kpropd_verify(&packet, &string_to_key("master")).unwrap();
+        let mut store = MemStore::new();
+        krb_kdb::dump::install(&mut store, &entries).unwrap();
+        krb_kdb::dump::install(&mut store, &entries).unwrap();
+        let slave2 = PrincipalDb::open(store, string_to_key("master")).unwrap();
+        assert_eq!(slave2.len(), m.len());
+    }
+}

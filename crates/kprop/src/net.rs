@@ -1,0 +1,233 @@
+//! Propagation over the network: `kpropd` as a datagram service on the
+//! simulated network, and the era-faithful bulk transfer over a real TCP
+//! stream (the original `kprop` pushed whole-database dumps over TCP).
+
+use crate::{kpropd_verify, PropError};
+use krb_crypto::DesKey;
+use krb_kdb::PrincipalEntry;
+use krb_netsim::{Packet, Service};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `kpropd` as a network service: verifies each received dump against the
+/// master key and hands the entries to an install callback. Replies `OK`
+/// or `ERR <why>` so the master knows the transfer landed.
+pub struct KpropdService {
+    master_key: DesKey,
+    /// Called with the verified entries; returns whether install succeeded.
+    on_install: Box<dyn FnMut(Vec<PrincipalEntry>) -> bool + Send>,
+    /// Transfers accepted.
+    pub accepted: u64,
+    /// Transfers rejected (bad checksum / framing / install failure).
+    pub rejected: u64,
+}
+
+impl KpropdService {
+    /// Build a slave-side service around an installer callback.
+    pub fn new(
+        master_key: DesKey,
+        on_install: impl FnMut(Vec<PrincipalEntry>) -> bool + Send + 'static,
+    ) -> Self {
+        KpropdService { master_key, on_install: Box::new(on_install), accepted: 0, rejected: 0 }
+    }
+}
+
+impl Service for KpropdService {
+    fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
+        match kpropd_verify(&req.payload, &self.master_key) {
+            Ok(entries) => {
+                if (self.on_install)(entries) {
+                    self.accepted += 1;
+                    Some(b"OK".to_vec())
+                } else {
+                    self.rejected += 1;
+                    Some(b"ERR install".to_vec())
+                }
+            }
+            Err(e) => {
+                self.rejected += 1;
+                Some(format!("ERR {e}").into_bytes())
+            }
+        }
+    }
+}
+
+/// Run one TCP `kpropd` accept loop on a thread; stops when the returned
+/// guard is dropped. Each connection carries one length-prefixed dump.
+pub struct TcpKpropd {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    /// The bound address.
+    pub local_addr: SocketAddr,
+}
+
+impl TcpKpropd {
+    /// Listen on `addr` (e.g. `127.0.0.1:0`), verifying with `master_key`
+    /// and installing via the callback.
+    pub fn spawn(
+        addr: &str,
+        master_key: DesKey,
+        mut on_install: impl FnMut(Vec<PrincipalEntry>) -> bool + Send + 'static,
+    ) -> Result<Self, PropError> {
+        let listener = TcpListener::bind(addr).map_err(|_| PropError::BadPacket)?;
+        let local_addr = listener.local_addr().map_err(|_| PropError::BadPacket)?;
+        listener.set_nonblocking(true).map_err(|_| PropError::BadPacket)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((mut conn, _)) => {
+                        let _ = conn.set_nonblocking(false);
+                        let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+                        let reply = match read_framed(&mut conn)
+                            .and_then(|packet| kpropd_verify(&packet, &master_key))
+                        {
+                            Ok(entries) => {
+                                if on_install(entries) {
+                                    b"OK".to_vec()
+                                } else {
+                                    b"ERR install".to_vec()
+                                }
+                            }
+                            Err(e) => format!("ERR {e}").into_bytes(),
+                        };
+                        let _ = conn.write_all(&(reply.len() as u32).to_be_bytes());
+                        let _ = conn.write_all(&reply);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(TcpKpropd { stop, handle: Some(handle), local_addr })
+    }
+}
+
+impl Drop for TcpKpropd {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn read_framed(conn: &mut TcpStream) -> Result<Vec<u8>, PropError> {
+    let mut len_buf = [0u8; 4];
+    conn.read_exact(&mut len_buf).map_err(|_| PropError::BadPacket)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > 64 << 20 {
+        return Err(PropError::BadPacket);
+    }
+    let mut buf = vec![0u8; len];
+    conn.read_exact(&mut buf).map_err(|_| PropError::BadPacket)?;
+    Ok(buf)
+}
+
+/// Master side of the TCP transfer: push one framed dump, await the ack.
+pub fn tcp_kprop_send(addr: SocketAddr, packet: &[u8]) -> Result<(), PropError> {
+    let mut conn = TcpStream::connect(addr).map_err(|_| PropError::BadPacket)?;
+    conn.set_read_timeout(Some(Duration::from_secs(5))).map_err(|_| PropError::BadPacket)?;
+    conn.write_all(&(packet.len() as u32).to_be_bytes()).map_err(|_| PropError::BadPacket)?;
+    conn.write_all(packet).map_err(|_| PropError::BadPacket)?;
+    let mut len_buf = [0u8; 4];
+    conn.read_exact(&mut len_buf).map_err(|_| PropError::BadPacket)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    let mut reply = vec![0u8; len.min(1024)];
+    conn.read_exact(&mut reply).map_err(|_| PropError::BadPacket)?;
+    if reply == b"OK" {
+        Ok(())
+    } else {
+        Err(PropError::ChecksumMismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{frame, kprop_build};
+    use krb_crypto::string_to_key;
+    use krb_kdb::{MemStore, PrincipalDb};
+    use parking_lot::Mutex;
+
+    const NOW: u32 = 600_000_000;
+
+    fn master_db() -> PrincipalDb<MemStore> {
+        let mut db = PrincipalDb::create(MemStore::new(), string_to_key("mk"), NOW).unwrap();
+        for i in 0..10 {
+            db.add_principal(&format!("u{i}"), "", &string_to_key(&format!("p{i}")), NOW * 2, 96, NOW, "i.")
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn simulated_network_propagation() {
+        use krb_netsim::{Endpoint, NetConfig, Router, SimNet};
+        let master = master_db();
+        let received: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+        let received2 = Arc::clone(&received);
+        let svc = KpropdService::new(string_to_key("mk"), move |entries| {
+            *received2.lock() = entries.len();
+            true
+        });
+        let mut router = Router::new(SimNet::new(NetConfig::default()));
+        let slave_ep = Endpoint::new([18, 72, 0, 11], krb_netsim::ports::KPROP);
+        router.serve(slave_ep, svc);
+
+        let packet = kprop_build(&master).unwrap();
+        let master_ep = Endpoint::new([18, 72, 0, 10], 1000);
+        let reply = router.rpc(master_ep, slave_ep, &packet).unwrap();
+        assert_eq!(reply, b"OK");
+        assert_eq!(*received.lock(), 11); // 10 users + K.M
+    }
+
+    #[test]
+    fn simulated_network_rejects_tamper() {
+        use krb_netsim::{Endpoint, NetConfig, Router, SimNet};
+        let master = master_db();
+        let svc = KpropdService::new(string_to_key("mk"), |_| true);
+        let mut router = Router::new(SimNet::new(NetConfig::default()));
+        let slave_ep = Endpoint::new([18, 72, 0, 11], krb_netsim::ports::KPROP);
+        router.serve(slave_ep, svc);
+
+        let mut packet = kprop_build(&master).unwrap();
+        let n = packet.len();
+        packet[n - 1] ^= 1;
+        let reply = router.rpc(Endpoint::new([10, 0, 0, 66], 1), slave_ep, &packet).unwrap();
+        assert!(reply.starts_with(b"ERR"));
+    }
+
+    #[test]
+    fn tcp_propagation_round_trip() {
+        let master = master_db();
+        let installed: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+        let installed2 = Arc::clone(&installed);
+        let server = TcpKpropd::spawn("127.0.0.1:0", string_to_key("mk"), move |entries| {
+            *installed2.lock() = entries.len();
+            true
+        })
+        .unwrap();
+        let packet = kprop_build(&master).unwrap();
+        tcp_kprop_send(server.local_addr, &packet).unwrap();
+        assert_eq!(*installed.lock(), 11);
+    }
+
+    #[test]
+    fn tcp_propagation_rejects_wrong_key() {
+        let master = master_db();
+        let server = TcpKpropd::spawn("127.0.0.1:0", string_to_key("mk"), |_| true).unwrap();
+        let dump = krb_kdb::dump::dump(&master).unwrap();
+        let forged = frame(&string_to_key("wrong"), dump.as_bytes());
+        assert_eq!(
+            tcp_kprop_send(server.local_addr, &forged).unwrap_err(),
+            PropError::ChecksumMismatch
+        );
+    }
+}

@@ -1,0 +1,427 @@
+//! The deterministic in-process datagram network.
+//!
+//! This substitutes for Project Athena's campus Ethernet (see DESIGN.md,
+//! substitutions). It is an *open* network in exactly the paper's sense:
+//! any host can put any packet on the wire with any source address
+//! ([`SimNet::send_spoofed`]), and anyone can listen ([`SimNet::add_tap`]).
+//! The security experiments depend on both properties.
+//!
+//! Time is simulated: packets are scheduled onto a priority queue with the
+//! configured latency and delivered as the clock advances. Loss and
+//! duplication are driven by a seeded RNG, so every run is reproducible.
+
+use crate::{Endpoint, NetError, Packet};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Seconds between the UNIX epoch and the simulation's t=0
+/// (1987-01-01, the year Kerberos became Athena's sole authentication means).
+pub const EPOCH_1987: u32 = 536_457_600;
+
+/// Link behaviour knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// One-way delivery latency in simulated milliseconds.
+    pub latency_ms: u64,
+    /// Extra random latency up to this many milliseconds — packets taking
+    /// different paths arrive out of order, as on a real campus network.
+    pub jitter_ms: u64,
+    /// Probability a packet is silently dropped.
+    pub loss: f64,
+    /// Probability a delivered packet is delivered twice (network-level
+    /// duplication — distinct from a deliberate replay attack).
+    pub dup: f64,
+    /// RNG seed; equal seeds give identical runs.
+    pub seed: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig { latency_ms: 2, jitter_ms: 0, loss: 0.0, dup: 0.0, seed: 0x5EED }
+    }
+}
+
+/// A packet observer: sees every packet put on the wire, like a host in
+/// promiscuous mode. "Someone watching the network should not be able to
+/// obtain the information necessary to impersonate another user" (§1) —
+/// taps are how tests check that.
+pub type Tap = Box<dyn FnMut(&Packet) + Send>;
+
+#[derive(PartialEq, Eq)]
+struct Scheduled {
+    deliver_at: u64,
+    seq: u64,
+    packet: Packet,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated network.
+pub struct SimNet {
+    config: NetConfig,
+    rng: StdRng,
+    /// Simulated time in milliseconds, shared with host clocks.
+    time_ms: Arc<AtomicU64>,
+    in_flight: BinaryHeap<Reverse<Scheduled>>,
+    inboxes: HashMap<Endpoint, VecDeque<Packet>>,
+    /// Hosts cut off from the network (the "master machine is down" case).
+    partitioned: std::collections::HashSet<crate::Ipv4>,
+    taps: Vec<Tap>,
+    seq: u64,
+    /// Counters for experiments.
+    pub stats: NetStats,
+}
+
+/// Delivery counters.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NetStats {
+    /// Packets accepted onto the wire.
+    pub sent: u64,
+    /// Packets handed to an inbox.
+    pub delivered: u64,
+    /// Packets dropped by loss or partition.
+    pub dropped: u64,
+    /// Extra deliveries from duplication.
+    pub duplicated: u64,
+}
+
+impl SimNet {
+    /// Create a network with the given behaviour.
+    pub fn new(config: NetConfig) -> Self {
+        SimNet {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            time_ms: Arc::new(AtomicU64::new(0)),
+            in_flight: BinaryHeap::new(),
+            inboxes: HashMap::new(),
+            partitioned: Default::default(),
+            taps: Vec::new(),
+            seq: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Register an endpoint so it can receive packets.
+    pub fn bind(&mut self, ep: Endpoint) {
+        self.inboxes.entry(ep).or_default();
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.time_ms.load(Ordering::SeqCst)
+    }
+
+    /// Shared handle to simulated time, for building [`HostClock`]s.
+    pub fn time_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.time_ms)
+    }
+
+    /// Advance simulated time without traffic (e.g. to expire tickets).
+    pub fn advance_ms(&mut self, ms: u64) {
+        let t = self.now_ms() + ms;
+        self.time_ms.store(t, Ordering::SeqCst);
+        self.deliver_due();
+    }
+
+    /// Put a packet on the wire with an honest source address.
+    pub fn send(&mut self, src: Endpoint, dst: Endpoint, payload: Vec<u8>) {
+        self.send_spoofed(src, dst, payload)
+    }
+
+    /// Put a packet on the wire with *any* source address. The network does
+    /// not authenticate senders — that is the paper's premise.
+    pub fn send_spoofed(&mut self, claimed_src: Endpoint, dst: Endpoint, payload: Vec<u8>) {
+        self.seq += 1;
+        let packet = Packet { src: claimed_src, dst, payload, id: self.seq };
+        for tap in &mut self.taps {
+            tap(&packet);
+        }
+        self.stats.sent += 1;
+        if self.partitioned.contains(&claimed_src.addr) || self.partitioned.contains(&dst.addr) {
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.config.loss > 0.0 && self.rng.random::<f64>() < self.config.loss {
+            self.stats.dropped += 1;
+            return;
+        }
+        let jitter = if self.config.jitter_ms > 0 {
+            self.rng.random_range(0..=self.config.jitter_ms)
+        } else {
+            0
+        };
+        let deliver_at = self.now_ms() + self.config.latency_ms + jitter;
+        self.in_flight.push(Reverse(Scheduled { deliver_at, seq: self.seq, packet: packet.clone() }));
+        if self.config.dup > 0.0 && self.rng.random::<f64>() < self.config.dup {
+            self.seq += 1;
+            self.stats.duplicated += 1;
+            self.in_flight.push(Reverse(Scheduled {
+                deliver_at: deliver_at + 1,
+                seq: self.seq,
+                packet,
+            }));
+        }
+    }
+
+    /// Deliver everything whose time has come.
+    fn deliver_due(&mut self) {
+        let now = self.now_ms();
+        while let Some(Reverse(s)) = self.in_flight.peek() {
+            if s.deliver_at > now {
+                break;
+            }
+            let Reverse(s) = self.in_flight.pop().expect("peeked");
+            if let Some(inbox) = self.inboxes.get_mut(&s.packet.dst) {
+                inbox.push_back(s.packet);
+                self.stats.delivered += 1;
+            } else {
+                self.stats.dropped += 1; // no listener: like ICMP unreachable
+            }
+        }
+    }
+
+    /// Advance time just enough to deliver the next in-flight packet.
+    /// Returns false if the network is quiescent.
+    pub fn step(&mut self) -> bool {
+        match self.in_flight.peek() {
+            None => false,
+            Some(Reverse(s)) => {
+                let t = s.deliver_at.max(self.now_ms());
+                self.time_ms.store(t, Ordering::SeqCst);
+                self.deliver_due();
+                true
+            }
+        }
+    }
+
+    /// Run until no packets are in flight.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Take the next packet queued at `ep`.
+    pub fn recv(&mut self, ep: Endpoint) -> Option<Packet> {
+        self.inboxes.get_mut(&ep)?.pop_front()
+    }
+
+    /// Attach a promiscuous observer.
+    pub fn add_tap(&mut self, tap: Tap) {
+        self.taps.push(tap);
+    }
+
+    /// Attach a tap that records every packet into a shared buffer and
+    /// return the buffer — the standard eavesdropper/replayer setup.
+    pub fn add_capture(&mut self) -> Arc<Mutex<Vec<Packet>>> {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let clone = Arc::clone(&buf);
+        self.add_tap(Box::new(move |p| clone.lock().push(p.clone())));
+        buf
+    }
+
+    /// Disconnect or reconnect a host (all its endpoints).
+    pub fn set_partitioned(&mut self, addr: crate::Ipv4, down: bool) {
+        if down {
+            self.partitioned.insert(addr);
+        } else {
+            self.partitioned.remove(&addr);
+        }
+    }
+}
+
+/// A per-host wall clock derived from simulated time.
+///
+/// `skew_secs` models the paper's §4.3 assumption: "It is assumed that
+/// clocks are synchronized to within several minutes" — tests set skews on
+/// either side of the window and watch requests be accepted or rejected.
+#[derive(Clone)]
+pub struct HostClock {
+    time_ms: Arc<AtomicU64>,
+    skew_secs: i64,
+}
+
+impl HostClock {
+    /// A clock reading `EPOCH_1987 + sim_time + skew`.
+    pub fn new(time_ms: Arc<AtomicU64>, skew_secs: i64) -> Self {
+        HostClock { time_ms, skew_secs }
+    }
+
+    /// Current time in seconds since the UNIX epoch, as this host sees it.
+    pub fn now(&self) -> u32 {
+        let sim_secs = (self.time_ms.load(Ordering::SeqCst) / 1000) as i64;
+        (i64::from(EPOCH_1987) + sim_secs + self.skew_secs) as u32
+    }
+}
+
+/// Convenience: result of pumping a request/response pair (see [`crate::rpc`]).
+pub type RecvResult = Result<Packet, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Endpoint, Ipv4};
+
+    fn ep(a: u8, port: u16) -> Endpoint {
+        Endpoint { addr: Ipv4([10, 0, 0, a]), port }
+    }
+
+    #[test]
+    fn basic_delivery() {
+        let mut net = SimNet::new(NetConfig::default());
+        net.bind(ep(2, 88));
+        net.send(ep(1, 1000), ep(2, 88), b"hello".to_vec());
+        assert!(net.recv(ep(2, 88)).is_none(), "latency: not yet delivered");
+        net.run_until_idle();
+        let p = net.recv(ep(2, 88)).expect("delivered");
+        assert_eq!(p.payload, b"hello");
+        assert_eq!(p.src, ep(1, 1000));
+    }
+
+    #[test]
+    fn delivery_order_is_fifo_at_equal_latency() {
+        let mut net = SimNet::new(NetConfig::default());
+        net.bind(ep(2, 88));
+        for i in 0..10u8 {
+            net.send(ep(1, 1000), ep(2, 88), vec![i]);
+        }
+        net.run_until_idle();
+        for i in 0..10u8 {
+            assert_eq!(net.recv(ep(2, 88)).unwrap().payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn loss_drops_packets_deterministically() {
+        let cfg = NetConfig { loss: 0.5, seed: 42, ..Default::default() };
+        let run = |cfg: NetConfig| {
+            let mut net = SimNet::new(cfg);
+            net.bind(ep(2, 88));
+            for i in 0..100u8 {
+                net.send(ep(1, 1), ep(2, 88), vec![i]);
+            }
+            net.run_until_idle();
+            let mut got = Vec::new();
+            while let Some(p) = net.recv(ep(2, 88)) {
+                got.push(p.payload[0]);
+            }
+            got
+        };
+        let a = run(cfg);
+        let b = run(cfg);
+        assert_eq!(a, b, "same seed, same losses");
+        assert!(a.len() < 80 && a.len() > 20, "roughly half dropped: {}", a.len());
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let cfg = NetConfig { dup: 1.0, ..Default::default() };
+        let mut net = SimNet::new(cfg);
+        net.bind(ep(2, 88));
+        net.send(ep(1, 1), ep(2, 88), b"x".to_vec());
+        net.run_until_idle();
+        assert!(net.recv(ep(2, 88)).is_some());
+        assert!(net.recv(ep(2, 88)).is_some(), "duplicate expected");
+        assert_eq!(net.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn partition_blocks_host() {
+        let mut net = SimNet::new(NetConfig::default());
+        net.bind(ep(2, 88));
+        net.set_partitioned(Ipv4([10, 0, 0, 2]), true);
+        net.send(ep(1, 1), ep(2, 88), b"x".to_vec());
+        net.run_until_idle();
+        assert!(net.recv(ep(2, 88)).is_none());
+        net.set_partitioned(Ipv4([10, 0, 0, 2]), false);
+        net.send(ep(1, 1), ep(2, 88), b"y".to_vec());
+        net.run_until_idle();
+        assert!(net.recv(ep(2, 88)).is_some());
+    }
+
+    #[test]
+    fn tap_sees_all_traffic_including_spoofed() {
+        let mut net = SimNet::new(NetConfig::default());
+        net.bind(ep(2, 88));
+        let captured = net.add_capture();
+        net.send(ep(1, 1), ep(2, 88), b"a".to_vec());
+        net.send_spoofed(ep(9, 9), ep(2, 88), b"forged".to_vec());
+        net.run_until_idle();
+        let buf = captured.lock();
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[1].src, ep(9, 9));
+        assert_eq!(buf[1].payload, b"forged");
+    }
+
+    #[test]
+    fn host_clocks_follow_sim_time_with_skew() {
+        let mut net = SimNet::new(NetConfig::default());
+        let good = HostClock::new(net.time_handle(), 0);
+        let fast = HostClock::new(net.time_handle(), 600);
+        assert_eq!(good.now(), EPOCH_1987);
+        assert_eq!(fast.now(), EPOCH_1987 + 600);
+        net.advance_ms(10_000);
+        assert_eq!(good.now(), EPOCH_1987 + 10);
+        assert_eq!(fast.now(), EPOCH_1987 + 610);
+    }
+
+    #[test]
+    fn unbound_destination_counts_as_dropped() {
+        let mut net = SimNet::new(NetConfig::default());
+        net.send(ep(1, 1), ep(7, 7), b"x".to_vec());
+        net.run_until_idle();
+        assert_eq!(net.stats.dropped, 1);
+    }
+}
+
+#[cfg(test)]
+mod jitter_tests {
+    use super::*;
+    use crate::Endpoint;
+
+    #[test]
+    fn jitter_reorders_packets() {
+        let mut net = SimNet::new(NetConfig { jitter_ms: 50, seed: 9, ..Default::default() });
+        let dst = Endpoint::new([10, 0, 0, 2], 88);
+        net.bind(dst);
+        for i in 0..30u8 {
+            net.send(Endpoint::new([10, 0, 0, 1], 1), dst, vec![i]);
+        }
+        net.run_until_idle();
+        let mut order = Vec::new();
+        while let Some(p) = net.recv(dst) {
+            order.push(p.payload[0]);
+        }
+        assert_eq!(order.len(), 30, "nothing lost");
+        let sorted: Vec<u8> = (0..30).collect();
+        assert_ne!(order, sorted, "jitter must reorder at least one pair");
+    }
+
+    #[test]
+    fn zero_jitter_preserves_order() {
+        let mut net = SimNet::new(NetConfig::default());
+        let dst = Endpoint::new([10, 0, 0, 2], 88);
+        net.bind(dst);
+        for i in 0..30u8 {
+            net.send(Endpoint::new([10, 0, 0, 1], 1), dst, vec![i]);
+        }
+        net.run_until_idle();
+        let mut order = Vec::new();
+        while let Some(p) = net.recv(dst) {
+            order.push(p.payload[0]);
+        }
+        assert_eq!(order, (0..30).collect::<Vec<u8>>());
+    }
+}

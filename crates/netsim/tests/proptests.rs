@@ -1,0 +1,52 @@
+//! Properties of the simulated network: conservation (every packet is
+//! delivered or counted dropped/duplicated) and determinism under a seed.
+
+use krb_netsim::{Endpoint, NetConfig, SimNet};
+use proptest::prelude::*;
+
+proptest! {
+    /// sent + duplicated == delivered + dropped + still-queued(0 after idle).
+    #[test]
+    fn packet_conservation(
+        loss in 0.0f64..1.0,
+        dup in 0.0f64..0.5,
+        n in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        let mut net = SimNet::new(NetConfig { loss, dup, seed, ..Default::default() });
+        let dst = Endpoint::new([10, 0, 0, 2], 88);
+        net.bind(dst);
+        for i in 0..n {
+            net.send(Endpoint::new([10, 0, 0, 1], 1000), dst, vec![i as u8]);
+        }
+        net.run_until_idle();
+        let mut received = 0u64;
+        while net.recv(dst).is_some() {
+            received += 1;
+        }
+        let s = net.stats;
+        prop_assert_eq!(s.sent, n as u64);
+        prop_assert_eq!(received, s.delivered);
+        prop_assert_eq!(s.delivered + s.dropped, s.sent + s.duplicated);
+    }
+
+    /// Two runs with the same seed produce identical delivery outcomes.
+    #[test]
+    fn seeded_determinism(loss in 0.0f64..1.0, seed in any::<u64>()) {
+        let run = || {
+            let mut net = SimNet::new(NetConfig { loss, seed, ..Default::default() });
+            let dst = Endpoint::new([10, 0, 0, 2], 88);
+            net.bind(dst);
+            for i in 0..50u8 {
+                net.send(Endpoint::new([10, 0, 0, 1], 1), dst, vec![i]);
+            }
+            net.run_until_idle();
+            let mut got = Vec::new();
+            while let Some(p) = net.recv(dst) {
+                got.push(p.payload[0]);
+            }
+            got
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

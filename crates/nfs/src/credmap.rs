@@ -1,0 +1,131 @@
+//! The kernel-resident credential map and its control "system call".
+//!
+//! Appendix, Modified NFS: "we added a new system call to the kernel
+//! (required only on server systems ...) that provides for the control of
+//! the mapping function that maps incoming credentials from client
+//! workstations to credentials valid for use on the server. ... The basic
+//! mapping function maps the tuple `<CLIENT-IP-ADDRESS, UID-ON-CLIENT>` to
+//! a valid NFS credential on the server system."
+//!
+//! "Our new system call is used to add and delete entries from the kernel
+//! resident map. It also provides the ability to flush all entries that
+//! map to a specific UID on the server system, or flush all entries from a
+//! given CLIENT-IP-ADDRESS."
+
+use crate::NfsCredential;
+use kerberos::HostAddr;
+use std::collections::HashMap;
+
+/// The mapping key: client host plus the uid claimed on that host.
+pub type MapKey = (HostAddr, u32);
+
+/// The kernel map. Lookup happens "in the server's kernel on each NFS
+/// transaction" — it must be (and is) a hash lookup, which is the entire
+/// performance argument of the appendix (experiment E13).
+#[derive(Default, Debug, Clone)]
+pub struct CredMap {
+    map: HashMap<MapKey, NfsCredential>,
+}
+
+impl CredMap {
+    /// An empty map (fresh boot).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Syscall op: install a mapping (done by the mount daemon after a
+    /// successful Kerberos mapping transaction).
+    pub fn add(&mut self, client: HostAddr, uid_on_client: u32, server_cred: NfsCredential) {
+        self.map.insert((client, uid_on_client), server_cred);
+    }
+
+    /// Syscall op: delete one mapping (unmount time).
+    pub fn del(&mut self, client: HostAddr, uid_on_client: u32) -> bool {
+        self.map.remove(&(client, uid_on_client)).is_some()
+    }
+
+    /// Syscall op: flush all entries mapping to a given *server* uid
+    /// (log-out time, "cleaning up any remaining mappings").
+    pub fn flush_uid(&mut self, server_uid: u32) -> usize {
+        let before = self.map.len();
+        self.map.retain(|_, v| v.uid != server_uid);
+        before - self.map.len()
+    }
+
+    /// Syscall op: flush all entries from a client address (workstation
+    /// returned to the pool).
+    pub fn flush_addr(&mut self, client: HostAddr) -> usize {
+        let before = self.map.len();
+        self.map.retain(|(a, _), _| *a != client);
+        before - self.map.len()
+    }
+
+    /// The per-transaction kernel lookup.
+    pub fn lookup(&self, client: HostAddr, uid_on_client: u32) -> Option<&NfsCredential> {
+        self.map.get(&(client, uid_on_client))
+    }
+
+    /// Number of live mappings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WS1: HostAddr = [18, 72, 0, 5];
+    const WS2: HostAddr = [18, 72, 0, 6];
+
+    fn cred(uid: u32) -> NfsCredential {
+        NfsCredential { uid, gids: vec![uid, 100] }
+    }
+
+    #[test]
+    fn add_lookup_del() {
+        let mut m = CredMap::new();
+        m.add(WS1, 500, cred(8042));
+        assert_eq!(m.lookup(WS1, 500).unwrap().uid, 8042);
+        assert!(m.lookup(WS1, 501).is_none(), "different client uid");
+        assert!(m.lookup(WS2, 500).is_none(), "different host");
+        assert!(m.del(WS1, 500));
+        assert!(!m.del(WS1, 500));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn mapping_can_translate_uids() {
+        // "a valid (and possibly different) credential on the server".
+        let mut m = CredMap::new();
+        m.add(WS1, 0, cred(8042)); // root on the workstation is just bcn here
+        assert_eq!(m.lookup(WS1, 0).unwrap().uid, 8042);
+    }
+
+    #[test]
+    fn flush_uid_clears_all_of_a_users_mappings() {
+        let mut m = CredMap::new();
+        m.add(WS1, 500, cred(8042));
+        m.add(WS2, 777, cred(8042));
+        m.add(WS1, 501, cred(9999));
+        assert_eq!(m.flush_uid(8042), 2);
+        assert_eq!(m.len(), 1);
+        assert!(m.lookup(WS1, 501).is_some());
+    }
+
+    #[test]
+    fn flush_addr_clears_a_workstation() {
+        let mut m = CredMap::new();
+        m.add(WS1, 500, cred(1));
+        m.add(WS1, 501, cred(2));
+        m.add(WS2, 500, cred(3));
+        assert_eq!(m.flush_addr(WS1), 2);
+        assert_eq!(m.len(), 1);
+        assert!(m.lookup(WS2, 500).is_some());
+    }
+}

@@ -1,0 +1,352 @@
+//! An in-memory UNIX-style filesystem: the fileserver's disk.
+//!
+//! The appendix's fileservers are "VAX 11/750s dedicated to this purpose"
+//! holding every user's home directory. This VFS provides the pieces the
+//! case study needs: inodes, directories, owner/group/mode bits, and
+//! permission checks against an `(uid, gids)` credential.
+
+use crate::{NfsCredential, NfsError};
+use std::collections::BTreeMap;
+
+/// Inode number.
+pub type Ino = usize;
+
+/// Mode bits: standard `rwxrwxrwx` in the low 9 bits.
+pub type Mode = u16;
+
+/// Read permission bit (owner column; shift right by 3/6 for group/other).
+pub const R: Mode = 0o4;
+/// Write permission bit.
+pub const W: Mode = 0o2;
+/// Execute/search permission bit.
+pub const X: Mode = 0o1;
+
+#[derive(Clone, Debug)]
+enum Node {
+    File(Vec<u8>),
+    Dir(BTreeMap<String, Ino>),
+}
+
+/// One inode: data plus ownership and permissions.
+#[derive(Clone, Debug)]
+pub struct Inode {
+    node: Node,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Permission bits (low 9).
+    pub mode: Mode,
+}
+
+/// The filesystem.
+pub struct Vfs {
+    inodes: Vec<Option<Inode>>,
+}
+
+/// The root directory's inode number.
+pub const ROOT: Ino = 0;
+
+impl Vfs {
+    /// A filesystem with an empty world-searchable root.
+    pub fn new() -> Self {
+        Vfs {
+            inodes: vec![Some(Inode {
+                node: Node::Dir(BTreeMap::new()),
+                uid: 0,
+                gid: 0,
+                mode: 0o755,
+            })],
+        }
+    }
+
+    fn get(&self, ino: Ino) -> Result<&Inode, NfsError> {
+        self.inodes.get(ino).and_then(Option::as_ref).ok_or(NfsError::Stale)
+    }
+
+    fn get_mut(&mut self, ino: Ino) -> Result<&mut Inode, NfsError> {
+        self.inodes.get_mut(ino).and_then(Option::as_mut).ok_or(NfsError::Stale)
+    }
+
+    /// Permission check: owner, then group, then other. Uid 0 bypasses
+    /// (the fileserver's own superuser).
+    fn check(&self, ino: Ino, cred: &NfsCredential, want: Mode) -> Result<(), NfsError> {
+        let inode = self.get(ino)?;
+        if cred.uid == 0 {
+            return Ok(());
+        }
+        let granted = if cred.uid == inode.uid {
+            (inode.mode >> 6) & 0o7
+        } else if cred.gids.contains(&inode.gid) {
+            (inode.mode >> 3) & 0o7
+        } else {
+            inode.mode & 0o7
+        };
+        if granted & want == want {
+            Ok(())
+        } else {
+            Err(NfsError::Access)
+        }
+    }
+
+    /// Look up `name` in directory `dir` (requires search permission).
+    pub fn lookup(&self, dir: Ino, name: &str, cred: &NfsCredential) -> Result<Ino, NfsError> {
+        self.check(dir, cred, X)?;
+        match &self.get(dir)?.node {
+            Node::Dir(entries) => entries.get(name).copied().ok_or(NfsError::NotFound),
+            Node::File(_) => Err(NfsError::NotDir),
+        }
+    }
+
+    /// Resolve a `/`-separated path from the root.
+    pub fn resolve(&self, path: &str, cred: &NfsCredential) -> Result<Ino, NfsError> {
+        let mut ino = ROOT;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            ino = self.lookup(ino, comp, cred)?;
+        }
+        Ok(ino)
+    }
+
+    /// Create a file in `dir` (requires write permission on the directory).
+    pub fn create(
+        &mut self,
+        dir: Ino,
+        name: &str,
+        mode: Mode,
+        cred: &NfsCredential,
+    ) -> Result<Ino, NfsError> {
+        self.check(dir, cred, W)?;
+        let ino = self.alloc(Inode {
+            node: Node::File(Vec::new()),
+            uid: cred.uid,
+            gid: cred.gids.first().copied().unwrap_or(0),
+            mode,
+        });
+        self.link(dir, name, ino)?;
+        Ok(ino)
+    }
+
+    /// Create a directory in `dir`.
+    pub fn mkdir(
+        &mut self,
+        dir: Ino,
+        name: &str,
+        mode: Mode,
+        cred: &NfsCredential,
+    ) -> Result<Ino, NfsError> {
+        self.check(dir, cred, W)?;
+        let ino = self.alloc(Inode {
+            node: Node::Dir(BTreeMap::new()),
+            uid: cred.uid,
+            gid: cred.gids.first().copied().unwrap_or(0),
+            mode,
+        });
+        self.link(dir, name, ino)?;
+        Ok(ino)
+    }
+
+    fn alloc(&mut self, inode: Inode) -> Ino {
+        self.inodes.push(Some(inode));
+        self.inodes.len() - 1
+    }
+
+    fn link(&mut self, dir: Ino, name: &str, ino: Ino) -> Result<(), NfsError> {
+        match &mut self.get_mut(dir)?.node {
+            Node::Dir(entries) => {
+                if entries.contains_key(name) {
+                    return Err(NfsError::Exists);
+                }
+                entries.insert(name.to_string(), ino);
+                Ok(())
+            }
+            Node::File(_) => Err(NfsError::NotDir),
+        }
+    }
+
+    /// Read a byte range from a file (requires read permission).
+    pub fn read(
+        &self,
+        ino: Ino,
+        offset: usize,
+        len: usize,
+        cred: &NfsCredential,
+    ) -> Result<Vec<u8>, NfsError> {
+        self.check(ino, cred, R)?;
+        match &self.get(ino)?.node {
+            Node::File(data) => {
+                let start = offset.min(data.len());
+                let end = (offset + len).min(data.len());
+                Ok(data[start..end].to_vec())
+            }
+            Node::Dir(_) => Err(NfsError::IsDir),
+        }
+    }
+
+    /// Write bytes at an offset, extending the file (requires write).
+    pub fn write(
+        &mut self,
+        ino: Ino,
+        offset: usize,
+        bytes: &[u8],
+        cred: &NfsCredential,
+    ) -> Result<usize, NfsError> {
+        self.check(ino, cred, W)?;
+        match &mut self.get_mut(ino)?.node {
+            Node::File(data) => {
+                if data.len() < offset + bytes.len() {
+                    data.resize(offset + bytes.len(), 0);
+                }
+                data[offset..offset + bytes.len()].copy_from_slice(bytes);
+                Ok(bytes.len())
+            }
+            Node::Dir(_) => Err(NfsError::IsDir),
+        }
+    }
+
+    /// List a directory (requires read permission on it).
+    pub fn readdir(&self, dir: Ino, cred: &NfsCredential) -> Result<Vec<String>, NfsError> {
+        self.check(dir, cred, R)?;
+        match &self.get(dir)?.node {
+            Node::Dir(entries) => Ok(entries.keys().cloned().collect()),
+            Node::File(_) => Err(NfsError::NotDir),
+        }
+    }
+
+    /// Remove an entry (requires write permission on the directory).
+    pub fn unlink(&mut self, dir: Ino, name: &str, cred: &NfsCredential) -> Result<(), NfsError> {
+        self.check(dir, cred, W)?;
+        let ino = match &mut self.get_mut(dir)?.node {
+            Node::Dir(entries) => entries.remove(name).ok_or(NfsError::NotFound)?,
+            Node::File(_) => return Err(NfsError::NotDir),
+        };
+        self.inodes[ino] = None;
+        Ok(())
+    }
+
+    /// Attributes (owner, group, mode, size).
+    pub fn getattr(&self, ino: Ino) -> Result<(u32, u32, Mode, usize), NfsError> {
+        let inode = self.get(ino)?;
+        let size = match &inode.node {
+            Node::File(d) => d.len(),
+            Node::Dir(e) => e.len(),
+        };
+        Ok((inode.uid, inode.gid, inode.mode, size))
+    }
+
+    /// Build a home directory owned by `uid` at `/<username>` with mode 700
+    /// (the appendix's private storage model).
+    pub fn provision_home(&mut self, username: &str, uid: u32, gid: u32) -> Result<Ino, NfsError> {
+        let root_cred = NfsCredential { uid: 0, gids: vec![0] };
+        let home = self.mkdir(ROOT, username, 0o700, &root_cred)?;
+        let inode = self.get_mut(home)?;
+        inode.uid = uid;
+        inode.gid = gid;
+        Ok(home)
+    }
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cred(uid: u32) -> NfsCredential {
+        NfsCredential { uid, gids: vec![uid] }
+    }
+
+    #[test]
+    fn home_directory_is_private() {
+        let mut fs = Vfs::new();
+        let home = fs.provision_home("bcn", 8042, 8042).unwrap();
+        let f = fs.create(home, "thesis.tex", 0o600, &cred(8042)).unwrap();
+        fs.write(f, 0, b"\\documentclass{article}", &cred(8042)).unwrap();
+
+        // The owner reads their file.
+        assert_eq!(
+            fs.read(f, 0, 100, &cred(8042)).unwrap(),
+            b"\\documentclass{article}"
+        );
+        // Another user cannot even search the home directory.
+        assert_eq!(fs.lookup(home, "thesis.tex", &cred(1234)).unwrap_err(), NfsError::Access);
+        // Nor read the file directly by inode.
+        assert_eq!(fs.read(f, 0, 100, &cred(1234)).unwrap_err(), NfsError::Access);
+    }
+
+    #[test]
+    fn group_and_other_permissions() {
+        let mut fs = Vfs::new();
+        let root_cred = NfsCredential { uid: 0, gids: vec![0] };
+        let shared = fs.mkdir(ROOT, "proj", 0o775, &root_cred).unwrap();
+        // Make the project dir owned by group 100.
+        {
+            let inode = fs.get_mut(shared).unwrap();
+            inode.uid = 1;
+            inode.gid = 100;
+        }
+        let member = NfsCredential { uid: 2, gids: vec![100] };
+        let outsider = NfsCredential { uid: 3, gids: vec![300] };
+        assert!(fs.create(shared, "notes", 0o664, &member).is_ok(), "group write");
+        assert_eq!(fs.create(shared, "x", 0o664, &outsider).unwrap_err(), NfsError::Access);
+        // Other can still list (r-x for other).
+        assert!(fs.readdir(shared, &outsider).is_ok());
+    }
+
+    #[test]
+    fn path_resolution() {
+        let mut fs = Vfs::new();
+        let home = fs.provision_home("jis", 1001, 1001).unwrap();
+        let sub = fs.mkdir(home, "mail", 0o700, &cred(1001)).unwrap();
+        fs.create(sub, "inbox", 0o600, &cred(1001)).unwrap();
+        let ino = fs.resolve("/jis/mail/inbox", &cred(1001)).unwrap();
+        let (uid, _, mode, _) = fs.getattr(ino).unwrap();
+        assert_eq!(uid, 1001);
+        assert_eq!(mode, 0o600);
+        assert_eq!(fs.resolve("/jis/mail/ghost", &cred(1001)).unwrap_err(), NfsError::NotFound);
+    }
+
+    #[test]
+    fn write_read_offsets() {
+        let mut fs = Vfs::new();
+        let home = fs.provision_home("u", 5, 5).unwrap();
+        let f = fs.create(home, "log", 0o600, &cred(5)).unwrap();
+        fs.write(f, 0, b"hello", &cred(5)).unwrap();
+        fs.write(f, 5, b" world", &cred(5)).unwrap();
+        fs.write(f, 20, b"!", &cred(5)).unwrap();
+        let data = fs.read(f, 0, 100, &cred(5)).unwrap();
+        assert_eq!(&data[..11], b"hello world");
+        assert_eq!(data.len(), 21);
+        assert_eq!(fs.read(f, 19, 5, &cred(5)).unwrap(), b"\0!");
+    }
+
+    #[test]
+    fn unlink_then_stale() {
+        let mut fs = Vfs::new();
+        let home = fs.provision_home("u", 5, 5).unwrap();
+        let f = fs.create(home, "tmp", 0o600, &cred(5)).unwrap();
+        fs.unlink(home, "tmp", &cred(5)).unwrap();
+        assert_eq!(fs.read(f, 0, 1, &cred(5)).unwrap_err(), NfsError::Stale);
+        assert_eq!(fs.unlink(home, "tmp", &cred(5)).unwrap_err(), NfsError::NotFound);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut fs = Vfs::new();
+        let home = fs.provision_home("u", 5, 5).unwrap();
+        fs.create(home, "a", 0o600, &cred(5)).unwrap();
+        assert_eq!(fs.create(home, "a", 0o600, &cred(5)).unwrap_err(), NfsError::Exists);
+    }
+
+    #[test]
+    fn root_bypasses_permissions() {
+        let mut fs = Vfs::new();
+        let home = fs.provision_home("u", 5, 5).unwrap();
+        let f = fs.create(home, "private", 0o600, &cred(5)).unwrap();
+        let root = NfsCredential { uid: 0, gids: vec![0] };
+        assert!(fs.read(f, 0, 1, &root).is_ok());
+    }
+}

@@ -1,0 +1,104 @@
+//! Model-based property tests: the kernel credential map must agree with
+//! a reference HashMap under arbitrary syscall sequences, and the VFS
+//! permission check must be exactly the UNIX rwx rule.
+
+use krb_nfs::{CredMap, NfsCredential, NfsError, Vfs, ROOT};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Add([u8; 4], u32, u32),
+    Del([u8; 4], u32),
+    FlushUid(u32),
+    FlushAddr([u8; 4]),
+    Lookup([u8; 4], u32),
+}
+
+fn arb_addr() -> impl Strategy<Value = [u8; 4]> {
+    (0u8..3).prop_map(|x| [10, 0, 0, x])
+}
+
+fn arb_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (arb_addr(), 0u32..4, 100u32..104).prop_map(|(a, u, s)| MapOp::Add(a, u, s)),
+        (arb_addr(), 0u32..4).prop_map(|(a, u)| MapOp::Del(a, u)),
+        (100u32..104).prop_map(MapOp::FlushUid),
+        arb_addr().prop_map(MapOp::FlushAddr),
+        (arb_addr(), 0u32..4).prop_map(|(a, u)| MapOp::Lookup(a, u)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn credmap_matches_model(ops in proptest::collection::vec(arb_op(), 0..150)) {
+        let mut map = CredMap::new();
+        let mut model: HashMap<([u8; 4], u32), u32> = HashMap::new();
+        for op in ops {
+            match op {
+                MapOp::Add(a, u, s) => {
+                    map.add(a, u, NfsCredential { uid: s, gids: vec![s] });
+                    model.insert((a, u), s);
+                }
+                MapOp::Del(a, u) => {
+                    let was = map.del(a, u);
+                    prop_assert_eq!(was, model.remove(&(a, u)).is_some());
+                }
+                MapOp::FlushUid(s) => {
+                    let n = map.flush_uid(s);
+                    let before = model.len();
+                    model.retain(|_, v| *v != s);
+                    prop_assert_eq!(n, before - model.len());
+                }
+                MapOp::FlushAddr(a) => {
+                    let n = map.flush_addr(a);
+                    let before = model.len();
+                    model.retain(|(ad, _), _| *ad != a);
+                    prop_assert_eq!(n, before - model.len());
+                }
+                MapOp::Lookup(a, u) => {
+                    prop_assert_eq!(
+                        map.lookup(a, u).map(|c| c.uid),
+                        model.get(&(a, u)).copied()
+                    );
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+        }
+    }
+
+    /// The read-permission rule: read succeeds iff the matching rwx column
+    /// grants it (owner first, then group, then other; uid 0 bypasses).
+    #[test]
+    fn vfs_read_permission_truth_table(
+        mode in 0u16..0o1000,
+        file_uid in 1u32..4,
+        file_gid in 100u32..103,
+        cred_uid in prop_oneof![Just(0u32), 1u32..5],
+        cred_gid in 100u32..104,
+    ) {
+        let root_cred = NfsCredential { uid: 0, gids: vec![0] };
+        let mut fs = Vfs::new();
+        // Root creates a world-writable staging dir so the owner can create
+        // the file under their own uid/gid.
+        let dir = fs.mkdir(ROOT, "d", 0o777, &root_cred).unwrap();
+        let owner = NfsCredential { uid: file_uid, gids: vec![file_gid] };
+        let ino = fs.create(dir, "f", mode, &owner).unwrap();
+
+        let cred = NfsCredential { uid: cred_uid, gids: vec![cred_gid] };
+        let expected = if cred_uid == 0 {
+            true
+        } else if cred_uid == file_uid {
+            mode >> 6 & 0o4 != 0
+        } else if cred_gid == file_gid {
+            mode >> 3 & 0o4 != 0
+        } else {
+            mode & 0o4 != 0
+        };
+        match (expected, fs.read(ino, 0, 1, &cred)) {
+            (true, Ok(_)) => {}
+            (false, Err(NfsError::Access)) => {}
+            (e, g) => prop_assert!(false, "mode {mode:o}: expected allow={e}, got {g:?}"),
+        }
+    }
+}

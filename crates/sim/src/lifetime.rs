@@ -1,0 +1,148 @@
+//! The ticket-lifetime tradeoff (paper §8, experiment E15).
+//!
+//! > "The ticket lifetime problem is a matter of choosing the proper
+//! > tradeoff between security and convenience. If the life of a ticket is
+//! > long, then if a ticket and its associated session key are stolen or
+//! > misplaced, they can be used for a longer period of time. ... The
+//! > problem with giving a ticket a short lifetime, however, is that when
+//! > it expires, the user will have to obtain a new one which requires the
+//! > user to enter the password again."
+//!
+//! This is a model-level Monte Carlo (no crypto needed): it simulates
+//! login sessions under a range of TGT lifetimes and reports both sides of
+//! the tradeoff — password prompts per user-day (convenience cost) and the
+//! exposure of a ticket stolen at a random moment (security cost).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the tradeoff study.
+#[derive(Clone, Copy, Debug)]
+pub struct LifetimeConfig {
+    /// Simulated users.
+    pub users: usize,
+    /// Day length in seconds.
+    pub day: u32,
+    /// Mean session length in seconds (sessions are uniform 0.5×..1.5×).
+    pub mean_session: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LifetimeConfig {
+    fn default() -> Self {
+        LifetimeConfig { users: 1000, day: 24 * 3600, mean_session: 6 * 3600, seed: 88 }
+    }
+}
+
+/// One row of the tradeoff table.
+#[derive(Clone, Copy, Debug)]
+pub struct TradeoffRow {
+    /// TGT lifetime in 5-minute units.
+    pub life_units: u8,
+    /// Average password prompts per user over the day (initial login plus
+    /// mid-session re-authentications).
+    pub prompts_per_user: f64,
+    /// Mean seconds a ticket stolen at a uniformly random in-session
+    /// moment remains usable.
+    pub mean_exposure_secs: f64,
+    /// Probability the stolen ticket is still usable one hour after theft
+    /// (the "user forgot to log out of a public workstation" scenario).
+    pub p_usable_after_1h: f64,
+}
+
+/// Run the study over a grid of lifetimes.
+pub fn tradeoff(config: LifetimeConfig, lives: &[u8]) -> Vec<TradeoffRow> {
+    lives.iter().map(|&life| one_life(config, life)).collect()
+}
+
+fn one_life(config: LifetimeConfig, life_units: u8) -> TradeoffRow {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ (u64::from(life_units) << 32));
+    let life_secs = u32::from(life_units) * kerberos::LIFE_UNIT_SECS;
+    let mut prompts: u64 = 0;
+    let mut exposure_sum: f64 = 0.0;
+    let mut usable_1h: u64 = 0;
+    let mut thefts: u64 = 0;
+
+    for _ in 0..config.users {
+        let session = rng.random_range(config.mean_session / 2..=config.mean_session * 3 / 2)
+            .min(config.day);
+        // Initial login prompt; a renewal prompt every `life_secs` after.
+        prompts += 1;
+        if life_secs > 0 && session > life_secs {
+            prompts += u64::from((session - 1) / life_secs);
+        }
+        // Theft at a uniformly random moment within the session: the
+        // ticket's remaining validity is the time left on the *current*
+        // TGT (tickets are renewed on expiry during the session, and the
+        // last one keeps its full tail after logout — "a user forgets to
+        // log out").
+        let steal_at = rng.random_range(0..session.max(1));
+        let current_ticket_age = if life_secs == 0 { 0 } else { steal_at % life_secs };
+        let remaining = life_secs.saturating_sub(current_ticket_age);
+        exposure_sum += f64::from(remaining);
+        if remaining > 3600 {
+            usable_1h += 1;
+        }
+        thefts += 1;
+    }
+
+    TradeoffRow {
+        life_units,
+        prompts_per_user: prompts as f64 / config.users as f64,
+        mean_exposure_secs: exposure_sum / thefts as f64,
+        p_usable_after_1h: usable_1h as f64 / thefts as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_tradeoff_moves_in_opposite_directions() {
+        let rows = tradeoff(LifetimeConfig::default(), &[6, 24, 96, 255]);
+        // Convenience: longer life, fewer prompts (monotone non-increasing).
+        for w in rows.windows(2) {
+            assert!(
+                w[0].prompts_per_user >= w[1].prompts_per_user,
+                "prompts must fall with lifetime: {rows:?}"
+            );
+        }
+        // Security: longer life, more exposure (monotone non-decreasing).
+        for w in rows.windows(2) {
+            assert!(
+                w[0].mean_exposure_secs <= w[1].mean_exposure_secs,
+                "exposure must grow with lifetime: {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eight_hour_default_numbers_are_sane() {
+        let rows = tradeoff(LifetimeConfig::default(), &[96]);
+        let r = rows[0];
+        // 6h mean sessions under an 8h TGT: mostly one prompt per day.
+        assert!(r.prompts_per_user < 1.3, "{r:?}");
+        // Mean exposure of a stolen 8h ticket is hours, not minutes.
+        assert!(r.mean_exposure_secs > 3.0 * 3600.0, "{r:?}");
+        assert!(r.p_usable_after_1h > 0.8, "{r:?}");
+    }
+
+    #[test]
+    fn thirty_minute_tickets_shrink_exposure_but_nag() {
+        let rows = tradeoff(LifetimeConfig::default(), &[6]);
+        let r = rows[0];
+        assert!(r.mean_exposure_secs <= 1800.0, "{r:?}");
+        assert!(r.p_usable_after_1h == 0.0, "30-minute ticket dead after an hour");
+        assert!(r.prompts_per_user > 5.0, "constant re-entry: {r:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tradeoff(LifetimeConfig::default(), &[96]);
+        let b = tradeoff(LifetimeConfig::default(), &[96]);
+        assert_eq!(a[0].prompts_per_user, b[0].prompts_per_user);
+        assert_eq!(a[0].mean_exposure_secs, b[0].mean_exposure_secs);
+    }
+}

@@ -1,0 +1,222 @@
+//! `krbdemo` — the user programs as a real command-line installation.
+//!
+//! A miniature Athena in a directory: the database lives in `ndbm`-style
+//! files, the KDC answers on a real UDP socket, and the classic user
+//! programs operate on a ticket file, exactly as §6 describes them.
+//!
+//! ```console
+//! $ krbdemo init  <dir> <realm> <master-pw>        # kdb_init (§6.3)
+//! $ krbdemo adduser <dir> <master-pw> <user> <pw>  # kadmin add
+//! $ krbdemo addsrv  <dir> <master-pw> <name> <inst># register a service
+//! $ krbdemo kdc   <dir> <master-pw> [port]         # run the KDC (Ctrl-C to stop)
+//! $ krbdemo kinit <dir> <user> <pw> [kdc-addr]     # get a TGT (§6.1)
+//! $ krbdemo klist <dir>                            # list tickets
+//! $ krbdemo kdestroy <dir>                         # destroy tickets
+//! $ krbdemo demo                                   # self-contained tour
+//! ```
+
+use kerberos::{build_as_req, read_as_reply_with_password, CredentialCache, Principal};
+use krb_tools::TicketFile;
+use krb_crypto::{string_to_key, KeyGenerator};
+use krb_kdb::{HashStore, PrincipalDb};
+use krb_kdc::{Kdc, KdcRole, RealmConfig};
+use krb_netsim::{udp_request, Packet, UdpServer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn wallclock() -> u32 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as u32)
+        .unwrap_or(0)
+}
+
+fn db_base(dir: &Path) -> PathBuf {
+    dir.join("principal")
+}
+
+fn realm_file(dir: &Path) -> PathBuf {
+    dir.join("realm")
+}
+
+fn ticket_file(dir: &Path) -> PathBuf {
+    dir.join("tktfile")
+}
+
+fn read_realm(dir: &Path) -> Result<String, String> {
+    std::fs::read_to_string(realm_file(dir))
+        .map(|s| s.trim().to_string())
+        .map_err(|e| format!("not an initialized realm dir ({e})"))
+}
+
+fn open_db(dir: &Path, master_pw: &str) -> Result<PrincipalDb<HashStore>, String> {
+    let store = HashStore::open(db_base(dir)).map_err(|e| e.to_string())?;
+    PrincipalDb::open(store, string_to_key(master_pw)).map_err(|e| e.to_string())
+}
+
+fn cmd_init(dir: &Path, realm: &str, master_pw: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let store = HashStore::open(db_base(dir)).map_err(|e| e.to_string())?;
+    let now = wallclock();
+    let mut db =
+        PrincipalDb::create(store, string_to_key(master_pw), now).map_err(|e| e.to_string())?;
+    let mut keygen = KeyGenerator::new(StdRng::seed_from_u64(u64::from(now)));
+    let tgs_key = keygen.generate();
+    db.add_principal("krbtgt", realm, &tgs_key, now + 5 * 365 * 24 * 3600, 96, now, "kdb_init.")
+        .map_err(|e| e.to_string())?;
+    db.sync().map_err(|e| e.to_string())?;
+    std::fs::write(realm_file(dir), format!("{realm}\n")).map_err(|e| e.to_string())?;
+    println!("initialized realm {realm} in {}", dir.display());
+    Ok(())
+}
+
+fn cmd_adduser(dir: &Path, master_pw: &str, user: &str, pw: &str) -> Result<(), String> {
+    let mut db = open_db(dir, master_pw)?;
+    let now = wallclock();
+    db.add_principal(user, "", &string_to_key(pw), now + 4 * 365 * 24 * 3600, 96, now, "kadmin.")
+        .map_err(|e| e.to_string())?;
+    db.sync().map_err(|e| e.to_string())?;
+    println!("added principal {user}");
+    Ok(())
+}
+
+fn cmd_addsrv(dir: &Path, master_pw: &str, name: &str, instance: &str) -> Result<(), String> {
+    let mut db = open_db(dir, master_pw)?;
+    let now = wallclock();
+    let mut keygen = KeyGenerator::new(StdRng::seed_from_u64(u64::from(now) ^ 0x5E4));
+    let key = keygen.generate();
+    db.add_principal(name, instance, &key, now + 5 * 365 * 24 * 3600, 96, now, "kadmin.")
+        .map_err(|e| e.to_string())?;
+    db.sync().map_err(|e| e.to_string())?;
+    let hex: String = key.as_bytes().iter().map(|b| format!("{b:02x}")).collect();
+    println!("added service {name}.{instance}; srvtab key (install on the server host): {hex}");
+    Ok(())
+}
+
+fn spawn_kdc(dir: &Path, master_pw: &str, port: u16) -> Result<UdpServer, String> {
+    let realm = read_realm(dir)?;
+    let db = open_db(dir, master_pw)?;
+    let kdc = std::sync::Arc::new(parking_lot::Mutex::new(Kdc::new(
+        db,
+        RealmConfig::new(&realm),
+        std::sync::Arc::new(wallclock),
+        KdcRole::Master,
+        u64::from(wallclock()),
+    )));
+    UdpServer::spawn(&format!("127.0.0.1:{port}"), move |req: &Packet| {
+        Some(kdc.lock().handle(&req.payload, req.src.addr.0))
+    })
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_kdc(dir: &Path, master_pw: &str, port: u16) -> Result<(), String> {
+    let server = spawn_kdc(dir, master_pw, port)?;
+    println!("kerberos (authentication server) listening on {}", server.local_addr);
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn cmd_kinit(dir: &Path, user: &str, pw: &str, kdc_addr: &str) -> Result<(), String> {
+    let realm = read_realm(dir)?;
+    let client = Principal::parse(user, &realm).map_err(|e| e.to_string())?;
+    let tgs = Principal::tgs(&realm, &realm);
+    let now = wallclock();
+    let req = build_as_req(&client, &tgs, 96, now);
+    let addr: std::net::SocketAddr = kdc_addr.parse().map_err(|e| format!("bad kdc addr: {e}"))?;
+    let reply = udp_request(addr, &req, Duration::from_millis(1000), 3).map_err(|e| e.to_string())?;
+    let tgt = read_as_reply_with_password(&reply, pw, now).map_err(|e| e.to_string())?;
+    let mut cache = CredentialCache::new();
+    cache.initialize(client.clone(), tgt);
+    TicketFile::at(ticket_file(dir)).save(&cache).map_err(|e| e.to_string())?;
+    println!("kinit: obtained ticket-granting ticket for {client}");
+    Ok(())
+}
+
+fn cmd_klist(dir: &Path) -> Result<(), String> {
+    let cache = TicketFile::at(ticket_file(dir))
+        .load()
+        .map_err(|_| "no ticket file".to_string())?;
+    match &cache.owner {
+        Some(p) => println!("Principal: {p}"),
+        None => println!("Principal: (none)"),
+    }
+    let now = wallclock();
+    for c in cache.list() {
+        let state = if c.expired(now) { "EXPIRED" } else { "valid" };
+        println!("  {}  expires {}  [{state}]", c.service, c.expires());
+    }
+    Ok(())
+}
+
+fn cmd_kdestroy(dir: &Path) -> Result<(), String> {
+    TicketFile::at(ticket_file(dir))
+        .destroy()
+        .map_err(|_| "no ticket file".to_string())?;
+    println!("kdestroy: tickets destroyed");
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("krbdemo-{}", std::process::id()));
+    let dir = dir.as_path();
+    println!("== krbdemo self-contained tour (in {}) ==", dir.display());
+    cmd_init(dir, "DEMO.MIT.EDU", "master-pw")?;
+    cmd_adduser(dir, "master-pw", "bcn", "bcn-pw")?;
+    cmd_addsrv(dir, "master-pw", "rlogin", "priam")?;
+    let server = spawn_kdc(dir, "master-pw", 0)?;
+    println!("kdc up on {}", server.local_addr);
+    cmd_kinit(dir, "bcn", "bcn-pw", &server.local_addr.to_string())?;
+    cmd_klist(dir)?;
+    println!("-- wrong password: --");
+    match cmd_kinit(dir, "bcn", "wrong", &server.local_addr.to_string()) {
+        Err(e) => println!("kinit: {e}"),
+        Ok(()) => return Err("wrong password accepted!".into()),
+    }
+    cmd_kdestroy(dir)?;
+    println!("== tour complete ==");
+    Ok(())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: krbdemo init <dir> <realm> <master-pw>\n\
+        |      krbdemo adduser <dir> <master-pw> <user> <pw>\n\
+        |      krbdemo addsrv <dir> <master-pw> <name> <instance>\n\
+        |      krbdemo kdc <dir> <master-pw> [port]\n\
+        |      krbdemo kinit <dir> <user> <pw> [kdc-addr]\n\
+        |      krbdemo klist <dir>\n\
+        |      krbdemo kdestroy <dir>\n\
+        |      krbdemo demo"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |i: usize| -> &str { args.get(i).map(String::as_str).unwrap_or_else(|| usage()) };
+    let result = match args.first().map(String::as_str) {
+        Some("init") => cmd_init(Path::new(arg(1)), arg(2), arg(3)),
+        Some("adduser") => cmd_adduser(Path::new(arg(1)), arg(2), arg(3), arg(4)),
+        Some("addsrv") => cmd_addsrv(Path::new(arg(1)), arg(2), arg(3), arg(4)),
+        Some("kdc") => {
+            let port = args.get(3).and_then(|p| p.parse().ok()).unwrap_or(8750);
+            cmd_kdc(Path::new(arg(1)), arg(2), port)
+        }
+        Some("kinit") => {
+            let kdc = args.get(4).cloned().unwrap_or_else(|| "127.0.0.1:8750".into());
+            cmd_kinit(Path::new(arg(1)), arg(2), arg(3), &kdc)
+        }
+        Some("klist") => cmd_klist(Path::new(arg(1))),
+        Some("kdestroy") => cmd_kdestroy(Path::new(arg(1))),
+        Some("demo") => cmd_demo(),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("krbdemo: {e}");
+        std::process::exit(1);
+    }
+}

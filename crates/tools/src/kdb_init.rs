@@ -1,0 +1,77 @@
+//! `kdb_init` and friends: the administrator's bootstrap programs (§6.3).
+//!
+//! "The Kerberos administrator's job begins with running a program to
+//! initialize the database. Another program must be run to register
+//! essential principals in the database, such as the Kerberos
+//! administrator's name with an admin instance. The Kerberos
+//! authentication server and the administration server must be started up."
+
+use kerberos::KrbResult;
+use krb_crypto::{string_to_key, DesKey, KeyGenerator};
+use krb_kdb::{MemStore, PrincipalDb};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything `kdb_init` + `kadmin` produce for a fresh realm.
+pub struct RealmBootstrap {
+    /// The initialized master database.
+    pub db: PrincipalDb<MemStore>,
+    /// The TGS key (also in the database; kept for tests).
+    pub tgs_key: DesKey,
+    /// The KDBM service key.
+    pub kdbm_key: DesKey,
+}
+
+/// Initialize a realm database with the essential principals: `K.M`
+/// (created by `PrincipalDb::create`), `krbtgt.<realm>`, and
+/// `changepw.kerberos` (registered `NO_TGS` by the KDBM server setup).
+pub fn kdb_init(realm: &str, master_password: &str, now: u32, seed: u64) -> KrbResult<RealmBootstrap> {
+    let master_key = string_to_key(master_password);
+    let mut db = PrincipalDb::create(MemStore::new(), master_key, now)
+        .map_err(|_| kerberos::ErrorCode::KdcGenErr)?;
+    let mut keygen = KeyGenerator::new(StdRng::seed_from_u64(seed));
+    let far_future = now.saturating_add(5 * 365 * 24 * 3600);
+
+    let tgs_key = keygen.generate();
+    db.add_principal("krbtgt", realm, &tgs_key, far_future, 96, now, "kdb_init.")
+        .map_err(|_| kerberos::ErrorCode::KdcGenErr)?;
+
+    let kdbm_key = keygen.generate();
+    // Registered with NO_TGS by KdbmServer::register_service; here we only
+    // generate the key — registration needs the running master KDC.
+    Ok(RealmBootstrap { db, tgs_key, kdbm_key })
+}
+
+/// Register a user (as `kadmin` would during initial population).
+pub fn register_user(
+    db: &mut PrincipalDb<MemStore>,
+    name: &str,
+    instance: &str,
+    password: &str,
+    now: u32,
+) -> KrbResult<()> {
+    let far_future = now.saturating_add(5 * 365 * 24 * 3600);
+    db.add_principal(name, instance, &string_to_key(password), far_future, 96, now, "kadmin.")
+        .map_err(|e| match e {
+            krb_kdb::DbError::AlreadyExists(_) => kerberos::ErrorCode::KadmBadReq,
+            krb_kdb::DbError::BadName(_) => kerberos::ErrorCode::KdcNameFormat,
+            _ => kerberos::ErrorCode::KdcGenErr,
+        })
+}
+
+/// Register a service with a random key, returning the key for the
+/// server's srvtab (§6.3: "usually this is an automatically generated
+/// random key").
+pub fn register_service(
+    db: &mut PrincipalDb<MemStore>,
+    name: &str,
+    instance: &str,
+    now: u32,
+    keygen: &mut KeyGenerator<StdRng>,
+) -> KrbResult<DesKey> {
+    let key = keygen.generate();
+    let far_future = now.saturating_add(5 * 365 * 24 * 3600);
+    db.add_principal(name, instance, &key, far_future, 96, now, "kadmin.")
+        .map_err(|_| kerberos::ErrorCode::KdcGenErr)?;
+    Ok(key)
+}

@@ -1,0 +1,81 @@
+//! The smartcard proposal of §8, implemented.
+//!
+//! > "A better solution would require that the user's key never leave a
+//! > system that the user knows can be trusted. One way this could be done
+//! > would be if the user possessed a smartcard capable of doing the
+//! > encryptions required in the authentication protocol."
+//!
+//! [`Smartcard`] holds the user's private key inside the card and exposes
+//! exactly one operation: decrypting an AS reply. The workstation hands
+//! ciphertext in and receives a credential (TGT + session key) out — the
+//! password-derived long-term key is never present in workstation memory,
+//! so the §8 attack ("someone might have come along and modified the
+//! log-in program to save the user's password") yields only tickets of
+//! bounded lifetime, never the key that mints them.
+
+use kerberos::{read_as_reply_with_key, Credential, KrbResult};
+use krb_crypto::{string_to_key, DesKey};
+
+/// A user's smartcard. Construction ("personalization") happens once, at
+/// a trusted terminal; afterwards the key is unreadable.
+pub struct Smartcard {
+    /// The long-term key, private to the card.
+    key: DesKey,
+    /// Who the card belongs to (printed on the front, as it were).
+    pub owner: String,
+    /// Operation counter (cards log usage).
+    uses: u64,
+}
+
+impl Smartcard {
+    /// Personalize a card for `owner` from their password. Done at a
+    /// trusted terminal — the only place the password is ever typed.
+    pub fn personalize(owner: &str, password: &str) -> Self {
+        Smartcard { key: string_to_key(password), owner: owner.to_string(), uses: 0 }
+    }
+
+    /// The card's single operation: decrypt an AS reply and hand back the
+    /// resulting credential. The key never crosses the card edge.
+    pub fn process_as_reply(&mut self, reply: &[u8], request_time: u32) -> KrbResult<Credential> {
+        self.uses += 1;
+        read_as_reply_with_key(reply, &self.key, request_time)
+    }
+
+    /// How many operations the card has performed.
+    pub fn uses(&self) -> u64 {
+        self.uses
+    }
+}
+
+impl std::fmt::Debug for Smartcard {
+    // Like DesKey, a card never reveals its contents in logs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Smartcard(owner={}, uses={}, key=<on-card>)", self.owner, self.uses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_never_leaks_the_key() {
+        let card = Smartcard::personalize("bcn", "bcn-pw");
+        let s = format!("{card:?}");
+        let hex: String = string_to_key("bcn-pw")
+            .as_bytes()
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        assert!(!s.contains(&hex));
+        assert!(s.contains("on-card"));
+    }
+
+    #[test]
+    fn card_counts_uses() {
+        let mut card = Smartcard::personalize("bcn", "bcn-pw");
+        let _ = card.process_as_reply(b"junk", 0);
+        let _ = card.process_as_reply(b"junk", 0);
+        assert_eq!(card.uses(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! The server key file, `/etc/srvtab` (paper §6.3).
+//!
+//! "Then, some data (including the server's key) must be extracted from
+//! the database and installed in a file on the server's machine. ... The
+//! /etc/srvtab file authenticates the server as a password typed at a
+//! terminal authenticates the user."
+
+use kerberos::{ErrorCode, KrbResult, Principal};
+use krb_crypto::DesKey;
+use krb_kdb::{PrincipalDb, Store};
+
+/// One srvtab entry: a service identity and its key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SrvtabEntry {
+    /// Service primary name.
+    pub name: String,
+    /// Service instance (usually the host).
+    pub instance: String,
+    /// Realm.
+    pub realm: String,
+    /// Key version number.
+    pub kvno: u8,
+    /// The service's private key.
+    pub key: DesKey,
+}
+
+/// An `/etc/srvtab`: the keys a host's servers authenticate with.
+#[derive(Clone, Debug, Default)]
+pub struct Srvtab {
+    entries: Vec<SrvtabEntry>,
+}
+
+impl Srvtab {
+    /// An empty srvtab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `ksrvutil`-style extraction: pull a service's key out of the
+    /// database and install it in the srvtab. Only the Kerberos
+    /// administrator can do this — it requires database access (§6.3).
+    pub fn extract<S: Store>(
+        &mut self,
+        db: &PrincipalDb<S>,
+        realm: &str,
+        name: &str,
+        instance: &str,
+    ) -> KrbResult<()> {
+        let (entry, key) = db
+            .get_with_key(name, instance)
+            .map_err(|_| ErrorCode::KdcGenErr)?
+            .ok_or(ErrorCode::KdcPrUnknown)?;
+        self.entries.retain(|e| !(e.name == name && e.instance == instance && e.realm == realm));
+        self.entries.push(SrvtabEntry {
+            name: name.to_string(),
+            instance: instance.to_string(),
+            realm: realm.to_string(),
+            kvno: entry.key_version,
+            key,
+        });
+        Ok(())
+    }
+
+    /// Look up the key a server should use (what `krb_rd_req` reads).
+    pub fn key_for(&self, service: &Principal) -> Option<&SrvtabEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.name == service.name && e.instance == service.instance && e.realm == service.realm)
+    }
+
+    /// All entries (for `ksrvutil list`).
+    pub fn entries(&self) -> &[SrvtabEntry] {
+        &self.entries
+    }
+
+    /// Serialize to the file format: one record per entry.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = kerberos::wire::Writer::new();
+        w.u8(1);
+        w.u16(self.entries.len() as u16);
+        for e in &self.entries {
+            w.str(&e.name);
+            w.str(&e.instance);
+            w.str(&e.realm);
+            w.u8(e.kvno);
+            w.block(e.key.as_bytes());
+        }
+        w.finish()
+    }
+
+    /// Parse the file format.
+    pub fn from_bytes(buf: &[u8]) -> KrbResult<Self> {
+        let mut r = kerberos::wire::Reader::new(buf);
+        if r.u8()? != 1 {
+            return Err(ErrorCode::RdApVersion);
+        }
+        let n = r.u16()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(SrvtabEntry {
+                name: r.str()?,
+                instance: r.str()?,
+                realm: r.str()?,
+                kvno: r.u8()?,
+                key: DesKey::from_bytes(r.block()?),
+            });
+        }
+        r.expect_end()?;
+        Ok(Srvtab { entries })
+    }
+}

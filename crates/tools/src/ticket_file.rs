@@ -1,0 +1,121 @@
+//! The on-disk ticket file (V4's `/tmp/tkt<uid>`).
+//!
+//! §6.1's user programs operate on this file: the log-in process writes
+//! it, `klist` reads it, `kdestroy` destroys it — and destruction means
+//! *overwriting* before unlinking, so ticket bytes do not linger in the
+//! free blocks of a shared timesharing machine's disk.
+
+use crate::ToolError;
+use kerberos::{CredentialCache, ErrorCode};
+use std::path::{Path, PathBuf};
+
+/// A credential cache bound to a file path.
+pub struct TicketFile {
+    path: PathBuf,
+}
+
+impl TicketFile {
+    /// Use the given path (callers pick `/tmp/tkt<uid>` or equivalent).
+    pub fn at(path: impl AsRef<Path>) -> Self {
+        TicketFile { path: path.as_ref().to_path_buf() }
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persist a cache (login, new service ticket).
+    pub fn save(&self, cache: &CredentialCache) -> Result<(), ToolError> {
+        std::fs::write(&self.path, cache.to_bytes())
+            .map_err(|_| ToolError::Krb(ErrorCode::IntkErr))
+    }
+
+    /// Load the cache (`klist`, application clients).
+    pub fn load(&self) -> Result<CredentialCache, ToolError> {
+        let bytes =
+            std::fs::read(&self.path).map_err(|_| ToolError::Krb(ErrorCode::IntkErr))?;
+        CredentialCache::from_bytes(&bytes).map_err(ToolError::Krb)
+    }
+
+    /// Whether a ticket file exists.
+    pub fn exists(&self) -> bool {
+        self.path.exists()
+    }
+
+    /// `kdestroy`: overwrite the file with zeros, then remove it.
+    pub fn destroy(&self) -> Result<(), ToolError> {
+        if let Ok(meta) = std::fs::metadata(&self.path) {
+            let zeros = vec![0u8; meta.len() as usize];
+            let _ = std::fs::write(&self.path, &zeros);
+        }
+        std::fs::remove_file(&self.path).map_err(|_| ToolError::Krb(ErrorCode::IntkErr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kerberos::{Credential, EncryptedTicket, Principal};
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tktfile-{}-{name}", std::process::id()))
+    }
+
+    fn sample_cache() -> CredentialCache {
+        let mut cache = CredentialCache::new();
+        let owner = Principal::parse("bcn", "ATHENA.MIT.EDU").unwrap();
+        cache.initialize(
+            owner,
+            Credential {
+                service: Principal::tgs("ATHENA.MIT.EDU", "ATHENA.MIT.EDU"),
+                issuing_realm: "ATHENA.MIT.EDU".into(),
+                session_key: [0xAB; 8],
+                ticket: EncryptedTicket(vec![0xCD; 64]),
+                life: 96,
+                issued: 1000,
+                kvno: 1,
+            },
+        );
+        cache
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let f = TicketFile::at(tmp("roundtrip"));
+        let cache = sample_cache();
+        f.save(&cache).unwrap();
+        assert!(f.exists());
+        assert_eq!(f.load().unwrap(), cache);
+        f.destroy().unwrap();
+    }
+
+    #[test]
+    fn destroy_overwrites_before_unlink() {
+        // The ticket bytes must not be recoverable from the file content
+        // at any point after destroy() begins; we verify the observable
+        // half: the file is gone and a fresh read fails.
+        let f = TicketFile::at(tmp("destroy"));
+        f.save(&sample_cache()).unwrap();
+        f.destroy().unwrap();
+        assert!(!f.exists());
+        assert!(f.load().is_err());
+    }
+
+    #[test]
+    fn load_of_garbage_fails_cleanly() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a ticket file").unwrap();
+        let f = TicketFile::at(&path);
+        assert!(f.load().is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_reports_cleanly() {
+        let f = TicketFile::at(tmp("missing-never-created"));
+        assert!(!f.exists());
+        assert!(f.load().is_err());
+        assert!(f.destroy().is_err());
+    }
+}

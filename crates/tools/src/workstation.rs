@@ -1,0 +1,260 @@
+//! A workstation: the user-facing side of Kerberos (paper §6.1).
+//!
+//! Binds the pure client routines of the applications library to a network
+//! and a credential cache, giving the end-user programs their behaviour:
+//! `kinit` (login / new TGT), transparent service-ticket acquisition,
+//! `klist`, and `kdestroy`. Includes KDC failover: a workstation tries the
+//! master and then each slave (§5.3: replication exists for "higher
+//! availability").
+
+use crate::ToolError;
+use kerberos::{
+    build_as_req, build_tgs_req, krb_mk_req, read_as_reply_with_password, read_tgs_reply, ApReq,
+    Credential, CredentialCache, ErrorCode, HostAddr, Principal, DEFAULT_SERVICE_LIFE,
+    DEFAULT_TGT_LIFE,
+};
+use krb_kdc::Clock;
+use krb_netsim::{Endpoint, Router};
+
+/// One workstation on the (simulated) network.
+pub struct Workstation {
+    /// Our network address — what ends up inside tickets.
+    pub addr: HostAddr,
+    /// Source endpoint for client traffic.
+    pub endpoint: Endpoint,
+    /// The local realm.
+    pub realm: String,
+    /// KDC endpoints in preference order (master first).
+    pub kdc_endpoints: Vec<Endpoint>,
+    /// The per-login ticket file.
+    pub cache: CredentialCache,
+    /// This host's clock (skewable for §4.3 experiments).
+    pub clock: Clock,
+    /// KDC endpoints of remote realms, for cross-realm exchanges (§7.2).
+    remote_kdcs: Vec<(String, Endpoint)>,
+    /// Last timestamp placed in an authenticator. Authenticators must be
+    /// unique per (client, second) — a real clock ticks between requests;
+    /// a simulated one may not, so we enforce monotonicity ourselves.
+    last_auth_ts: u32,
+}
+
+impl Workstation {
+    /// Set up a workstation at `addr` in `realm`.
+    pub fn new(addr: HostAddr, realm: &str, kdc_endpoints: Vec<Endpoint>, clock: Clock) -> Self {
+        Workstation {
+            addr,
+            endpoint: Endpoint::new(addr, 1023),
+            realm: realm.to_string(),
+            kdc_endpoints,
+            cache: CredentialCache::new(),
+            clock,
+            remote_kdcs: Vec::new(),
+            last_auth_ts: 0,
+        }
+    }
+
+    /// Current time as this workstation sees it.
+    pub fn now(&self) -> u32 {
+        (self.clock)()
+    }
+
+    /// A timestamp for an authenticator: the clock reading, bumped past
+    /// the previous one if the clock has not ticked since.
+    fn auth_ts(&mut self) -> u32 {
+        let t = self.now().max(self.last_auth_ts + 1);
+        self.last_auth_ts = t;
+        t
+    }
+
+    /// Retries per KDC before falling over to the next (UDP clients
+    /// retransmit; the V4 library tried each server several times).
+    const RETRIES_PER_KDC: usize = 3;
+
+    /// Try each KDC in order, with retransmissions, until one answers
+    /// (availability, Fig. 10; loss tolerance on the open network).
+    fn kdc_rpc(&self, router: &mut Router, request: &[u8]) -> Result<Vec<u8>, ToolError> {
+        for &ep in &self.kdc_endpoints {
+            for _attempt in 0..Self::RETRIES_PER_KDC {
+                match router.rpc(self.endpoint, ep, request) {
+                    Ok(reply) => return Ok(reply),
+                    Err(krb_netsim::NetError::Timeout) => continue,
+                    Err(e) => return Err(ToolError::Net(e)),
+                }
+            }
+        }
+        Err(ToolError::Net(krb_netsim::NetError::Timeout))
+    }
+
+    /// `kinit` / login (§4.2, §6.1): obtain a TGT with the user's password.
+    pub fn kinit(
+        &mut self,
+        router: &mut Router,
+        username: &str,
+        password: &str,
+    ) -> Result<(), ToolError> {
+        let client = Principal::parse(username, &self.realm)?;
+        let now = self.now();
+        let tgs = Principal::tgs(&self.realm, &self.realm);
+        let req = build_as_req(&client, &tgs, DEFAULT_TGT_LIFE, now);
+        let reply = self.kdc_rpc(router, &req)?;
+        let tgt = read_as_reply_with_password(&reply, password, now)?;
+        self.cache.initialize(client, tgt);
+        Ok(())
+    }
+
+    /// Smartcard login (§8's proposed "better solution"): the AS reply is
+    /// decrypted *on the card*, so neither the password nor the long-term
+    /// key ever enters workstation memory — a trojaned log-in program can
+    /// steal at most the bounded-lifetime TGT.
+    pub fn kinit_with_card(
+        &mut self,
+        router: &mut Router,
+        card: &mut crate::smartcard::Smartcard,
+    ) -> Result<(), ToolError> {
+        let client = Principal::parse(&card.owner.clone(), &self.realm)?;
+        let now = self.now();
+        let tgs = Principal::tgs(&self.realm, &self.realm);
+        let req = build_as_req(&client, &tgs, DEFAULT_TGT_LIFE, now);
+        let reply = self.kdc_rpc(router, &req)?;
+        let tgt = card.process_as_reply(&reply, now)?;
+        self.cache.initialize(client, tgt);
+        Ok(())
+    }
+
+    /// The logged-in user, if any.
+    pub fn whoami(&self) -> Option<&Principal> {
+        self.cache.owner.as_ref()
+    }
+
+    /// Get a ticket for `service`, consulting the cache first ("When a
+    /// program requires a ticket that has not already been requested",
+    /// §4.4) and the TGS otherwise. Handles cross-realm targets by first
+    /// fetching a TGT for the remote realm (§7.2).
+    pub fn get_service_ticket(
+        &mut self,
+        router: &mut Router,
+        service: &Principal,
+    ) -> Result<Credential, ToolError> {
+        let now = self.now();
+        if let Some(c) = self.cache.get(service, now) {
+            return Ok(c.clone());
+        }
+        let client = self.cache.owner.clone().ok_or(ToolError::Krb(ErrorCode::IntkErr))?;
+
+        // Which TGT do we need: local, or the remote realm's?
+        let tgt = if service.realm == self.realm {
+            self.cache.tgt(&self.realm, now).cloned()
+        } else {
+            match self.cache.tgt(&service.realm, now) {
+                Some(t) => Some(t.clone()),
+                None => {
+                    // Ask the local TGS for a cross-realm TGT first.
+                    let local_tgt = self
+                        .cache
+                        .tgt(&self.realm, now)
+                        .cloned()
+                        .ok_or(ToolError::Krb(ErrorCode::RdApExp))?;
+                    let remote_tgs = Principal::tgs(&service.realm, &self.realm);
+                    let ts = self.auth_ts();
+                    let req = build_tgs_req(&local_tgt, &client, self.addr, ts, &remote_tgs, DEFAULT_TGT_LIFE);
+                    let reply = self.kdc_rpc(router, &req)?;
+                    let cred = read_tgs_reply(&reply, &local_tgt, ts)?;
+                    self.cache.store(cred.clone());
+                    Some(cred)
+                }
+            }
+        }
+        .ok_or(ToolError::Krb(ErrorCode::RdApExp))?;
+
+        // Ask the issuing realm's TGS (remote for cross-realm). If a
+        // retransmitted request was answered with "replay" — meaning the
+        // original arrived but its reply was lost — rebuild with a fresh
+        // authenticator and try again.
+        let mut last = ErrorCode::IntkErr;
+        for _ in 0..Self::RETRIES_PER_KDC {
+            let ts = self.auth_ts();
+            let req = build_tgs_req(&tgt, &client, self.addr, ts, service, DEFAULT_SERVICE_LIFE);
+            let reply = if service.realm == self.realm {
+                self.kdc_rpc(router, &req)?
+            } else {
+                // The remote KDC endpoint must be routable; callers register
+                // it under the remote realm name via `add_remote_kdc`.
+                let ep = self
+                    .remote_kdcs
+                    .iter()
+                    .find(|(r, _)| r == &service.realm)
+                    .map(|(_, e)| *e)
+                    .ok_or(ToolError::Krb(ErrorCode::KdcUnknownRealm))?;
+                router.rpc(self.endpoint, ep, &req).map_err(ToolError::Net)?
+            };
+            match read_tgs_reply(&reply, &tgt, ts) {
+                Ok(cred) => {
+                    self.cache.store(cred.clone());
+                    return Ok(cred);
+                }
+                Err(ErrorCode::RdApRepeat) => {
+                    last = ErrorCode::RdApRepeat;
+                    continue;
+                }
+                Err(e) => return Err(ToolError::Krb(e)),
+            }
+        }
+        Err(ToolError::Krb(last))
+    }
+
+    /// Build an `AP_REQ` for `service`, fetching the ticket if needed —
+    /// the workstation-side half of "Kerberizing" an application client.
+    pub fn mk_request(
+        &mut self,
+        router: &mut Router,
+        service: &Principal,
+        cksum: u32,
+        mutual: bool,
+    ) -> Result<(ApReq, Credential), ToolError> {
+        let cred = self.get_service_ticket(router, service)?;
+        let client = self.cache.owner.clone().ok_or(ToolError::Krb(ErrorCode::IntkErr))?;
+        let ts = self.auth_ts();
+        let ap = krb_mk_req(
+            &cred.ticket,
+            &cred.issuing_realm,
+            &cred.key(),
+            &client,
+            self.addr,
+            ts,
+            cksum,
+            mutual,
+        );
+        Ok((ap, cred))
+    }
+
+    /// `klist` (§6.1): one line per ticket, as the user would see.
+    pub fn klist(&self) -> Vec<String> {
+        let now = self.now();
+        self.cache
+            .list()
+            .iter()
+            .map(|c| {
+                let state = if c.expired(now) { "EXPIRED" } else { "valid" };
+                format!(
+                    "{}  issued={} expires={} [{}]",
+                    c.service, c.issued, c.expires(), state
+                )
+            })
+            .collect()
+    }
+
+    /// `kdestroy` (§6.1): destroy all tickets (logout).
+    pub fn kdestroy(&mut self) {
+        self.cache.destroy();
+    }
+
+    /// Register the KDC endpoint of a remote realm for cross-realm use.
+    pub fn add_remote_kdc(&mut self, realm: &str, ep: Endpoint) {
+        self.remote_kdcs.push((realm.to_string(), ep));
+    }
+
+    /// Remote realm KDCs known to this workstation.
+    pub fn remote_kdc_table(&self) -> &[(String, Endpoint)] {
+        &self.remote_kdcs
+    }
+}

@@ -1,0 +1,37 @@
+//! # athena-kerberos
+//!
+//! Umbrella crate for the reproduction of Steiner, Neuman and Schiller,
+//! *Kerberos: An Authentication Service for Open Network Systems*
+//! (USENIX Winter 1988, Project Athena, MIT).
+//!
+//! Each component of Figure 1 of the paper lives in its own crate; this
+//! crate re-exports them under stable names so examples and integration
+//! tests can reach the whole system through one dependency.
+//!
+//! | module | paper component |
+//! |--------|-----------------|
+//! | [`crypto`] | encryption library (DES, CBC/PCBC, string-to-key, quad_cksum) |
+//! | [`kdb`] | database library (ndbm-style store, principal database) |
+//! | [`krb`] | Kerberos applications library (tickets, authenticators, exchanges) |
+//! | [`netsim`] | network substrate (simulated datagram network + UDP) |
+//! | [`kdc`] | authentication server (AS + TGS) |
+//! | [`kadm`] | administration server (KDBM), `kadmin`, `kpasswd` |
+//! | [`kprop`] | database propagation (`kprop`/`kpropd`) |
+//! | [`tools`] | user programs (`kinit`, `klist`, `kdestroy`, ...) |
+//! | [`hesiod`] | Hesiod nameserver |
+//! | [`nfs`] | Kerberized Sun NFS case study (appendix) |
+//! | [`apps`] | Kerberized applications (`rlogin`, POP, Zephyr, `register`) |
+//! | [`sim`] | Athena environment simulator |
+
+pub use kerberos as krb;
+pub use krb_apps as apps;
+pub use krb_crypto as crypto;
+pub use krb_hesiod as hesiod;
+pub use krb_kadm as kadm;
+pub use krb_kdb as kdb;
+pub use krb_kdc as kdc;
+pub use krb_kprop as kprop;
+pub use krb_netsim as netsim;
+pub use krb_nfs as nfs;
+pub use krb_sim as sim;
+pub use krb_tools as tools;

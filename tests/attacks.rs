@@ -1,0 +1,153 @@
+//! The adversary suite (paper §1's security requirement, §4.3's replay
+//! handling, the appendix's honesty about NFS): every attack the paper
+//! discusses, scripted against the real stack on the open simulated
+//! network.
+
+use athena_kerberos::krb::{ErrorCode, ReplayCache, MAX_SKEW_SECS};
+use athena_kerberos::sim::{replay_captured_ap, rig, wire_contains, AttackOutcome};
+
+#[test]
+fn eavesdropper_learns_no_secrets_from_a_full_session() {
+    // §1: "Someone watching the network should not be able to obtain the
+    // information necessary to impersonate another user."
+    let mut r = rig(1000);
+    r.workstation.kinit(&mut r.router, "victim", "victim-pw").unwrap();
+    let svc = r.service.clone();
+    let (_, cred) = r.workstation.mk_request(&mut r.router, &svc, 0, false).unwrap();
+
+    assert!(!wire_contains(&r, b"victim-pw"));
+    assert!(!wire_contains(&r, athena_kerberos::crypto::string_to_key("victim-pw").as_bytes()));
+    assert!(!wire_contains(&r, &cred.session_key));
+    assert!(!wire_contains(&r, r.service_key.as_bytes()));
+    // The TGT session key too.
+    let tgt = r.workstation.cache.tgt("ATHENA.MIT.EDU", r.workstation.now()).unwrap();
+    assert!(!wire_contains(&r, &tgt.session_key));
+}
+
+#[test]
+fn password_guessing_without_the_wire_is_the_only_option_left() {
+    // The AS reply is the only thing a passive attacker can attack: it is
+    // encrypted in the user's key. A guessed wrong password fails cleanly.
+    let mut r = rig(1001);
+    assert!(r.workstation.kinit(&mut r.router, "victim", "letmein").is_err());
+    assert!(r.workstation.kinit(&mut r.router, "victim", "victim-pw").is_ok());
+}
+
+#[test]
+fn replay_rejected_same_address() {
+    let mut r = rig(1002);
+    r.workstation.kinit(&mut r.router, "victim", "victim-pw").unwrap();
+    let svc = r.service.clone();
+    let _ = r.workstation.mk_request(&mut r.router, &svc, 0, false).unwrap();
+    let now = r.workstation.now();
+    let mut rc = ReplayCache::new();
+    assert_eq!(replay_captured_ap(&mut r, &mut rc, [18, 72, 3, 100], now), AttackOutcome::Succeeded);
+    assert_eq!(
+        replay_captured_ap(&mut r, &mut rc, [18, 72, 3, 100], now),
+        AttackOutcome::Rejected(ErrorCode::RdApRepeat)
+    );
+}
+
+#[test]
+fn stolen_credentials_useless_from_attacker_host() {
+    // The ticket names the victim's address; presenting it from another
+    // address fails even if the replay cache were empty.
+    let mut r = rig(1003);
+    r.workstation.kinit(&mut r.router, "victim", "victim-pw").unwrap();
+    let svc = r.service.clone();
+    let _ = r.workstation.mk_request(&mut r.router, &svc, 0, false).unwrap();
+    let now = r.workstation.now();
+    let mut fresh_cache = ReplayCache::new();
+    assert_eq!(
+        replay_captured_ap(&mut r, &mut fresh_cache, [10, 66, 6, 6], now),
+        AttackOutcome::Rejected(ErrorCode::RdApBadAddr)
+    );
+}
+
+#[test]
+fn old_captures_die_at_the_skew_horizon() {
+    // §4.3: "If the time in the request is too far in the future or the
+    // past, the server treats the request as an attempt to replay."
+    let mut r = rig(1004);
+    r.workstation.kinit(&mut r.router, "victim", "victim-pw").unwrap();
+    let svc = r.service.clone();
+    let _ = r.workstation.mk_request(&mut r.router, &svc, 0, false).unwrap();
+    let later = r.workstation.now() + MAX_SKEW_SECS + 1;
+    let mut rc = ReplayCache::new();
+    assert_eq!(
+        replay_captured_ap(&mut r, &mut rc, [18, 72, 3, 100], later),
+        AttackOutcome::Rejected(ErrorCode::RdApTime)
+    );
+}
+
+#[test]
+fn spoofed_source_cannot_harvest_usable_as_replies() {
+    // An attacker asks the AS for the victim's TGT with a spoofed source.
+    // The network delivers the reply to the *spoofed* (victim's) address —
+    // and even if the attacker could see it, it is sealed in the victim's
+    // password-derived key. The attacker with a wrong password gets
+    // nothing usable.
+    let mut r = rig(1005);
+    let client = athena_kerberos::krb::Principal::parse("victim", "ATHENA.MIT.EDU").unwrap();
+    let tgs = athena_kerberos::krb::Principal::tgs("ATHENA.MIT.EDU", "ATHENA.MIT.EDU");
+    let now = r.workstation.now();
+    let req = athena_kerberos::krb::build_as_req(&client, &tgs, 96, now);
+
+    // The attacker sends from their own endpoint and DOES get a reply
+    // (the AS answers anyone — that is by design).
+    let attacker_ep = athena_kerberos::netsim::Endpoint::new([10, 66, 6, 6], 4242);
+    let kdc_ep = r.dep.kdc_endpoints()[0];
+    let reply = r.router.rpc(attacker_ep, kdc_ep, &req).unwrap();
+    // But it is useless without the password:
+    assert_eq!(
+        athena_kerberos::krb::read_as_reply_with_password(&reply, "not-the-password", now)
+            .unwrap_err(),
+        ErrorCode::IntkBadPw
+    );
+    // ...and worse for the attacker, the ticket inside names THEIR address
+    // (the AS binds the ticket to the request's source), so even the real
+    // user key wouldn't let them impersonate from elsewhere.
+}
+
+#[test]
+fn fast_and_slow_clocks_break_authentication() {
+    // §4.3: "It is assumed that clocks are synchronized to within several
+    // minutes." A workstation drifted past the window cannot authenticate.
+    use athena_kerberos::krb::krb_rd_req;
+    let mut r = rig(1006);
+    r.workstation.kinit(&mut r.router, "victim", "victim-pw").unwrap();
+    let svc = r.service.clone();
+    let (ap, _) = r.workstation.mk_request(&mut r.router, &svc, 0, false).unwrap();
+
+    // The server's clock is 10 minutes ahead of the workstation's.
+    let server_now = r.workstation.now() + 600;
+    let mut rc = ReplayCache::new();
+    assert_eq!(
+        krb_rd_req(&ap, &svc, &r.service_key, [18, 72, 3, 100], server_now, &mut rc).unwrap_err(),
+        ErrorCode::RdApTime
+    );
+    // Within the window, fine.
+    let server_now = r.workstation.now() + 250;
+    assert!(krb_rd_req(&ap, &svc, &r.service_key, [18, 72, 3, 100], server_now, &mut rc).is_ok());
+}
+
+#[test]
+fn expired_session_leaves_nothing_usable() {
+    // §4.2: "no information exists that will allow someone else to
+    // impersonate the user beyond the life of the ticket."
+    use athena_kerberos::krb::krb_rd_req;
+    let mut r = rig(1007);
+    r.workstation.kinit(&mut r.router, "victim", "victim-pw").unwrap();
+    let svc = r.service.clone();
+    let (ap, _) = r.workstation.mk_request(&mut r.router, &svc, 0, false).unwrap();
+
+    // 9 hours later the stolen ticket (8h life) is dead even with a
+    // freshly forged time-stamp-free replay attempt.
+    let later = r.workstation.now() + 9 * 3600;
+    let mut rc = ReplayCache::new();
+    let err = krb_rd_req(&ap, &svc, &r.service_key, [18, 72, 3, 100], later, &mut rc).unwrap_err();
+    assert!(
+        err == ErrorCode::RdApExp || err == ErrorCode::RdApTime,
+        "stale credentials must fail: {err:?}"
+    );
+}

@@ -1,0 +1,222 @@
+//! Figure 9 end-to-end: the complete three-phase protocol over the
+//! simulated network, plus the three protection levels of §2.1 riding the
+//! established session key (experiments E4–E8, E12 functional halves).
+
+use athena_kerberos::crypto::KeyGenerator;
+use athena_kerberos::kdc::{Deployment, RealmConfig};
+use athena_kerberos::krb::{
+    krb_mk_priv, krb_mk_rep, krb_mk_safe, krb_rd_priv, krb_rd_rep, krb_rd_req, krb_rd_safe,
+    ErrorCode, Principal, ReplayCache,
+};
+use athena_kerberos::netsim::{NetConfig, Router, SimNet};
+use athena_kerberos::tools::{kdb_init, register_service, register_user, Workstation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const REALM: &str = "ATHENA.MIT.EDU";
+const WS_ADDR: [u8; 4] = [18, 72, 0, 5];
+
+struct Realm {
+    router: Router,
+    dep: Deployment,
+    service: Principal,
+    service_key: athena_kerberos::crypto::DesKey,
+}
+
+fn realm() -> Realm {
+    let start = athena_kerberos::netsim::EPOCH_1987;
+    let mut boot = kdb_init(REALM, "master", start, 100).unwrap();
+    register_user(&mut boot.db, "bcn", "", "bcn-pw", start).unwrap();
+    let mut keygen = KeyGenerator::new(StdRng::seed_from_u64(101));
+    let service_key = register_service(&mut boot.db, "sample", "host", start, &mut keygen).unwrap();
+    let mut router = Router::new(SimNet::new(NetConfig::default()));
+    let dep = Deployment::install(
+        &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 1, start,
+    );
+    Realm {
+        router,
+        dep,
+        service: Principal::parse("sample.host", REALM).unwrap(),
+        service_key,
+    }
+}
+
+fn workstation(r: &Realm) -> Workstation {
+    Workstation::new(
+        WS_ADDR,
+        REALM,
+        r.dep.kdc_endpoints(),
+        athena_kerberos::kdc::shared_clock(std::sync::Arc::clone(&r.dep.clock_cell)),
+    )
+}
+
+#[test]
+fn figure_9_three_phases_and_mutual_auth() {
+    let mut r = realm();
+    let mut ws = workstation(&r);
+
+    // Phase 1: initial ticket (Fig. 5).
+    ws.kinit(&mut r.router, "bcn", "bcn-pw").unwrap();
+    // Phase 2: service ticket (Fig. 8).
+    let svc = r.service.clone();
+    let (ap, cred) = ws.mk_request(&mut r.router, &svc, 7, true).unwrap();
+    // Phase 3: request + mutual authentication (Fig. 6, 7).
+    let mut rc = ReplayCache::new();
+    let v = krb_rd_req(&ap, &svc, &r.service_key, WS_ADDR, ws.now(), &mut rc).unwrap();
+    assert_eq!(v.client.to_string(), format!("bcn@{REALM}"));
+    assert_eq!(v.cksum, 7);
+    let rep = krb_mk_rep(&v);
+    krb_rd_rep(&rep, &cred.key(), v.timestamp).unwrap();
+}
+
+#[test]
+fn session_key_supports_all_three_protection_levels() {
+    // §2.1: authentication-only, safe, and private messages.
+    let mut r = realm();
+    let mut ws = workstation(&r);
+    ws.kinit(&mut r.router, "bcn", "bcn-pw").unwrap();
+    let svc = r.service.clone();
+    let (ap, cred) = ws.mk_request(&mut r.router, &svc, 0, false).unwrap();
+    let mut rc = ReplayCache::new();
+    let v = krb_rd_req(&ap, &svc, &r.service_key, WS_ADDR, ws.now(), &mut rc).unwrap();
+    let key = cred.key();
+    let now = ws.now();
+
+    // Level 1 (authentication at connection setup only) is the AP exchange
+    // itself. Level 2: safe messages — readable, tamper-evident.
+    let safe = krb_mk_safe(b"authenticated but public", &key, WS_ADDR, now);
+    assert_eq!(
+        krb_rd_safe(&safe, &v.session_key, now).unwrap(),
+        b"authenticated but public"
+    );
+    let mut tampered = safe.clone();
+    tampered.data[0] ^= 1;
+    assert_eq!(
+        krb_rd_safe(&tampered, &v.session_key, now).unwrap_err(),
+        ErrorCode::RdApModified
+    );
+
+    // Level 3: private messages — hidden and authenticated.
+    let private = krb_mk_priv(b"the new password is swordfish", &key, WS_ADDR, now);
+    assert_eq!(
+        krb_rd_priv(&private, &v.session_key, Some(WS_ADDR), now).unwrap(),
+        b"the new password is swordfish"
+    );
+}
+
+#[test]
+fn message_sizes_are_single_datagram() {
+    // The protocol is designed for single-UDP-datagram exchanges; check
+    // every message in the flow stays far under 1500 bytes (E2/E3 sizes).
+    let start = athena_kerberos::netsim::EPOCH_1987;
+    let mut r = realm();
+    let captured = r.router.net().add_capture();
+    let mut ws = workstation(&r);
+    ws.kinit(&mut r.router, "bcn", "bcn-pw").unwrap();
+    let svc = r.service.clone();
+    let _ = ws.mk_request(&mut r.router, &svc, 0, false).unwrap();
+    let sizes: Vec<usize> = captured.lock().iter().map(|p| p.payload.len()).collect();
+    assert!(!sizes.is_empty());
+    for s in &sizes {
+        assert!(*s < 600, "oversized datagram: {s} bytes (all: {sizes:?})");
+    }
+    let _ = start;
+}
+
+#[test]
+fn wrong_password_then_right_password() {
+    let mut r = realm();
+    let mut ws = workstation(&r);
+    assert!(ws.kinit(&mut r.router, "bcn", "guess1").is_err());
+    assert!(ws.kinit(&mut r.router, "bcn", "guess2").is_err());
+    ws.kinit(&mut r.router, "bcn", "bcn-pw").unwrap();
+    assert!(ws.whoami().is_some());
+}
+
+#[test]
+fn tickets_survive_cache_serialization() {
+    // The workstation writes its ticket file; a new process reads it and
+    // continues the session (the V4 /tmp/tkt<uid> behaviour).
+    let mut r = realm();
+    let mut ws = workstation(&r);
+    ws.kinit(&mut r.router, "bcn", "bcn-pw").unwrap();
+    let svc = r.service.clone();
+    let _ = ws.mk_request(&mut r.router, &svc, 0, false).unwrap();
+
+    let bytes = ws.cache.to_bytes();
+    let restored = athena_kerberos::krb::CredentialCache::from_bytes(&bytes).unwrap();
+    assert_eq!(restored, ws.cache);
+    // The restored cache still authenticates.
+    let mut ws2 = workstation(&r);
+    ws2.cache = restored;
+    let (ap, _) = ws2.mk_request(&mut r.router, &svc, 0, false).unwrap();
+    let mut rc = ReplayCache::new();
+    assert!(krb_rd_req(&ap, &svc, &r.service_key, WS_ADDR, ws2.now(), &mut rc).is_ok());
+}
+
+#[test]
+fn lossy_network_fails_cleanly_not_wrongly() {
+    // Packet loss must surface as a timeout, never as a bogus credential.
+    let start = athena_kerberos::netsim::EPOCH_1987;
+    let mut boot = kdb_init(REALM, "master", start, 102).unwrap();
+    register_user(&mut boot.db, "bcn", "", "bcn-pw", start).unwrap();
+    let mut router = Router::new(SimNet::new(NetConfig { loss: 1.0, ..Default::default() }));
+    let dep = Deployment::install(
+        &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 0, start,
+    );
+    let mut ws = Workstation::new(
+        WS_ADDR, REALM, dep.kdc_endpoints(),
+        athena_kerberos::kdc::shared_clock(std::sync::Arc::clone(&dep.clock_cell)),
+    );
+    match ws.kinit(&mut router, "bcn", "bcn-pw") {
+        Err(athena_kerberos::tools::ToolError::Net(_)) => {}
+        other => panic!("expected network error, got {other:?}"),
+    }
+    assert!(ws.whoami().is_none());
+}
+
+#[test]
+fn duplicated_network_packets_do_not_break_the_exchange() {
+    // Network-level duplication (not an attack) is tolerated by clients:
+    // the KDC answers twice, the client uses the first reply.
+    let start = athena_kerberos::netsim::EPOCH_1987;
+    let mut boot = kdb_init(REALM, "master", start, 103).unwrap();
+    register_user(&mut boot.db, "bcn", "", "bcn-pw", start).unwrap();
+    let mut router = Router::new(SimNet::new(NetConfig { dup: 1.0, ..Default::default() }));
+    let dep = Deployment::install(
+        &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 0, start,
+    );
+    let mut ws = Workstation::new(
+        WS_ADDR, REALM, dep.kdc_endpoints(),
+        athena_kerberos::kdc::shared_clock(std::sync::Arc::clone(&dep.clock_cell)),
+    );
+    ws.kinit(&mut router, "bcn", "bcn-pw").unwrap();
+    assert!(ws.whoami().is_some());
+}
+
+#[test]
+fn protocol_survives_packet_reordering() {
+    // Campus networks reorder; single-datagram exchanges don't care, and
+    // the workstation's per-request state (nonce binding) keeps crossed
+    // replies from being misattributed.
+    use athena_kerberos::tools::{kdb_init, register_user};
+    let start = athena_kerberos::netsim::EPOCH_1987;
+    let mut boot = kdb_init(REALM, "master", start, 104).unwrap();
+    register_user(&mut boot.db, "bcn", "", "bcn-pw", start).unwrap();
+    let mut router = Router::new(SimNet::new(NetConfig {
+        jitter_ms: 40,
+        seed: 105,
+        ..Default::default()
+    }));
+    let dep = Deployment::install(
+        &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 1, start,
+    );
+    for i in 0..5u8 {
+        let mut ws = Workstation::new(
+            [18, 72, 0, 100 + i], REALM, dep.kdc_endpoints(),
+            athena_kerberos::kdc::shared_clock(std::sync::Arc::clone(&dep.clock_cell)),
+        );
+        ws.kinit(&mut router, "bcn", "bcn-pw").unwrap();
+        assert!(ws.whoami().is_some());
+    }
+}

@@ -1,0 +1,138 @@
+//! Replication and propagation across crates (paper §5.3, Figures 10/13;
+//! experiments E9/E11 functional halves).
+
+use athena_kerberos::kadm::{
+    build_admin_request, build_kdbm_ticket_request, kpasswd_op, read_admin_reply,
+    read_kdbm_ticket_reply, Acl, KdbmServer,
+};
+use athena_kerberos::kdc::{Deployment, RealmConfig};
+use athena_kerberos::kprop::{kprop_build, kpropd_receive, kpropd_verify, PropError};
+use athena_kerberos::krb::Principal;
+use athena_kerberos::netsim::{NetConfig, Router, SimNet};
+use athena_kerberos::tools::{kdb_init, register_user, Workstation};
+
+const REALM: &str = "ATHENA.MIT.EDU";
+const WS_ADDR: [u8; 4] = [18, 72, 0, 5];
+
+fn deploy(slaves: usize) -> (Router, Deployment) {
+    let start = athena_kerberos::netsim::EPOCH_1987;
+    let mut boot = kdb_init(REALM, "master-key-pw", start, 200).unwrap();
+    register_user(&mut boot.db, "bcn", "", "bcn-pw", start).unwrap();
+    let mut router = Router::new(SimNet::new(NetConfig::default()));
+    let dep = Deployment::install(
+        &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], slaves, start,
+    );
+    (router, dep)
+}
+
+fn ws(dep: &Deployment) -> Workstation {
+    Workstation::new(
+        WS_ADDR, REALM, dep.kdc_endpoints(),
+        athena_kerberos::kdc::shared_clock(std::sync::Arc::clone(&dep.clock_cell)),
+    )
+}
+
+#[test]
+fn password_change_reaches_slaves_only_after_propagation() {
+    // The full consistency story of §5.3: writes go to the master (via the
+    // KDBM); slaves serve stale data until the next hourly propagation.
+    let (mut router, dep) = deploy(1);
+    KdbmServer::register_service(&dep.master, &athena_kerberos::crypto::string_to_key("kdbm"),
+        athena_kerberos::netsim::EPOCH_1987).unwrap();
+    let mut kdbm = KdbmServer::new(
+        std::sync::Arc::clone(&dep.master),
+        Acl::new(),
+        athena_kerberos::kdc::shared_clock(std::sync::Arc::clone(&dep.clock_cell)),
+    )
+    .unwrap();
+
+    // Change bcn's password through the KDBM.
+    let client = Principal::parse("bcn", REALM).unwrap();
+    let workstation = ws(&dep);
+    let now = workstation.now();
+    let req = build_kdbm_ticket_request(&client, now);
+    let reply = router.rpc(workstation.endpoint, dep.kdc_endpoints()[0], &req).unwrap();
+    let cred = read_kdbm_ticket_reply(&reply, "bcn-pw", now).unwrap();
+    let admin_req = build_admin_request(&cred, &client, WS_ADDR, now, &kpasswd_op("new-pw"));
+    read_admin_reply(&kdbm.handle(&admin_req, WS_ADDR)).unwrap();
+
+    // Master sees the new password immediately.
+    let master_ep = dep.kdc_endpoints()[0];
+    let slave_ep = dep.kdc_endpoints()[1];
+    let mut probe = ws(&dep);
+    probe.kdc_endpoints = vec![master_ep];
+    assert!(probe.kinit(&mut router, "bcn", "new-pw").is_ok());
+
+    // Slave still has the old database.
+    let mut probe = ws(&dep);
+    probe.kdc_endpoints = vec![slave_ep];
+    assert!(probe.kinit(&mut router, "bcn", "new-pw").is_err(), "slave is stale pre-propagation");
+    assert!(probe.kinit(&mut router, "bcn", "bcn-pw").is_ok(), "old password still valid on slave");
+
+    // Propagate (Fig. 13) and the slave converges.
+    let packet = kprop_build(dep.master.lock().db()).unwrap();
+    let entries = kpropd_verify(&packet, &dep.master_key).unwrap();
+    let mut store = athena_kerberos::kdb::MemStore::new();
+    athena_kerberos::kdb::dump::install(&mut store, &entries).unwrap();
+    let db = athena_kerberos::kdb::PrincipalDb::open(store, dep.master_key).unwrap();
+    dep.slaves[0].1.lock().install_db(db);
+
+    let mut probe = ws(&dep);
+    probe.kdc_endpoints = vec![slave_ep];
+    assert!(probe.kinit(&mut router, "bcn", "new-pw").is_ok(), "slave converged");
+    assert!(probe.kinit(&mut router, "bcn", "bcn-pw").is_err(), "old password gone");
+}
+
+#[test]
+fn master_down_blocks_admin_but_not_authentication() {
+    // §5: "while authentication can still occur (on slaves),
+    // administration requests cannot be serviced if the master machine is
+    // down."
+    let (mut router, dep) = deploy(2);
+    router.net().set_partitioned(athena_kerberos::netsim::Ipv4(dep.master_addr), true);
+
+    // Authentication still works via slaves.
+    let mut workstation = ws(&dep);
+    workstation.kinit(&mut router, "bcn", "bcn-pw").unwrap();
+
+    // Admin (which must reach the master's KDBM endpoint) cannot proceed:
+    // the AS request for a KDBM ticket to the master times out.
+    let client = Principal::parse("bcn", REALM).unwrap();
+    let req = build_kdbm_ticket_request(&client, workstation.now());
+    assert!(router.rpc(workstation.endpoint, dep.kdc_endpoints()[0], &req).is_err());
+}
+
+#[test]
+fn tampered_propagation_is_rejected_and_slave_keeps_serving() {
+    let (mut router, dep) = deploy(1);
+    let mut packet = kprop_build(dep.master.lock().db()).unwrap();
+    let n = packet.len();
+    packet[n - 1] ^= 0x01;
+    assert_eq!(
+        kpropd_receive(&packet, athena_kerberos::kdb::MemStore::new(), dep.master_key)
+            .map(|_| ())
+            .unwrap_err(),
+        PropError::ChecksumMismatch
+    );
+    // The slave keeps its previous database and keeps authenticating.
+    let mut probe = ws(&dep);
+    probe.kdc_endpoints = vec![dep.kdc_endpoints()[1]];
+    assert!(probe.kinit(&mut router, "bcn", "bcn-pw").is_ok());
+}
+
+#[test]
+fn propagation_scales_with_database_size() {
+    // E11's shape: dump size grows linearly with principals.
+    let start = athena_kerberos::netsim::EPOCH_1987;
+    let mut sizes = Vec::new();
+    for n in [100usize, 400, 1600] {
+        let mut boot = kdb_init(REALM, "mk", start, n as u64).unwrap();
+        for i in 0..n {
+            register_user(&mut boot.db, &format!("u{i}"), "", &format!("p{i}"), start).unwrap();
+        }
+        let packet = kprop_build(&boot.db).unwrap();
+        sizes.push(packet.len());
+    }
+    assert!(sizes[1] > sizes[0] * 3 && sizes[1] < sizes[0] * 5, "{sizes:?}");
+    assert!(sizes[2] > sizes[1] * 3 && sizes[2] < sizes[1] * 5, "{sizes:?}");
+}
