@@ -23,7 +23,7 @@ pub mod zephyr;
 pub use login::{login, logout, LoginSession};
 pub use netproto::{
     frame_err, frame_ok, frame_request, open_pop_reply, parse_reply, parse_request,
-    PopNetService, RloginNetService, ZephyrNetService,
+    payload_bound, request_cksum, PopNetService, RloginNetService, ZephyrNetService,
 };
 pub use pop::{Mail, PopServer};
 pub use register::{register, Sms};

@@ -19,8 +19,40 @@ use kerberos::wire::{Reader, Writer};
 use kerberos::{
     krb_mk_priv, krb_rd_priv, ApReq, EncryptedTicket, ErrorCode, HostAddr, KrbResult, PrivMsg,
 };
-use krb_crypto::DesKey;
+use krb_crypto::{ct_eq, DesKey};
 use krb_netsim::{Packet, Service};
+
+/// Checksum binding an operation and payload into the authenticator's
+/// `cksum` field (paper §4.3: the checksum field ties "application data"
+/// to the authenticator). The authenticator is sealed in the session key,
+/// so a network attacker who rewrites the plaintext `op`/`payload` of a
+/// framed request cannot fix up the checksum to match.
+pub fn request_cksum(op: &str, payload: &[u8]) -> u32 {
+    // FNV-1a over `op NUL payload`. Unkeyed is fine: integrity comes from
+    // the checksum riding inside the encrypted authenticator.
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in op.as_bytes().iter().chain(std::iter::once(&0)).chain(payload) {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    // Reserve 0 to mean "unbound" (legacy clients pass cksum 0).
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// Does the verified authenticator checksum `bound` match `op`/`payload`?
+/// A zero checksum means the client did not bind the payload (pre-binding
+/// clients); anything else must match in constant time.
+pub fn payload_bound(bound: u32, op: &str, payload: &[u8]) -> bool {
+    bound == 0
+        || ct_eq(
+            &bound.to_be_bytes(),
+            &request_cksum(op, payload).to_be_bytes(),
+        )
+}
 
 /// Frame an authenticated application request: the `AP_REQ` plus an
 /// operation string and payload bytes.
@@ -99,6 +131,9 @@ impl Service for RloginNetService {
                 let claimed = String::from_utf8_lossy(&payload).to_string();
                 match self.server.connect(Some(&ap), &claimed, from, now) {
                     Ok(session) => {
+                        if !payload_bound(session.bound_cksum.unwrap_or(0), &op, &payload) {
+                            return Some(frame_err(ErrorCode::RdApModified));
+                        }
                         // Mutual auth reply rides back in the payload.
                         let rep = session.ap_rep.map(|r| r.enc_part).unwrap_or_default();
                         Some(frame_ok(&rep))
@@ -109,8 +144,15 @@ impl Service for RloginNetService {
             "rsh" => {
                 let text = String::from_utf8_lossy(&payload);
                 let (user, command) = text.split_once('\0')?;
-                match self.server.rsh(Some(&ap), user, from, now, command) {
-                    Ok(output) => Some(frame_ok(output.as_bytes())),
+                match self.server.rsh_session(Some(&ap), user, from, now, command) {
+                    Ok((session, output)) => {
+                        // An attacker must not be able to rewrite the
+                        // command while the AP_REQ is in flight.
+                        if !payload_bound(session.bound_cksum.unwrap_or(0), &op, &payload) {
+                            return Some(frame_err(ErrorCode::RdApModified));
+                        }
+                        Some(frame_ok(output.as_bytes()))
+                    }
                     Err(_) => Some(frame_err(ErrorCode::KadmUnauth)),
                 }
             }
@@ -138,7 +180,7 @@ impl Service for PopNetService {
     fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
         let from: HostAddr = req.src.addr.0;
         let now = (self.clock)();
-        let Ok((ap, op, _)) = parse_request(&req.payload) else {
+        let Ok((ap, op, payload)) = parse_request(&req.payload) else {
             return Some(frame_err(ErrorCode::RdApUndec));
         };
         if op != "retrieve" {
@@ -149,7 +191,10 @@ impl Service for PopNetService {
         // verification-free path: the server returns mail, and we re-open
         // the ticket with our own key to recover the session key.
         match self.server.retrieve_with_key(&ap, from, now) {
-            Ok((mail, session_key)) => {
+            Ok((mail, session_key, bound)) => {
+                if !payload_bound(bound, &op, &payload) {
+                    return Some(frame_err(ErrorCode::RdApModified));
+                }
                 let mut w = Writer::new();
                 w.u16(mail.len() as u16);
                 for m in &mail {

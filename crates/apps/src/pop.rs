@@ -49,19 +49,21 @@ impl PopServer {
     /// name comes from the *verified* principal, never from a request
     /// parameter — that is the entire point of Kerberizing POP.
     pub fn retrieve(&mut self, ap: &ApReq, from: HostAddr, now: u32) -> Result<Vec<Mail>, AppError> {
-        self.retrieve_with_key(ap, from, now).map(|(mail, _)| mail)
+        self.retrieve_with_key(ap, from, now).map(|(mail, _, _)| mail)
     }
 
-    /// As [`PopServer::retrieve`], but also hands back the session key so
-    /// the network adapter can seal the reply as a private message (§2.1).
+    /// As [`PopServer::retrieve`], but also hands back the session key (so
+    /// the network adapter can seal the reply as a private message, §2.1)
+    /// and the authenticator's application checksum (so the adapter can
+    /// check the request payload was not rewritten in flight).
     pub fn retrieve_with_key(
         &mut self,
         ap: &ApReq,
         from: HostAddr,
         now: u32,
-    ) -> Result<(Vec<Mail>, krb_crypto::DesKey), AppError> {
+    ) -> Result<(Vec<Mail>, krb_crypto::DesKey, u32), AppError> {
         let v = krb_rd_req(ap, &self.service, &self.key, from, now, &mut self.replay)?;
         let mail = self.mailboxes.remove(&v.client.name).unwrap_or_default();
-        Ok((mail, v.session_key))
+        Ok((mail, v.session_key, v.cksum))
     }
 }

@@ -29,6 +29,10 @@ pub struct RemoteSession {
     pub method: AuthMethod,
     /// Mutual-authentication reply to send back, if requested.
     pub ap_rep: Option<kerberos::ApRep>,
+    /// The application checksum from the verified authenticator (Kerberos
+    /// sessions only) — lets the transport check the request payload was
+    /// not rewritten in flight.
+    pub bound_cksum: Option<u32>,
 }
 
 /// The server side of `rlogin`/`rsh` on one host.
@@ -76,7 +80,12 @@ impl RloginServer {
                     let user = v.client.name.clone();
                     let ap_rep = v.mutual_requested.then(|| krb_mk_rep(&v));
                     self.connections.push((user.clone(), AuthMethod::Kerberos));
-                    return Ok(RemoteSession { user, method: AuthMethod::Kerberos, ap_rep });
+                    return Ok(RemoteSession {
+                        user,
+                        method: AuthMethod::Kerberos,
+                        ap_rep,
+                        bound_cksum: Some(v.cksum),
+                    });
                 }
                 Err(_) => {
                     // Fall through to .rhosts, as the paper specifies.
@@ -89,6 +98,7 @@ impl RloginServer {
                 user: claimed_user.to_string(),
                 method: AuthMethod::Rhosts,
                 ap_rep: None,
+                bound_cksum: None,
             });
         }
         Err(AppError::Denied(format!("rlogin denied for {claimed_user}")))
@@ -103,8 +113,23 @@ impl RloginServer {
         now: u32,
         command: &str,
     ) -> Result<String, AppError> {
+        self.rsh_session(ap, claimed_user, from, now, command)
+            .map(|(_, output)| output)
+    }
+
+    /// As [`RloginServer::rsh`], but also hands the session back so a
+    /// transport adapter can inspect `bound_cksum`.
+    pub fn rsh_session(
+        &mut self,
+        ap: Option<&ApReq>,
+        claimed_user: &str,
+        from: HostAddr,
+        now: u32,
+        command: &str,
+    ) -> Result<(RemoteSession, String), AppError> {
         let session = self.connect(ap, claimed_user, from, now)?;
         // The "shell": echo identity and command, as a real test harness.
-        Ok(format!("{}@{}: {}", session.user, self.service.instance, command))
+        let output = format!("{}@{}: {}", session.user, self.service.instance, command);
+        Ok((session, output))
     }
 }

@@ -45,7 +45,7 @@ fn athena() -> Athena {
 
     let dep = Deployment::install(
         &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 1, NOW,
-    );
+    ).unwrap();
 
     let hesiod = Hesiod::new();
     hesiod.add_user(UserInfo {

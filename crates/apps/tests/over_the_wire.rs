@@ -5,8 +5,8 @@
 
 use kerberos::{ErrorCode, Principal};
 use krb_apps::{
-    frame_request, open_pop_reply, parse_reply, Mail, PopNetService, PopServer, RloginNetService,
-    RloginServer, ZephyrNetService, ZephyrServer,
+    frame_request, open_pop_reply, parse_reply, request_cksum, Mail, PopNetService, PopServer,
+    RloginNetService, RloginServer, ZephyrNetService, ZephyrServer,
 };
 use krb_crypto::KeyGenerator;
 use krb_kdc::{Deployment, RealmConfig};
@@ -39,7 +39,7 @@ fn build() -> Net {
     let mut router = Router::new(SimNet::new(NetConfig::default()));
     let dep = Deployment::install(
         &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 0, NOW,
-    );
+    ).unwrap();
     let clock = || krb_kdc::shared_clock(Arc::clone(&dep.clock_cell));
 
     let rlogin = RloginServer::new(Principal::parse("rcmd.priam", REALM).unwrap(), rcmd_key);
@@ -70,7 +70,8 @@ fn rlogin_over_the_wire_with_mutual_auth() {
     let mut ws = workstation(&net);
     ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
     let rcmd = Principal::parse("rcmd.priam", REALM).unwrap();
-    let (ap, cred) = ws.mk_request(&mut net.router, &rcmd, 0, true).unwrap();
+    let cksum = request_cksum("login", b"bcn");
+    let (ap, cred) = ws.mk_request(&mut net.router, &rcmd, cksum, true).unwrap();
     // Recover the authenticator timestamp for the mutual-auth check.
     let auth = kerberos::SealedAuthenticator(ap.authenticator.clone())
         .open(&cred.key())
@@ -97,7 +98,8 @@ fn rsh_over_the_wire() {
     let mut ws = workstation(&net);
     ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
     let rcmd = Principal::parse("rcmd.priam", REALM).unwrap();
-    let (ap, _) = ws.mk_request(&mut net.router, &rcmd, 0, false).unwrap();
+    let cksum = request_cksum("rsh", b"bcn\0uptime");
+    let (ap, _) = ws.mk_request(&mut net.router, &rcmd, cksum, false).unwrap();
     let req = frame_request(&ap, "rsh", b"bcn\0uptime");
     let reply = net
         .router
@@ -114,7 +116,8 @@ fn pop_reply_is_sealed_and_only_ours() {
     let mut ws = workstation(&net);
     ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
     let pop_svc = Principal::parse("pop.paris", REALM).unwrap();
-    let (ap, cred) = ws.mk_request(&mut net.router, &pop_svc, 0, false).unwrap();
+    let cksum = request_cksum("retrieve", b"");
+    let (ap, cred) = ws.mk_request(&mut net.router, &pop_svc, cksum, false).unwrap();
     let req = frame_request(&ap, "retrieve", b"");
     let reply = net
         .router
@@ -162,6 +165,30 @@ fn junk_datagrams_get_clean_errors() {
         let reply = net.router.rpc(ws.endpoint, target, b"garbage").unwrap();
         assert_eq!(parse_reply(&reply).unwrap_err(), ErrorCode::RdApUndec);
     }
+}
+
+#[test]
+fn rewritten_rsh_command_is_refused() {
+    // The command rides in cleartext next to the AP_REQ; binding its
+    // checksum into the sealed authenticator means an on-path attacker
+    // cannot substitute `rm -rf` for `uptime` in flight.
+    let mut net = build();
+    let mut ws = workstation(&net);
+    ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
+    let rcmd = Principal::parse("rcmd.priam", REALM).unwrap();
+    let cksum = request_cksum("rsh", b"bcn\0uptime");
+    let (ap, _) = ws.mk_request(&mut net.router, &rcmd, cksum, false).unwrap();
+    // The attacker rewrites the payload but cannot touch the sealed cksum.
+    let forged = frame_request(&ap, "rsh", b"bcn\0rm -rf /");
+    let reply = net
+        .router
+        .rpc(ws.endpoint, Endpoint::new(PRIAM, ports::KLOGIN), &forged)
+        .unwrap();
+    assert_eq!(
+        parse_reply(&reply).unwrap_err(),
+        ErrorCode::RdApModified,
+        "tampered command must be refused"
+    );
 }
 
 #[test]

@@ -1,1 +1,3 @@
 //! Benchmark support crate; see benches/.
+
+#![forbid(unsafe_code)]

@@ -13,7 +13,7 @@ use crate::ticket::{EncryptedTicket, Ticket};
 use crate::time::{is_expired, within_skew};
 use crate::wire::{Reader, Writer};
 use crate::{ErrorCode, HostAddr, KrbResult, Principal};
-use krb_crypto::{open, quad_cksum, seal, DesKey, Mode};
+use krb_crypto::{ct_eq, open, quad_cksum, seal, DesKey, Mode};
 
 /// What `krb_rd_req` returns on success: the verified identity and the
 /// session key for further traffic.
@@ -74,7 +74,7 @@ pub fn krb_rd_req(
     if ticket.sname != service.name || ticket.sinstance != service.instance {
         return Err(ErrorCode::RdApNotUs);
     }
-    let session_key = DesKey::from_bytes(ticket.session_key);
+    let session_key = ticket.session_key.as_des_key();
     let auth = SealedAuthenticator(req.authenticator.clone()).open(&session_key)?;
     if !auth.matches_ticket(&ticket) {
         return Err(ErrorCode::RdApIncon);
@@ -133,7 +133,10 @@ pub fn krb_rd_rep(rep: &ApRep, session_key: &DesKey, sent_timestamp: u32) -> Krb
     let mut r = Reader::new(&plain);
     let got = r.u32()?;
     r.expect_end()?;
-    if got != sent_timestamp.wrapping_add(1) {
+    if !ct_eq(
+        &got.to_be_bytes(),
+        &sent_timestamp.wrapping_add(1).to_be_bytes(),
+    ) {
         return Err(ErrorCode::RdApModified);
     }
     Ok(())
@@ -149,7 +152,9 @@ pub fn krb_mk_safe(data: &[u8], session_key: &DesKey, addr: HostAddr, now: u32) 
 /// `krb_rd_safe`: verify the checksum and freshness of a safe message.
 pub fn krb_rd_safe(msg: &SafeMsg, session_key: &DesKey, now: u32) -> KrbResult<Vec<u8>> {
     let expect = safe_cksum(&msg.data, session_key, msg.addr, msg.timestamp);
-    if expect != msg.cksum {
+    // Constant-time compare: a byte-at-a-time == would let an attacker
+    // grind out the keyed checksum one prefix byte at a time.
+    if !ct_eq(&expect.to_be_bytes(), &msg.cksum.to_be_bytes()) {
         return Err(ErrorCode::RdApModified);
     }
     if !within_skew(msg.timestamp, now) {
@@ -249,6 +254,38 @@ mod tests {
             krb_rd_req(&req, &service, &service_key, ADDR, NOW + 1, &mut rc).unwrap_err(),
             ErrorCode::RdApRepeat
         );
+    }
+
+    #[test]
+    fn duplicate_authenticator_at_skew_boundary_is_a_replay() {
+        // An authenticator aged exactly MAX_SKEW_SECS is still fresh; its
+        // byte-identical duplicate at that same boundary instant must be
+        // caught by the replay cache (RdApRepeat), not waved through or
+        // misclassified as merely stale (RdApTime).
+        let (client, service, service_key, session_key, ticket) = setup();
+        let req = krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW, 0, false);
+        let mut rc = ReplayCache::new();
+        let boundary = NOW + MAX_SKEW_SECS;
+        assert!(krb_rd_req(&req, &service, &service_key, ADDR, boundary, &mut rc).is_ok());
+        assert_eq!(
+            krb_rd_req(&req, &service, &service_key, ADDR, boundary, &mut rc).unwrap_err(),
+            ErrorCode::RdApRepeat
+        );
+    }
+
+    #[test]
+    fn verified_request_debug_reveals_no_key_bytes() {
+        // VerifiedRequest carries the session key (DesKey) and the decrypted
+        // ticket (SecretKey); operators log these structs, so neither Debug
+        // impl may leak key material.
+        let (client, service, service_key, session_key, ticket) = setup();
+        let req = krb_mk_req(&ticket, REALM, &session_key, &client, ADDR, NOW, 0, false);
+        let mut rc = ReplayCache::new();
+        let v = krb_rd_req(&req, &service, &service_key, ADDR, NOW, &mut rc).unwrap();
+        let dump = format!("{v:?}");
+        assert!(dump.contains("redacted"), "keys must print as redacted: {dump}");
+        let hex: String = session_key.as_bytes().iter().map(|b| format!("{b:02x}")).collect();
+        assert!(!dump.contains(&hex), "session key bytes leaked via Debug");
     }
 
     #[test]

@@ -148,7 +148,7 @@ mod tests {
         let session = [7u8; 8];
         let ticket = Ticket::new(&tgs, &client, [1, 2, 3, 4], 1000, 96, session).seal(&tgs_key);
         let part = EncKdcReplyPart {
-            session_key: session,
+            session_key: session.into(),
             sname: tgs.name.clone(),
             sinstance: tgs.instance.clone(),
             srealm: REALM.into(),
@@ -185,7 +185,7 @@ mod tests {
         let cred = read_as_reply_with_password(&reply, "hunter2", 42).unwrap();
         assert_eq!(cred.service.name, "krbtgt");
         assert_eq!(cred.life, 96);
-        assert_eq!(cred.session_key, [7u8; 8]);
+        assert_eq!(cred.session_key, [7u8; 8].into());
     }
 
     #[test]
@@ -244,7 +244,7 @@ mod tests {
         let tgt = Credential {
             service: Principal::tgs(REALM, REALM),
             issuing_realm: REALM.into(),
-            session_key: [1; 8],
+            session_key: [1; 8].into(),
             ticket: EncryptedTicket(vec![0; 16]),
             life: 96,
             issued: 0,

@@ -11,7 +11,7 @@ use crate::ticket::EncryptedTicket;
 use crate::time::{expiry, is_expired, remaining_life};
 use crate::wire::{Reader, Writer};
 use crate::{ErrorCode, KrbResult, Principal};
-use krb_crypto::DesKey;
+use krb_crypto::{DesKey, SecretKey};
 
 /// One cached credential: everything needed to build an `AP_REQ` for a
 /// service (plus bookkeeping for expiry).
@@ -22,8 +22,8 @@ pub struct Credential {
     /// Realm of the issuing KDC (differs from `service.realm` only for
     /// cross-realm TGTs in flight).
     pub issuing_realm: String,
-    /// The session key shared with the service.
-    pub session_key: [u8; 8],
+    /// The session key shared with the service, redacted under `{:?}`.
+    pub session_key: SecretKey,
     /// The ticket, encrypted in the service's key.
     pub ticket: EncryptedTicket,
     /// Lifetime granted, 5-minute units.
@@ -37,7 +37,7 @@ pub struct Credential {
 impl Credential {
     /// Session key as a [`DesKey`].
     pub fn key(&self) -> DesKey {
-        DesKey::from_bytes(self.session_key)
+        self.session_key.as_des_key()
     }
 
     /// Expiration instant.
@@ -60,7 +60,7 @@ impl Credential {
         w.str(&self.service.instance);
         w.str(&self.service.realm);
         w.str(&self.issuing_realm);
-        w.block(&self.session_key);
+        w.block(self.session_key.as_bytes());
         w.bytes(&self.ticket.0);
         w.u8(self.life);
         w.u32(self.issued);
@@ -75,7 +75,7 @@ impl Credential {
                 realm: r.str()?,
             },
             issuing_realm: r.str()?,
-            session_key: r.block()?,
+            session_key: SecretKey::new(r.block()?),
             ticket: EncryptedTicket(r.bytes()?),
             life: r.u8()?,
             issued: r.u32()?,
@@ -197,7 +197,7 @@ mod tests {
         Credential {
             service: Principal::parse(service, REALM).unwrap(),
             issuing_realm: REALM.into(),
-            session_key: [1, 2, 3, 4, 5, 6, 7, 8],
+            session_key: [1, 2, 3, 4, 5, 6, 7, 8].into(),
             ticket: EncryptedTicket(vec![0xAB; 64]),
             life,
             issued,

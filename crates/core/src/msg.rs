@@ -17,6 +17,7 @@
 use crate::ticket::EncryptedTicket;
 use crate::wire::{Reader, Writer};
 use crate::{ErrorCode, HostAddr, KrbResult};
+use krb_crypto::SecretKey;
 
 /// Protocol version carried in every message (we are a V4-shaped protocol).
 pub const PROTO_VERSION: u8 = 4;
@@ -48,8 +49,8 @@ pub struct AsReq {
 /// encrypted in the client's private key (AS) or TGT session key (TGS).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct EncKdcReplyPart {
-    /// The new session key.
-    pub session_key: [u8; 8],
+    /// The new session key, redacted under `{:?}`.
+    pub session_key: SecretKey,
     /// Service primary name the ticket is for.
     pub sname: String,
     /// Service instance.
@@ -289,7 +290,7 @@ impl EncKdcReplyPart {
     /// Serialize (before sealing).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.block(&self.session_key);
+        w.block(self.session_key.as_bytes());
         w.str(&self.sname);
         w.str(&self.sinstance);
         w.str(&self.srealm);
@@ -305,7 +306,7 @@ impl EncKdcReplyPart {
     pub fn decode(buf: &[u8]) -> KrbResult<Self> {
         let mut r = Reader::new(buf);
         let p = EncKdcReplyPart {
-            session_key: r.block()?,
+            session_key: SecretKey::new(r.block()?),
             sname: r.str()?,
             sinstance: r.str()?,
             srealm: r.str()?,
@@ -406,7 +407,7 @@ mod tests {
     #[test]
     fn enc_kdc_reply_part_round_trip() {
         let p = EncKdcReplyPart {
-            session_key: [1; 8],
+            session_key: [1; 8].into(),
             sname: "krbtgt".into(),
             sinstance: "ATHENA.MIT.EDU".into(),
             srealm: "ATHENA.MIT.EDU".into(),

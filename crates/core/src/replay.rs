@@ -121,6 +121,23 @@ mod tests {
     }
 
     #[test]
+    fn expiry_sweep_drops_stale_and_keeps_fresh() {
+        let mut rc = ReplayCache::new();
+        let base = 100_000;
+        // One entry that will be stale at sweep time, one still in window.
+        assert!(rc.check_and_insert(key("old@A", base, b"old"), base));
+        let fresh_ts = base + 3 * MAX_SKEW_SECS;
+        assert!(rc.check_and_insert(key("new@A", fresh_ts, b"new"), fresh_ts));
+        // Trigger the sweep well past the old entry's 2*skew horizon but
+        // inside the fresh entry's.
+        let sweep_at = base + 4 * MAX_SKEW_SECS;
+        assert!(rc.check_and_insert(key("x@A", sweep_at, b"x"), sweep_at));
+        assert_eq!(rc.len(), 2, "stale entry swept, fresh + new retained");
+        // The fresh entry must still catch its replay after the sweep.
+        assert!(!rc.check_and_insert(key("new@A", fresh_ts, b"new"), sweep_at));
+    }
+
+    #[test]
     fn purge_is_rate_limited() {
         let mut rc = ReplayCache::new();
         rc.check_and_insert(key("a@A", 0, b"1"), 0);

@@ -12,7 +12,7 @@
 
 use crate::wire::{Reader, Writer};
 use crate::{ErrorCode, HostAddr, KrbResult, Principal};
-use krb_crypto::{open, seal, DesKey, Mode};
+use krb_crypto::{open, seal, DesKey, Mode, SecretKey};
 
 /// The plaintext contents of a ticket.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -36,8 +36,9 @@ pub struct Ticket {
     pub timestamp: u32,
     /// Lifetime in 5-minute units (`life`).
     pub life: u8,
-    /// The session key `Ks,c` shared by server and client.
-    pub session_key: [u8; 8],
+    /// The session key `Ks,c` shared by server and client. Held as a
+    /// [`SecretKey`] so a `{:?}` on the ticket can never print it.
+    pub session_key: SecretKey,
 }
 
 /// A ticket encrypted in the server's key — the only form that ever crosses
@@ -53,7 +54,7 @@ impl Ticket {
         addr: HostAddr,
         timestamp: u32,
         life: u8,
-        session_key: [u8; 8],
+        session_key: impl Into<SecretKey>,
     ) -> Self {
         Ticket {
             sname: server.name.clone(),
@@ -64,7 +65,7 @@ impl Ticket {
             addr,
             timestamp,
             life,
-            session_key,
+            session_key: session_key.into(),
         }
     }
 
@@ -87,7 +88,7 @@ impl Ticket {
         w.addr(&self.addr);
         w.u32(self.timestamp);
         w.u8(self.life);
-        w.block(&self.session_key);
+        w.block(self.session_key.as_bytes());
         w.finish()
     }
 
@@ -102,7 +103,7 @@ impl Ticket {
             addr: r.addr()?,
             timestamp: r.u32()?,
             life: r.u8()?,
-            session_key: r.block()?,
+            session_key: SecretKey::new(r.block()?),
         };
         r.expect_end()?;
         Ok(t)

@@ -101,7 +101,7 @@ proptest! {
         ticket in proptest::collection::vec(any::<u8>(), 0..120),
     ) {
         let p = EncKdcReplyPart {
-            session_key: key,
+            session_key: key.into(),
             sname: s.name, sinstance: s.instance, srealm: s.realm,
             life, kvno, kdc_time: t, nonce,
             ticket: EncryptedTicket(ticket),

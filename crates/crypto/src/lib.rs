@@ -28,6 +28,7 @@ pub mod des;
 pub mod fast;
 pub mod key;
 pub mod modes;
+pub mod secret;
 pub mod string_to_key;
 mod tables;
 
@@ -35,6 +36,13 @@ pub use cksum::quad_cksum;
 pub use des::Des;
 pub use fast::FastDes;
 pub use key::{constant_time_eq, DesKey, KeyGenerator};
+pub use secret::SecretKey;
+
+/// Constant-time byte comparison — the canonical name the L2 lint steers
+/// callers toward. Alias of [`key::constant_time_eq`].
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    constant_time_eq(a, b)
+}
 pub use modes::{cbc_checksum, decrypt_raw, encrypt_raw, open, seal, Mode, BLOCK};
 pub use string_to_key::string_to_key;
 

@@ -1,0 +1,122 @@
+//! [`SecretKey`]: an 8-byte secret that refuses to print itself.
+//!
+//! Protocol structures (tickets, credentials, KDC reply parts) carry
+//! session keys as plain bytes on the wire, but in memory those bytes must
+//! not leak through `Debug` formatting or linger after use. `SecretKey`
+//! wraps the raw block with:
+//!
+//! - a redacting `Debug` impl (paper §2: the session key is the shared
+//!   secret — a stray `{:?}` in a log line must not disclose it),
+//! - constant-time `PartialEq` (no timing oracle on key comparison), and
+//! - best-effort zeroization on drop.
+//!
+//! Unlike [`crate::DesKey`], construction does **not** adjust parity: a
+//! `SecretKey` holds exactly the bytes that were sealed into a ticket, so
+//! encode/decode round-trips are byte-faithful. Convert to `DesKey` (which
+//! repairs parity) only at the point of use as a DES key.
+
+use crate::key::{constant_time_eq, DesKey};
+
+/// An 8-byte secret (session key or service key) with redacting `Debug`,
+/// constant-time equality, and best-effort zeroize-on-drop.
+#[derive(Clone)]
+pub struct SecretKey([u8; 8]);
+
+impl SecretKey {
+    /// Wrap raw key bytes verbatim (no parity adjustment).
+    pub fn new(bytes: [u8; 8]) -> Self {
+        SecretKey(bytes)
+    }
+
+    /// The raw bytes, e.g. for wire encoding.
+    pub fn as_bytes(&self) -> &[u8; 8] {
+        &self.0
+    }
+
+    /// View as a parity-fixed DES key for use with the cipher.
+    pub fn as_des_key(&self) -> DesKey {
+        DesKey::from_bytes(self.0)
+    }
+}
+
+impl From<[u8; 8]> for SecretKey {
+    fn from(bytes: [u8; 8]) -> Self {
+        SecretKey::new(bytes)
+    }
+}
+
+impl From<&DesKey> for SecretKey {
+    fn from(key: &DesKey) -> Self {
+        SecretKey(*key.as_bytes())
+    }
+}
+
+impl From<DesKey> for SecretKey {
+    fn from(key: DesKey) -> Self {
+        SecretKey(*key.as_bytes())
+    }
+}
+
+impl PartialEq for SecretKey {
+    fn eq(&self, other: &Self) -> bool {
+        constant_time_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for SecretKey {}
+
+impl std::fmt::Debug for SecretKey {
+    // Keys must never leak through logs; Debug prints a redaction marker.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SecretKey(<redacted>)")
+    }
+}
+
+impl Drop for SecretKey {
+    fn drop(&mut self) {
+        // Best-effort zeroization. The workspace forbids `unsafe`, so this
+        // is a plain overwrite plus a compiler fence discouraging the
+        // optimizer from eliding the store; it is not a guarantee against
+        // copies the compiler already made (a `Copy` key handed to the
+        // cipher, a moved temporary), but it clears the long-lived copy
+        // held by tickets and credential caches.
+        self.0 = [0u8; 8];
+        std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let k = SecretKey::new([0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1]);
+        let s = format!("{k:?}");
+        assert!(s.contains("redacted"));
+        assert!(!s.contains("13") && !s.contains("19"), "no byte values: {s}");
+    }
+
+    #[test]
+    fn bytes_round_trip_without_parity_repair() {
+        // 0x00 would become 0x01 under DesKey's parity fix; SecretKey must
+        // preserve the wire bytes exactly.
+        let k = SecretKey::new([0x00, 0xFF, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60]);
+        assert_eq!(k.as_bytes(), &[0x00, 0xFF, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60]);
+    }
+
+    #[test]
+    fn equality_is_by_value() {
+        let a = SecretKey::new([7u8; 8]);
+        let b = SecretKey::new([7u8; 8]);
+        let c = SecretKey::new([8u8; 8]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn des_key_view_fixes_parity() {
+        let k = SecretKey::new([0u8; 8]);
+        assert_eq!(k.as_des_key().as_bytes(), &[0x01; 8]);
+    }
+}

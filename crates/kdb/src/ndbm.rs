@@ -71,17 +71,31 @@ impl Page {
         self.0[4..6].copy_from_slice(&(n as u16).to_be_bytes());
     }
 
-    /// Iterate entry offsets: (entry_start, key_range, val_range).
-    fn entries(&self) -> Vec<(usize, usize, usize)> {
+    /// Decode entry offsets: (entry_start, key_len, val_len). Every length
+    /// is validated against the page bounds before use, so a corrupt or
+    /// truncated page file surfaces as [`DbError::Corrupt`] instead of a
+    /// panic — the KDC must keep answering other requests even if one
+    /// bucket of the database is damaged.
+    fn entries(&self) -> Result<Vec<(usize, usize, usize)>, DbError> {
+        let data_end = BUCKET_HDR + self.used();
+        if data_end > PAGE_SIZE {
+            return Err(DbError::Corrupt("bucket used-bytes exceeds page".into()));
+        }
         let mut out = Vec::with_capacity(self.nkeys());
         let mut off = BUCKET_HDR;
         for _ in 0..self.nkeys() {
+            if off + 4 > data_end {
+                return Err(DbError::Corrupt("bucket entry header truncated".into()));
+            }
             let klen = u16::from_be_bytes([self.0[off], self.0[off + 1]]) as usize;
             let vlen = u16::from_be_bytes([self.0[off + 2], self.0[off + 3]]) as usize;
+            if off + 4 + klen + vlen > data_end {
+                return Err(DbError::Corrupt("bucket record overruns page".into()));
+            }
             out.push((off, klen, vlen));
             off += 4 + klen + vlen;
         }
-        out
+        Ok(out)
     }
 
     fn key_at(&self, (off, klen, _vlen): (usize, usize, usize)) -> &[u8] {
@@ -91,8 +105,8 @@ impl Page {
         &self.0[off + 4 + klen..off + 4 + klen + vlen]
     }
 
-    fn find(&self, key: &[u8]) -> Option<(usize, usize, usize)> {
-        self.entries().into_iter().find(|&e| self.key_at(e) == key)
+    fn find(&self, key: &[u8]) -> Result<Option<(usize, usize, usize)>, DbError> {
+        Ok(self.entries()?.into_iter().find(|&e| self.key_at(e) == key))
     }
 
     fn free_space(&self) -> usize {
@@ -123,15 +137,15 @@ impl Page {
     }
 
     /// Drain all entries as owned pairs (used when splitting).
-    fn drain_all(&mut self) -> Vec<(Vec<u8>, Vec<u8>)> {
+    fn drain_all(&mut self) -> Result<Vec<(Vec<u8>, Vec<u8>)>, DbError> {
         let pairs = self
-            .entries()
+            .entries()?
             .into_iter()
             .map(|e| (self.key_at(e).to_vec(), self.val_at(e).to_vec()))
             .collect();
         let depth = self.local_depth();
         *self = Page::empty(depth);
-        pairs
+        Ok(pairs)
     }
 }
 
@@ -191,15 +205,20 @@ impl HashStore {
         if buf.len() < 8 + 1 + 4 + 8 || &buf[..8] != DIR_MAGIC {
             return Err(DbError::Corrupt("bad directory magic".into()));
         }
+        let short = || DbError::Corrupt("directory header truncated".into());
         self.global_depth = buf[8];
-        self.page_count = u32::from_be_bytes(buf[9..13].try_into().expect("4 bytes"));
-        self.record_count = u64::from_be_bytes(buf[13..21].try_into().expect("8 bytes"));
+        if self.global_depth > MAX_GLOBAL_DEPTH {
+            return Err(DbError::Corrupt("directory depth out of range".into()));
+        }
+        self.page_count = u32::from_be_bytes(buf[9..13].try_into().map_err(|_| short())?);
+        self.record_count = u64::from_be_bytes(buf[13..21].try_into().map_err(|_| short())?);
         let n = 1usize << self.global_depth;
         if buf.len() != 21 + n * 4 {
             return Err(DbError::Corrupt("directory length mismatch".into()));
         }
-        self.dir = (0..n)
-            .map(|i| u32::from_be_bytes(buf[21 + i * 4..25 + i * 4].try_into().expect("4 bytes")))
+        self.dir = buf[21..]
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
         Ok(())
     }
@@ -224,15 +243,17 @@ impl HashStore {
     }
 
     fn read_page(&mut self, page_no: u32) -> Result<&mut Page, DbError> {
-        if !self.cache.contains_key(&page_no) {
-            let mut raw = Box::new([0u8; PAGE_SIZE]);
-            self.pag
-                .seek(SeekFrom::Start(u64::from(page_no) * PAGE_SIZE as u64))
-                .map_err(DbError::io)?;
-            self.pag.read_exact(&mut raw[..]).map_err(DbError::io)?;
-            self.cache.insert(page_no, Page(raw));
+        match self.cache.entry(page_no) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(e.into_mut()),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                let mut raw = Box::new([0u8; PAGE_SIZE]);
+                self.pag
+                    .seek(SeekFrom::Start(u64::from(page_no) * PAGE_SIZE as u64))
+                    .map_err(DbError::io)?;
+                self.pag.read_exact(&mut raw[..]).map_err(DbError::io)?;
+                Ok(slot.insert(Page(raw)))
+            }
         }
-        Ok(self.cache.get_mut(&page_no).expect("just inserted"))
     }
 
     fn write_page(&mut self, page_no: u32, page: &Page) -> Result<(), DbError> {
@@ -252,7 +273,7 @@ impl HashStore {
     fn split(&mut self, page_no: u32) -> Result<(), DbError> {
         let (local, pairs) = {
             let page = self.read_page(page_no)?;
-            (page.local_depth(), page.drain_all())
+            (page.local_depth(), page.drain_all()?)
         };
         if local == self.global_depth {
             if self.global_depth >= MAX_GLOBAL_DEPTH {
@@ -313,7 +334,7 @@ impl Store for HashStore {
         let h = fnv1a(key);
         let page_no = self.dir[self.dir_index(h)];
         if let Some(page) = self.cache.get(&page_no) {
-            return Ok(page.find(key).map(|e| page.val_at(e).to_vec()));
+            return Ok(page.find(key)?.map(|e| page.val_at(e).to_vec()));
         }
         let mut raw = Box::new([0u8; PAGE_SIZE]);
         let mut f = File::open(&self.pag_path).map_err(DbError::io)?;
@@ -321,7 +342,7 @@ impl Store for HashStore {
             .map_err(DbError::io)?;
         f.read_exact(&mut raw[..]).map_err(DbError::io)?;
         let page = Page(raw);
-        Ok(page.find(key).map(|e| page.val_at(e).to_vec()))
+        Ok(page.find(key)?.map(|e| page.val_at(e).to_vec()))
     }
 
     fn store(&mut self, key: &[u8], value: &[u8]) -> Result<(), DbError> {
@@ -333,7 +354,7 @@ impl Store for HashStore {
             let page_no = self.dir[self.dir_index(h)];
             let page = self.read_page(page_no)?;
             let mut is_new = true;
-            if let Some(e) = page.find(key) {
+            if let Some(e) = page.find(key)? {
                 page.remove(e);
                 is_new = false;
             }
@@ -364,7 +385,7 @@ impl Store for HashStore {
         let h = fnv1a(key);
         let page_no = self.dir[self.dir_index(h)];
         let page = self.read_page(page_no)?;
-        match page.find(key) {
+        match page.find(key)? {
             Some(e) => {
                 page.remove(e);
                 let snapshot = page.clone();
@@ -394,7 +415,7 @@ impl Store for HashStore {
                 file.read_exact(&mut raw[..]).map_err(DbError::io)?;
                 Page(raw)
             };
-            for e in page.entries() {
+            for e in page.entries()? {
                 f(page.key_at(e), page.val_at(e));
             }
         }
@@ -509,6 +530,44 @@ mod tests {
         s.store(b"k7", &[1u8; 3000]).unwrap();
         assert_eq!(s.fetch(b"k7").unwrap().unwrap().len(), 3000);
         assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn corrupt_page_is_an_error_not_a_panic() {
+        let path = tmp("corrupt");
+        {
+            let mut s = HashStore::open(&path).unwrap();
+            s.store(b"victim", b"record").unwrap();
+            s.sync().unwrap();
+        }
+        // Smash the first entry's key length so it runs off the page.
+        {
+            let mut f = OpenOptions::new()
+                .write(true)
+                .open(path.with_extension("pag"))
+                .unwrap();
+            f.seek(SeekFrom::Start(BUCKET_HDR as u64)).unwrap();
+            f.write_all(&[0xFF, 0xFF]).unwrap();
+        }
+        let s = HashStore::open(&path).unwrap();
+        assert!(matches!(s.fetch(b"victim"), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_directory_is_an_error_not_a_panic() {
+        let path = tmp("shortdir");
+        {
+            let mut s = HashStore::open(&path).unwrap();
+            s.store(b"k", b"v").unwrap();
+            s.sync().unwrap();
+        }
+        let dir = path.with_extension("dir");
+        let bytes = std::fs::read(&dir).unwrap();
+        std::fs::write(&dir, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(matches!(
+            HashStore::open(&path),
+            Err(DbError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -150,7 +150,7 @@ impl<S: Store> Kdc<S> {
         let ticket = Ticket::new(&service, &client, addr, now, life, *session_key.as_bytes())
             .seal(&skey);
         let part = EncKdcReplyPart {
-            session_key: *session_key.as_bytes(),
+            session_key: session_key.into(),
             sname: service.name.clone(),
             sinstance: service.instance.clone(),
             srealm: self.config.realm.clone(),
@@ -189,7 +189,13 @@ impl<S: Store> Kdc<S> {
         // "the remote ticket-granting server recognizes that the request is
         // not from its own realm" — the client keeps its original realm.
         let client = verified.client.clone();
-        debug_assert!(!foreign || client.realm != self.config.realm);
+        if foreign && client.realm == self.config.realm {
+            // A TGT sealed in an inter-realm key must name a client from
+            // the foreign realm; one claiming to be local is inconsistent
+            // (a forgery attempt, not a programming error — reject it, do
+            // not assert).
+            return Err(ErrorCode::RdApIncon);
+        }
 
         // Target may be a service of this realm, or the TGS of a *remote*
         // realm ("a user ... can request a ticket-granting ticket from the
@@ -233,7 +239,7 @@ impl<S: Store> Kdc<S> {
         let ticket = Ticket::new(&service, &client, sender, now, life, *session_key.as_bytes())
             .seal(&skey);
         let part = EncKdcReplyPart {
-            session_key: *session_key.as_bytes(),
+            session_key: session_key.into(),
             sname: service.name.clone(),
             sinstance: service.instance.clone(),
             srealm: self.config.realm.clone(),

@@ -5,7 +5,7 @@
 use crate::realm::RealmConfig;
 use crate::server::{shared_clock, Kdc, KdcRole};
 use kerberos::HostAddr;
-use krb_kdb::{dump, MemStore, PrincipalDb, Store};
+use krb_kdb::{dump, DbError, MemStore, PrincipalDb, Store};
 use krb_netsim::{ports, Endpoint, Packet, Router, Service};
 use krb_crypto::DesKey;
 use parking_lot::Mutex;
@@ -44,7 +44,9 @@ pub struct Deployment {
 impl Deployment {
     /// Stand up `1 + n_slaves` KDCs for `realm` on `router`. The master
     /// gets `base_addr`; slaves get consecutive addresses. Slave databases
-    /// are installed from a master dump, as `kprop` would.
+    /// are installed from a master dump, as `kprop` would. A dump that
+    /// fails to round-trip surfaces as the [`DbError`] rather than a
+    /// panic, so a deployment driver can report and retry.
     pub fn install(
         router: &mut Router,
         realm: &str,
@@ -53,7 +55,7 @@ impl Deployment {
         base_addr: HostAddr,
         n_slaves: usize,
         start_time: u32,
-    ) -> Self {
+    ) -> Result<Self, DbError> {
         let clock_cell = Arc::new(AtomicU32::new(start_time));
         let master_key = *master_db.master_key();
         let master = Arc::new(Mutex::new(Kdc::new(
@@ -68,11 +70,11 @@ impl Deployment {
 
         let mut slaves = Vec::new();
         for i in 0..n_slaves {
-            let text = dump::dump(master.lock().db()).expect("dump master db");
-            let entries = dump::parse(&text).expect("parse own dump");
+            let text = dump::dump(master.lock().db())?;
+            let entries = dump::parse(&text)?;
             let mut store = MemStore::new();
-            dump::install(&mut store, &entries).expect("install dump");
-            let db = PrincipalDb::open(store, master_key).expect("slave db opens");
+            dump::install(&mut store, &entries)?;
+            let db = PrincipalDb::open(store, master_key)?;
             let slave = Arc::new(Mutex::new(Kdc::new(
                 db,
                 config.clone(),
@@ -85,14 +87,14 @@ impl Deployment {
             router.serve(Endpoint::new(addr, ports::KDC), KdcService(Arc::clone(&slave)));
             slaves.push((addr, slave));
         }
-        Deployment {
+        Ok(Deployment {
             master,
             master_addr: base_addr,
             slaves,
             realm: realm.to_string(),
             clock_cell,
             master_key,
-        }
+        })
     }
 
     /// Every KDC endpoint, master first — clients try these in order.
@@ -143,7 +145,7 @@ mod tests {
             [18, 72, 0, 10],
             2,
             NOW,
-        );
+        ).unwrap();
         let ws = Endpoint::new([18, 72, 0, 5], 1023);
         let client = Principal::parse("bcn", REALM).unwrap();
         let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
@@ -169,7 +171,7 @@ mod tests {
             [18, 72, 0, 10],
             1,
             NOW,
-        );
+        ).unwrap();
         router.net().set_partitioned(krb_netsim::Ipv4(dep.master_addr), true);
         let ws = Endpoint::new([18, 72, 0, 5], 1023);
         let client = Principal::parse("bcn", REALM).unwrap();

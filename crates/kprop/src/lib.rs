@@ -83,8 +83,9 @@ pub fn kpropd_verify(packet: &[u8], master_key: &DesKey) -> Result<Vec<Principal
     if packet.len() < 12 {
         return Err(PropError::BadPacket);
     }
-    let sent_sum: [u8; 8] = packet[..8].try_into().expect("8 bytes");
-    let len = u32::from_be_bytes(packet[8..12].try_into().expect("4 bytes")) as usize;
+    let sent_sum: [u8; 8] = packet[..8].try_into().map_err(|_| PropError::BadPacket)?;
+    let len_bytes: [u8; 4] = packet[8..12].try_into().map_err(|_| PropError::BadPacket)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
     if packet.len() != 12 + len {
         return Err(PropError::BadPacket);
     }

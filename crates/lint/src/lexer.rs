@@ -1,0 +1,275 @@
+//! A minimal Rust lexer: enough token structure for invariant scanning.
+//!
+//! Produces identifiers, punctuation, and literal markers with line
+//! numbers, and *discards comment and string/char literal contents* so the
+//! rules never fire on prose or test fixtures. No dependency on `syn` —
+//! the grammar subset the rules need (attributes, derives, struct fields,
+//! method calls, macro bangs, brace nesting) survives tokenization intact.
+
+/// What a token is, coarsely.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Any single punctuation character (`#`, `[`, `(`, `.`, `!`, ...).
+    Punct,
+    /// `==` or `!=` (the only multi-char operators the rules care about;
+    /// lexing them as units avoids confusing `!=` with a macro bang).
+    CompareOp,
+    /// A string/char/numeric literal (contents dropped for strings).
+    Literal,
+}
+
+/// One token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: Kind,
+    /// Source text (empty for string literals).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Tokenize `src`, dropping comments and literal contents.
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    macro_rules! bump_lines {
+        ($ch:expr) => {
+            if $ch == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_lines!(c);
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump_lines!(bytes[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string r"..." / r#"..."# (and byte-raw br#"..."#).
+        if (c == 'r' || c == 'b') && is_raw_string_start(&bytes, i) {
+            let start = if c == 'b' { i + 1 } else { i };
+            let mut j = start + 1; // past 'r'
+            let mut hashes = 0;
+            while j < n && bytes[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            // j at opening quote
+            j += 1;
+            loop {
+                if j >= n {
+                    break;
+                }
+                if bytes[j] == '"' {
+                    let mut k = j + 1;
+                    let mut seen = 0;
+                    while k < n && seen < hashes && bytes[k] == '#' {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        j = k;
+                        break;
+                    }
+                }
+                bump_lines!(bytes[j]);
+                j += 1;
+            }
+            out.push(Token { kind: Kind::Literal, text: String::new(), line });
+            i = j;
+            continue;
+        }
+        // String literal (and byte string b"...").
+        if c == '"' || (c == 'b' && i + 1 < n && bytes[i + 1] == '"') {
+            let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            while j < n {
+                if bytes[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if bytes[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                bump_lines!(bytes[j]);
+                j += 1;
+            }
+            out.push(Token { kind: Kind::Literal, text: String::new(), line });
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime: 'a' is a literal, 'a (no closing quote
+        // within two chars) is a lifetime.
+        if c == '\'' {
+            if i + 2 < n && bytes[i + 1] == '\\' {
+                // Escaped char literal '\n' / '\u{..}'.
+                let mut j = i + 2;
+                while j < n && bytes[j] != '\'' {
+                    j += 1;
+                }
+                out.push(Token { kind: Kind::Literal, text: String::new(), line });
+                i = j + 1;
+                continue;
+            }
+            if i + 2 < n && bytes[i + 2] == '\'' {
+                out.push(Token { kind: Kind::Literal, text: String::new(), line });
+                i += 3;
+                continue;
+            }
+            // Lifetime: skip quote, the identifier lexes next round.
+            i += 1;
+            continue;
+        }
+        // Identifier / keyword.
+        if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while i < n && (bytes[i] == '_' || bytes[i].is_alphanumeric()) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: Kind::Ident,
+                text: bytes[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+            {
+                // Stop a range `0..3` from being swallowed as one number.
+                if bytes[i] == '.' && i + 1 < n && bytes[i + 1] == '.' {
+                    break;
+                }
+                i += 1;
+            }
+            out.push(Token {
+                kind: Kind::Literal,
+                text: bytes[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // == / != as units.
+        if (c == '=' || c == '!') && i + 1 < n && bytes[i + 1] == '=' {
+            // `!=` only when not `!==`-like; Rust has no `!==`, fine.
+            // `==` could be the tail of `<=`/`>=`... those lex as two
+            // puncts before reaching here, which is fine for our rules.
+            out.push(Token {
+                kind: Kind::CompareOp,
+                text: format!("{c}="),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        // Any other punctuation, one char at a time.
+        out.push(Token { kind: Kind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    out
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // r" | r#" | br" | br#"
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != 'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == '#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == '"'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_dropped() {
+        let toks = texts("let a = \"== cksum\"; // == key\n/* != secret */ b");
+        assert!(toks.contains(&"a".to_string()));
+        assert!(toks.contains(&"b".to_string()));
+        assert!(!toks.iter().any(|t| t.contains("cksum") || t.contains("secret")));
+    }
+
+    #[test]
+    fn compare_ops_are_units() {
+        let toks = lex("a == b; c != d; e = f; g!()");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::CompareOp)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ops, vec!["==", "!="]);
+        // The macro bang survives as punct.
+        assert!(toks.iter().any(|t| t.kind == Kind::Punct && t.text == "!"));
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<_> = toks.iter().map(|t| (t.text.as_str(), t.line)).collect();
+        assert_eq!(lines, vec![("a", 1), ("b", 2), ("c", 4)]);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let toks = texts("r#\"== key\"# 'a, 'x' fn");
+        assert!(!toks.iter().any(|t| t.contains("key")));
+        assert!(toks.contains(&"a".to_string()), "lifetime ident survives");
+        assert!(toks.contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_merge() {
+        let toks = texts("0..3");
+        assert_eq!(toks, vec!["0", ".", ".", "3"]);
+    }
+}

@@ -1,0 +1,54 @@
+//! `krb-lint` binary: scan the workspace, print findings, exit non-zero
+//! when the tree is not clean (live findings or stale allowlist entries).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let cwd = std::env::current_dir().expect("current dir");
+            match krb_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("krb-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let report = match krb_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("krb-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for e in &report.stale_allow {
+        println!(
+            "STALE lint.allow:{} `{}` matches no finding; delete the line",
+            e.line, e
+        );
+    }
+    println!(
+        "krb-lint: {} finding(s), {} allowlisted, {} stale allow entr{}",
+        report.findings.len(),
+        report.allowed.len(),
+        report.stale_allow.len(),
+        if report.stale_allow.len() == 1 { "y" } else { "ies" },
+    );
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -52,7 +52,7 @@ pub fn rig(seed: u64) -> AttackRig {
         [18, 72, 3, 1],
         0,
         start,
-    );
+    ).expect("deployment installs");
     let workstation = Workstation::new(
         [18, 72, 3, 100],
         "ATHENA.MIT.EDU",
@@ -132,7 +132,7 @@ mod tests {
         assert!(!wire_contains(&r, b"victim-pw"), "password crossed the wire");
         let user_key = krb_crypto::string_to_key("victim-pw");
         assert!(!wire_contains(&r, user_key.as_bytes()), "user key crossed the wire");
-        assert!(!wire_contains(&r, &cred.session_key), "session key in the clear");
+        assert!(!wire_contains(&r, cred.session_key.as_bytes()), "session key in the clear");
         assert!(!wire_contains(&r, r.service_key.as_bytes()), "service key in the clear");
     }
 

@@ -78,7 +78,7 @@ pub fn run_full_day(config: FullDayConfig) -> FullDayReport {
     let mut router = Router::new(SimNet::new(NetConfig { seed: config.seed, ..Default::default() }));
     let dep = Deployment::install(
         &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 1, 1], 1, start,
-    );
+    ).expect("deployment installs");
 
     // --- Hesiod, fileserver, applications.
     let hesiod = Hesiod::new();

@@ -108,7 +108,7 @@ pub fn run(config: ScenarioConfig) -> ScenarioReport {
         [18, 72, 1, 1],
         config.slaves,
         start,
-    );
+    ).expect("deployment installs");
     let kdc_eps = dep.kdc_endpoints();
 
     // Server-side replay caches per service.

@@ -72,7 +72,7 @@ mod tests {
         crate::kdb_init::register_service(&mut boot.db, "rlogin", "priam", NOW, &mut keygen).unwrap();
         let dep = Deployment::install(
             &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], n_slaves, NOW,
-        );
+        ).unwrap();
         (router, dep)
     }
 
@@ -208,7 +208,7 @@ mod smartcard_integration {
         crate::kdb_init::register_service(&mut boot.db, "svc", "host", NOW, &mut keygen).unwrap();
         let dep = Deployment::install(
             &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 0, NOW,
-        );
+        ).unwrap();
 
         // The card was personalized once at a trusted terminal.
         let mut card = Smartcard::personalize("bcn", "bcn-pw");
@@ -245,7 +245,7 @@ mod smartcard_integration {
         crate::kdb_init::register_user(&mut boot.db, "bcn", "", "bcn-pw", NOW).unwrap();
         let dep = Deployment::install(
             &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 0, NOW,
-        );
+        ).unwrap();
         let mut card = Smartcard::personalize("bcn", "stale-old-password");
         let mut ws = Workstation::new(
             [18, 72, 0, 5], REALM, dep.kdc_endpoints(),
@@ -279,7 +279,7 @@ mod lossy_network {
         let mut router = Router::new(SimNet::new(NetConfig { loss: 0.3, seed: 92, ..Default::default() }));
         let dep = Deployment::install(
             &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 1, NOW,
-        );
+        ).unwrap();
         let mut ok_logins = 0;
         let mut ok_tickets = 0;
         for i in 0..10 {

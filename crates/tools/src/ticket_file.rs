@@ -70,7 +70,7 @@ mod tests {
             Credential {
                 service: Principal::tgs("ATHENA.MIT.EDU", "ATHENA.MIT.EDU"),
                 issuing_realm: "ATHENA.MIT.EDU".into(),
-                session_key: [0xAB; 8],
+                session_key: [0xAB; 8].into(),
                 ticket: EncryptedTicket(vec![0xCD; 64]),
                 life: 96,
                 issued: 1000,

@@ -34,10 +34,10 @@ fn main() {
 
     let athena_dep = Deployment::install(
         &mut router, ATHENA, athena_boot.db, athena_cfg, [18, 72, 0, 10], 0, start,
-    );
+    ).unwrap();
     let lcs_dep = Deployment::install(
         &mut router, LCS, lcs_boot.db, lcs_cfg, [18, 26, 0, 10], 0, start,
-    );
+    ).unwrap();
 
     // The Athena user logs in locally...
     let mut ws = Workstation::new(

@@ -33,7 +33,7 @@ fn main() {
     let mut router = Router::new(SimNet::new(NetConfig::default()));
     let dep = Deployment::install(
         &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 1, start,
-    );
+    ).unwrap();
     // The KDBM runs on the master only (§5, Fig. 11).
     KdbmServer::register_service(&dep.master, &keygen.generate(), start).unwrap();
     let mut kdbm = KdbmServer::new(

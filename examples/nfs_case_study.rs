@@ -35,7 +35,7 @@ fn main() {
     let mut router = Router::new(SimNet::new(NetConfig::default()));
     let dep = Deployment::install(
         &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 0, start,
-    );
+    ).unwrap();
 
     // Hesiod knows where bcn's home directory lives.
     let hesiod = Hesiod::new();

@@ -28,7 +28,7 @@ fn main() {
     let mut router = Router::new(SimNet::new(NetConfig::default()));
     let dep = Deployment::install(
         &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 1, start,
-    );
+    ).unwrap();
     println!("realm {REALM}: master at {}, {} slave(s)", dep.kdc_endpoints()[0], dep.slaves.len());
 
     // --- Phase 1 (Fig. 5): the user logs in. Only the password proves

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 verification: build, test, and the krb-lint static-invariant pass.
+# Run from anywhere; operates on the workspace this script lives in.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== krb-lint"
+cargo run -q -p krb-lint
+
+echo "== OK"

@@ -23,6 +23,8 @@
 //! | [`apps`] | Kerberized applications (`rlogin`, POP, Zephyr, `register`) |
 //! | [`sim`] | Athena environment simulator |
 
+#![forbid(unsafe_code)]
+
 pub use kerberos as krb;
 pub use krb_apps as apps;
 pub use krb_crypto as crypto;

@@ -17,11 +17,11 @@ fn eavesdropper_learns_no_secrets_from_a_full_session() {
 
     assert!(!wire_contains(&r, b"victim-pw"));
     assert!(!wire_contains(&r, athena_kerberos::crypto::string_to_key("victim-pw").as_bytes()));
-    assert!(!wire_contains(&r, &cred.session_key));
+    assert!(!wire_contains(&r, cred.session_key.as_bytes()));
     assert!(!wire_contains(&r, r.service_key.as_bytes()));
     // The TGT session key too.
     let tgt = r.workstation.cache.tgt("ATHENA.MIT.EDU", r.workstation.now()).unwrap();
-    assert!(!wire_contains(&r, &tgt.session_key));
+    assert!(!wire_contains(&r, tgt.session_key.as_bytes()));
 }
 
 #[test]

@@ -32,7 +32,7 @@ fn realm() -> Realm {
     let mut router = Router::new(SimNet::new(NetConfig::default()));
     let dep = Deployment::install(
         &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 1, start,
-    );
+    ).unwrap();
     Realm {
         router,
         dep,
@@ -163,7 +163,7 @@ fn lossy_network_fails_cleanly_not_wrongly() {
     let mut router = Router::new(SimNet::new(NetConfig { loss: 1.0, ..Default::default() }));
     let dep = Deployment::install(
         &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 0, start,
-    );
+    ).unwrap();
     let mut ws = Workstation::new(
         WS_ADDR, REALM, dep.kdc_endpoints(),
         athena_kerberos::kdc::shared_clock(std::sync::Arc::clone(&dep.clock_cell)),
@@ -185,7 +185,7 @@ fn duplicated_network_packets_do_not_break_the_exchange() {
     let mut router = Router::new(SimNet::new(NetConfig { dup: 1.0, ..Default::default() }));
     let dep = Deployment::install(
         &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 0, start,
-    );
+    ).unwrap();
     let mut ws = Workstation::new(
         WS_ADDR, REALM, dep.kdc_endpoints(),
         athena_kerberos::kdc::shared_clock(std::sync::Arc::clone(&dep.clock_cell)),
@@ -210,7 +210,7 @@ fn protocol_survives_packet_reordering() {
     }));
     let dep = Deployment::install(
         &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 1, start,
-    );
+    ).unwrap();
     for i in 0..5u8 {
         let mut ws = Workstation::new(
             [18, 72, 0, 100 + i], REALM, dep.kdc_endpoints(),

@@ -21,7 +21,7 @@ fn deploy(slaves: usize) -> (Router, Deployment) {
     let mut router = Router::new(SimNet::new(NetConfig::default()));
     let dep = Deployment::install(
         &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], slaves, start,
-    );
+    ).unwrap();
     (router, dep)
 }
 

@@ -1,0 +1,222 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! Provides the builder, group, and bencher surface the `krb-bench` targets
+//! use, backed by a simple median-of-samples wall-clock measurement. No
+//! statistics engine, plots, or baselines — numbers print to stdout in a
+//! `name ... time: [median]` format. Good enough to rank hot paths and to
+//! keep the bench targets compiling and runnable offline; for publishable
+//! numbers swap the real crate back in.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness: sample counts and per-benchmark timing budgets.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Time budget for taking samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for CLI parity; this stub takes no arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl ToString, mut f: F) -> &mut Self {
+        run_one(self, &id.to_string(), None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Print the closing line (the real crate renders summaries here).
+    pub fn final_summary(&mut self) {
+        println!("(criterion stub: wall-clock medians above; no statistical analysis)");
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report per-iteration throughput alongside timings.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl ToString, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.to_string());
+        run_one(self.parent, &full, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(self.parent, &full, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("func", param)`.
+    pub fn new(function: impl ToString, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.to_string(), parameter))
+    }
+
+    /// An identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Logical elements handled per iteration.
+    Elements(u64),
+}
+
+/// Handed to each benchmark closure; `iter` does the measuring.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(c: &Criterion, name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up: find an iteration count that fills ~1/sample_size of the
+    // measurement budget, running at least until warm_up_time has passed.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1)) / (iters as u32).max(1);
+        if warm_start.elapsed() >= c.warm_up_time {
+            break;
+        }
+        iters = iters.saturating_mul(2).min(1 << 30);
+    }
+    let budget_per_sample = c.measurement_time / (c.sample_size as u32).max(1);
+    let target_iters = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+    let iters = target_iters.clamp(1, 1 << 30);
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(c.sample_size);
+    for _ in 0..c.sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed / (iters as u32).max(1));
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+            println!("{name:<60} time: [{median:>12.2?}]  thrpt: {rate:>10.1} MiB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / median.as_secs_f64();
+            println!("{name:<60} time: [{median:>12.2?}]  thrpt: {rate:>12.0} elem/s");
+        }
+        None => println!("{name:<60} time: [{median:>12.2?}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0, "the routine must actually run");
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+        c.final_summary();
+    }
+}

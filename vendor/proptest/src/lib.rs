@@ -1,0 +1,167 @@
+//! Offline stand-in for `proptest` (API subset, no shrinking).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of proptest its test suites use: the [`Strategy`]
+//! trait with `prop_map`, `any::<T>()`, `Just`, tuple and range strategies,
+//! regex-subset string strategies, `collection::vec`, and the `proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert*!` and `prop_assume!`
+//! macros. Each test function runs `ProptestConfig::cases` deterministic
+//! cases seeded from the test's module path, so failures reproduce across
+//! runs. Unlike real proptest there is no shrinking: a failing case panics
+//! with the generated values' debug representation where available.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (`vec`).
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length bounds accepted by [`vec`]: `a..b`, `a..=b`, or an exact `usize`.
+    pub trait IntoLenRange {
+        /// Lower and inclusive upper bound on the length.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty length range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoLenRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `proptest::collection::vec(element, 0..n)`.
+    pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S> {
+        let (min, max) = len.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.min == self.max {
+                self.min
+            } else {
+                rng.rng.random_range(self.min..=self.max)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+    pub use crate::{prop_compose, prop_oneof, proptest};
+}
+
+/// Run one test body over `cases` generated inputs. Used by `proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $($(#[$meta:meta])* fn $name:ident ( $($field:pat in $strat:expr),* $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strat = ( $( $strat, )* );
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..config.cases {
+                    let ( $( $field, )* ) =
+                        $crate::strategy::Strategy::generate(&strat, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Define a function returning a composed strategy. Only the arg-less outer
+/// form `fn name()(x in s, ...) -> T { body }` is supported.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident () ( $($field:pat in $strat:expr),+ $(,)? ) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            let strat = ( $( $strat, )+ );
+            $crate::strategy::Strategy::prop_map(strat, move |( $( $field, )+ )| $body)
+        }
+    };
+}
+
+/// Choose uniformly between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Assert within a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)+) => { assert!($($arg)+) };
+}
+
+/// Assert equality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)+) => { assert_eq!($($arg)+) };
+}
+
+/// Assert inequality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)+) => { assert_ne!($($arg)+) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

@@ -1,0 +1,198 @@
+//! Generate strings matching a small regex subset.
+//!
+//! Supported grammar, which covers every pattern in this workspace's tests:
+//!
+//! - literal characters, and `\x` escapes of metacharacters (`\.`, `\\`)
+//! - character classes `[...]` with ranges (`a-z`) and literals; a `-` at
+//!   the start or end of the class is literal
+//! - groups `(...)`
+//! - quantifiers `{n}` and `{m,n}` on the preceding atom
+//!
+//! Anything else (alternation, `*`, `+`, `?`, anchors) is rejected with a
+//! panic so an unsupported pattern fails loudly rather than silently
+//! generating the wrong language.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+enum Atom {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<Piece>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let (pieces, consumed) = parse_seq(&chars, 0, pattern);
+    assert!(
+        consumed == chars.len(),
+        "unsupported regex {pattern:?}: trailing input at {consumed}"
+    );
+    let mut out = String::new();
+    emit_seq(&pieces, rng, &mut out);
+    out
+}
+
+fn parse_seq(chars: &[char], mut i: usize, pattern: &str) -> (Vec<Piece>, usize) {
+    let mut pieces = Vec::new();
+    while i < chars.len() && chars[i] != ')' {
+        let atom;
+        match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(chars, i + 1, pattern);
+                atom = Atom::Class(class);
+                i = next;
+            }
+            '(' => {
+                let (inner, next) = parse_seq(chars, i + 1, pattern);
+                assert!(
+                    next < chars.len() && chars[next] == ')',
+                    "unsupported regex {pattern:?}: unclosed group"
+                );
+                atom = Atom::Group(inner);
+                i = next + 1;
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "unsupported regex {pattern:?}: trailing backslash");
+                atom = Atom::Lit(chars[i + 1]);
+                i += 2;
+            }
+            c => {
+                assert!(
+                    !matches!(c, '*' | '+' | '?' | '|' | '^' | '$' | '{' | '}' | ']'),
+                    "unsupported regex {pattern:?}: metacharacter {c:?}"
+                );
+                atom = Atom::Lit(c);
+                i += 1;
+            }
+        }
+        let (min, max, next) = parse_quantifier(chars, i, pattern);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    (pieces, i)
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = chars[i];
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            assert!(lo <= hi, "unsupported regex {pattern:?}: inverted range {lo}-{hi}");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unsupported regex {pattern:?}: unclosed class");
+    assert!(!ranges.is_empty(), "unsupported regex {pattern:?}: empty class");
+    (ranges, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (u32, u32, usize) {
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unsupported regex {pattern:?}: unclosed quantifier"))
+        + i;
+    let body: String = chars[i + 1..close].iter().collect();
+    let (min, max) = match body.split_once(',') {
+        Some((a, b)) => (parse_count(a, pattern), parse_count(b, pattern)),
+        None => {
+            let n = parse_count(&body, pattern);
+            (n, n)
+        }
+    };
+    assert!(min <= max, "unsupported regex {pattern:?}: {{{min},{max}}}");
+    (min, max, close + 1)
+}
+
+fn parse_count(s: &str, pattern: &str) -> u32 {
+    s.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("unsupported regex {pattern:?}: bad count {s:?}"))
+}
+
+fn emit_seq(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let reps = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.rng.random_range(piece.min..=piece.max)
+        };
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.rng.random_range(0..ranges.len())];
+                    let span = (hi as u32) - (lo as u32) + 1;
+                    let c = char::from_u32(lo as u32 + rng.rng.random_range(0..span))
+                        .expect("class ranges stay in valid scalar values");
+                    out.push(c);
+                }
+                Atom::Group(inner) => emit_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut rng = TestRng::deterministic("string::classes");
+        for _ in 0..200 {
+            let s = generate_matching("[a-z0-9_-]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '_'
+                || c == '-'));
+        }
+    }
+
+    #[test]
+    fn groups_and_escapes() {
+        let mut rng = TestRng::deterministic("string::groups");
+        for _ in 0..200 {
+            let s = generate_matching("[A-Z]{1,8}(\\.[A-Z]{1,8}){0,2}", &mut rng);
+            for part in s.split('.') {
+                assert!((1..=8).contains(&part.len()), "{s:?}");
+                assert!(part.chars().all(|c| c.is_ascii_uppercase()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = TestRng::deterministic("string::printable");
+        for _ in 0..200 {
+            let s = generate_matching("[ -~]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unsupported_patterns_fail_loudly() {
+        let mut rng = TestRng::deterministic("string::unsupported");
+        generate_matching("a+", &mut rng);
+    }
+}

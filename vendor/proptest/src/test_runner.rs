@@ -1,0 +1,43 @@
+//! Deterministic case generation: config and RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases each `proptest!` test runs.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// RNG handed to strategies. Seeded from the test's name so every run of a
+/// given test explores the same inputs (failures always reproduce).
+pub struct TestRng {
+    /// The underlying generator (strategies sample through this).
+    pub rng: StdRng,
+}
+
+impl TestRng {
+    /// Seed deterministically from an identifying string.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { rng: StdRng::seed_from_u64(h) }
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of `rand` it actually uses: [`RngCore`],
+//! [`SeedableRng`], the [`Rng`] extension trait (`random`, `random_range`,
+//! `random_bool`), and [`rngs::StdRng`]. The generator is xoshiro256**
+//! seeded through SplitMix64 — statistically strong enough for simulations
+//! and tests, and deterministic for a given seed, which is all this
+//! workspace asks of it. It is NOT a cryptographic RNG; key generation in
+//! production deployments must swap in a real entropy source.
+
+#![forbid(unsafe_code)]
+
+/// Core random-number-generation interface, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Deterministic construction from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed type (fixed-size byte array for `StdRng`).
+    type Seed;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a 64-bit seed (expanded via SplitMix64).
+    fn from_seed_u64(state: u64) -> Self;
+
+    /// `rand` names this `seed_from_u64`.
+    fn seed_from_u64(state: u64) -> Self {
+        Self::from_seed_u64(state)
+    }
+}
+
+/// Types producible by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draw one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Bounds a `random_range` call accepts: `a..b` and `a..=b` over integers.
+pub trait SampleRange<T> {
+    /// Draw one value in the range. Panics on an empty range, like `rand`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer types [`SampleRange`] can produce (an `i128` round-trip is the
+/// widening that makes one blanket impl cover signed and unsigned alike).
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widen to `i128`.
+    fn to_i128(self) -> i128;
+    /// Narrow from `i128` (caller guarantees the value is in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end.to_i128() - self.start.to_i128()) as u128;
+        T::from_i128(self.start.to_i128() + (u128::from(rng.next_u64()) % span) as i128)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = (hi.to_i128() - lo.to_i128()) as u128 + 1;
+        T::from_i128(lo.to_i128() + (u128::from(rng.next_u64()) % span) as i128)
+    }
+}
+
+/// Convenience methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256** with SplitMix64
+    /// seed expansion (the same construction the xoshiro authors specify).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            if s == [0; 4] {
+                // xoshiro must not start from the all-zero state.
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+
+        fn from_seed_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut sm);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u64 = rng.random_range(5..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_all_positions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 33];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
