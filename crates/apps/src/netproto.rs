@@ -15,27 +15,29 @@
 use crate::pop::PopServer;
 use crate::rlogin::RloginServer;
 use crate::zephyr::ZephyrServer;
+use crate::AppError;
 use kerberos::wire::{Reader, Writer};
 use kerberos::{
     krb_mk_priv, krb_rd_priv, ApReq, EncryptedTicket, ErrorCode, HostAddr, KrbResult, PrivMsg,
 };
-use krb_crypto::{ct_eq, DesKey};
+use krb_crypto::{ct_eq, quad_cksum, DesKey};
 use krb_netsim::{Packet, Service};
 
 /// Checksum binding an operation and payload into the authenticator's
 /// `cksum` field (paper §4.3: the checksum field ties "application data"
-/// to the authenticator). The authenticator is sealed in the session key,
-/// so a network attacker who rewrites the plaintext `op`/`payload` of a
-/// framed request cannot fix up the checksum to match.
-pub fn request_cksum(op: &str, payload: &[u8]) -> u32 {
-    // FNV-1a over `op NUL payload`. Unkeyed is fine: integrity comes from
-    // the checksum riding inside the encrypted authenticator.
-    let mut h: u32 = 0x811C_9DC5;
-    for &b in op.as_bytes().iter().chain(std::iter::once(&0)).chain(payload) {
-        h ^= u32::from(b);
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    // Reserve 0 to mean "unbound" (legacy clients pass cksum 0).
+/// to the authenticator). The checksum is *keyed* with the session key
+/// (`quad_cksum`): an on-path attacker who rewrites the plaintext
+/// `op`/`payload` cannot compute the matching checksum for the substitute,
+/// and second-preimage attacks on an unkeyed hash buy nothing without the
+/// key. Sealing the bound value inside the encrypted authenticator then
+/// stops the attacker from swapping the checksum itself.
+pub fn request_cksum(session_key: &DesKey, op: &str, payload: &[u8]) -> u32 {
+    let mut data = Vec::with_capacity(op.len() + 1 + payload.len());
+    data.extend_from_slice(op.as_bytes());
+    data.push(0);
+    data.extend_from_slice(payload);
+    let h = quad_cksum(session_key.as_bytes(), &data);
+    // Reserve 0 to mean "unbound".
     if h == 0 {
         1
     } else {
@@ -43,15 +45,26 @@ pub fn request_cksum(op: &str, payload: &[u8]) -> u32 {
     }
 }
 
-/// Does the verified authenticator checksum `bound` match `op`/`payload`?
-/// A zero checksum means the client did not bind the payload (pre-binding
-/// clients); anything else must match in constant time.
-pub fn payload_bound(bound: u32, op: &str, payload: &[u8]) -> bool {
-    bound == 0
-        || ct_eq(
+/// Does the verified authenticator checksum `bound` match `op`/`payload`
+/// under `session_key`? Unbound requests (`bound == 0`) are refused:
+/// every operation the network services expose has side effects, so
+/// accepting them would be a silent downgrade of the binding guarantee.
+pub fn payload_bound(bound: u32, session_key: &DesKey, op: &str, payload: &[u8]) -> bool {
+    bound != 0
+        && ct_eq(
             &bound.to_be_bytes(),
-            &request_cksum(op, payload).to_be_bytes(),
+            &request_cksum(session_key, op, payload).to_be_bytes(),
         )
+}
+
+/// Map an application error to the wire error code, distinguishing a
+/// tampered payload (the binding check failed after a valid ticket) from
+/// plain authorization failure.
+fn app_err(e: &AppError) -> ErrorCode {
+    match e {
+        AppError::Krb(ErrorCode::RdApModified) => ErrorCode::RdApModified,
+        _ => ErrorCode::KadmUnauth,
+    }
 }
 
 /// Frame an authenticated application request: the `AP_REQ` plus an
@@ -129,31 +142,39 @@ impl Service for RloginNetService {
         match op.as_str() {
             "login" => {
                 let claimed = String::from_utf8_lossy(&payload).to_string();
-                match self.server.connect(Some(&ap), &claimed, from, now) {
+                // The server checks the payload binding between ticket
+                // verification and the connection-log side effect.
+                match self.server.connect_bound(
+                    Some(&ap),
+                    &claimed,
+                    from,
+                    now,
+                    Some((op.as_str(), payload.as_slice())),
+                ) {
                     Ok(session) => {
-                        if !payload_bound(session.bound_cksum.unwrap_or(0), &op, &payload) {
-                            return Some(frame_err(ErrorCode::RdApModified));
-                        }
                         // Mutual auth reply rides back in the payload.
                         let rep = session.ap_rep.map(|r| r.enc_part).unwrap_or_default();
                         Some(frame_ok(&rep))
                     }
-                    Err(_) => Some(frame_err(ErrorCode::KadmUnauth)),
+                    Err(e) => Some(frame_err(app_err(&e))),
                 }
             }
             "rsh" => {
                 let text = String::from_utf8_lossy(&payload);
                 let (user, command) = text.split_once('\0')?;
-                match self.server.rsh_session(Some(&ap), user, from, now, command) {
-                    Ok((session, output)) => {
-                        // An attacker must not be able to rewrite the
-                        // command while the AP_REQ is in flight.
-                        if !payload_bound(session.bound_cksum.unwrap_or(0), &op, &payload) {
-                            return Some(frame_err(ErrorCode::RdApModified));
-                        }
-                        Some(frame_ok(output.as_bytes()))
-                    }
-                    Err(_) => Some(frame_err(ErrorCode::KadmUnauth)),
+                // An attacker must not be able to rewrite the command
+                // while the AP_REQ is in flight; the binding is checked
+                // before the command runs or the connection is logged.
+                match self.server.rsh_session_bound(
+                    Some(&ap),
+                    user,
+                    from,
+                    now,
+                    command,
+                    Some((op.as_str(), payload.as_slice())),
+                ) {
+                    Ok((_, output)) => Some(frame_ok(output.as_bytes())),
+                    Err(e) => Some(frame_err(app_err(&e))),
                 }
             }
             _ => Some(frame_err(ErrorCode::RdApUndec)),
@@ -186,15 +207,12 @@ impl Service for PopNetService {
         if op != "retrieve" {
             return Some(frame_err(ErrorCode::RdApUndec));
         }
-        // We need the session key to seal the reply; retrieve() verifies
-        // and consumes the AP_REQ, so extract the key via a second
-        // verification-free path: the server returns mail, and we re-open
-        // the ticket with our own key to recover the session key.
-        match self.server.retrieve_with_key(&ap, from, now) {
-            Ok((mail, session_key, bound)) => {
-                if !payload_bound(bound, &op, &payload) {
-                    return Some(frame_err(ErrorCode::RdApModified));
-                }
+        // The server hands back the session key so the reply can be
+        // sealed, and checks the payload binding *before* draining the
+        // mailbox — retrieval is destructive, and a tampered request must
+        // not cost the user their mail.
+        match self.server.retrieve_bound(&ap, from, now, Some((op.as_str(), payload.as_slice()))) {
+            Ok((mail, session_key)) => {
                 let mut w = Writer::new();
                 w.u16(mail.len() as u16);
                 for m in &mail {
@@ -204,7 +222,7 @@ impl Service for PopNetService {
                 let sealed = krb_mk_priv(&w.finish(), &session_key, server_addr(req), now);
                 Some(frame_ok(&sealed.enc_part))
             }
-            Err(_) => Some(frame_err(ErrorCode::KadmUnauth)),
+            Err(e) => Some(frame_err(app_err(&e))),
         }
     }
 }
@@ -264,9 +282,12 @@ impl Service for ZephyrNetService {
         else {
             return Some(frame_err(ErrorCode::RdApUndec));
         };
-        match self.server.send(&ap, from, now, to, class, body) {
+        match self
+            .server
+            .send_bound(&ap, from, now, to, class, body, Some((op.as_str(), payload.as_slice())))
+        {
             Ok(()) => Some(frame_ok(b"")),
-            Err(_) => Some(frame_err(ErrorCode::KadmUnauth)),
+            Err(e) => Some(frame_err(app_err(&e))),
         }
     }
 }

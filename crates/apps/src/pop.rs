@@ -6,8 +6,9 @@
 //! was); *retrieval* requires a verified ticket, and you can only retrieve
 //! your own mailbox.
 
+use crate::netproto::payload_bound;
 use crate::AppError;
-use kerberos::{krb_rd_req, ApReq, HostAddr, Principal, ReplayCache};
+use kerberos::{krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
 use krb_crypto::DesKey;
 use std::collections::HashMap;
 
@@ -49,21 +50,30 @@ impl PopServer {
     /// name comes from the *verified* principal, never from a request
     /// parameter — that is the entire point of Kerberizing POP.
     pub fn retrieve(&mut self, ap: &ApReq, from: HostAddr, now: u32) -> Result<Vec<Mail>, AppError> {
-        self.retrieve_with_key(ap, from, now).map(|(mail, _, _)| mail)
+        self.retrieve_bound(ap, from, now, None).map(|(mail, _)| mail)
     }
 
     /// As [`PopServer::retrieve`], but also hands back the session key (so
     /// the network adapter can seal the reply as a private message, §2.1)
-    /// and the authenticator's application checksum (so the adapter can
-    /// check the request payload was not rewritten in flight).
-    pub fn retrieve_with_key(
+    /// and, when `binding` is given, verifies that the authenticator's
+    /// checksum binds `(op, payload)` under the session key. The binding
+    /// check runs *before* the mailbox is drained: retrieval is
+    /// destructive, and a request whose payload was rewritten in flight
+    /// must leave the user's mail untouched.
+    pub fn retrieve_bound(
         &mut self,
         ap: &ApReq,
         from: HostAddr,
         now: u32,
-    ) -> Result<(Vec<Mail>, krb_crypto::DesKey, u32), AppError> {
+        binding: Option<(&str, &[u8])>,
+    ) -> Result<(Vec<Mail>, krb_crypto::DesKey), AppError> {
         let v = krb_rd_req(ap, &self.service, &self.key, from, now, &mut self.replay)?;
+        if let Some((op, payload)) = binding {
+            if !payload_bound(v.cksum, &v.session_key, op, payload) {
+                return Err(AppError::Krb(ErrorCode::RdApModified));
+            }
+        }
         let mail = self.mailboxes.remove(&v.client.name).unwrap_or_default();
-        Ok((mail, v.session_key, v.cksum))
+        Ok((mail, v.session_key))
     }
 }

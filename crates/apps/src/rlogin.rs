@@ -6,8 +6,9 @@
 //! fails, the programs fall back on their usual methods of authorization,
 //! in this case, the .rhosts files."
 
+use crate::netproto::payload_bound;
 use crate::AppError;
-use kerberos::{krb_mk_rep, krb_rd_req, ApReq, HostAddr, Principal, ReplayCache};
+use kerberos::{krb_mk_rep, krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
 use krb_crypto::DesKey;
 use std::collections::HashSet;
 
@@ -29,10 +30,6 @@ pub struct RemoteSession {
     pub method: AuthMethod,
     /// Mutual-authentication reply to send back, if requested.
     pub ap_rep: Option<kerberos::ApRep>,
-    /// The application checksum from the verified authenticator (Kerberos
-    /// sessions only) — lets the transport check the request payload was
-    /// not rewritten in flight.
-    pub bound_cksum: Option<u32>,
 }
 
 /// The server side of `rlogin`/`rsh` on one host.
@@ -73,10 +70,33 @@ impl RloginServer {
         from: HostAddr,
         now: u32,
     ) -> Result<RemoteSession, AppError> {
+        self.connect_bound(ap, claimed_user, from, now, None)
+    }
+
+    /// As [`RloginServer::connect`], but additionally requires the
+    /// verified authenticator's checksum to bind `(op, payload)` under the
+    /// session key. The binding is checked *between* ticket verification
+    /// and the connection-log side effect: a tampered request is rejected
+    /// before it leaves any trace, and it does not fall back to `.rhosts`
+    /// (that would let an attacker downgrade a Kerberos login by
+    /// corrupting the payload).
+    pub fn connect_bound(
+        &mut self,
+        ap: Option<&ApReq>,
+        claimed_user: &str,
+        from: HostAddr,
+        now: u32,
+        binding: Option<(&str, &[u8])>,
+    ) -> Result<RemoteSession, AppError> {
         // First, try Kerberos.
         if let Some(ap) = ap {
             match krb_rd_req(ap, &self.service, &self.key, from, now, &mut self.replay) {
                 Ok(v) => {
+                    if let Some((op, payload)) = binding {
+                        if !payload_bound(v.cksum, &v.session_key, op, payload) {
+                            return Err(AppError::Krb(ErrorCode::RdApModified));
+                        }
+                    }
                     let user = v.client.name.clone();
                     let ap_rep = v.mutual_requested.then(|| krb_mk_rep(&v));
                     self.connections.push((user.clone(), AuthMethod::Kerberos));
@@ -84,7 +104,6 @@ impl RloginServer {
                         user,
                         method: AuthMethod::Kerberos,
                         ap_rep,
-                        bound_cksum: Some(v.cksum),
                     });
                 }
                 Err(_) => {
@@ -98,7 +117,6 @@ impl RloginServer {
                 user: claimed_user.to_string(),
                 method: AuthMethod::Rhosts,
                 ap_rep: None,
-                bound_cksum: None,
             });
         }
         Err(AppError::Denied(format!("rlogin denied for {claimed_user}")))
@@ -117,8 +135,8 @@ impl RloginServer {
             .map(|(_, output)| output)
     }
 
-    /// As [`RloginServer::rsh`], but also hands the session back so a
-    /// transport adapter can inspect `bound_cksum`.
+    /// As [`RloginServer::rsh`], but also hands the session back to the
+    /// transport adapter.
     pub fn rsh_session(
         &mut self,
         ap: Option<&ApReq>,
@@ -127,7 +145,22 @@ impl RloginServer {
         now: u32,
         command: &str,
     ) -> Result<(RemoteSession, String), AppError> {
-        let session = self.connect(ap, claimed_user, from, now)?;
+        self.rsh_session_bound(ap, claimed_user, from, now, command, None)
+    }
+
+    /// As [`RloginServer::rsh_session`], with the payload binding of
+    /// [`RloginServer::connect_bound`]: the bound checksum is verified
+    /// before the command "runs" or the connection is logged.
+    pub fn rsh_session_bound(
+        &mut self,
+        ap: Option<&ApReq>,
+        claimed_user: &str,
+        from: HostAddr,
+        now: u32,
+        command: &str,
+        binding: Option<(&str, &[u8])>,
+    ) -> Result<(RemoteSession, String), AppError> {
+        let session = self.connect_bound(ap, claimed_user, from, now, binding)?;
         // The "shell": echo identity and command, as a real test harness.
         let output = format!("{}@{}: {}", session.user, self.service.instance, command);
         Ok((session, output))

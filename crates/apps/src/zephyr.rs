@@ -5,8 +5,9 @@
 //! carry an authenticated sender: subscribers can trust the `from` field
 //! because the server verified a ticket before accepting the notice.
 
+use crate::netproto::payload_bound;
 use crate::AppError;
-use kerberos::{krb_rd_req, ApReq, HostAddr, Principal, ReplayCache};
+use kerberos::{krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
 use krb_crypto::DesKey;
 use std::collections::HashMap;
 
@@ -54,7 +55,30 @@ impl ZephyrServer {
         class: &str,
         body: &str,
     ) -> Result<(), AppError> {
+        self.send_bound(ap, sender_addr, now, to, class, body, None)
+    }
+
+    /// As [`ZephyrServer::send`], but additionally requires the verified
+    /// authenticator's checksum to bind `(op, payload)` under the session
+    /// key — checked before the notice is queued, so a notice rewritten in
+    /// flight is never delivered under the authenticated sender's name.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_bound(
+        &mut self,
+        ap: &ApReq,
+        sender_addr: HostAddr,
+        now: u32,
+        to: &str,
+        class: &str,
+        body: &str,
+        binding: Option<(&str, &[u8])>,
+    ) -> Result<(), AppError> {
         let v = krb_rd_req(ap, &self.service, &self.key, sender_addr, now, &mut self.replay)?;
+        if let Some((op, payload)) = binding {
+            if !payload_bound(v.cksum, &v.session_key, op, payload) {
+                return Err(AppError::Krb(ErrorCode::RdApModified));
+            }
+        }
         let queue = self
             .queues
             .get_mut(to)

@@ -70,7 +70,10 @@ fn rlogin_over_the_wire_with_mutual_auth() {
     let mut ws = workstation(&net);
     ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
     let rcmd = Principal::parse("rcmd.priam", REALM).unwrap();
-    let cksum = request_cksum("login", b"bcn");
+    // The binding checksum is keyed with the session key, so fetch the
+    // service ticket first (mk_request reuses the cached credential).
+    let cred = ws.get_service_ticket(&mut net.router, &rcmd).unwrap();
+    let cksum = request_cksum(&cred.key(), "login", b"bcn");
     let (ap, cred) = ws.mk_request(&mut net.router, &rcmd, cksum, true).unwrap();
     // Recover the authenticator timestamp for the mutual-auth check.
     let auth = kerberos::SealedAuthenticator(ap.authenticator.clone())
@@ -98,7 +101,8 @@ fn rsh_over_the_wire() {
     let mut ws = workstation(&net);
     ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
     let rcmd = Principal::parse("rcmd.priam", REALM).unwrap();
-    let cksum = request_cksum("rsh", b"bcn\0uptime");
+    let cred = ws.get_service_ticket(&mut net.router, &rcmd).unwrap();
+    let cksum = request_cksum(&cred.key(), "rsh", b"bcn\0uptime");
     let (ap, _) = ws.mk_request(&mut net.router, &rcmd, cksum, false).unwrap();
     let req = frame_request(&ap, "rsh", b"bcn\0uptime");
     let reply = net
@@ -116,7 +120,8 @@ fn pop_reply_is_sealed_and_only_ours() {
     let mut ws = workstation(&net);
     ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
     let pop_svc = Principal::parse("pop.paris", REALM).unwrap();
-    let cksum = request_cksum("retrieve", b"");
+    let cred = ws.get_service_ticket(&mut net.router, &pop_svc).unwrap();
+    let cksum = request_cksum(&cred.key(), "retrieve", b"");
     let (ap, cred) = ws.mk_request(&mut net.router, &pop_svc, cksum, false).unwrap();
     let req = frame_request(&ap, "retrieve", b"");
     let reply = net
@@ -144,7 +149,9 @@ fn zephyr_over_the_wire() {
     let mut ws = workstation(&net);
     ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
     let z = Principal::parse("zephyr.zion", REALM).unwrap();
-    let (ap, _) = ws.mk_request(&mut net.router, &z, 0, false).unwrap();
+    let cred = ws.get_service_ticket(&mut net.router, &z).unwrap();
+    let cksum = request_cksum(&cred.key(), "send", b"jis\0MESSAGE\0lunch?");
+    let (ap, _) = ws.mk_request(&mut net.router, &z, cksum, false).unwrap();
     let req = frame_request(&ap, "send", b"jis\0MESSAGE\0lunch?");
     let reply = net
         .router
@@ -176,9 +183,12 @@ fn rewritten_rsh_command_is_refused() {
     let mut ws = workstation(&net);
     ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
     let rcmd = Principal::parse("rcmd.priam", REALM).unwrap();
-    let cksum = request_cksum("rsh", b"bcn\0uptime");
+    let cred = ws.get_service_ticket(&mut net.router, &rcmd).unwrap();
+    let cksum = request_cksum(&cred.key(), "rsh", b"bcn\0uptime");
     let (ap, _) = ws.mk_request(&mut net.router, &rcmd, cksum, false).unwrap();
-    // The attacker rewrites the payload but cannot touch the sealed cksum.
+    // The attacker rewrites the payload but cannot touch the sealed cksum,
+    // and — the checksum being keyed — cannot compute a matching one for
+    // the substitute command either.
     let forged = frame_request(&ap, "rsh", b"bcn\0rm -rf /");
     let reply = net
         .router
@@ -197,11 +207,61 @@ fn replayed_wire_request_is_refused() {
     let mut ws = workstation(&net);
     ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
     let rcmd = Principal::parse("rcmd.priam", REALM).unwrap();
-    let (ap, _) = ws.mk_request(&mut net.router, &rcmd, 0, false).unwrap();
+    let cred = ws.get_service_ticket(&mut net.router, &rcmd).unwrap();
+    let cksum = request_cksum(&cred.key(), "rsh", b"bcn\0cat /etc/passwd");
+    let (ap, _) = ws.mk_request(&mut net.router, &rcmd, cksum, false).unwrap();
     let req = frame_request(&ap, "rsh", b"bcn\0cat /etc/passwd");
     let ep = Endpoint::new(PRIAM, ports::KLOGIN);
     assert!(parse_reply(&net.router.rpc(ws.endpoint, ep, &req).unwrap()).is_ok());
     // Captured and resent byte-for-byte.
     let again = net.router.rpc(ws.endpoint, ep, &req).unwrap();
     assert!(parse_reply(&again).is_err(), "replay must be refused");
+}
+
+#[test]
+fn unbound_requests_with_side_effects_are_refused() {
+    // A cksum of 0 means the client never bound the payload. The network
+    // services refuse such requests outright — accepting them would be a
+    // silent downgrade an attacker could exploit with any client that
+    // forgot to bind.
+    let mut net = build();
+    let mut ws = workstation(&net);
+    ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
+    let rcmd = Principal::parse("rcmd.priam", REALM).unwrap();
+    let (ap, _) = ws.mk_request(&mut net.router, &rcmd, 0, false).unwrap();
+    let req = frame_request(&ap, "rsh", b"bcn\0uptime");
+    let reply = net
+        .router
+        .rpc(ws.endpoint, Endpoint::new(PRIAM, ports::KLOGIN), &req)
+        .unwrap();
+    assert_eq!(parse_reply(&reply).unwrap_err(), ErrorCode::RdApModified);
+}
+
+#[test]
+fn tampered_retrieve_does_not_drain_mailbox() {
+    // Regression: the binding check must run before the destructive
+    // mailbox drain. A tampered retrieve is refused AND the legitimate
+    // client's retry still finds its mail — detectable tampering must not
+    // become attacker-triggered data loss.
+    let mut net = build();
+    let mut ws = workstation(&net);
+    ws.kinit(&mut net.router, "bcn", "bcn-pw").unwrap();
+    let pop_svc = Principal::parse("pop.paris", REALM).unwrap();
+    let cred = ws.get_service_ticket(&mut net.router, &pop_svc).unwrap();
+    let cksum = request_cksum(&cred.key(), "retrieve", b"");
+    let (ap, _) = ws.mk_request(&mut net.router, &pop_svc, cksum, false).unwrap();
+    // The attacker rewrites the payload in flight.
+    let forged = frame_request(&ap, "retrieve", b"give-me-jis-mail");
+    let pop_ep = Endpoint::new(PARIS, ports::POP);
+    let reply = net.router.rpc(ws.endpoint, pop_ep, &forged).unwrap();
+    assert_eq!(parse_reply(&reply).unwrap_err(), ErrorCode::RdApModified);
+
+    // The legitimate client retries with a fresh authenticator and gets
+    // its mail: the tampered request deleted nothing.
+    let (ap, cred) = ws.mk_request(&mut net.router, &pop_svc, cksum, false).unwrap();
+    let req = frame_request(&ap, "retrieve", b"");
+    let reply = net.router.rpc(ws.endpoint, pop_ep, &req).unwrap();
+    let mail = open_pop_reply(&reply, &cred.key(), PARIS, ws.now()).unwrap();
+    assert_eq!(mail.len(), 1, "mailbox must survive a tampered retrieve");
+    assert_eq!(mail[0].body, "the tapes arrived");
 }

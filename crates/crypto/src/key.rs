@@ -96,6 +96,14 @@ impl std::fmt::Debug for DesKey {
 /// temporary private keys, called session keys").
 ///
 /// Weak and semi-weak keys are rejected and regenerated.
+///
+/// # ⚠️ Simulation-only key material
+///
+/// The workspace's vendored `rand` is a deterministic, non-cryptographic
+/// PRNG (`rand::CRYPTOGRAPHICALLY_SECURE == false`): keys drawn through it
+/// are predictable from the seed, in debug and `--release` builds alike.
+/// A real deployment must supply an `R` backed by OS entropy — see the
+/// `key_generator_rng_is_simulation_only` test that pins this invariant.
 pub struct KeyGenerator<R: RngCore> {
     rng: R,
 }
@@ -178,6 +186,18 @@ mod tests {
             seen.insert(*k.as_bytes());
         }
         assert!(seen.len() > 250, "keys should be essentially unique");
+    }
+
+    #[test]
+    fn key_generator_rng_is_simulation_only() {
+        // The vendored `rand` declares itself non-cryptographic; keys
+        // drawn through it are predictable and must never ship. Swapping
+        // in the real crate removes the marker and fails this compile,
+        // which is exactly the loud signal we want at that boundary.
+        assert!(
+            !rand::CRYPTOGRAPHICALLY_SECURE,
+            "vendored rand must keep declaring itself simulation-only"
+        );
     }
 
     #[test]

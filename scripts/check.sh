@@ -5,11 +5,18 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== cargo check --workspace --all-targets"
+# Benches and examples are not built by `cargo build`/`cargo test`; this
+# keeps them compiling (e.g. against the vendored criterion stub).
+cargo check --workspace --all-targets
+
 echo "== cargo build --release"
 cargo build --release
 
-echo "== cargo test -q"
-cargo test -q
+echo "== cargo test --workspace -q"
+# --workspace: the root package's integration tests alone skip the member
+# crates' own test suites.
+cargo test --workspace -q
 
 echo "== krb-lint"
 cargo run -q -p krb-lint

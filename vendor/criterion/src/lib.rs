@@ -63,7 +63,14 @@ impl Criterion {
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.to_string(), throughput: None }
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+            warm_up_time: None,
+            measurement_time: None,
+        }
     }
 
     /// Print the closing line (the real crate renders summaries here).
@@ -73,10 +80,15 @@ impl Criterion {
 }
 
 /// A group of related benchmarks sharing a name prefix and throughput.
+/// Groups can override the harness's sample count and timing budgets,
+/// as in the real crate.
 pub struct BenchmarkGroup<'a> {
     parent: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    warm_up_time: Option<Duration>,
+    measurement_time: Option<Duration>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -86,10 +98,44 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Number of samples for benchmarks in this group (overrides the
+    /// harness default).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Warm-up budget for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Sampling budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// The harness configuration with this group's overrides applied.
+    fn config(&self) -> Criterion {
+        let mut c = self.parent.clone();
+        if let Some(n) = self.sample_size {
+            c.sample_size = n;
+        }
+        if let Some(d) = self.warm_up_time {
+            c.warm_up_time = d;
+        }
+        if let Some(d) = self.measurement_time {
+            c.measurement_time = d;
+        }
+        c
+    }
+
     /// Run one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl ToString, mut f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, id.to_string());
-        run_one(self.parent, &full, self.throughput, &mut f);
+        run_one(&self.config(), &full, self.throughput, &mut f);
         self
     }
 
@@ -101,7 +147,7 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.0);
-        run_one(self.parent, &full, self.throughput, &mut |b| f(b, input));
+        run_one(&self.config(), &full, self.throughput, &mut |b| f(b, input));
         self
     }
 
@@ -212,6 +258,9 @@ mod tests {
             .warm_up_time(Duration::from_millis(1))
             .measurement_time(Duration::from_millis(4));
         let mut g = c.benchmark_group("grp");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
         g.throughput(Throughput::Bytes(1024));
         g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
             b.iter(|| black_box(x) * 2)

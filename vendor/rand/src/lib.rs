@@ -6,10 +6,28 @@
 //! `random_bool`), and [`rngs::StdRng`]. The generator is xoshiro256**
 //! seeded through SplitMix64 — statistically strong enough for simulations
 //! and tests, and deterministic for a given seed, which is all this
-//! workspace asks of it. It is NOT a cryptographic RNG; key generation in
-//! production deployments must swap in a real entropy source.
+//! workspace asks of it.
+//!
+//! # ⚠️ NOT a cryptographic RNG
+//!
+//! Every output is predictable from the seed (and recoverable from a few
+//! observed outputs). Session and service keys drawn through this crate —
+//! including by `krb_crypto::KeyGenerator` — are **simulation-only**, even
+//! in `--release` builds; there is no "production mode" that upgrades
+//! them. A real deployment must replace this vendored stand-in with the
+//! real `rand`/OS entropy source. The [`CRYPTOGRAPHICALLY_SECURE`] marker
+//! exists so downstream code can assert this fact loudly instead of
+//! discovering it in an incident report.
 
 #![forbid(unsafe_code)]
+
+/// Machine-checkable marker that this stand-in is **not** a CSPRNG.
+///
+/// Always `false` here. The real `rand` has no such constant, so any code
+/// that compiles against this marker is, by construction, running on the
+/// simulation-only generator — tests assert on it to keep predictable key
+/// generation from silently reaching a real deployment.
+pub const CRYPTOGRAPHICALLY_SECURE: bool = false;
 
 /// Core random-number-generation interface, mirroring `rand_core::RngCore`.
 pub trait RngCore {
