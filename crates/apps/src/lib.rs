@@ -21,6 +21,62 @@ pub mod rlogin;
 pub mod zephyr;
 
 pub use login::{login, logout, LoginSession};
+
+/// Per-service request-outcome telemetry shared by the Kerberized network
+/// servers ([`PopServer`], [`RloginServer`], [`ZephyrServer`]). Each server
+/// owns its counters; publishing them into a [`krb_telemetry::Registry`]
+/// exposes every service under one namespace
+/// (`<prefix>_requests_ok_total` / `<prefix>_requests_err_total`, plus the
+/// server's replay-cache counters via
+/// [`kerberos::ReplayCache::publish`]).
+pub(crate) struct AppMetrics {
+    registry: std::sync::Arc<krb_telemetry::Registry>,
+    prefix: &'static str,
+    pub(crate) ok: krb_telemetry::Counter,
+    pub(crate) err: krb_telemetry::Counter,
+}
+
+impl AppMetrics {
+    pub(crate) fn new(prefix: &'static str) -> Self {
+        let m = AppMetrics {
+            registry: krb_telemetry::Registry::shared(),
+            prefix,
+            ok: krb_telemetry::Counter::new(),
+            err: krb_telemetry::Counter::new(),
+        };
+        m.bind();
+        m
+    }
+
+    fn bind(&self) {
+        self.registry.adopt_counter(&format!("{}_requests_ok_total", self.prefix), &self.ok);
+        self.registry.adopt_counter(&format!("{}_requests_err_total", self.prefix), &self.err);
+    }
+
+    pub(crate) fn registry(&self) -> std::sync::Arc<krb_telemetry::Registry> {
+        std::sync::Arc::clone(&self.registry)
+    }
+
+    /// Re-home the counters into a shared registry (e.g. a deployment-wide
+    /// one) and republish the server's replay-cache counters next to them.
+    pub(crate) fn rebind(
+        &mut self,
+        registry: std::sync::Arc<krb_telemetry::Registry>,
+        replay: &kerberos::ReplayCache,
+    ) {
+        self.registry = registry;
+        self.bind();
+        replay.publish(&self.registry, self.prefix);
+    }
+
+    /// Count one request outcome.
+    pub(crate) fn observe<T, E>(&self, r: &Result<T, E>) {
+        match r {
+            Ok(_) => self.ok.inc(),
+            Err(_) => self.err.inc(),
+        }
+    }
+}
 pub use netproto::{
     frame_err, frame_ok, frame_request, open_pop_reply, parse_reply, parse_request,
     payload_bound, request_cksum, PopNetService, RloginNetService, ZephyrNetService,

@@ -7,10 +7,12 @@
 //! your own mailbox.
 
 use crate::netproto::payload_bound;
-use crate::AppError;
+use crate::{AppError, AppMetrics};
 use kerberos::{krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
 use krb_crypto::DesKey;
+use krb_telemetry::Registry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One stored message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -27,12 +29,28 @@ pub struct PopServer {
     key: DesKey,
     replay: ReplayCache,
     mailboxes: HashMap<String, Vec<Mail>>,
+    metrics: AppMetrics,
 }
 
 impl PopServer {
     /// A post office authenticating as `service` (e.g. `pop.paris`).
     pub fn new(service: Principal, key: DesKey) -> Self {
-        PopServer { service, key, replay: ReplayCache::new(), mailboxes: HashMap::new() }
+        let replay = ReplayCache::new();
+        let metrics = AppMetrics::new("pop");
+        replay.publish(&metrics.registry(), "pop");
+        PopServer { service, key, replay, mailboxes: HashMap::new(), metrics }
+    }
+
+    /// The registry holding this server's `pop_requests_*` and replay-cache
+    /// counters.
+    pub fn telemetry(&self) -> Arc<Registry> {
+        self.metrics.registry()
+    }
+
+    /// Publish this server's counters into `registry` instead of its
+    /// private one (so a deployment exports every service in one place).
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.metrics.rebind(registry, &self.replay);
     }
 
     /// Deliver mail into a user's box (no authentication — delivery is the
@@ -61,6 +79,18 @@ impl PopServer {
     /// destructive, and a request whose payload was rewritten in flight
     /// must leave the user's mail untouched.
     pub fn retrieve_bound(
+        &mut self,
+        ap: &ApReq,
+        from: HostAddr,
+        now: u32,
+        binding: Option<(&str, &[u8])>,
+    ) -> Result<(Vec<Mail>, krb_crypto::DesKey), AppError> {
+        let r = self.retrieve_bound_inner(ap, from, now, binding);
+        self.metrics.observe(&r);
+        r
+    }
+
+    fn retrieve_bound_inner(
         &mut self,
         ap: &ApReq,
         from: HostAddr,

@@ -7,10 +7,12 @@
 //! in this case, the .rhosts files."
 
 use crate::netproto::payload_bound;
-use crate::AppError;
+use crate::{AppError, AppMetrics};
 use kerberos::{krb_mk_rep, krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
 use krb_crypto::DesKey;
+use krb_telemetry::Registry;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// How a connection was authorized.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -41,18 +43,35 @@ pub struct RloginServer {
     rhosts: HashSet<(String, HostAddr)>,
     /// Connection log: (user, method).
     pub connections: Vec<(String, AuthMethod)>,
+    metrics: AppMetrics,
 }
 
 impl RloginServer {
     /// A server for `rcmd.<host>` with its srvtab key.
     pub fn new(service: Principal, key: DesKey) -> Self {
+        let replay = ReplayCache::new();
+        let metrics = AppMetrics::new("rlogin");
+        replay.publish(&metrics.registry(), "rlogin");
         RloginServer {
             service,
             key,
-            replay: ReplayCache::new(),
+            replay,
             rhosts: HashSet::new(),
             connections: Vec::new(),
+            metrics,
         }
+    }
+
+    /// The registry holding this server's `rlogin_requests_*` and
+    /// replay-cache counters.
+    pub fn telemetry(&self) -> Arc<Registry> {
+        self.metrics.registry()
+    }
+
+    /// Publish this server's counters into `registry` instead of its
+    /// private one (so a deployment exports every service in one place).
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.metrics.rebind(registry, &self.replay);
     }
 
     /// Add a `.rhosts` entry (the old, address-trusting world).
@@ -81,6 +100,19 @@ impl RloginServer {
     /// (that would let an attacker downgrade a Kerberos login by
     /// corrupting the payload).
     pub fn connect_bound(
+        &mut self,
+        ap: Option<&ApReq>,
+        claimed_user: &str,
+        from: HostAddr,
+        now: u32,
+        binding: Option<(&str, &[u8])>,
+    ) -> Result<RemoteSession, AppError> {
+        let r = self.connect_bound_inner(ap, claimed_user, from, now, binding);
+        self.metrics.observe(&r);
+        r
+    }
+
+    fn connect_bound_inner(
         &mut self,
         ap: Option<&ApReq>,
         claimed_user: &str,

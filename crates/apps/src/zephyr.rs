@@ -6,10 +6,12 @@
 //! because the server verified a ticket before accepting the notice.
 
 use crate::netproto::payload_bound;
-use crate::AppError;
+use crate::{AppError, AppMetrics};
 use kerberos::{krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
 use krb_crypto::DesKey;
+use krb_telemetry::Registry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A delivered notice.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,12 +33,28 @@ pub struct ZephyrServer {
     replay: ReplayCache,
     /// Subscriptions: username → queue of undelivered notices.
     queues: HashMap<String, Vec<Notice>>,
+    metrics: AppMetrics,
 }
 
 impl ZephyrServer {
     /// A Zephyr server authenticating as `service` (e.g. `zephyr.zion`).
     pub fn new(service: Principal, key: DesKey) -> Self {
-        ZephyrServer { service, key, replay: ReplayCache::new(), queues: HashMap::new() }
+        let replay = ReplayCache::new();
+        let metrics = AppMetrics::new("zephyr");
+        replay.publish(&metrics.registry(), "zephyr");
+        ZephyrServer { service, key, replay, queues: HashMap::new(), metrics }
+    }
+
+    /// The registry holding this server's `zephyr_requests_*` and
+    /// replay-cache counters.
+    pub fn telemetry(&self) -> Arc<Registry> {
+        self.metrics.registry()
+    }
+
+    /// Publish this server's counters into `registry` instead of its
+    /// private one (so a deployment exports every service in one place).
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>) {
+        self.metrics.rebind(registry, &self.replay);
     }
 
     /// Subscribe a user (creates their queue).
@@ -64,6 +82,22 @@ impl ZephyrServer {
     /// flight is never delivered under the authenticated sender's name.
     #[allow(clippy::too_many_arguments)]
     pub fn send_bound(
+        &mut self,
+        ap: &ApReq,
+        sender_addr: HostAddr,
+        now: u32,
+        to: &str,
+        class: &str,
+        body: &str,
+        binding: Option<(&str, &[u8])>,
+    ) -> Result<(), AppError> {
+        let r = self.send_bound_inner(ap, sender_addr, now, to, class, body, binding);
+        self.metrics.observe(&r);
+        r
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn send_bound_inner(
         &mut self,
         ap: &ApReq,
         sender_addr: HostAddr,

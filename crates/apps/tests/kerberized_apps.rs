@@ -250,3 +250,53 @@ fn stolen_ticket_replay_against_rlogin_fails() {
         Err(AppError::Denied(_))
     ));
 }
+
+#[test]
+fn app_servers_count_request_outcomes_in_one_registry() {
+    let mut a = athena();
+    a.pop.deliver("bcn", Mail { from: "jis".into(), body: "hi".into() });
+    a.zephyr.subscribe("jis");
+
+    // Export every service into one shared registry, as a deployment would.
+    let registry = krb_telemetry::Registry::shared();
+    a.pop.set_telemetry(std::sync::Arc::clone(&registry));
+    a.rlogin_priam.set_telemetry(std::sync::Arc::clone(&registry));
+    a.zephyr.set_telemetry(std::sync::Arc::clone(&registry));
+
+    let mut ws = workstation(&a);
+    ws.kinit(&mut a.router, "bcn", "bcn-pw").unwrap();
+    let pop_svc = Principal::parse("pop.paris", REALM).unwrap();
+    let rcmd = Principal::parse("rcmd.priam", REALM).unwrap();
+    let z = Principal::parse("zephyr.zion", REALM).unwrap();
+
+    // One success per service.
+    let (ap, _) = ws.mk_request(&mut a.router, &pop_svc, 0, false).unwrap();
+    a.pop.retrieve(&ap, WS_ADDR, ws.now()).unwrap();
+    let (ap, _) = ws.mk_request(&mut a.router, &rcmd, 0, false).unwrap();
+    a.rlogin_priam.connect(Some(&ap), "bcn", WS_ADDR, ws.now()).unwrap();
+    let (ap_z, _) = ws.mk_request(&mut a.router, &z, 0, false).unwrap();
+    a.zephyr.send(&ap_z, WS_ADDR, ws.now(), "jis", "MESSAGE", "lunch?").unwrap();
+
+    // One failure each: a replayed POP ticket, an unknown rlogin user with
+    // no credential, a notice to an unsubscribed target.
+    let (ap, _) = ws.mk_request(&mut a.router, &pop_svc, 0, false).unwrap();
+    a.pop.retrieve(&ap, WS_ADDR, ws.now()).unwrap();
+    assert!(a.pop.retrieve(&ap, WS_ADDR, ws.now()).is_err());
+    assert!(a.rlogin_priam.connect(None, "mallory", WS_ADDR, ws.now()).is_err());
+    let (ap_z2, _) = ws.mk_request(&mut a.router, &z, 0, false).unwrap();
+    assert!(a.zephyr.send(&ap_z2, WS_ADDR, ws.now(), "ghost", "MESSAGE", "x").is_err());
+
+    assert_eq!(registry.counter_value("pop_requests_ok_total"), 2);
+    assert_eq!(registry.counter_value("pop_requests_err_total"), 1);
+    assert_eq!(registry.counter_value("rlogin_requests_ok_total"), 1);
+    assert_eq!(registry.counter_value("rlogin_requests_err_total"), 1);
+    assert_eq!(registry.counter_value("zephyr_requests_ok_total"), 1);
+    assert_eq!(registry.counter_value("zephyr_requests_err_total"), 1);
+    // The POP replay shows up in the replay-cache counters too.
+    assert_eq!(registry.counter_value("pop_replay_hits_total"), 1);
+
+    let rendered = registry.render();
+    for name in ["pop_requests_ok_total", "rlogin_requests_ok_total", "zephyr_requests_ok_total"] {
+        assert!(rendered.contains(name), "render() missing {name}");
+    }
+}

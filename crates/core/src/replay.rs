@@ -11,6 +11,7 @@
 //! them, so the cache stays bounded.
 
 use crate::time::MAX_SKEW_SECS;
+use krb_telemetry::{Counter, Registry};
 use std::collections::HashMap;
 
 /// Identity of one request for replay purposes.
@@ -26,10 +27,16 @@ pub struct ReplayKey {
 }
 
 /// Bounded cache of recently seen requests.
+///
+/// Hit and eviction counts are kept in telemetry [`Counter`] handles so a
+/// server can publish them into its [`Registry`] via
+/// [`ReplayCache::publish`]; the cache itself stays dependency-light.
 #[derive(Default, Debug)]
 pub struct ReplayCache {
     seen: HashMap<ReplayKey, u32>,
     last_purge: u32,
+    hits: Counter,
+    evictions: Counter,
 }
 
 /// Hash bytes for [`ReplayKey::auth_hash`].
@@ -52,10 +59,30 @@ impl ReplayCache {
     pub fn check_and_insert(&mut self, key: ReplayKey, now: u32) -> bool {
         self.maybe_purge(now);
         if self.seen.contains_key(&key) {
+            self.hits.inc();
             return false;
         }
         self.seen.insert(key, now);
         true
+    }
+
+    /// Replays detected so far.
+    pub fn replay_hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Entries evicted by the purge sweep so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Publish this cache's counters into `registry` as
+    /// `{prefix}_replay_hits_total` and `{prefix}_replay_evictions_total`.
+    /// The cache keeps its handles; counts recorded before or after
+    /// publishing are both visible through the registry.
+    pub fn publish(&self, registry: &Registry, prefix: &str) {
+        registry.adopt_counter(&format!("{prefix}_replay_hits_total"), &self.hits);
+        registry.adopt_counter(&format!("{prefix}_replay_evictions_total"), &self.evictions);
     }
 
     /// Number of live entries.
@@ -75,7 +102,9 @@ impl ReplayCache {
             return;
         }
         self.last_purge = now;
+        let before = self.seen.len();
         self.seen.retain(|k, _| now.saturating_sub(k.timestamp) <= 2 * MAX_SKEW_SECS);
+        self.evictions.add((before - self.seen.len()) as u64);
     }
 }
 
@@ -135,6 +164,22 @@ mod tests {
         assert_eq!(rc.len(), 2, "stale entry swept, fresh + new retained");
         // The fresh entry must still catch its replay after the sweep.
         assert!(!rc.check_and_insert(key("new@A", fresh_ts, b"new"), sweep_at));
+    }
+
+    #[test]
+    fn hit_and_eviction_counters_report_through_the_registry() {
+        let mut rc = ReplayCache::new();
+        let registry = Registry::new();
+        rc.publish(&registry, "kdc");
+        assert!(rc.check_and_insert(key("bcn@A", 100, b"a"), 100));
+        assert!(!rc.check_and_insert(key("bcn@A", 100, b"a"), 101));
+        assert!(!rc.check_and_insert(key("bcn@A", 100, b"a"), 102));
+        assert_eq!(rc.replay_hits(), 2);
+        assert_eq!(registry.counter_value("kdc_replay_hits_total"), 2);
+        // Force a purge far in the future: the lone stale entry is evicted.
+        assert!(rc.check_and_insert(key("bcn@A", 50_000, b"b"), 50_000));
+        assert_eq!(rc.evictions(), 1);
+        assert_eq!(registry.counter_value("kdc_replay_evictions_total"), 1);
     }
 
     #[test]

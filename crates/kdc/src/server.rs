@@ -14,6 +14,7 @@ use kerberos::{
 };
 use krb_kdb::{PrincipalDb, Store, ATTR_NO_TGS};
 use krb_crypto::{DesKey, KeyGenerator};
+use krb_telemetry::{ClockUs, Counter, Histogram, Registry, Span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -40,7 +41,11 @@ pub enum KdcRole {
     Slave,
 }
 
-/// Request counters (E9 replication experiment reads these).
+/// Point-in-time request counts (E9 replication experiment reads these).
+///
+/// This is a *thin view* over the telemetry registry — the KDC's only
+/// counting substrate is `krb-telemetry`; [`Kdc::stats`] materializes
+/// this snapshot from the registered counters on demand.
 #[derive(Default, Debug, Clone, Copy)]
 pub struct KdcStats {
     /// Initial-ticket requests served.
@@ -51,6 +56,27 @@ pub struct KdcStats {
     pub errors: u64,
 }
 
+/// The KDC's telemetry handles, registered under `kdc_*` names.
+struct KdcMetrics {
+    as_ok: Counter,
+    tgs_ok: Counter,
+    errors: Counter,
+    as_latency_us: Histogram,
+    tgs_latency_us: Histogram,
+}
+
+impl KdcMetrics {
+    fn new(registry: &Registry) -> Self {
+        KdcMetrics {
+            as_ok: registry.counter("kdc_as_ok_total"),
+            tgs_ok: registry.counter("kdc_tgs_ok_total"),
+            errors: registry.counter("kdc_error_total"),
+            as_latency_us: registry.histogram("kdc_as_latency_us"),
+            tgs_latency_us: registry.histogram("kdc_tgs_latency_us"),
+        }
+    }
+}
+
 /// One authentication server instance.
 pub struct Kdc<S: Store> {
     db: PrincipalDb<S>,
@@ -59,21 +85,67 @@ pub struct Kdc<S: Store> {
     keygen: KeyGenerator<StdRng>,
     replay: ReplayCache,
     role: KdcRole,
-    /// Counters, readable by experiments.
-    pub stats: KdcStats,
+    registry: Arc<Registry>,
+    metrics: KdcMetrics,
+    /// Microsecond clock for latency spans. Defaults to the second-level
+    /// protocol [`Clock`] scaled up (deterministic wherever the protocol
+    /// clock is); a driver measuring real hardware injects
+    /// `krb_telemetry::wall_clock_us()` instead.
+    clock_us: ClockUs,
 }
 
 impl<S: Store> Kdc<S> {
-    /// Create a KDC over an opened principal database.
+    /// Create a KDC over an opened principal database. A fresh telemetry
+    /// registry is attached; latency spans are timed by the same clock
+    /// the protocol reads (scaled to µs), so simulated runs stay
+    /// deterministic — see [`Kdc::set_telemetry`] to override either.
     pub fn new(db: PrincipalDb<S>, config: RealmConfig, clock: Clock, role: KdcRole, seed: u64) -> Self {
+        let registry = Registry::shared();
+        let metrics = KdcMetrics::new(&registry);
+        let replay = ReplayCache::new();
+        replay.publish(&registry, "kdc");
+        let protocol_clock = Arc::clone(&clock);
+        let clock_us: ClockUs = Arc::new(move || u64::from(protocol_clock()) * 1_000_000);
         Kdc {
             db,
             config,
             clock,
             keygen: KeyGenerator::new(StdRng::seed_from_u64(seed)),
-            replay: ReplayCache::new(),
+            replay,
             role,
-            stats: KdcStats::default(),
+            registry,
+            metrics,
+            clock_us,
+        }
+    }
+
+    /// The registry this KDC reports into (render it for a snapshot).
+    pub fn telemetry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Report into a caller-provided registry and time spans with a
+    /// caller-provided microsecond clock. Counts recorded so far are
+    /// dropped (call right after construction); the replay cache's
+    /// counters are re-published into the new registry.
+    pub fn set_telemetry(&mut self, registry: Arc<Registry>, clock_us: ClockUs) {
+        self.metrics = KdcMetrics::new(&registry);
+        self.replay.publish(&registry, "kdc");
+        self.registry = registry;
+        self.clock_us = clock_us;
+    }
+
+    /// Override only the span clock (keep the auto-created registry).
+    pub fn set_clock_us(&mut self, clock_us: ClockUs) {
+        self.clock_us = clock_us;
+    }
+
+    /// Point-in-time counters, materialized from the registry.
+    pub fn stats(&self) -> KdcStats {
+        KdcStats {
+            as_ok: self.metrics.as_ok.get(),
+            tgs_ok: self.metrics.tgs_ok.get(),
+            errors: self.metrics.errors.get(),
         }
     }
 
@@ -107,17 +179,37 @@ impl<S: Store> Kdc<S> {
     }
 
     /// Handle one datagram; always returns a reply (success or KRB_ERROR).
+    /// End-to-end handling latency (decode through encode, success or
+    /// error) is recorded per exchange into `kdc_as_latency_us` /
+    /// `kdc_tgs_latency_us`.
     pub fn handle(&mut self, request: &[u8], sender_addr: HostAddr) -> Vec<u8> {
-        let result = match Message::decode(request) {
-            Ok(Message::AsReq(req)) => self.handle_as(&req, sender_addr),
-            Ok(Message::TgsReq(req)) => self.handle_tgs(&req, sender_addr),
-            Ok(_) => Err(ErrorCode::RdApUndec),
-            Err(e) => Err(e),
+        enum ReqKind {
+            As,
+            Tgs,
+            Other,
+        }
+        let span = Span::start(&self.clock_us, &self.metrics.as_latency_us);
+        let (kind, result) = match Message::decode(request) {
+            Ok(Message::AsReq(req)) => (ReqKind::As, self.handle_as(&req, sender_addr)),
+            Ok(Message::TgsReq(req)) => (ReqKind::Tgs, self.handle_tgs(&req, sender_addr)),
+            Ok(_) => (ReqKind::Other, Err(ErrorCode::RdApUndec)),
+            Err(e) => (ReqKind::Other, Err(e)),
         };
+        // The span was opened before decoding told us the exchange type;
+        // route it to the right histogram now.
+        match kind {
+            ReqKind::As => {
+                span.finish();
+            }
+            ReqKind::Tgs => {
+                span.finish_into(&self.metrics.tgs_latency_us);
+            }
+            ReqKind::Other => span.cancel(),
+        }
         match result {
             Ok(reply) => reply,
             Err(code) => {
-                self.stats.errors += 1;
+                self.metrics.errors.inc();
                 Message::error(code, code.describe())
             }
         }
@@ -162,7 +254,7 @@ impl<S: Store> Kdc<S> {
         };
         let enc = krb_crypto::seal(krb_crypto::Mode::Pcbc, &ckey, &[0u8; 8], &part.encode())
             .map_err(|_| ErrorCode::KdcGenErr)?;
-        self.stats.as_ok += 1;
+        self.metrics.as_ok.inc();
         Ok(Message::KdcRep(KdcRep { enc_part: enc }).encode())
     }
 
@@ -258,7 +350,7 @@ impl<S: Store> Kdc<S> {
             &part.encode(),
         )
         .map_err(|_| ErrorCode::KdcGenErr)?;
-        self.stats.tgs_ok += 1;
+        self.metrics.tgs_ok.inc();
         Ok(Message::KdcRep(KdcRep { enc_part: enc }).encode())
     }
 
@@ -329,7 +421,7 @@ mod tests {
         let tgt = read_as_reply_with_password(&reply, "bcn-password", NOW).unwrap();
         assert_eq!(tgt.service.name, "krbtgt");
         assert_eq!(tgt.life, 96);
-        assert_eq!(kdc.stats.as_ok, 1);
+        assert_eq!(kdc.stats().as_ok, 1);
     }
 
     #[test]
@@ -352,7 +444,7 @@ mod tests {
             read_as_reply_with_password(&reply, "x", NOW).unwrap_err(),
             ErrorCode::KdcPrUnknown
         );
-        assert_eq!(kdc.stats.errors, 1);
+        assert_eq!(kdc.stats().errors, 1);
     }
 
     #[test]
@@ -384,7 +476,7 @@ mod tests {
         let tgs_req = build_tgs_req(&tgt, &client, WS, NOW + 10, &rlogin, 96);
         let cred = read_tgs_reply(&kdc.handle(&tgs_req, WS), &tgt, NOW + 10).unwrap();
         assert_eq!(cred.service, rlogin);
-        assert_eq!(kdc.stats.tgs_ok, 1);
+        assert_eq!(kdc.stats().tgs_ok, 1);
 
         // The issued ticket opens under the rlogin server's srvtab key and
         // names the right client.
@@ -496,6 +588,48 @@ mod tests {
         let as_req = build_as_req(&client, &kdbm, 12, NOW);
         let cred = read_as_reply_with_password(&kdc.handle(&as_req, WS), "bcn-password", NOW).unwrap();
         assert_eq!(cred.service.local_str(), "changepw.kerberos");
+    }
+
+    #[test]
+    fn telemetry_records_counts_and_latency_per_exchange() {
+        let mut kdc = test_kdc();
+        // A deterministic self-advancing µs clock: each span sees exactly
+        // one clock step, so latency samples are nonzero and reproducible.
+        kdc.set_clock_us(krb_telemetry::lcg_clock_us(7, 40, 400));
+        let client = principal("bcn");
+        let tgs = Principal::tgs(REALM, REALM);
+
+        let as_req = build_as_req(&client, &tgs, 96, NOW);
+        let tgt = read_as_reply_with_password(&kdc.handle(&as_req, WS), "bcn-password", NOW).unwrap();
+
+        let rlogin = principal("rlogin.priam");
+        let tgs_req = build_tgs_req(&tgt, &client, WS, NOW + 10, &rlogin, 96);
+        kdc.clock = fixed_clock(NOW + 10);
+        read_tgs_reply(&kdc.handle(&tgs_req, WS), &tgt, NOW + 10).unwrap();
+
+        let registry = kdc.telemetry();
+        assert_eq!(registry.counter_value("kdc_as_ok_total"), 1);
+        assert_eq!(registry.counter_value("kdc_tgs_ok_total"), 1);
+        let text = registry.render();
+        assert!(text.contains("kdc_as_latency_us_count 1"), "AS span recorded:\n{text}");
+        assert!(text.contains("kdc_tgs_latency_us_count 1"), "TGS span recorded:\n{text}");
+        assert!(text.contains("kdc_replay_hits_total 0"));
+
+        // A replayed TGS request shows up in the replay-hit counter.
+        read_tgs_reply(&kdc.handle(&tgs_req, WS), &tgt, NOW + 10).unwrap_err();
+        assert_eq!(registry.counter_value("kdc_replay_hits_total"), 1);
+        assert_eq!(registry.counter_value("kdc_error_total"), 1);
+        assert!(kdc.telemetry().histogram("kdc_as_latency_us").max() >= 40);
+    }
+
+    #[test]
+    fn garbage_requests_record_no_latency_sample() {
+        let mut kdc = test_kdc();
+        kdc.handle(b"not a kerberos message", WS);
+        let text = kdc.telemetry().render();
+        assert!(text.contains("kdc_as_latency_us_count 0"));
+        assert!(text.contains("kdc_tgs_latency_us_count 0"));
+        assert_eq!(kdc.stats().errors, 1);
     }
 
     #[test]

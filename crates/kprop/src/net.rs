@@ -6,6 +6,7 @@ use crate::{kpropd_verify, PropError};
 use krb_crypto::DesKey;
 use krb_kdb::PrincipalEntry;
 use krb_netsim::{Packet, Service};
+use krb_telemetry::{Counter, Registry};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -19,36 +20,87 @@ pub struct KpropdService {
     master_key: DesKey,
     /// Called with the verified entries; returns whether install succeeded.
     on_install: Box<dyn FnMut(Vec<PrincipalEntry>) -> bool + Send>,
-    /// Transfers accepted.
-    pub accepted: u64,
-    /// Transfers rejected (bad checksum / framing / install failure).
-    pub rejected: u64,
+    registry: Arc<Registry>,
+    rounds: Counter,
+    accepted: Counter,
+    rejected: Counter,
+    bytes: Counter,
 }
 
 impl KpropdService {
-    /// Build a slave-side service around an installer callback.
+    /// Build a slave-side service around an installer callback. Telemetry
+    /// (`kprop_rounds_total`, `kprop_accepted_total`, `kprop_rejected_total`,
+    /// `kprop_bytes_total`) is registered on a fresh registry; see
+    /// [`KpropdService::set_registry`] to aggregate into a shared one.
     pub fn new(
         master_key: DesKey,
         on_install: impl FnMut(Vec<PrincipalEntry>) -> bool + Send + 'static,
     ) -> Self {
-        KpropdService { master_key, on_install: Box::new(on_install), accepted: 0, rejected: 0 }
+        let registry = Registry::shared();
+        let mut svc = KpropdService {
+            master_key,
+            on_install: Box::new(on_install),
+            registry: Arc::clone(&registry),
+            rounds: Counter::new(),
+            accepted: Counter::new(),
+            rejected: Counter::new(),
+            bytes: Counter::new(),
+        };
+        svc.bind_metrics(&registry);
+        svc
+    }
+
+    fn bind_metrics(&mut self, registry: &Registry) {
+        self.rounds = registry.counter("kprop_rounds_total");
+        self.accepted = registry.counter("kprop_accepted_total");
+        self.rejected = registry.counter("kprop_rejected_total");
+        self.bytes = registry.counter("kprop_bytes_total");
+    }
+
+    /// The registry this service reports into.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Report into a caller-provided registry (counts recorded so far are
+    /// dropped; call right after construction).
+    pub fn set_registry(&mut self, registry: Arc<Registry>) {
+        self.bind_metrics(&registry);
+        self.registry = registry;
+    }
+
+    /// Transfers accepted.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.get()
+    }
+
+    /// Transfers rejected (bad checksum / framing / install failure).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.get()
+    }
+
+    /// Total payload bytes received across all propagation rounds.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes.get()
     }
 }
 
 impl Service for KpropdService {
     fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
+        self.rounds.inc();
+        self.bytes.add(req.payload.len() as u64);
         match kpropd_verify(&req.payload, &self.master_key) {
             Ok(entries) => {
                 if (self.on_install)(entries) {
-                    self.accepted += 1;
+                    self.accepted.inc();
                     Some(b"OK".to_vec())
                 } else {
-                    self.rejected += 1;
+                    self.rejected.inc();
                     Some(b"ERR install".to_vec())
                 }
             }
             Err(e) => {
-                self.rejected += 1;
+                self.rejected.inc();
                 Some(format!("ERR {e}").into_bytes())
             }
         }
@@ -186,6 +238,34 @@ mod tests {
         let reply = router.rpc(master_ep, slave_ep, &packet).unwrap();
         assert_eq!(reply, b"OK");
         assert_eq!(*received.lock(), 11); // 10 users + K.M
+    }
+
+    #[test]
+    fn propagation_rounds_and_bytes_are_counted() {
+        use krb_netsim::{Endpoint, NetConfig, Router, SimNet};
+        let master = master_db();
+        let mut svc = KpropdService::new(string_to_key("mk"), |_| true);
+        let registry = svc.registry();
+        // The registry handle outlives the service being moved into the
+        // router — that is how an experiment reads counters afterwards.
+        let mut router = Router::new(SimNet::new(NetConfig::default()));
+        let slave_ep = Endpoint::new([18, 72, 0, 11], krb_netsim::ports::KPROP);
+        svc.set_registry(Arc::clone(&registry)); // idempotent: same handles re-bound
+        router.serve(slave_ep, svc);
+
+        let good = kprop_build(&master).unwrap();
+        let good_len = good.len() as u64;
+        let master_ep = Endpoint::new([18, 72, 0, 10], 1000);
+        assert_eq!(router.rpc(master_ep, slave_ep, &good).unwrap(), b"OK");
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 1;
+        assert!(router.rpc(master_ep, slave_ep, &bad).unwrap().starts_with(b"ERR"));
+
+        assert_eq!(registry.counter_value("kprop_rounds_total"), 2);
+        assert_eq!(registry.counter_value("kprop_accepted_total"), 1);
+        assert_eq!(registry.counter_value("kprop_rejected_total"), 1);
+        assert_eq!(registry.counter_value("kprop_bytes_total"), 2 * good_len);
     }
 
     #[test]

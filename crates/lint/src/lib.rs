@@ -19,6 +19,12 @@
 //!   the authentication service.
 //! - **L4 crate hygiene**: every crate forbids `unsafe_code` and carries
 //!   crate-level docs.
+//! - **L5 one counting substrate**: raw atomic counters (`AtomicU64`,
+//!   `AtomicUsize`, `AtomicI64`) outside `crates/telemetry` are findings —
+//!   ad-hoc counters dodge the registry (no export, no determinism
+//!   contract). Use `krb_telemetry::Counter`/`Gauge` instead; genuinely
+//!   non-metric atomics (e.g. a simulated-time cell) go in `lint.allow`
+//!   with a justification.
 //!
 //! Findings are suppressed only via the `lint.allow` file at the
 //! workspace root, and unused allowlist entries are themselves errors, so
@@ -64,6 +70,10 @@ const L1_SECRET_FRAGMENTS: &[&str] = &["key", "secret", "password"];
 /// Types that already redact themselves; fields of these types are exempt
 /// from L1 even when the field name says "key".
 const REDACTED_TYPES: &[&str] = &["DesKey", "SecretKey"];
+
+/// Atomic integer types whose raw use outside `crates/telemetry` is an L5
+/// finding — counters belong to the telemetry registry.
+const L5_ATOMIC_TYPES: &[&str] = &["AtomicU64", "AtomicUsize", "AtomicI64"];
 
 /// Panic-family method calls and macros forbidden in server paths (L3).
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
@@ -217,6 +227,9 @@ pub fn scan_file(rel: &str, src: &str) -> Vec<Finding> {
     }
     if SERVER_PATH_FILES.contains(&rel) {
         findings.extend(check_l3(rel, &tokens));
+    }
+    if !rel.starts_with("crates/telemetry/") {
+        findings.extend(check_l5(rel, &tokens));
     }
     findings
 }
@@ -563,6 +576,31 @@ fn check_l3(rel: &str, tokens: &[Token]) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
+// L5: raw atomic counters outside the telemetry substrate
+// ---------------------------------------------------------------------------
+
+fn check_l5(rel: &str, tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for tok in tokens {
+        if tok.kind == Kind::Ident && L5_ATOMIC_TYPES.contains(&tok.text.as_str()) {
+            findings.push(Finding {
+                rule: "L5",
+                file: rel.to_string(),
+                line: tok.line,
+                key: tok.text.clone(),
+                message: format!(
+                    "raw `{}` outside crates/telemetry bypasses the metrics \
+                     registry; use krb_telemetry::Counter/Gauge so the value is \
+                     exported and covered by the determinism contract",
+                    tok.text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
 // L4: crate hygiene (raw-text checks on crate roots)
 // ---------------------------------------------------------------------------
 
@@ -765,6 +803,21 @@ mod tests {
     fn run_refuses_a_root_without_a_manifest() {
         let err = run(Path::new("/nonexistent-krb-lint-root")).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn l5_flags_raw_atomics_outside_telemetry() {
+        let src = "use std::sync::atomic::AtomicU64;\nstruct S { hits: AtomicU64 }";
+        let f = scan_file("crates/kdc/src/server.rs", src);
+        assert_eq!(
+            keys(&f),
+            vec![("L5", "AtomicU64".to_string()), ("L5", "AtomicU64".to_string())]
+        );
+        // The telemetry crate itself is the one legitimate home.
+        assert!(scan_file("crates/telemetry/src/metrics.rs", src).is_empty());
+        // Test code may use atomics freely.
+        let test_only = "#[cfg(test)]\nmod tests { use std::sync::atomic::AtomicUsize; }";
+        assert!(scan_file("crates/kdc/src/server.rs", test_only).is_empty());
     }
 
     #[test]

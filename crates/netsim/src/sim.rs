@@ -11,6 +11,7 @@
 //! duplication are driven by a seeded RNG, so every run is reproducible.
 
 use crate::{Endpoint, NetError, Packet};
+use krb_telemetry::{Counter, Registry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -82,11 +83,13 @@ pub struct SimNet {
     partitioned: std::collections::HashSet<crate::Ipv4>,
     taps: Vec<Tap>,
     seq: u64,
-    /// Counters for experiments.
-    pub stats: NetStats,
+    registry: Arc<Registry>,
+    metrics: NetMetrics,
 }
 
-/// Delivery counters.
+/// Point-in-time delivery counts — a *thin view* over the telemetry
+/// registry (see [`SimNet::stats`]); the registry is the only counting
+/// substrate.
 #[derive(Default, Debug, Clone, Copy)]
 pub struct NetStats {
     /// Packets accepted onto the wire.
@@ -99,9 +102,30 @@ pub struct NetStats {
     pub duplicated: u64,
 }
 
+/// The network's telemetry handles, registered under `net_*` names.
+struct NetMetrics {
+    sent: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+}
+
+impl NetMetrics {
+    fn new(registry: &Registry) -> Self {
+        NetMetrics {
+            sent: registry.counter("net_sent_total"),
+            delivered: registry.counter("net_delivered_total"),
+            dropped: registry.counter("net_dropped_total"),
+            duplicated: registry.counter("net_duplicated_total"),
+        }
+    }
+}
+
 impl SimNet {
     /// Create a network with the given behaviour.
     pub fn new(config: NetConfig) -> Self {
+        let registry = Registry::shared();
+        let metrics = NetMetrics::new(&registry);
         SimNet {
             rng: StdRng::seed_from_u64(config.seed),
             config,
@@ -111,7 +135,31 @@ impl SimNet {
             partitioned: Default::default(),
             taps: Vec::new(),
             seq: 0,
-            stats: NetStats::default(),
+            registry,
+            metrics,
+        }
+    }
+
+    /// The registry this network reports into.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Report into a caller-provided registry instead of the auto-created
+    /// one (counts recorded so far are dropped; call right after
+    /// construction).
+    pub fn set_registry(&mut self, registry: Arc<Registry>) {
+        self.metrics = NetMetrics::new(&registry);
+        self.registry = registry;
+    }
+
+    /// Point-in-time delivery counts, materialized from the registry.
+    pub fn stats(&self) -> NetStats {
+        NetStats {
+            sent: self.metrics.sent.get(),
+            delivered: self.metrics.delivered.get(),
+            dropped: self.metrics.dropped.get(),
+            duplicated: self.metrics.duplicated.get(),
         }
     }
 
@@ -150,13 +198,13 @@ impl SimNet {
         for tap in &mut self.taps {
             tap(&packet);
         }
-        self.stats.sent += 1;
+        self.metrics.sent.inc();
         if self.partitioned.contains(&claimed_src.addr) || self.partitioned.contains(&dst.addr) {
-            self.stats.dropped += 1;
+            self.metrics.dropped.inc();
             return;
         }
         if self.config.loss > 0.0 && self.rng.random::<f64>() < self.config.loss {
-            self.stats.dropped += 1;
+            self.metrics.dropped.inc();
             return;
         }
         let jitter = if self.config.jitter_ms > 0 {
@@ -168,7 +216,7 @@ impl SimNet {
         self.in_flight.push(Reverse(Scheduled { deliver_at, seq: self.seq, packet: packet.clone() }));
         if self.config.dup > 0.0 && self.rng.random::<f64>() < self.config.dup {
             self.seq += 1;
-            self.stats.duplicated += 1;
+            self.metrics.duplicated.inc();
             self.in_flight.push(Reverse(Scheduled {
                 deliver_at: deliver_at + 1,
                 seq: self.seq,
@@ -187,9 +235,9 @@ impl SimNet {
             let Reverse(s) = self.in_flight.pop().expect("peeked");
             if let Some(inbox) = self.inboxes.get_mut(&s.packet.dst) {
                 inbox.push_back(s.packet);
-                self.stats.delivered += 1;
+                self.metrics.delivered.inc();
             } else {
-                self.stats.dropped += 1; // no listener: like ICMP unreachable
+                self.metrics.dropped.inc(); // no listener: like ICMP unreachable
             }
         }
     }
@@ -334,7 +382,7 @@ mod tests {
         net.run_until_idle();
         assert!(net.recv(ep(2, 88)).is_some());
         assert!(net.recv(ep(2, 88)).is_some(), "duplicate expected");
-        assert_eq!(net.stats.duplicated, 1);
+        assert_eq!(net.stats().duplicated, 1);
     }
 
     #[test]
@@ -382,7 +430,7 @@ mod tests {
         let mut net = SimNet::new(NetConfig::default());
         net.send(ep(1, 1), ep(7, 7), b"x".to_vec());
         net.run_until_idle();
-        assert_eq!(net.stats.dropped, 1);
+        assert_eq!(net.stats().dropped, 1);
     }
 }
 

@@ -24,7 +24,7 @@ proptest! {
         while net.recv(dst).is_some() {
             received += 1;
         }
-        let s = net.stats;
+        let s = net.stats();
         prop_assert_eq!(s.sent, n as u64);
         prop_assert_eq!(received, s.delivered);
         prop_assert_eq!(s.delivered + s.dropped, s.sent + s.duplicated);

@@ -224,11 +224,11 @@ pub fn run(config: ScenarioConfig) -> ScenarioReport {
 
     report.kdc_load.push({
         let m = dep.master.lock();
-        m.stats.as_ok + m.stats.tgs_ok
+        m.stats().as_ok + m.stats().tgs_ok
     });
     for (_, slave) in &dep.slaves {
         let s = slave.lock();
-        report.kdc_load.push(s.stats.as_ok + s.stats.tgs_ok);
+        report.kdc_load.push(s.stats().as_ok + s.stats().tgs_ok);
     }
     report
 }

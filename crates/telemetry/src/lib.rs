@@ -1,0 +1,120 @@
+//! # krb-telemetry — the workspace's single counting substrate
+//!
+//! The paper justifies its architecture with load arguments — slaves
+//! absorb read traffic at Athena scale (§4), and per-operation NFS
+//! authentication is rejected on latency grounds (appendix) — so this
+//! reproduction needs one place where every component reports what it did
+//! and how long it took. This crate is that place: a dependency-free,
+//! thread-safe metrics registry of atomic counters, gauges, and
+//! fixed-bucket latency histograms, plus span timing driven by an
+//! *injected* clock.
+//!
+//! ## Determinism contract
+//!
+//! Timing behaviour *is* protocol behaviour in Kerberos: skew windows and
+//! ticket lifetimes decide correctness, and the simulator depends on every
+//! run with a given seed being identical. Therefore:
+//!
+//! - **No component in a simulated path may read the wall clock.** Spans
+//!   are timed by a [`ClockUs`] handed in by the caller; the simulator
+//!   passes a deterministic clock ([`shared_clock_us`], [`lcg_clock_us`])
+//!   and gets byte-identical [`Registry::render`] output on every run.
+//! - [`wall_clock_us`] exists for real deployments and the `krb-stat`
+//!   load tool only; it must never be wired into a `SimNet`-driven path.
+//! - [`Registry::render`] iterates a `BTreeMap`, so the exported text is
+//!   a deterministic function of the recorded values.
+//!
+//! The `krb-lint` rule **L5** enforces the substrate's monopoly: raw
+//! `AtomicU64` counters outside this crate are findings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod registry;
+
+pub use clock::{fixed_clock_us, lcg_clock_us, shared_clock_us, wall_clock_us, ClockUs};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, LATENCY_BUCKETS_US};
+pub use registry::Registry;
+
+/// An in-progress timed section: reads the clock at [`Span::start`] and
+/// records the elapsed microseconds into a [`Histogram`] at
+/// [`Span::finish`]. The clock is injected, so a span in a simulated path
+/// measures simulated time and stays deterministic.
+pub struct Span {
+    clock: ClockUs,
+    started_at: u64,
+    histogram: Histogram,
+}
+
+impl Span {
+    /// Begin timing against `clock`, to be recorded into `histogram`.
+    pub fn start(clock: &ClockUs, histogram: &Histogram) -> Self {
+        Span {
+            clock: ClockUs::clone(clock),
+            started_at: clock(),
+            histogram: histogram.clone(),
+        }
+    }
+
+    /// Stop timing and record the elapsed microseconds. Returns the
+    /// recorded duration so callers can log or aggregate it further.
+    pub fn finish(self) -> u64 {
+        let elapsed = (self.clock)().saturating_sub(self.started_at);
+        self.histogram.record(elapsed);
+        elapsed
+    }
+
+    /// Stop timing but record into `histogram` instead of the one the
+    /// span was opened with — for callers that only learn where a request
+    /// belongs after work has started (e.g. once it has been decoded).
+    pub fn finish_into(self, histogram: &Histogram) -> u64 {
+        let elapsed = (self.clock)().saturating_sub(self.started_at);
+        histogram.record(elapsed);
+        elapsed
+    }
+
+    /// Abandon the span without recording (e.g. a request the component
+    /// decided not to account for).
+    pub fn cancel(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn span_records_elapsed_simulated_time() {
+        let cell = Arc::new(AtomicU64::new(1_000));
+        let clock = shared_clock_us(Arc::clone(&cell));
+        let hist = Histogram::latency_us();
+        let span = Span::start(&clock, &hist);
+        cell.store(1_250, Ordering::SeqCst);
+        assert_eq!(span.finish(), 250);
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 250);
+        assert_eq!(hist.max(), 250);
+    }
+
+    #[test]
+    fn cancelled_span_records_nothing() {
+        let clock = fixed_clock_us(7);
+        let hist = Histogram::latency_us();
+        Span::start(&clock, &hist).cancel();
+        assert_eq!(hist.count(), 0);
+    }
+
+    #[test]
+    fn span_survives_clock_going_backwards() {
+        // A skewed or reset clock must not underflow the duration.
+        let cell = Arc::new(AtomicU64::new(500));
+        let clock = shared_clock_us(Arc::clone(&cell));
+        let hist = Histogram::latency_us();
+        let span = Span::start(&clock, &hist);
+        cell.store(100, Ordering::SeqCst);
+        assert_eq!(span.finish(), 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! The metric primitives: counters, gauges, and fixed-bucket histograms.
+//!
+//! All three are cheap `Arc`-backed handles: cloning a metric yields a
+//! second handle onto the same storage, which is how a component keeps a
+//! private handle while the [`crate::Registry`] exports the same value.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Whether `other` is a handle onto the same storage.
+    pub fn same_storage(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// A value that can go up and down (queue depths, cache sizes).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, in microseconds: a coarse
+/// log-spaced ladder from 1µs to 10s. Fixed at construction so recording
+/// is a lock-free `fetch_add` and two runs bucket identically.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    1,
+    2,
+    5,
+    10,
+    25,
+    50,
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+];
+
+struct HistogramInner {
+    /// Strictly increasing upper bounds; samples above the last bound go
+    /// into the implicit overflow (`+Inf`) bucket.
+    bounds: Vec<u64>,
+    /// One slot per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram with percentile readout.
+///
+/// Recording is wait-free (three `fetch_add`s and a `fetch_max`), so hot
+/// paths can record unconditionally. Percentiles are read from the bucket
+/// cumulative counts: the reported value is the upper bound of the bucket
+/// holding the requested rank, clamped to the observed maximum — an upper
+/// estimate whose error is bounded by the bucket width.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::latency_us()
+    }
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds. Bounds are sorted and
+    /// deduplicated; an empty slice yields a single overflow bucket.
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds,
+            counts,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// The standard latency histogram ([`LATENCY_BUCKETS_US`]).
+    pub fn latency_us() -> Self {
+        Self::new(LATENCY_BUCKETS_US)
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let inner = &self.0;
+        let idx = inner.bounds.partition_point(|&b| b < v);
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// The bucket index a value lands in (for tests and exporters).
+    pub fn bucket_index(&self, v: u64) -> usize {
+        self.0.bounds.partition_point(|&b| b < v)
+    }
+
+    /// `(upper_bound, count)` per bucket; `None` is the overflow bucket.
+    pub fn buckets(&self) -> Vec<(Option<u64>, u64)> {
+        let inner = &self.0;
+        inner
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (inner.bounds.get(i).copied(), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100) as an upper estimate: the
+    /// upper bound of the bucket containing the rank-`⌈p/100·n⌉` sample,
+    /// clamped to the observed max. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let inner = &self.0;
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // ceil(p/100 * total), at least rank 1.
+        let rank = (((p / 100.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, c) in inner.counts.iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return match inner.bounds.get(i) {
+                    Some(&bound) => bound.min(self.max()),
+                    None => self.max(), // overflow bucket
+                };
+            }
+        }
+        self.max()
+    }
+
+    /// A point-in-time summary with the standard percentiles.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+        }
+    }
+}
+
+/// Point-in-time histogram readout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (upper estimate, see [`Histogram::percentile`]).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let view = c.clone();
+        view.inc();
+        assert_eq!(c.get(), 6, "clones share storage");
+        assert!(c.same_storage(&view));
+        assert!(!c.same_storage(&Counter::new()));
+    }
+
+    #[test]
+    fn gauge_goes_both_ways() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::latency_us();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn single_sample_percentiles_equal_the_sample() {
+        let h = Histogram::latency_us();
+        h.record(3);
+        // Bucket upper bound is 5, but clamping to max keeps the estimate
+        // truthful: no percentile may exceed an observed value.
+        assert_eq!(h.percentile(50.0), 3);
+        assert_eq!(h.percentile(99.0), 3);
+        assert_eq!(h.max(), 3);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        let h = Histogram::new(&[10, 20]);
+        h.record(10); // lands in le=10
+        h.record(11); // lands in le=20
+        h.record(21); // overflow
+        let b = h.buckets();
+        assert_eq!(b, vec![(Some(10), 1), (Some(20), 1), (None, 1)]);
+    }
+
+    #[test]
+    fn percentiles_walk_the_distribution() {
+        let h = Histogram::latency_us();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 rank is sample #50; its bucket is le=50.
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(95.0), 100);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.sum(), 5050);
+    }
+
+    #[test]
+    fn unsorted_bounds_are_sanitized() {
+        let h = Histogram::new(&[20, 10, 10]);
+        h.record(15);
+        assert_eq!(h.bucket_index(15), 1);
+        assert_eq!(h.buckets().len(), 3);
+    }
+}

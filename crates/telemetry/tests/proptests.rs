@@ -1,0 +1,94 @@
+//! Histogram correctness properties (vendored proptest): bucketing,
+//! percentile monotonicity, and lossless concurrent recording.
+
+use krb_telemetry::{Histogram, LATENCY_BUCKETS_US};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every sample lands in exactly the bucket whose upper bound is the
+    /// smallest bound ≥ the sample (or the overflow bucket).
+    #[test]
+    fn samples_land_in_the_right_bucket(v in any::<u64>()) {
+        let h = Histogram::latency_us();
+        h.record(v);
+        let idx = h.bucket_index(v);
+        let buckets = h.buckets();
+        prop_assert_eq!(buckets[idx].1, 1, "sample must be in bucket {}", idx);
+        prop_assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 1);
+        // The bucket's bound (if any) is ≥ v, and the previous bound < v.
+        if let (Some(bound), _) = buckets[idx] {
+            prop_assert!(bound >= v);
+        } else {
+            prop_assert!(v > *LATENCY_BUCKETS_US.last().unwrap());
+        }
+        if idx > 0 {
+            let (prev_bound, _) = buckets[idx - 1];
+            prop_assert!(prev_bound.unwrap() < v);
+        }
+    }
+
+    /// Percentile readout is monotone in p and never exceeds the max.
+    #[test]
+    fn percentiles_are_monotone(samples in vec(0u64..20_000_000, 1..200)) {
+        let h = Histogram::latency_us();
+        for &s in &samples {
+            h.record(s);
+        }
+        let ps = [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0];
+        let values: Vec<u64> = ps.iter().map(|&p| h.percentile(p)).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1], "percentiles must be monotone: {:?}", values);
+        }
+        let observed_max = *samples.iter().max().unwrap();
+        prop_assert_eq!(h.max(), observed_max);
+        prop_assert!(*values.last().unwrap() <= observed_max);
+        // Count and sum are exact.
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+    }
+
+    /// The histogram total always equals the sum of its buckets.
+    #[test]
+    fn bucket_counts_sum_to_total(samples in vec(any::<u64>(), 0..100)) {
+        let h = Histogram::latency_us();
+        for &s in &samples {
+            h.record(s);
+        }
+        let bucket_total: u64 = h.buckets().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, h.count());
+    }
+}
+
+/// Concurrent recording from multiple threads loses no counts: the final
+/// count, sum, and per-bucket totals equal what a serial run would give.
+#[test]
+fn concurrent_recording_is_lossless() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+    let h = Histogram::latency_us();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // A spread of values crossing many buckets.
+                    h.record((t * PER_THREAD + i) % 3_000);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread");
+    }
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    let serial = Histogram::latency_us();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            serial.record((t * PER_THREAD + i) % 3_000);
+        }
+    }
+    assert_eq!(h.sum(), serial.sum());
+    assert_eq!(h.max(), serial.max());
+    assert_eq!(h.buckets(), serial.buckets());
+}

@@ -1,0 +1,76 @@
+//! `krb-stat` — run the KDC load loop and write `BENCH_kdc.json`.
+//!
+//! ```text
+//! krb-stat [--iters N] [--users N] [--seed N] [--sim-clock] [--smoke]
+//!          [--out PATH]
+//! ```
+//!
+//! `--smoke` is the fast deterministic CI configuration (25 cycles,
+//! simulated latency clock); without it the defaults measure real wall
+//! time. See `crates/tools/src/krbstat.rs` for what the numbers mean.
+
+use krb_tools::{run_load, StatConfig};
+
+fn main() {
+    let mut cfg = StatConfig::default();
+    let mut out = String::from("BENCH_kdc.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--iters" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.iters = n,
+                None => return usage("--iters needs a number"),
+            },
+            "--users" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.users = n,
+                None => return usage("--users needs a number"),
+            },
+            "--seed" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.seed = n,
+                None => return usage("--seed needs a number"),
+            },
+            "--sim-clock" => cfg.sim_clock = true,
+            "--smoke" => cfg = StatConfig::smoke(),
+            "--out" => match take_value(&mut i) {
+                Some(p) => out = p,
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let report = match run_load(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("krb-stat: load loop failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = std::fs::write(&out, &report.json) {
+        eprintln!("krb-stat: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "krb-stat: {} AS + {} TGS in {} us ({} clock), {} errors -> {}",
+        report.as_ok,
+        report.tgs_ok,
+        report.elapsed_us,
+        if cfg.sim_clock { "sim" } else { "wall" },
+        report.errors,
+        out
+    );
+}
+
+fn usage(err: &str) {
+    eprintln!("krb-stat: {err}");
+    eprintln!(
+        "usage: krb-stat [--iters N] [--users N] [--seed N] [--sim-clock] [--smoke] [--out PATH]"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,304 @@
+//! `krb-stat`: the KDC load benchmark behind `BENCH_kdc.json`.
+//!
+//! The paper's capacity argument (§4: one master plus read-only slaves
+//! absorb a campus of workstations) is quantitative, so this reproduction
+//! keeps a machine-readable measurement of what its KDC actually sustains.
+//! [`run_load`] stands up an in-process realm (master KDC on the simulated
+//! network), then drives a configurable number of login cycles — each one
+//! a fresh workstation doing `kinit` (AS exchange) followed by a service
+//! ticket request (TGS exchange) — and reports throughput plus the KDC's
+//! own latency histograms as a JSON snapshot.
+//!
+//! Two clock modes, per the telemetry determinism contract
+//! (`krb-telemetry` crate docs):
+//!
+//! - **wall** (default): spans are timed by
+//!   [`krb_telemetry::wall_clock_us`] and throughput by real elapsed time —
+//!   the numbers in a committed `BENCH_kdc.json` mean microseconds of
+//!   hardware time.
+//! - **sim** (`sim_clock: true`): spans are timed by a seeded
+//!   [`krb_telemetry::lcg_clock_us`] and "elapsed" is the KDC's simulated
+//!   busy time, so the whole report — bytes included — is a deterministic
+//!   function of the config. CI smoke-checks this mode; the regression
+//!   test below pins two same-seed runs byte-identical.
+
+use crate::{kdb_init, register_service, register_user, ToolError, Workstation};
+use kerberos::Principal;
+use krb_kdc::{shared_clock, Deployment, RealmConfig};
+use krb_netsim::{NetConfig, Router, SimNet};
+use krb_telemetry::{lcg_clock_us, wall_clock_us, HistogramSummary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const REALM: &str = "BENCH.MIT.EDU";
+const START: u32 = 600_000_000;
+const KDC_ADDR: [u8; 4] = [18, 72, 0, 10];
+const WS_ADDR: [u8; 4] = [18, 72, 0, 77];
+
+/// Load-loop parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StatConfig {
+    /// Login cycles to run (each is one AS + one TGS exchange).
+    pub iters: usize,
+    /// Distinct principals the cycles draw from.
+    pub users: usize,
+    /// Seeds the database, the user pick sequence, and (in sim mode) the
+    /// latency clock.
+    pub seed: u64,
+    /// Time spans with a deterministic simulated clock instead of the
+    /// wall clock; makes the whole report reproducible.
+    pub sim_clock: bool,
+}
+
+impl Default for StatConfig {
+    fn default() -> Self {
+        StatConfig { iters: 200, users: 8, seed: 42, sim_clock: false }
+    }
+}
+
+impl StatConfig {
+    /// The fast deterministic configuration `scripts/check.sh` runs.
+    pub fn smoke() -> Self {
+        StatConfig { iters: 25, users: 4, seed: 42, sim_clock: true }
+    }
+}
+
+/// What one load run produced.
+#[derive(Clone, Debug)]
+pub struct StatReport {
+    /// The `BENCH_kdc.json` payload.
+    pub json: String,
+    /// The KDC registry's full Prometheus-style text export.
+    pub render: String,
+    /// AS exchanges served.
+    pub as_ok: u64,
+    /// TGS exchanges served.
+    pub tgs_ok: u64,
+    /// Error replies (should be 0 under this well-formed load).
+    pub errors: u64,
+    /// Wall or simulated microseconds the loop took.
+    pub elapsed_us: u64,
+}
+
+/// Run the AS+TGS load loop against a fresh in-process realm.
+pub fn run_load(cfg: &StatConfig) -> Result<StatReport, ToolError> {
+    let iters = cfg.iters.max(1);
+    let users = cfg.users.clamp(1, 64);
+
+    let mut router = Router::new(SimNet::new(NetConfig::default()));
+    let mut boot = kdb_init(REALM, "bench-master-pw", START, cfg.seed)
+        .map_err(|_| ToolError::Krb(kerberos::ErrorCode::IntkErr))?;
+    for u in 0..users {
+        register_user(&mut boot.db, &format!("user{u}"), "", &format!("pw-{u}"), START)
+            .map_err(|_| ToolError::Krb(kerberos::ErrorCode::IntkErr))?;
+    }
+    let mut keygen = krb_crypto::KeyGenerator::new(StdRng::seed_from_u64(cfg.seed ^ 0x5EED));
+    register_service(&mut boot.db, "rcmd", "bench", START, &mut keygen)
+        .map_err(|_| ToolError::Krb(kerberos::ErrorCode::IntkErr))?;
+
+    let dep = Deployment::install(
+        &mut router, REALM, boot.db, RealmConfig::new(REALM), KDC_ADDR, 0, START,
+    )
+    .map_err(|_| ToolError::Krb(kerberos::ErrorCode::IntkErr))?;
+
+    if cfg.sim_clock {
+        dep.master.lock().set_clock_us(lcg_clock_us(cfg.seed, 40, 400));
+    } else {
+        dep.master.lock().set_clock_us(wall_clock_us());
+    }
+
+    let service = Principal::parse("rcmd.bench", REALM)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let wall = wall_clock_us();
+    let t0 = wall();
+    for _ in 0..iters {
+        // Advance realm time one second per cycle: authenticators get
+        // fresh timestamps and ticket lifetimes still hold easily.
+        dep.advance_time(1);
+        let u: usize = rng.random_range(0..users);
+        let mut ws = Workstation::new(
+            WS_ADDR,
+            REALM,
+            dep.kdc_endpoints(),
+            shared_clock(Arc::clone(&dep.clock_cell)),
+        );
+        ws.kinit(&mut router, &format!("user{u}"), &format!("pw-{u}"))?;
+        ws.mk_request(&mut router, &service, 0, false)?;
+    }
+    let wall_elapsed = wall().saturating_sub(t0).max(1);
+
+    let registry = dep.master.lock().telemetry();
+    let as_hist = registry.histogram("kdc_as_latency_us").summary();
+    let tgs_hist = registry.histogram("kdc_tgs_latency_us").summary();
+    let as_ok = registry.counter_value("kdc_as_ok_total");
+    let tgs_ok = registry.counter_value("kdc_tgs_ok_total");
+    let errors = registry.counter_value("kdc_error_total");
+
+    // In sim mode, "elapsed" is the KDC's own simulated busy time — a
+    // deterministic function of the seed; wall time would leak real
+    // hardware timing into the snapshot.
+    let elapsed_us = if cfg.sim_clock {
+        (as_hist.sum + tgs_hist.sum).max(1)
+    } else {
+        wall_elapsed
+    };
+
+    let json = render_json(cfg, iters, users, elapsed_us, as_ok, tgs_ok, errors, &as_hist, &tgs_hist);
+    Ok(StatReport {
+        json,
+        render: registry.render(),
+        as_ok,
+        tgs_ok,
+        errors,
+        elapsed_us,
+    })
+}
+
+fn per_sec(count: u64, elapsed_us: u64) -> f64 {
+    (count as f64) * 1_000_000.0 / (elapsed_us.max(1) as f64)
+}
+
+fn latency_json(s: &HistogramSummary) -> String {
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+        s.count, s.p50, s.p95, s.p99, s.max
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    cfg: &StatConfig,
+    iters: usize,
+    users: usize,
+    elapsed_us: u64,
+    as_ok: u64,
+    tgs_ok: u64,
+    errors: u64,
+    as_hist: &HistogramSummary,
+    tgs_hist: &HistogramSummary,
+) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"kdc_load\",\n",
+            "  \"iters\": {iters},\n",
+            "  \"users\": {users},\n",
+            "  \"seed\": {seed},\n",
+            "  \"clock\": \"{clock}\",\n",
+            "  \"elapsed_us\": {elapsed},\n",
+            "  \"as_ok\": {as_ok},\n",
+            "  \"tgs_ok\": {tgs_ok},\n",
+            "  \"errors\": {errors},\n",
+            "  \"as_per_sec\": {asps:.2},\n",
+            "  \"tgs_per_sec\": {tgsps:.2},\n",
+            "  \"latency_us\": {{\"as\": {aslat}, \"tgs\": {tgslat}}}\n",
+            "}}\n",
+        ),
+        iters = iters,
+        users = users,
+        seed = cfg.seed,
+        clock = if cfg.sim_clock { "sim" } else { "wall" },
+        elapsed = elapsed_us,
+        as_ok = as_ok,
+        tgs_ok = tgs_ok,
+        errors = errors,
+        asps = per_sec(as_ok, elapsed_us),
+        tgsps = per_sec(tgs_ok, elapsed_us),
+        aslat = latency_json(as_hist),
+        tgslat = latency_json(tgs_hist),
+    )
+}
+
+/// Keys a well-formed `BENCH_kdc.json` must contain; `scripts/check.sh`
+/// greps for these and the schema test below asserts them.
+pub const REQUIRED_JSON_KEYS: &[&str] = &[
+    "\"bench\"",
+    "\"iters\"",
+    "\"seed\"",
+    "\"clock\"",
+    "\"elapsed_us\"",
+    "\"as_per_sec\"",
+    "\"tgs_per_sec\"",
+    "\"latency_us\"",
+    "\"p50\"",
+    "\"p95\"",
+    "\"p99\"",
+    "\"max\"",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal structural JSON check: balanced braces outside strings,
+    /// even quote count — enough to catch a mangled emitter without a
+    /// JSON dependency.
+    fn looks_like_json(s: &str) -> bool {
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut prev_escape = false;
+        let mut quotes = 0usize;
+        for c in s.chars() {
+            if in_str {
+                if prev_escape {
+                    prev_escape = false;
+                } else if c == '\\' {
+                    prev_escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                    quotes += 1;
+                }
+                continue;
+            }
+            match c {
+                '"' => {
+                    in_str = true;
+                    quotes += 1;
+                }
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        depth == 0 && !in_str && quotes % 2 == 0
+    }
+
+    #[test]
+    fn smoke_run_serves_every_cycle_and_emits_the_schema() {
+        let report = run_load(&StatConfig::smoke()).unwrap();
+        assert_eq!(report.as_ok, 25);
+        assert_eq!(report.tgs_ok, 25);
+        assert_eq!(report.errors, 0);
+        for key in REQUIRED_JSON_KEYS {
+            assert!(report.json.contains(key), "missing {key} in:\n{}", report.json);
+        }
+        assert!(looks_like_json(&report.json), "malformed JSON:\n{}", report.json);
+    }
+
+    #[test]
+    fn same_seed_sim_runs_are_byte_identical() {
+        // The determinism contract, end to end: with the simulated latency
+        // clock, the JSON snapshot *and* the full registry export are a
+        // pure function of the config.
+        let cfg = StatConfig { iters: 40, users: 3, seed: 7, sim_clock: true };
+        let a = run_load(&cfg).unwrap();
+        let b = run_load(&cfg).unwrap();
+        assert_eq!(a.json, b.json);
+        assert_eq!(a.render, b.render);
+        // And the latency histograms actually saw samples.
+        assert!(a.render.contains("kdc_as_latency_us_count 40"), "{}", a.render);
+    }
+
+    #[test]
+    fn different_seeds_change_the_simulated_snapshot() {
+        let a = run_load(&StatConfig { iters: 30, users: 3, seed: 1, sim_clock: true }).unwrap();
+        let b = run_load(&StatConfig { iters: 30, users: 3, seed: 2, sim_clock: true }).unwrap();
+        assert_ne!(a.render, b.render, "latency clock ignored the seed");
+    }
+}

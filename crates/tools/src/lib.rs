@@ -9,12 +9,14 @@
 #![warn(missing_docs)]
 
 pub mod kdb_init;
+pub mod krbstat;
 pub mod smartcard;
 pub mod srvtab;
 pub mod ticket_file;
 pub mod workstation;
 
 pub use kdb_init::{kdb_init, register_service, register_user, RealmBootstrap};
+pub use krbstat::{run_load, StatConfig, StatReport, REQUIRED_JSON_KEYS};
 pub use smartcard::Smartcard;
 pub use srvtab::{Srvtab, SrvtabEntry};
 pub use ticket_file::TicketFile;
@@ -118,10 +120,10 @@ mod tests {
         ws.kinit(&mut router, "bcn", "bcn-pw").unwrap();
         let rlogin = Principal::parse("rlogin.priam", REALM).unwrap();
         let c1 = ws.get_service_ticket(&mut router, &rlogin).unwrap();
-        let tgs_count = dep.master.lock().stats.tgs_ok;
+        let tgs_count = dep.master.lock().stats().tgs_ok;
         let c2 = ws.get_service_ticket(&mut router, &rlogin).unwrap();
         assert_eq!(c1, c2);
-        assert_eq!(dep.master.lock().stats.tgs_ok, tgs_count, "second hit came from cache");
+        assert_eq!(dep.master.lock().stats().tgs_ok, tgs_count, "second hit came from cache");
         assert_eq!(ws.klist().len(), 2);
     }
 

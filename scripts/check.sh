@@ -21,4 +21,18 @@ cargo test --workspace -q
 echo "== krb-lint"
 cargo run -q -p krb-lint
 
+echo "== krb-stat --smoke"
+# The deterministic KDC load loop must run and emit a well-formed bench
+# snapshot (the full schema is asserted by crates/tools/src/krbstat.rs
+# tests; this guards the binary + JSON plumbing end to end).
+smoke_json="$(mktemp)"
+trap 'rm -f "$smoke_json"' EXIT
+cargo run -q -p krb-tools --bin krb-stat -- --smoke --out "$smoke_json"
+for key in as_per_sec tgs_per_sec latency_us p50 p95 p99; do
+    if ! grep -q "\"$key\"" "$smoke_json"; then
+        echo "krb-stat smoke output is missing \"$key\"" >&2
+        exit 1
+    fi
+done
+
 echo "== OK"
