@@ -18,7 +18,7 @@ use crate::zephyr::ZephyrServer;
 use crate::AppError;
 use kerberos::wire::{Reader, Writer};
 use kerberos::{
-    krb_mk_priv, krb_rd_priv, ApReq, EncryptedTicket, ErrorCode, HostAddr, KrbResult, PrivMsg,
+    krb_mk_priv_with, krb_rd_priv, ApReq, EncryptedTicket, ErrorCode, HostAddr, KrbResult, PrivMsg,
 };
 use krb_crypto::{ct_eq, quad_cksum, DesKey};
 use krb_netsim::{Packet, Service};
@@ -207,19 +207,20 @@ impl Service for PopNetService {
         if op != "retrieve" {
             return Some(frame_err(ErrorCode::RdApUndec));
         }
-        // The server hands back the session key so the reply can be
-        // sealed, and checks the payload binding *before* draining the
-        // mailbox — retrieval is destructive, and a tampered request must
-        // not cost the user their mail.
+        // The server hands back the session-key schedule (built once to
+        // open the authenticator) so the reply can be sealed without
+        // redoing the key schedule, and checks the payload binding
+        // *before* draining the mailbox — retrieval is destructive, and a
+        // tampered request must not cost the user their mail.
         match self.server.retrieve_bound(&ap, from, now, Some((op.as_str(), payload.as_slice()))) {
-            Ok((mail, session_key)) => {
+            Ok((mail, session_sched)) => {
                 let mut w = Writer::new();
                 w.u16(mail.len() as u16);
                 for m in &mail {
                     w.str(&m.from);
                     w.bytes(m.body.as_bytes());
                 }
-                let sealed = krb_mk_priv(&w.finish(), &session_key, server_addr(req), now);
+                let sealed = krb_mk_priv_with(&w.finish(), &session_sched, server_addr(req), now);
                 Some(frame_ok(&sealed.enc_part))
             }
             Err(e) => Some(frame_err(app_err(&e))),

@@ -8,8 +8,8 @@
 
 use crate::netproto::payload_bound;
 use crate::{AppError, AppMetrics};
-use kerberos::{krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
-use krb_crypto::DesKey;
+use kerberos::{krb_rd_req_sched, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
+use krb_crypto::{DesKey, Scheduled};
 use krb_telemetry::Registry;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -26,7 +26,9 @@ pub struct Mail {
 /// The post office server.
 pub struct PopServer {
     service: Principal,
-    key: DesKey,
+    /// The srvtab key's schedule, built once at startup — every retrieval
+    /// verifies tickets under it without redoing the key schedule.
+    sched: Scheduled,
     replay: ReplayCache,
     mailboxes: HashMap<String, Vec<Mail>>,
     metrics: AppMetrics,
@@ -38,7 +40,13 @@ impl PopServer {
         let replay = ReplayCache::new();
         let metrics = AppMetrics::new("pop");
         replay.publish(&metrics.registry(), "pop");
-        PopServer { service, key, replay, mailboxes: HashMap::new(), metrics }
+        PopServer {
+            service,
+            sched: Scheduled::new(&key),
+            replay,
+            mailboxes: HashMap::new(),
+            metrics,
+        }
     }
 
     /// The registry holding this server's `pop_requests_*` and replay-cache
@@ -71,20 +79,20 @@ impl PopServer {
         self.retrieve_bound(ap, from, now, None).map(|(mail, _)| mail)
     }
 
-    /// As [`PopServer::retrieve`], but also hands back the session key (so
-    /// the network adapter can seal the reply as a private message, §2.1)
-    /// and, when `binding` is given, verifies that the authenticator's
-    /// checksum binds `(op, payload)` under the session key. The binding
-    /// check runs *before* the mailbox is drained: retrieval is
-    /// destructive, and a request whose payload was rewritten in flight
-    /// must leave the user's mail untouched.
+    /// As [`PopServer::retrieve`], but also hands back the session-key
+    /// schedule (so the network adapter can seal the reply as a private
+    /// message, §2.1, without rebuilding it) and, when `binding` is given,
+    /// verifies that the authenticator's checksum binds `(op, payload)`
+    /// under the session key. The binding check runs *before* the mailbox
+    /// is drained: retrieval is destructive, and a request whose payload
+    /// was rewritten in flight must leave the user's mail untouched.
     pub fn retrieve_bound(
         &mut self,
         ap: &ApReq,
         from: HostAddr,
         now: u32,
         binding: Option<(&str, &[u8])>,
-    ) -> Result<(Vec<Mail>, krb_crypto::DesKey), AppError> {
+    ) -> Result<(Vec<Mail>, Scheduled), AppError> {
         let r = self.retrieve_bound_inner(ap, from, now, binding);
         self.metrics.observe(&r);
         r
@@ -96,14 +104,14 @@ impl PopServer {
         from: HostAddr,
         now: u32,
         binding: Option<(&str, &[u8])>,
-    ) -> Result<(Vec<Mail>, krb_crypto::DesKey), AppError> {
-        let v = krb_rd_req(ap, &self.service, &self.key, from, now, &mut self.replay)?;
+    ) -> Result<(Vec<Mail>, Scheduled), AppError> {
+        let v = krb_rd_req_sched(ap, &self.service, &self.sched, from, now, &mut self.replay)?;
         if let Some((op, payload)) = binding {
             if !payload_bound(v.cksum, &v.session_key, op, payload) {
                 return Err(AppError::Krb(ErrorCode::RdApModified));
             }
         }
         let mail = self.mailboxes.remove(&v.client.name).unwrap_or_default();
-        Ok((mail, v.session_key))
+        Ok((mail, v.session_sched))
     }
 }

@@ -8,8 +8,8 @@
 
 use crate::netproto::payload_bound;
 use crate::{AppError, AppMetrics};
-use kerberos::{krb_mk_rep, krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
-use krb_crypto::DesKey;
+use kerberos::{krb_mk_rep, krb_rd_req_sched, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
+use krb_crypto::{DesKey, Scheduled};
 use krb_telemetry::Registry;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -37,7 +37,8 @@ pub struct RemoteSession {
 /// The server side of `rlogin`/`rsh` on one host.
 pub struct RloginServer {
     service: Principal,
-    key: DesKey,
+    /// The srvtab key's schedule, built once at startup.
+    sched: Scheduled,
     replay: ReplayCache,
     /// `.rhosts` entries: (username, trusted client host).
     rhosts: HashSet<(String, HostAddr)>,
@@ -54,7 +55,7 @@ impl RloginServer {
         replay.publish(&metrics.registry(), "rlogin");
         RloginServer {
             service,
-            key,
+            sched: Scheduled::new(&key),
             replay,
             rhosts: HashSet::new(),
             connections: Vec::new(),
@@ -122,7 +123,7 @@ impl RloginServer {
     ) -> Result<RemoteSession, AppError> {
         // First, try Kerberos.
         if let Some(ap) = ap {
-            match krb_rd_req(ap, &self.service, &self.key, from, now, &mut self.replay) {
+            match krb_rd_req_sched(ap, &self.service, &self.sched, from, now, &mut self.replay) {
                 Ok(v) => {
                     if let Some((op, payload)) = binding {
                         if !payload_bound(v.cksum, &v.session_key, op, payload) {

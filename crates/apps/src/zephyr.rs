@@ -7,8 +7,8 @@
 
 use crate::netproto::payload_bound;
 use crate::{AppError, AppMetrics};
-use kerberos::{krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
-use krb_crypto::DesKey;
+use kerberos::{krb_rd_req_sched, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
+use krb_crypto::{DesKey, Scheduled};
 use krb_telemetry::Registry;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -29,7 +29,8 @@ pub struct Notice {
 /// The Zephyr server (`zhm`/`zserver` collapsed into one).
 pub struct ZephyrServer {
     service: Principal,
-    key: DesKey,
+    /// The srvtab key's schedule, built once at startup.
+    sched: Scheduled,
     replay: ReplayCache,
     /// Subscriptions: username → queue of undelivered notices.
     queues: HashMap<String, Vec<Notice>>,
@@ -42,7 +43,7 @@ impl ZephyrServer {
         let replay = ReplayCache::new();
         let metrics = AppMetrics::new("zephyr");
         replay.publish(&metrics.registry(), "zephyr");
-        ZephyrServer { service, key, replay, queues: HashMap::new(), metrics }
+        ZephyrServer { service, sched: Scheduled::new(&key), replay, queues: HashMap::new(), metrics }
     }
 
     /// The registry holding this server's `zephyr_requests_*` and
@@ -107,7 +108,7 @@ impl ZephyrServer {
         body: &str,
         binding: Option<(&str, &[u8])>,
     ) -> Result<(), AppError> {
-        let v = krb_rd_req(ap, &self.service, &self.key, sender_addr, now, &mut self.replay)?;
+        let v = krb_rd_req_sched(ap, &self.service, &self.sched, sender_addr, now, &mut self.replay)?;
         if let Some((op, payload)) = binding {
             if !payload_bound(v.cksum, &v.session_key, op, payload) {
                 return Err(AppError::Krb(ErrorCode::RdApModified));

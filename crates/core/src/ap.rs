@@ -13,7 +13,7 @@ use crate::ticket::{EncryptedTicket, Ticket};
 use crate::time::{is_expired, within_skew};
 use crate::wire::{Reader, Writer};
 use crate::{ErrorCode, HostAddr, KrbResult, Principal};
-use krb_crypto::{ct_eq, open, quad_cksum, seal, DesKey, Mode};
+use krb_crypto::{ct_eq, open, quad_cksum, seal_with, DesKey, Mode, Scheduled};
 
 /// What `krb_rd_req` returns on success: the verified identity and the
 /// session key for further traffic.
@@ -23,6 +23,10 @@ pub struct VerifiedRequest {
     pub client: Principal,
     /// The session key from the ticket.
     pub session_key: DesKey,
+    /// The precomputed session-key schedule — `krb_rd_req` had to build it
+    /// to open the authenticator, so every follow-up operation under this
+    /// session (mutual-auth reply, private messages) reuses it for free.
+    pub session_sched: Scheduled,
     /// The authenticator timestamp (needed for the mutual-auth reply).
     pub timestamp: u32,
     /// Application checksum carried in the authenticator.
@@ -46,11 +50,27 @@ pub fn krb_mk_req(
     cksum: u32,
     mutual: bool,
 ) -> ApReq {
+    krb_mk_req_sched(ticket, ticket_realm, &Scheduled::new(session_key), client, addr, now, cksum, mutual)
+}
+
+/// [`krb_mk_req`] under a precomputed session-key schedule — a client that
+/// sends several requests under one ticket builds the schedule once.
+#[allow(clippy::too_many_arguments)]
+pub fn krb_mk_req_sched(
+    ticket: &EncryptedTicket,
+    ticket_realm: &str,
+    session: &Scheduled,
+    client: &Principal,
+    addr: HostAddr,
+    now: u32,
+    cksum: u32,
+    mutual: bool,
+) -> ApReq {
     let auth = Authenticator::new(client, addr, now, cksum);
     ApReq {
         realm: ticket_realm.to_string(),
         ticket: ticket.clone(),
-        authenticator: auth.seal(session_key).0,
+        authenticator: auth.seal_with(session).0,
         mutual,
     }
 }
@@ -70,12 +90,27 @@ pub fn krb_rd_req(
     now: u32,
     replay: &mut ReplayCache,
 ) -> KrbResult<VerifiedRequest> {
-    let ticket = req.ticket.open(service_key)?;
+    krb_rd_req_sched(req, service, &Scheduled::new(service_key), sender_addr, now, replay)
+}
+
+/// [`krb_rd_req`] with the service key's schedule precomputed — long-lived
+/// servers (and the KDC's TGS path) verify every request under the same
+/// srvtab key, so they build that schedule once per process, not per packet.
+pub fn krb_rd_req_sched(
+    req: &ApReq,
+    service: &Principal,
+    service_sched: &Scheduled,
+    sender_addr: HostAddr,
+    now: u32,
+    replay: &mut ReplayCache,
+) -> KrbResult<VerifiedRequest> {
+    let ticket = req.ticket.open_with(service_sched)?;
     if ticket.sname != service.name || ticket.sinstance != service.instance {
         return Err(ErrorCode::RdApNotUs);
     }
     let session_key = ticket.session_key.as_des_key();
-    let auth = SealedAuthenticator(req.authenticator.clone()).open(&session_key)?;
+    let session_sched = Scheduled::new(&session_key);
+    let auth = SealedAuthenticator(req.authenticator.clone()).open_with(&session_sched)?;
     if !auth.matches_ticket(&ticket) {
         return Err(ErrorCode::RdApIncon);
     }
@@ -106,6 +141,7 @@ pub fn krb_rd_req(
     Ok(VerifiedRequest {
         client: ticket.client(),
         session_key,
+        session_sched,
         timestamp: auth.timestamp,
         cksum: auth.cksum,
         ticket,
@@ -119,7 +155,7 @@ pub fn krb_rd_req(
 pub fn krb_mk_rep(verified: &VerifiedRequest) -> ApRep {
     let mut w = Writer::new();
     w.u32(verified.timestamp.wrapping_add(1));
-    let enc = seal(Mode::Pcbc, &verified.session_key, &[0u8; 8], &w.finish())
+    let enc = seal_with(Mode::Pcbc, &verified.session_sched, &[0u8; 8], &w.finish())
         .expect("fixed-size payload");
     ApRep { enc_part: enc }
 }
@@ -174,11 +210,17 @@ fn safe_cksum(data: &[u8], session_key: &DesKey, addr: HostAddr, ts: u32) -> u32
 /// `krb_mk_priv` (§2.1): "each message is not only authenticated, but also
 /// encrypted" — data, sender address and timestamp sealed in the session key.
 pub fn krb_mk_priv(data: &[u8], session_key: &DesKey, addr: HostAddr, now: u32) -> PrivMsg {
+    krb_mk_priv_with(data, &Scheduled::new(session_key), addr, now)
+}
+
+/// [`krb_mk_priv`] under a precomputed session schedule (servers answering
+/// on an authenticated connection already hold one in `VerifiedRequest`).
+pub fn krb_mk_priv_with(data: &[u8], session: &Scheduled, addr: HostAddr, now: u32) -> PrivMsg {
     let mut w = Writer::new();
     w.bytes(data);
     w.addr(&addr);
     w.u32(now);
-    let enc = seal(Mode::Pcbc, session_key, &[0u8; 8], &w.finish()).expect("bounded payload");
+    let enc = seal_with(Mode::Pcbc, session, &[0u8; 8], &w.finish()).expect("bounded payload");
     PrivMsg { enc_part: enc }
 }
 
@@ -217,7 +259,7 @@ pub fn encode_ap_req(req: &ApReq) -> Vec<u8> {
 mod tests {
     use super::*;
     use crate::time::MAX_SKEW_SECS;
-    use krb_crypto::string_to_key;
+    use krb_crypto::{seal, string_to_key};
 
     const REALM: &str = "ATHENA.MIT.EDU";
     const ADDR: HostAddr = [18, 72, 0, 5];

@@ -11,7 +11,7 @@
 
 use crate::wire::{Reader, Writer};
 use crate::{ErrorCode, HostAddr, KrbResult, Principal};
-use krb_crypto::{open, seal, DesKey, Mode};
+use krb_crypto::{seal_with, unseal_with, DesKey, Mode, Scheduled};
 
 /// The plaintext contents of an authenticator.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -75,7 +75,12 @@ impl Authenticator {
 
     /// Encrypt in the session key shared with the server.
     pub fn seal(&self, session_key: &DesKey) -> SealedAuthenticator {
-        let ct = seal(Mode::Pcbc, session_key, &[0u8; 8], &self.encode())
+        self.seal_with(&Scheduled::new(session_key))
+    }
+
+    /// [`Authenticator::seal`] under a precomputed session-key schedule.
+    pub fn seal_with(&self, session: &Scheduled) -> SealedAuthenticator {
+        let ct = seal_with(Mode::Pcbc, session, &[0u8; 8], &self.encode())
             .expect("authenticator encode length is bounded");
         SealedAuthenticator(ct)
     }
@@ -95,7 +100,14 @@ impl SealedAuthenticator {
     /// Decrypt with the session key. Failure means the presenter did not
     /// know the session key — the ticket was stolen without its key.
     pub fn open(&self, session_key: &DesKey) -> KrbResult<Authenticator> {
-        let plain = open(Mode::Pcbc, session_key, &[0u8; 8], &self.0)
+        self.open_with(&Scheduled::new(session_key))
+    }
+
+    /// [`SealedAuthenticator::open`] under a precomputed schedule (the
+    /// verifier just decrypted the ticket carrying this session key and
+    /// already built its schedule).
+    pub fn open_with(&self, session: &Scheduled) -> KrbResult<Authenticator> {
+        let plain = unseal_with(Mode::Pcbc, session, &[0u8; 8], &self.0)
             .map_err(|_| ErrorCode::RdApIncon)?;
         Authenticator::decode(&plain).map_err(|_| ErrorCode::RdApIncon)
     }

@@ -5,11 +5,11 @@
 //! These functions are pure — bytes in, bytes out — so the same code backs
 //! the simulated-network workstation, the real-UDP client, and the tests.
 
-use crate::ap::krb_mk_req;
+use crate::ap::krb_mk_req_sched;
 use crate::cred::Credential;
 use crate::msg::{AsReq, EncKdcReplyPart, Message, TgsReq};
 use crate::{ErrorCode, HostAddr, KrbResult, Principal};
-use krb_crypto::{open, string_to_key, DesKey, Mode};
+use krb_crypto::{open, string_to_key, unseal_with, DesKey, Mode, Scheduled};
 
 /// Build the initial request: "the user's name and the name of ... the
 /// ticket-granting service", in the clear. `service` is normally the TGS
@@ -76,10 +76,26 @@ pub fn build_tgs_req(
     service: &Principal,
     life: u8,
 ) -> Vec<u8> {
-    let ap = krb_mk_req(
+    build_tgs_req_with(tgt, &Scheduled::new(&tgt.key()), client, addr, now, service, life)
+}
+
+/// [`build_tgs_req`] with the TGT session-key schedule precomputed — the
+/// same schedule also reads the reply ([`read_tgs_reply_with`]), so one
+/// build covers the whole TGS exchange.
+#[allow(clippy::too_many_arguments)]
+pub fn build_tgs_req_with(
+    tgt: &Credential,
+    tgt_sched: &Scheduled,
+    client: &Principal,
+    addr: HostAddr,
+    now: u32,
+    service: &Principal,
+    life: u8,
+) -> Vec<u8> {
+    let ap = krb_mk_req_sched(
         &tgt.ticket,
         &tgt.issuing_realm,
-        &tgt.key(),
+        tgt_sched,
         client,
         addr,
         now,
@@ -99,14 +115,24 @@ pub fn build_tgs_req(
 /// was part of the ticket-granting ticket. This way, there is no need for
 /// the user to enter her/his password again" (§4.4).
 pub fn read_tgs_reply(reply: &[u8], tgt: &Credential, request_time: u32) -> KrbResult<Credential> {
+    read_tgs_reply_with(reply, &Scheduled::new(&tgt.key()), request_time)
+}
+
+/// [`read_tgs_reply`] under the TGT session-key schedule built for
+/// [`build_tgs_req_with`].
+pub fn read_tgs_reply_with(
+    reply: &[u8],
+    tgt_sched: &Scheduled,
+    request_time: u32,
+) -> KrbResult<Credential> {
     let msg = Message::decode(reply)?;
     let rep = match msg {
         Message::KdcRep(r) => r,
         Message::Err(e) => return Err(e.code),
         _ => return Err(ErrorCode::IntkErr),
     };
-    let plain =
-        open(Mode::Pcbc, &tgt.key(), &[0u8; 8], &rep.enc_part).map_err(|_| ErrorCode::IntkErr)?;
+    let plain = unseal_with(Mode::Pcbc, tgt_sched, &[0u8; 8], &rep.enc_part)
+        .map_err(|_| ErrorCode::IntkErr)?;
     let part = EncKdcReplyPart::decode(&plain)?;
     if part.nonce != request_time {
         return Err(ErrorCode::IntkErr);

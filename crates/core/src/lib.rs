@@ -52,13 +52,13 @@ pub mod time;
 pub mod wire;
 
 pub use ap::{
-    krb_mk_priv, krb_mk_rep, krb_mk_req, krb_mk_safe, krb_rd_priv, krb_rd_rep, krb_rd_req,
-    krb_rd_safe, VerifiedRequest,
+    krb_mk_priv, krb_mk_priv_with, krb_mk_rep, krb_mk_req, krb_mk_safe, krb_rd_priv, krb_rd_rep,
+    krb_rd_req, krb_rd_req_sched, krb_rd_safe, VerifiedRequest,
 };
 pub use authent::{Authenticator, SealedAuthenticator};
 pub use client::{
-    build_as_req, build_tgs_req, read_as_reply_with_key, read_as_reply_with_password,
-    read_tgs_reply,
+    build_as_req, build_tgs_req, build_tgs_req_with, read_as_reply_with_key,
+    read_as_reply_with_password, read_tgs_reply, read_tgs_reply_with,
 };
 pub use cred::{Credential, CredentialCache};
 pub use error::ErrorCode;

@@ -12,7 +12,7 @@
 
 use crate::wire::{Reader, Writer};
 use crate::{ErrorCode, HostAddr, KrbResult, Principal};
-use krb_crypto::{open, seal, DesKey, Mode, SecretKey};
+use krb_crypto::{seal_with, unseal_with, DesKey, Mode, Scheduled, SecretKey};
 
 /// The plaintext contents of a ticket.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -113,7 +113,13 @@ impl Ticket {
     /// random per principal, so IV reuse across *different* keys is benign,
     /// matching V4).
     pub fn seal(&self, server_key: &DesKey) -> EncryptedTicket {
-        let ct = seal(Mode::Pcbc, server_key, &[0u8; 8], &self.encode())
+        self.seal_with(&Scheduled::new(server_key))
+    }
+
+    /// [`Ticket::seal`] under a precomputed schedule — the KDC issues every
+    /// TGS ticket in the same cached service key.
+    pub fn seal_with(&self, server: &Scheduled) -> EncryptedTicket {
+        let ct = seal_with(Mode::Pcbc, server, &[0u8; 8], &self.encode())
             .expect("ticket encode length is bounded");
         EncryptedTicket(ct)
     }
@@ -123,7 +129,13 @@ impl EncryptedTicket {
     /// Decrypt with the server's key. A wrong key (ticket not for us, or a
     /// forgery) yields [`ErrorCode::RdApNotUs`].
     pub fn open(&self, server_key: &DesKey) -> KrbResult<Ticket> {
-        let plain = open(Mode::Pcbc, server_key, &[0u8; 8], &self.0)
+        self.open_with(&Scheduled::new(server_key))
+    }
+
+    /// [`EncryptedTicket::open`] under a precomputed schedule (long-lived
+    /// servers hold one per srvtab key).
+    pub fn open_with(&self, server: &Scheduled) -> KrbResult<Ticket> {
+        let plain = unseal_with(Mode::Pcbc, server, &[0u8; 8], &self.0)
             .map_err(|_| ErrorCode::RdApNotUs)?;
         Ticket::decode(&plain).map_err(|_| ErrorCode::RdApNotUs)
     }

@@ -79,8 +79,9 @@ impl Des {
         *block = self.decrypt_block_u64(u64::from_be_bytes(*block)).to_be_bytes();
     }
 
-    /// The 16 round keys (shared with [`crate::fast::FastDes`], which uses
-    /// the same schedule with a faster round engine).
+    /// The 16 round keys — the reference schedule the fast byte-indexed
+    /// schedule in [`crate::fast`] is property-tested against.
+    #[cfg(test)]
     pub(crate) fn subkeys(&self) -> [u64; 16] {
         self.subkeys
     }

@@ -28,6 +28,7 @@ pub mod des;
 pub mod fast;
 pub mod key;
 pub mod modes;
+pub mod sched;
 pub mod secret;
 pub mod string_to_key;
 mod tables;
@@ -36,6 +37,7 @@ pub use cksum::quad_cksum;
 pub use des::Des;
 pub use fast::FastDes;
 pub use key::{constant_time_eq, DesKey, KeyGenerator};
+pub use sched::Scheduled;
 pub use secret::SecretKey;
 
 /// Constant-time byte comparison — the canonical name the L2 lint steers
@@ -43,7 +45,10 @@ pub use secret::SecretKey;
 pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
     constant_time_eq(a, b)
 }
-pub use modes::{cbc_checksum, decrypt_raw, encrypt_raw, open, seal, Mode, BLOCK};
+pub use modes::{
+    cbc_checksum, cbc_checksum_with, decrypt_raw, decrypt_raw_with, encrypt_raw, encrypt_raw_with,
+    open, seal, seal_into, seal_with, unseal_with, Mode, BLOCK,
+};
 pub use string_to_key::string_to_key;
 
 /// Errors produced by the encryption library.

@@ -18,6 +18,7 @@
 
 use crate::fast::FastDes;
 use crate::key::DesKey;
+use crate::sched::Scheduled;
 use crate::CryptoError;
 
 /// Cipher mode selector.
@@ -42,17 +43,12 @@ fn xor_block(a: &mut [u8; 8], b: &[u8; 8]) {
     }
 }
 
-/// Encrypt `data` (whole blocks only) under `key` with the given mode and IV.
-pub fn encrypt_raw(mode: Mode, key: &DesKey, iv: &[u8; 8], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    if !data.len().is_multiple_of(BLOCK) {
-        return Err(CryptoError::BadLength(data.len()));
-    }
-    let des = FastDes::new(key);
-    let mut out = Vec::with_capacity(data.len());
+/// The mode loop, encrypt direction, in place over whole blocks.
+fn encrypt_blocks_in_place(mode: Mode, des: &FastDes, iv: &[u8; 8], buf: &mut [u8]) {
     let mut prev_cipher = *iv;
     let mut prev_plain = [0u8; 8];
-    for (i, chunk) in data.chunks_exact(BLOCK).enumerate() {
-        let mut block: [u8; 8] = chunk.try_into().expect("chunks_exact");
+    for (i, chunk) in buf.chunks_exact_mut(BLOCK).enumerate() {
+        let mut block: [u8; 8] = (&*chunk).try_into().expect("chunks_exact_mut");
         let plain = block;
         match mode {
             Mode::Ecb => {}
@@ -69,22 +65,16 @@ pub fn encrypt_raw(mode: Mode, key: &DesKey, iv: &[u8; 8], data: &[u8]) -> Resul
         des.encrypt_block(&mut block);
         prev_cipher = block;
         prev_plain = plain;
-        out.extend_from_slice(&block);
+        chunk.copy_from_slice(&block);
     }
-    Ok(out)
 }
 
-/// Decrypt `data` (whole blocks only) under `key` with the given mode and IV.
-pub fn decrypt_raw(mode: Mode, key: &DesKey, iv: &[u8; 8], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    if !data.len().is_multiple_of(BLOCK) {
-        return Err(CryptoError::BadLength(data.len()));
-    }
-    let des = FastDes::new(key);
-    let mut out = Vec::with_capacity(data.len());
+/// The mode loop, decrypt direction, in place over whole blocks.
+fn decrypt_blocks_in_place(mode: Mode, des: &FastDes, iv: &[u8; 8], buf: &mut [u8]) {
     let mut prev_cipher = *iv;
     let mut prev_plain = [0u8; 8];
-    for (i, chunk) in data.chunks_exact(BLOCK).enumerate() {
-        let cipher: [u8; 8] = chunk.try_into().expect("chunks_exact");
+    for (i, chunk) in buf.chunks_exact_mut(BLOCK).enumerate() {
+        let cipher: [u8; 8] = (&*chunk).try_into().expect("chunks_exact_mut");
         let mut block = cipher;
         des.decrypt_block(&mut block);
         match mode {
@@ -100,8 +90,84 @@ pub fn decrypt_raw(mode: Mode, key: &DesKey, iv: &[u8; 8], data: &[u8]) -> Resul
         }
         prev_cipher = cipher;
         prev_plain = block;
-        out.extend_from_slice(&block);
+        chunk.copy_from_slice(&block);
     }
+}
+
+/// Encrypt `data` (whole blocks only) under a precomputed schedule.
+pub fn encrypt_raw_with(
+    mode: Mode,
+    sched: &Scheduled,
+    iv: &[u8; 8],
+    data: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    if !data.len().is_multiple_of(BLOCK) {
+        return Err(CryptoError::BadLength(data.len()));
+    }
+    let mut out = data.to_vec();
+    encrypt_blocks_in_place(mode, sched.des(), iv, &mut out);
+    Ok(out)
+}
+
+/// Decrypt `data` (whole blocks only) under a precomputed schedule.
+pub fn decrypt_raw_with(
+    mode: Mode,
+    sched: &Scheduled,
+    iv: &[u8; 8],
+    data: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    if !data.len().is_multiple_of(BLOCK) {
+        return Err(CryptoError::BadLength(data.len()));
+    }
+    let mut out = data.to_vec();
+    decrypt_blocks_in_place(mode, sched.des(), iv, &mut out);
+    Ok(out)
+}
+
+/// Encrypt `data` (whole blocks only) under `key` with the given mode and IV.
+pub fn encrypt_raw(mode: Mode, key: &DesKey, iv: &[u8; 8], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    encrypt_raw_with(mode, &Scheduled::new(key), iv, data)
+}
+
+/// Decrypt `data` (whole blocks only) under `key` with the given mode and IV.
+pub fn decrypt_raw(mode: Mode, key: &DesKey, iv: &[u8; 8], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    decrypt_raw_with(mode, &Scheduled::new(key), iv, data)
+}
+
+/// [`seal`] with a precomputed schedule, appending the ciphertext to a
+/// caller-owned buffer — the zero-schedule, zero-extra-allocation variant
+/// for hot loops that reuse one output `Vec` across messages. The buffer is
+/// cleared first; its capacity is what gets reused.
+pub fn seal_into(
+    mode: Mode,
+    sched: &Scheduled,
+    iv: &[u8; 8],
+    plaintext: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), CryptoError> {
+    if plaintext.len() > u32::MAX as usize {
+        return Err(CryptoError::BadLength(plaintext.len()));
+    }
+    let framed_len = 4 + plaintext.len();
+    let padded_len = framed_len.div_ceil(BLOCK) * BLOCK;
+    out.clear();
+    out.reserve(padded_len);
+    out.extend_from_slice(&(plaintext.len() as u32).to_be_bytes());
+    out.extend_from_slice(plaintext);
+    out.resize(padded_len, 0);
+    encrypt_blocks_in_place(mode, sched.des(), iv, out);
+    Ok(())
+}
+
+/// [`seal`] with a precomputed schedule: one allocation, no schedule work.
+pub fn seal_with(
+    mode: Mode,
+    sched: &Scheduled,
+    iv: &[u8; 8],
+    plaintext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let mut out = Vec::new();
+    seal_into(mode, sched, iv, plaintext, &mut out)?;
     Ok(out)
 }
 
@@ -109,26 +175,22 @@ pub fn decrypt_raw(mode: Mode, key: &DesKey, iv: &[u8; 8], data: &[u8]) -> Resul
 /// zero-pad to a block boundary, then encrypt. PCBC with a zero IV is the
 /// Kerberos library default (tickets, authenticators, private messages).
 pub fn seal(mode: Mode, key: &DesKey, iv: &[u8; 8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    if plaintext.len() > u32::MAX as usize {
-        return Err(CryptoError::BadLength(plaintext.len()));
-    }
-    let framed_len = 4 + plaintext.len();
-    let padded_len = framed_len.div_ceil(BLOCK) * BLOCK;
-    let mut buf = Vec::with_capacity(padded_len);
-    buf.extend_from_slice(&(plaintext.len() as u32).to_be_bytes());
-    buf.extend_from_slice(plaintext);
-    buf.resize(padded_len, 0);
-    encrypt_raw(mode, key, iv, &buf)
+    seal_with(mode, &Scheduled::new(key), iv, plaintext)
 }
 
-/// Reverse [`seal`]: decrypt and strip the length framing.
-///
-/// A wrong key (or tampered ciphertext) shows up as an implausible length or
-/// nonzero padding and is reported as [`CryptoError::Integrity`]. Callers
-/// that need stronger integrity add a checksum inside the plaintext, as the
-/// Kerberos protocol messages do.
-pub fn open(mode: Mode, key: &DesKey, iv: &[u8; 8], ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    let plain = decrypt_raw(mode, key, iv, ciphertext)?;
+/// [`open`] with a precomputed schedule: decrypt into a single buffer, then
+/// shift the payload over the length prefix in place — one allocation total.
+pub fn unseal_with(
+    mode: Mode,
+    sched: &Scheduled,
+    iv: &[u8; 8],
+    ciphertext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    if !ciphertext.len().is_multiple_of(BLOCK) {
+        return Err(CryptoError::BadLength(ciphertext.len()));
+    }
+    let mut plain = ciphertext.to_vec();
+    decrypt_blocks_in_place(mode, sched.des(), iv, &mut plain);
     if plain.len() < 4 {
         return Err(CryptoError::Integrity);
     }
@@ -140,18 +202,36 @@ pub fn open(mode: Mode, key: &DesKey, iv: &[u8; 8], ciphertext: &[u8]) -> Result
     if plain[4 + len..].iter().any(|&b| b != 0) {
         return Err(CryptoError::Integrity);
     }
-    Ok(plain[4..4 + len].to_vec())
+    plain.copy_within(4..4 + len, 0);
+    plain.truncate(len);
+    Ok(plain)
+}
+
+/// Reverse [`seal`]: decrypt and strip the length framing.
+///
+/// A wrong key (or tampered ciphertext) shows up as an implausible length or
+/// nonzero padding and is reported as [`CryptoError::Integrity`]. Callers
+/// that need stronger integrity add a checksum inside the plaintext, as the
+/// Kerberos protocol messages do.
+pub fn open(mode: Mode, key: &DesKey, iv: &[u8; 8], ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    unseal_with(mode, &Scheduled::new(key), iv, ciphertext)
+}
+
+/// [`cbc_checksum`] under a precomputed schedule (`kprop` checksums whole
+/// database dumps in the master key — the schedule is already in hand).
+pub fn cbc_checksum_with(sched: &Scheduled, iv: &[u8; 8], data: &[u8]) -> [u8; 8] {
+    let padded_len = data.len().div_ceil(BLOCK).max(1) * BLOCK;
+    let mut buf = data.to_vec();
+    buf.resize(padded_len, 0);
+    encrypt_blocks_in_place(Mode::Cbc, sched.des(), iv, &mut buf);
+    buf[buf.len() - BLOCK..].try_into().expect("final block")
 }
 
 /// CBC "checksum": encrypt in CBC mode and keep only the final block.
 /// Every bit of the input influences the result; used by the string-to-key
 /// one-way function and by `kprop` dump integrity.
 pub fn cbc_checksum(key: &DesKey, iv: &[u8; 8], data: &[u8]) -> [u8; 8] {
-    let padded_len = data.len().div_ceil(BLOCK).max(1) * BLOCK;
-    let mut buf = data.to_vec();
-    buf.resize(padded_len, 0);
-    let out = encrypt_raw(Mode::Cbc, key, iv, &buf).expect("padded to block size");
-    out[out.len() - BLOCK..].try_into().expect("final block")
+    cbc_checksum_with(&Scheduled::new(key), iv, data)
 }
 
 #[cfg(test)]
@@ -254,6 +334,39 @@ mod tests {
             }
             let _ = expect_tail_garbled;
         }
+    }
+
+    #[test]
+    fn seal_into_reuses_capacity_across_messages() {
+        let sched = Scheduled::new(&k());
+        let mut buf = Vec::new();
+        seal_into(Mode::Pcbc, &sched, &IV, &[0x42; 200], &mut buf).unwrap();
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        for len in [1usize, 8, 64, 200] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            seal_into(Mode::Pcbc, &sched, &IV, &data, &mut buf).unwrap();
+            assert_eq!(buf, seal(Mode::Pcbc, &k(), &IV, &data).unwrap(), "len {len}");
+            assert_eq!(open(Mode::Pcbc, &k(), &IV, &buf).unwrap(), data);
+        }
+        assert_eq!(buf.capacity(), cap, "no reallocation for smaller messages");
+        assert_eq!(buf.as_ptr(), ptr, "same backing storage reused");
+    }
+
+    #[test]
+    fn unseal_with_rejects_what_open_rejects() {
+        let sched = Scheduled::new(&k());
+        assert!(matches!(
+            unseal_with(Mode::Pcbc, &sched, &IV, b"short"),
+            Err(CryptoError::BadLength(5))
+        ));
+        let c = seal_with(Mode::Pcbc, &sched, &IV, b"payload bytes").unwrap();
+        let wrong = Scheduled::new(&DesKey::from_bytes([0x0E, 0x32, 0x92, 0x32, 0xEA, 0x6D, 0x0D, 0x73]));
+        assert!(unseal_with(Mode::Pcbc, &wrong, &IV, &c).is_err());
+        let mut tampered = c.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x01;
+        assert!(unseal_with(Mode::Pcbc, &sched, &IV, &tampered).is_err());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property-based tests for the encryption library.
 
 use krb_crypto::{
-    decrypt_raw, encrypt_raw, open, quad_cksum, seal, string_to_key, Des, DesKey, Mode,
+    decrypt_raw, decrypt_raw_with, encrypt_raw, encrypt_raw_with, open, quad_cksum, seal,
+    seal_into, seal_with, string_to_key, unseal_with, Des, DesKey, Mode, Scheduled,
 };
 use proptest::prelude::*;
 
@@ -106,6 +107,48 @@ proptest! {
 }
 
 proptest! {
+    /// The tentpole invariant of the `Scheduled` API: the cached path can
+    /// never diverge from the reference path. For random keys/IVs/messages
+    /// and every mode, `seal_with(&Scheduled::new(k), ..)` is byte-identical
+    /// to `seal(k, ..)`, `seal_into` matches both (even with a dirty reused
+    /// buffer), and ciphertext from either path round-trips through both
+    /// `open` and `unseal_with`.
+    #[test]
+    fn scheduled_seal_equals_keyed_seal(
+        key in arb_key(),
+        mode in arb_mode(),
+        iv in any::<[u8; 8]>(),
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let sched = Scheduled::new(&key);
+        let keyed = seal(mode, &key, &iv, &data).unwrap();
+        let cached = seal_with(mode, &sched, &iv, &data).unwrap();
+        prop_assert_eq!(&keyed, &cached);
+        let mut reused = vec![0xAAu8; 17]; // dirty buffer: seal_into must clear it
+        seal_into(mode, &sched, &iv, &data, &mut reused).unwrap();
+        prop_assert_eq!(&keyed, &reused);
+        prop_assert_eq!(unseal_with(mode, &sched, &iv, &keyed).unwrap(), data.clone());
+        prop_assert_eq!(open(mode, &key, &iv, &cached).unwrap(), data);
+    }
+
+    /// Same invariant for the raw whole-block functions.
+    #[test]
+    fn scheduled_raw_equals_keyed_raw(
+        key in arb_key(),
+        mode in arb_mode(),
+        iv in any::<[u8; 8]>(),
+        blocks in proptest::collection::vec(any::<u8>(), 0..64).prop_map(|mut v| {
+            v.truncate(v.len() / 8 * 8);
+            v
+        }),
+    ) {
+        let sched = Scheduled::new(&key);
+        let keyed = encrypt_raw(mode, &key, &iv, &blocks).unwrap();
+        prop_assert_eq!(&keyed, &encrypt_raw_with(mode, &sched, &iv, &blocks).unwrap());
+        prop_assert_eq!(decrypt_raw_with(mode, &sched, &iv, &keyed).unwrap(), blocks.clone());
+        prop_assert_eq!(decrypt_raw(mode, &key, &iv, &keyed).unwrap(), blocks);
+    }
+
     /// The fast (fused-table) implementation is bit-identical to the
     /// reference table-driven one for every key and block.
     #[test]

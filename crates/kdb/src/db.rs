@@ -9,7 +9,7 @@
 use crate::principal::{PrincipalEntry, ATTR_DISABLED};
 use crate::store::Store;
 use crate::DbError;
-use krb_crypto::{constant_time_eq, DesKey, FastDes};
+use krb_crypto::{constant_time_eq, DesKey, Scheduled};
 
 /// Name of the master-key verification principal.
 pub const MASTER_NAME: &str = "K";
@@ -19,8 +19,7 @@ pub const MASTER_INSTANCE: &str = "M";
 /// The Kerberos principal database.
 pub struct PrincipalDb<S: Store> {
     store: S,
-    master: FastDes,
-    master_key: DesKey,
+    master: Scheduled,
 }
 
 impl<S: Store> PrincipalDb<S> {
@@ -31,7 +30,7 @@ impl<S: Store> PrincipalDb<S> {
         if store.fetch(&km_key)?.is_some() {
             return Err(DbError::AlreadyExists("K.M".into()));
         }
-        let master = FastDes::new(&master_key);
+        let master = Scheduled::new(&master_key);
         let mut verifier = *master_key.as_bytes();
         master.encrypt_block(&mut verifier);
         let entry = PrincipalEntry {
@@ -46,7 +45,7 @@ impl<S: Store> PrincipalDb<S> {
             mod_by: "kdb_init.".into(),
         };
         store.store(&km_key, &entry.encode())?;
-        Ok(PrincipalDb { store, master, master_key })
+        Ok(PrincipalDb { store, master })
     }
 
     /// Open an existing database, verifying the master key against `K.M`.
@@ -56,19 +55,25 @@ impl<S: Store> PrincipalDb<S> {
             .fetch(&km_key)?
             .ok_or_else(|| DbError::NotFound("K.M".into()))?;
         let entry = PrincipalEntry::decode(&raw)?;
-        let master = FastDes::new(&master_key);
+        let master = Scheduled::new(&master_key);
         let mut expect = *master_key.as_bytes();
         master.encrypt_block(&mut expect);
         if !constant_time_eq(&expect, &entry.key_encrypted) {
             return Err(DbError::WrongMasterKey);
         }
-        Ok(PrincipalDb { store, master, master_key })
+        Ok(PrincipalDb { store, master })
     }
 
     /// The master key this database was opened with (needed by `kprop` to
     /// key the dump checksum; paper §5.3).
     pub fn master_key(&self) -> &DesKey {
-        &self.master_key
+        self.master.key()
+    }
+
+    /// The precomputed master-key schedule, for callers doing bulk work in
+    /// the master key (kprop dump sealing) through the `*_with` API.
+    pub fn master_sched(&self) -> &Scheduled {
+        &self.master
     }
 
     /// Encrypt a principal key in the master key (single-block ECB).

@@ -10,10 +10,11 @@
 use crate::realm::RealmConfig;
 use kerberos::msg::{AsReq, EncKdcReplyPart, KdcRep, Message, TgsReq};
 use kerberos::{
-    krb_rd_req, remaining_life, ErrorCode, HostAddr, KrbResult, Principal, ReplayCache, Ticket,
+    krb_rd_req_sched, remaining_life, ErrorCode, HostAddr, KrbResult, Principal, ReplayCache,
+    Ticket,
 };
-use krb_kdb::{PrincipalDb, Store, ATTR_NO_TGS};
-use krb_crypto::{DesKey, KeyGenerator};
+use krb_kdb::{PrincipalDb, PrincipalEntry, Store, ATTR_DISABLED, ATTR_NO_TGS};
+use krb_crypto::{seal_with, KeyGenerator, Mode, Scheduled};
 use krb_telemetry::{ClockUs, Counter, Histogram, Registry, Span};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,6 +64,8 @@ struct KdcMetrics {
     errors: Counter,
     as_latency_us: Histogram,
     tgs_latency_us: Histogram,
+    sched_hits: Counter,
+    sched_misses: Counter,
 }
 
 impl KdcMetrics {
@@ -73,7 +76,51 @@ impl KdcMetrics {
             errors: registry.counter("kdc_error_total"),
             as_latency_us: registry.histogram("kdc_as_latency_us"),
             tgs_latency_us: registry.histogram("kdc_tgs_latency_us"),
+            sched_hits: registry.counter("kdc_sched_cache_hits_total"),
+            sched_misses: registry.counter("kdc_sched_cache_misses_total"),
         }
+    }
+}
+
+/// How many principal-key schedules the KDC keeps warm. Small on purpose:
+/// the hot set is the krbtgt key (cached separately), a handful of popular
+/// services, and recently active users.
+const SCHED_CACHE_CAP: usize = 64;
+
+/// Cache key: a schedule is valid only for one version of one principal's
+/// key, so a `change_key` (version bump) can never serve a stale schedule.
+type SchedKey = (String, String, u8);
+
+/// A bounded LRU of principal-key schedules. Eviction drops the cache's
+/// `Arc<Scheduled>`; once the last reference is gone, `Scheduled::drop`
+/// zeroizes the subkeys — the zeroize-on-evict contract (DESIGN.md §10).
+struct SchedCache {
+    /// Most recently used at the back.
+    entries: Vec<(SchedKey, Arc<Scheduled>)>,
+}
+
+impl SchedCache {
+    fn new() -> Self {
+        SchedCache { entries: Vec::new() }
+    }
+
+    fn get(&mut self, key: &SchedKey) -> Option<Arc<Scheduled>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let sched = Arc::clone(&entry.1);
+        self.entries.push(entry);
+        Some(sched)
+    }
+
+    fn insert(&mut self, key: SchedKey, sched: Arc<Scheduled>) {
+        if self.entries.len() >= SCHED_CACHE_CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, sched));
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 
@@ -92,6 +139,13 @@ pub struct Kdc<S: Store> {
     /// clock is); a driver measuring real hardware injects
     /// `krb_telemetry::wall_clock_us()` instead.
     clock_us: ClockUs,
+    /// The `krbtgt` entry and its key schedule, cached at construction —
+    /// every TGS request verifies against this key. Invalidated (and
+    /// lazily refilled) on database swap or any mutable database access.
+    tgt_cache: Option<(PrincipalEntry, Arc<Scheduled>)>,
+    /// Bounded LRU of other principal-key schedules, keyed by
+    /// `(name, instance, key_version)`.
+    sched_cache: SchedCache,
 }
 
 impl<S: Store> Kdc<S> {
@@ -106,6 +160,7 @@ impl<S: Store> Kdc<S> {
         replay.publish(&registry, "kdc");
         let protocol_clock = Arc::clone(&clock);
         let clock_us: ClockUs = Arc::new(move || u64::from(protocol_clock()) * 1_000_000);
+        let tgt_cache = warm_tgt_cache(&db, &config.realm);
         Kdc {
             db,
             config,
@@ -116,6 +171,8 @@ impl<S: Store> Kdc<S> {
             registry,
             metrics,
             clock_us,
+            tgt_cache,
+            sched_cache: SchedCache::new(),
         }
     }
 
@@ -166,16 +223,28 @@ impl<S: Store> Kdc<S> {
 
     /// Mutable database access — only meaningful on the master, where the
     /// KDBM runs (paper §5: "changes may only be made to the master").
+    ///
+    /// The caller may change any key (a `change_key` bumps the version,
+    /// but a krbtgt rollover would otherwise leave the TGT cache stale),
+    /// so every cached schedule is dropped up front and rebuilt on demand.
     pub fn db_mut(&mut self) -> Option<&mut PrincipalDb<S>> {
         match self.role {
-            KdcRole::Master => Some(&mut self.db),
+            KdcRole::Master => {
+                self.tgt_cache = None;
+                self.sched_cache.clear();
+                Some(&mut self.db)
+            }
             KdcRole::Slave => None,
         }
     }
 
-    /// Replace the database contents (slave side of propagation).
+    /// Replace the database contents (slave side of propagation). All
+    /// cached schedules are invalidated: the incoming dump may carry new
+    /// keys for any principal, including krbtgt.
     pub fn install_db(&mut self, db: PrincipalDb<S>) {
         self.db = db;
+        self.sched_cache.clear();
+        self.tgt_cache = warm_tgt_cache(&self.db, &self.config.realm);
     }
 
     /// Handle one datagram; always returns a reply (success or KRB_ERROR).
@@ -223,11 +292,11 @@ impl<S: Store> Kdc<S> {
             return Err(ErrorCode::KdcUnknownRealm);
         }
         let now = (self.clock)();
-        let (centry, ckey) = self.lookup(&req.cname, &req.cinstance, now)?;
+        let (centry, csched) = self.lookup_sched(&req.cname, &req.cinstance, now)?;
         // For the TGT request the service is krbtgt.<realm>; for AS-only
         // services (KDBM) it is the service itself. Cross-realm TGTs are
         // NOT available from the AS — only via the TGS.
-        let (sentry, skey) = self.lookup(&req.sname, &req.sinstance, now)?;
+        let (sentry, ssched) = self.lookup_sched(&req.sname, &req.sinstance, now)?;
         let client = Principal::new(&req.cname, &req.cinstance, &req.crealm)?;
         let service = Principal::new(&req.sname, &req.sinstance, &self.config.realm)?;
 
@@ -240,19 +309,22 @@ impl<S: Store> Kdc<S> {
         // the packet's source address goes into the ticket (Fig. 3 "addr").
         let addr = sender;
         let ticket = Ticket::new(&service, &client, addr, now, life, *session_key.as_bytes())
-            .seal(&skey);
+            .seal_with(&ssched);
+        // The service `Principal` already owns the reply's name strings —
+        // move them into place rather than cloning them again.
+        let Principal { name: sname, instance: sinstance, realm: srealm } = service;
         let part = EncKdcReplyPart {
             session_key: session_key.into(),
-            sname: service.name.clone(),
-            sinstance: service.instance.clone(),
-            srealm: self.config.realm.clone(),
+            sname,
+            sinstance,
+            srealm,
             life,
             kvno: centry.key_version,
             kdc_time: now,
             nonce: req.ctime,
             ticket,
         };
-        let enc = krb_crypto::seal(krb_crypto::Mode::Pcbc, &ckey, &[0u8; 8], &part.encode())
+        let enc = seal_with(Mode::Pcbc, &csched, &[0u8; 8], &part.encode())
             .map_err(|_| ErrorCode::KdcGenErr)?;
         self.metrics.as_ok.inc();
         Ok(Message::KdcRep(KdcRep { enc_part: enc }).encode())
@@ -264,20 +336,22 @@ impl<S: Store> Kdc<S> {
     /// ticket-granting ticket and the default for the service".
     fn handle_tgs(&mut self, req: &TgsReq, sender: HostAddr) -> KrbResult<Vec<u8>> {
         let now = (self.clock)();
-        // Which key sealed the presented TGT? Ours, or an inter-realm key.
-        let (tgt_key, foreign) = if req.ap.realm == self.config.realm {
-            let (_, k) = self.lookup("krbtgt", &self.config.realm.clone(), now)?;
-            (k, false)
+        // Which key sealed the presented TGT? Ours — served from the
+        // construction-time cache, no lookup and no schedule build — or an
+        // inter-realm key (cold path: schedule built on the spot).
+        let (tgt_sched, foreign) = if req.ap.realm == self.config.realm {
+            let (_, sched) = self.tgt_sched(now)?;
+            (sched, false)
         } else {
             let k = self
                 .config
                 .inter_realm_key(&req.ap.realm)
-                .copied()
                 .ok_or(ErrorCode::KdcUnknownRealm)?;
-            (k, true)
+            (Arc::new(Scheduled::new(k)), true)
         };
         let tgs_principal = Principal::tgs(&self.config.realm, &self.config.realm);
-        let verified = krb_rd_req(&req.ap, &tgs_principal, &tgt_key, sender, now, &mut self.replay)?;
+        let verified =
+            krb_rd_req_sched(&req.ap, &tgs_principal, &tgt_sched, sender, now, &mut self.replay)?;
         // "the remote ticket-granting server recognizes that the request is
         // not from its own realm" — the client keeps its original realm.
         let client = verified.client.clone();
@@ -294,7 +368,7 @@ impl<S: Store> Kdc<S> {
         // local authentication server for the ticket-granting server in the
         // remote realm", §7.2) — sealed in the shared inter-realm key.
         let cross_realm_target = req.sname == "krbtgt" && req.sinstance != self.config.realm;
-        let (skey, smax_life, skvno) = if cross_realm_target {
+        let (ssched, smax_life, skvno) = if cross_realm_target {
             // §7.2's closing paragraph: authenticating "through a series of
             // realms" would require recording the entire path ("A says that
             // B says that C says..."), which V4 tickets cannot express. So
@@ -306,11 +380,10 @@ impl<S: Store> Kdc<S> {
             let k = self
                 .config
                 .inter_realm_key(&req.sinstance)
-                .copied()
                 .ok_or(ErrorCode::KdcUnknownRealm)?;
-            (k, self.config.default_max_life, 1)
+            (Arc::new(Scheduled::new(k)), self.config.default_max_life, 1)
         } else {
-            let (sentry, k) = self.lookup(&req.sname, &req.sinstance, now)?;
+            let (sentry, sched) = self.lookup_sched(&req.sname, &req.sinstance, now)?;
             if sentry.attributes & ATTR_NO_TGS != 0 {
                 // §5.1: "the ticket-granting service will not issue tickets
                 // for it. Instead, the authentication service itself must be
@@ -318,7 +391,7 @@ impl<S: Store> Kdc<S> {
                 return Err(ErrorCode::KdcNoTgsForService);
             }
             (
-                k,
+                sched,
                 effective_max_life(sentry.max_life, self.config.default_max_life),
                 sentry.key_version,
             )
@@ -329,12 +402,13 @@ impl<S: Store> Kdc<S> {
         let tgt_remaining = remaining_life(verified.ticket.timestamp, verified.ticket.life, now);
         let life = req.life.min(tgt_remaining).min(smax_life);
         let ticket = Ticket::new(&service, &client, sender, now, life, *session_key.as_bytes())
-            .seal(&skey);
+            .seal_with(&ssched);
+        let Principal { name: sname, instance: sinstance, realm: srealm } = service;
         let part = EncKdcReplyPart {
             session_key: session_key.into(),
-            sname: service.name.clone(),
-            sinstance: service.instance.clone(),
-            srealm: self.config.realm.clone(),
+            sname,
+            sinstance,
+            srealm,
             life,
             kvno: skvno,
             kdc_time: now,
@@ -342,35 +416,78 @@ impl<S: Store> Kdc<S> {
             ticket,
         };
         // "the reply is encrypted in the session key that was part of the
-        // ticket-granting ticket" — no password needed.
-        let enc = krb_crypto::seal(
-            krb_crypto::Mode::Pcbc,
-            &verified.session_key,
-            &[0u8; 8],
-            &part.encode(),
-        )
-        .map_err(|_| ErrorCode::KdcGenErr)?;
+        // ticket-granting ticket" — no password needed, and the schedule
+        // was already built to open the authenticator; reuse it here.
+        let enc = seal_with(Mode::Pcbc, &verified.session_sched, &[0u8; 8], &part.encode())
+            .map_err(|_| ErrorCode::KdcGenErr)?;
         self.metrics.tgs_ok.inc();
         Ok(Message::KdcRep(KdcRep { enc_part: enc }).encode())
     }
 
-    fn lookup(&self, name: &str, instance: &str, now: u32) -> KrbResult<(krb_kdb::PrincipalEntry, DesKey)> {
-        match self.db.get_with_key(name, instance) {
-            Ok(Some((e, k))) => {
-                if e.expiration < now {
-                    return Err(if name == "krbtgt" || instance_is_service(&e) {
-                        ErrorCode::KdcServiceExp
-                    } else {
-                        ErrorCode::KdcNameExp
-                    });
-                }
-                Ok((e, k))
-            }
-            Ok(None) => Err(ErrorCode::KdcPrUnknown),
-            Err(krb_kdb::DbError::Disabled(_)) => Err(ErrorCode::KdcNullKey),
-            Err(_) => Err(ErrorCode::KdcGenErr),
+    /// Look up a principal and hand back its record plus its key schedule,
+    /// served from the LRU when the `(name, instance, key_version)` tuple
+    /// has been seen since the last invalidation.
+    fn lookup_sched(
+        &mut self,
+        name: &str,
+        instance: &str,
+        now: u32,
+    ) -> KrbResult<(PrincipalEntry, Arc<Scheduled>)> {
+        let entry = match self.db.get(name, instance) {
+            Ok(Some(e)) => e,
+            Ok(None) => return Err(ErrorCode::KdcPrUnknown),
+            Err(_) => return Err(ErrorCode::KdcGenErr),
+        };
+        if entry.attributes & ATTR_DISABLED != 0 {
+            return Err(ErrorCode::KdcNullKey);
         }
+        if entry.expiration < now {
+            return Err(if name == "krbtgt" || instance_is_service(&entry) {
+                ErrorCode::KdcServiceExp
+            } else {
+                ErrorCode::KdcNameExp
+            });
+        }
+        let cache_key = (entry.name.clone(), entry.instance.clone(), entry.key_version);
+        if let Some(sched) = self.sched_cache.get(&cache_key) {
+            self.metrics.sched_hits.inc();
+            return Ok((entry, sched));
+        }
+        self.metrics.sched_misses.inc();
+        let key = self.db.decrypt_key(&entry.key_encrypted);
+        let sched = Arc::new(Scheduled::new(&key));
+        self.sched_cache.insert(cache_key, Arc::clone(&sched));
+        Ok((entry, sched))
     }
+
+    /// The krbtgt entry + schedule, from the construction-time cache.
+    /// Policy checks (disabled, expiration) still run per request — only
+    /// the lookup and the schedule build are amortized.
+    fn tgt_sched(&mut self, now: u32) -> KrbResult<(PrincipalEntry, Arc<Scheduled>)> {
+        if self.tgt_cache.is_none() {
+            // Refill after an invalidation (admin write or db swap).
+            self.tgt_cache = warm_tgt_cache(&self.db, &self.config.realm);
+        }
+        let (entry, sched) = self.tgt_cache.as_ref().ok_or(ErrorCode::KdcPrUnknown)?;
+        if entry.attributes & ATTR_DISABLED != 0 {
+            return Err(ErrorCode::KdcNullKey);
+        }
+        if entry.expiration < now {
+            return Err(ErrorCode::KdcServiceExp);
+        }
+        Ok((entry.clone(), Arc::clone(sched)))
+    }
+}
+
+/// Fetch and schedule the realm's krbtgt key. `None` when the principal is
+/// missing (an empty database being provisioned) — resolved lazily later.
+fn warm_tgt_cache<S: Store>(
+    db: &PrincipalDb<S>,
+    realm: &str,
+) -> Option<(PrincipalEntry, Arc<Scheduled>)> {
+    let entry = db.get("krbtgt", realm).ok().flatten()?;
+    let key = db.decrypt_key(&entry.key_encrypted);
+    Some((entry, Arc::new(Scheduled::new(&key))))
 }
 
 fn effective_max_life(principal_max: u8, realm_default: u8) -> u8 {
@@ -381,7 +498,7 @@ fn effective_max_life(principal_max: u8, realm_default: u8) -> u8 {
     }
 }
 
-fn instance_is_service(e: &krb_kdb::PrincipalEntry) -> bool {
+fn instance_is_service(e: &PrincipalEntry) -> bool {
     // Heuristic only used to pick between two error codes: services at
     // Athena carry a host instance.
     !e.instance.is_empty()

@@ -21,7 +21,7 @@
 
 pub mod net;
 
-use krb_crypto::{cbc_checksum, constant_time_eq, DesKey};
+use krb_crypto::{cbc_checksum, cbc_checksum_with, constant_time_eq, DesKey, Scheduled};
 use krb_kdb::dump as kdump;
 use krb_kdb::{DbError, PrincipalDb, PrincipalEntry, Store};
 
@@ -64,12 +64,18 @@ impl From<DbError> for PropError {
 /// checksum. Wire layout: 8-byte checksum, 4-byte big-endian length, dump.
 pub fn kprop_build<S: Store>(db: &PrincipalDb<S>) -> Result<Vec<u8>, PropError> {
     let dump = kdump::dump(db)?;
-    Ok(frame(db.master_key(), dump.as_bytes()))
+    Ok(frame_with(db.master_sched(), dump.as_bytes()))
 }
 
 /// Frame pre-dumped bytes (benches reuse a fixed dump).
 pub fn frame(master_key: &DesKey, dump: &[u8]) -> Vec<u8> {
-    let checksum = cbc_checksum(master_key, &[0u8; 8], dump);
+    frame_with(&Scheduled::new(master_key), dump)
+}
+
+/// [`frame`] with the master schedule already in hand — the database holds
+/// one, so the hourly dump path pays no per-propagation schedule work.
+pub fn frame_with(master: &Scheduled, dump: &[u8]) -> Vec<u8> {
+    let checksum = cbc_checksum_with(master, &[0u8; 8], dump);
     let mut out = Vec::with_capacity(12 + dump.len());
     out.extend_from_slice(&checksum);
     out.extend_from_slice(&(dump.len() as u32).to_be_bytes());

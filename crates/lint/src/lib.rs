@@ -25,6 +25,12 @@
 //!   contract). Use `krb_telemetry::Counter`/`Gauge` instead; genuinely
 //!   non-metric atomics (e.g. a simulated-time cell) go in `lint.allow`
 //!   with a justification.
+//! - **L6 one schedule per key**: `FastDes::new`/`Des::new` outside
+//!   `crates/crypto` are findings — constructing a raw cipher rebuilds the
+//!   DES key schedule at the call site, dodging the `Scheduled` cache
+//!   (DESIGN.md §10). Build a `Scheduled` once and pass it through the
+//!   `*_with` API family instead. (Benches measuring the schedule cost
+//!   itself are allowlisted.)
 //!
 //! Findings are suppressed only via the `lint.allow` file at the
 //! workspace root, and unused allowlist entries are themselves errors, so
@@ -74,6 +80,11 @@ const REDACTED_TYPES: &[&str] = &["DesKey", "SecretKey"];
 /// Atomic integer types whose raw use outside `crates/telemetry` is an L5
 /// finding — counters belong to the telemetry registry.
 const L5_ATOMIC_TYPES: &[&str] = &["AtomicU64", "AtomicUsize", "AtomicI64"];
+
+/// Raw cipher constructors whose use outside `crates/crypto` is an L6
+/// finding — they rebuild the DES key schedule per call; hot paths must
+/// hold a `Scheduled` instead.
+const L6_CIPHER_TYPES: &[&str] = &["FastDes", "Des"];
 
 /// Panic-family method calls and macros forbidden in server paths (L3).
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
@@ -230,6 +241,9 @@ pub fn scan_file(rel: &str, src: &str) -> Vec<Finding> {
     }
     if !rel.starts_with("crates/telemetry/") {
         findings.extend(check_l5(rel, &tokens));
+    }
+    if !rel.starts_with("crates/crypto/") {
+        findings.extend(check_l6(rel, &tokens));
     }
     findings
 }
@@ -601,6 +615,38 @@ fn check_l5(rel: &str, tokens: &[Token]) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
+// L6: raw cipher construction outside the crypto crate
+// ---------------------------------------------------------------------------
+
+fn check_l6(rel: &str, tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != Kind::Ident || !L6_CIPHER_TYPES.contains(&tok.text.as_str()) {
+            continue;
+        }
+        // `Des :: new` / `FastDes :: new` (the lexer splits `::`).
+        let is_ctor = tokens.get(i + 1).is_some_and(|t| t.text == ":")
+            && tokens.get(i + 2).is_some_and(|t| t.text == ":")
+            && tokens.get(i + 3).is_some_and(|t| t.text == "new");
+        if is_ctor {
+            findings.push(Finding {
+                rule: "L6",
+                file: rel.to_string(),
+                line: tok.line,
+                key: format!("{}::new", tok.text),
+                message: format!(
+                    "`{}::new` outside crates/crypto rebuilds the DES key \
+                     schedule at the call site; build a `Scheduled` once and \
+                     use the seal_with/unseal_with API family",
+                    tok.text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
 // L4: crate hygiene (raw-text checks on crate roots)
 // ---------------------------------------------------------------------------
 
@@ -817,6 +863,30 @@ mod tests {
         assert!(scan_file("crates/telemetry/src/metrics.rs", src).is_empty());
         // Test code may use atomics freely.
         let test_only = "#[cfg(test)]\nmod tests { use std::sync::atomic::AtomicUsize; }";
+        assert!(scan_file("crates/kdc/src/server.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn l6_flags_raw_cipher_construction_outside_crypto() {
+        let src = "fn f(k: &DesKey) { let d = FastDes::new(k); let r = Des::new(k); }";
+        let f = scan_file("crates/kdc/src/server.rs", src);
+        assert_eq!(
+            keys(&f),
+            vec![
+                ("L6", "FastDes::new".to_string()),
+                ("L6", "Des::new".to_string())
+            ]
+        );
+        // The crypto crate itself builds ciphers; `Scheduled::new` is the
+        // sanctioned constructor everywhere else.
+        assert!(scan_file("crates/crypto/src/sched.rs", src).is_empty());
+        assert!(scan_file(
+            "crates/kdc/src/server.rs",
+            "fn f(k: &DesKey) { let s = Scheduled::new(k); }"
+        )
+        .is_empty());
+        // Test modules may construct ciphers directly.
+        let test_only = "#[cfg(test)]\nmod tests { fn t() { let d = Des::new(&k); } }";
         assert!(scan_file("crates/kdc/src/server.rs", test_only).is_empty());
     }
 

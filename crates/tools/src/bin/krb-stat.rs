@@ -1,8 +1,8 @@
 //! `krb-stat` — run the KDC load loop and write `BENCH_kdc.json`.
 //!
 //! ```text
-//! krb-stat [--iters N] [--users N] [--seed N] [--sim-clock] [--smoke]
-//!          [--out PATH]
+//! krb-stat [--iters N] [--users N] [--seed N] [--threads N] [--sim-clock]
+//!          [--smoke] [--out PATH]
 //! ```
 //!
 //! `--smoke` is the fast deterministic CI configuration (25 cycles,
@@ -33,6 +33,10 @@ fn main() {
             "--seed" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
                 Some(n) => cfg.seed = n,
                 None => return usage("--seed needs a number"),
+            },
+            "--threads" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.threads = n,
+                None => return usage("--threads needs a number"),
             },
             "--sim-clock" => cfg.sim_clock = true,
             "--smoke" => cfg = StatConfig::smoke(),
@@ -70,7 +74,7 @@ fn main() {
 fn usage(err: &str) {
     eprintln!("krb-stat: {err}");
     eprintln!(
-        "usage: krb-stat [--iters N] [--users N] [--seed N] [--sim-clock] [--smoke] [--out PATH]"
+        "usage: krb-stat [--iters N] [--users N] [--seed N] [--threads N] [--sim-clock] [--smoke] [--out PATH]"
     );
     std::process::exit(2);
 }

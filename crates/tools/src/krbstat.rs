@@ -26,7 +26,7 @@ use crate::{kdb_init, register_service, register_user, ToolError, Workstation};
 use kerberos::Principal;
 use krb_kdc::{shared_clock, Deployment, RealmConfig};
 use krb_netsim::{NetConfig, Router, SimNet};
-use krb_telemetry::{lcg_clock_us, wall_clock_us, HistogramSummary};
+use krb_telemetry::{lcg_clock_us, wall_clock_us, HistogramSummary, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -39,7 +39,8 @@ const WS_ADDR: [u8; 4] = [18, 72, 0, 77];
 /// Load-loop parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct StatConfig {
-    /// Login cycles to run (each is one AS + one TGS exchange).
+    /// Login cycles to run *per thread* (each is one AS + one TGS
+    /// exchange).
     pub iters: usize,
     /// Distinct principals the cycles draw from.
     pub users: usize,
@@ -49,18 +50,23 @@ pub struct StatConfig {
     /// Time spans with a deterministic simulated clock instead of the
     /// wall clock; makes the whole report reproducible.
     pub sim_clock: bool,
+    /// Worker threads, each driving its own realm (its own master KDC on
+    /// its own simulated network) with a seed derived from `seed`. All
+    /// KDCs report into one shared registry, so the snapshot aggregates
+    /// the whole fleet. 1 = the classic single-threaded loop.
+    pub threads: usize,
 }
 
 impl Default for StatConfig {
     fn default() -> Self {
-        StatConfig { iters: 200, users: 8, seed: 42, sim_clock: false }
+        StatConfig { iters: 200, users: 8, seed: 42, sim_clock: false, threads: 1 }
     }
 }
 
 impl StatConfig {
     /// The fast deterministic configuration `scripts/check.sh` runs.
     pub fn smoke() -> Self {
-        StatConfig { iters: 25, users: 4, seed: 42, sim_clock: true }
+        StatConfig { iters: 25, users: 4, seed: 42, sim_clock: true, threads: 1 }
     }
 }
 
@@ -81,19 +87,98 @@ pub struct StatReport {
     pub elapsed_us: u64,
 }
 
-/// Run the AS+TGS load loop against a fresh in-process realm.
+/// Run the AS+TGS load loop. With `threads == 1` this is the classic
+/// single-realm loop; with more, each worker thread drives its own realm
+/// and every KDC reports into one shared registry (counter and histogram
+/// updates are commutative atomics, so the aggregate snapshot in sim mode
+/// is still a deterministic function of the config).
 pub fn run_load(cfg: &StatConfig) -> Result<StatReport, ToolError> {
     let iters = cfg.iters.max(1);
     let users = cfg.users.clamp(1, 64);
+    let threads = cfg.threads.clamp(1, 64);
 
+    let registry = Registry::shared();
+    let wall = wall_clock_us();
+    let t0 = wall();
+    if threads == 1 {
+        run_worker(cfg, 0, iters, users, &registry)?;
+    } else {
+        let failure = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let registry = &registry;
+                    scope.spawn(move || run_worker(cfg, t as u64, iters, users, registry))
+                })
+                .collect();
+            let mut first_err = None;
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => first_err = first_err.or(Some(e)),
+                    Err(_) => {
+                        first_err =
+                            first_err.or(Some(ToolError::Krb(kerberos::ErrorCode::KdcGenErr)));
+                    }
+                }
+            }
+            first_err
+        });
+        if let Some(e) = failure {
+            return Err(e);
+        }
+    }
+    let wall_elapsed = wall().saturating_sub(t0).max(1);
+
+    let as_hist = registry.histogram("kdc_as_latency_us").summary();
+    let tgs_hist = registry.histogram("kdc_tgs_latency_us").summary();
+    let as_ok = registry.counter_value("kdc_as_ok_total");
+    let tgs_ok = registry.counter_value("kdc_tgs_ok_total");
+    let errors = registry.counter_value("kdc_error_total");
+    let sched_hits = registry.counter_value("kdc_sched_cache_hits_total");
+    let sched_misses = registry.counter_value("kdc_sched_cache_misses_total");
+
+    // In sim mode, "elapsed" is the KDCs' own simulated busy time — a
+    // deterministic function of the seed; wall time would leak real
+    // hardware timing into the snapshot.
+    let elapsed_us = if cfg.sim_clock {
+        (as_hist.sum + tgs_hist.sum).max(1)
+    } else {
+        wall_elapsed
+    };
+
+    let json = render_json(
+        cfg, iters, users, threads, elapsed_us, as_ok, tgs_ok, errors, sched_hits, sched_misses,
+        &as_hist, &tgs_hist,
+    );
+    Ok(StatReport {
+        json,
+        render: registry.render(),
+        as_ok,
+        tgs_ok,
+        errors,
+        elapsed_us,
+    })
+}
+
+/// One worker: a fresh realm on its own simulated network, `iters` login
+/// cycles, all metrics reported into `registry`. `thread_idx` derives the
+/// per-worker seed so the fleet does not run in lockstep.
+fn run_worker(
+    cfg: &StatConfig,
+    thread_idx: u64,
+    iters: usize,
+    users: usize,
+    registry: &Arc<Registry>,
+) -> Result<(), ToolError> {
+    let seed = cfg.seed ^ thread_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut router = Router::new(SimNet::new(NetConfig::default()));
-    let mut boot = kdb_init(REALM, "bench-master-pw", START, cfg.seed)
+    let mut boot = kdb_init(REALM, "bench-master-pw", START, seed)
         .map_err(|_| ToolError::Krb(kerberos::ErrorCode::IntkErr))?;
     for u in 0..users {
         register_user(&mut boot.db, &format!("user{u}"), "", &format!("pw-{u}"), START)
             .map_err(|_| ToolError::Krb(kerberos::ErrorCode::IntkErr))?;
     }
-    let mut keygen = krb_crypto::KeyGenerator::new(StdRng::seed_from_u64(cfg.seed ^ 0x5EED));
+    let mut keygen = krb_crypto::KeyGenerator::new(StdRng::seed_from_u64(seed ^ 0x5EED));
     register_service(&mut boot.db, "rcmd", "bench", START, &mut keygen)
         .map_err(|_| ToolError::Krb(kerberos::ErrorCode::IntkErr))?;
 
@@ -102,16 +187,15 @@ pub fn run_load(cfg: &StatConfig) -> Result<StatReport, ToolError> {
     )
     .map_err(|_| ToolError::Krb(kerberos::ErrorCode::IntkErr))?;
 
-    if cfg.sim_clock {
-        dep.master.lock().set_clock_us(lcg_clock_us(cfg.seed, 40, 400));
+    let clock_us = if cfg.sim_clock {
+        lcg_clock_us(seed, 40, 400)
     } else {
-        dep.master.lock().set_clock_us(wall_clock_us());
-    }
+        wall_clock_us()
+    };
+    dep.master.lock().set_telemetry(Arc::clone(registry), clock_us);
 
     let service = Principal::parse("rcmd.bench", REALM)?;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let wall = wall_clock_us();
-    let t0 = wall();
+    let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..iters {
         // Advance realm time one second per cycle: authenticators get
         // fresh timestamps and ticket lifetimes still hold easily.
@@ -126,33 +210,7 @@ pub fn run_load(cfg: &StatConfig) -> Result<StatReport, ToolError> {
         ws.kinit(&mut router, &format!("user{u}"), &format!("pw-{u}"))?;
         ws.mk_request(&mut router, &service, 0, false)?;
     }
-    let wall_elapsed = wall().saturating_sub(t0).max(1);
-
-    let registry = dep.master.lock().telemetry();
-    let as_hist = registry.histogram("kdc_as_latency_us").summary();
-    let tgs_hist = registry.histogram("kdc_tgs_latency_us").summary();
-    let as_ok = registry.counter_value("kdc_as_ok_total");
-    let tgs_ok = registry.counter_value("kdc_tgs_ok_total");
-    let errors = registry.counter_value("kdc_error_total");
-
-    // In sim mode, "elapsed" is the KDC's own simulated busy time — a
-    // deterministic function of the seed; wall time would leak real
-    // hardware timing into the snapshot.
-    let elapsed_us = if cfg.sim_clock {
-        (as_hist.sum + tgs_hist.sum).max(1)
-    } else {
-        wall_elapsed
-    };
-
-    let json = render_json(cfg, iters, users, elapsed_us, as_ok, tgs_ok, errors, &as_hist, &tgs_hist);
-    Ok(StatReport {
-        json,
-        render: registry.render(),
-        as_ok,
-        tgs_ok,
-        errors,
-        elapsed_us,
-    })
+    Ok(())
 }
 
 fn per_sec(count: u64, elapsed_us: u64) -> f64 {
@@ -171,10 +229,13 @@ fn render_json(
     cfg: &StatConfig,
     iters: usize,
     users: usize,
+    threads: usize,
     elapsed_us: u64,
     as_ok: u64,
     tgs_ok: u64,
     errors: u64,
+    sched_hits: u64,
+    sched_misses: u64,
     as_hist: &HistogramSummary,
     tgs_hist: &HistogramSummary,
 ) -> String {
@@ -185,6 +246,7 @@ fn render_json(
             "  \"iters\": {iters},\n",
             "  \"users\": {users},\n",
             "  \"seed\": {seed},\n",
+            "  \"threads\": {threads},\n",
             "  \"clock\": \"{clock}\",\n",
             "  \"elapsed_us\": {elapsed},\n",
             "  \"as_ok\": {as_ok},\n",
@@ -192,12 +254,14 @@ fn render_json(
             "  \"errors\": {errors},\n",
             "  \"as_per_sec\": {asps:.2},\n",
             "  \"tgs_per_sec\": {tgsps:.2},\n",
+            "  \"sched_cache\": {{\"hits\": {shits}, \"misses\": {smisses}}},\n",
             "  \"latency_us\": {{\"as\": {aslat}, \"tgs\": {tgslat}}}\n",
             "}}\n",
         ),
         iters = iters,
         users = users,
         seed = cfg.seed,
+        threads = threads,
         clock = if cfg.sim_clock { "sim" } else { "wall" },
         elapsed = elapsed_us,
         as_ok = as_ok,
@@ -205,6 +269,8 @@ fn render_json(
         errors = errors,
         asps = per_sec(as_ok, elapsed_us),
         tgsps = per_sec(tgs_ok, elapsed_us),
+        shits = sched_hits,
+        smisses = sched_misses,
         aslat = latency_json(as_hist),
         tgslat = latency_json(tgs_hist),
     )
@@ -216,10 +282,14 @@ pub const REQUIRED_JSON_KEYS: &[&str] = &[
     "\"bench\"",
     "\"iters\"",
     "\"seed\"",
+    "\"threads\"",
     "\"clock\"",
     "\"elapsed_us\"",
     "\"as_per_sec\"",
     "\"tgs_per_sec\"",
+    "\"sched_cache\"",
+    "\"hits\"",
+    "\"misses\"",
     "\"latency_us\"",
     "\"p50\"",
     "\"p95\"",
@@ -286,7 +356,7 @@ mod tests {
         // The determinism contract, end to end: with the simulated latency
         // clock, the JSON snapshot *and* the full registry export are a
         // pure function of the config.
-        let cfg = StatConfig { iters: 40, users: 3, seed: 7, sim_clock: true };
+        let cfg = StatConfig { iters: 40, users: 3, seed: 7, sim_clock: true, threads: 1 };
         let a = run_load(&cfg).unwrap();
         let b = run_load(&cfg).unwrap();
         assert_eq!(a.json, b.json);
@@ -297,8 +367,46 @@ mod tests {
 
     #[test]
     fn different_seeds_change_the_simulated_snapshot() {
-        let a = run_load(&StatConfig { iters: 30, users: 3, seed: 1, sim_clock: true }).unwrap();
-        let b = run_load(&StatConfig { iters: 30, users: 3, seed: 2, sim_clock: true }).unwrap();
+        let a = run_load(&StatConfig { iters: 30, users: 3, seed: 1, sim_clock: true, threads: 1 })
+            .unwrap();
+        let b = run_load(&StatConfig { iters: 30, users: 3, seed: 2, sim_clock: true, threads: 1 })
+            .unwrap();
         assert_ne!(a.render, b.render, "latency clock ignored the seed");
+    }
+
+    #[test]
+    fn multi_thread_sim_runs_are_deterministic_and_serve_every_cycle() {
+        // Each worker runs its own deployment on a thread-derived seed;
+        // counters and histograms aggregate through the shared registry
+        // with commutative updates, so the snapshot is reproducible even
+        // though thread interleaving is not.
+        let cfg = StatConfig { iters: 20, users: 3, seed: 9, sim_clock: true, threads: 4 };
+        let a = run_load(&cfg).unwrap();
+        let b = run_load(&cfg).unwrap();
+        assert_eq!(a.json, b.json);
+        assert_eq!(a.render, b.render);
+        // iters is per thread: 4 workers x 20 cycles.
+        assert_eq!(a.as_ok, 80);
+        assert_eq!(a.tgs_ok, 80);
+        assert_eq!(a.errors, 0);
+        assert!(a.json.contains("\"threads\": 4"), "{}", a.json);
+    }
+
+    #[test]
+    fn sched_cache_counters_reach_the_snapshot() {
+        // Every TGS exchange hits the krbtgt warm cache (not the LRU); the
+        // per-service LRU sees one miss per distinct service key and hits
+        // afterwards. With 25 cycles against a single service principal the
+        // hit counter must dominate.
+        let report = run_load(&StatConfig::smoke()).unwrap();
+        let hits: u64 = report
+            .json
+            .lines()
+            .find(|l| l.contains("\"sched_cache\""))
+            .and_then(|l| l.split("\"hits\": ").nth(1))
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("sched_cache.hits in snapshot");
+        assert!(hits > 0, "expected schedule-cache hits in:\n{}", report.json);
     }
 }

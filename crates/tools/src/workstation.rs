@@ -9,10 +9,11 @@
 
 use crate::ToolError;
 use kerberos::{
-    build_as_req, build_tgs_req, krb_mk_req, read_as_reply_with_password, read_tgs_reply, ApReq,
-    Credential, CredentialCache, ErrorCode, HostAddr, Principal, DEFAULT_SERVICE_LIFE,
-    DEFAULT_TGT_LIFE,
+    build_as_req, build_tgs_req_with, krb_mk_req, read_as_reply_with_password,
+    read_tgs_reply_with, ApReq, Credential, CredentialCache, ErrorCode, HostAddr, Principal,
+    DEFAULT_SERVICE_LIFE, DEFAULT_TGT_LIFE,
 };
+use krb_crypto::Scheduled;
 use krb_kdc::Clock;
 use krb_netsim::{Endpoint, Router};
 
@@ -148,17 +149,27 @@ impl Workstation {
             match self.cache.tgt(&service.realm, now) {
                 Some(t) => Some(t.clone()),
                 None => {
-                    // Ask the local TGS for a cross-realm TGT first.
+                    // Ask the local TGS for a cross-realm TGT first. One
+                    // schedule covers both the request and the reply.
                     let local_tgt = self
                         .cache
                         .tgt(&self.realm, now)
                         .cloned()
                         .ok_or(ToolError::Krb(ErrorCode::RdApExp))?;
+                    let local_sched = Scheduled::new(&local_tgt.key());
                     let remote_tgs = Principal::tgs(&service.realm, &self.realm);
                     let ts = self.auth_ts();
-                    let req = build_tgs_req(&local_tgt, &client, self.addr, ts, &remote_tgs, DEFAULT_TGT_LIFE);
+                    let req = build_tgs_req_with(
+                        &local_tgt,
+                        &local_sched,
+                        &client,
+                        self.addr,
+                        ts,
+                        &remote_tgs,
+                        DEFAULT_TGT_LIFE,
+                    );
                     let reply = self.kdc_rpc(router, &req)?;
-                    let cred = read_tgs_reply(&reply, &local_tgt, ts)?;
+                    let cred = read_tgs_reply_with(&reply, &local_sched, ts)?;
                     self.cache.store(cred.clone());
                     Some(cred)
                 }
@@ -169,11 +180,21 @@ impl Workstation {
         // Ask the issuing realm's TGS (remote for cross-realm). If a
         // retransmitted request was answered with "replay" — meaning the
         // original arrived but its reply was lost — rebuild with a fresh
-        // authenticator and try again.
+        // authenticator and try again. The TGT session-key schedule is
+        // built once here and reused for every attempt's request + reply.
+        let tgt_sched = Scheduled::new(&tgt.key());
         let mut last = ErrorCode::IntkErr;
         for _ in 0..Self::RETRIES_PER_KDC {
             let ts = self.auth_ts();
-            let req = build_tgs_req(&tgt, &client, self.addr, ts, service, DEFAULT_SERVICE_LIFE);
+            let req = build_tgs_req_with(
+                &tgt,
+                &tgt_sched,
+                &client,
+                self.addr,
+                ts,
+                service,
+                DEFAULT_SERVICE_LIFE,
+            );
             let reply = if service.realm == self.realm {
                 self.kdc_rpc(router, &req)?
             } else {
@@ -187,7 +208,7 @@ impl Workstation {
                     .ok_or(ToolError::Krb(ErrorCode::KdcUnknownRealm))?;
                 router.rpc(self.endpoint, ep, &req).map_err(ToolError::Net)?
             };
-            match read_tgs_reply(&reply, &tgt, ts) {
+            match read_tgs_reply_with(&reply, &tgt_sched, ts) {
                 Ok(cred) => {
                     self.cache.store(cred.clone());
                     return Ok(cred);

@@ -121,6 +121,84 @@ fn tampered_propagation_is_rejected_and_slave_keeps_serving() {
 }
 
 #[test]
+fn krbtgt_rollover_via_propagation_invalidates_schedule_caches() {
+    // The PR-3 cache-coherence contract: a KDC holds the krbtgt schedule
+    // warm and an LRU of service-key schedules, and `install_db` (the
+    // kpropd apply path) must drop both. A slave that kept serving from a
+    // stale schedule after a krbtgt rollover would mint tickets no one can
+    // use — or worse, honour TGTs sealed under the retired key.
+    let start = athena_kerberos::netsim::EPOCH_1987;
+    let mut boot = kdb_init(REALM, "mk", start, 200).unwrap();
+    register_user(&mut boot.db, "bcn", "", "bcn-pw", start).unwrap();
+    register_user(&mut boot.db, "rcmd", "host", "svc-pw", start).unwrap();
+    register_user(&mut boot.db, "pop", "po", "pop-pw", start).unwrap();
+    let mut router = Router::new(SimNet::new(NetConfig::default()));
+    let dep = Deployment::install(
+        &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 1, start,
+    ).unwrap();
+    let slave = std::sync::Arc::clone(&dep.slaves[0].1);
+    let slave_ep = dep.kdc_endpoints()[1];
+    let rcmd = Principal::parse("rcmd.host", REALM).unwrap();
+    let pop = Principal::parse("pop.po", REALM).unwrap();
+
+    // Warm the slave's caches with a full AS + TGS cycle.
+    let mut probe = ws(&dep);
+    probe.kdc_endpoints = vec![slave_ep];
+    probe.kinit(&mut router, "bcn", "bcn-pw").unwrap();
+    probe.get_service_ticket(&mut router, &rcmd).unwrap();
+    let warm_misses = slave.lock().telemetry().counter_value("kdc_sched_cache_misses_total");
+    assert!(warm_misses > 0, "first requests must populate the schedule cache");
+
+    // Steady state: a second login/ticket cycle builds no new schedules.
+    let mut probe2 = ws(&dep);
+    probe2.kdc_endpoints = vec![slave_ep];
+    probe2.kinit(&mut router, "bcn", "bcn-pw").unwrap();
+    probe2.get_service_ticket(&mut router, &rcmd).unwrap();
+    {
+        let t = slave.lock().telemetry();
+        assert_eq!(
+            t.counter_value("kdc_sched_cache_misses_total"),
+            warm_misses,
+            "steady-state requests must be cache hits"
+        );
+        assert!(t.counter_value("kdc_sched_cache_hits_total") > 0);
+    }
+
+    // Re-key the realm: a fresh bootstrap from a different key-generator
+    // seed gives krbtgt a new random key (users keep password-derived
+    // keys), then the dump propagates to the slave exactly as kpropd
+    // would apply it (Fig. 13).
+    let mut rekeyed = kdb_init(REALM, "mk", start, 500).unwrap();
+    register_user(&mut rekeyed.db, "bcn", "", "bcn-pw", start).unwrap();
+    register_user(&mut rekeyed.db, "rcmd", "host", "svc-pw", start).unwrap();
+    register_user(&mut rekeyed.db, "pop", "po", "pop-pw", start).unwrap();
+    let packet = kprop_build(&rekeyed.db).unwrap();
+    let entries = kpropd_verify(&packet, &dep.master_key).unwrap();
+    let mut store = athena_kerberos::kdb::MemStore::new();
+    athena_kerberos::kdb::dump::install(&mut store, &entries).unwrap();
+    let db = athena_kerberos::kdb::PrincipalDb::open(store, dep.master_key).unwrap();
+    slave.lock().install_db(db);
+
+    // The old TGT is sealed under the retired krbtgt key; asking the TGS
+    // for a not-yet-cached service must fail, not be served from a stale
+    // cached schedule.
+    assert!(
+        probe.get_service_ticket(&mut router, &pop).is_err(),
+        "TGT under the retired krbtgt key must be rejected after rollover"
+    );
+
+    // A fresh login under the new key works end to end...
+    let mut fresh = ws(&dep);
+    fresh.kdc_endpoints = vec![slave_ep];
+    fresh.kinit(&mut router, "bcn", "bcn-pw").unwrap();
+    fresh.get_service_ticket(&mut router, &pop).unwrap();
+
+    // ...and the invalidation is observable: the cleared LRU re-misses.
+    let after = slave.lock().telemetry().counter_value("kdc_sched_cache_misses_total");
+    assert!(after > warm_misses, "install_db must clear the schedule cache ({after} vs {warm_misses})");
+}
+
+#[test]
 fn propagation_scales_with_database_size() {
     // E11's shape: dump size grows linearly with principals.
     let start = athena_kerberos::netsim::EPOCH_1987;
