@@ -22,6 +22,35 @@ use kerberos::{
 };
 use krb_crypto::{ct_eq, quad_cksum, DesKey};
 use krb_netsim::{Packet, Service};
+use krb_telemetry::{ClockUs, Component, EventKind, Field, Journal, TraceCtx, TraceId};
+use std::sync::Arc;
+
+/// Journal sink shared by the network adapters: the journal plus the
+/// deterministic clock that stamps events at this hop.
+type Tracing = Option<(Arc<Journal>, ClockUs)>;
+
+/// Build a per-request trace context: only when this service has a journal
+/// attached *and* the packet carried a trace id (simulator metadata — the
+/// V4 wire bytes never carry it).
+fn trace_ctx(tracing: &Tracing, trace: Option<TraceId>) -> Option<TraceCtx> {
+    let (journal, clock) = tracing.as_ref()?;
+    let trace = trace?;
+    Some(TraceCtx::new(Arc::clone(journal), ClockUs::clone(clock), trace))
+}
+
+/// Journal the application-level verdict (after ticket verification and
+/// payload-binding checks) for one request.
+fn record_outcome<T>(ctx: Option<&TraceCtx>, op: &str, result: &Result<T, AppError>) {
+    let Some(ctx) = ctx else { return };
+    match result {
+        Ok(_) => ctx.record(Component::App, EventKind::AppOk, vec![("op", Field::from(op))]),
+        Err(e) => ctx.record(
+            Component::App,
+            EventKind::AppErr,
+            vec![("op", Field::from(op)), ("code", Field::from(app_err(e) as u8))],
+        ),
+    }
+}
 
 /// Checksum binding an operation and payload into the authenticator's
 /// `cksum` field (paper §4.3: the checksum field ties "application data"
@@ -123,12 +152,18 @@ pub struct RloginNetService {
     /// The wrapped server logic (replay cache, `.rhosts`, connection log).
     pub server: RloginServer,
     clock: krb_kdc::Clock,
+    tracing: Tracing,
 }
 
 impl RloginNetService {
     /// Wrap an [`RloginServer`].
     pub fn new(server: RloginServer, clock: krb_kdc::Clock) -> Self {
-        RloginNetService { server, clock }
+        RloginNetService { server, clock, tracing: None }
+    }
+
+    /// Attach an event journal; requests carrying a trace id are journaled.
+    pub fn set_journal(&mut self, journal: Arc<Journal>, clock_us: ClockUs) {
+        self.tracing = Some((journal, clock_us));
     }
 }
 
@@ -136,6 +171,7 @@ impl Service for RloginNetService {
     fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
         let from: HostAddr = req.src.addr.0;
         let now = (self.clock)();
+        let ctx = trace_ctx(&self.tracing, req.trace);
         let Ok((ap, op, payload)) = parse_request(&req.payload) else {
             return Some(frame_err(ErrorCode::RdApUndec));
         };
@@ -144,13 +180,16 @@ impl Service for RloginNetService {
                 let claimed = String::from_utf8_lossy(&payload).to_string();
                 // The server checks the payload binding between ticket
                 // verification and the connection-log side effect.
-                match self.server.connect_bound(
+                let r = self.server.connect_bound_ctx(
                     Some(&ap),
                     &claimed,
                     from,
                     now,
                     Some((op.as_str(), payload.as_slice())),
-                ) {
+                    ctx.as_ref(),
+                );
+                record_outcome(ctx.as_ref(), &op, &r);
+                match r {
                     Ok(session) => {
                         // Mutual auth reply rides back in the payload.
                         let rep = session.ap_rep.map(|r| r.enc_part).unwrap_or_default();
@@ -165,14 +204,17 @@ impl Service for RloginNetService {
                 // An attacker must not be able to rewrite the command
                 // while the AP_REQ is in flight; the binding is checked
                 // before the command runs or the connection is logged.
-                match self.server.rsh_session_bound(
+                let r = self.server.rsh_session_bound_ctx(
                     Some(&ap),
                     user,
                     from,
                     now,
                     command,
                     Some((op.as_str(), payload.as_slice())),
-                ) {
+                    ctx.as_ref(),
+                );
+                record_outcome(ctx.as_ref(), &op, &r);
+                match r {
                     Ok((_, output)) => Some(frame_ok(output.as_bytes())),
                     Err(e) => Some(frame_err(app_err(&e))),
                 }
@@ -188,12 +230,18 @@ pub struct PopNetService {
     /// The wrapped post office.
     pub server: PopServer,
     clock: krb_kdc::Clock,
+    tracing: Tracing,
 }
 
 impl PopNetService {
     /// Wrap a [`PopServer`].
     pub fn new(server: PopServer, clock: krb_kdc::Clock) -> Self {
-        PopNetService { server, clock }
+        PopNetService { server, clock, tracing: None }
+    }
+
+    /// Attach an event journal; requests carrying a trace id are journaled.
+    pub fn set_journal(&mut self, journal: Arc<Journal>, clock_us: ClockUs) {
+        self.tracing = Some((journal, clock_us));
     }
 }
 
@@ -201,6 +249,7 @@ impl Service for PopNetService {
     fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
         let from: HostAddr = req.src.addr.0;
         let now = (self.clock)();
+        let ctx = trace_ctx(&self.tracing, req.trace);
         let Ok((ap, op, payload)) = parse_request(&req.payload) else {
             return Some(frame_err(ErrorCode::RdApUndec));
         };
@@ -212,7 +261,15 @@ impl Service for PopNetService {
         // redoing the key schedule, and checks the payload binding
         // *before* draining the mailbox — retrieval is destructive, and a
         // tampered request must not cost the user their mail.
-        match self.server.retrieve_bound(&ap, from, now, Some((op.as_str(), payload.as_slice()))) {
+        let r = self.server.retrieve_bound_ctx(
+            &ap,
+            from,
+            now,
+            Some((op.as_str(), payload.as_slice())),
+            ctx.as_ref(),
+        );
+        record_outcome(ctx.as_ref(), &op, &r);
+        match r {
             Ok((mail, session_sched)) => {
                 let mut w = Writer::new();
                 w.u16(mail.len() as u16);
@@ -258,12 +315,18 @@ pub struct ZephyrNetService {
     /// The wrapped notification server.
     pub server: ZephyrServer,
     clock: krb_kdc::Clock,
+    tracing: Tracing,
 }
 
 impl ZephyrNetService {
     /// Wrap a [`ZephyrServer`].
     pub fn new(server: ZephyrServer, clock: krb_kdc::Clock) -> Self {
-        ZephyrNetService { server, clock }
+        ZephyrNetService { server, clock, tracing: None }
+    }
+
+    /// Attach an event journal; requests carrying a trace id are journaled.
+    pub fn set_journal(&mut self, journal: Arc<Journal>, clock_us: ClockUs) {
+        self.tracing = Some((journal, clock_us));
     }
 }
 
@@ -271,6 +334,7 @@ impl Service for ZephyrNetService {
     fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
         let from: HostAddr = req.src.addr.0;
         let now = (self.clock)();
+        let ctx = trace_ctx(&self.tracing, req.trace);
         let Ok((ap, op, payload)) = parse_request(&req.payload) else {
             return Some(frame_err(ErrorCode::RdApUndec));
         };
@@ -283,10 +347,18 @@ impl Service for ZephyrNetService {
         else {
             return Some(frame_err(ErrorCode::RdApUndec));
         };
-        match self
-            .server
-            .send_bound(&ap, from, now, to, class, body, Some((op.as_str(), payload.as_slice())))
-        {
+        let r = self.server.send_bound_ctx(
+            &ap,
+            from,
+            now,
+            to,
+            class,
+            body,
+            Some((op.as_str(), payload.as_slice())),
+            ctx.as_ref(),
+        );
+        record_outcome(ctx.as_ref(), &op, &r);
+        match r {
             Ok(()) => Some(frame_ok(b"")),
             Err(e) => Some(frame_err(app_err(&e))),
         }

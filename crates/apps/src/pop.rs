@@ -8,9 +8,9 @@
 
 use crate::netproto::payload_bound;
 use crate::{AppError, AppMetrics};
-use kerberos::{krb_rd_req_sched, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
+use kerberos::{krb_rd_req_sched_ctx, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
 use krb_crypto::{DesKey, Scheduled};
-use krb_telemetry::Registry;
+use krb_telemetry::{Registry, TraceCtx};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -93,7 +93,20 @@ impl PopServer {
         now: u32,
         binding: Option<(&str, &[u8])>,
     ) -> Result<(Vec<Mail>, Scheduled), AppError> {
-        let r = self.retrieve_bound_inner(ap, from, now, binding);
+        self.retrieve_bound_ctx(ap, from, now, binding, None)
+    }
+
+    /// As [`PopServer::retrieve_bound`], with an optional trace context:
+    /// the ticket-verification verdict is journaled at this hop.
+    pub fn retrieve_bound_ctx(
+        &mut self,
+        ap: &ApReq,
+        from: HostAddr,
+        now: u32,
+        binding: Option<(&str, &[u8])>,
+        ctx: Option<&TraceCtx>,
+    ) -> Result<(Vec<Mail>, Scheduled), AppError> {
+        let r = self.retrieve_bound_inner(ap, from, now, binding, ctx);
         self.metrics.observe(&r);
         r
     }
@@ -104,8 +117,9 @@ impl PopServer {
         from: HostAddr,
         now: u32,
         binding: Option<(&str, &[u8])>,
+        ctx: Option<&TraceCtx>,
     ) -> Result<(Vec<Mail>, Scheduled), AppError> {
-        let v = krb_rd_req_sched(ap, &self.service, &self.sched, from, now, &mut self.replay)?;
+        let v = krb_rd_req_sched_ctx(ap, &self.service, &self.sched, from, now, &mut self.replay, ctx)?;
         if let Some((op, payload)) = binding {
             if !payload_bound(v.cksum, &v.session_key, op, payload) {
                 return Err(AppError::Krb(ErrorCode::RdApModified));

@@ -8,9 +8,9 @@
 
 use crate::netproto::payload_bound;
 use crate::{AppError, AppMetrics};
-use kerberos::{krb_mk_rep, krb_rd_req_sched, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
+use kerberos::{krb_mk_rep, krb_rd_req_sched_ctx, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
 use krb_crypto::{DesKey, Scheduled};
-use krb_telemetry::Registry;
+use krb_telemetry::{Registry, TraceCtx};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -108,7 +108,22 @@ impl RloginServer {
         now: u32,
         binding: Option<(&str, &[u8])>,
     ) -> Result<RemoteSession, AppError> {
-        let r = self.connect_bound_inner(ap, claimed_user, from, now, binding);
+        self.connect_bound_ctx(ap, claimed_user, from, now, binding, None)
+    }
+
+    /// As [`RloginServer::connect_bound`], with an optional trace context:
+    /// the ticket-verification verdict is journaled at this hop (including
+    /// the failure that triggers the `.rhosts` fallback).
+    pub fn connect_bound_ctx(
+        &mut self,
+        ap: Option<&ApReq>,
+        claimed_user: &str,
+        from: HostAddr,
+        now: u32,
+        binding: Option<(&str, &[u8])>,
+        ctx: Option<&TraceCtx>,
+    ) -> Result<RemoteSession, AppError> {
+        let r = self.connect_bound_inner(ap, claimed_user, from, now, binding, ctx);
         self.metrics.observe(&r);
         r
     }
@@ -120,10 +135,11 @@ impl RloginServer {
         from: HostAddr,
         now: u32,
         binding: Option<(&str, &[u8])>,
+        ctx: Option<&TraceCtx>,
     ) -> Result<RemoteSession, AppError> {
         // First, try Kerberos.
         if let Some(ap) = ap {
-            match krb_rd_req_sched(ap, &self.service, &self.sched, from, now, &mut self.replay) {
+            match krb_rd_req_sched_ctx(ap, &self.service, &self.sched, from, now, &mut self.replay, ctx) {
                 Ok(v) => {
                     if let Some((op, payload)) = binding {
                         if !payload_bound(v.cksum, &v.session_key, op, payload) {
@@ -193,7 +209,23 @@ impl RloginServer {
         command: &str,
         binding: Option<(&str, &[u8])>,
     ) -> Result<(RemoteSession, String), AppError> {
-        let session = self.connect_bound(ap, claimed_user, from, now, binding)?;
+        self.rsh_session_bound_ctx(ap, claimed_user, from, now, command, binding, None)
+    }
+
+    /// As [`RloginServer::rsh_session_bound`], with an optional trace
+    /// context for journaling the verification verdict.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rsh_session_bound_ctx(
+        &mut self,
+        ap: Option<&ApReq>,
+        claimed_user: &str,
+        from: HostAddr,
+        now: u32,
+        command: &str,
+        binding: Option<(&str, &[u8])>,
+        ctx: Option<&TraceCtx>,
+    ) -> Result<(RemoteSession, String), AppError> {
+        let session = self.connect_bound_ctx(ap, claimed_user, from, now, binding, ctx)?;
         // The "shell": echo identity and command, as a real test harness.
         let output = format!("{}@{}: {}", session.user, self.service.instance, command);
         Ok((session, output))

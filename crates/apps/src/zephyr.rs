@@ -7,9 +7,9 @@
 
 use crate::netproto::payload_bound;
 use crate::{AppError, AppMetrics};
-use kerberos::{krb_rd_req_sched, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
+use kerberos::{krb_rd_req_sched_ctx, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
 use krb_crypto::{DesKey, Scheduled};
-use krb_telemetry::Registry;
+use krb_telemetry::{Registry, TraceCtx};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -92,7 +92,24 @@ impl ZephyrServer {
         body: &str,
         binding: Option<(&str, &[u8])>,
     ) -> Result<(), AppError> {
-        let r = self.send_bound_inner(ap, sender_addr, now, to, class, body, binding);
+        self.send_bound_ctx(ap, sender_addr, now, to, class, body, binding, None)
+    }
+
+    /// As [`ZephyrServer::send_bound`], with an optional trace context: the
+    /// ticket-verification verdict is journaled at this hop.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_bound_ctx(
+        &mut self,
+        ap: &ApReq,
+        sender_addr: HostAddr,
+        now: u32,
+        to: &str,
+        class: &str,
+        body: &str,
+        binding: Option<(&str, &[u8])>,
+        ctx: Option<&TraceCtx>,
+    ) -> Result<(), AppError> {
+        let r = self.send_bound_inner(ap, sender_addr, now, to, class, body, binding, ctx);
         self.metrics.observe(&r);
         r
     }
@@ -107,8 +124,10 @@ impl ZephyrServer {
         class: &str,
         body: &str,
         binding: Option<(&str, &[u8])>,
+        ctx: Option<&TraceCtx>,
     ) -> Result<(), AppError> {
-        let v = krb_rd_req_sched(ap, &self.service, &self.sched, sender_addr, now, &mut self.replay)?;
+        let v =
+            krb_rd_req_sched_ctx(ap, &self.service, &self.sched, sender_addr, now, &mut self.replay, ctx)?;
         if let Some((op, payload)) = binding {
             if !payload_bound(v.cksum, &v.session_key, op, payload) {
                 return Err(AppError::Krb(ErrorCode::RdApModified));

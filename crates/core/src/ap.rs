@@ -14,6 +14,7 @@ use crate::time::{is_expired, within_skew};
 use crate::wire::{Reader, Writer};
 use crate::{ErrorCode, HostAddr, KrbResult, Principal};
 use krb_crypto::{ct_eq, open, quad_cksum, seal_with, DesKey, Mode, Scheduled};
+use krb_telemetry::{Component, EventKind, Field, TraceCtx};
 
 /// What `krb_rd_req` returns on success: the verified identity and the
 /// session key for further traffic.
@@ -147,6 +148,46 @@ pub fn krb_rd_req_sched(
         ticket,
         mutual_requested: req.mutual,
     })
+}
+
+/// [`krb_rd_req_sched`] with an optional trace context: the verification
+/// verdict — accepted, replayed, or rejected with its taxonomy kind — is
+/// recorded into the journal at the *server* hop, correlated with the
+/// login that produced the request. Journal fields name the client and the
+/// error kind only; key material never leaves the [`VerifiedRequest`].
+pub fn krb_rd_req_sched_ctx(
+    req: &ApReq,
+    service: &Principal,
+    service_sched: &Scheduled,
+    sender_addr: HostAddr,
+    now: u32,
+    replay: &mut ReplayCache,
+    ctx: Option<&TraceCtx>,
+) -> KrbResult<VerifiedRequest> {
+    let result = krb_rd_req_sched(req, service, service_sched, sender_addr, now, replay);
+    if let Some(ctx) = ctx {
+        match &result {
+            Ok(verified) => ctx.record(
+                Component::App,
+                EventKind::ApVerified,
+                vec![("client", Field::from(verified.client.to_string()))],
+            ),
+            Err(ErrorCode::RdApRepeat) => ctx.record(
+                Component::App,
+                EventKind::ReplayHit,
+                vec![("code", Field::from(ErrorCode::RdApRepeat as u8))],
+            ),
+            Err(code) => ctx.record(
+                Component::App,
+                EventKind::ApErr,
+                vec![
+                    ("err_kind", Field::from(code.kind())),
+                    ("code", Field::from(*code as u8)),
+                ],
+            ),
+        }
+    }
+    result
 }
 
 /// Server side of mutual authentication (Fig. 7): "the server adds one to

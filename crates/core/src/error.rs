@@ -64,7 +64,40 @@ pub enum ErrorCode {
     Unknown = 255,
 }
 
+/// The observability error taxonomy: every [`ErrorCode`] maps onto one of
+/// these kinds, shared by the KDC's per-kind counters
+/// (`kdc_error_total{kind="..."}`) and journal `err_kind=` fields so the
+/// two always agree. Order matters — [`ErrorCode::kind_index`] indexes it.
+pub const ERROR_KINDS: [&str; 7] = [
+    "bad_password",
+    "unknown_principal",
+    "expired_ticket",
+    "replay",
+    "skew",
+    "decode",
+    "other",
+];
+
 impl ErrorCode {
+    /// Index into [`ERROR_KINDS`] for this code.
+    pub fn kind_index(self) -> usize {
+        match self {
+            ErrorCode::KdcNullKey | ErrorCode::IntkBadPw => 0,
+            ErrorCode::KdcPrUnknown => 1,
+            ErrorCode::RdApExp | ErrorCode::KdcNameExp | ErrorCode::KdcServiceExp => 2,
+            ErrorCode::RdApRepeat => 3,
+            ErrorCode::RdApTime => 4,
+            ErrorCode::RdApUndec | ErrorCode::RdApVersion | ErrorCode::KdcNameFormat => 5,
+            _ => 6,
+        }
+    }
+
+    /// The taxonomy slug for this code (a single token, safe in `key=value`
+    /// dump lines — unlike [`ErrorCode::describe`], which contains spaces).
+    pub fn kind(self) -> &'static str {
+        ERROR_KINDS[self.kind_index()]
+    }
+
     /// Decode from the wire byte.
     pub fn from_u8(v: u8) -> ErrorCode {
         use ErrorCode::*;

@@ -53,7 +53,7 @@ pub mod wire;
 
 pub use ap::{
     krb_mk_priv, krb_mk_priv_with, krb_mk_rep, krb_mk_req, krb_mk_safe, krb_rd_priv, krb_rd_rep,
-    krb_rd_req, krb_rd_req_sched, krb_rd_safe, VerifiedRequest,
+    krb_rd_req, krb_rd_req_sched, krb_rd_req_sched_ctx, krb_rd_safe, VerifiedRequest,
 };
 pub use authent::{Authenticator, SealedAuthenticator};
 pub use client::{
@@ -61,7 +61,7 @@ pub use client::{
     read_as_reply_with_password, read_tgs_reply, read_tgs_reply_with,
 };
 pub use cred::{Credential, CredentialCache};
-pub use error::ErrorCode;
+pub use error::{ErrorCode, ERROR_KINDS};
 pub use msg::{ApRep, ApReq, AsReq, EncKdcReplyPart, ErrMsg, KdcRep, Message, PrivMsg, SafeMsg, TgsReq};
 pub use name::Principal;
 pub use replay::{ReplayCache, ReplayKey};

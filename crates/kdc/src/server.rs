@@ -11,11 +11,13 @@ use crate::realm::RealmConfig;
 use kerberos::msg::{AsReq, EncKdcReplyPart, KdcRep, Message, TgsReq};
 use kerberos::{
     krb_rd_req_sched, remaining_life, ErrorCode, HostAddr, KrbResult, Principal, ReplayCache,
-    Ticket,
+    Ticket, ERROR_KINDS,
 };
 use krb_kdb::{PrincipalDb, PrincipalEntry, Store, ATTR_DISABLED, ATTR_NO_TGS};
 use krb_crypto::{seal_with, KeyGenerator, Mode, Scheduled};
-use krb_telemetry::{ClockUs, Counter, Histogram, Registry, Span};
+use krb_telemetry::{
+    ClockUs, Component, Counter, EventKind, Field, Histogram, Journal, Registry, Span, TraceId,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -42,6 +44,25 @@ pub enum KdcRole {
     Slave,
 }
 
+/// Per-kind error counts (see [`ERROR_KINDS`] for what lands where).
+#[derive(Default, Debug, Clone, Copy)]
+pub struct ErrorKindCounts {
+    /// Wrong or unusable password / null key.
+    pub bad_password: u64,
+    /// Client or service not in the database.
+    pub unknown_principal: u64,
+    /// Expired ticket or principal registration.
+    pub expired_ticket: u64,
+    /// Replayed authenticator.
+    pub replay: u64,
+    /// Clock skew outside the §4.3 window.
+    pub skew: u64,
+    /// Undecodable or wrong-version request.
+    pub decode: u64,
+    /// Everything else.
+    pub other: u64,
+}
+
 /// Point-in-time request counts (E9 replication experiment reads these).
 ///
 /// This is a *thin view* over the telemetry registry — the KDC's only
@@ -53,8 +74,10 @@ pub struct KdcStats {
     pub as_ok: u64,
     /// Ticket-granting requests served.
     pub tgs_ok: u64,
-    /// Requests answered with an error.
+    /// Requests answered with an error (sum over all kinds).
     pub errors: u64,
+    /// The same errors broken down by taxonomy kind.
+    pub errors_by_kind: ErrorKindCounts,
 }
 
 /// The KDC's telemetry handles, registered under `kdc_*` names.
@@ -62,6 +85,8 @@ struct KdcMetrics {
     as_ok: Counter,
     tgs_ok: Counter,
     errors: Counter,
+    /// One counter per [`ERROR_KINDS`] entry, same order.
+    error_kinds: [Counter; 7],
     as_latency_us: Histogram,
     tgs_latency_us: Histogram,
     sched_hits: Counter,
@@ -70,10 +95,13 @@ struct KdcMetrics {
 
 impl KdcMetrics {
     fn new(registry: &Registry) -> Self {
+        let kind_counter =
+            |kind: &str| registry.counter(&format!("kdc_error_total{{kind=\"{kind}\"}}"));
         KdcMetrics {
             as_ok: registry.counter("kdc_as_ok_total"),
             tgs_ok: registry.counter("kdc_tgs_ok_total"),
             errors: registry.counter("kdc_error_total"),
+            error_kinds: ERROR_KINDS.map(kind_counter),
             as_latency_us: registry.histogram("kdc_as_latency_us"),
             tgs_latency_us: registry.histogram("kdc_tgs_latency_us"),
             sched_hits: registry.counter("kdc_sched_cache_hits_total"),
@@ -146,6 +174,9 @@ pub struct Kdc<S: Store> {
     /// Bounded LRU of other principal-key schedules, keyed by
     /// `(name, instance, key_version)`.
     sched_cache: SchedCache,
+    /// Structured event journal; when attached, every exchange outcome is
+    /// recorded with the request's trace id (see `krb_telemetry::journal`).
+    journal: Option<Arc<Journal>>,
 }
 
 impl<S: Store> Kdc<S> {
@@ -173,6 +204,7 @@ impl<S: Store> Kdc<S> {
             clock_us,
             tgt_cache,
             sched_cache: SchedCache::new(),
+            journal: None,
         }
     }
 
@@ -197,12 +229,29 @@ impl<S: Store> Kdc<S> {
         self.clock_us = clock_us;
     }
 
+    /// Attach a structured event journal. Exchange outcomes (and their
+    /// per-kind failures) are recorded into it, stamped with the KDC's
+    /// microsecond clock and the request's trace id.
+    pub fn set_journal(&mut self, journal: Arc<Journal>) {
+        self.journal = Some(journal);
+    }
+
     /// Point-in-time counters, materialized from the registry.
     pub fn stats(&self) -> KdcStats {
+        let k = &self.metrics.error_kinds;
         KdcStats {
             as_ok: self.metrics.as_ok.get(),
             tgs_ok: self.metrics.tgs_ok.get(),
             errors: self.metrics.errors.get(),
+            errors_by_kind: ErrorKindCounts {
+                bad_password: k[0].get(),
+                unknown_principal: k[1].get(),
+                expired_ticket: k[2].get(),
+                replay: k[3].get(),
+                skew: k[4].get(),
+                decode: k[5].get(),
+                other: k[6].get(),
+            },
         }
     }
 
@@ -252,33 +301,84 @@ impl<S: Store> Kdc<S> {
     /// error) is recorded per exchange into `kdc_as_latency_us` /
     /// `kdc_tgs_latency_us`.
     pub fn handle(&mut self, request: &[u8], sender_addr: HostAddr) -> Vec<u8> {
+        self.handle_traced(request, sender_addr, None)
+    }
+
+    /// [`Kdc::handle`] with the request's out-of-band trace id: journal
+    /// events for this exchange (success or per-kind failure) carry it, so
+    /// `krb-trace` can place the KDC hop inside the login's timeline.
+    pub fn handle_traced(
+        &mut self,
+        request: &[u8],
+        sender_addr: HostAddr,
+        trace: Option<TraceId>,
+    ) -> Vec<u8> {
         enum ReqKind {
             As,
             Tgs,
             Other,
         }
         let span = Span::start(&self.clock_us, &self.metrics.as_latency_us);
-        let (kind, result) = match Message::decode(request) {
-            Ok(Message::AsReq(req)) => (ReqKind::As, self.handle_as(&req, sender_addr)),
-            Ok(Message::TgsReq(req)) => (ReqKind::Tgs, self.handle_tgs(&req, sender_addr)),
-            Ok(_) => (ReqKind::Other, Err(ErrorCode::RdApUndec)),
-            Err(e) => (ReqKind::Other, Err(e)),
+        // `who` names the exchange's subject for the journal: the client
+        // principal (AS) or the target service (TGS) — never key material.
+        let (kind, result, who) = match Message::decode(request) {
+            Ok(Message::AsReq(req)) => {
+                let who = req.cname.clone();
+                (ReqKind::As, self.handle_as(&req, sender_addr), Some(("client", who)))
+            }
+            Ok(Message::TgsReq(req)) => {
+                let who = format!("{}.{}", req.sname, req.sinstance);
+                (ReqKind::Tgs, self.handle_tgs(&req, sender_addr), Some(("service", who)))
+            }
+            Ok(_) => (ReqKind::Other, Err(ErrorCode::RdApUndec), None),
+            Err(e) => (ReqKind::Other, Err(e), None),
         };
         // The span was opened before decoding told us the exchange type;
         // route it to the right histogram now.
-        match kind {
+        let ok_kind = match kind {
             ReqKind::As => {
                 span.finish();
+                Some(EventKind::AsOk)
             }
             ReqKind::Tgs => {
                 span.finish_into(&self.metrics.tgs_latency_us);
+                Some(EventKind::TgsOk)
             }
-            ReqKind::Other => span.cancel(),
-        }
+            ReqKind::Other => {
+                span.cancel();
+                None
+            }
+        };
         match result {
-            Ok(reply) => reply,
+            Ok(reply) => {
+                if let (Some(journal), Some(event)) = (&self.journal, ok_kind) {
+                    let mut fields: Vec<(&'static str, Field)> = Vec::with_capacity(1);
+                    if let Some((key, value)) = who {
+                        fields.push((key, Field::from(value)));
+                    }
+                    journal.record((self.clock_us)(), trace, Component::Kdc, event, fields);
+                }
+                reply
+            }
             Err(code) => {
                 self.metrics.errors.inc();
+                self.metrics.error_kinds[code.kind_index()].inc();
+                if let Some(journal) = &self.journal {
+                    let mut fields: Vec<(&'static str, Field)> = vec![
+                        ("err_kind", Field::from(code.kind())),
+                        ("code", Field::from(code as u8)),
+                    ];
+                    if let Some((key, value)) = who {
+                        fields.push((key, Field::from(value)));
+                    }
+                    journal.record(
+                        (self.clock_us)(),
+                        trace,
+                        Component::Kdc,
+                        EventKind::KdcErr,
+                        fields,
+                    );
+                }
                 Message::error(code, code.describe())
             }
         }
@@ -737,6 +837,66 @@ mod tests {
         assert_eq!(registry.counter_value("kdc_replay_hits_total"), 1);
         assert_eq!(registry.counter_value("kdc_error_total"), 1);
         assert!(kdc.telemetry().histogram("kdc_as_latency_us").max() >= 40);
+    }
+
+    #[test]
+    fn error_taxonomy_splits_counts_by_kind() {
+        let mut kdc = test_kdc();
+        let tgs = Principal::tgs(REALM, REALM);
+        kdc.handle(&build_as_req(&principal("mallory"), &tgs, 96, NOW), WS);
+        kdc.handle(b"not a kerberos message", WS);
+        let stats = kdc.stats();
+        assert_eq!(stats.errors, 2, "aggregate still counts everything");
+        assert_eq!(stats.errors_by_kind.unknown_principal, 1);
+        assert_eq!(stats.errors_by_kind.decode, 1);
+        assert_eq!(stats.errors_by_kind.replay, 0);
+        let registry = kdc.telemetry();
+        assert_eq!(
+            registry.counter_value("kdc_error_total{kind=\"unknown_principal\"}"),
+            1
+        );
+        assert_eq!(registry.counter_value("kdc_error_total{kind=\"decode\"}"), 1);
+        // Every kind counter is pre-registered so renders are stable.
+        for kind in ERROR_KINDS {
+            assert!(registry
+                .names()
+                .contains(&format!("kdc_error_total{{kind=\"{kind}\"}}")));
+        }
+    }
+
+    #[test]
+    fn journal_records_exchanges_with_trace_and_error_kind() {
+        let mut kdc = test_kdc();
+        let journal = Journal::shared();
+        kdc.set_journal(Arc::clone(&journal));
+        let trace = TraceId(0xABC);
+        let client = principal("bcn");
+        let tgs = Principal::tgs(REALM, REALM);
+
+        let as_req = build_as_req(&client, &tgs, 96, NOW);
+        let tgt = read_as_reply_with_password(
+            &kdc.handle_traced(&as_req, WS, Some(trace)),
+            "bcn-password",
+            NOW,
+        )
+        .unwrap();
+        let tgs_req = build_tgs_req(&tgt, &client, WS, NOW, &principal("rlogin.priam"), 96);
+        read_tgs_reply(&kdc.handle_traced(&tgs_req, WS, Some(trace)), &tgt, NOW).unwrap();
+        // Byte-identical resend: the replay verdict lands in the journal
+        // as a per-kind error event at the KDC hop.
+        kdc.handle_traced(&tgs_req, WS, Some(trace));
+
+        let dump = journal.dump();
+        let kinds: Vec<EventKind> = dump.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EventKind::AsOk, EventKind::TgsOk, EventKind::KdcErr]);
+        assert!(dump.iter().all(|e| e.trace == Some(trace)));
+        let err = &dump[2];
+        assert!(err
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "err_kind" && *v == Field::from("replay")));
+        let text = journal.render();
+        assert!(text.contains("kind=kdc_err err_kind=replay"));
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub struct KdcService<S: Store + Send>(pub Arc<Mutex<Kdc<S>>>);
 impl<S: Store + Send> Service for KdcService<S> {
     fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
         let sender: HostAddr = req.src.addr.0;
-        Some(self.0.lock().handle(&req.payload, sender))
+        // The packet's out-of-band trace metadata flows into the KDC's
+        // journal events; the wire payload is untouched.
+        Some(self.0.lock().handle_traced(&req.payload, sender, req.trace))
     }
 }
 

@@ -6,7 +6,7 @@ use crate::{kpropd_verify, PropError};
 use krb_crypto::DesKey;
 use krb_kdb::PrincipalEntry;
 use krb_netsim::{Packet, Service};
-use krb_telemetry::{Counter, Registry};
+use krb_telemetry::{ClockUs, Component, Counter, EventKind, Field, Journal, Registry, TraceCtx};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,6 +25,7 @@ pub struct KpropdService {
     accepted: Counter,
     rejected: Counter,
     bytes: Counter,
+    tracing: Option<(Arc<Journal>, ClockUs)>,
 }
 
 impl KpropdService {
@@ -45,6 +46,7 @@ impl KpropdService {
             accepted: Counter::new(),
             rejected: Counter::new(),
             bytes: Counter::new(),
+            tracing: None,
         };
         svc.bind_metrics(&registry);
         svc
@@ -83,24 +85,66 @@ impl KpropdService {
     pub fn bytes_received(&self) -> u64 {
         self.bytes.get()
     }
+
+    /// Attach an event journal: transfers arriving with a trace id on the
+    /// packet (simulator metadata, never wire bytes) are journaled as
+    /// `kprop_transfer` followed by `kprop_apply` or `kprop_reject`.
+    pub fn set_journal(&mut self, journal: Arc<Journal>, clock_us: ClockUs) {
+        self.tracing = Some((journal, clock_us));
+    }
 }
 
 impl Service for KpropdService {
     fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
         self.rounds.inc();
         self.bytes.add(req.payload.len() as u64);
+        let ctx = match (&self.tracing, req.trace) {
+            (Some((journal, clock)), Some(trace)) => {
+                Some(TraceCtx::new(Arc::clone(journal), ClockUs::clone(clock), trace))
+            }
+            _ => None,
+        };
+        if let Some(ctx) = &ctx {
+            ctx.record(
+                Component::Kprop,
+                EventKind::KpropTransfer,
+                vec![("bytes", Field::from(req.payload.len()))],
+            );
+        }
         match kpropd_verify(&req.payload, &self.master_key) {
             Ok(entries) => {
+                let count = entries.len();
                 if (self.on_install)(entries) {
                     self.accepted.inc();
+                    if let Some(ctx) = &ctx {
+                        ctx.record(
+                            Component::Kprop,
+                            EventKind::KpropApply,
+                            vec![("entries", Field::from(count))],
+                        );
+                    }
                     Some(b"OK".to_vec())
                 } else {
                     self.rejected.inc();
+                    if let Some(ctx) = &ctx {
+                        ctx.record(
+                            Component::Kprop,
+                            EventKind::KpropReject,
+                            vec![("why", Field::from("install"))],
+                        );
+                    }
                     Some(b"ERR install".to_vec())
                 }
             }
             Err(e) => {
                 self.rejected.inc();
+                if let Some(ctx) = &ctx {
+                    ctx.record(
+                        Component::Kprop,
+                        EventKind::KpropReject,
+                        vec![("why", Field::from(e.to_string()))],
+                    );
+                }
                 Some(format!("ERR {e}").into_bytes())
             }
         }
@@ -282,6 +326,46 @@ mod tests {
         packet[n - 1] ^= 1;
         let reply = router.rpc(Endpoint::new([10, 0, 0, 66], 1), slave_ep, &packet).unwrap();
         assert!(reply.starts_with(b"ERR"));
+    }
+
+    #[test]
+    fn journal_records_transfer_and_verdict_per_round() {
+        use krb_netsim::{Endpoint, NetConfig, Router, SimNet};
+        use krb_telemetry::{fixed_clock_us, EventKind, TraceId};
+        let master = master_db();
+        let mut svc = KpropdService::new(string_to_key("mk"), |_| true);
+        let journal = Journal::shared();
+        svc.set_journal(Arc::clone(&journal), fixed_clock_us(7));
+        let mut router = Router::new(SimNet::new(NetConfig::default()));
+        let slave_ep = Endpoint::new([18, 72, 0, 11], krb_netsim::ports::KPROP);
+        router.serve(slave_ep, svc);
+
+        let good = kprop_build(&master).unwrap();
+        let master_ep = Endpoint::new([18, 72, 0, 10], 1000);
+        let trace = TraceId::derive(9, 0);
+        assert_eq!(router.rpc_traced(master_ep, slave_ep, &good, Some(trace)).unwrap(), b"OK");
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 1;
+        let trace2 = TraceId::derive(9, 1);
+        assert!(router
+            .rpc_traced(master_ep, slave_ep, &bad, Some(trace2))
+            .unwrap()
+            .starts_with(b"ERR"));
+
+        let events = journal.dump();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::KpropTransfer,
+                EventKind::KpropApply,
+                EventKind::KpropTransfer,
+                EventKind::KpropReject
+            ]
+        );
+        assert_eq!(events[0].trace, Some(trace));
+        assert_eq!(events[3].trace, Some(trace2));
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //!   (DESIGN.md §10). Build a `Scheduled` once and pass it through the
 //!   `*_with` API family instead. (Benches measuring the schedule cost
 //!   itself are allowlisted.)
+//! - **L7 no key material in the journal**: a secret-bearing type
+//!   (`DesKey`, `SecretKey`, `Scheduled`) appearing next to the journal's
+//!   field constructor (`Field::from`) outside `crates/telemetry` is a
+//!   finding — journal events are exported as plaintext dump lines
+//!   (DESIGN.md §11), so key material must never be turned into an event
+//!   field. Journal principals, codes and counts, never keys.
 //!
 //! Findings are suppressed only via the `lint.allow` file at the
 //! workspace root, and unused allowlist entries are themselves errors, so
@@ -85,6 +91,10 @@ const L5_ATOMIC_TYPES: &[&str] = &["AtomicU64", "AtomicUsize", "AtomicI64"];
 /// finding — they rebuild the DES key schedule per call; hot paths must
 /// hold a `Scheduled` instead.
 const L6_CIPHER_TYPES: &[&str] = &["FastDes", "Des"];
+
+/// Secret-bearing types that must never appear next to the journal's
+/// field constructor (L7) — journal dumps are plaintext.
+const L7_SECRET_TYPES: &[&str] = &["DesKey", "SecretKey", "Scheduled"];
 
 /// Panic-family method calls and macros forbidden in server paths (L3).
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
@@ -244,6 +254,9 @@ pub fn scan_file(rel: &str, src: &str) -> Vec<Finding> {
     }
     if !rel.starts_with("crates/crypto/") {
         findings.extend(check_l6(rel, &tokens));
+    }
+    if !rel.starts_with("crates/telemetry/") {
+        findings.extend(check_l7(rel, &tokens));
     }
     findings
 }
@@ -647,6 +660,47 @@ fn check_l6(rel: &str, tokens: &[Token]) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
+// L7: key material next to the journal's field constructor
+// ---------------------------------------------------------------------------
+
+fn check_l7(rel: &str, tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != Kind::Ident || !L7_SECRET_TYPES.contains(&tok.text.as_str()) {
+            continue;
+        }
+        // A secret type within a few tokens of `Field :: from` means key
+        // material is being packed into a journal event. The window covers
+        // `Field::from(DesKey::clone(k))`, `Field::from(Scheduled::new(..)`
+        // without reaching into unrelated statements (mirrors L2's window).
+        let lo = i.saturating_sub(8);
+        let hi = (i + 9).min(tokens.len());
+        let near_field_ctor = (lo..hi).any(|j| {
+            tokens[j].kind == Kind::Ident
+                && tokens[j].text == "Field"
+                && tokens.get(j + 1).is_some_and(|t| t.text == ":")
+                && tokens.get(j + 2).is_some_and(|t| t.text == ":")
+                && tokens.get(j + 3).is_some_and(|t| t.text == "from")
+        });
+        if near_field_ctor {
+            findings.push(Finding {
+                rule: "L7",
+                file: rel.to_string(),
+                line: tok.line,
+                key: tok.text.clone(),
+                message: format!(
+                    "`{}` next to `Field::from` puts key material into a journal \
+                     event; the journal dump is plaintext — record principals, \
+                     error codes and counts, never keys or schedules",
+                    tok.text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
 // L4: crate hygiene (raw-text checks on crate roots)
 // ---------------------------------------------------------------------------
 
@@ -888,6 +942,33 @@ mod tests {
         // Test modules may construct ciphers directly.
         let test_only = "#[cfg(test)]\nmod tests { fn t() { let d = Des::new(&k); } }";
         assert!(scan_file("crates/kdc/src/server.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn l7_flags_secret_types_next_to_journal_field_constructor() {
+        let src = r#"
+            fn f(ctx: &TraceCtx, key: &DesKey) {
+                ctx.record(Component::App, EventKind::ApVerified,
+                    vec![("key", Field::from(DesKey::clone(key)))]);
+            }
+        "#;
+        let f = scan_file("crates/apps/src/pop.rs", src);
+        assert_eq!(keys(&f), vec![("L7", "DesKey".to_string())]);
+        // The telemetry crate defines the journal machinery and is exempt.
+        assert!(scan_file("crates/telemetry/src/journal.rs", src).is_empty());
+        // Principals, codes and counts next to the constructor are fine,
+        // and a secret type far from any `Field::from` is not a finding.
+        let clean = r#"
+            fn f(ctx: &TraceCtx, sched: &Scheduled) {
+                ctx.record(Component::App, EventKind::ApVerified,
+                    vec![("client", Field::from(name.as_str()))]);
+            }
+        "#;
+        assert!(scan_file("crates/apps/src/pop.rs", clean).is_empty());
+        // Test modules are exempt, like every token rule.
+        let test_only =
+            "#[cfg(test)]\nmod t { fn t() { let f = Field::from(DesKey::ZERO); } }";
+        assert!(scan_file("crates/apps/src/pop.rs", test_only).is_empty());
     }
 
     #[test]

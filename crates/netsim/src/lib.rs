@@ -70,6 +70,11 @@ pub struct Packet {
     pub payload: Vec<u8>,
     /// Wire sequence number assigned by the simulator (0 for real UDP).
     pub id: u64,
+    /// Out-of-band trace correlation id. This is simulator *metadata* —
+    /// the V4 wire format never carries it (`payload` is the wire), so
+    /// byte-level protocol behaviour is unchanged; services echo it onto
+    /// replies so a login's hops share one trace. `None` on real UDP.
+    pub trace: Option<krb_telemetry::TraceId>,
 }
 
 /// Errors from the network substrate.

@@ -11,7 +11,7 @@
 //! duplication are driven by a seeded RNG, so every run is reproducible.
 
 use crate::{Endpoint, NetError, Packet};
-use krb_telemetry::{Counter, Registry};
+use krb_telemetry::{Counter, Registry, TraceId};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,6 +23,9 @@ use std::sync::Arc;
 /// Seconds between the UNIX epoch and the simulation's t=0
 /// (1987-01-01, the year Kerberos became Athena's sole authentication means).
 pub const EPOCH_1987: u32 = 536_457_600;
+
+/// Default bound on a capture tap's buffer (see [`SimNet::add_capture`]).
+pub const DEFAULT_CAPTURE_CAP: usize = 4096;
 
 /// Link behaviour knobs.
 #[derive(Clone, Copy, Debug)]
@@ -187,14 +190,37 @@ impl SimNet {
 
     /// Put a packet on the wire with an honest source address.
     pub fn send(&mut self, src: Endpoint, dst: Endpoint, payload: Vec<u8>) {
-        self.send_spoofed(src, dst, payload)
+        self.send_traced(src, dst, payload, None)
+    }
+
+    /// [`SimNet::send`] carrying an out-of-band trace id as packet
+    /// metadata (never wire bytes — see [`Packet::trace`]).
+    pub fn send_traced(
+        &mut self,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: Vec<u8>,
+        trace: Option<TraceId>,
+    ) {
+        self.send_spoofed_traced(src, dst, payload, trace)
     }
 
     /// Put a packet on the wire with *any* source address. The network does
     /// not authenticate senders — that is the paper's premise.
     pub fn send_spoofed(&mut self, claimed_src: Endpoint, dst: Endpoint, payload: Vec<u8>) {
+        self.send_spoofed_traced(claimed_src, dst, payload, None)
+    }
+
+    /// [`SimNet::send_spoofed`] with trace metadata.
+    pub fn send_spoofed_traced(
+        &mut self,
+        claimed_src: Endpoint,
+        dst: Endpoint,
+        payload: Vec<u8>,
+        trace: Option<TraceId>,
+    ) {
         self.seq += 1;
-        let packet = Packet { src: claimed_src, dst, payload, id: self.seq };
+        let packet = Packet { src: claimed_src, dst, payload, id: self.seq, trace };
         for tap in &mut self.taps {
             tap(&packet);
         }
@@ -271,12 +297,31 @@ impl SimNet {
         self.taps.push(tap);
     }
 
-    /// Attach a tap that records every packet into a shared buffer and
-    /// return the buffer — the standard eavesdropper/replayer setup.
+    /// Attach a tap that records packets into a shared buffer and return
+    /// the buffer — the standard eavesdropper/replayer setup. The buffer
+    /// is bounded at [`DEFAULT_CAPTURE_CAP`] packets; see
+    /// [`SimNet::add_capture_bounded`].
     pub fn add_capture(&mut self) -> Arc<Mutex<Vec<Packet>>> {
+        self.add_capture_bounded(DEFAULT_CAPTURE_CAP)
+    }
+
+    /// Attach a capture tap holding at most `cap` packets. Once full, the
+    /// earliest traffic is kept (what an attacker tapes first is the
+    /// interesting part) and later packets are counted in the registry as
+    /// `net_capture_dropped_total` instead of growing the buffer for the
+    /// whole run.
+    pub fn add_capture_bounded(&mut self, cap: usize) -> Arc<Mutex<Vec<Packet>>> {
         let buf = Arc::new(Mutex::new(Vec::new()));
         let clone = Arc::clone(&buf);
-        self.add_tap(Box::new(move |p| clone.lock().push(p.clone())));
+        let dropped = self.registry.counter("net_capture_dropped_total");
+        self.add_tap(Box::new(move |p| {
+            let mut b = clone.lock();
+            if b.len() < cap {
+                b.push(p.clone());
+            } else {
+                dropped.inc();
+            }
+        }));
         buf
     }
 
@@ -411,6 +456,37 @@ mod tests {
         assert_eq!(buf.len(), 2);
         assert_eq!(buf[1].src, ep(9, 9));
         assert_eq!(buf[1].payload, b"forged");
+    }
+
+    #[test]
+    fn capture_buffer_is_bounded_and_counts_drops() {
+        let mut net = SimNet::new(NetConfig::default());
+        let registry = net.registry();
+        net.bind(ep(2, 88));
+        let captured = net.add_capture_bounded(3);
+        for i in 0..10u8 {
+            net.send(ep(1, 1), ep(2, 88), vec![i]);
+        }
+        net.run_until_idle();
+        let buf = captured.lock();
+        assert_eq!(buf.len(), 3, "cap holds");
+        assert_eq!(buf[0].payload, vec![0], "earliest traffic kept");
+        assert_eq!(registry.counter_value("net_capture_dropped_total"), 7);
+    }
+
+    #[test]
+    fn trace_metadata_rides_the_packet_not_the_wire() {
+        let mut net = SimNet::new(NetConfig::default());
+        net.bind(ep(2, 88));
+        let t = TraceId(0xBEEF);
+        net.send_traced(ep(1, 1), ep(2, 88), b"x".to_vec(), Some(t));
+        net.send(ep(1, 1), ep(2, 88), b"x".to_vec());
+        net.run_until_idle();
+        let a = net.recv(ep(2, 88)).unwrap();
+        let b = net.recv(ep(2, 88)).unwrap();
+        assert_eq!(a.trace, Some(t));
+        assert_eq!(b.trace, None);
+        assert_eq!(a.payload, b.payload, "trace never alters wire bytes");
     }
 
     #[test]

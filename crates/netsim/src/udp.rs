@@ -41,6 +41,7 @@ impl UdpServer {
                             dst: endpoint_of(socket.local_addr().expect("bound")),
                             payload: buf[..n].to_vec(),
                             id: 0,
+                            trace: None,
                         };
                         if let Some(reply) = svc.handle(&packet) {
                             let _ = socket.send_to(&reply, peer);

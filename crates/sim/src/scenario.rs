@@ -13,11 +13,13 @@ use krb_crypto::{DesKey, KeyGenerator};
 use krb_kdc::{Deployment, RealmConfig};
 use krb_netsim::{NetConfig, Router, SimNet};
 use krb_kprop::{kprop_build, kpropd_verify, PropSchedule};
+use krb_telemetry::{Component, EventKind, Field, Journal, TraceId};
 use krb_tools::{kdb_init, register_service, register_user, Workstation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Scenario parameters (defaults are a scaled-down Athena).
 #[derive(Clone, Copy, Debug)]
@@ -81,8 +83,16 @@ pub struct ScenarioReport {
 }
 
 /// Run the scenario. Deterministic for a given config.
-/// Event kinds on the heap: 0 = login, 1 = use a service, 2 = logout.
 pub fn run(config: ScenarioConfig) -> ScenarioReport {
+    run_with_journal(config, None)
+}
+
+/// As [`run`], but journaling each hourly propagation round when a journal
+/// is supplied: every round is one trace (`TraceId::derive(seed, round)`)
+/// carrying a `kprop_dump` at the master and a `kprop_apply` per slave —
+/// the day's replication history becomes a queryable timeline.
+/// Event kinds on the heap: 0 = login, 1 = use a service, 2 = logout.
+pub fn run_with_journal(config: ScenarioConfig, journal: Option<Arc<Journal>>) -> ScenarioReport {
     let start = krb_netsim::EPOCH_1987;
     let mut rng = StdRng::seed_from_u64(config.seed ^ ATHENA_SEED);
 
@@ -135,14 +145,35 @@ pub fn run(config: ScenarioConfig) -> ScenarioReport {
 
         // Hourly propagation (Fig. 13), from the master's live database.
         if schedule.due(now_abs) {
+            let trace = TraceId::derive(config.seed, report.propagations);
+            let at_us = u64::from(now_abs) * 1_000_000;
             let packet = kprop_build(dep.master.lock().db()).expect("dump");
             report.propagated_bytes += packet.len() as u64;
-            for (_, slave) in &dep.slaves {
+            if let Some(journal) = &journal {
+                journal.record(
+                    at_us,
+                    Some(trace),
+                    Component::Kprop,
+                    EventKind::KpropDump,
+                    vec![("bytes", Field::from(packet.len()))],
+                );
+            }
+            for (slave_idx, (_, slave)) in dep.slaves.iter().enumerate() {
                 let entries = kpropd_verify(&packet, &dep.master_key).expect("verify");
+                let count = entries.len();
                 let mut store = krb_kdb::MemStore::new();
                 krb_kdb::dump::install(&mut store, &entries).expect("install");
                 let db = krb_kdb::PrincipalDb::open(store, dep.master_key).expect("open");
                 slave.lock().install_db(db);
+                if let Some(journal) = &journal {
+                    journal.record(
+                        at_us,
+                        Some(trace),
+                        Component::Kprop,
+                        EventKind::KpropApply,
+                        vec![("slave", Field::from(slave_idx)), ("entries", Field::from(count))],
+                    );
+                }
             }
             report.propagations += 1;
         }
@@ -296,6 +327,29 @@ mod tests {
         // expect few renewals; the lifetime tradeoff is explored in depth
         // by the `lifetime` module (E15).
         let _ = long;
+    }
+
+    #[test]
+    fn propagation_rounds_journal_one_trace_each() {
+        let journal = Journal::shared();
+        let cfg = ScenarioConfig { users: 6, duration: 4 * 3600, slaves: 2, ..Default::default() };
+        let report = run_with_journal(cfg, Some(Arc::clone(&journal)));
+        assert!(report.propagations >= 2);
+        let events = journal.dump();
+        // Per round: one dump + one apply per slave, all on the round's trace.
+        assert_eq!(events.len() as u64, report.propagations * 3);
+        for round in 0..report.propagations {
+            let trace = TraceId::derive(cfg.seed, round);
+            let chunk = &events[(round * 3) as usize..(round * 3 + 3) as usize];
+            assert_eq!(chunk[0].kind, EventKind::KpropDump);
+            assert_eq!(chunk[1].kind, EventKind::KpropApply);
+            assert_eq!(chunk[2].kind, EventKind::KpropApply);
+            assert!(chunk.iter().all(|e| e.trace == Some(trace)));
+        }
+        // Same seed, same day: the journal is byte-identical.
+        let journal2 = Journal::shared();
+        run_with_journal(cfg, Some(Arc::clone(&journal2)));
+        assert_eq!(journal.render(), journal2.render());
     }
 
     #[test]

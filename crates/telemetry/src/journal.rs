@@ -1,0 +1,596 @@
+//! The structured event journal: bounded, trace-correlated, deterministic.
+//!
+//! The registry (see [`crate::registry`]) counts *outcomes*; the journal
+//! records *events* — one login is an AS exchange, a TGS exchange, and an
+//! AP exchange against the end server, and only a per-request trace can
+//! say where in that chain a failure landed. Every event carries:
+//!
+//! - a monotonic sequence number (global per journal),
+//! - a timestamp read from the caller's *injected* clock ([`crate::ClockUs`]),
+//! - an optional [`TraceId`] minted by the workstation at login,
+//! - the reporting [`Component`] and an [`EventKind`],
+//! - a small set of typed fields ([`Field`]) — **never** key material.
+//!
+//! ## Determinism contract
+//!
+//! The journal obeys the same rules as the registry: timestamps come from
+//! injected clocks, [`Journal::render`] orders events by sequence number,
+//! and trace identifiers are minted deterministically from seeds — so the
+//! same seed produces a byte-identical dump. Multi-threaded load runs keep
+//! this property by giving each worker its *own* journal (its own sequence
+//! counter) and concatenating the per-worker renders in worker order.
+//!
+//! ## Redaction
+//!
+//! [`Field`] can hold only integers and sanitized strings. There is no
+//! constructor taking a key type, and lint rule **L7** bans `DesKey`,
+//! `SecretKey`, and `Scheduled` tokens near journal calls outside this
+//! crate — an event built from a ticket can name the client principal,
+//! but never the session key that sealed it.
+
+use crate::metrics::Counter;
+use crate::registry::Registry;
+use crate::ClockUs;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Per-login correlation identifier, minted by the workstation and
+/// propagated out-of-band (packet metadata and function parameters,
+/// never V4 wire bytes).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Deterministically derive a trace id from a seed and a counter —
+    /// the workstation mints one per login attempt. SplitMix64 finalizer:
+    /// well-mixed, dependency-free, and stable across runs.
+    pub fn derive(seed: u64, n: u64) -> Self {
+        let mut z = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(n.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        TraceId(z ^ (z >> 31))
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The subsystem reporting an event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Component {
+    /// Workstation / client side (`kinit`, `mk_request`).
+    Ws,
+    /// Authentication + ticket-granting server.
+    Kdc,
+    /// An application server (rlogin, POP, Zephyr).
+    App,
+    /// Database propagation (`kprop`/`kpropd`).
+    Kprop,
+    /// Network substrate.
+    Net,
+}
+
+impl Component {
+    /// Stable lowercase name used in dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Component::Ws => "ws",
+            Component::Kdc => "kdc",
+            Component::App => "app",
+            Component::Kprop => "kprop",
+            Component::Net => "net",
+        }
+    }
+
+    /// Inverse of [`Component::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "ws" => Component::Ws,
+            "kdc" => Component::Kdc,
+            "app" => Component::App,
+            "kprop" => Component::Kprop,
+            "net" => Component::Net,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened. Kinds are closed-world so dumps stay parseable and the
+/// `krb-trace` tool can reason about hops.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)] // variant names mirror their dump strings below
+pub enum EventKind {
+    LoginStart,
+    AsReq,
+    AsOk,
+    TgsReq,
+    TgsOk,
+    KdcErr,
+    LoginOk,
+    LoginErr,
+    ApSent,
+    ApVerified,
+    ApErr,
+    ReplayHit,
+    AppOk,
+    AppErr,
+    KpropDump,
+    KpropTransfer,
+    KpropApply,
+    KpropReject,
+}
+
+impl EventKind {
+    /// Stable snake_case name used in dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::LoginStart => "login_start",
+            EventKind::AsReq => "as_req",
+            EventKind::AsOk => "as_ok",
+            EventKind::TgsReq => "tgs_req",
+            EventKind::TgsOk => "tgs_ok",
+            EventKind::KdcErr => "kdc_err",
+            EventKind::LoginOk => "login_ok",
+            EventKind::LoginErr => "login_err",
+            EventKind::ApSent => "ap_sent",
+            EventKind::ApVerified => "ap_verified",
+            EventKind::ApErr => "ap_err",
+            EventKind::ReplayHit => "replay_hit",
+            EventKind::AppOk => "app_ok",
+            EventKind::AppErr => "app_err",
+            EventKind::KpropDump => "kprop_dump",
+            EventKind::KpropTransfer => "kprop_transfer",
+            EventKind::KpropApply => "kprop_apply",
+            EventKind::KpropReject => "kprop_reject",
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "login_start" => EventKind::LoginStart,
+            "as_req" => EventKind::AsReq,
+            "as_ok" => EventKind::AsOk,
+            "tgs_req" => EventKind::TgsReq,
+            "tgs_ok" => EventKind::TgsOk,
+            "kdc_err" => EventKind::KdcErr,
+            "login_ok" => EventKind::LoginOk,
+            "login_err" => EventKind::LoginErr,
+            "ap_sent" => EventKind::ApSent,
+            "ap_verified" => EventKind::ApVerified,
+            "ap_err" => EventKind::ApErr,
+            "replay_hit" => EventKind::ReplayHit,
+            "app_ok" => EventKind::AppOk,
+            "app_err" => EventKind::AppErr,
+            "kprop_dump" => EventKind::KpropDump,
+            "kprop_transfer" => EventKind::KpropTransfer,
+            "kprop_apply" => EventKind::KpropApply,
+            "kprop_reject" => EventKind::KpropReject,
+            _ => return None,
+        })
+    }
+
+    /// Whether this kind reports a failure (drives `krb-trace
+    /// --errors-only`).
+    pub fn is_error(self) -> bool {
+        matches!(
+            self,
+            EventKind::KdcErr
+                | EventKind::LoginErr
+                | EventKind::ApErr
+                | EventKind::ReplayHit
+                | EventKind::AppErr
+                | EventKind::KpropReject
+        )
+    }
+}
+
+/// A typed event field value. Deliberately narrow: integers and sanitized
+/// strings only, so key material cannot ride along.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Field {
+    /// An integer value (count, code, byte length, port...).
+    U64(u64),
+    /// A short string value (principal name, error kind slug...).
+    /// Whitespace and `=` are rewritten to `_` at render time so the
+    /// `key=value` dump line stays machine-parseable.
+    Str(String),
+}
+
+impl Field {
+    fn render(&self, out: &mut String) {
+        match self {
+            Field::U64(v) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+            }
+            Field::Str(s) => {
+                for ch in s.chars() {
+                    if ch.is_whitespace() || ch == '=' {
+                        out.push('_');
+                    } else {
+                        out.push(ch);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+
+impl From<u32> for Field {
+    fn from(v: u32) -> Self {
+        Field::U64(u64::from(v))
+    }
+}
+
+impl From<u8> for Field {
+    fn from(v: u8) -> Self {
+        Field::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Str(v.to_string())
+    }
+}
+
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Str(v)
+    }
+}
+
+/// One journal entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Journal-wide monotonic sequence number; gaps mean eviction.
+    pub seq: u64,
+    /// Timestamp in microseconds from the recording component's injected
+    /// clock.
+    pub at_us: u64,
+    /// Correlation id, when the request carried one.
+    pub trace: Option<TraceId>,
+    /// Reporting subsystem.
+    pub component: Component,
+    /// What happened.
+    pub kind: EventKind,
+    /// Small typed payload, `key=value` rendered in insertion order.
+    pub fields: Vec<(&'static str, Field)>,
+}
+
+impl Event {
+    /// Render as a single dump line:
+    /// `seq=N us=N trace=<hex16|-> comp=<c> kind=<k> [key=value ...]`.
+    pub fn render_line(&self, out: &mut String) {
+        let _ = fmt::Write::write_fmt(out, format_args!("seq={} us={}", self.seq, self.at_us));
+        match self.trace {
+            Some(t) => {
+                let _ = fmt::Write::write_fmt(out, format_args!(" trace={t}"));
+            }
+            None => out.push_str(" trace=-"),
+        }
+        let _ = fmt::Write::write_fmt(
+            out,
+            format_args!(" comp={} kind={}", self.component.as_str(), self.kind.as_str()),
+        );
+        for (key, value) in &self.fields {
+            out.push(' ');
+            out.push_str(key);
+            out.push('=');
+            value.render(out);
+        }
+        out.push('\n');
+    }
+}
+
+const DEFAULT_CAPACITY: usize = 4096;
+const STRIPES: usize = 8;
+
+/// A bounded, lock-striped ring buffer of [`Event`]s.
+///
+/// Recording takes one atomic increment (the sequence number) and one
+/// short stripe lock; when a stripe's ring is full the oldest event in
+/// that stripe is evicted and the dropped counter bumped, so a long run
+/// holds the most recent window rather than growing without bound.
+pub struct Journal {
+    stripes: Vec<Mutex<VecDeque<Event>>>,
+    stripe_cap: usize,
+    seq: AtomicU64,
+    events: Counter,
+    dropped: Counter,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events (rounded up to a
+    /// multiple of the stripe count; minimum one per stripe).
+    pub fn new(capacity: usize) -> Self {
+        let stripe_cap = capacity.div_ceil(STRIPES).max(1);
+        Journal {
+            stripes: (0..STRIPES).map(|_| Mutex::new(VecDeque::new())).collect(),
+            stripe_cap,
+            seq: AtomicU64::new(0),
+            events: Counter::new(),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// A default-capacity journal behind an `Arc`, ready to share.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new(DEFAULT_CAPACITY))
+    }
+
+    fn lock_stripe(&self, i: usize) -> MutexGuard<'_, VecDeque<Event>> {
+        match self.stripes[i].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Append an event. `at_us` must come from the caller's injected
+    /// clock — the journal never reads time itself.
+    pub fn record(
+        &self,
+        at_us: u64,
+        trace: Option<TraceId>,
+        component: Component,
+        kind: EventKind,
+        fields: Vec<(&'static str, Field)>,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let event = Event { seq, at_us, trace, component, kind, fields };
+        let mut stripe = self.lock_stripe((seq as usize) % STRIPES);
+        if stripe.len() >= self.stripe_cap {
+            stripe.pop_front();
+            self.dropped.inc();
+        }
+        stripe.push_back(event);
+        self.events.inc();
+    }
+
+    /// Total events ever recorded (including since-evicted ones).
+    pub fn events_recorded(&self) -> u64 {
+        self.events.get()
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn events_dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Publish the journal's own counters into `registry` as
+    /// `journal_events_total` / `journal_dropped_total`.
+    pub fn publish(&self, registry: &Registry) {
+        registry.adopt_counter("journal_events_total", &self.events);
+        registry.adopt_counter("journal_dropped_total", &self.dropped);
+    }
+
+    /// Snapshot of the retained events, sorted by sequence number.
+    pub fn dump(&self) -> Vec<Event> {
+        let mut all = Vec::new();
+        for i in 0..STRIPES {
+            all.extend(self.lock_stripe(i).iter().cloned());
+        }
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+
+    /// Render the retained events as dump text, one line per event in
+    /// sequence order. Deterministic: equal recorded events produce
+    /// byte-identical text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for event in self.dump() {
+            event.render_line(&mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("recorded", &self.events_recorded())
+            .field("dropped", &self.events_dropped())
+            .field("capacity", &(self.stripe_cap * STRIPES))
+            .finish()
+    }
+}
+
+/// The per-request trace context handed across hops: a shared journal, an
+/// injected clock, and the login's [`TraceId`]. Cloned freely; recording
+/// through it stamps the trace and the clock automatically.
+#[derive(Clone)]
+pub struct TraceCtx {
+    journal: Arc<Journal>,
+    clock: ClockUs,
+    trace: TraceId,
+}
+
+impl TraceCtx {
+    /// Bind `trace` to a journal and a clock.
+    pub fn new(journal: Arc<Journal>, clock: ClockUs, trace: TraceId) -> Self {
+        TraceCtx { journal, clock, trace }
+    }
+
+    /// The correlation id this context carries.
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
+    /// The journal this context records into.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
+    }
+
+    /// The injected clock events are stamped with.
+    pub fn clock(&self) -> &ClockUs {
+        &self.clock
+    }
+
+    /// A context for the same journal/clock but a different login.
+    pub fn with_trace(&self, trace: TraceId) -> Self {
+        TraceCtx { journal: Arc::clone(&self.journal), clock: ClockUs::clone(&self.clock), trace }
+    }
+
+    /// Record an event stamped with this context's trace and clock.
+    pub fn record(&self, component: Component, kind: EventKind, fields: Vec<(&'static str, Field)>) {
+        self.journal
+            .record((self.clock)(), Some(self.trace), component, kind, fields);
+    }
+}
+
+impl fmt::Debug for TraceCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceCtx").field("trace", &self.trace).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::fixed_clock_us;
+
+    fn ev(j: &Journal, n: u64) {
+        j.record(
+            n,
+            Some(TraceId(0xABCD)),
+            Component::Kdc,
+            EventKind::AsOk,
+            vec![("n", Field::from(n))],
+        );
+    }
+
+    #[test]
+    fn events_render_in_seq_order_with_stable_format() {
+        let j = Journal::new(64);
+        j.record(
+            10,
+            Some(TraceId(0xFF)),
+            Component::Ws,
+            EventKind::LoginStart,
+            vec![("client", Field::from("bcn")), ("n", Field::from(1u64))],
+        );
+        j.record(20, None, Component::Net, EventKind::AsReq, vec![]);
+        let text = j.render();
+        assert_eq!(
+            text,
+            "seq=0 us=10 trace=00000000000000ff comp=ws kind=login_start client=bcn n=1\n\
+             seq=1 us=20 trace=- comp=net kind=as_req\n"
+        );
+    }
+
+    #[test]
+    fn ring_wraparound_evicts_oldest_and_leaves_seq_gap() {
+        // Capacity 8 (one slot per stripe): recording 24 events keeps the
+        // newest 8 and the dump shows the seq gap where the old ones were.
+        let j = Journal::new(8);
+        for n in 0..24 {
+            ev(&j, n);
+        }
+        assert_eq!(j.events_recorded(), 24);
+        assert_eq!(j.events_dropped(), 16);
+        let dump = j.dump();
+        assert_eq!(dump.len(), 8);
+        let seqs: Vec<u64> = dump.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (16..24).collect::<Vec<u64>>(), "oldest evicted first");
+        assert!(seqs[0] > 0, "gap before the retained window is visible");
+    }
+
+    #[test]
+    fn string_fields_are_sanitized_for_the_line_format() {
+        let j = Journal::new(8);
+        j.record(
+            0,
+            None,
+            Component::App,
+            EventKind::AppErr,
+            vec![("msg", Field::from("bad = thing\nhappened"))],
+        );
+        let text = j.render();
+        assert!(text.contains("msg=bad___thing_happened"));
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn publish_exports_event_and_drop_counters() {
+        let r = Registry::new();
+        let j = Journal::new(8);
+        j.publish(&r);
+        for n in 0..10 {
+            ev(&j, n);
+        }
+        assert_eq!(r.counter_value("journal_events_total"), 10);
+        assert_eq!(r.counter_value("journal_dropped_total"), 2);
+    }
+
+    #[test]
+    fn trace_ctx_stamps_trace_and_clock() {
+        let j = Journal::shared();
+        let ctx = TraceCtx::new(Arc::clone(&j), fixed_clock_us(42), TraceId::derive(7, 0));
+        ctx.record(Component::Kdc, EventKind::TgsOk, vec![]);
+        let dump = j.dump();
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump[0].at_us, 42);
+        assert_eq!(dump[0].trace, Some(TraceId::derive(7, 0)));
+    }
+
+    #[test]
+    fn derived_trace_ids_are_stable_and_distinct() {
+        assert_eq!(TraceId::derive(42, 0), TraceId::derive(42, 0));
+        assert_ne!(TraceId::derive(42, 0), TraceId::derive(42, 1));
+        assert_ne!(TraceId::derive(42, 0), TraceId::derive(43, 0));
+    }
+
+    #[test]
+    fn kind_and_component_round_trip_their_names() {
+        for kind in [
+            EventKind::LoginStart,
+            EventKind::AsReq,
+            EventKind::AsOk,
+            EventKind::TgsReq,
+            EventKind::TgsOk,
+            EventKind::KdcErr,
+            EventKind::LoginOk,
+            EventKind::LoginErr,
+            EventKind::ApSent,
+            EventKind::ApVerified,
+            EventKind::ApErr,
+            EventKind::ReplayHit,
+            EventKind::AppOk,
+            EventKind::AppErr,
+            EventKind::KpropDump,
+            EventKind::KpropTransfer,
+            EventKind::KpropApply,
+            EventKind::KpropReject,
+        ] {
+            assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
+        }
+        for comp in [
+            Component::Ws,
+            Component::Kdc,
+            Component::App,
+            Component::Kprop,
+            Component::Net,
+        ] {
+            assert_eq!(Component::parse(comp.as_str()), Some(comp));
+        }
+    }
+}

@@ -31,10 +31,12 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod journal;
 pub mod metrics;
 pub mod registry;
 
 pub use clock::{fixed_clock_us, lcg_clock_us, shared_clock_us, wall_clock_us, ClockUs};
+pub use journal::{Component, Event, EventKind, Field, Journal, TraceCtx, TraceId};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, LATENCY_BUCKETS_US};
 pub use registry::Registry;
 
@@ -42,10 +44,15 @@ pub use registry::Registry;
 /// records the elapsed microseconds into a [`Histogram`] at
 /// [`Span::finish`]. The clock is injected, so a span in a simulated path
 /// measures simulated time and stays deterministic.
+///
+/// A span that is simply dropped (an early-return error path, a `?`)
+/// still records into the histogram it was opened with — losing the
+/// latency sample silently made error paths invisible. Call
+/// [`Span::cancel`] to opt out explicitly.
 pub struct Span {
     clock: ClockUs,
     started_at: u64,
-    histogram: Histogram,
+    histogram: Option<Histogram>,
 }
 
 impl Span {
@@ -54,30 +61,47 @@ impl Span {
         Span {
             clock: ClockUs::clone(clock),
             started_at: clock(),
-            histogram: histogram.clone(),
+            histogram: Some(histogram.clone()),
         }
+    }
+
+    fn elapsed(&self) -> u64 {
+        (self.clock)().saturating_sub(self.started_at)
     }
 
     /// Stop timing and record the elapsed microseconds. Returns the
     /// recorded duration so callers can log or aggregate it further.
-    pub fn finish(self) -> u64 {
-        let elapsed = (self.clock)().saturating_sub(self.started_at);
-        self.histogram.record(elapsed);
+    pub fn finish(mut self) -> u64 {
+        let elapsed = self.elapsed();
+        if let Some(hist) = self.histogram.take() {
+            hist.record(elapsed);
+        }
         elapsed
     }
 
     /// Stop timing but record into `histogram` instead of the one the
     /// span was opened with — for callers that only learn where a request
     /// belongs after work has started (e.g. once it has been decoded).
-    pub fn finish_into(self, histogram: &Histogram) -> u64 {
-        let elapsed = (self.clock)().saturating_sub(self.started_at);
+    pub fn finish_into(mut self, histogram: &Histogram) -> u64 {
+        let elapsed = self.elapsed();
+        self.histogram = None;
         histogram.record(elapsed);
         elapsed
     }
 
     /// Abandon the span without recording (e.g. a request the component
     /// decided not to account for).
-    pub fn cancel(self) {}
+    pub fn cancel(mut self) {
+        self.histogram = None;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(hist) = self.histogram.take() {
+            hist.record(self.elapsed());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +140,31 @@ mod tests {
         let span = Span::start(&clock, &hist);
         cell.store(100, Ordering::SeqCst);
         assert_eq!(span.finish(), 0);
+    }
+
+    #[test]
+    fn dropped_span_still_records() {
+        // Regression: an early-return error path that drops the span must
+        // not lose the latency sample.
+        let cell = Arc::new(AtomicU64::new(10));
+        let clock = shared_clock_us(Arc::clone(&cell));
+        let hist = Histogram::latency_us();
+        {
+            let _span = Span::start(&clock, &hist);
+            cell.store(85, Ordering::SeqCst);
+            // dropped without finish()
+        }
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 75);
+    }
+
+    #[test]
+    fn finish_into_does_not_double_record() {
+        let clock = fixed_clock_us(7);
+        let opened_with = Histogram::latency_us();
+        let other = Histogram::latency_us();
+        Span::start(&clock, &opened_with).finish_into(&other);
+        assert_eq!(opened_with.count(), 0);
+        assert_eq!(other.count(), 1);
     }
 }

@@ -2,18 +2,21 @@
 //!
 //! ```text
 //! krb-stat [--iters N] [--users N] [--seed N] [--threads N] [--sim-clock]
-//!          [--smoke] [--out PATH]
+//!          [--smoke] [--out PATH] [--journal PATH]
 //! ```
 //!
 //! `--smoke` is the fast deterministic CI configuration (25 cycles,
 //! simulated latency clock); without it the defaults measure real wall
-//! time. See `crates/tools/src/krbstat.rs` for what the numbers mean.
+//! time. `--journal` additionally writes the run's event-journal dump,
+//! ready for `krb-trace --input`. See `crates/tools/src/krbstat.rs` for
+//! what the numbers mean.
 
 use krb_tools::{run_load, StatConfig};
 
 fn main() {
     let mut cfg = StatConfig::default();
     let mut out = String::from("BENCH_kdc.json");
+    let mut journal_out: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -44,6 +47,10 @@ fn main() {
                 Some(p) => out = p,
                 None => return usage("--out needs a path"),
             },
+            "--journal" => match take_value(&mut i) {
+                Some(p) => journal_out = Some(p),
+                None => return usage("--journal needs a path"),
+            },
             other => return usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
@@ -60,6 +67,12 @@ fn main() {
         eprintln!("krb-stat: cannot write {out}: {e}");
         std::process::exit(1);
     }
+    if let Some(path) = &journal_out {
+        if let Err(e) = std::fs::write(path, &report.journal_dump) {
+            eprintln!("krb-stat: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
     println!(
         "krb-stat: {} AS + {} TGS in {} us ({} clock), {} errors -> {}",
         report.as_ok,
@@ -74,7 +87,7 @@ fn main() {
 fn usage(err: &str) {
     eprintln!("krb-stat: {err}");
     eprintln!(
-        "usage: krb-stat [--iters N] [--users N] [--seed N] [--threads N] [--sim-clock] [--smoke] [--out PATH]"
+        "usage: krb-stat [--iters N] [--users N] [--seed N] [--threads N] [--sim-clock] [--smoke] [--out PATH] [--journal PATH]"
     );
     std::process::exit(2);
 }

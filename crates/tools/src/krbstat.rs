@@ -26,7 +26,7 @@ use crate::{kdb_init, register_service, register_user, ToolError, Workstation};
 use kerberos::Principal;
 use krb_kdc::{shared_clock, Deployment, RealmConfig};
 use krb_netsim::{NetConfig, Router, SimNet};
-use krb_telemetry::{lcg_clock_us, wall_clock_us, HistogramSummary, Registry};
+use krb_telemetry::{lcg_clock_us, wall_clock_us, ClockUs, HistogramSummary, Journal, Registry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -85,6 +85,15 @@ pub struct StatReport {
     pub errors: u64,
     /// Wall or simulated microseconds the loop took.
     pub elapsed_us: u64,
+    /// The per-worker event journals, concatenated in worker order under
+    /// `# worker N` headers. Each worker owns its journal (its own seq
+    /// counter), so in sim mode this dump is byte-identical across
+    /// same-seed runs even with thread interleaving.
+    pub journal_dump: String,
+    /// Journal events recorded across all workers.
+    pub journal_events: u64,
+    /// Journal events evicted by the ring buffer across all workers.
+    pub journal_dropped: u64,
 }
 
 /// Run the AS+TGS load loop. With `threads == 1` this is the classic
@@ -98,16 +107,20 @@ pub fn run_load(cfg: &StatConfig) -> Result<StatReport, ToolError> {
     let threads = cfg.threads.clamp(1, 64);
 
     let registry = Registry::shared();
+    // One journal per worker: each owns its seq counter, so the combined
+    // dump (worker-order concatenation) is deterministic under sim clocks.
+    let journals: Vec<Arc<Journal>> = (0..threads).map(|_| Journal::shared()).collect();
     let wall = wall_clock_us();
     let t0 = wall();
     if threads == 1 {
-        run_worker(cfg, 0, iters, users, &registry)?;
+        run_worker(cfg, 0, iters, users, &registry, &journals[0])?;
     } else {
         let failure = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let registry = &registry;
-                    scope.spawn(move || run_worker(cfg, t as u64, iters, users, registry))
+                    let journal = &journals[t];
+                    scope.spawn(move || run_worker(cfg, t as u64, iters, users, registry, journal))
                 })
                 .collect();
             let mut first_err = None;
@@ -146,9 +159,19 @@ pub fn run_load(cfg: &StatConfig) -> Result<StatReport, ToolError> {
         wall_elapsed
     };
 
+    let mut journal_dump = String::new();
+    let mut journal_events = 0u64;
+    let mut journal_dropped = 0u64;
+    for (t, journal) in journals.iter().enumerate() {
+        journal_dump.push_str(&format!("# worker {t}\n"));
+        journal_dump.push_str(&journal.render());
+        journal_events += journal.events_recorded();
+        journal_dropped += journal.events_dropped();
+    }
+
     let json = render_json(
         cfg, iters, users, threads, elapsed_us, as_ok, tgs_ok, errors, sched_hits, sched_misses,
-        &as_hist, &tgs_hist,
+        journal_events, journal_dropped, &as_hist, &tgs_hist,
     );
     Ok(StatReport {
         json,
@@ -157,6 +180,9 @@ pub fn run_load(cfg: &StatConfig) -> Result<StatReport, ToolError> {
         tgs_ok,
         errors,
         elapsed_us,
+        journal_dump,
+        journal_events,
+        journal_dropped,
     })
 }
 
@@ -169,6 +195,7 @@ fn run_worker(
     iters: usize,
     users: usize,
     registry: &Arc<Registry>,
+    journal: &Arc<Journal>,
 ) -> Result<(), ToolError> {
     let seed = cfg.seed ^ thread_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut router = Router::new(SimNet::new(NetConfig::default()));
@@ -192,11 +219,15 @@ fn run_worker(
     } else {
         wall_clock_us()
     };
-    dep.master.lock().set_telemetry(Arc::clone(registry), clock_us);
+    {
+        let mut master = dep.master.lock();
+        master.set_telemetry(Arc::clone(registry), ClockUs::clone(&clock_us));
+        master.set_journal(Arc::clone(journal));
+    }
 
     let service = Principal::parse("rcmd.bench", REALM)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    for _ in 0..iters {
+    for i in 0..iters {
         // Advance realm time one second per cycle: authenticators get
         // fresh timestamps and ticket lifetimes still hold easily.
         dep.advance_time(1);
@@ -206,6 +237,13 @@ fn run_worker(
             REALM,
             dep.kdc_endpoints(),
             shared_clock(Arc::clone(&dep.clock_cell)),
+        );
+        // A fresh workstation per cycle means a fresh login counter, so
+        // derive each cycle's trace seed from the cycle index.
+        ws.enable_tracing(
+            Arc::clone(journal),
+            ClockUs::clone(&clock_us),
+            seed.wrapping_add(i as u64),
         );
         ws.kinit(&mut router, &format!("user{u}"), &format!("pw-{u}"))?;
         ws.mk_request(&mut router, &service, 0, false)?;
@@ -236,6 +274,8 @@ fn render_json(
     errors: u64,
     sched_hits: u64,
     sched_misses: u64,
+    journal_events: u64,
+    journal_dropped: u64,
     as_hist: &HistogramSummary,
     tgs_hist: &HistogramSummary,
 ) -> String {
@@ -255,6 +295,7 @@ fn render_json(
             "  \"as_per_sec\": {asps:.2},\n",
             "  \"tgs_per_sec\": {tgsps:.2},\n",
             "  \"sched_cache\": {{\"hits\": {shits}, \"misses\": {smisses}}},\n",
+            "  \"journal\": {{\"events\": {jevents}, \"dropped\": {jdropped}}},\n",
             "  \"latency_us\": {{\"as\": {aslat}, \"tgs\": {tgslat}}}\n",
             "}}\n",
         ),
@@ -271,6 +312,8 @@ fn render_json(
         tgsps = per_sec(tgs_ok, elapsed_us),
         shits = sched_hits,
         smisses = sched_misses,
+        jevents = journal_events,
+        jdropped = journal_dropped,
         aslat = latency_json(as_hist),
         tgslat = latency_json(tgs_hist),
     )
@@ -290,6 +333,9 @@ pub const REQUIRED_JSON_KEYS: &[&str] = &[
     "\"sched_cache\"",
     "\"hits\"",
     "\"misses\"",
+    "\"journal\"",
+    "\"events\"",
+    "\"dropped\"",
     "\"latency_us\"",
     "\"p50\"",
     "\"p95\"",
@@ -361,6 +407,7 @@ mod tests {
         let b = run_load(&cfg).unwrap();
         assert_eq!(a.json, b.json);
         assert_eq!(a.render, b.render);
+        assert_eq!(a.journal_dump, b.journal_dump);
         // And the latency histograms actually saw samples.
         assert!(a.render.contains("kdc_as_latency_us_count 40"), "{}", a.render);
     }
@@ -390,6 +437,26 @@ mod tests {
         assert_eq!(a.tgs_ok, 80);
         assert_eq!(a.errors, 0);
         assert!(a.json.contains("\"threads\": 4"), "{}", a.json);
+    }
+
+    #[test]
+    fn multi_thread_journal_dump_is_byte_identical() {
+        // Per-worker journals own their seq counters, and the combined
+        // dump concatenates them in worker order — so even with 4 threads
+        // racing, the dump is a pure function of the config.
+        let cfg = StatConfig { iters: 15, users: 3, seed: 11, sim_clock: true, threads: 4 };
+        let a = run_load(&cfg).unwrap();
+        let b = run_load(&cfg).unwrap();
+        assert_eq!(a.journal_dump, b.journal_dump);
+        assert!(a.journal_events > 0);
+        assert_eq!(a.journal_dropped, 0);
+        for t in 0..4 {
+            assert!(a.journal_dump.contains(&format!("# worker {t}\n")), "{}", a.journal_dump);
+        }
+        // Every cycle journals the full login chain at both hops.
+        assert!(a.journal_dump.contains("kind=login_start"));
+        assert!(a.journal_dump.contains("comp=kdc kind=as_ok"));
+        assert!(a.journal_dump.contains("kind=ap_sent"));
     }
 
     #[test]

@@ -16,6 +16,8 @@ use kerberos::{
 use krb_crypto::Scheduled;
 use krb_kdc::Clock;
 use krb_netsim::{Endpoint, Router};
+use krb_telemetry::{ClockUs, Component, EventKind, Field, Journal, TraceCtx, TraceId};
+use std::sync::Arc;
 
 /// One workstation on the (simulated) network.
 pub struct Workstation {
@@ -37,6 +39,12 @@ pub struct Workstation {
     /// unique per (client, second) — a real clock ticks between requests;
     /// a simulated one may not, so we enforce monotonicity ourselves.
     last_auth_ts: u32,
+    /// Journal + microsecond clock + trace seed, when tracing is enabled.
+    tracing: Option<(Arc<Journal>, ClockUs, u64)>,
+    /// Logins performed — the counter behind deterministic trace minting.
+    logins: u64,
+    /// The active login's trace id; every hop of this session carries it.
+    current_trace: Option<TraceId>,
 }
 
 impl Workstation {
@@ -51,6 +59,64 @@ impl Workstation {
             clock,
             remote_kdcs: Vec::new(),
             last_auth_ts: 0,
+            tracing: None,
+            logins: 0,
+            current_trace: None,
+        }
+    }
+
+    /// Enable per-login tracing: each `kinit` mints
+    /// `TraceId::derive(seed, n)` for login number `n`, journals the
+    /// workstation-side hops, and stamps the id onto every packet this
+    /// workstation sends (simulator metadata — never the V4 wire bytes).
+    pub fn enable_tracing(&mut self, journal: Arc<Journal>, clock_us: ClockUs, seed: u64) {
+        self.tracing = Some((journal, clock_us, seed));
+    }
+
+    /// The active login's trace id, if tracing is enabled.
+    pub fn current_trace(&self) -> Option<TraceId> {
+        self.tracing.as_ref()?;
+        self.current_trace
+    }
+
+    /// A context for journaling at this hop, if tracing is on and a login
+    /// is active.
+    fn trace_ctx(&self) -> Option<TraceCtx> {
+        let (journal, clock, _) = self.tracing.as_ref()?;
+        let trace = self.current_trace?;
+        Some(TraceCtx::new(Arc::clone(journal), ClockUs::clone(clock), trace))
+    }
+
+    /// Start a new login trace (called by the `kinit` variants).
+    fn begin_login_trace(&mut self, username: &str) -> Option<TraceCtx> {
+        let (journal, clock, seed) = self.tracing.as_ref()?;
+        let trace = TraceId::derive(*seed, self.logins);
+        self.logins += 1;
+        self.current_trace = Some(trace);
+        let ctx = TraceCtx::new(Arc::clone(journal), ClockUs::clone(clock), trace);
+        ctx.record(
+            Component::Ws,
+            EventKind::LoginStart,
+            vec![("user", Field::from(username))],
+        );
+        Some(ctx)
+    }
+
+    /// Journal the login verdict at the workstation.
+    fn record_login_outcome<T>(ctx: Option<&TraceCtx>, result: &Result<T, ToolError>) {
+        let Some(ctx) = ctx else { return };
+        match result {
+            Ok(_) => ctx.record(Component::Ws, EventKind::LoginOk, vec![]),
+            Err(ToolError::Krb(code)) => ctx.record(
+                Component::Ws,
+                EventKind::LoginErr,
+                vec![("err_kind", Field::from(code.kind())), ("code", Field::from(*code as u8))],
+            ),
+            Err(ToolError::Net(_)) => ctx.record(
+                Component::Ws,
+                EventKind::LoginErr,
+                vec![("err_kind", Field::from("net"))],
+            ),
         }
     }
 
@@ -76,7 +142,7 @@ impl Workstation {
     fn kdc_rpc(&self, router: &mut Router, request: &[u8]) -> Result<Vec<u8>, ToolError> {
         for &ep in &self.kdc_endpoints {
             for _attempt in 0..Self::RETRIES_PER_KDC {
-                match router.rpc(self.endpoint, ep, request) {
+                match router.rpc_traced(self.endpoint, ep, request, self.current_trace()) {
                     Ok(reply) => return Ok(reply),
                     Err(krb_netsim::NetError::Timeout) => continue,
                     Err(e) => return Err(ToolError::Net(e)),
@@ -93,10 +159,26 @@ impl Workstation {
         username: &str,
         password: &str,
     ) -> Result<(), ToolError> {
+        let ctx = self.begin_login_trace(username);
+        let r = self.kinit_inner(router, username, password, ctx.as_ref());
+        Self::record_login_outcome(ctx.as_ref(), &r);
+        r
+    }
+
+    fn kinit_inner(
+        &mut self,
+        router: &mut Router,
+        username: &str,
+        password: &str,
+        ctx: Option<&TraceCtx>,
+    ) -> Result<(), ToolError> {
         let client = Principal::parse(username, &self.realm)?;
         let now = self.now();
         let tgs = Principal::tgs(&self.realm, &self.realm);
         let req = build_as_req(&client, &tgs, DEFAULT_TGT_LIFE, now);
+        if let Some(ctx) = ctx {
+            ctx.record(Component::Ws, EventKind::AsReq, vec![("client", Field::from(username))]);
+        }
         let reply = self.kdc_rpc(router, &req)?;
         let tgt = read_as_reply_with_password(&reply, password, now)?;
         self.cache.initialize(client, tgt);
@@ -112,14 +194,23 @@ impl Workstation {
         router: &mut Router,
         card: &mut crate::smartcard::Smartcard,
     ) -> Result<(), ToolError> {
-        let client = Principal::parse(&card.owner.clone(), &self.realm)?;
-        let now = self.now();
-        let tgs = Principal::tgs(&self.realm, &self.realm);
-        let req = build_as_req(&client, &tgs, DEFAULT_TGT_LIFE, now);
-        let reply = self.kdc_rpc(router, &req)?;
-        let tgt = card.process_as_reply(&reply, now)?;
-        self.cache.initialize(client, tgt);
-        Ok(())
+        let owner = card.owner.clone();
+        let ctx = self.begin_login_trace(&owner);
+        let r = (|| {
+            let client = Principal::parse(&owner, &self.realm)?;
+            let now = self.now();
+            let tgs = Principal::tgs(&self.realm, &self.realm);
+            let req = build_as_req(&client, &tgs, DEFAULT_TGT_LIFE, now);
+            if let Some(ctx) = &ctx {
+                ctx.record(Component::Ws, EventKind::AsReq, vec![("client", Field::from(owner.as_str()))]);
+            }
+            let reply = self.kdc_rpc(router, &req)?;
+            let tgt = card.process_as_reply(&reply, now)?;
+            self.cache.initialize(client, tgt);
+            Ok(())
+        })();
+        Self::record_login_outcome(ctx.as_ref(), &r);
+        r
     }
 
     /// The logged-in user, if any.
@@ -158,6 +249,13 @@ impl Workstation {
                         .ok_or(ToolError::Krb(ErrorCode::RdApExp))?;
                     let local_sched = Scheduled::new(&local_tgt.key());
                     let remote_tgs = Principal::tgs(&service.realm, &self.realm);
+                    if let Some(ctx) = self.trace_ctx() {
+                        ctx.record(
+                            Component::Ws,
+                            EventKind::TgsReq,
+                            vec![("service", Field::from(remote_tgs.to_string()))],
+                        );
+                    }
                     let ts = self.auth_ts();
                     let req = build_tgs_req_with(
                         &local_tgt,
@@ -183,6 +281,13 @@ impl Workstation {
         // authenticator and try again. The TGT session-key schedule is
         // built once here and reused for every attempt's request + reply.
         let tgt_sched = Scheduled::new(&tgt.key());
+        if let Some(ctx) = self.trace_ctx() {
+            ctx.record(
+                Component::Ws,
+                EventKind::TgsReq,
+                vec![("service", Field::from(service.to_string()))],
+            );
+        }
         let mut last = ErrorCode::IntkErr;
         for _ in 0..Self::RETRIES_PER_KDC {
             let ts = self.auth_ts();
@@ -206,7 +311,9 @@ impl Workstation {
                     .find(|(r, _)| r == &service.realm)
                     .map(|(_, e)| *e)
                     .ok_or(ToolError::Krb(ErrorCode::KdcUnknownRealm))?;
-                router.rpc(self.endpoint, ep, &req).map_err(ToolError::Net)?
+                router
+                    .rpc_traced(self.endpoint, ep, &req, self.current_trace())
+                    .map_err(ToolError::Net)?
             };
             match read_tgs_reply_with(&reply, &tgt_sched, ts) {
                 Ok(cred) => {
@@ -245,6 +352,13 @@ impl Workstation {
             cksum,
             mutual,
         );
+        if let Some(ctx) = self.trace_ctx() {
+            ctx.record(
+                Component::Ws,
+                EventKind::ApSent,
+                vec![("service", Field::from(service.to_string())), ("mutual", Field::from(u8::from(mutual)))],
+            );
+        }
         Ok((ap, cred))
     }
 

@@ -28,19 +28,25 @@ echo "== krb-stat --smoke"
 smoke_json="$(mktemp)"
 trap 'rm -f "$smoke_json"' EXIT
 cargo run -q -p krb-tools --bin krb-stat -- --smoke --out "$smoke_json"
-for key in as_per_sec tgs_per_sec latency_us p50 p95 p99 threads sched_cache; do
+for key in as_per_sec tgs_per_sec latency_us p50 p95 p99 threads sched_cache \
+        journal events dropped; do
     if ! grep -q "\"$key\"" "$smoke_json"; then
         echo "krb-stat smoke output is missing \"$key\"" >&2
         exit 1
     fi
 done
 
+echo "== krb-trace --smoke"
+# Seeded full login + forced failures must reconstruct as deterministic
+# traces (byte-identical across two runs); exits non-zero on any drift.
+cargo run -q -p krb-tools --bin krb-trace -- --smoke > /dev/null
+
 echo "== BENCH_kdc.json schema"
 # The committed bench snapshot must carry the current schema (threads +
 # schedule-cache counters); a stale file means the numbers predate the
 # scheduled-key cache and are not comparable.
 if [ -f BENCH_kdc.json ]; then
-    for key in threads sched_cache; do
+    for key in threads sched_cache journal; do
         if ! grep -q "\"$key\"" BENCH_kdc.json; then
             echo "BENCH_kdc.json is missing \"$key\" — regenerate with krb-stat" >&2
             exit 1

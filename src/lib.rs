@@ -36,4 +36,5 @@ pub use krb_kprop as kprop;
 pub use krb_netsim as netsim;
 pub use krb_nfs as nfs;
 pub use krb_sim as sim;
+pub use krb_telemetry as telemetry;
 pub use krb_tools as tools;

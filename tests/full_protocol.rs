@@ -195,6 +195,100 @@ fn duplicated_network_packets_do_not_break_the_exchange() {
 }
 
 #[test]
+fn journal_reconstructs_a_full_login_as_one_trace() {
+    // The tracing tentpole end-to-end: one login's AS → TGS → AP hops land
+    // in the journal as a single trace with the eight events in protocol
+    // order, reconstructable by the krb-trace parser. Propagation is
+    // out-of-band (packet metadata), so the V4 wire bytes are untouched —
+    // the flow itself is exactly figure_9_three_phases_and_mutual_auth.
+    use athena_kerberos::crypto::Scheduled;
+    use athena_kerberos::krb::krb_rd_req_sched_ctx;
+    use athena_kerberos::telemetry::{lcg_clock_us, ClockUs, Journal, TraceCtx};
+    use athena_kerberos::tools::{group_traces, parse_dump};
+    use std::sync::Arc;
+
+    let mut r = realm();
+    let journal = Journal::shared();
+    let clock: ClockUs = lcg_clock_us(42, 40, 400);
+    r.dep.master.lock().set_journal(Arc::clone(&journal));
+    let mut ws = workstation(&r);
+    ws.enable_tracing(Arc::clone(&journal), ClockUs::clone(&clock), 42);
+
+    ws.kinit(&mut r.router, "bcn", "bcn-pw").unwrap();
+    let svc = r.service.clone();
+    let (ap, _cred) = ws.mk_request(&mut r.router, &svc, 7, true).unwrap();
+    let app_ctx = TraceCtx::new(
+        Arc::clone(&journal),
+        ClockUs::clone(&clock),
+        ws.current_trace().unwrap(),
+    );
+    let sched = Scheduled::new(&r.service_key);
+    let mut rc = ReplayCache::new();
+    krb_rd_req_sched_ctx(&ap, &svc, &sched, WS_ADDR, ws.now(), &mut rc, Some(&app_ctx)).unwrap();
+
+    let timelines = group_traces(parse_dump(&journal.render()));
+    assert_eq!(timelines.len(), 1, "one login, one trace");
+    let t = &timelines[0];
+    let kinds: Vec<&str> = t.events.iter().map(|e| e.kind.as_str()).collect();
+    assert_eq!(
+        kinds,
+        [
+            "login_start", "as_req", "as_ok", "login_ok", "tgs_req", "tgs_ok", "ap_sent",
+            "ap_verified"
+        ],
+        "full login must journal the AS → TGS → AP chain in order"
+    );
+    for w in t.events.windows(2) {
+        assert!(w[0].seq < w[1].seq, "journal seq must be strictly increasing");
+    }
+    assert!(t.events.iter().all(|e| !e.is_error()));
+}
+
+#[test]
+fn journal_dump_never_contains_key_material() {
+    // Redaction check for the L7 invariant: a full traced login — tickets,
+    // session keys, service keys all in flight — must leave no key bytes
+    // in the journal render, in any encoding, and no password either.
+    use athena_kerberos::crypto::Scheduled;
+    use athena_kerberos::krb::krb_rd_req_sched_ctx;
+    use athena_kerberos::telemetry::{lcg_clock_us, ClockUs, Journal, TraceCtx};
+    use std::sync::Arc;
+
+    let mut r = realm();
+    let journal = Journal::shared();
+    let clock: ClockUs = lcg_clock_us(7, 40, 400);
+    r.dep.master.lock().set_journal(Arc::clone(&journal));
+    let mut ws = workstation(&r);
+    ws.enable_tracing(Arc::clone(&journal), ClockUs::clone(&clock), 7);
+
+    ws.kinit(&mut r.router, "bcn", "bcn-pw").unwrap();
+    let svc = r.service.clone();
+    let (ap, cred) = ws.mk_request(&mut r.router, &svc, 7, true).unwrap();
+    let app_ctx = TraceCtx::new(
+        Arc::clone(&journal),
+        ClockUs::clone(&clock),
+        ws.current_trace().unwrap(),
+    );
+    let sched = Scheduled::new(&r.service_key);
+    let mut rc = ReplayCache::new();
+    krb_rd_req_sched_ctx(&ap, &svc, &sched, WS_ADDR, ws.now(), &mut rc, Some(&app_ctx)).unwrap();
+
+    let dump = journal.render();
+    assert!(journal.events_recorded() >= 8);
+    for key in [&r.service_key, &cred.key()] {
+        let hex: String = key.as_bytes().iter().map(|b| format!("{b:02x}")).collect();
+        let hex_upper = hex.to_uppercase();
+        assert!(!dump.contains(&hex), "journal leaked a key as hex");
+        assert!(!dump.contains(&hex_upper), "journal leaked a key as hex");
+        assert!(
+            !dump.contains(&key.to_u64().to_string()),
+            "journal leaked a key as decimal"
+        );
+    }
+    assert!(!dump.contains("bcn-pw"), "journal leaked the password");
+}
+
+#[test]
 fn protocol_survives_packet_reordering() {
     // Campus networks reorder; single-datagram exchanges don't care, and
     // the workstation's per-request state (nonce binding) keeps crossed
