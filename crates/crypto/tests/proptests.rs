@@ -83,6 +83,71 @@ proptest! {
         prop_assert_ne!(&p[last..], &data[last..]);
     }
 
+    /// §2.2 in full generality: flip *any single bit* of a PCBC ciphertext
+    /// and every plaintext block from the corrupted block onward is garbled,
+    /// for any key, IV, and message length. (The earlier
+    /// `pcbc_corruption_reaches_final_block` checks only the final block of
+    /// short messages; this is the whole propagation claim — it is what lets
+    /// a checksum at the *end* of a message vouch for all of it.)
+    #[test]
+    fn pcbc_single_bit_flip_garbles_all_subsequent_blocks(
+        key in arb_key(),
+        iv in any::<[u8; 8]>(),
+        data in proptest::collection::vec(any::<u8>(), 16..128).prop_map(|mut v| {
+            v.truncate(v.len() / 8 * 8);
+            v
+        }),
+        pos in any::<u64>(),
+    ) {
+        let mut c = encrypt_raw(Mode::Pcbc, &key, &iv, &data).unwrap();
+        let bit = (pos as usize) % (c.len() * 8);
+        c[bit / 8] ^= 1 << (bit % 8);
+        let p = decrypt_raw(Mode::Pcbc, &key, &iv, &c).unwrap();
+        let first_bad = bit / 8 / 8 * 8; // start of the corrupted block
+        for block in (first_bad..data.len()).step_by(8) {
+            prop_assert_ne!(
+                &p[block..block + 8],
+                &data[block..block + 8],
+                "block at {} survived a flip of ciphertext bit {}",
+                block,
+                bit
+            );
+        }
+        // And blocks before the corruption decrypt untouched: the damage
+        // propagates forward only.
+        prop_assert_eq!(&p[..first_bad], &data[..first_bad]);
+    }
+
+    /// The consequence the protocol relies on: a sealed message carrying a
+    /// trailing checksum never survives ciphertext corruption. For any bit
+    /// position and message length, the tampered message either fails to
+    /// open at all or opens to bytes whose embedded checksum no longer
+    /// verifies — it never silently yields the original-looking payload.
+    #[test]
+    fn corrupted_sealed_message_never_passes_its_checksum(
+        key in arb_key(),
+        data in proptest::collection::vec(any::<u8>(), 0..96),
+        pos in any::<u64>(),
+    ) {
+        let iv = [0u8; 8]; // the Kerberos library default
+        let mut framed = data.clone();
+        framed.extend_from_slice(&quad_cksum(key.as_bytes(), &data).to_be_bytes());
+        let mut c = seal(Mode::Pcbc, &key, &iv, &framed).unwrap();
+        let bit = (pos as usize) % (c.len() * 8);
+        c[bit / 8] ^= 1 << (bit % 8);
+        match open(Mode::Pcbc, &key, &iv, &c) {
+            Err(_) => {} // framing (length prefix / padding) caught it
+            Ok(p) => {
+                // Opened structurally; the checksum must still catch it.
+                let valid = p.len() >= 4 && {
+                    let (body, sum) = p.split_at(p.len() - 4);
+                    quad_cksum(key.as_bytes(), body).to_be_bytes() == sum
+                };
+                prop_assert!(!valid, "bit {} flipped yet checksum verified", bit);
+            }
+        }
+    }
+
     /// string_to_key is a function (deterministic) and never weak.
     #[test]
     fn string_to_key_props(pw in "\\PC{0,40}") {

@@ -106,6 +106,33 @@ impl Deployment {
         eps
     }
 
+    /// Point every KDC in the realm (master *and* slaves) at one shared
+    /// registry and span clock. `krbstat` wires only the master; the chaos
+    /// soak needs slave counters too, since failover sends load there.
+    pub fn set_telemetry_all(
+        &self,
+        registry: Arc<krb_telemetry::Registry>,
+        clock_us: krb_telemetry::ClockUs,
+    ) {
+        self.master
+            .lock()
+            .set_telemetry(Arc::clone(&registry), Arc::clone(&clock_us));
+        for (_, slave) in &self.slaves {
+            slave
+                .lock()
+                .set_telemetry(Arc::clone(&registry), Arc::clone(&clock_us));
+        }
+    }
+
+    /// Attach one journal to every KDC in the realm, so traces that fail
+    /// over to a slave still journal their `as_ok`/`kdc_err` hop.
+    pub fn set_journal_all(&self, journal: Arc<krb_telemetry::Journal>) {
+        self.master.lock().set_journal(Arc::clone(&journal));
+        for (_, slave) in &self.slaves {
+            slave.lock().set_journal(Arc::clone(&journal));
+        }
+    }
+
     /// Advance the realm's shared clock (seconds).
     pub fn advance_time(&self, secs: u32) {
         self.clock_cell

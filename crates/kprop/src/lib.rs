@@ -25,7 +25,7 @@ use krb_crypto::{cbc_checksum, cbc_checksum_with, constant_time_eq, DesKey, Sche
 use krb_kdb::dump as kdump;
 use krb_kdb::{DbError, PrincipalDb, PrincipalEntry, Store};
 
-pub use net::{tcp_kprop_send, KpropdService, TcpKpropd};
+pub use net::{parse_kprop_reply, tcp_kprop_send, KpropReply, KpropdService, TcpKpropd};
 
 /// How often the master dumps and propagates: hourly (§5.3).
 pub const PROPAGATION_INTERVAL_SECS: u32 = 3600;

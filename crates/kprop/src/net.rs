@@ -151,6 +151,29 @@ impl Service for KpropdService {
     }
 }
 
+/// Typed view of a `kpropd` datagram reply, so the master side of a
+/// transfer matches on a value instead of on raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KpropReply {
+    /// The slave verified and installed the dump.
+    Accepted,
+    /// The slave refused; the reason string from the wire.
+    Rejected(String),
+}
+
+/// Parse the `OK` / `ERR <why>` reply bytes a [`KpropdService`] sends.
+/// Anything else (including a corrupted reply) is a rejection — a master
+/// must never count an unreadable ack as a successful propagation.
+pub fn parse_kprop_reply(reply: &[u8]) -> KpropReply {
+    if reply == b"OK" {
+        return KpropReply::Accepted;
+    }
+    match std::str::from_utf8(reply) {
+        Ok(s) if s.starts_with("ERR ") => KpropReply::Rejected(s[4..].to_string()),
+        _ => KpropReply::Rejected("malformed reply".to_string()),
+    }
+}
+
 /// Run one TCP `kpropd` accept loop on a thread; stops when the returned
 /// guard is dropped. Each connection carries one length-prefixed dump.
 pub struct TcpKpropd {

@@ -18,10 +18,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod rpc;
 pub mod sim;
 pub mod udp;
 
+pub use fault::{flip_bits, Fault, FaultAction, FaultPlan, FaultWindow, LinkMatch};
 pub use rpc::{Router, Service};
 pub use sim::{HostClock, NetConfig, NetStats, SimNet, EPOCH_1987};
 pub use udp::{udp_request, UdpServer};

@@ -10,8 +10,9 @@
 //! configured latency and delivered as the clock advances. Loss and
 //! duplication are driven by a seeded RNG, so every run is reproducible.
 
+use crate::fault::{flip_bits, FaultPlan};
 use crate::{Endpoint, NetError, Packet};
-use krb_telemetry::{Counter, Registry, TraceId};
+use krb_telemetry::{Component, Counter, EventKind, Field, Journal, Registry, TraceId};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,6 +89,10 @@ pub struct SimNet {
     seq: u64,
     registry: Arc<Registry>,
     metrics: NetMetrics,
+    /// Scheduled fault injection (see [`crate::fault`]); `None` = clean.
+    fault: Option<FaultPlan>,
+    /// Journal for `net_fault` events, when attached.
+    journal: Option<Arc<Journal>>,
 }
 
 /// Point-in-time delivery counts — a *thin view* over the telemetry
@@ -103,14 +108,27 @@ pub struct NetStats {
     pub dropped: u64,
     /// Extra deliveries from duplication.
     pub duplicated: u64,
+    /// Packets whose payload a fault plan corrupted (still delivered).
+    pub corrupted: u64,
 }
 
 /// The network's telemetry handles, registered under `net_*` names.
+///
+/// Conservation contract (checked by the chaos soak's oracle): once the
+/// network is idle, `sent + duplicated == delivered + dropped`. Fault
+/// attribution counters (`fault_*`, `corrupted`) are breakdowns, not
+/// extra terms — a fault-plan drop also increments `dropped`, and a
+/// corrupted packet still counts as `delivered`.
 struct NetMetrics {
     sent: Counter,
     delivered: Counter,
     dropped: Counter,
     duplicated: Counter,
+    corrupted: Counter,
+    fault_dropped: Counter,
+    fault_partitioned: Counter,
+    fault_delayed: Counter,
+    fault_duplicated: Counter,
 }
 
 impl NetMetrics {
@@ -120,6 +138,11 @@ impl NetMetrics {
             delivered: registry.counter("net_delivered_total"),
             dropped: registry.counter("net_dropped_total"),
             duplicated: registry.counter("net_duplicated_total"),
+            corrupted: registry.counter("net_corrupted_total"),
+            fault_dropped: registry.counter("net_fault_dropped_total"),
+            fault_partitioned: registry.counter("net_fault_partitioned_total"),
+            fault_delayed: registry.counter("net_fault_delayed_total"),
+            fault_duplicated: registry.counter("net_fault_duplicated_total"),
         }
     }
 }
@@ -140,6 +163,50 @@ impl SimNet {
             seq: 0,
             registry,
             metrics,
+            fault: None,
+            journal: None,
+        }
+    }
+
+    /// Install a fault plan; replaces any previous one. The plan's own
+    /// seeded RNG drives its decisions, so installing it never perturbs
+    /// the base loss/jitter stream.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The installed fault plan, for replay reporting.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Heal the network *now*: close every open fault window (partitions
+    /// lift, bursts end) and reconnect all base-partitioned hosts. The
+    /// liveness oracle runs after this.
+    pub fn heal_faults(&mut self) {
+        let now = self.now_ms();
+        if let Some(plan) = &mut self.fault {
+            plan.heal(now);
+        }
+        self.partitioned.clear();
+    }
+
+    /// Attach a journal: each fault the plan applies is recorded as a
+    /// `comp=net kind=net_fault` event carrying the packet's trace id (if
+    /// any), so a trace that died on the wire says why.
+    pub fn set_journal(&mut self, journal: Arc<Journal>) {
+        self.journal = Some(journal);
+    }
+
+    fn journal_fault(&self, trace: Option<TraceId>, what: &'static str, extra: u64) {
+        if let Some(journal) = &self.journal {
+            journal.record(
+                self.now_ms() * 1000,
+                trace,
+                Component::Net,
+                EventKind::NetFault,
+                vec![("fault", Field::from(what)), ("n", Field::from(extra))],
+            );
         }
     }
 
@@ -163,6 +230,7 @@ impl SimNet {
             delivered: self.metrics.delivered.get(),
             dropped: self.metrics.dropped.get(),
             duplicated: self.metrics.duplicated.get(),
+            corrupted: self.metrics.corrupted.get(),
         }
     }
 
@@ -216,10 +284,24 @@ impl SimNet {
         &mut self,
         claimed_src: Endpoint,
         dst: Endpoint,
-        payload: Vec<u8>,
+        mut payload: Vec<u8>,
         trace: Option<TraceId>,
     ) {
         self.seq += 1;
+        // Ask the fault plan first: corruption mutates the bytes that both
+        // the taps and the receiver see (a wire error corrupts the wire).
+        let action = match &mut self.fault {
+            Some(plan) => {
+                let now = self.time_ms.load(Ordering::SeqCst);
+                plan.decide(now, claimed_src.addr, dst.addr, payload.len())
+            }
+            None => Default::default(),
+        };
+        if !action.corrupt_bits.is_empty() {
+            flip_bits(&mut payload, &action.corrupt_bits);
+            self.metrics.corrupted.inc();
+            self.journal_fault(trace, "corrupt", action.corrupt_bits.len() as u64);
+        }
         let packet = Packet { src: claimed_src, dst, payload, id: self.seq, trace };
         for tap in &mut self.taps {
             tap(&packet);
@@ -229,8 +311,20 @@ impl SimNet {
             self.metrics.dropped.inc();
             return;
         }
+        if action.drop_partition {
+            self.metrics.dropped.inc();
+            self.metrics.fault_partitioned.inc();
+            self.journal_fault(trace, "partition", 0);
+            return;
+        }
         if self.config.loss > 0.0 && self.rng.random::<f64>() < self.config.loss {
             self.metrics.dropped.inc();
+            return;
+        }
+        if action.drop_loss {
+            self.metrics.dropped.inc();
+            self.metrics.fault_dropped.inc();
+            self.journal_fault(trace, "loss", 0);
             return;
         }
         let jitter = if self.config.jitter_ms > 0 {
@@ -238,11 +332,20 @@ impl SimNet {
         } else {
             0
         };
-        let deliver_at = self.now_ms() + self.config.latency_ms + jitter;
+        if action.extra_delay_ms > 0 {
+            self.metrics.fault_delayed.inc();
+            self.journal_fault(trace, "delay", action.extra_delay_ms);
+        }
+        let deliver_at = self.now_ms() + self.config.latency_ms + jitter + action.extra_delay_ms;
         self.in_flight.push(Reverse(Scheduled { deliver_at, seq: self.seq, packet: packet.clone() }));
-        if self.config.dup > 0.0 && self.rng.random::<f64>() < self.config.dup {
+        let base_dup = self.config.dup > 0.0 && self.rng.random::<f64>() < self.config.dup;
+        if base_dup || action.duplicate {
             self.seq += 1;
             self.metrics.duplicated.inc();
+            if action.duplicate {
+                self.metrics.fault_duplicated.inc();
+                self.journal_fault(trace, "dup", 0);
+            }
             self.in_flight.push(Reverse(Scheduled {
                 deliver_at: deliver_at + 1,
                 seq: self.seq,
@@ -547,5 +650,117 @@ mod jitter_tests {
             order.push(p.payload[0]);
         }
         assert_eq!(order, (0..30).collect::<Vec<u8>>());
+    }
+}
+
+#[cfg(test)]
+mod fault_injection_tests {
+    use super::*;
+    use crate::fault::{Fault, FaultPlan, FaultWindow, LinkMatch};
+    use crate::{Endpoint, Ipv4};
+
+    fn ep(a: u8, port: u16) -> Endpoint {
+        Endpoint { addr: Ipv4([10, 0, 0, a]), port }
+    }
+
+    #[test]
+    fn fault_corruption_delivers_mutated_bytes_and_counts() {
+        let mut net = SimNet::new(NetConfig::default());
+        net.bind(ep(2, 88));
+        let mut plan = FaultPlan::new(7);
+        plan.push(FaultWindow {
+            from_ms: 0,
+            until_ms: u64::MAX,
+            link: LinkMatch::Any,
+            fault: Fault::Corrupt { prob: 1.0, max_bits: 1 },
+        });
+        net.set_fault_plan(plan);
+        net.send(ep(1, 1), ep(2, 88), vec![0u8; 16]);
+        net.run_until_idle();
+        let p = net.recv(ep(2, 88)).expect("corrupted packets are still delivered");
+        assert_ne!(p.payload, vec![0u8; 16], "exactly one bit flipped");
+        assert_eq!(p.payload.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+        let s = net.stats();
+        assert_eq!(s.corrupted, 1);
+        assert_eq!(s.delivered, 1, "corruption never drops the packet itself");
+    }
+
+    #[test]
+    fn fault_partition_window_drops_then_heals_by_schedule() {
+        let mut net = SimNet::new(NetConfig::default());
+        net.bind(ep(2, 88));
+        let mut plan = FaultPlan::new(1);
+        plan.push(FaultWindow {
+            from_ms: 0,
+            until_ms: 50,
+            link: LinkMatch::Host(Ipv4([10, 0, 0, 2])),
+            fault: Fault::Partition,
+        });
+        net.set_fault_plan(plan);
+        net.send(ep(1, 1), ep(2, 88), b"during".to_vec());
+        net.run_until_idle();
+        assert!(net.recv(ep(2, 88)).is_none(), "window is open: dropped");
+        net.advance_ms(60);
+        net.send(ep(1, 1), ep(2, 88), b"after".to_vec());
+        net.run_until_idle();
+        assert_eq!(net.recv(ep(2, 88)).unwrap().payload, b"after");
+    }
+
+    #[test]
+    fn heal_faults_closes_windows_early() {
+        let mut net = SimNet::new(NetConfig::default());
+        net.bind(ep(2, 88));
+        let mut plan = FaultPlan::new(1);
+        plan.push(FaultWindow {
+            from_ms: 0,
+            until_ms: u64::MAX,
+            link: LinkMatch::Any,
+            fault: Fault::Loss(1.0),
+        });
+        net.set_fault_plan(plan);
+        net.send(ep(1, 1), ep(2, 88), b"lost".to_vec());
+        net.run_until_idle();
+        assert!(net.recv(ep(2, 88)).is_none());
+        net.heal_faults();
+        net.send(ep(1, 1), ep(2, 88), b"ok".to_vec());
+        net.run_until_idle();
+        assert_eq!(net.recv(ep(2, 88)).unwrap().payload, b"ok");
+    }
+
+    #[test]
+    fn conservation_holds_under_faults_at_idle() {
+        let cfg = NetConfig { loss: 0.2, dup: 0.2, jitter_ms: 3, seed: 11, ..Default::default() };
+        let mut net = SimNet::new(cfg);
+        net.bind(ep(2, 88));
+        let mut plan = FaultPlan::new(99);
+        for (fault, from) in [
+            (Fault::Loss(0.3), 0),
+            (Fault::Duplicate(0.3), 0),
+            (Fault::Corrupt { prob: 0.3, max_bits: 4 }, 0),
+            (Fault::Delay(5), 0),
+        ] {
+            plan.push(FaultWindow {
+                from_ms: from,
+                until_ms: u64::MAX,
+                link: LinkMatch::Any,
+                fault,
+            });
+        }
+        net.set_fault_plan(plan);
+        for i in 0..200u8 {
+            net.send(ep(1, 1), ep(2, 88), vec![i; 24]);
+            if i % 8 == 0 {
+                net.run_until_idle();
+            }
+        }
+        net.run_until_idle();
+        while net.recv(ep(2, 88)).is_some() {}
+        let s = net.stats();
+        assert_eq!(
+            s.sent + s.duplicated,
+            s.delivered + s.dropped,
+            "conservation: injected == delivered + dropped ({s:?})"
+        );
+        assert!(s.corrupted > 0 && s.dropped > 0 && s.duplicated > 0);
     }
 }

@@ -1,0 +1,991 @@
+//! `krb-chaos`: a deterministic fault-injection soak with invariant oracles.
+//!
+//! The paper *argues* its reliability properties: slaves exist so
+//! "authentication can still be achieved" when the master is down (§5.3),
+//! PCBC makes tampering detectable (§2.2), and replay caches reject
+//! duplicated authenticators (§4.3). This module *tests* those claims
+//! adversarially: a seeded [`FaultPlan`] (see `krb_netsim::fault`) batters
+//! every transport — KDC datagrams, application RPCs, kprop dumps — while
+//! N workstations run login / AP-request / kprop rounds, and four oracle
+//! families are machine-checked after every step:
+//!
+//! * **safety** — no authentication ever succeeds from a corrupted ticket,
+//!   a wrong key, or a replayed authenticator (probed every round);
+//! * **liveness** — after `heal()`, every pending login eventually
+//!   succeeds via master-or-slave failover;
+//! * **conservation** — telemetry counters balance at every idle point:
+//!   `sent + duplicated == delivered + dropped` (corruption never
+//!   double-counts: a corrupted packet is still delivered);
+//! * **trace completeness** — every minted TraceId terminates in an
+//!   `_ok`/`_err` journal event, every `ap_sent` is followed by a verdict,
+//!   every `kprop_dump` by an apply or reject, and the journal drops
+//!   nothing.
+//!
+//! Determinism contract: a run is a pure function of
+//! `(seed, profile, ops, workstations, slaves)`. An oracle failure prints
+//! the seed, the replay command line, and [`FaultPlan::render`]'s window
+//! list — everything needed to replay the run byte-identically.
+
+use kerberos::{krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
+use krb_apps::{frame_request, parse_reply, request_cksum, RloginNetService, RloginServer};
+use krb_crypto::{string_to_key, DesKey, KeyGenerator};
+use krb_kdc::{Deployment, RealmConfig};
+use krb_kprop::{kprop_build, parse_kprop_reply, KpropReply, KpropdService};
+use krb_netsim::{
+    ports, Endpoint, Fault, FaultPlan, FaultWindow, Ipv4, LinkMatch, NetConfig, NetStats, Packet,
+    Router, Service, SimNet, EPOCH_1987,
+};
+use krb_telemetry::{
+    lcg_clock_us, ClockUs, Component, Event, EventKind, Field, Journal, TraceCtx,
+};
+use krb_tools::{kdb_init, register_service, register_user, Workstation};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const REALM: &str = "ATHENA.MIT.EDU";
+/// Domain-separation constant mixed into the engine's RNG stream.
+const CHAOS_SEED: u64 = 0xC4A05;
+/// Master KDC host; slaves get consecutive last octets.
+const MASTER_ADDR: HostAddr = [18, 72, 5, 1];
+/// The application server host.
+const APP_ADDR: HostAddr = [18, 72, 5, 40];
+/// Base of the workstation address range.
+const WS_ADDR_BASE: u8 = 10;
+
+/// A named fault profile: which windows the plan schedules.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Profile {
+    /// Background noise: light loss, small delays, rare single-bit flips.
+    Mild,
+    /// Everything at once: loss bursts, reordering, duplication,
+    /// multi-bit corruption, a congestion spike at the master.
+    Stormy,
+    /// §5.3's availability story: the master partitions early, then the
+    /// whole KDC set partitions until heal.
+    Partition,
+    /// Duplication only — the replay-cache accounting profile: every
+    /// injected duplicate that reaches the server must be a `replay_hit`.
+    DupHeavy,
+    /// Corruption-dominant: §2.2's tamper-evidence under sustained fire.
+    Corrupt,
+}
+
+/// Every profile, in the order the smoke gate runs them.
+pub const ALL_PROFILES: [Profile; 5] = [
+    Profile::Mild,
+    Profile::Stormy,
+    Profile::Partition,
+    Profile::DupHeavy,
+    Profile::Corrupt,
+];
+
+impl Profile {
+    /// Stable name used on the command line and in the JSON report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Profile::Mild => "mild",
+            Profile::Stormy => "stormy",
+            Profile::Partition => "partition",
+            Profile::DupHeavy => "dup-heavy",
+            Profile::Corrupt => "corrupt",
+        }
+    }
+
+    /// Inverse of [`Profile::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "mild" => Profile::Mild,
+            "stormy" => Profile::Stormy,
+            "partition" => Profile::Partition,
+            "dup-heavy" => Profile::DupHeavy,
+            "corrupt" => Profile::Corrupt,
+            _ => return None,
+        })
+    }
+
+    /// The fault windows this profile schedules against a deployment.
+    /// Times are simulated-network milliseconds; net time only advances
+    /// while packets are in flight, so active windows are short and
+    /// "until heal" windows are open-ended (`u64::MAX`, closed by
+    /// [`SimNet::heal_faults`]).
+    fn windows(self, slave_addrs: &[HostAddr]) -> Vec<FaultWindow> {
+        let any = LinkMatch::Any;
+        let master = LinkMatch::Host(Ipv4(MASTER_ADDR));
+        let app = LinkMatch::Host(Ipv4(APP_ADDR));
+        let open = u64::MAX;
+        match self {
+            Profile::Mild => vec![
+                FaultWindow { from_ms: 0, until_ms: open, link: any, fault: Fault::Loss(0.05) },
+                FaultWindow { from_ms: 0, until_ms: open, link: any, fault: Fault::Delay(8) },
+                FaultWindow {
+                    from_ms: 0,
+                    until_ms: open,
+                    link: any,
+                    fault: Fault::Corrupt { prob: 0.02, max_bits: 1 },
+                },
+            ],
+            Profile::Stormy => vec![
+                FaultWindow { from_ms: 0, until_ms: 300, link: any, fault: Fault::Loss(0.25) },
+                FaultWindow { from_ms: 300, until_ms: open, link: any, fault: Fault::Loss(0.10) },
+                FaultWindow { from_ms: 0, until_ms: open, link: any, fault: Fault::Reorder(40) },
+                FaultWindow { from_ms: 0, until_ms: open, link: any, fault: Fault::Duplicate(0.10) },
+                FaultWindow {
+                    from_ms: 0,
+                    until_ms: open,
+                    link: any,
+                    fault: Fault::Corrupt { prob: 0.08, max_bits: 3 },
+                },
+                FaultWindow { from_ms: 100, until_ms: 400, link: master, fault: Fault::Delay(25) },
+            ],
+            Profile::Partition => {
+                let mut w = vec![
+                    FaultWindow { from_ms: 0, until_ms: 200, link: master, fault: Fault::Partition },
+                    FaultWindow { from_ms: 0, until_ms: open, link: any, fault: Fault::Loss(0.05) },
+                    FaultWindow { from_ms: 200, until_ms: open, link: master, fault: Fault::Partition },
+                ];
+                for &addr in slave_addrs {
+                    w.push(FaultWindow {
+                        from_ms: 200,
+                        until_ms: open,
+                        link: LinkMatch::Host(Ipv4(addr)),
+                        fault: Fault::Partition,
+                    });
+                }
+                w
+            }
+            Profile::DupHeavy => vec![
+                FaultWindow { from_ms: 0, until_ms: open, link: app, fault: Fault::Duplicate(0.6) },
+                FaultWindow { from_ms: 0, until_ms: open, link: any, fault: Fault::Duplicate(0.25) },
+            ],
+            Profile::Corrupt => vec![
+                FaultWindow {
+                    from_ms: 0,
+                    until_ms: open,
+                    link: any,
+                    fault: Fault::Corrupt { prob: 0.30, max_bits: 8 },
+                },
+                FaultWindow {
+                    from_ms: 40,
+                    until_ms: 120,
+                    link: app,
+                    fault: Fault::Corrupt { prob: 1.0, max_bits: 2 },
+                },
+            ],
+        }
+    }
+}
+
+/// Soak parameters. A run is a pure function of this struct.
+#[derive(Clone, Copy, Debug)]
+pub struct SoakConfig {
+    /// Seeded workstations (one registered user each).
+    pub workstations: usize,
+    /// Operation rounds (each is a login, an app request, or both, with a
+    /// kprop round every [`SoakConfig::kprop_every`] ops).
+    pub ops: usize,
+    /// Seed for the engine RNG, the network RNG, and the fault plan.
+    pub seed: u64,
+    /// Which fault profile to run under.
+    pub profile: Profile,
+    /// Slave KDCs besides the master.
+    pub slaves: usize,
+    /// Ops between kprop propagation rounds.
+    pub kprop_every: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            workstations: 6,
+            ops: 200,
+            seed: CHAOS_SEED,
+            profile: Profile::Stormy,
+            slaves: 2,
+            kprop_every: 16,
+        }
+    }
+}
+
+impl SoakConfig {
+    /// The CI smoke shape: small and fast, but every oracle family fires.
+    pub fn smoke(seed: u64, profile: Profile) -> Self {
+        SoakConfig { workstations: 3, ops: 36, seed, profile, slaves: 1, kprop_every: 9 }
+    }
+}
+
+/// An invariant violation, carrying everything needed to replay the run.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// Which oracle family tripped.
+    pub oracle: &'static str,
+    /// What was observed.
+    pub detail: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// The run's profile.
+    pub profile: Profile,
+    /// The replay command line.
+    pub replay_cmd: String,
+    /// [`FaultPlan::render`] of the plan in force.
+    pub plan: String,
+}
+
+impl std::fmt::Display for OracleFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "oracle failure [{}]: {}", self.oracle, self.detail)?;
+        writeln!(f, "replay: {}", self.replay_cmd)?;
+        write!(f, "{}", self.plan)
+    }
+}
+
+impl std::error::Error for OracleFailure {}
+
+/// What a completed (all-oracles-green) soak observed.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Profile the run used.
+    pub profile: Profile,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Rounds executed.
+    pub ops: u64,
+    /// Login attempts (kinit calls during the fault phase).
+    pub logins_attempted: u64,
+    /// Logins that succeeded during the fault phase.
+    pub logins_ok: u64,
+    /// Logins that failed (typed error or timeout) during the fault phase.
+    pub logins_failed: u64,
+    /// Application requests put on the wire.
+    pub app_requests: u64,
+    /// Application requests the server verified and answered.
+    pub app_ok: u64,
+    /// Application requests that failed (corrupted, dropped, or refused).
+    pub app_err: u64,
+    /// Safety probe rounds executed (each = corrupt + wrong-key + replay).
+    pub safety_probes: u64,
+    /// kprop rounds attempted (per slave).
+    pub kprop_rounds: u64,
+    /// kprop transfers the slave verified and installed.
+    pub kprop_accepted: u64,
+    /// kprop transfers rejected (checksum, framing, or network failure).
+    pub kprop_rejected: u64,
+    /// `replay_hit` count at the application server.
+    pub replay_hits: u64,
+    /// Injected duplicates that reached the application server.
+    pub dups_at_server: u64,
+    /// Workstations with no valid login when the network healed.
+    pub pending_after_faults: u64,
+    /// Pending logins that completed after heal (liveness oracle).
+    pub healed_logins: u64,
+    /// Network delivery counters at the end of the run.
+    pub net: NetStats,
+    /// Plan-attributed drops (`net_fault_dropped_total`).
+    pub fault_dropped: u64,
+    /// Plan-attributed partition drops.
+    pub fault_partitioned: u64,
+    /// Plan-delayed packets.
+    pub fault_delayed: u64,
+    /// Plan-duplicated packets.
+    pub fault_duplicated: u64,
+    /// Journal events recorded.
+    pub journal_events: u64,
+    /// Distinct trace ids checked by the completeness oracle.
+    pub traces_checked: u64,
+}
+
+/// JSON keys the report must carry — `scripts/check.sh` greps for these.
+pub const CHAOS_JSON_KEYS: &[&str] = &[
+    "tool",
+    "seed",
+    "profiles",
+    "profile",
+    "ops",
+    "logins_ok",
+    "app_ok",
+    "replay_hits",
+    "dups_at_server",
+    "healed_logins",
+    "net",
+    "corrupted",
+    "journal",
+    "oracles",
+    "safety",
+    "liveness",
+    "conservation",
+    "trace_completeness",
+];
+
+impl SoakReport {
+    /// Render as one JSON object (no trailing newline). Hand-rolled like
+    /// `krb-stat`'s — the workspace takes no serialization dependency.
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"profile\":\"{}\",\"seed\":{},\"ops\":{}",
+            self.profile.as_str(),
+            self.seed,
+            self.ops
+        );
+        let _ = write!(
+            s,
+            ",\"logins_attempted\":{},\"logins_ok\":{},\"logins_failed\":{}",
+            self.logins_attempted, self.logins_ok, self.logins_failed
+        );
+        let _ = write!(
+            s,
+            ",\"app_requests\":{},\"app_ok\":{},\"app_err\":{},\"safety_probes\":{}",
+            self.app_requests, self.app_ok, self.app_err, self.safety_probes
+        );
+        let _ = write!(
+            s,
+            ",\"kprop_rounds\":{},\"kprop_accepted\":{},\"kprop_rejected\":{}",
+            self.kprop_rounds, self.kprop_accepted, self.kprop_rejected
+        );
+        let _ = write!(
+            s,
+            ",\"replay_hits\":{},\"dups_at_server\":{}",
+            self.replay_hits, self.dups_at_server
+        );
+        let _ = write!(
+            s,
+            ",\"pending_after_faults\":{},\"healed_logins\":{}",
+            self.pending_after_faults, self.healed_logins
+        );
+        let _ = write!(
+            s,
+            ",\"net\":{{\"sent\":{},\"delivered\":{},\"dropped\":{},\"duplicated\":{},\
+             \"corrupted\":{},\"fault_dropped\":{},\"fault_partitioned\":{},\
+             \"fault_delayed\":{},\"fault_duplicated\":{}}}",
+            self.net.sent,
+            self.net.delivered,
+            self.net.dropped,
+            self.net.duplicated,
+            self.net.corrupted,
+            self.fault_dropped,
+            self.fault_partitioned,
+            self.fault_delayed,
+            self.fault_duplicated
+        );
+        let _ = write!(
+            s,
+            ",\"journal\":{{\"events\":{},\"dropped\":0}},\"traces_checked\":{}",
+            self.journal_events, self.traces_checked
+        );
+        s.push_str(
+            ",\"oracles\":{\"safety\":\"pass\",\"liveness\":\"pass\",\
+             \"conservation\":\"pass\",\"trace_completeness\":\"pass\"}}",
+        );
+        s
+    }
+}
+
+/// Wraps the application service to count raw deliveries and distinct
+/// request payloads — `requests - distinct` is exactly the injected
+/// duplicates that reached the server, counted where they land (network
+/// taps never see duplicate copies).
+struct DupLedger {
+    requests: u64,
+    distinct: HashSet<Vec<u8>>,
+}
+
+struct CountingService<S: Service> {
+    inner: S,
+    ledger: Arc<Mutex<DupLedger>>,
+}
+
+impl<S: Service> Service for CountingService<S> {
+    fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
+        {
+            let mut ledger = self.ledger.lock();
+            ledger.requests += 1;
+            ledger.distinct.insert(req.payload.clone());
+        }
+        self.inner.handle(req)
+    }
+}
+
+fn drain(router: &mut Router, ep: Endpoint) {
+    while router.net().recv(ep).is_some() {}
+}
+
+/// The per-round safety probes: corrupted ticket, wrong key, replayed
+/// authenticator. Each must be refused with a typed error; an accept is
+/// an oracle failure, and a refusal of the *legitimate* request is a
+/// false reject (also a failure).
+fn safety_probe(
+    ap: &ApReq,
+    svc: &Principal,
+    svc_key: &DesKey,
+    wrong_key: &DesKey,
+    addr: HostAddr,
+    now: u32,
+    round: u64,
+) -> Result<(), String> {
+    // Corrupted ticket: flip one bit in the first cipher block — PCBC
+    // garbles everything after it (§2.2), so the open must fail.
+    let mut corrupted = ap.clone();
+    let bit = (round as usize) % (8 * 8.min(corrupted.ticket.0.len()));
+    corrupted.ticket.0[bit / 8] ^= 1 << (bit % 8);
+    let mut cache = ReplayCache::new();
+    if krb_rd_req(&corrupted, svc, svc_key, addr, now, &mut cache).is_ok() {
+        return Err(format!("corrupted ticket (bit {bit}) was accepted"));
+    }
+
+    // Wrong key: a server that does not hold the srvtab key learns nothing.
+    let mut cache = ReplayCache::new();
+    if krb_rd_req(ap, svc, wrong_key, addr, now, &mut cache).is_ok() {
+        return Err("AP_REQ verified under the wrong service key".to_string());
+    }
+
+    // Replay: the same authenticator twice — first accept, then refuse.
+    let mut cache = ReplayCache::new();
+    if let Err(e) = krb_rd_req(ap, svc, svc_key, addr, now, &mut cache) {
+        return Err(format!("legitimate AP_REQ falsely rejected: {e}"));
+    }
+    match krb_rd_req(ap, svc, svc_key, addr, now, &mut cache) {
+        Err(ErrorCode::RdApRepeat) => Ok(()),
+        Err(e) => Err(format!("replayed authenticator refused with {e}, want RdApRepeat")),
+        Ok(_) => Err("replayed authenticator was accepted".to_string()),
+    }
+}
+
+/// Run one soak. Returns the report if every oracle holds; the first
+/// violation aborts the run with a replayable [`OracleFailure`].
+pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
+    let start = EPOCH_1987;
+    let nws = config.workstations.max(1);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ CHAOS_SEED);
+
+    // --- Realm: master + slaves, one user per workstation, one app service.
+    let mut boot = kdb_init(REALM, "chaos-master", start, config.seed).unwrap();
+    for i in 0..nws {
+        register_user(&mut boot.db, &format!("chaos{i}"), "", &format!("pw{i}"), start).unwrap();
+    }
+    let mut keygen = KeyGenerator::new(StdRng::seed_from_u64(config.seed.wrapping_add(17)));
+    let rcmd_key = register_service(&mut boot.db, "rcmd", "chaosd", start, &mut keygen).unwrap();
+    let wrong_key = string_to_key("not-the-srvtab-key");
+    let svc = Principal::parse("rcmd.chaosd", REALM).unwrap();
+
+    let net = SimNet::new(NetConfig { seed: config.seed, ..Default::default() });
+    let registry = net.registry();
+    let journal = Arc::new(Journal::new(1 << 16));
+    journal.publish(&registry);
+    let clock_us = lcg_clock_us(config.seed, 40, 400);
+
+    let mut router = Router::new(net);
+    let dep = Deployment::install(
+        &mut router,
+        REALM,
+        boot.db,
+        RealmConfig::new(REALM),
+        MASTER_ADDR,
+        config.slaves,
+        start,
+    )
+    .unwrap();
+    dep.set_telemetry_all(Arc::clone(&registry), ClockUs::clone(&clock_us));
+    dep.set_journal_all(Arc::clone(&journal));
+    let slave_addrs: Vec<HostAddr> = dep.slaves.iter().map(|(a, _)| *a).collect();
+
+    // Fault plan + journal on the wire.
+    let plan = FaultPlan::with_windows(config.seed, config.profile.windows(&slave_addrs));
+    let plan_text = plan.render();
+    let fail = |oracle: &'static str, detail: String| OracleFailure {
+        oracle,
+        detail,
+        seed: config.seed,
+        profile: config.profile,
+        replay_cmd: format!(
+            "krb-chaos --seed {} --ops {} --profile {} (workstations={}, slaves={})",
+            config.seed,
+            config.ops,
+            config.profile.as_str(),
+            config.workstations,
+            config.slaves
+        ),
+        plan: plan_text.clone(),
+    };
+    router.net().set_fault_plan(plan);
+    router.net().set_journal(Arc::clone(&journal));
+
+    // Application server (rlogin), wrapped so duplicate deliveries are
+    // counted server-side.
+    let mut rlogin = RloginServer::new(svc.clone(), rcmd_key);
+    rlogin.set_telemetry(Arc::clone(&registry));
+    let mut rlogin_net = RloginNetService::new(
+        rlogin,
+        krb_kdc::shared_clock(Arc::clone(&dep.clock_cell)),
+    );
+    rlogin_net.set_journal(Arc::clone(&journal), ClockUs::clone(&clock_us));
+    let ledger = Arc::new(Mutex::new(DupLedger { requests: 0, distinct: HashSet::new() }));
+    let app_ep = Endpoint::new(APP_ADDR, ports::KLOGIN);
+    router.serve(app_ep, CountingService { inner: rlogin_net, ledger: Arc::clone(&ledger) });
+
+    // kpropd per slave, installing verified dumps into the slave KDC.
+    for (addr, slave) in &dep.slaves {
+        let slave2 = Arc::clone(slave);
+        let master_key = dep.master_key;
+        let mut kpropd = KpropdService::new(master_key, move |entries| {
+            let mut store = krb_kdb::MemStore::new();
+            if krb_kdb::dump::install(&mut store, &entries).is_err() {
+                return false;
+            }
+            match krb_kdb::PrincipalDb::open(store, master_key) {
+                Ok(db) => {
+                    slave2.lock().install_db(db);
+                    true
+                }
+                Err(_) => false,
+            }
+        });
+        kpropd.set_registry(Arc::clone(&registry));
+        kpropd.set_journal(Arc::clone(&journal), ClockUs::clone(&clock_us));
+        router.serve(Endpoint::new(*addr, ports::KPROP), kpropd);
+    }
+    // Each transfer uses a fresh master-side port: under duplication and
+    // reordering, a stale reply to a previous transfer must not be
+    // mistaken for this one's (the payloads are identical "OK" bytes).
+    let kprop_src_port = |transfer: u64| 1001u16.wrapping_add((transfer % 50_000) as u16);
+
+    // Workstations, each with its own trace stream.
+    let mut stations: Vec<Workstation> = (0..nws)
+        .map(|i| {
+            let addr = [18, 72, 6, WS_ADDR_BASE + (i % 200) as u8];
+            let mut eps = dep.kdc_endpoints();
+            let n = eps.len();
+            eps.rotate_left(i % n);
+            let mut ws = Workstation::new(
+                addr,
+                REALM,
+                eps,
+                krb_kdc::shared_clock(Arc::clone(&dep.clock_cell)),
+            );
+            ws.enable_tracing(
+                Arc::clone(&journal),
+                ClockUs::clone(&clock_us),
+                config.seed ^ (0x5700 + i as u64 * 7919),
+            );
+            ws
+        })
+        .collect();
+    let mut logged_in = vec![false; nws];
+
+    let mut report = SoakReport {
+        profile: config.profile,
+        seed: config.seed,
+        ops: config.ops as u64,
+        logins_attempted: 0,
+        logins_ok: 0,
+        logins_failed: 0,
+        app_requests: 0,
+        app_ok: 0,
+        app_err: 0,
+        safety_probes: 0,
+        kprop_rounds: 0,
+        kprop_accepted: 0,
+        kprop_rejected: 0,
+        replay_hits: 0,
+        dups_at_server: 0,
+        pending_after_faults: 0,
+        healed_logins: 0,
+        net: NetStats::default(),
+        fault_dropped: 0,
+        fault_partitioned: 0,
+        fault_delayed: 0,
+        fault_duplicated: 0,
+        journal_events: 0,
+        traces_checked: 0,
+    };
+
+    let conservation = |router: &Router, at: String| -> Result<(), OracleFailure> {
+        let s = router.stats();
+        if s.sent + s.duplicated != s.delivered + s.dropped {
+            return Err(fail(
+                "conservation",
+                format!(
+                    "at {at}: sent({}) + duplicated({}) != delivered({}) + dropped({})",
+                    s.sent, s.duplicated, s.delivered, s.dropped
+                ),
+            ));
+        }
+        Ok(())
+    };
+
+    // --- The soak proper.
+    for op in 0..config.ops {
+        dep.advance_time(1);
+        let w = rng.random_range(0..nws);
+        let user = format!("chaos{w}");
+        let ws_ep = stations[w].endpoint;
+
+        if !logged_in[w] {
+            report.logins_attempted += 1;
+            match stations[w].kinit(&mut router, &user, &format!("pw{w}")) {
+                Ok(()) => {
+                    logged_in[w] = true;
+                    report.logins_ok += 1;
+                }
+                Err(_) => report.logins_failed += 1,
+            }
+        } else {
+            // App round: TGS (if uncached) + AP_REQ over the wire.
+            match stations[w].get_service_ticket(&mut router, &svc) {
+                Ok(cred) => {
+                    let payload = user.clone().into_bytes();
+                    let cksum = request_cksum(&cred.key(), "login", &payload);
+                    match stations[w].mk_request(&mut router, &svc, cksum, false) {
+                        Ok((ap, _)) => {
+                            report.app_requests += 1;
+                            let wire = frame_request(&ap, "login", &payload);
+                            let trace = stations[w].current_trace();
+                            let outcome =
+                                router.rpc_traced(ws_ep, app_ep, &wire, trace);
+                            let ok = matches!(&outcome, Ok(r) if parse_reply(r).is_ok());
+                            if ok {
+                                report.app_ok += 1;
+                            } else {
+                                report.app_err += 1;
+                                // Client-side terminal so the trace oracle can
+                                // hold even when the wire ate the exchange.
+                                if let Some(t) = trace {
+                                    TraceCtx::new(
+                                        Arc::clone(&journal),
+                                        ClockUs::clone(&clock_us),
+                                        t,
+                                    )
+                                    .record(
+                                        Component::Ws,
+                                        EventKind::ApErr,
+                                        vec![("why", Field::from("wire"))],
+                                    );
+                                }
+                            }
+
+                            // Safety oracle, probed with this round's AP_REQ.
+                            report.safety_probes += 1;
+                            let now = start + op as u32 + 1;
+                            if let Err(detail) = safety_probe(
+                                &ap,
+                                &svc,
+                                &rcmd_key,
+                                &wrong_key,
+                                stations[w].addr,
+                                now,
+                                op as u64,
+                            ) {
+                                return Err(fail("safety", detail));
+                            }
+                        }
+                        Err(_) => report.app_err += 1,
+                    }
+                }
+                Err(_) => {
+                    // Expired TGT, corrupted TGS reply, or a partitioned
+                    // KDC: drop the session and force a fresh login.
+                    report.app_err += 1;
+                    stations[w].kdestroy();
+                    logged_in[w] = false;
+                }
+            }
+            // Periodic logout forces fresh AS exchanges under faults.
+            if op % 7 == 6 {
+                stations[w].kdestroy();
+                logged_in[w] = false;
+            }
+        }
+        drain(&mut router, ws_ep);
+
+        // kprop round: master pushes its live database to every slave.
+        if config.kprop_every > 0 && op % config.kprop_every == config.kprop_every - 1 {
+            let packet = kprop_build(dep.master.lock().db()).unwrap();
+            for (i, (addr, _)) in dep.slaves.iter().enumerate() {
+                report.kprop_rounds += 1;
+                let trace = krb_telemetry::TraceId::derive(
+                    config.seed ^ 0x6B70,
+                    report.kprop_rounds,
+                );
+                journal.record(
+                    (clock_us)(),
+                    Some(trace),
+                    Component::Kprop,
+                    EventKind::KpropDump,
+                    vec![("slave", Field::from(i)), ("bytes", Field::from(packet.len()))],
+                );
+                let dst = Endpoint::new(*addr, ports::KPROP);
+                let kprop_src = Endpoint::new(MASTER_ADDR, kprop_src_port(report.kprop_rounds));
+                match router.rpc_traced(kprop_src, dst, &packet, Some(trace)) {
+                    Ok(reply) => match parse_kprop_reply(&reply) {
+                        KpropReply::Accepted => report.kprop_accepted += 1,
+                        KpropReply::Rejected(_) => report.kprop_rejected += 1,
+                    },
+                    Err(_) => {
+                        report.kprop_rejected += 1;
+                        // Master-side terminal for the trace oracle: the
+                        // transfer died on the wire.
+                        journal.record(
+                            (clock_us)(),
+                            Some(trace),
+                            Component::Kprop,
+                            EventKind::KpropReject,
+                            vec![("why", Field::from("net"))],
+                        );
+                    }
+                }
+                drain(&mut router, kprop_src);
+            }
+        }
+
+        router.pump();
+        for ws in &stations {
+            drain(&mut router, ws.endpoint);
+        }
+        conservation(&router, format!("op {op}"))?;
+    }
+
+    // --- Heal, then the liveness oracle.
+    report.pending_after_faults = logged_in.iter().filter(|ok| !**ok).count() as u64;
+    router.net().heal_faults();
+    router.pump();
+    for ws in &stations {
+        drain(&mut router, ws.endpoint);
+    }
+
+    for w in 0..nws {
+        if logged_in[w] {
+            continue;
+        }
+        dep.advance_time(1);
+        let user = format!("chaos{w}");
+        let mut healed = false;
+        let mut last_err = String::new();
+        for _ in 0..3 {
+            match stations[w].kinit(&mut router, &user, &format!("pw{w}")) {
+                Ok(()) => {
+                    healed = true;
+                    break;
+                }
+                Err(e) => last_err = e.to_string(),
+            }
+            let ep = stations[w].endpoint;
+            drain(&mut router, ep);
+        }
+        if !healed {
+            return Err(fail(
+                "liveness",
+                format!("ws {w} ({user}) cannot log in after heal: {last_err}"),
+            ));
+        }
+        logged_in[w] = true;
+        report.healed_logins += 1;
+        let ep = stations[w].endpoint;
+        drain(&mut router, ep);
+    }
+
+    router.pump();
+    conservation(&router, "post-heal".to_string())?;
+
+    // --- Replay-cache accounting oracle (§4.3).
+    report.replay_hits = registry.counter_value("rlogin_replay_hits_total");
+    {
+        let ledger = ledger.lock();
+        report.dups_at_server = ledger.requests - ledger.distinct.len() as u64;
+    }
+    if report.replay_hits > report.dups_at_server {
+        return Err(fail(
+            "safety",
+            format!(
+                "replay cache false reject: {} hits but only {} duplicates reached the server",
+                report.replay_hits, report.dups_at_server
+            ),
+        ));
+    }
+    if config.profile == Profile::DupHeavy {
+        if report.dups_at_server == 0 && config.ops >= 20 {
+            return Err(fail(
+                "conservation",
+                "dup-heavy profile injected no duplicates at the server".to_string(),
+            ));
+        }
+        if report.replay_hits != report.dups_at_server {
+            return Err(fail(
+                "safety",
+                format!(
+                    "replay accounting: {} hits != {} injected duplicates at the server",
+                    report.replay_hits, report.dups_at_server
+                ),
+            ));
+        }
+    }
+
+    // --- Trace completeness oracle.
+    if journal.events_dropped() != 0 {
+        return Err(fail(
+            "trace_completeness",
+            format!("journal dropped {} events", journal.events_dropped()),
+        ));
+    }
+    let mut events = journal.dump();
+    events.sort_by_key(|e| e.seq);
+    report.journal_events = events.len() as u64;
+    let mut by_trace: BTreeMap<u64, Vec<&Event>> = BTreeMap::new();
+    for e in &events {
+        if let Some(t) = e.trace {
+            by_trace.entry(t.0).or_default().push(e);
+        }
+    }
+    report.traces_checked = by_trace.len() as u64;
+    for (trace, evs) in &by_trace {
+        if evs.iter().any(|e| e.kind == EventKind::LoginStart)
+            && !evs
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::LoginOk | EventKind::LoginErr))
+        {
+            return Err(fail(
+                "trace_completeness",
+                format!("trace {trace:016x}: login_start without login_ok/login_err"),
+            ));
+        }
+        for (i, e) in evs.iter().enumerate() {
+            if e.kind == EventKind::ApSent
+                && !evs[i + 1..].iter().any(|later| {
+                    matches!(
+                        later.kind,
+                        EventKind::ApVerified
+                            | EventKind::ApErr
+                            | EventKind::ReplayHit
+                            | EventKind::AppOk
+                            | EventKind::AppErr
+                    )
+                })
+            {
+                return Err(fail(
+                    "trace_completeness",
+                    format!("trace {trace:016x}: ap_sent (seq {}) never resolved", e.seq),
+                ));
+            }
+        }
+        if evs.iter().any(|e| e.kind == EventKind::KpropDump)
+            && !evs
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::KpropApply | EventKind::KpropReject))
+        {
+            return Err(fail(
+                "trace_completeness",
+                format!("trace {trace:016x}: kprop_dump without apply/reject"),
+            ));
+        }
+    }
+
+    report.net = router.stats();
+    report.fault_dropped = registry.counter_value("net_fault_dropped_total");
+    report.fault_partitioned = registry.counter_value("net_fault_partitioned_total");
+    report.fault_delayed = registry.counter_value("net_fault_delayed_total");
+    report.fault_duplicated = registry.counter_value("net_fault_duplicated_total");
+    Ok(report)
+}
+
+/// The CI smoke gate: run every profile at smoke scale under one seed and
+/// render a combined JSON document. Deterministic: two calls with the
+/// same seed return byte-identical strings.
+pub fn smoke_json(seed: u64) -> Result<String, OracleFailure> {
+    let mut out = format!("{{\"tool\":\"krb-chaos\",\"seed\":{seed},\"profiles\":[");
+    for (i, profile) in ALL_PROFILES.iter().enumerate() {
+        let report = run(SoakConfig::smoke(seed, *profile))?;
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&report.render_json());
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in ALL_PROFILES {
+            assert_eq!(Profile::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Profile::parse("nope"), None);
+    }
+
+    #[test]
+    fn smoke_passes_and_is_byte_identical() {
+        let a = smoke_json(CHAOS_SEED).expect("oracles hold");
+        let b = smoke_json(CHAOS_SEED).expect("oracles hold");
+        assert_eq!(a, b, "same seed must replay byte-identically");
+        for key in CHAOS_JSON_KEYS {
+            assert!(a.contains(&format!("\"{key}\"")), "missing JSON key {key}: {a}");
+        }
+    }
+
+    #[test]
+    fn dup_heavy_replay_accounting_is_exact() {
+        let report = run(SoakConfig {
+            profile: Profile::DupHeavy,
+            ops: 60,
+            workstations: 4,
+            slaves: 1,
+            seed: 0xD0D0,
+            kprop_every: 16,
+        })
+        .expect("oracles hold");
+        assert!(report.dups_at_server > 0, "{report:?}");
+        assert_eq!(report.replay_hits, report.dups_at_server);
+    }
+
+    #[test]
+    fn partition_profile_heals_every_pending_login() {
+        let report = run(SoakConfig {
+            profile: Profile::Partition,
+            ops: 40,
+            workstations: 4,
+            slaves: 1,
+            seed: 0x9A87,
+            kprop_every: 10,
+        })
+        .expect("oracles hold");
+        // The full-partition window must actually strand somebody, and the
+        // heal must recover every one of them.
+        assert_eq!(report.pending_after_faults, report.healed_logins);
+        assert!(report.fault_partitioned > 0, "{report:?}");
+    }
+
+    #[test]
+    fn corrupt_profile_rejects_with_typed_errors_never_panics() {
+        let report = run(SoakConfig {
+            profile: Profile::Corrupt,
+            ops: 50,
+            workstations: 3,
+            slaves: 1,
+            seed: 0xBADB17,
+            kprop_every: 12,
+        })
+        .expect("oracles hold");
+        assert!(report.net.corrupted > 0, "{report:?}");
+    }
+
+    #[test]
+    fn oracle_failure_prints_seed_and_plan() {
+        let f = OracleFailure {
+            oracle: "safety",
+            detail: "example".to_string(),
+            seed: 42,
+            profile: Profile::Stormy,
+            replay_cmd: "krb-chaos --seed 42 --ops 10 --profile stormy".to_string(),
+            plan: "fault_plan seed=42\n".to_string(),
+        };
+        let text = f.to_string();
+        assert!(text.contains("oracle failure [safety]"));
+        assert!(text.contains("--seed 42"));
+        assert!(text.contains("fault_plan seed=42"));
+    }
+}

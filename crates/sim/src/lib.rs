@@ -12,11 +12,15 @@
 #![warn(missing_docs)]
 
 pub mod attacks;
+pub mod chaos;
 pub mod full_day;
 pub mod lifetime;
 pub mod scenario;
 
 pub use attacks::{replay_captured_ap, rig, wire_contains, AttackOutcome, AttackRig};
+pub use chaos::{
+    smoke_json, OracleFailure, Profile, SoakConfig, SoakReport, ALL_PROFILES, CHAOS_JSON_KEYS,
+};
 pub use full_day::{run_full_day, FullDayConfig, FullDayReport};
 pub use lifetime::{tradeoff, LifetimeConfig, TradeoffRow};
 pub use scenario::{run, ScenarioConfig, ScenarioReport};

@@ -124,6 +124,8 @@ pub enum EventKind {
     KpropTransfer,
     KpropApply,
     KpropReject,
+    /// A fault-injection action taken by the network simulator (chaos runs).
+    NetFault,
 }
 
 impl EventKind {
@@ -148,6 +150,7 @@ impl EventKind {
             EventKind::KpropTransfer => "kprop_transfer",
             EventKind::KpropApply => "kprop_apply",
             EventKind::KpropReject => "kprop_reject",
+            EventKind::NetFault => "net_fault",
         }
     }
 
@@ -172,6 +175,7 @@ impl EventKind {
             "kprop_transfer" => EventKind::KpropTransfer,
             "kprop_apply" => EventKind::KpropApply,
             "kprop_reject" => EventKind::KpropReject,
+            "net_fault" => EventKind::NetFault,
             _ => return None,
         })
     }
@@ -580,6 +584,7 @@ mod tests {
             EventKind::KpropTransfer,
             EventKind::KpropApply,
             EventKind::KpropReject,
+            EventKind::NetFault,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
         }

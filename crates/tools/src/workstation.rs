@@ -135,7 +135,9 @@ impl Workstation {
 
     /// Retries per KDC before falling over to the next (UDP clients
     /// retransmit; the V4 library tried each server several times).
-    const RETRIES_PER_KDC: usize = 3;
+    /// Public so availability tests can budget exactly how many timeouts
+    /// a partitioned KDC costs before the slave answers.
+    pub const RETRIES_PER_KDC: usize = 3;
 
     /// Try each KDC in order, with retransmissions, until one answers
     /// (availability, Fig. 10; loss tolerance on the open network).

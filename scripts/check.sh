@@ -41,6 +41,29 @@ echo "== krb-trace --smoke"
 # traces (byte-identical across two runs); exits non-zero on any drift.
 cargo run -q -p krb-tools --bin krb-trace -- --smoke > /dev/null
 
+echo "== krb-chaos --smoke"
+# The fault-injection soak: every fault profile at CI scale, all four
+# oracle families (safety, liveness, conservation, trace completeness)
+# green, and the determinism contract holds — two same-seed runs must be
+# byte-identical.
+chaos_a="$(mktemp)"
+chaos_b="$(mktemp)"
+trap 'rm -f "$smoke_json" "$chaos_a" "$chaos_b"' EXIT
+cargo run -q -p krb-sim --bin krb-chaos -- --smoke > "$chaos_a"
+cargo run -q -p krb-sim --bin krb-chaos -- --smoke > "$chaos_b"
+if ! diff -q "$chaos_a" "$chaos_b" > /dev/null; then
+    echo "krb-chaos --smoke is not deterministic (two runs differ)" >&2
+    exit 1
+fi
+for key in tool seed profiles profile ops logins_ok app_ok replay_hits \
+        dups_at_server healed_logins net corrupted journal oracles safety \
+        liveness conservation trace_completeness; do
+    if ! grep -q "\"$key\"" "$chaos_a"; then
+        echo "krb-chaos smoke output is missing \"$key\"" >&2
+        exit 1
+    fi
+done
+
 echo "== BENCH_kdc.json schema"
 # The committed bench snapshot must carry the current schema (threads +
 # schedule-cache counters); a stale file means the numbers predate the

@@ -289,6 +289,172 @@ fn journal_dump_never_contains_key_material() {
 }
 
 #[test]
+fn every_error_kind_is_constructible_and_journals_at_its_hop() {
+    // The observability taxonomy (`ErrorCode::kind()` → ERROR_KINDS) is only
+    // trustworthy if every kind can actually happen through the real
+    // protocol. Drive each of the seven kinds end-to-end — workstation,
+    // KDC, and application-server hops — and check that the hop that owns
+    // the error journals it with the matching `err_kind` field.
+    use athena_kerberos::crypto::Scheduled;
+    use athena_kerberos::krb::{krb_mk_req, krb_rd_req_sched_ctx, Message, ERROR_KINDS};
+    use athena_kerberos::telemetry::{lcg_clock_us, ClockUs, Journal, TraceCtx};
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    let mut r = realm();
+    let journal = Journal::shared();
+    let clock: ClockUs = lcg_clock_us(11, 40, 400);
+    r.dep.master.lock().set_journal(Arc::clone(&journal));
+    let mut ws = workstation(&r);
+    ws.enable_tracing(Arc::clone(&journal), ClockUs::clone(&clock), 11);
+    let mut seen: HashSet<&'static str> = HashSet::new();
+
+    // bad_password — client hop: the AS reply will not decrypt.
+    match ws.kinit(&mut r.router, "bcn", "wrong-pw") {
+        Err(athena_kerberos::tools::ToolError::Krb(e)) => {
+            assert_eq!(e.kind(), "bad_password");
+            seen.insert(e.kind());
+        }
+        other => panic!("wrong password must fail with a Kerberos error, got {other:?}"),
+    }
+
+    // unknown_principal — KDC hop: no such entry in the database.
+    match ws.kinit(&mut r.router, "mallory", "whatever") {
+        Err(athena_kerberos::tools::ToolError::Krb(e)) => {
+            assert_eq!(e.kind(), "unknown_principal");
+            seen.insert(e.kind());
+        }
+        other => panic!("unknown principal must fail with a Kerberos error, got {other:?}"),
+    }
+
+    // decode — KDC hop: garbage on the wire gets a typed error reply.
+    let kdc_ep = r.dep.kdc_endpoints()[0];
+    let ws_ep = athena_kerberos::netsim::Endpoint::new(WS_ADDR, 1023);
+    let reply = r.router.rpc(ws_ep, kdc_ep, b"not a kerberos message").unwrap();
+    match Message::decode(&reply).unwrap() {
+        Message::Err(err) => {
+            assert_eq!(err.code.kind(), "decode");
+            seen.insert(err.code.kind());
+        }
+        other => panic!("garbage must draw an error reply, got {other:?}"),
+    }
+
+    // The remaining kinds surface at the application-server hop, all from
+    // one legitimate login's credentials.
+    ws.kinit(&mut r.router, "bcn", "bcn-pw").unwrap();
+    let svc = r.service.clone();
+    let (ap, cred) = ws.mk_request(&mut r.router, &svc, 0, false).unwrap();
+    let ctx = TraceCtx::new(
+        Arc::clone(&journal),
+        ClockUs::clone(&clock),
+        ws.current_trace().unwrap(),
+    );
+    let sched = Scheduled::new(&r.service_key);
+    let now = ws.now();
+
+    // replay — the same authenticator presented twice.
+    let mut rc = ReplayCache::new();
+    krb_rd_req_sched_ctx(&ap, &svc, &sched, WS_ADDR, now, &mut rc, Some(&ctx)).unwrap();
+    let e = krb_rd_req_sched_ctx(&ap, &svc, &sched, WS_ADDR, now, &mut rc, Some(&ctx)).unwrap_err();
+    assert_eq!(e, ErrorCode::RdApRepeat);
+    seen.insert(e.kind());
+
+    // skew — a fresh cache, but the server's clock is an hour off.
+    let mut rc = ReplayCache::new();
+    let e = krb_rd_req_sched_ctx(&ap, &svc, &sched, WS_ADDR, now + 3600, &mut rc, Some(&ctx))
+        .unwrap_err();
+    assert_eq!(e, ErrorCode::RdApTime);
+    seen.insert(e.kind());
+
+    // other — right ticket, wrong source address (§4.3's address check).
+    let mut rc = ReplayCache::new();
+    let e = krb_rd_req_sched_ctx(&ap, &svc, &sched, [10, 0, 0, 66], now, &mut rc, Some(&ctx))
+        .unwrap_err();
+    assert_eq!(e, ErrorCode::RdApBadAddr);
+    assert_eq!(e.kind(), "other");
+    seen.insert(e.kind());
+
+    // expired_ticket — the wire-obtained ticket, presented with a fresh
+    // authenticator long after its lifetime (96 × 5 min) ran out.
+    let late = now + u32::from(cred.life) * 300 + 600;
+    let client = Principal::parse("bcn", REALM).unwrap();
+    let old = krb_mk_req(&cred.ticket, REALM, &cred.key(), &client, WS_ADDR, late, 0, false);
+    let mut rc = ReplayCache::new();
+    let e = krb_rd_req_sched_ctx(&old, &svc, &sched, WS_ADDR, late, &mut rc, Some(&ctx))
+        .unwrap_err();
+    assert_eq!(e, ErrorCode::RdApExp);
+    seen.insert(e.kind());
+
+    let all: HashSet<&'static str> = ERROR_KINDS.iter().copied().collect();
+    assert_eq!(seen, all, "every taxonomy kind must be constructible");
+
+    // Each owning hop journaled its error with the taxonomy slug.
+    let dump = journal.render();
+    for needle in [
+        "kind=kdc_err err_kind=unknown_principal",
+        "kind=kdc_err err_kind=decode",
+        "kind=replay_hit",
+        "kind=ap_err err_kind=skew",
+        "kind=ap_err err_kind=other",
+        "kind=ap_err err_kind=expired_ticket",
+        "kind=login_err err_kind=bad_password",
+    ] {
+        assert!(dump.contains(needle), "journal missing `{needle}`:\n{dump}");
+    }
+}
+
+#[test]
+fn truncated_and_corrupt_wire_bytes_never_panic() {
+    // Chaos runs corrupt packets in flight; every decoder on every hop must
+    // answer with a typed error, never a panic. Exercise each parser with
+    // every truncation of real wire bytes plus bit-flipped variants.
+    use athena_kerberos::apps::parse_request;
+    use athena_kerberos::krb::Message;
+
+    let mut r = realm();
+    let captured = r.router.net().add_capture();
+    let mut ws = workstation(&r);
+    ws.kinit(&mut r.router, "bcn", "bcn-pw").unwrap();
+    let svc = r.service.clone();
+    let (ap, _) = ws.mk_request(&mut r.router, &svc, 0, false).unwrap();
+
+    // Every prefix of every real AS/TGS datagram must decode or error.
+    let wire: Vec<Vec<u8>> = captured.lock().iter().map(|p| p.payload.clone()).collect();
+    assert!(!wire.is_empty());
+    for payload in &wire {
+        for cut in 0..payload.len() {
+            let _ = Message::decode(&payload[..cut]);
+        }
+        // And with a bit flipped at each byte position.
+        for i in 0..payload.len() {
+            let mut bent = payload.clone();
+            bent[i] ^= 0x10;
+            let _ = Message::decode(&bent);
+        }
+    }
+
+    // The application framing: truncations and flips of a real request.
+    let framed = athena_kerberos::apps::frame_request(&ap, "login", b"bcn");
+    for cut in 0..framed.len() {
+        assert!(parse_request(&framed[..cut]).is_err(), "truncation at {cut} must error");
+    }
+    for i in 0..framed.len() {
+        let mut bent = framed.clone();
+        bent[i] ^= 0x01;
+        let _ = parse_request(&bent); // may or may not parse; must not panic
+    }
+
+    // A live KDC fed garbage answers every time (an error reply, not silence
+    // or a crash).
+    let kdc_ep = r.dep.kdc_endpoints()[0];
+    let ws_ep = athena_kerberos::netsim::Endpoint::new([18, 72, 0, 99], 1023);
+    for garbage in [&b""[..], &[0xFF; 3], &[0x00; 40], &[0x5A; 600]] {
+        let reply = r.router.rpc(ws_ep, kdc_ep, garbage).unwrap();
+        assert!(matches!(Message::decode(&reply), Ok(Message::Err(_))));
+    }
+}
+
+#[test]
 fn protocol_survives_packet_reordering() {
     // Campus networks reorder; single-datagram exchanges don't care, and
     // the workstation's per-request state (nonce binding) keeps crossed

@@ -199,6 +199,114 @@ fn krbtgt_rollover_via_propagation_invalidates_schedule_caches() {
 }
 
 #[test]
+fn master_partitioned_slave_answers_within_retry_budget() {
+    // §5.3 under the chaos fault model: a timed partition window isolates
+    // the master, and the workstation's failover finds the slave after
+    // spending exactly `RETRIES_PER_KDC` timeouts on the dead host.
+    use athena_kerberos::netsim::{Fault, FaultPlan, FaultWindow, Ipv4, LinkMatch};
+
+    let (mut router, dep) = deploy(1);
+    let plan = FaultPlan::with_windows(
+        7,
+        vec![FaultWindow {
+            from_ms: 0,
+            until_ms: u64::MAX,
+            link: LinkMatch::Host(Ipv4(dep.master_addr)),
+            fault: Fault::Partition,
+        }],
+    );
+    router.net().set_fault_plan(plan);
+
+    let mut workstation = ws(&dep);
+    workstation.kinit(&mut router, "bcn", "bcn-pw").unwrap();
+    assert!(workstation.whoami().is_some());
+
+    // Every packet aimed at the master was swallowed by the partition; one
+    // AS exchange costs the full per-KDC retry budget before failover.
+    let registry = router.net().registry();
+    assert_eq!(
+        registry.counter_value("net_fault_partitioned_total"),
+        Workstation::RETRIES_PER_KDC as u64,
+        "failover must spend exactly the retry budget on the dead master"
+    );
+}
+
+#[test]
+fn all_kdcs_partitioned_fails_with_typed_timeout() {
+    // Both the master and every slave unreachable: the client reports a
+    // typed network timeout — no panic, no bogus credential.
+    use athena_kerberos::netsim::{Fault, FaultPlan, FaultWindow, LinkMatch, NetError};
+
+    let (mut router, dep) = deploy(1);
+    let plan = FaultPlan::with_windows(
+        8,
+        vec![FaultWindow {
+            from_ms: 0,
+            until_ms: u64::MAX,
+            link: LinkMatch::Any,
+            fault: Fault::Partition,
+        }],
+    );
+    router.net().set_fault_plan(plan);
+
+    let mut workstation = ws(&dep);
+    match workstation.kinit(&mut router, "bcn", "bcn-pw") {
+        Err(athena_kerberos::tools::ToolError::Net(NetError::Timeout)) => {}
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+    assert!(workstation.whoami().is_none());
+}
+
+#[test]
+fn heal_lets_the_pending_login_complete() {
+    // The liveness half of the chaos oracle, in miniature: a login that
+    // failed during a full partition completes once `heal_faults()` closes
+    // the windows — same workstation, same credentials, no restart.
+    use athena_kerberos::krb::{krb_rd_req, ReplayCache};
+    use athena_kerberos::netsim::{Fault, FaultPlan, FaultWindow, LinkMatch};
+
+    let start = athena_kerberos::netsim::EPOCH_1987;
+    let mut boot = kdb_init(REALM, "master-key-pw", start, 200).unwrap();
+    register_user(&mut boot.db, "bcn", "", "bcn-pw", start).unwrap();
+    let mut keygen = athena_kerberos::crypto::KeyGenerator::new(
+        <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(201),
+    );
+    let svc_key = athena_kerberos::tools::register_service(
+        &mut boot.db, "sample", "host", start, &mut keygen,
+    )
+    .unwrap();
+    let mut router = Router::new(SimNet::new(NetConfig::default()));
+    let dep = Deployment::install(
+        &mut router, REALM, boot.db, RealmConfig::new(REALM), [18, 72, 0, 10], 1, start,
+    )
+    .unwrap();
+
+    let plan = FaultPlan::with_windows(
+        9,
+        vec![FaultWindow {
+            from_ms: 0,
+            until_ms: u64::MAX,
+            link: LinkMatch::Any,
+            fault: Fault::Partition,
+        }],
+    );
+    router.net().set_fault_plan(plan);
+
+    let mut workstation = ws(&dep);
+    assert!(workstation.kinit(&mut router, "bcn", "bcn-pw").is_err(), "partitioned");
+
+    router.net().heal_faults();
+    workstation.kinit(&mut router, "bcn", "bcn-pw").unwrap();
+
+    // The healed session is fully usable: a service ticket mints and the
+    // AP_REQ verifies at the server.
+    let svc = Principal::parse("sample.host", REALM).unwrap();
+    let (ap, _) = workstation.mk_request(&mut router, &svc, 0, false).unwrap();
+    let mut rc = ReplayCache::new();
+    krb_rd_req(&ap, &svc, &svc_key, WS_ADDR, workstation.now(), &mut rc).unwrap();
+}
+
+#[test]
 fn propagation_scales_with_database_size() {
     // E11's shape: dump size grows linearly with principals.
     let start = athena_kerberos::netsim::EPOCH_1987;
