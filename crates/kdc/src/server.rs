@@ -270,6 +270,15 @@ impl<S: Store> Kdc<S> {
         &self.db
     }
 
+    /// Snapshot the database as kprop dump text. This is the *only* work a
+    /// propagation driver should do under the KDC lock: take the textual
+    /// snapshot, drop the guard, then seal and transfer the owned string
+    /// (L8 lock discipline — `kprop_build(master.lock().db())` would hold
+    /// every authentication request hostage for the whole transfer).
+    pub fn dump_text(&self) -> Result<String, krb_kdb::DbError> {
+        krb_kdb::dump::dump(&self.db)
+    }
+
     /// Mutable database access — only meaningful on the master, where the
     /// KDBM runs (paper §5: "changes may only be made to the master").
     ///

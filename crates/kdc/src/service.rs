@@ -60,6 +60,13 @@ impl Deployment {
     ) -> Result<Self, DbError> {
         let clock_cell = Arc::new(AtomicU32::new(start_time));
         let master_key = *master_db.master_key();
+        // Dump once, while the database is still exclusively owned: the
+        // text cannot change between slave installs, and taking the dump
+        // after the db goes behind the realm mutex would hold the master
+        // lock across the whole transfer (L8 lock discipline — the stall
+        // ROADMAP-1's concurrent KDC exists to eliminate).
+        let text = dump::dump(&master_db)?;
+        let entries = dump::parse(&text)?;
         let master = Arc::new(Mutex::new(Kdc::new(
             master_db,
             config.clone(),
@@ -72,8 +79,6 @@ impl Deployment {
 
         let mut slaves = Vec::new();
         for i in 0..n_slaves {
-            let text = dump::dump(master.lock().db())?;
-            let entries = dump::parse(&text)?;
             let mut store = MemStore::new();
             dump::install(&mut store, &entries)?;
             let db = PrincipalDb::open(store, master_key)?;

@@ -5,6 +5,13 @@
 //! rules never fire on prose or test fixtures. No dependency on `syn` —
 //! the grammar subset the rules need (attributes, derives, struct fields,
 //! method calls, macro bangs, brace nesting) survives tokenization intact.
+//!
+//! One deliberate exception to "contents are discarded": a string literal
+//! token carries the *inline format captures* found in its text (`{name}`
+//! / `{name:?}`). `format!("{key:?}")` never mentions `key` outside the
+//! literal, so a taint rule that only saw identifiers would be blind to
+//! the most idiomatic leak of all — the L9 sink check reads
+//! [`Token::captures`] to close that hole. The prose itself stays dropped.
 
 /// What a token is, coarsely.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -29,6 +36,52 @@ pub struct Token {
     pub text: String,
     /// 1-based line number.
     pub line: u32,
+    /// For string literals: the `{ident}` inline format captures the text
+    /// contains (empty for every other token). `{{` escapes and positional
+    /// / numeric captures are excluded; a `{name:spec}` capture yields
+    /// `name`.
+    pub captures: Vec<String>,
+}
+
+impl Token {
+    fn new(kind: Kind, text: String, line: u32) -> Self {
+        Token { kind, text, line, captures: Vec::new() }
+    }
+}
+
+/// Extract inline format-capture identifiers from string-literal contents:
+/// `"hello {name} {count:>3} {} {0} {{brace}}"` → `["name", "count"]`.
+pub fn format_captures(s: &str) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] != '{' {
+            i += 1;
+            continue;
+        }
+        // `{{` is an escaped brace, not a capture.
+        if chars.get(i + 1) == Some(&'{') {
+            i += 2;
+            continue;
+        }
+        let mut j = i + 1;
+        let start = j;
+        while j < chars.len() && (chars[j] == '_' || chars[j].is_alphanumeric()) {
+            j += 1;
+        }
+        let name: String = chars[start..j].iter().collect();
+        // The capture ends at `}` or at a `:format-spec`; anything else
+        // (e.g. an expression or stray brace) is not a plain capture.
+        let terminated = matches!(chars.get(j), Some('}') | Some(':'));
+        let is_ident = !name.is_empty()
+            && !name.chars().next().is_some_and(|c| c.is_ascii_digit());
+        if terminated && is_ident {
+            out.push(name);
+        }
+        i = j.max(i + 1);
+    }
+    out
 }
 
 /// Tokenize `src`, dropping comments and literal contents.
@@ -91,6 +144,7 @@ pub fn lex(src: &str) -> Vec<Token> {
             }
             // j at opening quote
             j += 1;
+            let mut contents = String::new();
             loop {
                 if j >= n {
                     break;
@@ -108,17 +162,28 @@ pub fn lex(src: &str) -> Vec<Token> {
                     }
                 }
                 bump_lines!(bytes[j]);
+                contents.push(bytes[j]);
                 j += 1;
             }
-            out.push(Token { kind: Kind::Literal, text: String::new(), line });
+            out.push(Token {
+                kind: Kind::Literal,
+                text: String::new(),
+                line,
+                captures: format_captures(&contents),
+            });
             i = j;
             continue;
         }
         // String literal (and byte string b"...").
         if c == '"' || (c == 'b' && i + 1 < n && bytes[i + 1] == '"') {
             let mut j = if c == 'b' { i + 2 } else { i + 1 };
+            let mut contents = String::new();
             while j < n {
                 if bytes[j] == '\\' {
+                    // Keep the escaped char (it cannot open a capture).
+                    if j + 1 < n {
+                        contents.push(bytes[j + 1]);
+                    }
                     j += 2;
                     continue;
                 }
@@ -127,9 +192,15 @@ pub fn lex(src: &str) -> Vec<Token> {
                     break;
                 }
                 bump_lines!(bytes[j]);
+                contents.push(bytes[j]);
                 j += 1;
             }
-            out.push(Token { kind: Kind::Literal, text: String::new(), line });
+            out.push(Token {
+                kind: Kind::Literal,
+                text: String::new(),
+                line,
+                captures: format_captures(&contents),
+            });
             i = j;
             continue;
         }
@@ -142,12 +213,12 @@ pub fn lex(src: &str) -> Vec<Token> {
                 while j < n && bytes[j] != '\'' {
                     j += 1;
                 }
-                out.push(Token { kind: Kind::Literal, text: String::new(), line });
+                out.push(Token::new(Kind::Literal, String::new(), line));
                 i = j + 1;
                 continue;
             }
             if i + 2 < n && bytes[i + 2] == '\'' {
-                out.push(Token { kind: Kind::Literal, text: String::new(), line });
+                out.push(Token::new(Kind::Literal, String::new(), line));
                 i += 3;
                 continue;
             }
@@ -161,11 +232,7 @@ pub fn lex(src: &str) -> Vec<Token> {
             while i < n && (bytes[i] == '_' || bytes[i].is_alphanumeric()) {
                 i += 1;
             }
-            out.push(Token {
-                kind: Kind::Ident,
-                text: bytes[start..i].iter().collect(),
-                line,
-            });
+            out.push(Token::new(Kind::Ident, bytes[start..i].iter().collect(), line));
             continue;
         }
         // Number.
@@ -180,11 +247,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 }
                 i += 1;
             }
-            out.push(Token {
-                kind: Kind::Literal,
-                text: bytes[start..i].iter().collect(),
-                line,
-            });
+            out.push(Token::new(Kind::Literal, bytes[start..i].iter().collect(), line));
             continue;
         }
         // == / != as units.
@@ -192,16 +255,12 @@ pub fn lex(src: &str) -> Vec<Token> {
             // `!=` only when not `!==`-like; Rust has no `!==`, fine.
             // `==` could be the tail of `<=`/`>=`... those lex as two
             // puncts before reaching here, which is fine for our rules.
-            out.push(Token {
-                kind: Kind::CompareOp,
-                text: format!("{c}="),
-                line,
-            });
+            out.push(Token::new(Kind::CompareOp, format!("{c}="), line));
             i += 2;
             continue;
         }
         // Any other punctuation, one char at a time.
-        out.push(Token { kind: Kind::Punct, text: c.to_string(), line });
+        out.push(Token::new(Kind::Punct, c.to_string(), line));
         i += 1;
     }
     out
@@ -271,5 +330,29 @@ mod tests {
     fn numeric_ranges_do_not_merge() {
         let toks = texts("0..3");
         assert_eq!(toks, vec!["0", ".", ".", "3"]);
+    }
+
+    #[test]
+    fn format_captures_parse() {
+        assert_eq!(
+            format_captures("a {name} b {count:>3} {} {0} {{esc}} {k:?}"),
+            vec!["name", "count", "k"]
+        );
+        assert!(format_captures("no captures").is_empty());
+    }
+
+    #[test]
+    fn string_literals_carry_their_captures() {
+        let toks = lex(r#"format!("user {who} key {key:?}") r"raw {secret}""#);
+        let caps: Vec<Vec<String>> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Literal)
+            .map(|t| t.captures.clone())
+            .collect();
+        assert_eq!(caps, vec![vec!["who".to_string(), "key".to_string()], vec![
+            "secret".to_string()
+        ]]);
+        // The literal text itself stays dropped.
+        assert!(toks.iter().all(|t| t.kind != Kind::Literal || t.text.is_empty()));
     }
 }

@@ -31,27 +31,49 @@
 //!   (DESIGN.md §10). Build a `Scheduled` once and pass it through the
 //!   `*_with` API family instead. (Benches measuring the schedule cost
 //!   itself are allowlisted.)
-//! - **L7 no key material in the journal**: a secret-bearing type
-//!   (`DesKey`, `SecretKey`, `Scheduled`) appearing next to the journal's
-//!   field constructor (`Field::from`) outside `crates/telemetry` is a
-//!   finding — journal events are exported as plaintext dump lines
-//!   (DESIGN.md §11), so key material must never be turned into an event
-//!   field. Journal principals, codes and counts, never keys.
+//! - **L7 (retired)**: the old same-line "secret type next to
+//!   `Field::from`" adjacency check. Superseded by L9, which tracks the
+//!   actual flow instead of guessing from proximity; the id stays
+//!   reserved so historical allowlist entries and docs remain readable.
+//! - **L8 lock discipline**: a `MutexGuard`/`RwLockGuard` (bound from an
+//!   empty-argument `.lock()`/`.read()`/`.write()`) must not be live
+//!   across a blocking or I/O-shaped call (network send, RPC, kprop
+//!   transfer, journal emission), whether held in a binding or created
+//!   as a temporary inside the blocking call's own arguments; and nested
+//!   guard acquisitions must follow the single declared lock order
+//!   ([`lock::LOCK_ORDER`]). See [`lock`]. These are the hazards the
+//!   ROADMAP-1 concurrent-KDC refactor will introduce; the rule lands
+//!   first so the refactor inherits a fence, not a cleanup.
+//! - **L9 secret-taint dataflow**: intraprocedural taint from secret
+//!   sources (`DesKey`/`SecretKey`/`Scheduled` values, key-producing
+//!   calls, password-named bindings) through `let`/assignment/method
+//!   chains into plaintext sinks (`format!`-family macros, `Debug`
+//!   formatting, the journal's `Field::from`) — including
+//!   `format!("{key}")` inline captures that never mention the name
+//!   outside the string literal. See [`taint`]. Paper §2: the session
+//!   key is the only secret shared between client and server — it must
+//!   never reach logs.
 //!
 //! Findings are suppressed only via the `lint.allow` file at the
 //! workspace root, and unused allowlist entries are themselves errors, so
 //! the allowlist can only shrink (burndown).
 //!
 //! The scanner is dependency-free: a hand-rolled lexer ([`lexer`]) strips
-//! comments and string literals, and the rules pattern-match the token
-//! stream. `#[cfg(test)]` items are excluded from L1–L3 — tests may
-//! freely unwrap and print.
+//! comments and string literals (retaining inline format captures), the
+//! token rules (L1–L6) pattern-match the stream, and the scope rules
+//! (L8/L9) run on a lightweight brace-tree IR ([`scope`]) built over it.
+//! `#[cfg(test)]` items are excluded — tests may freely unwrap, print,
+//! and hold locks however they like.
 
 #![forbid(unsafe_code)]
 
 pub mod lexer;
+pub mod lock;
+pub mod scope;
+pub mod taint;
 
 use lexer::{lex, Kind, Token};
+use scope::ScopeModel;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -92,10 +114,6 @@ const L5_ATOMIC_TYPES: &[&str] = &["AtomicU64", "AtomicUsize", "AtomicI64"];
 /// hold a `Scheduled` instead.
 const L6_CIPHER_TYPES: &[&str] = &["FastDes", "Des"];
 
-/// Secret-bearing types that must never appear next to the journal's
-/// field constructor (L7) — journal dumps are plaintext.
-const L7_SECRET_TYPES: &[&str] = &["DesKey", "SecretKey", "Scheduled"];
-
 /// Panic-family method calls and macros forbidden in server paths (L3).
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 const PANIC_MACROS: &[&str] = &[
@@ -114,7 +132,7 @@ const PANIC_MACROS: &[&str] = &[
 /// One rule violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id: "L1".."L4".
+    /// Rule id: `"L1"`..`"L9"` (`"L7"` is retired and never emitted).
     pub rule: &'static str,
     /// Path relative to the workspace root, with `/` separators.
     pub file: String,
@@ -167,6 +185,9 @@ pub struct Report {
     pub stale_allow: Vec<AllowEntry>,
     /// Total allowlist entries parsed (the burndown ceiling check).
     pub allow_count: usize,
+    /// Number of source files scanned (a sanity signal: a run that
+    /// scanned zero files proves nothing).
+    pub files_scanned: usize,
 }
 
 impl Report {
@@ -175,6 +196,194 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty() && self.stale_allow.is_empty()
     }
+
+    /// Per-rule `(id, live, allowed)` counts over every active rule id,
+    /// zeros included, so consumers see a stable schema.
+    pub fn counts(&self) -> Vec<(&'static str, usize, usize)> {
+        RULES
+            .iter()
+            .map(|r| {
+                let live = self.findings.iter().filter(|f| f.rule == r.id).count();
+                let allowed = self.allowed.iter().filter(|f| f.rule == r.id).count();
+                (r.id, live, allowed)
+            })
+            .collect()
+    }
+
+    /// Machine-readable report (hand-rolled JSON; the workspace is
+    /// dependency-free by design). Schema: see `--explain json` /
+    /// DESIGN.md §13.
+    pub fn render_json(&self) -> String {
+        fn finding_json(f: &Finding) -> String {
+            format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"key\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(f.rule),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.key),
+                json_escape(&f.message)
+            )
+        }
+        let rules: Vec<String> = self
+            .counts()
+            .iter()
+            .map(|(id, live, allowed)| {
+                format!("{{\"id\":\"{id}\",\"live\":{live},\"allowed\":{allowed}}}")
+            })
+            .collect();
+        let findings: Vec<String> = self.findings.iter().map(finding_json).collect();
+        let allowed: Vec<String> = self.allowed.iter().map(finding_json).collect();
+        let stale: Vec<String> = self
+            .stale_allow
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"rule\":\"{}\",\"file\":\"{}\",\"key\":\"{}\"}}",
+                    json_escape(&e.rule),
+                    json_escape(&e.file),
+                    json_escape(&e.key)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"krb-lint/v2\",\"files_scanned\":{},\"clean\":{},\
+             \"allow_count\":{},\"rules\":[{}],\"findings\":[{}],\"allowed\":[{}],\
+             \"stale_allow\":[{}]}}",
+            self.files_scanned,
+            self.is_clean(),
+            self.allow_count,
+            rules.join(","),
+            findings.join(","),
+            allowed.join(","),
+            stale.join(",")
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One rule's documentation, served by `krb-lint --explain L<k>`.
+pub struct Rule {
+    /// Rule id (`"L1"`..).
+    pub id: &'static str,
+    /// One-line title.
+    pub title: &'static str,
+    /// What it checks, why the invariant matters, and how to fix a hit.
+    pub detail: &'static str,
+}
+
+/// Every active rule, in id order. L7 is retired (superseded by L9) and
+/// intentionally absent.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "L1",
+        title: "secret-hygiene: no derive(Debug) on raw key fields",
+        detail: "A struct that derives Debug while carrying raw key bytes \
+                 ([u8; 8], Vec<u8>) in a secret-named field will print key \
+                 material in logs and panics. Wrap the field in \
+                 crypto::SecretKey / DesKey (both redact their Debug) or drop \
+                 the derive. Paper §2: the session key must never leave the \
+                 protocol.",
+    },
+    Rule {
+        id: "L2",
+        title: "constant-time comparison of key/checksum material",
+        detail: "Comparing checksums or session keys with == / != short- \
+                 circuits on the first differing byte, turning verification \
+                 into a timing oracle for forging authenticators. Use \
+                 crypto::ct_eq, which always walks the full width.",
+    },
+    Rule {
+        id: "L3",
+        title: "panic-free server request paths",
+        detail: "unwrap/expect/panic!/assert! in KDC, kadmind, kpropd or \
+                 application-server request handling lets a malformed packet \
+                 crash the authentication service (paper §6 prescribes error \
+                 replies). Map errors to typed protocol errors instead. \
+                 Applies to the files listed in SERVER_PATH_FILES.",
+    },
+    Rule {
+        id: "L4",
+        title: "crate hygiene: forbid(unsafe_code) + crate docs",
+        detail: "Every crate root must carry #![forbid(unsafe_code)] and \
+                 crate-level //! documentation. The workspace's assurance \
+                 argument is 'no unsafe anywhere'; one crate opting out \
+                 silently would void it.",
+    },
+    Rule {
+        id: "L5",
+        title: "one counting substrate: no raw atomics outside telemetry",
+        detail: "Raw AtomicU64/AtomicUsize/AtomicI64 counters outside \
+                 crates/telemetry dodge the metrics registry: no export, no \
+                 determinism contract. Use krb_telemetry::Counter/Gauge. \
+                 Genuinely non-metric atomics (the simulated clock) carry a \
+                 justified lint.allow entry.",
+    },
+    Rule {
+        id: "L6",
+        title: "one schedule per key: no raw cipher constructors",
+        detail: "FastDes::new / Des::new outside crates/crypto rebuilds the \
+                 DES key schedule at the call site, dodging the Scheduled \
+                 cache (DESIGN.md §10). Build a Scheduled once and use the \
+                 *_with API family.",
+    },
+    Rule {
+        id: "L8",
+        title: "lock discipline: no guards across blocking calls; ordered nesting",
+        detail: "A lock guard (from .lock()/.read()/.write() with no \
+                 arguments) must not be live across a blocking or I/O-shaped \
+                 call — send/rpc/rpc_traced, kprop transfer production \
+                 (dump, kprop_build, tcp_kprop_send), journal emission \
+                 (record, publish), or router pumping. That includes a \
+                 temporary guard created inside the blocking call's argument \
+                 list: dump(master.lock().db()) holds the KDC master lock for \
+                 the whole database dump, serializing every authentication \
+                 request behind replication (the paper runs propagation on \
+                 its own cadence precisely to avoid this). Fix by \
+                 snapshotting under the lock, dropping the guard (drop(g) is \
+                 recognized), then doing the slow work on the owned copy. \
+                 Nested acquisitions must follow LOCK_ORDER in \
+                 crates/lint/src/lock.rs: inner rank strictly greater than \
+                 outer; same lock twice is self-deadlock; locks absent from \
+                 the order are flagged until declared deliberately.",
+    },
+    Rule {
+        id: "L9",
+        title: "secret-taint dataflow: key material must not reach sinks",
+        detail: "Intraprocedural two-point taint per function. Sources: \
+                 parameters/bindings typed DesKey/SecretKey/Scheduled, calls \
+                 to string_to_key/get_with_key/random_key, and names that are \
+                 secret by convention (session_key, master_key, *password*). \
+                 Taint flows through let-chains, assignments and method calls \
+                 (key.clone()); .len()/.is_empty() launder it, and a free \
+                 call's result (seal_with(..) ciphertext) is clean by design. \
+                 Sinks: format!/println!/write!/panic!-family macros (their \
+                 output is plaintext logs), Debug formatting via {:?} or \
+                 inline captures like format!(\"{key:?}\") — the lexer keeps \
+                 capture names precisely for this — and the journal's \
+                 Field::from. Supersedes L7's same-line adjacency heuristic.",
+    },
+];
+
+/// Look up the `--explain` text for a rule id (case-insensitive).
+pub fn explain(rule: &str) -> Option<&'static Rule> {
+    let want = rule.to_ascii_uppercase();
+    RULES.iter().find(|r| r.id == want)
 }
 
 /// Run every rule over the workspace rooted at `root` and apply the
@@ -189,10 +398,12 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
         ));
     }
     let mut raw = Vec::new();
+    let mut files_scanned = 0usize;
     for file in source_files(root)? {
         let rel = rel_path(root, &file);
         let src = fs::read_to_string(&file)?;
         raw.extend(scan_file(&rel, &src));
+        files_scanned += 1;
     }
     raw.sort_by(|a, b| {
         (a.rule, &a.file, a.line, &a.key).cmp(&(b.rule, &b.file, b.line, &b.key))
@@ -201,6 +412,7 @@ pub fn run(root: &Path) -> std::io::Result<Report> {
     let allow = parse_allow(root)?;
     let mut report = Report {
         allow_count: allow.len(),
+        files_scanned,
         ..Report::default()
     };
     let mut used = vec![false; allow.len()];
@@ -255,8 +467,14 @@ pub fn scan_file(rel: &str, src: &str) -> Vec<Finding> {
     if !rel.starts_with("crates/crypto/") {
         findings.extend(check_l6(rel, &tokens));
     }
+    // Scope-aware rules share one brace-tree model. The telemetry crate is
+    // exempt from both: it *implements* the journal/metrics substrate the
+    // blocking-call and sink tables name (record/publish/Field are its own
+    // vocabulary, not calls out of it).
     if !rel.starts_with("crates/telemetry/") {
-        findings.extend(check_l7(rel, &tokens));
+        let model = ScopeModel::build(&tokens);
+        findings.extend(lock::check_l8(rel, &tokens, &model));
+        findings.extend(taint::check_l9(rel, &tokens, &model));
     }
     findings
 }
@@ -660,47 +878,6 @@ fn check_l6(rel: &str, tokens: &[Token]) -> Vec<Finding> {
 }
 
 // ---------------------------------------------------------------------------
-// L7: key material next to the journal's field constructor
-// ---------------------------------------------------------------------------
-
-fn check_l7(rel: &str, tokens: &[Token]) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (i, tok) in tokens.iter().enumerate() {
-        if tok.kind != Kind::Ident || !L7_SECRET_TYPES.contains(&tok.text.as_str()) {
-            continue;
-        }
-        // A secret type within a few tokens of `Field :: from` means key
-        // material is being packed into a journal event. The window covers
-        // `Field::from(DesKey::clone(k))`, `Field::from(Scheduled::new(..)`
-        // without reaching into unrelated statements (mirrors L2's window).
-        let lo = i.saturating_sub(8);
-        let hi = (i + 9).min(tokens.len());
-        let near_field_ctor = (lo..hi).any(|j| {
-            tokens[j].kind == Kind::Ident
-                && tokens[j].text == "Field"
-                && tokens.get(j + 1).is_some_and(|t| t.text == ":")
-                && tokens.get(j + 2).is_some_and(|t| t.text == ":")
-                && tokens.get(j + 3).is_some_and(|t| t.text == "from")
-        });
-        if near_field_ctor {
-            findings.push(Finding {
-                rule: "L7",
-                file: rel.to_string(),
-                line: tok.line,
-                key: tok.text.clone(),
-                message: format!(
-                    "`{}` next to `Field::from` puts key material into a journal \
-                     event; the journal dump is plaintext — record principals, \
-                     error codes and counts, never keys or schedules",
-                    tok.text
-                ),
-            });
-        }
-    }
-    findings
-}
-
-// ---------------------------------------------------------------------------
 // L4: crate hygiene (raw-text checks on crate roots)
 // ---------------------------------------------------------------------------
 
@@ -945,7 +1122,8 @@ mod tests {
     }
 
     #[test]
-    fn l7_flags_secret_types_next_to_journal_field_constructor() {
+    fn l9_catches_what_l7_used_to_and_more() {
+        // The old L7 case: a secret type packed into a journal field.
         let src = r#"
             fn f(ctx: &TraceCtx, key: &DesKey) {
                 ctx.record(Component::App, EventKind::ApVerified,
@@ -953,22 +1131,100 @@ mod tests {
             }
         "#;
         let f = scan_file("crates/apps/src/pop.rs", src);
-        assert_eq!(keys(&f), vec![("L7", "DesKey".to_string())]);
+        assert_eq!(keys(&f), vec![("L9", "DesKey".to_string())]);
         // The telemetry crate defines the journal machinery and is exempt.
         assert!(scan_file("crates/telemetry/src/journal.rs", src).is_empty());
-        // Principals, codes and counts next to the constructor are fine,
-        // and a secret type far from any `Field::from` is not a finding.
-        let clean = r#"
-            fn f(ctx: &TraceCtx, sched: &Scheduled) {
+        // L7's blind spot: the secret takes a hop before the sink, so no
+        // adjacency — L9's dataflow still sees it.
+        let hop = r#"
+            fn f(ctx: &TraceCtx, key: &DesKey) {
+                let copied = key.clone();
                 ctx.record(Component::App, EventKind::ApVerified,
-                    vec![("client", Field::from(name.as_str()))]);
+                    vec![("key", Field::from(copied))]);
+            }
+        "#;
+        let f = scan_file("crates/apps/src/pop.rs", hop);
+        assert_eq!(keys(&f), vec![("L9", "copied".to_string())]);
+        // Principals and derived lengths next to the constructor are fine.
+        let clean = r#"
+            fn f(ctx: &TraceCtx, sched: &Scheduled, name: &Name) {
+                let sealed = seal_with(sched, name.as_bytes());
+                ctx.record(Component::App, EventKind::ApVerified,
+                    vec![("client", Field::from(name.as_str())),
+                         ("bytes", Field::from(sealed.len()))]);
             }
         "#;
         assert!(scan_file("crates/apps/src/pop.rs", clean).is_empty());
-        // Test modules are exempt, like every token rule.
+        // Test modules are exempt, like every rule.
         let test_only =
             "#[cfg(test)]\nmod t { fn t() { let f = Field::from(DesKey::ZERO); } }";
         assert!(scan_file("crates/apps/src/pop.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn l8_sees_guards_through_scan_file() {
+        let src = r#"
+            fn propagate(dep: &Dep) {
+                let kdc = dep.master.lock();
+                dep.net.send(kdc.port, b"x");
+            }
+        "#;
+        let f = scan_file("crates/kdc/src/propagate.rs", src);
+        assert_eq!(keys(&f), vec![("L8", "master_across_send".to_string())]);
+        // cfg(test) code may hold guards across anything.
+        let test_only = r#"
+            #[cfg(test)]
+            mod t {
+                fn t(dep: &Dep) {
+                    let kdc = dep.master.lock();
+                    dep.net.send(kdc.port, b"x");
+                }
+            }
+        "#;
+        assert!(scan_file("crates/kdc/src/propagate.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn explain_serves_every_active_rule() {
+        for rule in RULES {
+            let r = explain(rule.id).expect("explain hit");
+            assert_eq!(r.id, rule.id);
+            assert!(!r.detail.is_empty());
+        }
+        assert!(explain("l8").is_some(), "case-insensitive lookup");
+        assert!(explain("L7").is_none(), "L7 is retired");
+        assert!(explain("L99").is_none());
+    }
+
+    #[test]
+    fn json_report_has_the_contract_fields() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "L8",
+                file: "crates/kdc/src/service.rs".to_string(),
+                line: 7,
+                key: "master_across_dump".to_string(),
+                message: "a \"quoted\" message".to_string(),
+            }],
+            allowed: Vec::new(),
+            stale_allow: vec![AllowEntry {
+                rule: "L9".to_string(),
+                file: "crates/x/src/a.rs".to_string(),
+                key: "password".to_string(),
+                line: 3,
+            }],
+            allow_count: 2,
+            files_scanned: 41,
+        };
+        let json = report.render_json();
+        assert!(json.starts_with("{\"schema\":\"krb-lint/v2\""));
+        assert!(json.contains("\"files_scanned\":41"));
+        assert!(json.contains("\"clean\":false"));
+        assert!(json.contains("{\"id\":\"L8\",\"live\":1,\"allowed\":0}"));
+        assert!(json.contains("{\"id\":\"L1\",\"live\":0,\"allowed\":0}"));
+        assert!(json.contains("\"key\":\"master_across_dump\""));
+        assert!(json.contains("a \\\"quoted\\\" message"));
+        assert!(json.contains("{\"rule\":\"L9\",\"file\":\"crates/x/src/a.rs\",\"key\":\"password\"}"));
     }
 
     #[test]

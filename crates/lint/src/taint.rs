@@ -1,0 +1,405 @@
+//! L9 — intraprocedural secret-taint dataflow, superseding L7's same-line
+//! adjacency heuristic.
+//!
+//! The lattice is two-point (`clean` < `tainted`) over local names:
+//!
+//! - **Sources**: a parameter or `let` whose type mentions a secret type
+//!   ([`SECRET_TYPES`]); a call to a key-producing function
+//!   ([`SECRET_FNS`]); a name that *is* key material by convention
+//!   ([`SECRET_IDENTS`], password-named bindings).
+//! - **Transfer**: assignment and `let` re-binding propagate taint;
+//!   method calls on a tainted receiver stay tainted (`key.clone()`,
+//!   `key.as_bytes()`) — *except* the sanitizing accessors in
+//!   [`SAFE_METHODS`] (`.len()`, `.is_empty()`), which launder a secret
+//!   into a harmless scalar. A tainted name passed into a *free* (or
+//!   path-qualified) call does **not** taint the result: `seal_with(&k,
+//!   data)` yields ciphertext, and treating every derived value as secret
+//!   would drown the rule in false positives (the paper's protocol
+//!   *depends* on ciphertext being safe to transmit).
+//! - **Sinks**: the formatting macros ([`SINK_MACROS`]) and the journal's
+//!   `Field::from` constructor. Sink arguments are checked for tainted
+//!   names, for secret types used inline, and — via the lexer's
+//!   inline-capture extraction — for `format!("{key}")`-style captures
+//!   that never mention the name outside the string literal (L7's
+//!   blind spot).
+//!
+//! The fixpoint runs per function over `let` bindings and assignments
+//! until the tainted set stops growing, so multi-hop chains
+//! (`let a = key; let b = a; println!("{b}")`) are caught.
+
+use crate::lexer::{Kind, Token};
+use crate::scope::{Call, FnItem, ScopeModel};
+use crate::Finding;
+use std::collections::HashSet;
+
+/// Types whose values are key material.
+pub const SECRET_TYPES: &[&str] = &["DesKey", "SecretKey", "Scheduled"];
+
+/// Functions that *produce* key material.
+pub const SECRET_FNS: &[&str] = &["string_to_key", "get_with_key", "random_key"];
+
+/// Names that denote key material wherever they appear.
+pub const SECRET_IDENTS: &[&str] = &["session_key", "master_key"];
+
+/// Name fragments that mark a binding as a user password.
+pub const PASSWORD_FRAGMENTS: &[&str] = &["password", "passwd"];
+
+/// Methods that launder a secret into a harmless scalar.
+pub const SAFE_METHODS: &[&str] = &["len", "is_empty"];
+
+/// Formatting/printing macros that are sinks: their output reaches logs,
+/// panics, or journal dumps — all plaintext.
+pub const SINK_MACROS: &[&str] = &[
+    "format", "println", "print", "eprintln", "eprint", "write", "writeln", "panic",
+    "dbg",
+];
+
+/// Is `name` secret by convention alone?
+fn name_is_secret(name: &str) -> bool {
+    SECRET_IDENTS.contains(&name)
+        || PASSWORD_FRAGMENTS.iter().any(|frag| name.contains(frag))
+}
+
+/// Run the L9 taint analysis over one file's token stream and scope model.
+pub fn check_l9(rel: &str, tokens: &[Token], model: &ScopeModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in &model.fns {
+        let calls: Vec<&Call> = model.calls_in(f).collect();
+        let tainted = tainted_names(tokens, model, f, &calls);
+
+        for c in &calls {
+            let sink = if c.is_macro && SINK_MACROS.contains(&c.callee.as_str()) {
+                Some(format!("{}!", c.callee))
+            } else if !c.is_macro
+                && c.callee == "from"
+                && c.path_prefix.as_deref() == Some("Field")
+            {
+                Some("Field::from".to_string())
+            } else {
+                None
+            };
+            let Some(sink) = sink else { continue };
+            if let Some((leak, line)) = first_leak(tokens, &tainted, c) {
+                findings.push(Finding {
+                    rule: "L9",
+                    file: rel.to_string(),
+                    line,
+                    key: leak.clone(),
+                    message: format!(
+                        "`{leak}` is key material (taint traced from its source in \
+                         `{}`) and reaches `{sink}` — formatted output is plaintext; \
+                         log principals, codes and lengths, never keys or passwords",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Fixpoint the tainted-name set for one function.
+fn tainted_names(
+    tokens: &[Token],
+    model: &ScopeModel,
+    f: &FnItem,
+    calls: &[&Call],
+) -> HashSet<String> {
+    let mut tainted: HashSet<String> = HashSet::new();
+
+    // Seed from parameters: `name: Type` where Type mentions a secret
+    // type, or the name itself is secret by convention.
+    let (plo, phi) = f.params;
+    let mut depth = 0i32;
+    let mut i = plo;
+    while i < phi {
+        match tokens[i].text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            _ => {}
+        }
+        if depth == 0
+            && tokens[i].kind == Kind::Ident
+            && tokens.get(i + 1).is_some_and(|t| t.text == ":")
+            && tokens.get(i + 2).map(|t| t.text.as_str()) != Some(":")
+        {
+            let name = tokens[i].text.clone();
+            // Type runs to the `,` at depth 0.
+            let mut j = i + 2;
+            let mut tdepth = 0i32;
+            let mut secret_ty = false;
+            while j < phi {
+                match tokens[j].text.as_str() {
+                    "(" | "[" | "{" | "<" => tdepth += 1,
+                    ")" | "]" | "}" | ">" => tdepth -= 1,
+                    "," if tdepth == 0 => break,
+                    t if SECRET_TYPES.contains(&t) => secret_ty = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if secret_ty || name_is_secret(&name) {
+                tainted.insert(name);
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+
+    // Fixpoint over `let` bindings and assignments.
+    loop {
+        let before = tainted.len();
+        for b in model.bindings_in(f) {
+            if expr_is_tainted(tokens, &tainted, calls, b.init) {
+                tainted.extend(b.names.iter().cloned());
+            }
+        }
+        let (blo, bhi) = f.body;
+        let mut i = blo + 1;
+        while i < bhi {
+            // `name = expr ;` — plain assignment, not `==` (lexes as one
+            // CompareOp) and not a `=>` match arm.
+            let is_assign = tokens[i].kind == Kind::Ident
+                && tokens.get(i + 1).is_some_and(|t| {
+                    t.kind == Kind::Punct && t.text == "="
+                })
+                && tokens.get(i + 2).map(|t| t.text.as_str()) != Some(">");
+            if is_assign {
+                let mut j = i + 2;
+                let mut depth = 0i32;
+                while j < bhi {
+                    match tokens[j].text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if expr_is_tainted(tokens, &tainted, calls, (i + 2, j)) {
+                    tainted.insert(tokens[i].text.clone());
+                }
+                i = j;
+                continue;
+            }
+            i += 1;
+        }
+        if tainted.len() == before {
+            break;
+        }
+    }
+    tainted
+}
+
+/// Does the expression spanning `span` carry taint?
+fn expr_is_tainted(
+    tokens: &[Token],
+    tainted: &HashSet<String>,
+    calls: &[&Call],
+    span: (usize, usize),
+) -> bool {
+    let (lo, hi) = span;
+    for i in lo..hi.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        // A key-producing call (`string_to_key(..)`), a secret type
+        // (constructor, `DesKey::clone(..)`), or a tainted /
+        // conventionally-secret name taints the expression — unless the
+        // occurrence is laundered (safe accessor, or consumed by a free
+        // call whose result is derived data: `seal_with(..)` ciphertext,
+        // `time_per(|| string_to_key(..))` durations).
+        let is_secret_fn_call = SECRET_FNS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.text == "(");
+        let carries_taint = is_secret_fn_call
+            || SECRET_TYPES.contains(&t.text.as_str())
+            || tainted.contains(&t.text)
+            || name_is_secret(&t.text);
+        if carries_taint && !occurrence_is_laundered(tokens, calls, lo, i) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Is the tainted occurrence at `idx` laundered — either sanitized by a
+/// safe accessor or consumed by a free/path call (whose result is derived
+/// data, e.g. ciphertext, not the secret itself)?
+fn occurrence_is_laundered(
+    tokens: &[Token],
+    calls: &[&Call],
+    expr_lo: usize,
+    idx: usize,
+) -> bool {
+    // `key.len()` / `key.is_empty()` — harmless scalar.
+    if tokens.get(idx + 1).is_some_and(|t| t.text == ".")
+        && tokens
+            .get(idx + 2)
+            .is_some_and(|t| SAFE_METHODS.contains(&t.text.as_str()))
+    {
+        return true;
+    }
+    // Inside the argument list of a free or path-qualified call that is
+    // not itself a key producer: the result is derived, not the secret.
+    calls.iter().any(|c| {
+        c.receiver.is_none()
+            && !c.is_macro
+            && c.idx >= expr_lo
+            && !SECRET_FNS.contains(&c.callee.as_str())
+            && idx >= c.args.0
+            && idx < c.args.1
+    })
+}
+
+/// First tainted thing reaching the sink call `c`: a tainted/secret name
+/// in its arguments, a secret type used inline, or an inline format
+/// capture of a tainted name. Returns the offending name and its line.
+fn first_leak(
+    tokens: &[Token],
+    tainted: &HashSet<String>,
+    c: &Call,
+) -> Option<(String, u32)> {
+    let (lo, hi) = c.args;
+    for i in lo..hi.min(tokens.len()) {
+        let t = &tokens[i];
+        match t.kind {
+            Kind::Ident => {
+                if SECRET_TYPES.contains(&t.text.as_str()) {
+                    return Some((t.text.clone(), t.line));
+                }
+                if (tainted.contains(&t.text) || name_is_secret(&t.text))
+                    && !(tokens.get(i + 1).is_some_and(|n| n.text == ".")
+                        && tokens
+                            .get(i + 2)
+                            .is_some_and(|n| SAFE_METHODS.contains(&n.text.as_str())))
+                {
+                    return Some((t.text.clone(), t.line));
+                }
+            }
+            Kind::Literal => {
+                for cap in &t.captures {
+                    if tainted.contains(cap) || name_is_secret(cap) {
+                        return Some((cap.clone(), t.line));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::ScopeModel;
+
+    fn l9(src: &str) -> Vec<String> {
+        let tokens = lex(src);
+        let model = ScopeModel::build(&tokens);
+        check_l9("crates/x/src/a.rs", &tokens, &model)
+            .into_iter()
+            .map(|f| f.key)
+            .collect()
+    }
+
+    #[test]
+    fn secret_typed_param_reaching_format_fires() {
+        let src = "fn f(key: &DesKey) -> String { format!(\"{:?}\", key) }";
+        assert_eq!(l9(src), vec!["key"]);
+    }
+
+    #[test]
+    fn multihop_let_chain_is_tracked() {
+        let src = "fn f(key: &DesKey) {\n\
+                   let a = key.clone();\n\
+                   let b = a;\n\
+                   println!(\"{:?}\", b);\n\
+                   }";
+        assert_eq!(l9(src), vec!["b"]);
+    }
+
+    #[test]
+    fn inline_capture_leak_is_visible() {
+        // The name appears only inside the literal — L7 was blind here.
+        let src = "fn f(password: &str) { println!(\"pw {password}\"); }";
+        assert_eq!(l9(src), vec!["password"]);
+    }
+
+    #[test]
+    fn field_from_sink_fires_on_secret_type() {
+        let src = "fn f(key: &DesKey) { let x = Field::from(DesKey::clone(key)); }";
+        assert_eq!(l9(src), vec!["DesKey"]);
+    }
+
+    #[test]
+    fn length_is_laundered() {
+        let src = "fn f(key: &DesKey) {\n\
+                   let n = key.len();\n\
+                   println!(\"{n}\");\n\
+                   let x = Field::from(key.len());\n\
+                   }";
+        assert!(l9(src).is_empty());
+    }
+
+    #[test]
+    fn ciphertext_from_a_free_call_is_clean() {
+        let src = "fn f(sched: &Scheduled, data: &[u8]) {\n\
+                   let packet = seal_with(sched, data);\n\
+                   println!(\"{} bytes\", packet.len());\n\
+                   let x = Field::from(packet.len());\n\
+                   }";
+        assert!(l9(src).is_empty());
+    }
+
+    #[test]
+    fn assignment_propagates_but_match_arms_do_not_confuse() {
+        let src = "fn f(key: &DesKey, sel: u8) {\n\
+                   let mut slot = Vec::new();\n\
+                   slot = key.to_bytes();\n\
+                   match sel { 0 => {}, _ => {} }\n\
+                   println!(\"{:?}\", slot);\n\
+                   }";
+        assert_eq!(l9(src), vec!["slot"]);
+    }
+
+    #[test]
+    fn conventional_names_are_secret_without_a_type() {
+        let src = "fn f(entry: &Entry) { println!(\"{:?}\", entry.session_key); }";
+        assert_eq!(l9(src), vec!["session_key"]);
+    }
+
+    #[test]
+    fn timing_a_key_derivation_is_not_a_key() {
+        // `time_per` returns a duration; the key never escapes the closure.
+        let src = "fn bench() {\n\
+                   let key = string_to_key(\"pw\");\n\
+                   let s2k = time_per(10_000, || { black_box(string_to_key(\"pw\")); });\n\
+                   println!(\"string_to_key: {s2k:.2} us\");\n\
+                   }";
+        assert!(l9(src).is_empty());
+        // ...but binding the key directly and printing it still fires.
+        let bad = "fn bench() {\n\
+                   let key = string_to_key(\"pw\");\n\
+                   println!(\"{:?}\", key);\n\
+                   }";
+        assert_eq!(l9(bad), vec!["key"]);
+    }
+
+    #[test]
+    fn clean_logging_stays_clean() {
+        let src = "fn f(name: &str, kvno: u8, key: &DesKey) {\n\
+                   let sealed = seal_with(&Scheduled::new(key), name.as_bytes());\n\
+                   println!(\"{name} kvno {kvno} {} bytes\", sealed.len());\n\
+                   }";
+        assert!(l9(src).is_empty());
+    }
+}

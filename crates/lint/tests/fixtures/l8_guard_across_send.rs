@@ -1,0 +1,6 @@
+// L8 fixture (bad): a binding guard held across a network send.
+// Expected: exactly one finding, L8 / master_across_send.
+pub fn propagate(dep: &Deployment) {
+    let kdc = dep.master.lock();
+    dep.router.send(kdc.port, b"update");
+}

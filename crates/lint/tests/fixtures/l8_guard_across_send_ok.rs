@@ -1,0 +1,9 @@
+// L8 fixture (good twin): the guard is scoped to the snapshot; the send
+// happens on the owned copy. Expected: no findings.
+pub fn propagate(dep: &Deployment) {
+    let port = {
+        let kdc = dep.master.lock();
+        kdc.port
+    };
+    dep.router.send(port, b"update");
+}

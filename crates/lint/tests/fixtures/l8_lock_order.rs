@@ -1,0 +1,8 @@
+// L8 fixture (bad): nested acquisition against the declared lock order
+// (master ranks before ledger, so ledger-then-master inverts it).
+// Expected: exactly one finding, L8 / order_ledger_master.
+pub fn audit(dep: &Deployment) {
+    let ledger = dep.ledger.lock();
+    let master = dep.master.lock();
+    master.verify(&*ledger);
+}

@@ -1,0 +1,7 @@
+// L8 fixture (good twin): same two locks, acquired in the declared order
+// (master before ledger). Expected: no findings.
+pub fn audit(dep: &Deployment) {
+    let master = dep.master.lock();
+    let ledger = dep.ledger.lock();
+    master.verify(&*ledger);
+}

@@ -1,0 +1,7 @@
+// L8 fixture (bad): re-acquiring a lock whose guard is still live —
+// self-deadlock. Expected: exactly one finding, L8 / order_master_master.
+pub fn double_count(dep: &Deployment) -> u32 {
+    let first = dep.master.lock();
+    let second = dep.master.lock();
+    first.count() + second.count()
+}

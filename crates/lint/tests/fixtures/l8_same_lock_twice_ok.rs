@@ -1,0 +1,9 @@
+// L8 fixture (good twin): the first guard is explicitly dropped before
+// the lock is taken again. Expected: no findings.
+pub fn sequential_count(dep: &Deployment) -> u32 {
+    let first = dep.master.lock();
+    let a = first.count();
+    drop(first);
+    let second = dep.master.lock();
+    a + second.count()
+}

@@ -1,0 +1,6 @@
+// L8 fixture (good twin): snapshot under the lock, frame outside it.
+// Expected: no findings.
+pub fn push_db(dep: &Deployment) -> Vec<u8> {
+    let text = dep.master.lock().dump_text();
+    frame(&dep.master_key, text.as_bytes())
+}

@@ -1,0 +1,5 @@
+// L9 fixture (bad): key material packed into a journal event field —
+// journal dumps are plaintext. Expected: exactly one finding, L9 / DesKey.
+pub fn journal_key(ctx: &Ctx, key: &DesKey) {
+    ctx.record_event(vec![("key", Field::from(DesKey::clone(key)))]);
+}

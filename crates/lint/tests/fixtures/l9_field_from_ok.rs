@@ -1,0 +1,6 @@
+// L9 fixture (good twin): the journal records the ciphertext length —
+// derived data, not the secret. Expected: no findings.
+pub fn journal_transfer(ctx: &Ctx, sched: &Scheduled, payload: &[u8]) {
+    let sealed = seal_with(sched, payload);
+    ctx.record_event(vec![("bytes", Field::from(sealed.len()))]);
+}

@@ -1,0 +1,8 @@
+// L9 fixture (bad): the secret takes two hops before reaching a format
+// sink — adjacency heuristics (old L7) were blind to this.
+// Expected: exactly one finding, L9 / aliased.
+pub fn describe(key: &DesKey) -> String {
+    let copied = key.clone();
+    let aliased = copied;
+    format!("session {:?}", aliased)
+}

@@ -1,0 +1,6 @@
+// L9 fixture (good twin): the same chain ends in a laundering accessor —
+// a length is not key material. Expected: no findings.
+pub fn describe(key: &DesKey) -> String {
+    let copied = key.clone();
+    format!("session of {} bytes", copied.len())
+}

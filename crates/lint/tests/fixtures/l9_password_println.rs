@@ -1,0 +1,6 @@
+// L9 fixture (bad): the password reaches the log only as an inline
+// format capture — the name never appears outside the string literal.
+// Expected: exactly one finding, L9 / password.
+pub fn greet(user: &str, password: &str) {
+    println!("login {user} pw {password}");
+}

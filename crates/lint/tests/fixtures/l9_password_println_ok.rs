@@ -1,0 +1,7 @@
+// L9 fixture (good twin): the password is consumed by the key derivation
+// and only the user name is logged. Expected: no findings.
+pub fn greet(user: &str, password: &str) {
+    let key = string_to_key(password);
+    register(user, key);
+    println!("login {user} ok");
+}

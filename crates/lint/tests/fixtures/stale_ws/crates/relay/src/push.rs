@@ -1,0 +1,7 @@
+// One live L8 finding (master_across_send), covered by the fixture
+// allowlist. No lock-order or taint findings — the allow entries for
+// those are deliberately stale.
+pub fn push(dep: &Deployment) {
+    let kdc = dep.master.lock();
+    dep.router.send(kdc.port, b"update");
+}

@@ -30,7 +30,7 @@ use kerberos::{krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
 use krb_apps::{frame_request, parse_reply, request_cksum, RloginNetService, RloginServer};
 use krb_crypto::{string_to_key, DesKey, KeyGenerator};
 use krb_kdc::{Deployment, RealmConfig};
-use krb_kprop::{kprop_build, parse_kprop_reply, KpropReply, KpropdService};
+use krb_kprop::{frame, parse_kprop_reply, KpropReply, KpropdService};
 use krb_netsim::{
     ports, Endpoint, Fault, FaultPlan, FaultWindow, Ipv4, LinkMatch, NetConfig, NetStats, Packet,
     Router, Service, SimNet, EPOCH_1987,
@@ -701,8 +701,12 @@ pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
         drain(&mut router, ws_ep);
 
         // kprop round: master pushes its live database to every slave.
+        // Snapshot the dump under the lock, then seal and transfer the
+        // owned text with the lock released — `kprop_build(..lock()..)`
+        // would hold the master across the whole framing + rpc (L8).
         if config.kprop_every > 0 && op % config.kprop_every == config.kprop_every - 1 {
-            let packet = kprop_build(dep.master.lock().db()).unwrap();
+            let text = dep.master.lock().dump_text().unwrap();
+            let packet = frame(&dep.master_key, text.as_bytes());
             for (i, (addr, _)) in dep.slaves.iter().enumerate() {
                 report.kprop_rounds += 1;
                 let trace = krb_telemetry::TraceId::derive(

@@ -12,7 +12,7 @@ use kerberos::{krb_rd_req, ErrorCode, Principal, ReplayCache};
 use krb_crypto::{DesKey, KeyGenerator};
 use krb_kdc::{Deployment, RealmConfig};
 use krb_netsim::{NetConfig, Router, SimNet};
-use krb_kprop::{kprop_build, kpropd_verify, PropSchedule};
+use krb_kprop::{frame, kpropd_verify, PropSchedule};
 use krb_telemetry::{Component, EventKind, Field, Journal, TraceId};
 use krb_tools::{kdb_init, register_service, register_user, Workstation};
 use rand::rngs::StdRng;
@@ -147,7 +147,12 @@ pub fn run_with_journal(config: ScenarioConfig, journal: Option<Arc<Journal>>) -
         if schedule.due(now_abs) {
             let trace = TraceId::derive(config.seed, report.propagations);
             let at_us = u64::from(now_abs) * 1_000_000;
-            let packet = kprop_build(dep.master.lock().db()).expect("dump");
+            // Snapshot the dump under the master lock, then frame and
+            // verify on the owned text with the lock released — building
+            // the packet through the guard would hold the master for the
+            // whole checksum pass (L8), stalling logins mid-propagation.
+            let text = dep.master.lock().dump_text().expect("dump");
+            let packet = frame(&dep.master_key, text.as_bytes());
             report.propagated_bytes += packet.len() as u64;
             if let Some(journal) = &journal {
                 journal.record(
@@ -158,9 +163,11 @@ pub fn run_with_journal(config: ScenarioConfig, journal: Option<Arc<Journal>>) -
                     vec![("bytes", Field::from(packet.len()))],
                 );
             }
+            // One checksum verification covers the packet; each slave
+            // installs from a fresh parse of the same verified entries.
+            let entries = kpropd_verify(&packet, &dep.master_key).expect("verify");
+            let count = entries.len();
             for (slave_idx, (_, slave)) in dep.slaves.iter().enumerate() {
-                let entries = kpropd_verify(&packet, &dep.master_key).expect("verify");
-                let count = entries.len();
                 let mut store = krb_kdb::MemStore::new();
                 krb_kdb::dump::install(&mut store, &entries).expect("install");
                 let db = krb_kdb::PrincipalDb::open(store, dep.master_key).expect("open");

@@ -5,6 +5,20 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# One cleanup function owns every temp file. (Two separate `trap ... EXIT`
+# lines would silently replace each other — only the last would run.)
+tmpfiles=""
+cleanup() {
+    # shellcheck disable=SC2086 — word-splitting the list is the point.
+    [ -n "$tmpfiles" ] && rm -f $tmpfiles
+}
+trap cleanup EXIT
+mktmp() {
+    _t="$(mktemp)"
+    tmpfiles="$tmpfiles $_t"
+    printf '%s' "$_t"
+}
+
 echo "== cargo check --workspace --all-targets"
 # Benches and examples are not built by `cargo build`/`cargo test`; this
 # keeps them compiling (e.g. against the vendored criterion stub).
@@ -18,15 +32,46 @@ echo "== cargo test --workspace -q"
 # crates' own test suites.
 cargo test --workspace -q
 
-echo "== krb-lint"
-cargo run -q -p krb-lint
+echo "== krb-lint --json"
+# Machine-readable pass: the v2 schema must be present, every rule id
+# accounted for, and the tree clean (zero live findings, zero stale allow
+# entries). The human-readable pass also runs in tests/lint.rs.
+lint_json="$(mktmp)"
+# A dirty tree exits non-zero; let the schema checks below report it with
+# the JSON in hand instead of dying silently under `set -e`.
+cargo run -q -p krb-lint -- --json > "$lint_json" || true
+for key in schema files_scanned clean allow_count rules findings allowed \
+        stale_allow; do
+    if ! grep -q "\"$key\"" "$lint_json"; then
+        echo "krb-lint --json output is missing \"$key\"" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"schema":"krb-lint/v2"' "$lint_json"; then
+    echo "krb-lint --json schema is not krb-lint/v2" >&2
+    exit 1
+fi
+for rule in L1 L2 L3 L4 L5 L6 L8 L9; do
+    if ! grep -q "{\"id\":\"$rule\"" "$lint_json"; then
+        echo "krb-lint --json is missing the $rule rule counter" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"clean":true' "$lint_json"; then
+    echo "krb-lint reports a dirty tree:" >&2
+    cat "$lint_json" >&2
+    exit 1
+fi
+if grep -q '"files_scanned":0' "$lint_json"; then
+    echo "krb-lint scanned zero files — the pass proved nothing" >&2
+    exit 1
+fi
 
 echo "== krb-stat --smoke"
 # The deterministic KDC load loop must run and emit a well-formed bench
 # snapshot (the full schema is asserted by crates/tools/src/krbstat.rs
 # tests; this guards the binary + JSON plumbing end to end).
-smoke_json="$(mktemp)"
-trap 'rm -f "$smoke_json"' EXIT
+smoke_json="$(mktmp)"
 cargo run -q -p krb-tools --bin krb-stat -- --smoke --out "$smoke_json"
 for key in as_per_sec tgs_per_sec latency_us p50 p95 p99 threads sched_cache \
         journal events dropped; do
@@ -46,9 +91,8 @@ echo "== krb-chaos --smoke"
 # oracle families (safety, liveness, conservation, trace completeness)
 # green, and the determinism contract holds — two same-seed runs must be
 # byte-identical.
-chaos_a="$(mktemp)"
-chaos_b="$(mktemp)"
-trap 'rm -f "$smoke_json" "$chaos_a" "$chaos_b"' EXIT
+chaos_a="$(mktmp)"
+chaos_b="$(mktmp)"
 cargo run -q -p krb-sim --bin krb-chaos -- --smoke > "$chaos_a"
 cargo run -q -p krb-sim --bin krb-chaos -- --smoke > "$chaos_b"
 if ! diff -q "$chaos_a" "$chaos_b" > /dev/null; then

@@ -38,6 +38,75 @@ fn workspace_passes_krb_lint() {
     );
 }
 
+/// Every known-bad fixture fires its one expected finding; every
+/// known-good twin stays silent. The fixtures are scanned under a neutral
+/// path (`crates/fixture/src/...`) so no path-scoped rule or exemption
+/// interferes.
+#[test]
+fn l8_l9_fixture_corpus_fires_deterministically() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let dir = root.join("crates/lint/tests/fixtures");
+    let bad: &[(&str, &str, &str)] = &[
+        ("l8_guard_across_send.rs", "L8", "master_across_send"),
+        ("l8_temp_guard_in_call.rs", "L8", "master_across_kprop_build"),
+        ("l8_lock_order.rs", "L8", "order_ledger_master"),
+        ("l8_same_lock_twice.rs", "L8", "order_master_master"),
+        ("l9_multihop_format.rs", "L9", "aliased"),
+        ("l9_password_println.rs", "L9", "password"),
+        ("l9_field_from.rs", "L9", "DesKey"),
+    ];
+    for (file, rule, key) in bad {
+        let src = std::fs::read_to_string(dir.join(file)).expect(file);
+        let findings = krb_lint::scan_file(&format!("crates/fixture/src/{file}"), &src);
+        assert_eq!(
+            findings.len(),
+            1,
+            "{file}: expected exactly one finding, got {findings:?}"
+        );
+        assert_eq!(findings[0].rule, *rule, "{file}");
+        assert_eq!(findings[0].key, *key, "{file}");
+
+        // ...and its good twin is clean.
+        let twin = file.replace(".rs", "_ok.rs");
+        let src = std::fs::read_to_string(dir.join(&twin)).expect(&twin);
+        let findings = krb_lint::scan_file(&format!("crates/fixture/src/{twin}"), &src);
+        assert!(findings.is_empty(), "{twin}: expected clean, got {findings:?}");
+    }
+}
+
+/// Stale-allowlist enforcement covers the scope-aware rules: in the
+/// mini-workspace fixture, the used L8 entry shows up as allowed while
+/// the unmatched L8 (lock-order) and L9 entries are reported stale.
+#[test]
+fn stale_l8_l9_allow_entries_fail_the_run() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("crates/lint/tests/fixtures/stale_ws");
+    let report = krb_lint::run(&root).expect("fixture lint pass runs");
+    assert!(report.findings.is_empty(), "live: {:?}", report.findings);
+    assert!(
+        report
+            .allowed
+            .iter()
+            .any(|f| f.rule == "L8" && f.key == "master_across_send"),
+        "the used L8 entry must be exercised: {:?}",
+        report.allowed
+    );
+    let stale: Vec<(String, String)> = report
+        .stale_allow
+        .iter()
+        .map(|e| (e.rule.clone(), e.key.clone()))
+        .collect();
+    assert_eq!(
+        stale,
+        vec![
+            ("L8".to_string(), "order_ledger_master".to_string()),
+            ("L9".to_string(), "password".to_string())
+        ],
+        "both scope-rule entries must be flagged stale"
+    );
+    assert!(!report.is_clean(), "stale entries must fail the run");
+}
+
 #[test]
 fn allowlisted_findings_are_still_tracked() {
     // The one blessed entry (kdb's master-key-encrypted principal key) must
