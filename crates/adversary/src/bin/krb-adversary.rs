@@ -1,0 +1,89 @@
+//! `krb-adversary` — seeded Dolev–Yao active attacker with oracles.
+//!
+//! ```text
+//! krb-adversary [--seed N] [--steps N] [--leak none|user-key|service-key]
+//!               [--json] [--smoke]
+//! ```
+//!
+//! `--smoke` runs every leak mode at CI scale, checks each run against
+//! its expected oracle verdicts (the honest protocol must stay green;
+//! each leak must trip exactly the matching detections), and prints one
+//! combined JSON document. Two runs with the same seed are
+//! byte-identical, which `scripts/check.sh` verifies with `diff`.
+//! Without `--smoke`, one soak runs at the given scale and prints a
+//! human summary with the attacker's closure dump (or, with `--json`,
+//! the report object). An oracle violation in honest mode prints the
+//! seed and the exact replay command line, then exits 1. See
+//! `crates/adversary/src/soak.rs` for the oracle definitions.
+
+use krb_adversary::{soak, AdvConfig, Leak};
+
+fn main() {
+    let mut cfg = AdvConfig::default();
+    let mut smoke = false;
+    let mut json = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--seed" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.seed = n,
+                None => return usage("--seed needs a number"),
+            },
+            "--steps" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.steps = n,
+                None => return usage("--steps needs a number"),
+            },
+            "--leak" => match take_value(&mut i).as_deref().and_then(Leak::parse) {
+                Some(l) => cfg.leak = l,
+                None => return usage("--leak needs one of: none user-key service-key"),
+            },
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    if smoke {
+        match soak::smoke_json(cfg.seed) {
+            Ok(doc) => println!("{doc}"),
+            Err(failure) => {
+                eprintln!("krb-adversary: {failure}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    match soak::run(cfg) {
+        Ok(report) => {
+            if json {
+                println!("{{\"tool\":\"krb-adversary\",\"run\":{}}}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if let Err(why) = soak::verify_expectations(&report) {
+                eprintln!("krb-adversary: self-test failed: {why}");
+                std::process::exit(1);
+            }
+        }
+        Err(failure) => {
+            eprintln!("krb-adversary: {failure}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage(err: &str) {
+    eprintln!("krb-adversary: {err}");
+    eprintln!(
+        "usage: krb-adversary [--seed N] [--steps N] \
+         [--leak none|user-key|service-key] [--json] [--smoke]"
+    );
+    std::process::exit(2);
+}

@@ -77,6 +77,60 @@ pub struct Packet {
     /// byte-level protocol behaviour is unchanged; services echo it onto
     /// replies so a login's hops share one trace. `None` on real UDP.
     pub trace: Option<krb_telemetry::TraceId>,
+    /// Whether the sender went through the spoofed-send path
+    /// ([`SimNet::send_spoofed`]/[`SimNet::inject`]). Tap *metadata* only —
+    /// a real receiver cannot see this bit (the V4 wire carries nothing
+    /// like it), so protocol code must never branch on it; it exists so
+    /// captures and timelines can tell injected traffic from honest
+    /// traffic. Always `false` on real UDP.
+    pub spoofed: bool,
+}
+
+/// Why an injected packet was put on the wire — the attack taxonomy a
+/// spoofed send announces to the journal and the tap metadata
+/// ([`SimNet::inject`]). Plain [`SimNet::send_spoofed`] uses
+/// [`InjectKind::Spoof`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InjectKind {
+    /// Generic spoofed-source send with no declared attack class.
+    Spoof,
+    /// A captured datagram re-sent verbatim.
+    Replay,
+    /// A captured datagram re-sent after shifting the victim's clock view.
+    TimeShift,
+    /// A message assembled from pieces of different captured sessions.
+    Splice,
+    /// A message built from forged material (guessed or learned keys).
+    Forge,
+    /// Traffic pretending to originate from a KDC address.
+    Impersonate,
+}
+
+impl InjectKind {
+    /// Stable snake_case slug used in journal events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InjectKind::Spoof => "spoof",
+            InjectKind::Replay => "replay",
+            InjectKind::TimeShift => "time_shift",
+            InjectKind::Splice => "splice",
+            InjectKind::Forge => "forge",
+            InjectKind::Impersonate => "impersonate",
+        }
+    }
+
+    /// Inverse of [`InjectKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "spoof" => InjectKind::Spoof,
+            "replay" => InjectKind::Replay,
+            "time_shift" => InjectKind::TimeShift,
+            "splice" => InjectKind::Splice,
+            "forge" => InjectKind::Forge,
+            "impersonate" => InjectKind::Impersonate,
+            _ => return None,
+        })
+    }
 }
 
 /// Errors from the network substrate.

@@ -11,7 +11,7 @@
 //! duplication are driven by a seeded RNG, so every run is reproducible.
 
 use crate::fault::{flip_bits, FaultPlan};
-use crate::{Endpoint, NetError, Packet};
+use crate::{Endpoint, InjectKind, NetError, Packet};
 use krb_telemetry::{Component, Counter, EventKind, Field, Journal, Registry, TraceId};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -129,6 +129,7 @@ struct NetMetrics {
     fault_partitioned: Counter,
     fault_delayed: Counter,
     fault_duplicated: Counter,
+    spoofed: Counter,
 }
 
 impl NetMetrics {
@@ -143,6 +144,7 @@ impl NetMetrics {
             fault_partitioned: registry.counter("net_fault_partitioned_total"),
             fault_delayed: registry.counter("net_fault_delayed_total"),
             fault_duplicated: registry.counter("net_fault_duplicated_total"),
+            spoofed: registry.counter("net_spoofed_total"),
         }
     }
 }
@@ -270,7 +272,7 @@ impl SimNet {
         payload: Vec<u8>,
         trace: Option<TraceId>,
     ) {
-        self.send_spoofed_traced(src, dst, payload, trace)
+        self.transmit(src, dst, payload, trace, false)
     }
 
     /// Put a packet on the wire with *any* source address. The network does
@@ -284,8 +286,48 @@ impl SimNet {
         &mut self,
         claimed_src: Endpoint,
         dst: Endpoint,
+        payload: Vec<u8>,
+        trace: Option<TraceId>,
+    ) {
+        self.inject(InjectKind::Spoof, claimed_src, dst, payload, trace)
+    }
+
+    /// The typed spoof-injection hook: put a packet on the wire with a
+    /// forged source address, declaring *why* (the attack class). The
+    /// declaration is observer-side only — a `comp=net kind=net_spoofed`
+    /// journal event plus the [`Packet::spoofed`] tap flag; the wire bytes
+    /// and delivery behaviour are identical to an honest send, because the
+    /// open network authenticates nobody.
+    pub fn inject(
+        &mut self,
+        kind: InjectKind,
+        claimed_src: Endpoint,
+        dst: Endpoint,
+        payload: Vec<u8>,
+        trace: Option<TraceId>,
+    ) {
+        self.metrics.spoofed.inc();
+        if let Some(journal) = &self.journal {
+            journal.record(
+                self.now_ms() * 1000,
+                trace,
+                Component::Net,
+                EventKind::NetSpoofed,
+                vec![("kind", Field::from(kind.as_str())), ("n", Field::from(payload.len()))],
+            );
+        }
+        self.transmit(claimed_src, dst, payload, trace, true)
+    }
+
+    /// Shared delivery path for honest and spoofed sends; `spoofed` rides
+    /// the packet as tap metadata.
+    fn transmit(
+        &mut self,
+        claimed_src: Endpoint,
+        dst: Endpoint,
         mut payload: Vec<u8>,
         trace: Option<TraceId>,
+        spoofed: bool,
     ) {
         self.seq += 1;
         // Ask the fault plan first: corruption mutates the bytes that both
@@ -302,7 +344,7 @@ impl SimNet {
             self.metrics.corrupted.inc();
             self.journal_fault(trace, "corrupt", action.corrupt_bits.len() as u64);
         }
-        let packet = Packet { src: claimed_src, dst, payload, id: self.seq, trace };
+        let packet = Packet { src: claimed_src, dst, payload, id: self.seq, trace, spoofed };
         for tap in &mut self.taps {
             tap(&packet);
         }
@@ -559,6 +601,37 @@ mod tests {
         assert_eq!(buf.len(), 2);
         assert_eq!(buf[1].src, ep(9, 9));
         assert_eq!(buf[1].payload, b"forged");
+        assert!(!buf[0].spoofed, "honest send is not flagged");
+        assert!(buf[1].spoofed, "spoofed send carries the tap flag");
+    }
+
+    #[test]
+    fn inject_flags_journals_and_counts_spoofed_traffic() {
+        let mut net = SimNet::new(NetConfig::default());
+        let registry = net.registry();
+        let journal = Arc::new(Journal::new(64));
+        net.set_journal(Arc::clone(&journal));
+        net.bind(ep(2, 88));
+        net.send(ep(1, 1), ep(2, 88), b"honest".to_vec());
+        net.inject(
+            InjectKind::Replay,
+            ep(9, 9),
+            ep(2, 88),
+            b"replayed".to_vec(),
+            Some(TraceId(7)),
+        );
+        net.run_until_idle();
+        assert!(!net.recv(ep(2, 88)).expect("honest").spoofed);
+        assert!(net.recv(ep(2, 88)).expect("injected").spoofed);
+        assert_eq!(registry.counter_value("net_spoofed_total"), 1);
+        let events = journal.dump();
+        let spoofed: Vec<_> =
+            events.iter().filter(|e| e.kind == EventKind::NetSpoofed).collect();
+        assert_eq!(spoofed.len(), 1, "one net_spoofed event");
+        assert_eq!(spoofed[0].trace, Some(TraceId(7)));
+        let mut line = String::new();
+        spoofed[0].render_line(&mut line);
+        assert!(line.contains("kind=replay"), "the attack class rides the event: {line}");
     }
 
     #[test]

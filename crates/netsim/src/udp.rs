@@ -42,6 +42,7 @@ impl UdpServer {
                             payload: buf[..n].to_vec(),
                             id: 0,
                             trace: None,
+                            spoofed: false,
                         };
                         if let Some(reply) = svc.handle(&packet) {
                             let _ = socket.send_to(&reply, peer);

@@ -10,11 +10,18 @@ use kerberos::{krb_rd_req, ErrorCode, Message, Principal, ReplayCache};
 use krb_crypto::{DesKey, KeyGenerator};
 use krb_kdc::{Deployment, RealmConfig};
 use krb_netsim::{NetConfig, Packet, Router, SimNet};
+use krb_telemetry::Registry;
 use krb_tools::{kdb_init, register_service, register_user, Workstation};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+/// Bound on the rig's capture tap: enough for every scripted scenario's
+/// full exchange history, finite so a soak reusing the rig cannot grow
+/// memory without bound. Overflow is counted, not silently eaten — see
+/// [`AttackRig::capture_dropped`].
+pub const ATTACK_CAPTURE_CAP: usize = 4096;
 
 /// A realm with one user, one service, and a wire tap — the standard
 /// attack rig.
@@ -29,8 +36,20 @@ pub struct AttackRig {
     pub service: Principal,
     /// The service's srvtab key.
     pub service_key: DesKey,
-    /// Everything that crossed the wire.
+    /// Everything that crossed the wire, bounded at
+    /// [`ATTACK_CAPTURE_CAP`] packets (earliest kept).
     pub captured: Arc<Mutex<Vec<Packet>>>,
+    /// The network's telemetry registry (capture-overflow accounting).
+    pub registry: Arc<Registry>,
+}
+
+impl AttackRig {
+    /// Packets the bounded capture tap refused because the buffer was
+    /// full. A soak that overflows the tape knows its replay material is
+    /// incomplete instead of finding out via OOM.
+    pub fn capture_dropped(&self) -> u64 {
+        self.registry.counter_value("net_capture_dropped_total")
+    }
 }
 
 /// Stand up the rig: realm `ATHENA.MIT.EDU`, user `victim` (password
@@ -43,7 +62,8 @@ pub fn rig(seed: u64) -> AttackRig {
     let service_key = register_service(&mut boot.db, "svc", "host", start, &mut keygen).unwrap();
 
     let mut router = Router::new(SimNet::new(NetConfig { seed, ..Default::default() }));
-    let captured = router.net().add_capture();
+    let captured = router.net().add_capture_bounded(ATTACK_CAPTURE_CAP);
+    let registry = router.net().registry();
     let dep = Deployment::install(
         &mut router,
         "ATHENA.MIT.EDU",
@@ -66,6 +86,7 @@ pub fn rig(seed: u64) -> AttackRig {
         service: Principal::new("svc", "host", "ATHENA.MIT.EDU").unwrap(),
         service_key,
         captured,
+        registry,
     }
 }
 
@@ -154,6 +175,24 @@ mod tests {
         // From the attacker's own machine.
         let elsewhere = replay_captured_ap(&mut r, &mut rc, [10, 66, 6, 6], now);
         assert_eq!(elsewhere, AttackOutcome::Rejected(ErrorCode::RdApBadAddr));
+    }
+
+    #[test]
+    fn capture_tape_is_bounded_and_overflow_is_surfaced() {
+        let mut r = rig(6);
+        r.workstation.kinit(&mut r.router, "victim", "victim-pw").unwrap();
+        let svc = r.service.clone();
+        let _ = r.workstation.mk_request(&mut r.router, &svc, 0, false).unwrap();
+        assert!(r.captured.lock().len() <= ATTACK_CAPTURE_CAP);
+        assert_eq!(r.capture_dropped(), 0, "normal scenarios fit the tape");
+
+        // A deliberately tiny second tape overflows immediately; the rig
+        // surfaces the shared overflow counter instead of growing memory.
+        let tiny = r.router.net().add_capture_bounded(1);
+        r.workstation.kdestroy();
+        r.workstation.kinit(&mut r.router, "victim", "victim-pw").unwrap();
+        assert_eq!(tiny.lock().len(), 1);
+        assert!(r.capture_dropped() > 0, "overflow must be accounted");
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub mod full_day;
 pub mod lifetime;
 pub mod scenario;
 
-pub use attacks::{replay_captured_ap, rig, wire_contains, AttackOutcome, AttackRig};
+pub use attacks::{
+    replay_captured_ap, rig, wire_contains, AttackOutcome, AttackRig, ATTACK_CAPTURE_CAP,
+};
 pub use chaos::{
     smoke_json, OracleFailure, Profile, SoakConfig, SoakReport, ALL_PROFILES, CHAOS_JSON_KEYS,
 };

@@ -126,6 +126,14 @@ pub enum EventKind {
     KpropReject,
     /// A fault-injection action taken by the network simulator (chaos runs).
     NetFault,
+    /// A datagram sent with a forged source address (`send_spoofed`); the
+    /// tap metadata carries the same flag so timelines can tell injected
+    /// traffic from honest traffic.
+    NetSpoofed,
+    /// The adversary injected a replayed/spliced/forged packet.
+    AdvInject,
+    /// The adversary's derivation closure learned a new secret-class term.
+    AdvLearn,
 }
 
 impl EventKind {
@@ -151,6 +159,9 @@ impl EventKind {
             EventKind::KpropApply => "kprop_apply",
             EventKind::KpropReject => "kprop_reject",
             EventKind::NetFault => "net_fault",
+            EventKind::NetSpoofed => "net_spoofed",
+            EventKind::AdvInject => "adv_inject",
+            EventKind::AdvLearn => "adv_learn",
         }
     }
 
@@ -176,6 +187,9 @@ impl EventKind {
             "kprop_apply" => EventKind::KpropApply,
             "kprop_reject" => EventKind::KpropReject,
             "net_fault" => EventKind::NetFault,
+            "net_spoofed" => EventKind::NetSpoofed,
+            "adv_inject" => EventKind::AdvInject,
+            "adv_learn" => EventKind::AdvLearn,
             _ => return None,
         })
     }
@@ -585,6 +599,9 @@ mod tests {
             EventKind::KpropApply,
             EventKind::KpropReject,
             EventKind::NetFault,
+            EventKind::NetSpoofed,
+            EventKind::AdvInject,
+            EventKind::AdvLearn,
         ] {
             assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
         }

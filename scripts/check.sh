@@ -108,6 +108,28 @@ for key in tool seed profiles profile ops logins_ok app_ok replay_hits \
     fi
 done
 
+echo "== krb-adversary --smoke"
+# The Dolev–Yao attacker soak: honest protocol green under active attack,
+# each --leak mode tripping exactly the matching secrecy/authentication
+# oracles (the run self-verifies), and two same-seed runs byte-identical.
+adv_a="$(mktmp)"
+adv_b="$(mktmp)"
+cargo run -q -p krb-adversary --bin krb-adversary -- --smoke > "$adv_a"
+cargo run -q -p krb-adversary --bin krb-adversary -- --smoke > "$adv_b"
+if ! diff -q "$adv_a" "$adv_b" > /dev/null; then
+    echo "krb-adversary --smoke is not deterministic (two runs differ)" >&2
+    exit 1
+fi
+for key in tool seed steps leak logins_ok app_ok injections replay \
+        time_shift splice forge impersonate accepted_forgeries rejections \
+        closure keys creds blobs atoms derivations key_fps tape_dropped \
+        journal events dropped oracles secrecy authentication violations; do
+    if ! grep -q "\"$key\"" "$adv_a"; then
+        echo "krb-adversary smoke output is missing \"$key\"" >&2
+        exit 1
+    fi
+done
+
 echo "== BENCH_kdc.json schema"
 # The committed bench snapshot must carry the current schema (threads +
 # schedule-cache counters); a stale file means the numbers predate the

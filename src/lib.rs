@@ -22,10 +22,12 @@
 //! | [`nfs`] | Kerberized Sun NFS case study (appendix) |
 //! | [`apps`] | Kerberized applications (`rlogin`, POP, Zephyr, `register`) |
 //! | [`sim`] | Athena environment simulator |
+//! | [`adversary`] | seeded Dolev–Yao active attacker with secrecy/authentication oracles |
 
 #![forbid(unsafe_code)]
 
 pub use kerberos as krb;
+pub use krb_adversary as adversary;
 pub use krb_apps as apps;
 pub use krb_crypto as crypto;
 pub use krb_hesiod as hesiod;

@@ -151,3 +151,84 @@ fn expired_session_leaves_nothing_usable() {
         "stale credentials must fail: {err:?}"
     );
 }
+
+#[test]
+fn replay_exactly_at_the_skew_edge_is_caught_by_the_cache_not_the_clock() {
+    // §4.3's two replay defences meet at `timestamp + MAX_SKEW_SECS`: an
+    // authenticator aged exactly the skew window is still *fresh* (the
+    // clock check uses <=), so only the replay cache stands between the
+    // attacker and the service. A time-shifting attacker who replays at
+    // the precise edge must be rejected as a repeat, not misdiagnosed as
+    // merely stale — the distinction matters because a cache that leaned
+    // on the freshness check at the boundary would admit the replay.
+    use athena_kerberos::krb::krb_rd_req;
+    let mut r = rig(1008);
+    r.workstation.kinit(&mut r.router, "victim", "victim-pw").unwrap();
+    let svc = r.service.clone();
+    let (ap, _) = r.workstation.mk_request(&mut r.router, &svc, 0, false).unwrap();
+
+    let mut rc = ReplayCache::new();
+    let first =
+        krb_rd_req(&ap, &svc, &r.service_key, [18, 72, 3, 100], r.workstation.now(), &mut rc)
+            .unwrap();
+    // Derive the edge from the authenticator itself, not the wall clock.
+    let edge = first.timestamp + MAX_SKEW_SECS;
+    assert_eq!(
+        krb_rd_req(&ap, &svc, &r.service_key, [18, 72, 3, 100], edge, &mut rc).unwrap_err(),
+        ErrorCode::RdApRepeat,
+        "at the exact skew edge the cache, not the clock, must reject"
+    );
+    assert_eq!(rc.replay_hits(), 1);
+    // One second past the edge the freshness check takes over — even a
+    // server that lost its cache (fresh `ReplayCache`) stays safe.
+    let mut amnesiac = ReplayCache::new();
+    assert_eq!(
+        krb_rd_req(&ap, &svc, &r.service_key, [18, 72, 3, 100], edge + 1, &mut amnesiac)
+            .unwrap_err(),
+        ErrorCode::RdApTime
+    );
+}
+
+#[test]
+fn replay_after_cache_eviction_is_stopped_by_the_freshness_check() {
+    // §4.2/§4.3: the cache only needs to remember "past requests with time
+    // stamps that are still valid" — entries past the purge horizon are
+    // evicted to keep the cache bounded, and that is *safe* because any
+    // authenticator old enough to have been evicted is also old enough to
+    // fail the clock-skew check. This test documents the §4.2 lifetime
+    // window: eviction really happens, and the evicted replay is still
+    // refused.
+    use athena_kerberos::krb::replay::hash_bytes;
+    use athena_kerberos::krb::{krb_rd_req, ReplayKey};
+    let mut r = rig(1009);
+    r.workstation.kinit(&mut r.router, "victim", "victim-pw").unwrap();
+    let svc = r.service.clone();
+    let (ap, _) = r.workstation.mk_request(&mut r.router, &svc, 0, false).unwrap();
+
+    let mut rc = ReplayCache::new();
+    let first =
+        krb_rd_req(&ap, &svc, &r.service_key, [18, 72, 3, 100], r.workstation.now(), &mut rc)
+            .unwrap();
+    assert_eq!(rc.len(), 1);
+
+    // Time passes beyond the 2×skew purge horizon; the next request (any
+    // request — here an unrelated client) triggers the sweep.
+    let late = first.timestamp + 2 * MAX_SKEW_SECS + 1;
+    let unrelated = ReplayKey {
+        client: "other.@ATHENA.MIT.EDU".into(),
+        timestamp: late,
+        auth_hash: hash_bytes(b"unrelated authenticator"),
+    };
+    assert!(rc.check_and_insert(unrelated, late));
+    assert_eq!(rc.evictions(), 1, "the victim's entry must age out");
+    assert_eq!(rc.len(), 1, "only the fresh entry survives the purge");
+
+    // The attacker's held-back replay no longer matches anything in the
+    // cache — and is rejected anyway, by the clock.
+    assert_eq!(
+        krb_rd_req(&ap, &svc, &r.service_key, [18, 72, 3, 100], late, &mut rc).unwrap_err(),
+        ErrorCode::RdApTime,
+        "eviction is safe: freshness backstops the bounded cache"
+    );
+    assert_eq!(rc.replay_hits(), 0, "the cache never even sees the stale replay");
+}
