@@ -514,8 +514,8 @@ impl Engine {
         protected.insert(key_fingerprint(&user_key), "user-key");
         protected.insert(key_fingerprint(&svc_key), "service-key");
         let tgt_key = {
-            let kdc = dep.master.lock();
-            let (_, k) = kdc.db().get_with_key("krbtgt", REALM).unwrap().unwrap();
+            let snap = dep.master.snapshot();
+            let (_, k) = snap.db().get_with_key("krbtgt", REALM).unwrap().unwrap();
             k
         };
         protected.insert(key_fingerprint(&tgt_key), "krbtgt-key");

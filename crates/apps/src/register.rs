@@ -12,9 +12,7 @@ use crate::AppError;
 use krb_crypto::string_to_key;
 use krb_kdb::Store;
 use krb_kdc::Kdc;
-use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::sync::Arc;
 
 /// The Service Management System stub: the registrar's roll of people
 /// entitled to Athena accounts.
@@ -43,7 +41,7 @@ impl Sms {
 /// Run the registration flow against the master KDC.
 pub fn register<S: Store + Send>(
     sms: &Sms,
-    master: &Arc<Mutex<Kdc<S>>>,
+    master: &Kdc<S>,
     real_name: &str,
     mit_id: &str,
     username: &str,
@@ -54,19 +52,20 @@ pub fn register<S: Store + Send>(
     if !sms.validate(real_name, mit_id) {
         return Err(AppError::Denied(format!("SMS does not know {real_name}/{mit_id}")));
     }
-    let mut kdc = master.lock();
-    // 2. Kerberos uniqueness check.
-    let exists = kdc
-        .db()
-        .exists(username, "")
-        .map_err(|_| AppError::Denied("database error".into()))?;
-    if exists {
-        return Err(AppError::NotUnique(username.to_string()));
-    }
-    // 3. New database entry with the username and password.
-    let db = kdc.db_mut().ok_or_else(|| AppError::Denied("register requires the master".into()))?;
+    // 2 + 3. Uniqueness check and the new entry, in one write transaction
+    // so two racing registrations cannot both pass the check.
     let far_future = now.saturating_add(4 * 365 * 24 * 3600);
-    db.add_principal(username, "", &string_to_key(password), far_future, 96, now, "register.")
-        .map_err(|e| AppError::Denied(format!("registration failed: {e}")))?;
-    Ok(())
+    master
+        .with_db_mut(|db| -> Result<(), AppError> {
+            let exists = db
+                .exists(username, "")
+                .map_err(|_| AppError::Denied("database error".into()))?;
+            if exists {
+                return Err(AppError::NotUnique(username.to_string()));
+            }
+            db.add_principal(username, "", &string_to_key(password), far_future, 96, now, "register.")
+                .map_err(|e| AppError::Denied(format!("registration failed: {e}")))?;
+            Ok(())
+        })
+        .ok_or_else(|| AppError::Denied("register requires the master".into()))?
 }

@@ -211,16 +211,16 @@ fn register_checks_sms_then_uniqueness_then_adds() {
 
     // Unknown to SMS: refused.
     assert!(matches!(
-        krb_apps::register(&sms, &a.dep.master, "Nobody Real", "000", "treese", "pw", NOW),
+        krb_apps::register(&sms, a.dep.master.as_ref(), "Nobody Real", "000", "treese", "pw", NOW),
         Err(AppError::Denied(_))
     ));
     // Taken username: refused.
     assert!(matches!(
-        krb_apps::register(&sms, &a.dep.master, "Window Treese", "912345678", "bcn", "pw", NOW),
+        krb_apps::register(&sms, a.dep.master.as_ref(), "Window Treese", "912345678", "bcn", "pw", NOW),
         Err(AppError::NotUnique(_))
     ));
     // Valid: added, and the new user can log in.
-    krb_apps::register(&sms, &a.dep.master, "Window Treese", "912345678", "treese", "treese-pw", NOW)
+    krb_apps::register(&sms, a.dep.master.as_ref(), "Window Treese", "912345678", "treese", "treese-pw", NOW)
         .unwrap();
     let mut a = a;
     let mut ws = workstation(&a);

@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
     let tgs = Principal::tgs(REALM, REALM);
     let mut g = c.benchmark_group("e09_replication");
     for n_kdcs in [1usize, 2, 4, 8] {
-        let mut kdcs: Vec<_> = (0..n_kdcs).map(|_| kdc_with_users(500).0).collect();
+        let kdcs: Vec<_> = (0..n_kdcs).map(|_| kdc_with_users(500).0).collect();
         g.throughput(Throughput::Elements(64));
         g.bench_with_input(BenchmarkId::new("as_requests_64", n_kdcs), &n_kdcs, |b, &n| {
             let mut t = common::NOW;

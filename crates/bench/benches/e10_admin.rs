@@ -10,12 +10,11 @@ use krb_kadm::{
     build_admin_request, build_kdbm_ticket_request, kpasswd_op, read_admin_reply,
     read_kdbm_ticket_reply, Acl, KdbmServer,
 };
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let (kdc, clock) = kdc_with_users(100);
-    let kdc = Arc::new(Mutex::new(kdc));
+    let kdc = Arc::new(kdc);
     KdbmServer::register_service(&kdc, &string_to_key("kdbm"), common::NOW).unwrap();
     let mut kdbm = KdbmServer::new(
         Arc::clone(&kdc),
@@ -32,7 +31,7 @@ fn bench(c: &mut Criterion) {
             let (old_pw, new_pw) = if flip { ("p3", "p3x") } else { ("p3x", "p3") };
             let t = tick(&clock);
             let req = build_kdbm_ticket_request(&client, t);
-            let reply = kdc.lock().handle(&req, WS);
+            let reply = kdc.handle(&req, WS);
             let cred = read_kdbm_ticket_reply(&reply, old_pw, t).unwrap();
             let admin = build_admin_request(&cred, &client, WS, t, &kpasswd_op(new_pw));
             read_admin_reply(&kdbm.handle(&admin, WS)).unwrap();

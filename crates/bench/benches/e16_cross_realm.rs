@@ -19,18 +19,18 @@ fn bench(c: &mut Criterion) {
 
     let (base, clock) = kdc_with_users(100);
     let db = {
-        let dump = krb_kdb::dump::dump(base.db()).unwrap();
+        let dump = base.dump_text().unwrap();
         let entries = krb_kdb::dump::parse(&dump).unwrap();
         let mut store = MemStore::new();
         krb_kdb::dump::install(&mut store, &entries).unwrap();
         PrincipalDb::open(store, string_to_key("master")).unwrap()
     };
-    let mut athena = Kdc::new(db, athena_cfg, krb_kdc::shared_clock(Arc::clone(&clock)), KdcRole::Master, 3);
+    let athena = Kdc::new(db, athena_cfg, krb_kdc::shared_clock(Arc::clone(&clock)), KdcRole::Master, 3);
 
     let mut lcs_db = PrincipalDb::create(MemStore::new(), string_to_key("lcs-mk"), common::NOW).unwrap();
     lcs_db.add_principal("krbtgt", LCS, &string_to_key("lcs-tgs"), common::NOW * 2, 96, common::NOW, "i.").unwrap();
     lcs_db.add_principal("supdup", "zeus", &string_to_key("supdup"), common::NOW * 2, 96, common::NOW, "i.").unwrap();
-    let mut lcs = Kdc::new(lcs_db, lcs_cfg, krb_kdc::shared_clock(Arc::clone(&clock)), KdcRole::Master, 4);
+    let lcs = Kdc::new(lcs_db, lcs_cfg, krb_kdc::shared_clock(Arc::clone(&clock)), KdcRole::Master, 4);
 
     let client = Principal::parse("u5", REALM).unwrap();
     let tgs = Principal::tgs(REALM, REALM);

@@ -197,7 +197,7 @@ fn e10_admin() {
     use std::sync::atomic::Ordering;
     println!("== E10 (Fig. 11/12): administration protocol ==");
     let (kdc, clock) = kdc_with_users(100);
-    let kdc = std::sync::Arc::new(parking_lot::Mutex::new(kdc));
+    let kdc = std::sync::Arc::new(kdc);
     krb_kadm::KdbmServer::register_service(&kdc, &string_to_key("kdbm"), NOW).unwrap();
     let mut kdbm = krb_kadm::KdbmServer::new(
         std::sync::Arc::clone(&kdc),
@@ -211,7 +211,7 @@ fn e10_admin() {
         i += 1;
         let t = clock.fetch_add(1, Ordering::SeqCst) + 1;
         let req = krb_kadm::build_kdbm_ticket_request(&client, t);
-        let reply = kdc.lock().handle(&req, WS);
+        let reply = kdc.handle(&req, WS);
         let pw = if i % 2 == 1 { "p3" } else { "p3x" };
         let newpw = if i % 2 == 1 { "p3x" } else { "p3" };
         let cred = krb_kadm::read_kdbm_ticket_reply(&reply, pw, t).unwrap();
@@ -229,21 +229,21 @@ fn e16_cross_realm() {
     let mut lcs_cfg = RealmConfig::new("LCS.MIT.EDU");
     krb_kdc::pair_realms(&mut athena_cfg, &mut lcs_cfg, string_to_key("inter")).unwrap();
 
-    let (mut athena, clock) = kdc_with_users(100);
+    let (athena, clock) = kdc_with_users(100);
     // Rebuild with the paired config (kdc_with_users used a plain one).
     let db = {
-        let dump = krb_kdb::dump::dump(athena.db()).unwrap();
+        let dump = athena.dump_text().unwrap();
         let entries = krb_kdb::dump::parse(&dump).unwrap();
         let mut store = MemStore::new();
         krb_kdb::dump::install(&mut store, &entries).unwrap();
         PrincipalDb::open(store, string_to_key("master")).unwrap()
     };
-    athena = Kdc::new(db, athena_cfg, krb_kdc::shared_clock(std::sync::Arc::clone(&clock)), KdcRole::Master, 3);
+    let athena = Kdc::new(db, athena_cfg, krb_kdc::shared_clock(std::sync::Arc::clone(&clock)), KdcRole::Master, 3);
 
     let mut lcs_db = PrincipalDb::create(MemStore::new(), string_to_key("lcs-mk"), NOW).unwrap();
     lcs_db.add_principal("krbtgt", "LCS.MIT.EDU", &string_to_key("lcs-tgs"), NOW * 2, 96, NOW, "i.").unwrap();
     lcs_db.add_principal("supdup", "zeus", &string_to_key("supdup"), NOW * 2, 96, NOW, "i.").unwrap();
-    let mut lcs = Kdc::new(
+    let lcs = Kdc::new(
         lcs_db, lcs_cfg, krb_kdc::shared_clock(std::sync::Arc::clone(&clock)), KdcRole::Master, 4,
     );
 

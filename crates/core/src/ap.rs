@@ -8,7 +8,7 @@
 
 use crate::authent::{Authenticator, SealedAuthenticator};
 use crate::msg::{ApRep, ApReq, Message, PrivMsg, SafeMsg};
-use crate::replay::{hash_bytes, ReplayCache, ReplayKey};
+use crate::replay::{hash_bytes, ReplayGuard, ReplayKey};
 use crate::ticket::{EncryptedTicket, Ticket};
 use crate::time::{is_expired, within_skew};
 use crate::wire::{Reader, Writer};
@@ -83,13 +83,13 @@ pub fn krb_mk_req_sched(
 /// ticket against authenticator; compare the source address of the packet;
 /// check freshness against the server clock; consult the replay cache; and
 /// check ticket expiry.
-pub fn krb_rd_req(
+pub fn krb_rd_req<R: ReplayGuard>(
     req: &ApReq,
     service: &Principal,
     service_key: &DesKey,
     sender_addr: HostAddr,
     now: u32,
-    replay: &mut ReplayCache,
+    replay: &mut R,
 ) -> KrbResult<VerifiedRequest> {
     krb_rd_req_sched(req, service, &Scheduled::new(service_key), sender_addr, now, replay)
 }
@@ -97,13 +97,13 @@ pub fn krb_rd_req(
 /// [`krb_rd_req`] with the service key's schedule precomputed — long-lived
 /// servers (and the KDC's TGS path) verify every request under the same
 /// srvtab key, so they build that schedule once per process, not per packet.
-pub fn krb_rd_req_sched(
+pub fn krb_rd_req_sched<R: ReplayGuard>(
     req: &ApReq,
     service: &Principal,
     service_sched: &Scheduled,
     sender_addr: HostAddr,
     now: u32,
-    replay: &mut ReplayCache,
+    replay: &mut R,
 ) -> KrbResult<VerifiedRequest> {
     let ticket = req.ticket.open_with(service_sched)?;
     if ticket.sname != service.name || ticket.sinstance != service.instance {
@@ -155,13 +155,13 @@ pub fn krb_rd_req_sched(
 /// recorded into the journal at the *server* hop, correlated with the
 /// login that produced the request. Journal fields name the client and the
 /// error kind only; key material never leaves the [`VerifiedRequest`].
-pub fn krb_rd_req_sched_ctx(
+pub fn krb_rd_req_sched_ctx<R: ReplayGuard>(
     req: &ApReq,
     service: &Principal,
     service_sched: &Scheduled,
     sender_addr: HostAddr,
     now: u32,
-    replay: &mut ReplayCache,
+    replay: &mut R,
     ctx: Option<&TraceCtx>,
 ) -> KrbResult<VerifiedRequest> {
     let result = krb_rd_req_sched(req, service, service_sched, sender_addr, now, replay);
@@ -299,6 +299,7 @@ pub fn encode_ap_req(req: &ApReq) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::replay::ReplayCache;
     use crate::time::MAX_SKEW_SECS;
     use krb_crypto::{seal, string_to_key};
 

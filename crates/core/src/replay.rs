@@ -12,6 +12,7 @@
 
 use crate::time::MAX_SKEW_SECS;
 use krb_telemetry::{Counter, Registry};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Identity of one request for replay purposes.
@@ -108,6 +109,153 @@ impl ReplayCache {
     }
 }
 
+/// Anything `krb_rd_req` can consult for replay detection: the classic
+/// single-lock [`ReplayCache`] (exclusive access, `&mut`) or a shared
+/// reference to a [`StripedReplayCache`] (interior mutability, so a
+/// concurrent KDC can check replays from `&self`).
+pub trait ReplayGuard {
+    /// Record a request. Returns `false` if it was already seen (a replay).
+    fn check_and_insert(&mut self, key: ReplayKey, now: u32) -> bool;
+}
+
+impl ReplayGuard for ReplayCache {
+    fn check_and_insert(&mut self, key: ReplayKey, now: u32) -> bool {
+        ReplayCache::check_and_insert(self, key, now)
+    }
+}
+
+impl ReplayGuard for &StripedReplayCache {
+    fn check_and_insert(&mut self, key: ReplayKey, now: u32) -> bool {
+        StripedReplayCache::check_and_insert(self, key, now)
+    }
+}
+
+/// Stripe count for [`StripedReplayCache`]. A power of two so the modulo
+/// is a mask; 16 stripes keep contention negligible far past the thread
+/// counts a single realm sees.
+pub const REPLAY_STRIPES: usize = 16;
+
+/// One stripe's mutable state: its slice of the seen-set plus its own
+/// purge clock (purges are per stripe, so no stripe ever waits on a
+/// sweep of another stripe's entries).
+#[derive(Default, Debug)]
+struct ReplayStripe {
+    seen: HashMap<ReplayKey, u32>,
+    last_purge: u32,
+}
+
+impl ReplayStripe {
+    fn maybe_purge(&mut self, now: u32, evictions: &Counter) {
+        if now.saturating_sub(self.last_purge) < MAX_SKEW_SECS {
+            return;
+        }
+        self.last_purge = now;
+        let before = self.seen.len();
+        self.seen.retain(|k, _| now.saturating_sub(k.timestamp) <= 2 * MAX_SKEW_SECS);
+        evictions.add((before - self.seen.len()) as u64);
+    }
+}
+
+/// A lock-striped replay cache: [`REPLAY_STRIPES`] independent shards,
+/// selected by the authenticator hash, each behind its own mutex with its
+/// own purge clock. `check_and_insert` takes `&self`, so a multi-threaded
+/// KDC consults it without any global lock.
+///
+/// ## Equivalence with [`ReplayCache`]
+///
+/// For the request sequences that can actually reach a replay cache —
+/// authenticators whose timestamp passed the §4.3 freshness check, i.e.
+/// `|now − timestamp| ≤ MAX_SKEW_SECS` — the striped cache accepts and
+/// rejects *exactly* the same sequences as the single-lock cache: an
+/// in-window entry is never removed by any purge (the sweep only drops
+/// entries older than `2 × MAX_SKEW_SECS`), so the only state that can
+/// differ between the two implementations (which *stale* entries are
+/// still sitting in memory, given the per-stripe vs global purge clocks)
+/// is state the freshness backstop makes unreachable. The proptest in
+/// `crates/core/tests/proptests.rs` pins this, skew boundary included.
+#[derive(Debug)]
+pub struct StripedReplayCache {
+    stripes: Vec<Mutex<ReplayStripe>>,
+    /// Per-stripe replay-hit counters, published with zero-padded labels
+    /// so the registry's lexicographic render is also numeric order.
+    stripe_hits: Vec<Counter>,
+    hits: Counter,
+    evictions: Counter,
+}
+
+impl Default for StripedReplayCache {
+    fn default() -> Self {
+        StripedReplayCache {
+            stripes: (0..REPLAY_STRIPES).map(|_| Mutex::new(ReplayStripe::default())).collect(),
+            stripe_hits: (0..REPLAY_STRIPES).map(|_| Counter::new()).collect(),
+            hits: Counter::new(),
+            evictions: Counter::new(),
+        }
+    }
+}
+
+impl StripedReplayCache {
+    /// Create an empty striped cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Which stripe a key lands in.
+    fn stripe_of(key: &ReplayKey) -> usize {
+        (key.auth_hash % REPLAY_STRIPES as u64) as usize
+    }
+
+    /// Record a request. Returns `false` if it was already seen (a replay).
+    /// Only the key's stripe is locked, and only for the map probe.
+    pub fn check_and_insert(&self, key: ReplayKey, now: u32) -> bool {
+        let i = Self::stripe_of(&key);
+        let mut stripe = self.stripes[i].lock();
+        stripe.maybe_purge(now, &self.evictions);
+        if stripe.seen.contains_key(&key) {
+            self.hits.inc();
+            self.stripe_hits[i].inc();
+            return false;
+        }
+        stripe.seen.insert(key, now);
+        true
+    }
+
+    /// Replays detected so far, across all stripes.
+    pub fn replay_hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Entries evicted by the per-stripe purge sweeps so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+
+    /// Publish the aggregate counters as `{prefix}_replay_hits_total` /
+    /// `{prefix}_replay_evictions_total` (same names the single-lock cache
+    /// uses, so dashboards survive the swap) plus one
+    /// `{prefix}_replay_stripe_hits_total{stripe="NN"}` per stripe.
+    pub fn publish(&self, registry: &Registry, prefix: &str) {
+        registry.adopt_counter(&format!("{prefix}_replay_hits_total"), &self.hits);
+        registry.adopt_counter(&format!("{prefix}_replay_evictions_total"), &self.evictions);
+        for (i, c) in self.stripe_hits.iter().enumerate() {
+            registry.adopt_counter(
+                &format!("{prefix}_replay_stripe_hits_total{{stripe=\"{i:02}\"}}"),
+                c,
+            );
+        }
+    }
+
+    /// Number of live entries across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().seen.len()).sum()
+    }
+
+    /// Whether every stripe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +339,71 @@ mod tests {
             rc.check_and_insert(key("a@A", i, &i.to_be_bytes()), i);
         }
         assert_eq!(rc.len(), 10);
+    }
+
+    #[test]
+    fn striped_detects_replay_from_shared_reference() {
+        let rc = StripedReplayCache::new();
+        assert!(rc.check_and_insert(key("bcn@A", 100, b"auth1"), 100));
+        assert!(!rc.check_and_insert(key("bcn@A", 100, b"auth1"), 101), "replay");
+        assert!(rc.check_and_insert(key("bcn@A", 100, b"auth2"), 100));
+        assert_eq!(rc.replay_hits(), 1);
+        assert_eq!(rc.len(), 2);
+    }
+
+    #[test]
+    fn striped_publishes_per_stripe_counters_in_render_order() {
+        let rc = StripedReplayCache::new();
+        let registry = Registry::new();
+        rc.publish(&registry, "kdc");
+        let k = key("bcn@A", 100, b"auth1");
+        let stripe = (k.auth_hash % REPLAY_STRIPES as u64) as usize;
+        assert!(rc.check_and_insert(k.clone(), 100));
+        assert!(!rc.check_and_insert(k, 101));
+        assert_eq!(registry.counter_value("kdc_replay_hits_total"), 1);
+        assert_eq!(
+            registry.counter_value(&format!(
+                "kdc_replay_stripe_hits_total{{stripe=\"{stripe:02}\"}}"
+            )),
+            1
+        );
+        // Zero-padded labels: the registry's lexicographic order is also
+        // numeric stripe order, so renders are stable and readable.
+        let names: Vec<String> = registry
+            .names()
+            .into_iter()
+            .filter(|n| n.contains("stripe_hits"))
+            .collect();
+        assert_eq!(names.len(), REPLAY_STRIPES);
+        assert!(names[0].contains("stripe=\"00\""));
+        assert!(names[REPLAY_STRIPES - 1].contains(&format!("stripe=\"{:02}\"", REPLAY_STRIPES - 1)));
+    }
+
+    #[test]
+    fn striped_purges_stale_entries_per_stripe() {
+        let rc = StripedReplayCache::new();
+        for i in 0..100u32 {
+            assert!(rc.check_and_insert(key("bcn@A", i, &i.to_be_bytes()), i));
+        }
+        assert_eq!(rc.len(), 100);
+        // Far in the future: every touched stripe purges its stale slice.
+        for i in 0..100u32 {
+            assert!(rc.check_and_insert(key("bcn@A", 10_000, &i.to_be_bytes()), 10_000));
+        }
+        assert_eq!(rc.len(), 100, "stale entries swept: {}", rc.len());
+        assert!(rc.evictions() > 0);
+    }
+
+    #[test]
+    fn replay_guard_trait_serves_both_cache_shapes() {
+        fn consult<R: ReplayGuard>(replay: &mut R, k: ReplayKey, now: u32) -> bool {
+            replay.check_and_insert(k, now)
+        }
+        let mut single = ReplayCache::new();
+        assert!(consult(&mut single, key("a@A", 5, b"x"), 5));
+        assert!(!consult(&mut single, key("a@A", 5, b"x"), 5));
+        let striped = StripedReplayCache::new();
+        assert!(consult(&mut &striped, key("a@A", 5, b"x"), 5));
+        assert!(!consult(&mut &striped, key("a@A", 5, b"x"), 5));
     }
 }

@@ -3,7 +3,8 @@
 
 use kerberos::{
     ApRep, ApReq, AsReq, EncKdcReplyPart, EncryptedTicket, ErrMsg, ErrorCode, KdcRep, Message,
-    PrivMsg, Principal, SafeMsg, TgsReq, Ticket,
+    PrivMsg, Principal, ReplayCache, ReplayKey, SafeMsg, StripedReplayCache, TgsReq, Ticket,
+    MAX_SKEW_SECS,
 };
 use krb_crypto::DesKey;
 use proptest::prelude::*;
@@ -114,5 +115,48 @@ proptest! {
         let text = p.to_string();
         let q = Principal::parse(&text, "FALLBACK").unwrap();
         prop_assert_eq!(p, q);
+    }
+
+    // The striped replay cache must accept/reject exactly the same request
+    // sequences as the single-lock cache. The equivalence domain is the set
+    // of keys that can actually reach the cache: krb_rd_req checks
+    // |now - timestamp| <= MAX_SKEW_SECS *before* consulting it, and purges
+    // only drop entries older than 2x the skew window, so in-window entries
+    // are never evicted and per-stripe purge clocks cannot cause divergence.
+    // Generated timestamps span the full reachable window including the
+    // ts = now - MAX_SKEW boundary (the attacks.rs edge: a replay at exactly
+    // timestamp+MAX_SKEW must still draw a cache hit, not a clock rejection).
+    #[test]
+    fn striped_replay_cache_matches_single_lock_cache(
+        ops in proptest::collection::vec(
+            (
+                0u32..=120,                                    // clock advance
+                0usize..4,                                     // client pick
+                0usize..6,                                     // auth-hash pick
+                prop_oneof![Just(0u32), Just(MAX_SKEW_SECS), 0u32..=MAX_SKEW_SECS],
+            ),
+            1..200,
+        ),
+    ) {
+        let clients = ["bcn@ATHENA.MIT.EDU", "jis@ATHENA.MIT.EDU", "raeburn@MIT.EDU", "don@LCS.MIT.EDU"];
+        // Sparse hashes spread across stripes; adjacent values collide into
+        // the same stripe modulo 16 only when equal, exercising both shared
+        // and distinct stripes for repeated keys.
+        let hashes: [u64; 6] = [0, 1, 15, 16, 0xdead_beef, u64::MAX];
+        let mut single = ReplayCache::new();
+        let striped = StripedReplayCache::new();
+        let mut now = 1_000_000u32;
+        for (delta, ci, hi, back) in ops {
+            now += delta;
+            let key = ReplayKey {
+                client: clients[ci].to_string(),
+                timestamp: now - back,
+                auth_hash: hashes[hi],
+            };
+            let a = single.check_and_insert(key.clone(), now);
+            let b = striped.check_and_insert(key, now);
+            prop_assert_eq!(a, b, "verdicts diverged at now={}", now);
+        }
+        prop_assert_eq!(single.replay_hits(), striped.replay_hits());
     }
 }

@@ -90,7 +90,7 @@ pub struct AuditRecord {
 
 /// The KDBM server.
 pub struct KdbmServer<S: Store + Send> {
-    kdc: Arc<Mutex<Kdc<S>>>,
+    kdc: Arc<Kdc<S>>,
     acl: Acl,
     clock: Clock,
     replay: ReplayCache,
@@ -102,32 +102,30 @@ impl<S: Store + Send> KdbmServer<S> {
     /// Attach the KDBM to the master KDC's database. Fails (with
     /// `KadmUnauth`) if the KDC is a slave: "the KDBM server may only run
     /// on the master Kerberos machine."
-    pub fn new(kdc: Arc<Mutex<Kdc<S>>>, acl: Acl, clock: Clock) -> Result<Self, ErrorCode> {
-        let (role, realm) = {
-            let k = kdc.lock();
-            (k.role(), k.realm().to_string())
-        };
-        if role != KdcRole::Master {
+    pub fn new(kdc: Arc<Kdc<S>>, acl: Acl, clock: Clock) -> Result<Self, ErrorCode> {
+        if kdc.role() != KdcRole::Master {
             return Err(ErrorCode::KadmUnauth);
         }
+        let realm = kdc.realm().to_string();
         Ok(KdbmServer { kdc, acl, clock, replay: ReplayCache::new(), audit: Vec::new(), realm })
     }
 
     /// Register the KDBM's own service principal (`changepw.kerberos`) with
     /// the `NO_TGS` attribute, so only the AS — which demands the password —
     /// issues tickets for it (§5.1).
-    pub fn register_service(kdc: &Arc<Mutex<Kdc<S>>>, key: &DesKey, now: u32) -> Result<(), ErrorCode> {
-        let mut k = kdc.lock();
-        let db = k.db_mut().ok_or(ErrorCode::KadmUnauth)?;
-        db.add_principal("changepw", "kerberos", key, u32::MAX, 12, now, "kdb_init.")
-            .map_err(|_| ErrorCode::KdcGenErr)?;
-        let mut e = db
-            .get("changepw", "kerberos")
-            .map_err(|_| ErrorCode::KdcGenErr)?
-            .ok_or(ErrorCode::KdcGenErr)?;
-        e.attributes |= ATTR_NO_TGS;
-        db.update_entry(&e).map_err(|_| ErrorCode::KdcGenErr)?;
-        Ok(())
+    pub fn register_service(kdc: &Arc<Kdc<S>>, key: &DesKey, now: u32) -> Result<(), ErrorCode> {
+        kdc.with_db_mut(|db| -> Result<(), ErrorCode> {
+            db.add_principal("changepw", "kerberos", key, u32::MAX, 12, now, "kdb_init.")
+                .map_err(|_| ErrorCode::KdcGenErr)?;
+            let mut e = db
+                .get("changepw", "kerberos")
+                .map_err(|_| ErrorCode::KdcGenErr)?
+                .ok_or(ErrorCode::KdcGenErr)?;
+            e.attributes |= ATTR_NO_TGS;
+            db.update_entry(&e).map_err(|_| ErrorCode::KdcGenErr)?;
+            Ok(())
+        })
+        .ok_or(ErrorCode::KadmUnauth)?
     }
 
     /// The audit log (most recent last).
@@ -149,8 +147,8 @@ impl<S: Store + Send> KdbmServer<S> {
         let now = (self.clock)();
         let kdbm = Principal::kdbm(&self.realm);
         let kdbm_key = {
-            let kdc = self.kdc.lock();
-            match kdc.db().get_with_key("changepw", "kerberos") {
+            let snap = self.kdc.snapshot();
+            match snap.db().get_with_key("changepw", "kerberos") {
                 Ok(Some((_, k))) => k,
                 _ => return Err(ErrorCode::RdApNoKey),
             }
@@ -185,31 +183,32 @@ impl<S: Store + Send> KdbmServer<S> {
             return Err(ErrorCode::KadmUnauth);
         }
 
-        let mut kdc = self.kdc.lock();
-        let db = kdc.db_mut().ok_or(ErrorCode::KadmUnauth)?;
         let mod_by = requester.local_str();
-        let result = match op {
-            AdminOp::ChangeOwnPassword { new_key } => db.change_key(
-                &requester.name,
-                &requester.instance,
-                &DesKey::from_bytes(new_key),
-                now,
-                &mod_by,
-            ),
-            AdminOp::ChangePasswordOf { name, instance, new_key } => {
-                db.change_key(&name, &instance, &DesKey::from_bytes(new_key), now, &mod_by)
-            }
-            AdminOp::AddPrincipal { name, instance, key, expiration, max_life } => db
-                .add_principal(
-                    &name,
-                    &instance,
-                    &DesKey::from_bytes(key),
-                    expiration,
-                    max_life,
+        let result = self
+            .kdc
+            .with_db_mut(|db| match op {
+                AdminOp::ChangeOwnPassword { new_key } => db.change_key(
+                    &requester.name,
+                    &requester.instance,
+                    &DesKey::from_bytes(new_key),
                     now,
                     &mod_by,
                 ),
-        };
+                AdminOp::ChangePasswordOf { name, instance, new_key } => {
+                    db.change_key(&name, &instance, &DesKey::from_bytes(new_key), now, &mod_by)
+                }
+                AdminOp::AddPrincipal { name, instance, key, expiration, max_life } => db
+                    .add_principal(
+                        &name,
+                        &instance,
+                        &DesKey::from_bytes(key),
+                        expiration,
+                        max_life,
+                        now,
+                        &mod_by,
+                    ),
+            })
+            .ok_or(ErrorCode::KadmUnauth)?;
         result.map_err(|e| match e {
             krb_kdb::DbError::AlreadyExists(_) => ErrorCode::KadmBadReq,
             krb_kdb::DbError::NotFound(_) => ErrorCode::KdcPrUnknown,

@@ -9,7 +9,6 @@ use krb_kadm::{
 };
 use krb_kdb::{MemStore, PrincipalDb};
 use krb_kdc::{fixed_clock, Kdc, KdcRole, RealmConfig};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 const REALM: &str = "ATHENA.MIT.EDU";
@@ -17,7 +16,7 @@ const NOW: u32 = 600_000_000;
 const WS: [u8; 4] = [18, 72, 0, 5];
 
 struct Rig {
-    kdc: Arc<Mutex<Kdc<MemStore>>>,
+    kdc: Arc<Kdc<MemStore>>,
     kdbm: KdbmServer<MemStore>,
 }
 
@@ -28,13 +27,13 @@ fn rig() -> Rig {
     db.add_principal("bcn", "", &string_to_key("bcn-pw"), far, 96, NOW, "i.").unwrap();
     db.add_principal("jis", "", &string_to_key("jis-pw"), far, 96, NOW, "i.").unwrap();
     db.add_principal("steiner", "admin", &string_to_key("steiner-admin-pw"), far, 96, NOW, "i.").unwrap();
-    let kdc = Arc::new(Mutex::new(Kdc::new(
+    let kdc = Arc::new(Kdc::new(
         db,
         RealmConfig::new(REALM),
         fixed_clock(NOW),
         KdcRole::Master,
         5,
-    )));
+    ));
     KdbmServer::register_service(&kdc, &string_to_key("kdbm-svc"), NOW).unwrap();
     let mut acl = Acl::new();
     acl.add(&Principal::parse("steiner.admin", REALM).unwrap());
@@ -45,7 +44,7 @@ fn rig() -> Rig {
 fn kdbm_cred(rig: &Rig, who: &str, password: &str) -> kerberos::Credential {
     let client = Principal::parse(who, REALM).unwrap();
     let req = build_kdbm_ticket_request(&client, NOW);
-    let reply = rig.kdc.lock().handle(&req, WS);
+    let reply = rig.kdc.handle(&req, WS);
     read_kdbm_ticket_reply(&reply, password, NOW).unwrap()
 }
 
@@ -59,13 +58,13 @@ fn user_changes_own_password() {
 
     // Old password no longer works for login; new one does.
     let as_req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW + 2);
-    let reply = r.kdc.lock().handle(&as_req, WS);
+    let reply = r.kdc.handle(&as_req, WS);
     assert_eq!(
         read_as_reply_with_password(&reply, "bcn-pw", NOW + 2).unwrap_err(),
         ErrorCode::IntkBadPw
     );
     let as_req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW + 3);
-    let reply = r.kdc.lock().handle(&as_req, WS);
+    let reply = r.kdc.handle(&as_req, WS);
     assert!(read_as_reply_with_password(&reply, "bcn-new-pw", NOW + 3).is_ok());
 }
 
@@ -101,7 +100,7 @@ fn admin_instance_on_acl_can_administer() {
     // Both take effect.
     let newbie = Principal::parse("newbie", REALM).unwrap();
     let as_req = build_as_req(&newbie, &Principal::tgs(REALM, REALM), 96, NOW + 3);
-    let reply = r.kdc.lock().handle(&as_req, WS);
+    let reply = r.kdc.handle(&as_req, WS);
     assert!(read_as_reply_with_password(&reply, "newbie-pw", NOW + 3).is_ok());
 
     let log = r.kdbm.audit_log();
@@ -115,11 +114,12 @@ fn plain_instance_not_on_acl_even_if_admin_of_nothing() {
     // §5.1: "names with a NULL instance ... do not appear in the access
     // control list file; instead, an admin instance is used."
     let mut r = rig();
-    {
-        let mut kdc = r.kdc.lock();
-        let db = kdc.db_mut().unwrap();
-        db.add_principal("steiner", "", &string_to_key("steiner-pw"), NOW * 3, 96, NOW, "i.").unwrap();
-    }
+    r.kdc
+        .with_db_mut(|db| {
+            db.add_principal("steiner", "", &string_to_key("steiner-pw"), NOW * 3, 96, NOW, "i.")
+                .unwrap();
+        })
+        .unwrap();
     let steiner = Principal::parse("steiner", REALM).unwrap();
     let cred = kdbm_cred(&r, "steiner", "steiner-pw");
     let req = build_admin_request(&cred, &steiner, WS, NOW + 1, &kadmin_cpw_op("jis", "", "x"));
@@ -136,12 +136,12 @@ fn tgs_issued_ticket_rejected_by_kdbm() {
     let client = Principal::parse("bcn", REALM).unwrap();
     let tgt = {
         let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
-        let reply = r.kdc.lock().handle(&req, WS);
+        let reply = r.kdc.handle(&req, WS);
         read_as_reply_with_password(&reply, "bcn-pw", NOW).unwrap()
     };
     let kdbm_svc = Principal::kdbm(REALM);
     let tgs_req = build_tgs_req(&tgt, &client, WS, NOW + 1, &kdbm_svc, 12);
-    let reply = r.kdc.lock().handle(&tgs_req, WS);
+    let reply = r.kdc.handle(&tgs_req, WS);
     assert_eq!(
         read_tgs_reply(&reply, &tgt, NOW + 1).unwrap_err(),
         ErrorCode::KdcNoTgsForService
@@ -151,14 +151,14 @@ fn tgs_issued_ticket_rejected_by_kdbm() {
 #[test]
 fn kdbm_refuses_to_run_on_slave() {
     let r = rig();
-    let dump = krb_kdb::dump::dump(r.kdc.lock().db()).unwrap();
+    let dump = r.kdc.dump_text().unwrap();
     let entries = krb_kdb::dump::parse(&dump).unwrap();
     let mut store = MemStore::new();
     krb_kdb::dump::install(&mut store, &entries).unwrap();
     let db = PrincipalDb::open(store, string_to_key("master")).unwrap();
-    let slave = Arc::new(Mutex::new(Kdc::new(
+    let slave = Arc::new(Kdc::new(
         db, RealmConfig::new(REALM), fixed_clock(NOW), KdcRole::Slave, 9,
-    )));
+    ));
     assert_eq!(
         KdbmServer::new(slave, Acl::new(), fixed_clock(NOW)).err(),
         Some(ErrorCode::KadmUnauth)
@@ -209,7 +209,7 @@ fn admin_protocol_over_the_network() {
     let kdc_ep = Endpoint::new(master_host, ports::KDC);
     let kdbm_ep = Endpoint::new(master_host, ports::KADM);
     router.serve(kdc_ep, krb_kdc::KdcService(Arc::clone(&r.kdc)));
-    router.serve(kdbm_ep, KdbmService(Arc::new(Mutex::new(r.kdbm))));
+    router.serve(kdbm_ep, KdbmService(Arc::new(parking_lot::Mutex::new(r.kdbm))));
 
     let ws_ep = Endpoint::new(WS, 1021);
     let client = Principal::parse("bcn", REALM).unwrap();

@@ -216,6 +216,30 @@ impl<S: Store> PrincipalDb<S> {
         }
     }
 
+    /// Copy every raw record into a fresh in-memory database sharing the
+    /// same master key. This is the snapshot-build primitive for the
+    /// concurrent KDC: readers serve from the immutable copy while the
+    /// backing store (possibly file-backed) stays with the writer.
+    pub fn snapshot_mem(&self) -> Result<PrincipalDb<crate::store::MemStore>, DbError> {
+        let mut mem = crate::store::MemStore::new();
+        let mut first_err = None;
+        self.store.for_each(&mut |k, v| {
+            if first_err.is_some() {
+                return;
+            }
+            if let Err(e) = mem.store(k, v) {
+                first_err = Some(e);
+            }
+        })?;
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(PrincipalDb {
+            store: mem,
+            master: Scheduled::new(self.master.key()),
+        })
+    }
+
     /// Flush the backing store.
     pub fn sync(&mut self) -> Result<(), DbError> {
         self.store.sync()
@@ -224,6 +248,19 @@ impl<S: Store> PrincipalDb<S> {
     /// Access the backing store (used by dump/load and tests).
     pub fn store_mut(&mut self) -> &mut S {
         &mut self.store
+    }
+}
+
+impl PrincipalDb<crate::store::MemStore> {
+    /// An empty in-memory database sharing `master_key` — the degraded
+    /// fallback a server can swap in when a snapshot copy fails mid-read:
+    /// every lookup misses (no principal is served from possibly-corrupt
+    /// records) and nothing panics.
+    pub fn empty_mem(master_key: &DesKey) -> Self {
+        PrincipalDb {
+            store: crate::store::MemStore::new(),
+            master: Scheduled::new(master_key),
+        }
     }
 }
 

@@ -18,5 +18,5 @@ pub mod server;
 pub mod service;
 
 pub use realm::{pair_realms, RealmConfig};
-pub use server::{fixed_clock, shared_clock, Clock, Kdc, KdcRole, KdcStats};
+pub use server::{fixed_clock, shared_clock, Clock, Kdc, KdcRole, KdcSnapshot, KdcStats};
 pub use service::{Deployment, KdcService};

@@ -6,18 +6,30 @@
 //! namely, the authentication of principals, and generation of session
 //! keys. Since this server does not modify the Kerberos database, it may
 //! run on a machine housing a read-only copy" — a slave (Fig. 10).
+//!
+//! ## Concurrency model (DESIGN.md §15)
+//!
+//! Request handling takes `&self`: every exchange clones an `Arc` to an
+//! immutable [`KdcSnapshot`] of the principal store and never holds a lock
+//! across crypto. Writers (`with_db_mut`, `install_db`) mutate the primary
+//! database under its own mutex, rebuild a fresh snapshot, and swap the
+//! `Arc` — readers observe either the old or the new database, never a
+//! half-installed one. The replay cache is lock-striped by authenticator
+//! digest ([`StripedReplayCache`]), and journal output can be sharded per
+//! worker and merged deterministically (`krb_telemetry::merge_journals`).
 
 use crate::realm::RealmConfig;
 use kerberos::msg::{AsReq, EncKdcReplyPart, KdcRep, Message, TgsReq};
 use kerberos::{
-    krb_rd_req_sched, remaining_life, ErrorCode, HostAddr, KrbResult, Principal, ReplayCache,
-    Ticket, ERROR_KINDS,
+    krb_rd_req_sched, remaining_life, ErrorCode, HostAddr, KrbResult, Principal,
+    StripedReplayCache, Ticket, ERROR_KINDS,
 };
-use krb_kdb::{PrincipalDb, PrincipalEntry, Store, ATTR_DISABLED, ATTR_NO_TGS};
+use krb_kdb::{MemStore, PrincipalDb, PrincipalEntry, Store, ATTR_DISABLED, ATTR_NO_TGS};
 use krb_crypto::{seal_with, KeyGenerator, Mode, Scheduled};
 use krb_telemetry::{
     ClockUs, Component, Counter, EventKind, Field, Histogram, Journal, Registry, Span, TraceId,
 };
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -81,6 +93,7 @@ pub struct KdcStats {
 }
 
 /// The KDC's telemetry handles, registered under `kdc_*` names.
+#[derive(Clone)]
 struct KdcMetrics {
     as_ok: Counter,
     tgs_ok: Counter,
@@ -108,6 +121,59 @@ impl KdcMetrics {
             sched_misses: registry.counter("kdc_sched_cache_misses_total"),
         }
     }
+}
+
+/// Where the KDC's journal events go.
+#[derive(Clone)]
+enum JournalSink {
+    /// No journal attached (the default).
+    None,
+    /// Everything into one shared journal.
+    Single(Arc<Journal>),
+    /// One journal per worker shard, selected by the request's trace id
+    /// (`trace % nshards`; traceless events land on shard 0). Each
+    /// worker's journal then carries exactly its own logins' KDC hops,
+    /// and `merge_journals` reassembles one deterministic timeline.
+    Sharded(Vec<Arc<Journal>>),
+}
+
+impl JournalSink {
+    fn attached(&self) -> bool {
+        !matches!(self, JournalSink::None)
+    }
+
+    fn record(
+        &self,
+        at_us: u64,
+        trace: Option<TraceId>,
+        kind: EventKind,
+        fields: Vec<(&'static str, Field)>,
+    ) {
+        match self {
+            JournalSink::None => {}
+            JournalSink::Single(journal) => {
+                journal.record(at_us, trace, Component::Kdc, kind, fields);
+            }
+            JournalSink::Sharded(shards) => {
+                let idx = trace.map_or(0, |t| (t.0 % shards.len() as u64) as usize);
+                shards[idx].record(at_us, trace, Component::Kdc, kind, fields);
+            }
+        }
+    }
+}
+
+/// The KDC's swap-on-write observability bundle: registry, counter
+/// handles, span clock and journal sink travel together so a request
+/// reads one consistent set with a single `Arc` clone.
+struct KdcHooks {
+    registry: Arc<Registry>,
+    metrics: KdcMetrics,
+    /// Microsecond clock for latency spans. Defaults to the second-level
+    /// protocol [`Clock`] scaled up (deterministic wherever the protocol
+    /// clock is); a driver measuring real hardware injects
+    /// `krb_telemetry::wall_clock_us()` instead.
+    clock_us: ClockUs,
+    journal: JournalSink,
 }
 
 /// How many principal-key schedules the KDC keeps warm. Small on purpose:
@@ -146,37 +212,51 @@ impl SchedCache {
         }
         self.entries.push((key, sched));
     }
+}
 
-    fn clear(&mut self) {
-        self.entries.clear();
+/// One immutable, atomically-swapped view of the principal store. Requests
+/// clone an `Arc` to the current snapshot and serve entirely from it; a
+/// write builds a *new* snapshot and swaps the `Arc`, so no request ever
+/// observes a half-installed database. The scheduled-key LRU lives inside
+/// the snapshot — a swap invalidates it wholesale, which is exactly the
+/// old `db_mut`/`install_db` invalidation contract.
+pub struct KdcSnapshot {
+    /// In-memory copy of the principal records, shared master key.
+    db: PrincipalDb<MemStore>,
+    /// The `krbtgt` entry and its key schedule, warmed at snapshot build —
+    /// every TGS request verifies against this key. `None` only when the
+    /// principal is absent (an empty database being provisioned).
+    tgt_cache: Option<(PrincipalEntry, Arc<Scheduled>)>,
+    /// Bounded LRU of other principal-key schedules, keyed by
+    /// `(name, instance, key_version)`. Per-snapshot: dies with it.
+    sched_cache: Mutex<SchedCache>,
+}
+
+impl KdcSnapshot {
+    /// The principal records this snapshot serves from.
+    pub fn db(&self) -> &PrincipalDb<MemStore> {
+        &self.db
     }
 }
 
-/// One authentication server instance.
+/// One authentication server instance. All request handling takes `&self`
+/// — wrap in an `Arc` and serve from as many threads as you like.
 pub struct Kdc<S: Store> {
-    db: PrincipalDb<S>,
+    /// The writable source of truth (possibly file-backed). Only writers
+    /// touch it; every mutation rebuilds [`Kdc::snapshot`] from it.
+    primary: Mutex<PrincipalDb<S>>,
+    /// The current read snapshot; requests clone the `Arc` and go lock-free.
+    snapshot: RwLock<Arc<KdcSnapshot>>,
     config: RealmConfig,
     clock: Clock,
-    keygen: KeyGenerator<StdRng>,
-    replay: ReplayCache,
+    /// Session-key generator. Serialized so the draw sequence from a seed
+    /// is well-defined; the critical section is eight bytes of RNG output.
+    keygen: Mutex<KeyGenerator<StdRng>>,
+    replay: StripedReplayCache,
     role: KdcRole,
-    registry: Arc<Registry>,
-    metrics: KdcMetrics,
-    /// Microsecond clock for latency spans. Defaults to the second-level
-    /// protocol [`Clock`] scaled up (deterministic wherever the protocol
-    /// clock is); a driver measuring real hardware injects
-    /// `krb_telemetry::wall_clock_us()` instead.
-    clock_us: ClockUs,
-    /// The `krbtgt` entry and its key schedule, cached at construction —
-    /// every TGS request verifies against this key. Invalidated (and
-    /// lazily refilled) on database swap or any mutable database access.
-    tgt_cache: Option<(PrincipalEntry, Arc<Scheduled>)>,
-    /// Bounded LRU of other principal-key schedules, keyed by
-    /// `(name, instance, key_version)`.
-    sched_cache: SchedCache,
-    /// Structured event journal; when attached, every exchange outcome is
-    /// recorded with the request's trace id (see `krb_telemetry::journal`).
-    journal: Option<Arc<Journal>>,
+    hooks: RwLock<Arc<KdcHooks>>,
+    /// How many snapshot swaps have been installed (`kdc_store_swaps_total`).
+    swaps: Counter,
 }
 
 impl<S: Store> Kdc<S> {
@@ -187,62 +267,109 @@ impl<S: Store> Kdc<S> {
     pub fn new(db: PrincipalDb<S>, config: RealmConfig, clock: Clock, role: KdcRole, seed: u64) -> Self {
         let registry = Registry::shared();
         let metrics = KdcMetrics::new(&registry);
-        let replay = ReplayCache::new();
+        let replay = StripedReplayCache::new();
         replay.publish(&registry, "kdc");
+        let swaps = Counter::default();
+        registry.adopt_counter("kdc_store_swaps_total", &swaps);
         let protocol_clock = Arc::clone(&clock);
         let clock_us: ClockUs = Arc::new(move || u64::from(protocol_clock()) * 1_000_000);
-        let tgt_cache = warm_tgt_cache(&db, &config.realm);
+        let snapshot = build_snapshot(&db, &config.realm);
         Kdc {
-            db,
+            primary: Mutex::new(db),
+            snapshot: RwLock::new(Arc::new(snapshot)),
             config,
             clock,
-            keygen: KeyGenerator::new(StdRng::seed_from_u64(seed)),
+            keygen: Mutex::new(KeyGenerator::new(StdRng::seed_from_u64(seed))),
             replay,
             role,
-            registry,
-            metrics,
-            clock_us,
-            tgt_cache,
-            sched_cache: SchedCache::new(),
-            journal: None,
+            hooks: RwLock::new(Arc::new(KdcHooks {
+                registry,
+                metrics,
+                clock_us,
+                journal: JournalSink::None,
+            })),
+            swaps,
         }
+    }
+
+    /// The current read snapshot. The returned `Arc` stays valid (and
+    /// internally consistent) for as long as the caller holds it, even
+    /// across concurrent `install_db`/`with_db_mut` swaps.
+    pub fn snapshot(&self) -> Arc<KdcSnapshot> {
+        self.snapshot.read().clone()
+    }
+
+    fn hooks(&self) -> Arc<KdcHooks> {
+        self.hooks.read().clone()
     }
 
     /// The registry this KDC reports into (render it for a snapshot).
     pub fn telemetry(&self) -> Arc<Registry> {
-        Arc::clone(&self.registry)
+        Arc::clone(&self.hooks().registry)
     }
 
     /// Report into a caller-provided registry and time spans with a
     /// caller-provided microsecond clock. Counts recorded so far are
     /// dropped (call right after construction); the replay cache's
-    /// counters are re-published into the new registry.
-    pub fn set_telemetry(&mut self, registry: Arc<Registry>, clock_us: ClockUs) {
-        self.metrics = KdcMetrics::new(&registry);
+    /// counters and the swap counter are re-published into the new
+    /// registry.
+    pub fn set_telemetry(&self, registry: Arc<Registry>, clock_us: ClockUs) {
+        let metrics = KdcMetrics::new(&registry);
         self.replay.publish(&registry, "kdc");
-        self.registry = registry;
-        self.clock_us = clock_us;
+        registry.adopt_counter("kdc_store_swaps_total", &self.swaps);
+        let journal = self.hooks().journal.clone();
+        *self.hooks.write() = Arc::new(KdcHooks { registry, metrics, clock_us, journal });
     }
 
     /// Override only the span clock (keep the auto-created registry).
-    pub fn set_clock_us(&mut self, clock_us: ClockUs) {
-        self.clock_us = clock_us;
+    pub fn set_clock_us(&self, clock_us: ClockUs) {
+        let old = self.hooks();
+        *self.hooks.write() = Arc::new(KdcHooks {
+            registry: Arc::clone(&old.registry),
+            metrics: old.metrics.clone(),
+            clock_us,
+            journal: old.journal.clone(),
+        });
     }
 
     /// Attach a structured event journal. Exchange outcomes (and their
     /// per-kind failures) are recorded into it, stamped with the KDC's
     /// microsecond clock and the request's trace id.
-    pub fn set_journal(&mut self, journal: Arc<Journal>) {
-        self.journal = Some(journal);
+    pub fn set_journal(&self, journal: Arc<Journal>) {
+        self.set_sink(JournalSink::Single(journal));
+    }
+
+    /// Attach one journal per worker shard. Events route by
+    /// `trace % shards.len()` (shard 0 for traceless events), so each
+    /// worker journal carries exactly the KDC hops of its own logins;
+    /// `krb_telemetry::merge_journals` rebuilds one deterministic
+    /// timeline. An empty vector detaches the journal.
+    pub fn set_journal_shards(&self, shards: Vec<Arc<Journal>>) {
+        if shards.is_empty() {
+            self.set_sink(JournalSink::None);
+        } else {
+            self.set_sink(JournalSink::Sharded(shards));
+        }
+    }
+
+    fn set_sink(&self, sink: JournalSink) {
+        let old = self.hooks();
+        *self.hooks.write() = Arc::new(KdcHooks {
+            registry: Arc::clone(&old.registry),
+            metrics: old.metrics.clone(),
+            clock_us: Arc::clone(&old.clock_us),
+            journal: sink,
+        });
     }
 
     /// Point-in-time counters, materialized from the registry.
     pub fn stats(&self) -> KdcStats {
-        let k = &self.metrics.error_kinds;
+        let hooks = self.hooks();
+        let k = &hooks.metrics.error_kinds;
         KdcStats {
-            as_ok: self.metrics.as_ok.get(),
-            tgs_ok: self.metrics.tgs_ok.get(),
-            errors: self.metrics.errors.get(),
+            as_ok: hooks.metrics.as_ok.get(),
+            tgs_ok: hooks.metrics.tgs_ok.get(),
+            errors: hooks.metrics.errors.get(),
             errors_by_kind: ErrorKindCounts {
                 bad_password: k[0].get(),
                 unknown_principal: k[1].get(),
@@ -265,51 +392,51 @@ impl<S: Store> Kdc<S> {
         self.role
     }
 
-    /// Access the database (the admin server shares the master's DB).
-    pub fn db(&self) -> &PrincipalDb<S> {
-        &self.db
-    }
-
-    /// Snapshot the database as kprop dump text. This is the *only* work a
-    /// propagation driver should do under the KDC lock: take the textual
-    /// snapshot, drop the guard, then seal and transfer the owned string
-    /// (L8 lock discipline — `kprop_build(master.lock().db())` would hold
-    /// every authentication request hostage for the whole transfer).
+    /// Snapshot the database as kprop dump text. Serves from the read
+    /// snapshot — no lock is held while the text is built, so a slow
+    /// propagation round never stalls authentication (L8 lock discipline).
     pub fn dump_text(&self) -> Result<String, krb_kdb::DbError> {
-        krb_kdb::dump::dump(&self.db)
+        let snap = self.snapshot();
+        krb_kdb::dump::dump(snap.db())
     }
 
-    /// Mutable database access — only meaningful on the master, where the
-    /// KDBM runs (paper §5: "changes may only be made to the master").
-    ///
-    /// The caller may change any key (a `change_key` bumps the version,
-    /// but a krbtgt rollover would otherwise leave the TGT cache stale),
-    /// so every cached schedule is dropped up front and rebuilt on demand.
-    pub fn db_mut(&mut self) -> Option<&mut PrincipalDb<S>> {
+    /// Run `f` against the writable database — only meaningful on the
+    /// master, where the KDBM runs (paper §5: "changes may only be made
+    /// to the master"); `None` on a slave. When `f` returns, a fresh
+    /// snapshot is built and swapped in: readers switch atomically from
+    /// the pre-write view to the post-write view, and every cached key
+    /// schedule (krbtgt included — a rollover must not serve a stale
+    /// schedule) dies with the old snapshot.
+    pub fn with_db_mut<R>(&self, f: impl FnOnce(&mut PrincipalDb<S>) -> R) -> Option<R> {
         match self.role {
-            KdcRole::Master => {
-                self.tgt_cache = None;
-                self.sched_cache.clear();
-                Some(&mut self.db)
-            }
             KdcRole::Slave => None,
+            KdcRole::Master => {
+                let mut db = self.primary.lock();
+                let out = f(&mut db);
+                let snap = build_snapshot(&db, &self.config.realm);
+                *self.snapshot.write() = Arc::new(snap);
+                self.swaps.inc();
+                Some(out)
+            }
         }
     }
 
-    /// Replace the database contents (slave side of propagation). All
-    /// cached schedules are invalidated: the incoming dump may carry new
-    /// keys for any principal, including krbtgt.
-    pub fn install_db(&mut self, db: PrincipalDb<S>) {
-        self.db = db;
-        self.sched_cache.clear();
-        self.tgt_cache = warm_tgt_cache(&self.db, &self.config.realm);
+    /// Replace the database contents (slave side of propagation). The new
+    /// snapshot is built *before* the swap: a request racing the install
+    /// serves either the complete old database or the complete new one.
+    pub fn install_db(&self, db: PrincipalDb<S>) {
+        let snap = build_snapshot(&db, &self.config.realm);
+        let mut primary = self.primary.lock();
+        *primary = db;
+        *self.snapshot.write() = Arc::new(snap);
+        self.swaps.inc();
     }
 
     /// Handle one datagram; always returns a reply (success or KRB_ERROR).
     /// End-to-end handling latency (decode through encode, success or
     /// error) is recorded per exchange into `kdc_as_latency_us` /
     /// `kdc_tgs_latency_us`.
-    pub fn handle(&mut self, request: &[u8], sender_addr: HostAddr) -> Vec<u8> {
+    pub fn handle(&self, request: &[u8], sender_addr: HostAddr) -> Vec<u8> {
         self.handle_traced(request, sender_addr, None)
     }
 
@@ -317,7 +444,7 @@ impl<S: Store> Kdc<S> {
     /// events for this exchange (success or per-kind failure) carry it, so
     /// `krb-trace` can place the KDC hop inside the login's timeline.
     pub fn handle_traced(
-        &mut self,
+        &self,
         request: &[u8],
         sender_addr: HostAddr,
         trace: Option<TraceId>,
@@ -327,17 +454,19 @@ impl<S: Store> Kdc<S> {
             Tgs,
             Other,
         }
-        let span = Span::start(&self.clock_us, &self.metrics.as_latency_us);
+        let snap = self.snapshot();
+        let hooks = self.hooks();
+        let span = Span::start(&hooks.clock_us, &hooks.metrics.as_latency_us);
         // `who` names the exchange's subject for the journal: the client
         // principal (AS) or the target service (TGS) — never key material.
         let (kind, result, who) = match Message::decode(request) {
             Ok(Message::AsReq(req)) => {
                 let who = req.cname.clone();
-                (ReqKind::As, self.handle_as(&req, sender_addr), Some(("client", who)))
+                (ReqKind::As, self.handle_as(&snap, &hooks, &req, sender_addr), Some(("client", who)))
             }
             Ok(Message::TgsReq(req)) => {
                 let who = format!("{}.{}", req.sname, req.sinstance);
-                (ReqKind::Tgs, self.handle_tgs(&req, sender_addr), Some(("service", who)))
+                (ReqKind::Tgs, self.handle_tgs(&snap, &hooks, &req, sender_addr), Some(("service", who)))
             }
             Ok(_) => (ReqKind::Other, Err(ErrorCode::RdApUndec), None),
             Err(e) => (ReqKind::Other, Err(e), None),
@@ -350,7 +479,7 @@ impl<S: Store> Kdc<S> {
                 Some(EventKind::AsOk)
             }
             ReqKind::Tgs => {
-                span.finish_into(&self.metrics.tgs_latency_us);
+                span.finish_into(&hooks.metrics.tgs_latency_us);
                 Some(EventKind::TgsOk)
             }
             ReqKind::Other => {
@@ -360,19 +489,21 @@ impl<S: Store> Kdc<S> {
         };
         match result {
             Ok(reply) => {
-                if let (Some(journal), Some(event)) = (&self.journal, ok_kind) {
-                    let mut fields: Vec<(&'static str, Field)> = Vec::with_capacity(1);
-                    if let Some((key, value)) = who {
-                        fields.push((key, Field::from(value)));
+                if hooks.journal.attached() {
+                    if let Some(event) = ok_kind {
+                        let mut fields: Vec<(&'static str, Field)> = Vec::with_capacity(1);
+                        if let Some((key, value)) = who {
+                            fields.push((key, Field::from(value)));
+                        }
+                        hooks.journal.record((hooks.clock_us)(), trace, event, fields);
                     }
-                    journal.record((self.clock_us)(), trace, Component::Kdc, event, fields);
                 }
                 reply
             }
             Err(code) => {
-                self.metrics.errors.inc();
-                self.metrics.error_kinds[code.kind_index()].inc();
-                if let Some(journal) = &self.journal {
+                hooks.metrics.errors.inc();
+                hooks.metrics.error_kinds[code.kind_index()].inc();
+                if hooks.journal.attached() {
                     let mut fields: Vec<(&'static str, Field)> = vec![
                         ("err_kind", Field::from(code.kind())),
                         ("code", Field::from(code as u8)),
@@ -380,13 +511,7 @@ impl<S: Store> Kdc<S> {
                     if let Some((key, value)) = who {
                         fields.push((key, Field::from(value)));
                     }
-                    journal.record(
-                        (self.clock_us)(),
-                        trace,
-                        Component::Kdc,
-                        EventKind::KdcErr,
-                        fields,
-                    );
+                    hooks.journal.record((hooks.clock_us)(), trace, EventKind::KdcErr, fields);
                 }
                 Message::error(code, code.describe())
             }
@@ -396,20 +521,26 @@ impl<S: Store> Kdc<S> {
     /// The initial ticket exchange (Fig. 5). The request is in the clear;
     /// the reply is "encrypted in the client's private key" so that only
     /// someone knowing the password can use it.
-    fn handle_as(&mut self, req: &AsReq, sender: HostAddr) -> KrbResult<Vec<u8>> {
+    fn handle_as(
+        &self,
+        snap: &KdcSnapshot,
+        hooks: &KdcHooks,
+        req: &AsReq,
+        sender: HostAddr,
+    ) -> KrbResult<Vec<u8>> {
         if req.crealm != self.config.realm {
             return Err(ErrorCode::KdcUnknownRealm);
         }
         let now = (self.clock)();
-        let (centry, csched) = self.lookup_sched(&req.cname, &req.cinstance, now)?;
+        let (centry, csched) = lookup_sched(snap, hooks, &req.cname, &req.cinstance, now)?;
         // For the TGT request the service is krbtgt.<realm>; for AS-only
         // services (KDBM) it is the service itself. Cross-realm TGTs are
         // NOT available from the AS — only via the TGS.
-        let (sentry, ssched) = self.lookup_sched(&req.sname, &req.sinstance, now)?;
+        let (sentry, ssched) = lookup_sched(snap, hooks, &req.sname, &req.sinstance, now)?;
         let client = Principal::new(&req.cname, &req.cinstance, &req.crealm)?;
         let service = Principal::new(&req.sname, &req.sinstance, &self.config.realm)?;
 
-        let session_key = self.keygen.generate();
+        let session_key = self.keygen.lock().generate();
         let life = req
             .life
             .min(centry.max_life)
@@ -435,7 +566,7 @@ impl<S: Store> Kdc<S> {
         };
         let enc = seal_with(Mode::Pcbc, &csched, &[0u8; 8], &part.encode())
             .map_err(|_| ErrorCode::KdcGenErr)?;
-        self.metrics.as_ok.inc();
+        hooks.metrics.as_ok.inc();
         Ok(Message::KdcRep(KdcRep { enc_part: enc }).encode())
     }
 
@@ -443,13 +574,19 @@ impl<S: Store> Kdc<S> {
     /// exactly as any server verifies an AP_REQ, then issue a ticket for the
     /// target with lifetime "the minimum of the remaining life for the
     /// ticket-granting ticket and the default for the service".
-    fn handle_tgs(&mut self, req: &TgsReq, sender: HostAddr) -> KrbResult<Vec<u8>> {
+    fn handle_tgs(
+        &self,
+        snap: &KdcSnapshot,
+        hooks: &KdcHooks,
+        req: &TgsReq,
+        sender: HostAddr,
+    ) -> KrbResult<Vec<u8>> {
         let now = (self.clock)();
         // Which key sealed the presented TGT? Ours — served from the
-        // construction-time cache, no lookup and no schedule build — or an
+        // snapshot's warm cache, no lookup and no schedule build — or an
         // inter-realm key (cold path: schedule built on the spot).
-        let (tgt_sched, foreign) = if req.ap.realm == self.config.realm {
-            let (_, sched) = self.tgt_sched(now)?;
+        let (verifier_sched, foreign) = if req.ap.realm == self.config.realm {
+            let (_, sched) = tgt_sched(snap, now)?;
             (sched, false)
         } else {
             let k = self
@@ -459,8 +596,14 @@ impl<S: Store> Kdc<S> {
             (Arc::new(Scheduled::new(k)), true)
         };
         let tgs_principal = Principal::tgs(&self.config.realm, &self.config.realm);
-        let verified =
-            krb_rd_req_sched(&req.ap, &tgs_principal, &tgt_sched, sender, now, &mut self.replay)?;
+        let verified = krb_rd_req_sched(
+            &req.ap,
+            &tgs_principal,
+            &verifier_sched,
+            sender,
+            now,
+            &mut &self.replay,
+        )?;
         // "the remote ticket-granting server recognizes that the request is
         // not from its own realm" — the client keeps its original realm.
         let client = verified.client.clone();
@@ -492,7 +635,7 @@ impl<S: Store> Kdc<S> {
                 .ok_or(ErrorCode::KdcUnknownRealm)?;
             (Arc::new(Scheduled::new(k)), self.config.default_max_life, 1)
         } else {
-            let (sentry, sched) = self.lookup_sched(&req.sname, &req.sinstance, now)?;
+            let (sentry, sched) = lookup_sched(snap, hooks, &req.sname, &req.sinstance, now)?;
             if sentry.attributes & ATTR_NO_TGS != 0 {
                 // §5.1: "the ticket-granting service will not issue tickets
                 // for it. Instead, the authentication service itself must be
@@ -507,7 +650,7 @@ impl<S: Store> Kdc<S> {
         };
         let service = Principal::new(&req.sname, &req.sinstance, &self.config.realm)?;
 
-        let session_key = self.keygen.generate();
+        let session_key = self.keygen.lock().generate();
         let tgt_remaining = remaining_life(verified.ticket.timestamp, verified.ticket.life, now);
         let life = req.life.min(tgt_remaining).min(smax_life);
         let ticket = Ticket::new(&service, &client, sender, now, life, *session_key.as_bytes())
@@ -529,69 +672,98 @@ impl<S: Store> Kdc<S> {
         // was already built to open the authenticator; reuse it here.
         let enc = seal_with(Mode::Pcbc, &verified.session_sched, &[0u8; 8], &part.encode())
             .map_err(|_| ErrorCode::KdcGenErr)?;
-        self.metrics.tgs_ok.inc();
+        hooks.metrics.tgs_ok.inc();
         Ok(Message::KdcRep(KdcRep { enc_part: enc }).encode())
-    }
-
-    /// Look up a principal and hand back its record plus its key schedule,
-    /// served from the LRU when the `(name, instance, key_version)` tuple
-    /// has been seen since the last invalidation.
-    fn lookup_sched(
-        &mut self,
-        name: &str,
-        instance: &str,
-        now: u32,
-    ) -> KrbResult<(PrincipalEntry, Arc<Scheduled>)> {
-        let entry = match self.db.get(name, instance) {
-            Ok(Some(e)) => e,
-            Ok(None) => return Err(ErrorCode::KdcPrUnknown),
-            Err(_) => return Err(ErrorCode::KdcGenErr),
-        };
-        if entry.attributes & ATTR_DISABLED != 0 {
-            return Err(ErrorCode::KdcNullKey);
-        }
-        if entry.expiration < now {
-            return Err(if name == "krbtgt" || instance_is_service(&entry) {
-                ErrorCode::KdcServiceExp
-            } else {
-                ErrorCode::KdcNameExp
-            });
-        }
-        let cache_key = (entry.name.clone(), entry.instance.clone(), entry.key_version);
-        if let Some(sched) = self.sched_cache.get(&cache_key) {
-            self.metrics.sched_hits.inc();
-            return Ok((entry, sched));
-        }
-        self.metrics.sched_misses.inc();
-        let key = self.db.decrypt_key(&entry.key_encrypted);
-        let sched = Arc::new(Scheduled::new(&key));
-        self.sched_cache.insert(cache_key, Arc::clone(&sched));
-        Ok((entry, sched))
-    }
-
-    /// The krbtgt entry + schedule, from the construction-time cache.
-    /// Policy checks (disabled, expiration) still run per request — only
-    /// the lookup and the schedule build are amortized.
-    fn tgt_sched(&mut self, now: u32) -> KrbResult<(PrincipalEntry, Arc<Scheduled>)> {
-        if self.tgt_cache.is_none() {
-            // Refill after an invalidation (admin write or db swap).
-            self.tgt_cache = warm_tgt_cache(&self.db, &self.config.realm);
-        }
-        let (entry, sched) = self.tgt_cache.as_ref().ok_or(ErrorCode::KdcPrUnknown)?;
-        if entry.attributes & ATTR_DISABLED != 0 {
-            return Err(ErrorCode::KdcNullKey);
-        }
-        if entry.expiration < now {
-            return Err(ErrorCode::KdcServiceExp);
-        }
-        Ok((entry.clone(), Arc::clone(sched)))
     }
 }
 
+/// Build a fresh read snapshot from `db`. A copy failure (file-backed
+/// store gone bad mid-read) degrades to an *empty* snapshot — every
+/// request answers `KdcPrUnknown` instead of panicking on a server path,
+/// and the next successful write swaps a good snapshot back in.
+fn build_snapshot<S: Store>(db: &PrincipalDb<S>, realm: &str) -> KdcSnapshot {
+    let mem = match db.snapshot_mem() {
+        Ok(mem) => mem,
+        Err(_) => PrincipalDb::empty_mem(db.master_key()),
+    };
+    let tgt_cache = warm_tgt_cache(&mem, realm);
+    KdcSnapshot {
+        db: mem,
+        tgt_cache,
+        sched_cache: Mutex::new(SchedCache::new()),
+    }
+}
+
+/// Look up a principal in the snapshot and hand back its record plus its
+/// key schedule, served from the snapshot's LRU when the
+/// `(name, instance, key_version)` tuple has been seen before.
+///
+/// The schedule build runs *outside* the cache lock (double-checked): two
+/// threads may race to build the same schedule, but only one insert wins
+/// and both get a correct schedule. Single-threaded, hit/miss totals are
+/// exactly the old sequential counts.
+fn lookup_sched(
+    snap: &KdcSnapshot,
+    hooks: &KdcHooks,
+    name: &str,
+    instance: &str,
+    now: u32,
+) -> KrbResult<(PrincipalEntry, Arc<Scheduled>)> {
+    let entry = match snap.db.get(name, instance) {
+        Ok(Some(e)) => e,
+        Ok(None) => return Err(ErrorCode::KdcPrUnknown),
+        Err(_) => return Err(ErrorCode::KdcGenErr),
+    };
+    if entry.attributes & ATTR_DISABLED != 0 {
+        return Err(ErrorCode::KdcNullKey);
+    }
+    if entry.expiration < now {
+        return Err(if name == "krbtgt" || instance_is_service(&entry) {
+            ErrorCode::KdcServiceExp
+        } else {
+            ErrorCode::KdcNameExp
+        });
+    }
+    let cache_key = (entry.name.clone(), entry.instance.clone(), entry.key_version);
+    {
+        let mut cache = snap.sched_cache.lock();
+        if let Some(sched) = cache.get(&cache_key) {
+            hooks.metrics.sched_hits.inc();
+            return Ok((entry, sched));
+        }
+    }
+    // Miss: build the schedule with no lock held, then re-check.
+    let key = snap.db.decrypt_key(&entry.key_encrypted);
+    let sched = Arc::new(Scheduled::new(&key));
+    let mut cache = snap.sched_cache.lock();
+    if let Some(existing) = cache.get(&cache_key) {
+        hooks.metrics.sched_hits.inc();
+        return Ok((entry, existing));
+    }
+    hooks.metrics.sched_misses.inc();
+    cache.insert(cache_key, Arc::clone(&sched));
+    Ok((entry, sched))
+}
+
+/// The krbtgt entry + schedule, from the snapshot's warm cache. Policy
+/// checks (disabled, expiration) still run per request — only the lookup
+/// and the schedule build are amortized.
+fn tgt_sched(snap: &KdcSnapshot, now: u32) -> KrbResult<(PrincipalEntry, Arc<Scheduled>)> {
+    let (entry, sched) = snap.tgt_cache.as_ref().ok_or(ErrorCode::KdcPrUnknown)?;
+    if entry.attributes & ATTR_DISABLED != 0 {
+        return Err(ErrorCode::KdcNullKey);
+    }
+    if entry.expiration < now {
+        return Err(ErrorCode::KdcServiceExp);
+    }
+    Ok((entry.clone(), Arc::clone(sched)))
+}
+
 /// Fetch and schedule the realm's krbtgt key. `None` when the principal is
-/// missing (an empty database being provisioned) — resolved lazily later.
-fn warm_tgt_cache<S: Store>(
-    db: &PrincipalDb<S>,
+/// missing (an empty database being provisioned) — the next snapshot swap
+/// after it is added warms the cache.
+fn warm_tgt_cache(
+    db: &PrincipalDb<MemStore>,
     realm: &str,
 ) -> Option<(PrincipalEntry, Arc<Scheduled>)> {
     let entry = db.get("krbtgt", realm).ok().flatten()?;
@@ -639,7 +811,7 @@ mod tests {
 
     #[test]
     fn as_exchange_full_round_trip() {
-        let mut kdc = test_kdc();
+        let kdc = test_kdc();
         let client = principal("bcn");
         let tgs = Principal::tgs(REALM, REALM);
         let req = build_as_req(&client, &tgs, 96, NOW);
@@ -652,7 +824,7 @@ mod tests {
 
     #[test]
     fn wrong_password_cannot_use_reply() {
-        let mut kdc = test_kdc();
+        let kdc = test_kdc();
         let req = build_as_req(&principal("bcn"), &Principal::tgs(REALM, REALM), 96, NOW);
         let reply = kdc.handle(&req, WS);
         assert_eq!(
@@ -663,7 +835,7 @@ mod tests {
 
     #[test]
     fn unknown_principal_rejected() {
-        let mut kdc = test_kdc();
+        let kdc = test_kdc();
         let req = build_as_req(&principal("mallory"), &Principal::tgs(REALM, REALM), 96, NOW);
         let reply = kdc.handle(&req, WS);
         assert_eq!(
@@ -675,11 +847,12 @@ mod tests {
 
     #[test]
     fn expired_principal_rejected() {
-        let mut kdc = test_kdc();
-        kdc.db_mut()
-            .unwrap()
-            .add_principal("olduser", "", &string_to_key("pw"), NOW - 1, 96, NOW, "t.")
-            .unwrap();
+        let kdc = test_kdc();
+        kdc.with_db_mut(|db| {
+            db.add_principal("olduser", "", &string_to_key("pw"), NOW - 1, 96, NOW, "t.")
+                .unwrap();
+        })
+        .unwrap();
         let req = build_as_req(&principal("olduser"), &Principal::tgs(REALM, REALM), 96, NOW);
         let reply = kdc.handle(&req, WS);
         assert_eq!(
@@ -691,7 +864,7 @@ mod tests {
     #[test]
     fn full_three_phase_protocol() {
         // Figure 9: AS exchange, TGS exchange, then the ticket is usable.
-        let mut kdc = test_kdc();
+        let kdc = test_kdc();
         let client = principal("bcn");
         let tgs = Principal::tgs(REALM, REALM);
 
@@ -749,7 +922,7 @@ mod tests {
 
     #[test]
     fn tgs_replay_detected() {
-        let mut kdc = test_kdc();
+        let kdc = test_kdc();
         let client = principal("bcn");
         let tgt = {
             let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
@@ -764,7 +937,7 @@ mod tests {
 
     #[test]
     fn tgs_rejects_request_from_wrong_address() {
-        let mut kdc = test_kdc();
+        let kdc = test_kdc();
         let client = principal("bcn");
         let tgt = {
             let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
@@ -778,7 +951,7 @@ mod tests {
 
     #[test]
     fn foreign_realm_as_request_rejected() {
-        let mut kdc = test_kdc();
+        let kdc = test_kdc();
         let foreign = Principal::parse("bcn@LCS.MIT.EDU", REALM).unwrap();
         let req = build_as_req(&foreign, &Principal::tgs(REALM, REALM), 96, NOW);
         let reply = kdc.handle(&req, WS);
@@ -790,14 +963,14 @@ mod tests {
 
     #[test]
     fn no_tgs_flag_forces_as_only() {
-        let mut kdc = test_kdc();
-        {
-            let db = kdc.db_mut().unwrap();
+        let kdc = test_kdc();
+        kdc.with_db_mut(|db| {
             db.add_principal("changepw", "kerberos", &string_to_key("kdbm"), NOW * 2, 12, NOW, "i.").unwrap();
             let mut e = db.get("changepw", "kerberos").unwrap().unwrap();
             e.attributes |= ATTR_NO_TGS;
             db.update_entry(&e).unwrap();
-        }
+        })
+        .unwrap();
         let client = principal("bcn");
         // Via TGS: refused.
         let tgt = {
@@ -850,7 +1023,7 @@ mod tests {
 
     #[test]
     fn error_taxonomy_splits_counts_by_kind() {
-        let mut kdc = test_kdc();
+        let kdc = test_kdc();
         let tgs = Principal::tgs(REALM, REALM);
         kdc.handle(&build_as_req(&principal("mallory"), &tgs, 96, NOW), WS);
         kdc.handle(b"not a kerberos message", WS);
@@ -875,7 +1048,7 @@ mod tests {
 
     #[test]
     fn journal_records_exchanges_with_trace_and_error_kind() {
-        let mut kdc = test_kdc();
+        let kdc = test_kdc();
         let journal = Journal::shared();
         kdc.set_journal(Arc::clone(&journal));
         let trace = TraceId(0xABC);
@@ -909,8 +1082,73 @@ mod tests {
     }
 
     #[test]
+    fn sharded_journal_routes_by_trace_id() {
+        let kdc = test_kdc();
+        let shards = vec![Journal::shared(), Journal::shared()];
+        kdc.set_journal_shards(shards.clone());
+        let client = principal("bcn");
+        let tgs = Principal::tgs(REALM, REALM);
+        let as_req = build_as_req(&client, &tgs, 96, NOW);
+        // Trace 4 → shard 0, trace 5 → shard 1, traceless → shard 0.
+        kdc.handle_traced(&as_req, WS, Some(TraceId(4)));
+        kdc.handle_traced(&as_req, WS, Some(TraceId(5)));
+        kdc.handle(b"not a kerberos message", WS);
+        assert_eq!(shards[0].dump().len(), 2, "trace 4 + traceless");
+        assert_eq!(shards[1].dump().len(), 1, "trace 5");
+        assert_eq!(shards[1].dump()[0].trace, Some(TraceId(5)));
+    }
+
+    #[test]
+    fn snapshot_swap_counts_and_serves_new_principals() {
+        let kdc = test_kdc();
+        assert_eq!(kdc.telemetry().counter_value("kdc_store_swaps_total"), 0);
+        kdc.with_db_mut(|db| {
+            db.add_principal("newuser", "", &string_to_key("np"), NOW * 2, 96, NOW, "t.")
+                .unwrap();
+        })
+        .unwrap();
+        assert_eq!(kdc.telemetry().counter_value("kdc_store_swaps_total"), 1);
+        // A snapshot taken *before* further writes keeps serving its view.
+        let before = kdc.snapshot();
+        kdc.with_db_mut(|db| {
+            db.delete("newuser", "").unwrap();
+        })
+        .unwrap();
+        assert_eq!(kdc.telemetry().counter_value("kdc_store_swaps_total"), 2);
+        assert!(before.db().exists("newuser", "").unwrap(), "old view immutable");
+        assert!(!kdc.snapshot().db().exists("newuser", "").unwrap(), "new view swapped in");
+    }
+
+    #[test]
+    fn per_stripe_replay_counters_render_in_registry() {
+        let kdc = test_kdc();
+        let client = principal("bcn");
+        let tgt = {
+            let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
+            read_as_reply_with_password(&kdc.handle(&req, WS), "bcn-password", NOW).unwrap()
+        };
+        let req = build_tgs_req(&tgt, &client, WS, NOW, &principal("rlogin.priam"), 96);
+        kdc.handle(&req, WS);
+        kdc.handle(&req, WS); // replay
+        let text = kdc.telemetry().render();
+        assert!(text.contains("kdc_replay_hits_total 1"), "{text}");
+        assert!(
+            text.contains("kdc_replay_stripe_hits_total{stripe=\"00\"}"),
+            "per-stripe counters are pre-registered:\n{text}"
+        );
+        // Exactly one stripe took the hit.
+        let stripe_total: u64 = (0..kerberos::REPLAY_STRIPES)
+            .map(|i| {
+                kdc.telemetry()
+                    .counter_value(&format!("kdc_replay_stripe_hits_total{{stripe=\"{i:02}\"}}"))
+            })
+            .sum();
+        assert_eq!(stripe_total, 1);
+    }
+
+    #[test]
     fn garbage_requests_record_no_latency_sample() {
-        let mut kdc = test_kdc();
+        let kdc = test_kdc();
         kdc.handle(b"not a kerberos message", WS);
         let text = kdc.telemetry().render();
         assert!(text.contains("kdc_as_latency_us_count 0"));
@@ -921,13 +1159,13 @@ mod tests {
     #[test]
     fn slave_serves_reads_but_refuses_writes() {
         let kdc = test_kdc();
-        let dump = krb_kdb::dump::dump(kdc.db()).unwrap();
+        let dump = kdc.dump_text().unwrap();
         let entries = krb_kdb::dump::parse(&dump).unwrap();
         let mut store = MemStore::new();
         krb_kdb::dump::install(&mut store, &entries).unwrap();
         let slave_db = PrincipalDb::open(store, string_to_key("master")).unwrap();
-        let mut slave = Kdc::new(slave_db, RealmConfig::new(REALM), fixed_clock(NOW), KdcRole::Slave, 8);
-        assert!(slave.db_mut().is_none(), "slave database is read-only");
+        let slave = Kdc::new(slave_db, RealmConfig::new(REALM), fixed_clock(NOW), KdcRole::Slave, 8);
+        assert!(slave.with_db_mut(|_| ()).is_none(), "slave database is read-only");
 
         let req = build_as_req(&principal("bcn"), &Principal::tgs(REALM, REALM), 96, NOW);
         let reply = slave.handle(&req, WS);
@@ -936,7 +1174,7 @@ mod tests {
 
     #[test]
     fn garbage_request_gets_error_reply() {
-        let mut kdc = test_kdc();
+        let kdc = test_kdc();
         let reply = kdc.handle(b"not a kerberos message", WS);
         match Message::decode(&reply).unwrap() {
             Message::Err(e) => assert_eq!(e.code, ErrorCode::RdApVersion),

@@ -1,6 +1,11 @@
 //! Adapters binding a [`Kdc`] to the network substrate, plus a deployment
 //! helper that stands up a realm (master + slaves) on a [`Router`] the way
 //! Figure 10 draws it.
+//!
+//! Since the concurrent-KDC refactor (DESIGN.md §15) the KDC handles
+//! requests through `&self`, so the service adapter and the deployment
+//! share plain `Arc<Kdc>` handles — there is no realm-wide lock left to
+//! serialize behind.
 
 use crate::realm::RealmConfig;
 use crate::server::{shared_clock, Kdc, KdcRole};
@@ -8,33 +13,32 @@ use kerberos::HostAddr;
 use krb_kdb::{dump, DbError, MemStore, PrincipalDb, Store};
 use krb_netsim::{ports, Endpoint, Packet, Router, Service};
 use krb_crypto::DesKey;
-use parking_lot::Mutex;
 use std::sync::atomic::AtomicU32;
 use std::sync::Arc;
 
 /// Wrap a KDC as a datagram [`Service`]: the sender address the protocol
 /// checks is the packet's (spoofable) source — exactly the property the
 /// authenticator/ticket address comparison exists to harden.
-pub struct KdcService<S: Store + Send>(pub Arc<Mutex<Kdc<S>>>);
+pub struct KdcService<S: Store + Send + Sync>(pub Arc<Kdc<S>>);
 
-impl<S: Store + Send> Service for KdcService<S> {
+impl<S: Store + Send + Sync> Service for KdcService<S> {
     fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
         let sender: HostAddr = req.src.addr.0;
         // The packet's out-of-band trace metadata flows into the KDC's
         // journal events; the wire payload is untouched.
-        Some(self.0.lock().handle_traced(&req.payload, sender, req.trace))
+        Some(self.0.handle_traced(&req.payload, sender, req.trace))
     }
 }
 
 /// A realm deployed on a simulated network: the master KDC and any number
 /// of slave replicas, all answering on [`ports::KDC`].
 pub struct Deployment {
-    /// Shared handle to the master KDC (the KDBM needs `db_mut`).
-    pub master: Arc<Mutex<Kdc<MemStore>>>,
+    /// Shared handle to the master KDC (the KDBM needs `with_db_mut`).
+    pub master: Arc<Kdc<MemStore>>,
     /// Master host address.
     pub master_addr: HostAddr,
     /// Slave KDC handles with their host addresses.
-    pub slaves: Vec<(HostAddr, Arc<Mutex<Kdc<MemStore>>>)>,
+    pub slaves: Vec<(HostAddr, Arc<Kdc<MemStore>>)>,
     /// The realm name.
     pub realm: String,
     /// The clock cell every KDC host reads (advance to move realm time).
@@ -61,19 +65,16 @@ impl Deployment {
         let clock_cell = Arc::new(AtomicU32::new(start_time));
         let master_key = *master_db.master_key();
         // Dump once, while the database is still exclusively owned: the
-        // text cannot change between slave installs, and taking the dump
-        // after the db goes behind the realm mutex would hold the master
-        // lock across the whole transfer (L8 lock discipline — the stall
-        // ROADMAP-1's concurrent KDC exists to eliminate).
+        // text cannot change between slave installs.
         let text = dump::dump(&master_db)?;
         let entries = dump::parse(&text)?;
-        let master = Arc::new(Mutex::new(Kdc::new(
+        let master = Arc::new(Kdc::new(
             master_db,
             config.clone(),
             shared_clock(Arc::clone(&clock_cell)),
             KdcRole::Master,
             0xA11CE,
-        )));
+        ));
         let master_ep = Endpoint::new(base_addr, ports::KDC);
         router.serve(master_ep, KdcService(Arc::clone(&master)));
 
@@ -82,13 +83,13 @@ impl Deployment {
             let mut store = MemStore::new();
             dump::install(&mut store, &entries)?;
             let db = PrincipalDb::open(store, master_key)?;
-            let slave = Arc::new(Mutex::new(Kdc::new(
+            let slave = Arc::new(Kdc::new(
                 db,
                 config.clone(),
                 shared_clock(Arc::clone(&clock_cell)),
                 KdcRole::Slave,
                 0xB0B + i as u64,
-            )));
+            ));
             let mut addr = base_addr;
             addr[3] = addr[3].wrapping_add(1 + i as u8);
             router.serve(Endpoint::new(addr, ports::KDC), KdcService(Arc::clone(&slave)));
@@ -120,21 +121,18 @@ impl Deployment {
         clock_us: krb_telemetry::ClockUs,
     ) {
         self.master
-            .lock()
             .set_telemetry(Arc::clone(&registry), Arc::clone(&clock_us));
         for (_, slave) in &self.slaves {
-            slave
-                .lock()
-                .set_telemetry(Arc::clone(&registry), Arc::clone(&clock_us));
+            slave.set_telemetry(Arc::clone(&registry), Arc::clone(&clock_us));
         }
     }
 
     /// Attach one journal to every KDC in the realm, so traces that fail
     /// over to a slave still journal their `as_ok`/`kdc_err` hop.
     pub fn set_journal_all(&self, journal: Arc<krb_telemetry::Journal>) {
-        self.master.lock().set_journal(Arc::clone(&journal));
+        self.master.set_journal(Arc::clone(&journal));
         for (_, slave) in &self.slaves {
-            slave.lock().set_journal(Arc::clone(&journal));
+            slave.set_journal(Arc::clone(&journal));
         }
     }
 

@@ -44,7 +44,7 @@ fn paired_kdcs() -> (Kdc<MemStore>, Kdc<MemStore>) {
 
 #[test]
 fn athena_user_reaches_lcs_service() {
-    let (mut athena, mut lcs) = paired_kdcs();
+    let (athena, lcs) = paired_kdcs();
     let user = Principal::parse("steiner", ATHENA).unwrap();
 
     // Phase 1: local login.
@@ -74,7 +74,7 @@ fn athena_user_reaches_lcs_service() {
 
 #[test]
 fn unpaired_realm_is_refused() {
-    let (mut athena, _) = paired_kdcs();
+    let (athena, _) = paired_kdcs();
     let user = Principal::parse("steiner", ATHENA).unwrap();
     let as_req = build_as_req(&user, &Principal::tgs(ATHENA, ATHENA), 96, NOW);
     let tgt = read_as_reply_with_password(&athena.handle(&as_req, WS), "steiner-pw", NOW).unwrap();
@@ -92,7 +92,7 @@ fn local_tgt_does_not_work_at_remote_realm() {
     // The ATHENA TGT is sealed in ATHENA's krbtgt key; presenting it to LCS
     // claiming it came from ATHENA makes LCS try the inter-realm key, which
     // fails to decrypt a local TGT.
-    let (mut athena, mut lcs) = paired_kdcs();
+    let (athena, lcs) = paired_kdcs();
     let user = Principal::parse("steiner", ATHENA).unwrap();
     let as_req = build_as_req(&user, &Principal::tgs(ATHENA, ATHENA), 96, NOW);
     let tgt = read_as_reply_with_password(&athena.handle(&as_req, WS), "steiner-pw", NOW).unwrap();
@@ -108,7 +108,7 @@ fn remote_user_ticket_is_distinguishable_by_service() {
     // "Services in the remote realm can choose whether to honor those
     // credentials" — the service sees client.realm != its own realm and may
     // apply its own policy.
-    let (mut athena, mut lcs) = paired_kdcs();
+    let (athena, lcs) = paired_kdcs();
     let user = Principal::parse("steiner", ATHENA).unwrap();
     let as_req = build_as_req(&user, &Principal::tgs(ATHENA, ATHENA), 96, NOW);
     let tgt = read_as_reply_with_password(&athena.handle(&as_req, WS), "steiner-pw", NOW).unwrap();
@@ -143,8 +143,8 @@ fn realm_chaining_is_refused() {
 
     let athena_db = realm_db(ATHENA, "ma", &[("steiner", "", "steiner-pw")]);
     let lcs_db = realm_db(LCS, "ml", &[]);
-    let mut athena = Kdc::new(athena_db, athena_cfg, fixed_clock(NOW), KdcRole::Master, 11);
-    let mut lcs = Kdc::new(lcs_db, lcs_cfg, fixed_clock(NOW), KdcRole::Master, 12);
+    let athena = Kdc::new(athena_db, athena_cfg, fixed_clock(NOW), KdcRole::Master, 11);
+    let lcs = Kdc::new(lcs_db, lcs_cfg, fixed_clock(NOW), KdcRole::Master, 12);
 
     // Athena user gets a TGT for LCS (one hop: fine).
     let user = Principal::parse("steiner", ATHENA).unwrap();

@@ -26,7 +26,7 @@ proptest! {
     /// error), never panics, never replies with a ticket.
     #[test]
     fn arbitrary_bytes_never_panic_or_issue(data in proptest::collection::vec(any::<u8>(), 0..300)) {
-        let mut k = kdc();
+        let k = kdc();
         let reply = k.handle(&data, [1, 2, 3, 4]);
         match Message::decode(&reply).expect("reply must decode") {
             Message::Err(_) => {}
@@ -49,7 +49,7 @@ proptest! {
         let mut req = kerberos::build_as_req(&client, &tgs, 96, NOW);
         let i = idx % req.len();
         req[i] ^= flip;
-        let mut k = kdc();
+        let k = kdc();
         let reply = k.handle(&req, [1, 2, 3, 4]);
         prop_assert!(Message::decode(&reply).is_ok());
     }
@@ -57,7 +57,7 @@ proptest! {
     /// Truncations of a valid TGS request never panic.
     #[test]
     fn truncated_tgs_requests_never_panic(cut_ratio in 0.0f64..1.0) {
-        let mut k = kdc();
+        let k = kdc();
         let client = Principal::parse("bcn", REALM).unwrap();
         let tgs = Principal::tgs(REALM, REALM);
         let as_req = kerberos::build_as_req(&client, &tgs, 96, NOW);

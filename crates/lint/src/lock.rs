@@ -41,9 +41,10 @@ const NON_SYNC_RECEIVERS: &[&str] = &["stdout", "stderr", "stdin"];
 
 /// Callee names that are blocking / I/O-shaped in this workspace: netsim
 /// delivery (`send`, `rpc*`, `pump`, `recv`), kprop transfer production
-/// and framing (`kprop_build`, `dump`, `tcp_kprop_send`), and journal
-/// emission (`record`, `publish`) — each takes time proportional to
-/// payload or contends on another subsystem's lock.
+/// and framing (`kprop_build`, `dump`, `tcp_kprop_send`), journal
+/// emission (`record`, `publish`), and bulk crypto (`seal_with` runs DES
+/// over a whole payload) — each takes time proportional to payload or
+/// contends on another subsystem's lock.
 pub const BLOCKING_CALLS: &[&str] = &[
     "send",
     "send_traced",
@@ -56,14 +57,16 @@ pub const BLOCKING_CALLS: &[&str] = &[
     "publish",
     "pump",
     "recv",
+    "seal_with",
 ];
 
 /// The single declared lock order, outermost first. A nested acquisition
 /// is legal only if the inner lock's index here is strictly greater than
 /// the outer's.
 pub const LOCK_ORDER: &[&str] = &[
-    "master", "kdc", "slave", "kdbm", "ledger", "captured", "clients", "registry",
-    "journal", "metrics", "stripes", "state",
+    "master", "kdc", "slave", "kdbm", "primary", "snapshot", "hooks", "keygen",
+    "sched_cache", "ledger", "captured", "clients", "registry", "journal", "metrics",
+    "stripes", "state",
 ];
 
 fn rank(lock: &str) -> Option<usize> {

@@ -118,8 +118,8 @@ pub fn replay_captured_ap(
             // we model directly with krb_rd_req using the TGS key from the
             // master database.
             let tgt_key = {
-                let kdc = rig.dep.master.lock();
-                let (_, k) = kdc.db().get_with_key("krbtgt", "ATHENA.MIT.EDU").unwrap().unwrap();
+                let snap = rig.dep.master.snapshot();
+                let (_, k) = snap.db().get_with_key("krbtgt", "ATHENA.MIT.EDU").unwrap().unwrap();
                 k
             };
             return match krb_rd_req(&tgs.ap, &tgs_principal, &tgt_key, from_addr, now, replay_cache) {

@@ -537,7 +537,7 @@ pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
             }
             match krb_kdb::PrincipalDb::open(store, master_key) {
                 Ok(db) => {
-                    slave2.lock().install_db(db);
+                    slave2.install_db(db);
                     true
                 }
                 Err(_) => false,
@@ -701,11 +701,10 @@ pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
         drain(&mut router, ws_ep);
 
         // kprop round: master pushes its live database to every slave.
-        // Snapshot the dump under the lock, then seal and transfer the
-        // owned text with the lock released — `kprop_build(..lock()..)`
-        // would hold the master across the whole framing + rpc (L8).
+        // `dump_text` reads the master's atomically-swapped snapshot, so
+        // framing + transfer never hold any KDC lock.
         if config.kprop_every > 0 && op % config.kprop_every == config.kprop_every - 1 {
-            let text = dep.master.lock().dump_text().unwrap();
+            let text = dep.master.dump_text().unwrap();
             let packet = frame(&dep.master_key, text.as_bytes());
             for (i, (addr, _)) in dep.slaves.iter().enumerate() {
                 report.kprop_rounds += 1;

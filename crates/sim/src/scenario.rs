@@ -147,11 +147,10 @@ pub fn run_with_journal(config: ScenarioConfig, journal: Option<Arc<Journal>>) -
         if schedule.due(now_abs) {
             let trace = TraceId::derive(config.seed, report.propagations);
             let at_us = u64::from(now_abs) * 1_000_000;
-            // Snapshot the dump under the master lock, then frame and
-            // verify on the owned text with the lock released — building
-            // the packet through the guard would hold the master for the
-            // whole checksum pass (L8), stalling logins mid-propagation.
-            let text = dep.master.lock().dump_text().expect("dump");
+            // `dump_text` serves from the master's read snapshot — no
+            // lock is held across the framing + checksum pass, so logins
+            // keep flowing mid-propagation.
+            let text = dep.master.dump_text().expect("dump");
             let packet = frame(&dep.master_key, text.as_bytes());
             report.propagated_bytes += packet.len() as u64;
             if let Some(journal) = &journal {
@@ -171,7 +170,7 @@ pub fn run_with_journal(config: ScenarioConfig, journal: Option<Arc<Journal>>) -
                 let mut store = krb_kdb::MemStore::new();
                 krb_kdb::dump::install(&mut store, &entries).expect("install");
                 let db = krb_kdb::PrincipalDb::open(store, dep.master_key).expect("open");
-                slave.lock().install_db(db);
+                slave.install_db(db);
                 if let Some(journal) = &journal {
                     journal.record(
                         at_us,
@@ -260,13 +259,11 @@ pub fn run_with_journal(config: ScenarioConfig, journal: Option<Arc<Journal>>) -
         }
     }
 
-    report.kdc_load.push({
-        let m = dep.master.lock();
-        m.stats().as_ok + m.stats().tgs_ok
-    });
+    let m = dep.master.stats();
+    report.kdc_load.push(m.as_ok + m.tgs_ok);
     for (_, slave) in &dep.slaves {
-        let s = slave.lock();
-        report.kdc_load.push(s.stats().as_ok + s.stats().tgs_ok);
+        let s = slave.stats();
+        report.kdc_load.push(s.as_ok + s.tgs_ok);
     }
     report
 }

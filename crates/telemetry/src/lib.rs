@@ -36,7 +36,9 @@ pub mod metrics;
 pub mod registry;
 
 pub use clock::{fixed_clock_us, lcg_clock_us, shared_clock_us, wall_clock_us, ClockUs};
-pub use journal::{Component, Event, EventKind, Field, Journal, TraceCtx, TraceId};
+pub use journal::{
+    merge_journals, merge_render, Component, Event, EventKind, Field, Journal, TraceCtx, TraceId,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, LATENCY_BUCKETS_US};
 pub use registry::Registry;
 

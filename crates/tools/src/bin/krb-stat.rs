@@ -2,21 +2,31 @@
 //!
 //! ```text
 //! krb-stat [--iters N] [--users N] [--seed N] [--threads N] [--sim-clock]
-//!          [--smoke] [--out PATH] [--journal PATH]
+//!          [--shared] [--isolated] [--scale] [--smoke] [--out PATH]
+//!          [--journal PATH]
 //! ```
 //!
-//! `--smoke` is the fast deterministic CI configuration (25 cycles,
-//! simulated latency clock); without it the defaults measure real wall
-//! time. `--journal` additionally writes the run's event-journal dump,
-//! ready for `krb-trace --input`. See `crates/tools/src/krbstat.rs` for
-//! what the numbers mean.
+//! With `--threads N > 1` the workers hammer **one shared realm** by
+//! default (the concurrent-KDC configuration of DESIGN.md §15); pass
+//! `--isolated` for the old per-worker-realm semantics, or `--shared` to
+//! force the shared realm even for one thread. `--scale` runs the shared
+//! realm at 1/4/8/16 threads and appends a `"scaling"` array to the
+//! snapshot. `--smoke` is the fast deterministic CI configuration (25
+//! cycles, simulated latency clock); without it the defaults measure real
+//! wall time. `--journal` additionally writes the run's event-journal
+//! dump, ready for `krb-trace --input`. See `crates/tools/src/krbstat.rs`
+//! for what the numbers mean.
 
-use krb_tools::{run_load, StatConfig};
+use krb_tools::{run_load, run_scale, StatConfig, StatMode};
+
+/// The thread counts `--scale` sweeps.
+const SCALE_THREADS: &[usize] = &[1, 4, 8, 16];
 
 fn main() {
     let mut cfg = StatConfig::default();
     let mut out = String::from("BENCH_kdc.json");
     let mut journal_out: Option<String> = None;
+    let mut scale = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -42,7 +52,14 @@ fn main() {
                 None => return usage("--threads needs a number"),
             },
             "--sim-clock" => cfg.sim_clock = true,
-            "--smoke" => cfg = StatConfig::smoke(),
+            "--shared" => cfg.mode = Some(StatMode::Shared),
+            "--isolated" => cfg.mode = Some(StatMode::Isolated),
+            "--scale" => scale = true,
+            "--smoke" => {
+                let mode = cfg.mode;
+                cfg = StatConfig::smoke();
+                cfg.mode = mode;
+            }
             "--out" => match take_value(&mut i) {
                 Some(p) => out = p,
                 None => return usage("--out needs a path"),
@@ -56,7 +73,8 @@ fn main() {
         i += 1;
     }
 
-    let report = match run_load(&cfg) {
+    let result = if scale { run_scale(&cfg, SCALE_THREADS) } else { run_load(&cfg) };
+    let report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("krb-stat: load loop failed: {e}");
@@ -74,11 +92,13 @@ fn main() {
         }
     }
     println!(
-        "krb-stat: {} AS + {} TGS in {} us ({} clock), {} errors -> {}",
+        "krb-stat: {} AS + {} TGS in {} us ({} clock, {} realm{}), {} errors -> {}",
         report.as_ok,
         report.tgs_ok,
         report.elapsed_us,
         if cfg.sim_clock { "sim" } else { "wall" },
+        if scale { "shared" } else { cfg.resolved_mode().as_str() },
+        if scale { ", scaling sweep" } else { "" },
         report.errors,
         out
     );
@@ -87,7 +107,8 @@ fn main() {
 fn usage(err: &str) {
     eprintln!("krb-stat: {err}");
     eprintln!(
-        "usage: krb-stat [--iters N] [--users N] [--seed N] [--threads N] [--sim-clock] [--smoke] [--out PATH] [--journal PATH]"
+        "usage: krb-stat [--iters N] [--users N] [--seed N] [--threads N] [--sim-clock] \
+         [--shared] [--isolated] [--scale] [--smoke] [--out PATH] [--journal PATH]"
     );
     std::process::exit(2);
 }

@@ -98,15 +98,15 @@ fn cmd_addsrv(dir: &Path, master_pw: &str, name: &str, instance: &str) -> Result
 fn spawn_kdc(dir: &Path, master_pw: &str, port: u16) -> Result<UdpServer, String> {
     let realm = read_realm(dir)?;
     let db = open_db(dir, master_pw)?;
-    let kdc = std::sync::Arc::new(parking_lot::Mutex::new(Kdc::new(
+    let kdc = std::sync::Arc::new(Kdc::new(
         db,
         RealmConfig::new(&realm),
         std::sync::Arc::new(wallclock),
         KdcRole::Master,
         u64::from(wallclock()),
-    )));
+    ));
     UdpServer::spawn(&format!("127.0.0.1:{port}"), move |req: &Packet| {
-        Some(kdc.lock().handle(&req.payload, req.src.addr.0))
+        Some(kdc.handle(&req.payload, req.src.addr.0))
     })
     .map_err(|e| e.to_string())
 }

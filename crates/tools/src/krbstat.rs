@@ -3,11 +3,23 @@
 //! The paper's capacity argument (§4: one master plus read-only slaves
 //! absorb a campus of workstations) is quantitative, so this reproduction
 //! keeps a machine-readable measurement of what its KDC actually sustains.
-//! [`run_load`] stands up an in-process realm (master KDC on the simulated
-//! network), then drives a configurable number of login cycles — each one
-//! a fresh workstation doing `kinit` (AS exchange) followed by a service
+//! [`run_load`] drives a configurable number of login cycles — each one a
+//! fresh workstation doing `kinit` (AS exchange) followed by a service
 //! ticket request (TGS exchange) — and reports throughput plus the KDC's
 //! own latency histograms as a JSON snapshot.
+//!
+//! Two load shapes ([`StatMode`]):
+//!
+//! - **shared** (default for `threads > 1`): every worker thread hammers
+//!   *one* KDC in one realm — the configuration the concurrent-KDC
+//!   refactor (DESIGN.md §15) exists for. Workers share the snapshot
+//!   store, the striped replay cache, and the schedule cache; only the
+//!   simulated network stack is per-worker.
+//! - **isolated** (`--isolated`, default for `threads == 1`): each worker
+//!   drives its own realm (its own master KDC on its own simulated
+//!   network). This measures aggregate fleet throughput with zero
+//!   cross-thread sharing, and is the classic pre-§15 semantics of
+//!   `--threads`.
 //!
 //! Two clock modes, per the telemetry determinism contract
 //! (`krb-telemetry` crate docs):
@@ -16,25 +28,75 @@
 //!   [`krb_telemetry::wall_clock_us`] and throughput by real elapsed time —
 //!   the numbers in a committed `BENCH_kdc.json` mean microseconds of
 //!   hardware time.
-//! - **sim** (`sim_clock: true`): spans are timed by a seeded
-//!   [`krb_telemetry::lcg_clock_us`] and "elapsed" is the KDC's simulated
-//!   busy time, so the whole report — bytes included — is a deterministic
-//!   function of the config. CI smoke-checks this mode; the regression
-//!   test below pins two same-seed runs byte-identical.
+//! - **sim** (`sim_clock: true`): spans are timed deterministically and
+//!   "elapsed" is simulated busy time, so the whole report — bytes
+//!   included — is a deterministic function of the config. CI
+//!   smoke-checks this mode in *both* load shapes; the regression tests
+//!   below pin two same-seed runs byte-identical.
+//!
+//! ## Why shared-mode sim runs stay byte-identical
+//!
+//! Real threads race, so shared mode earns determinism structurally
+//! rather than by scheduling:
+//!
+//! - Realm time is frozen at `START`; every protocol timestamp is a
+//!   constant. Authenticators stay unique because each login's session
+//!   key (and therefore its authenticator ciphertext hash) is distinct.
+//! - The KDC's span clock is pinned to frozen realm time: latency samples
+//!   are all zero, so histograms depend only on deterministic counts.
+//!   Worker-side journals use per-worker seeded LCG clocks instead.
+//! - Every key schedule is pre-warmed through a scratch registry before
+//!   measurement, so the sched-cache counters can't depend on which
+//!   thread loses a first-touch race: the measured run is all hits.
+//! - Each worker journals into its own shard ring, and the KDC routes its
+//!   events by trace id onto the same shard
+//!   ([`Workstation::enable_tracing_sharded`]); the combined dump is the
+//!   deterministic `(clock, shard, seq)` merge of
+//!   [`krb_telemetry::merge_render`].
 
 use crate::{kdb_init, register_service, register_user, ToolError, Workstation};
 use kerberos::Principal;
-use krb_kdc::{shared_clock, Deployment, RealmConfig};
-use krb_netsim::{NetConfig, Router, SimNet};
-use krb_telemetry::{lcg_clock_us, wall_clock_us, ClockUs, HistogramSummary, Journal, Registry};
+use krb_kdb::MemStore;
+use krb_kdc::{shared_clock, Deployment, Kdc, KdcRole, KdcService, RealmConfig};
+use krb_netsim::{ports, Endpoint, NetConfig, Router, SimNet};
+use krb_telemetry::{
+    fixed_clock_us, lcg_clock_us, merge_render, wall_clock_us, ClockUs, HistogramSummary, Journal,
+    Registry,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::AtomicU32;
 use std::sync::Arc;
 
 const REALM: &str = "BENCH.MIT.EDU";
 const START: u32 = 600_000_000;
 const KDC_ADDR: [u8; 4] = [18, 72, 0, 10];
 const WS_ADDR: [u8; 4] = [18, 72, 0, 77];
+/// Worker seeds diverge by this odd multiplier (golden-ratio mix).
+const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Shared mode caps users so every schedule the loop can touch (users +
+/// krbtgt + the bench service) fits the KDC's 64-entry LRU at once —
+/// otherwise eviction races would make hit/miss totals run-dependent.
+const SHARED_MAX_USERS: usize = 62;
+
+/// Which realm topology the worker threads drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatMode {
+    /// All workers hammer one KDC in one shared realm.
+    Shared,
+    /// Each worker drives its own private realm (pre-§15 semantics).
+    Isolated,
+}
+
+impl StatMode {
+    /// The string recorded under `"mode"` in the JSON snapshot.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StatMode::Shared => "shared",
+            StatMode::Isolated => "isolated",
+        }
+    }
+}
 
 /// Load-loop parameters.
 #[derive(Clone, Copy, Debug)]
@@ -50,23 +112,37 @@ pub struct StatConfig {
     /// Time spans with a deterministic simulated clock instead of the
     /// wall clock; makes the whole report reproducible.
     pub sim_clock: bool,
-    /// Worker threads, each driving its own realm (its own master KDC on
-    /// its own simulated network) with a seed derived from `seed`. All
-    /// KDCs report into one shared registry, so the snapshot aggregates
-    /// the whole fleet. 1 = the classic single-threaded loop.
+    /// Worker threads. In shared mode they all drive one KDC; in isolated
+    /// mode each drives its own realm with a seed derived from `seed`.
+    /// Either way all KDCs report into one shared registry. 1 = the
+    /// classic single-threaded loop.
     pub threads: usize,
+    /// Topology override. `None` picks [`StatMode::Shared`] when
+    /// `threads > 1` and [`StatMode::Isolated`] otherwise.
+    pub mode: Option<StatMode>,
 }
 
 impl Default for StatConfig {
     fn default() -> Self {
-        StatConfig { iters: 200, users: 8, seed: 42, sim_clock: false, threads: 1 }
+        StatConfig { iters: 200, users: 8, seed: 42, sim_clock: false, threads: 1, mode: None }
     }
 }
 
 impl StatConfig {
     /// The fast deterministic configuration `scripts/check.sh` runs.
     pub fn smoke() -> Self {
-        StatConfig { iters: 25, users: 4, seed: 42, sim_clock: true, threads: 1 }
+        StatConfig { iters: 25, users: 4, seed: 42, sim_clock: true, threads: 1, mode: None }
+    }
+
+    /// The topology this config runs: an explicit `mode` wins, otherwise
+    /// multi-threaded runs share one realm and single-threaded runs keep
+    /// the classic isolated loop.
+    pub fn resolved_mode(&self) -> StatMode {
+        match self.mode {
+            Some(m) => m,
+            None if self.threads > 1 => StatMode::Shared,
+            None => StatMode::Isolated,
+        }
     }
 }
 
@@ -85,10 +161,11 @@ pub struct StatReport {
     pub errors: u64,
     /// Wall or simulated microseconds the loop took.
     pub elapsed_us: u64,
-    /// The per-worker event journals, concatenated in worker order under
-    /// `# worker N` headers. Each worker owns its journal (its own seq
-    /// counter), so in sim mode this dump is byte-identical across
-    /// same-seed runs even with thread interleaving.
+    /// The run's event journals as one text dump. Isolated mode
+    /// concatenates the per-worker journals under `# worker N` headers;
+    /// shared mode merges the per-shard rings by `(clock, shard, seq)`
+    /// with a `shard=NN` prefix per line. In sim mode either dump is
+    /// byte-identical across same-seed runs.
     pub journal_dump: String,
     /// Journal events recorded across all workers.
     pub journal_events: u64,
@@ -96,12 +173,19 @@ pub struct StatReport {
     pub journal_dropped: u64,
 }
 
-/// Run the AS+TGS load loop. With `threads == 1` this is the classic
-/// single-realm loop; with more, each worker thread drives its own realm
-/// and every KDC reports into one shared registry (counter and histogram
-/// updates are commutative atomics, so the aggregate snapshot in sim mode
-/// is still a deterministic function of the config).
+/// Run the AS+TGS load loop in the config's [`StatMode`].
 pub fn run_load(cfg: &StatConfig) -> Result<StatReport, ToolError> {
+    match cfg.resolved_mode() {
+        StatMode::Shared => run_shared(cfg),
+        StatMode::Isolated => run_isolated(cfg),
+    }
+}
+
+/// Isolated mode: each worker thread drives its own realm and every KDC
+/// reports into one shared registry (counter and histogram updates are
+/// commutative, so the aggregate snapshot in sim mode is still a
+/// deterministic function of the config).
+fn run_isolated(cfg: &StatConfig) -> Result<StatReport, ToolError> {
     let iters = cfg.iters.max(1);
     let users = cfg.users.clamp(1, 64);
     let threads = cfg.threads.clamp(1, 64);
@@ -113,14 +197,16 @@ pub fn run_load(cfg: &StatConfig) -> Result<StatReport, ToolError> {
     let wall = wall_clock_us();
     let t0 = wall();
     if threads == 1 {
-        run_worker(cfg, 0, iters, users, &registry, &journals[0])?;
+        run_isolated_worker(cfg, 0, iters, users, &registry, &journals[0])?;
     } else {
         let failure = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let registry = &registry;
                     let journal = &journals[t];
-                    scope.spawn(move || run_worker(cfg, t as u64, iters, users, registry, journal))
+                    scope.spawn(move || {
+                        run_isolated_worker(cfg, t as u64, iters, users, registry, journal)
+                    })
                 })
                 .collect();
             let mut first_err = None;
@@ -142,17 +228,11 @@ pub fn run_load(cfg: &StatConfig) -> Result<StatReport, ToolError> {
     }
     let wall_elapsed = wall().saturating_sub(t0).max(1);
 
-    let as_hist = registry.histogram("kdc_as_latency_us").summary();
-    let tgs_hist = registry.histogram("kdc_tgs_latency_us").summary();
-    let as_ok = registry.counter_value("kdc_as_ok_total");
-    let tgs_ok = registry.counter_value("kdc_tgs_ok_total");
-    let errors = registry.counter_value("kdc_error_total");
-    let sched_hits = registry.counter_value("kdc_sched_cache_hits_total");
-    let sched_misses = registry.counter_value("kdc_sched_cache_misses_total");
-
     // In sim mode, "elapsed" is the KDCs' own simulated busy time — a
     // deterministic function of the seed; wall time would leak real
     // hardware timing into the snapshot.
+    let as_hist = registry.histogram("kdc_as_latency_us").summary();
+    let tgs_hist = registry.histogram("kdc_tgs_latency_us").summary();
     let elapsed_us = if cfg.sim_clock {
         (as_hist.sum + tgs_hist.sum).max(1)
     } else {
@@ -169,27 +249,17 @@ pub fn run_load(cfg: &StatConfig) -> Result<StatReport, ToolError> {
         journal_dropped += journal.events_dropped();
     }
 
-    let json = render_json(
-        cfg, iters, users, threads, elapsed_us, as_ok, tgs_ok, errors, sched_hits, sched_misses,
-        journal_events, journal_dropped, &as_hist, &tgs_hist,
-    );
-    Ok(StatReport {
-        json,
-        render: registry.render(),
-        as_ok,
-        tgs_ok,
-        errors,
-        elapsed_us,
-        journal_dump,
-        journal_events,
-        journal_dropped,
-    })
+    Ok(finish_report(
+        cfg, StatMode::Isolated, iters, users, threads, elapsed_us, &registry, journal_dump,
+        journal_events, journal_dropped,
+    ))
 }
 
-/// One worker: a fresh realm on its own simulated network, `iters` login
-/// cycles, all metrics reported into `registry`. `thread_idx` derives the
-/// per-worker seed so the fleet does not run in lockstep.
-fn run_worker(
+/// One isolated worker: a fresh realm on its own simulated network,
+/// `iters` login cycles, all metrics reported into `registry`.
+/// `thread_idx` derives the per-worker seed so the fleet does not run in
+/// lockstep.
+fn run_isolated_worker(
     cfg: &StatConfig,
     thread_idx: u64,
     iters: usize,
@@ -197,7 +267,7 @@ fn run_worker(
     registry: &Arc<Registry>,
     journal: &Arc<Journal>,
 ) -> Result<(), ToolError> {
-    let seed = cfg.seed ^ thread_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let seed = cfg.seed ^ thread_idx.wrapping_mul(SEED_MIX);
     let mut router = Router::new(SimNet::new(NetConfig::default()));
     let mut boot = kdb_init(REALM, "bench-master-pw", START, seed)
         .map_err(|_| ToolError::Krb(kerberos::ErrorCode::IntkErr))?;
@@ -219,11 +289,8 @@ fn run_worker(
     } else {
         wall_clock_us()
     };
-    {
-        let mut master = dep.master.lock();
-        master.set_telemetry(Arc::clone(registry), ClockUs::clone(&clock_us));
-        master.set_journal(Arc::clone(journal));
-    }
+    dep.master.set_telemetry(Arc::clone(registry), ClockUs::clone(&clock_us));
+    dep.master.set_journal(Arc::clone(journal));
 
     let service = Principal::parse("rcmd.bench", REALM)?;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -251,6 +318,277 @@ fn run_worker(
     Ok(())
 }
 
+/// Shared mode: one KDC, one realm, every worker thread hammering it
+/// through its own simulated network stack. This is the configuration the
+/// snapshot-swapped store and striped replay cache exist for — requests
+/// run concurrently through `&self` with no realm-wide lock.
+fn run_shared(cfg: &StatConfig) -> Result<StatReport, ToolError> {
+    let intk = |_| ToolError::Krb(kerberos::ErrorCode::IntkErr);
+    let iters = cfg.iters.max(1);
+    let users = cfg.users.clamp(1, SHARED_MAX_USERS);
+    let threads = cfg.threads.clamp(1, 64);
+
+    let seed = cfg.seed;
+    let mut boot = kdb_init(REALM, "bench-master-pw", START, seed).map_err(intk)?;
+    for u in 0..users {
+        register_user(&mut boot.db, &format!("user{u}"), "", &format!("pw-{u}"), START)
+            .map_err(intk)?;
+    }
+    let mut keygen = krb_crypto::KeyGenerator::new(StdRng::seed_from_u64(seed ^ 0x5EED));
+    register_service(&mut boot.db, "rcmd", "bench", START, &mut keygen).map_err(intk)?;
+
+    // Realm time stays frozen at START: workers advancing a shared clock
+    // would hand each cycle a race-dependent timestamp. Authenticators
+    // stay unique anyway — every login has a fresh session key, so every
+    // authenticator hashes differently in the replay cache.
+    let clock_cell = Arc::new(AtomicU32::new(START));
+    let kdc = Arc::new(Kdc::new(
+        boot.db,
+        RealmConfig::new(REALM),
+        shared_clock(Arc::clone(&clock_cell)),
+        KdcRole::Master,
+        0xA11CE,
+    ));
+
+    warmup_shared(&kdc, &clock_cell, users)?;
+
+    let registry = Registry::shared();
+    let journals: Vec<Arc<Journal>> = (0..threads).map(|_| Journal::shared()).collect();
+    let kdc_clock: ClockUs = if cfg.sim_clock {
+        // One LCG shared by racing handlers would assign run-dependent
+        // timestamps; pin the KDC's span clock to frozen realm time so
+        // its histograms and journal stamps depend only on counts.
+        fixed_clock_us(u64::from(START) * 1_000_000)
+    } else {
+        wall_clock_us()
+    };
+    kdc.set_telemetry(Arc::clone(&registry), kdc_clock);
+    kdc.set_journal_shards(journals.clone());
+
+    let wall = wall_clock_us();
+    let t0 = wall();
+    let mut busy: Vec<u64> = Vec::with_capacity(threads);
+    if threads == 1 {
+        busy.push(run_shared_worker(
+            cfg, 0, iters, users, threads, &kdc, &clock_cell, &journals[0],
+        )?);
+    } else {
+        let joined = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let kdc = &kdc;
+                    let clock_cell = &clock_cell;
+                    let journal = &journals[t];
+                    scope.spawn(move || {
+                        run_shared_worker(cfg, t, iters, users, threads, kdc, clock_cell, journal)
+                    })
+                })
+                .collect();
+            let mut results = Vec::with_capacity(threads);
+            for h in handles {
+                match h.join() {
+                    Ok(r) => results.push(r),
+                    Err(_) => results.push(Err(ToolError::Krb(kerberos::ErrorCode::KdcGenErr))),
+                }
+            }
+            results
+        });
+        for r in joined {
+            busy.push(r?);
+        }
+    }
+    let wall_elapsed = wall().saturating_sub(t0).max(1);
+
+    // Sim-mode elapsed is the slowest worker's simulated busy time — the
+    // parallel-run analogue of wall time, and a pure function of the
+    // per-worker seeds.
+    let elapsed_us = if cfg.sim_clock {
+        busy.iter().copied().max().unwrap_or(1).max(1)
+    } else {
+        wall_elapsed
+    };
+
+    let journal_dump = merge_render(&journals);
+    let journal_events = journals.iter().map(|j| j.events_recorded()).sum();
+    let journal_dropped = journals.iter().map(|j| j.events_dropped()).sum();
+
+    Ok(finish_report(
+        cfg, StatMode::Shared, iters, users, threads, elapsed_us, &registry, journal_dump,
+        journal_events, journal_dropped,
+    ))
+}
+
+/// Pre-warm every key schedule the shared load loop can touch (each
+/// user's key, the krbtgt key, the bench service key) through a scratch
+/// registry. The measured run then serves schedule lookups entirely from
+/// cache: its hit/miss counters are a pure function of the config instead
+/// of depending on which thread loses the first-touch race.
+fn warmup_shared(
+    kdc: &Arc<Kdc<MemStore>>,
+    clock_cell: &Arc<AtomicU32>,
+    users: usize,
+) -> Result<(), ToolError> {
+    kdc.set_telemetry(Registry::shared(), fixed_clock_us(u64::from(START) * 1_000_000));
+    let mut router = Router::new(SimNet::new(NetConfig::default()));
+    router.serve(Endpoint::new(KDC_ADDR, ports::KDC), KdcService(Arc::clone(kdc)));
+    let service = Principal::parse("rcmd.bench", REALM)?;
+    for u in 0..users {
+        let mut ws = Workstation::new(
+            [18, 72, 99, 77],
+            REALM,
+            vec![Endpoint::new(KDC_ADDR, ports::KDC)],
+            shared_clock(Arc::clone(clock_cell)),
+        );
+        ws.kinit(&mut router, &format!("user{u}"), &format!("pw-{u}"))?;
+        if u == 0 {
+            ws.mk_request(&mut router, &service, 0, false)?;
+        }
+    }
+    Ok(())
+}
+
+/// One shared-mode worker: its own simulated network serving the *shared*
+/// KDC, `iters` login cycles from per-worker seeds, journal events pinned
+/// to this worker's shard ring. Returns the worker's final simulated
+/// clock reading (its busy time).
+#[allow(clippy::too_many_arguments)]
+fn run_shared_worker(
+    cfg: &StatConfig,
+    thread_idx: usize,
+    iters: usize,
+    users: usize,
+    threads: usize,
+    kdc: &Arc<Kdc<MemStore>>,
+    clock_cell: &Arc<AtomicU32>,
+    journal: &Arc<Journal>,
+) -> Result<u64, ToolError> {
+    let seed = cfg.seed ^ (thread_idx as u64).wrapping_mul(SEED_MIX);
+    let mut router = Router::new(SimNet::new(NetConfig::default()));
+    router.serve(Endpoint::new(KDC_ADDR, ports::KDC), KdcService(Arc::clone(kdc)));
+    let clock_us = if cfg.sim_clock {
+        lcg_clock_us(seed, 40, 400)
+    } else {
+        wall_clock_us()
+    };
+    let service = Principal::parse("rcmd.bench", REALM)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Distinct workstation address per worker, so ticket address checks
+    // exercise distinct hosts concurrently.
+    let ws_addr = [18, 72, thread_idx as u8, 77];
+    for i in 0..iters {
+        let u: usize = rng.random_range(0..users);
+        let mut ws = Workstation::new(
+            ws_addr,
+            REALM,
+            vec![Endpoint::new(KDC_ADDR, ports::KDC)],
+            shared_clock(Arc::clone(clock_cell)),
+        );
+        // Trace ids aligned onto this worker's shard: the KDC's sharded
+        // sink routes by `trace % threads`, so this worker's KDC hops
+        // land in this worker's own journal ring.
+        ws.enable_tracing_sharded(
+            Arc::clone(journal),
+            ClockUs::clone(&clock_us),
+            seed.wrapping_add(i as u64),
+            thread_idx as u64,
+            threads as u64,
+        );
+        ws.kinit(&mut router, &format!("user{u}"), &format!("pw-{u}"))?;
+        ws.mk_request(&mut router, &service, 0, false)?;
+    }
+    Ok(clock_us())
+}
+
+/// Pull the aggregate numbers out of `registry` and assemble the report.
+#[allow(clippy::too_many_arguments)]
+fn finish_report(
+    cfg: &StatConfig,
+    mode: StatMode,
+    iters: usize,
+    users: usize,
+    threads: usize,
+    elapsed_us: u64,
+    registry: &Arc<Registry>,
+    journal_dump: String,
+    journal_events: u64,
+    journal_dropped: u64,
+) -> StatReport {
+    let as_hist = registry.histogram("kdc_as_latency_us").summary();
+    let tgs_hist = registry.histogram("kdc_tgs_latency_us").summary();
+    let as_ok = registry.counter_value("kdc_as_ok_total");
+    let tgs_ok = registry.counter_value("kdc_tgs_ok_total");
+    let errors = registry.counter_value("kdc_error_total");
+    let sched_hits = registry.counter_value("kdc_sched_cache_hits_total");
+    let sched_misses = registry.counter_value("kdc_sched_cache_misses_total");
+
+    let json = render_json(
+        cfg, iters, users, threads, mode, elapsed_us, as_ok, tgs_ok, errors, sched_hits,
+        sched_misses, journal_events, journal_dropped, &as_hist, &tgs_hist, "",
+    );
+    StatReport {
+        json,
+        render: registry.render(),
+        as_ok,
+        tgs_ok,
+        errors,
+        elapsed_us,
+        journal_dump,
+        journal_events,
+        journal_dropped,
+    }
+}
+
+/// Run the shared-realm load at each thread count and emit one combined
+/// snapshot: the base fields describe the first count's run, plus a
+/// `"scaling"` array with one row per count. `speedup` is each row's
+/// total (AS+TGS) throughput relative to the first row's.
+pub fn run_scale(cfg: &StatConfig, thread_counts: &[usize]) -> Result<StatReport, ToolError> {
+    let counts: &[usize] = if thread_counts.is_empty() { &[1] } else { thread_counts };
+    let mut base: Option<StatReport> = None;
+    let mut rows: Vec<(usize, u64, f64, f64)> = Vec::new();
+    for &threads in counts {
+        let mut run_cfg = *cfg;
+        run_cfg.threads = threads;
+        run_cfg.mode = Some(StatMode::Shared);
+        let report = run_load(&run_cfg)?;
+        rows.push((
+            threads,
+            report.elapsed_us,
+            per_sec(report.as_ok, report.elapsed_us),
+            per_sec(report.tgs_ok, report.elapsed_us),
+        ));
+        if base.is_none() {
+            base = Some(report);
+        }
+    }
+    let mut base = match base {
+        Some(b) => b,
+        None => return Err(ToolError::Krb(kerberos::ErrorCode::KdcGenErr)),
+    };
+    let base_total = rows.first().map(|(_, _, a, t)| a + t).unwrap_or(0.0);
+    let rows_json: Vec<String> = rows
+        .iter()
+        .map(|(t, e, asps, tgsps)| {
+            let speedup = if base_total > 0.0 { (asps + tgsps) / base_total } else { 0.0 };
+            format!(
+                "    {{\"threads\": {t}, \"elapsed_us\": {e}, \"as_per_sec\": {asps:.2}, \
+                 \"tgs_per_sec\": {tgsps:.2}, \"speedup\": {speedup:.2}}}"
+            )
+        })
+        .collect();
+    // Splice the scaling array in before the snapshot's closing brace.
+    let mut json = base.json.trim_end().to_string();
+    json.pop();
+    while json.ends_with(['\n', ' ']) {
+        json.pop();
+    }
+    json.push_str(",\n  \"scaling\": [\n");
+    json.push_str(&rows_json.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    base.json = json;
+    Ok(base)
+}
+
 fn per_sec(count: u64, elapsed_us: u64) -> f64 {
     (count as f64) * 1_000_000.0 / (elapsed_us.max(1) as f64)
 }
@@ -268,6 +606,7 @@ fn render_json(
     iters: usize,
     users: usize,
     threads: usize,
+    mode: StatMode,
     elapsed_us: u64,
     as_ok: u64,
     tgs_ok: u64,
@@ -278,6 +617,7 @@ fn render_json(
     journal_dropped: u64,
     as_hist: &HistogramSummary,
     tgs_hist: &HistogramSummary,
+    extra: &str,
 ) -> String {
     format!(
         concat!(
@@ -287,6 +627,7 @@ fn render_json(
             "  \"users\": {users},\n",
             "  \"seed\": {seed},\n",
             "  \"threads\": {threads},\n",
+            "  \"mode\": \"{mode}\",\n",
             "  \"clock\": \"{clock}\",\n",
             "  \"elapsed_us\": {elapsed},\n",
             "  \"as_ok\": {as_ok},\n",
@@ -296,13 +637,14 @@ fn render_json(
             "  \"tgs_per_sec\": {tgsps:.2},\n",
             "  \"sched_cache\": {{\"hits\": {shits}, \"misses\": {smisses}}},\n",
             "  \"journal\": {{\"events\": {jevents}, \"dropped\": {jdropped}}},\n",
-            "  \"latency_us\": {{\"as\": {aslat}, \"tgs\": {tgslat}}}\n",
+            "  \"latency_us\": {{\"as\": {aslat}, \"tgs\": {tgslat}}}{extra}\n",
             "}}\n",
         ),
         iters = iters,
         users = users,
         seed = cfg.seed,
         threads = threads,
+        mode = mode.as_str(),
         clock = if cfg.sim_clock { "sim" } else { "wall" },
         elapsed = elapsed_us,
         as_ok = as_ok,
@@ -316,6 +658,7 @@ fn render_json(
         jdropped = journal_dropped,
         aslat = latency_json(as_hist),
         tgslat = latency_json(tgs_hist),
+        extra = extra,
     )
 }
 
@@ -326,6 +669,7 @@ pub const REQUIRED_JSON_KEYS: &[&str] = &[
     "\"iters\"",
     "\"seed\"",
     "\"threads\"",
+    "\"mode\"",
     "\"clock\"",
     "\"elapsed_us\"",
     "\"as_per_sec\"",
@@ -394,6 +738,8 @@ mod tests {
         for key in REQUIRED_JSON_KEYS {
             assert!(report.json.contains(key), "missing {key} in:\n{}", report.json);
         }
+        // Single-threaded smoke defaults to the classic isolated loop.
+        assert!(report.json.contains("\"mode\": \"isolated\""), "{}", report.json);
         assert!(looks_like_json(&report.json), "malformed JSON:\n{}", report.json);
     }
 
@@ -402,7 +748,9 @@ mod tests {
         // The determinism contract, end to end: with the simulated latency
         // clock, the JSON snapshot *and* the full registry export are a
         // pure function of the config.
-        let cfg = StatConfig { iters: 40, users: 3, seed: 7, sim_clock: true, threads: 1 };
+        let cfg = StatConfig {
+            iters: 40, users: 3, seed: 7, sim_clock: true, threads: 1, mode: None,
+        };
         let a = run_load(&cfg).unwrap();
         let b = run_load(&cfg).unwrap();
         assert_eq!(a.json, b.json);
@@ -414,20 +762,25 @@ mod tests {
 
     #[test]
     fn different_seeds_change_the_simulated_snapshot() {
-        let a = run_load(&StatConfig { iters: 30, users: 3, seed: 1, sim_clock: true, threads: 1 })
-            .unwrap();
-        let b = run_load(&StatConfig { iters: 30, users: 3, seed: 2, sim_clock: true, threads: 1 })
-            .unwrap();
+        let a = run_load(&StatConfig {
+            iters: 30, users: 3, seed: 1, sim_clock: true, threads: 1, mode: None,
+        })
+        .unwrap();
+        let b = run_load(&StatConfig {
+            iters: 30, users: 3, seed: 2, sim_clock: true, threads: 1, mode: None,
+        })
+        .unwrap();
         assert_ne!(a.render, b.render, "latency clock ignored the seed");
     }
 
     #[test]
     fn multi_thread_sim_runs_are_deterministic_and_serve_every_cycle() {
-        // Each worker runs its own deployment on a thread-derived seed;
-        // counters and histograms aggregate through the shared registry
-        // with commutative updates, so the snapshot is reproducible even
-        // though thread interleaving is not.
-        let cfg = StatConfig { iters: 20, users: 3, seed: 9, sim_clock: true, threads: 4 };
+        // threads > 1 defaults to shared mode: four workers race one KDC,
+        // yet the snapshot stays a pure function of the config (frozen
+        // realm clock, pinned KDC span clock, pre-warmed sched cache).
+        let cfg = StatConfig {
+            iters: 20, users: 3, seed: 9, sim_clock: true, threads: 4, mode: None,
+        };
         let a = run_load(&cfg).unwrap();
         let b = run_load(&cfg).unwrap();
         assert_eq!(a.json, b.json);
@@ -437,19 +790,25 @@ mod tests {
         assert_eq!(a.tgs_ok, 80);
         assert_eq!(a.errors, 0);
         assert!(a.json.contains("\"threads\": 4"), "{}", a.json);
+        assert!(a.json.contains("\"mode\": \"shared\""), "{}", a.json);
     }
 
     #[test]
-    fn multi_thread_journal_dump_is_byte_identical() {
-        // Per-worker journals own their seq counters, and the combined
-        // dump concatenates them in worker order — so even with 4 threads
-        // racing, the dump is a pure function of the config.
-        let cfg = StatConfig { iters: 15, users: 3, seed: 11, sim_clock: true, threads: 4 };
+    fn isolated_multi_thread_journal_dump_is_byte_identical() {
+        // --isolated keeps the pre-§15 semantics: per-worker realms and
+        // per-worker journals with their own seq counters, concatenated
+        // in worker order — a pure function of the config even with 4
+        // threads racing.
+        let cfg = StatConfig {
+            iters: 15, users: 3, seed: 11, sim_clock: true, threads: 4,
+            mode: Some(StatMode::Isolated),
+        };
         let a = run_load(&cfg).unwrap();
         let b = run_load(&cfg).unwrap();
         assert_eq!(a.journal_dump, b.journal_dump);
         assert!(a.journal_events > 0);
         assert_eq!(a.journal_dropped, 0);
+        assert!(a.json.contains("\"mode\": \"isolated\""), "{}", a.json);
         for t in 0..4 {
             assert!(a.journal_dump.contains(&format!("# worker {t}\n")), "{}", a.journal_dump);
         }
@@ -457,6 +816,70 @@ mod tests {
         assert!(a.journal_dump.contains("kind=login_start"));
         assert!(a.journal_dump.contains("comp=kdc kind=as_ok"));
         assert!(a.journal_dump.contains("kind=ap_sent"));
+    }
+
+    #[test]
+    fn shared_mode_merged_journal_is_byte_identical() {
+        // The §15 determinism claim under real concurrency: four workers
+        // hammer one KDC, each journaling into its own shard ring (KDC
+        // hops route there by aligned trace id), and the merged dump is
+        // byte-identical across same-seed runs.
+        let cfg = StatConfig {
+            iters: 15, users: 3, seed: 11, sim_clock: true, threads: 4,
+            mode: Some(StatMode::Shared),
+        };
+        let a = run_load(&cfg).unwrap();
+        let b = run_load(&cfg).unwrap();
+        assert_eq!(a.journal_dump, b.journal_dump);
+        assert_eq!(a.json, b.json);
+        assert_eq!(a.render, b.render);
+        assert!(a.journal_events > 0);
+        for shard in 0..4 {
+            assert!(
+                a.journal_dump.contains(&format!("shard={shard:02} ")),
+                "missing shard {shard} in:\n{}",
+                a.journal_dump
+            );
+        }
+        // Worker and KDC hops both made it into the merged timeline.
+        assert!(a.journal_dump.contains("kind=login_start"));
+        assert!(a.journal_dump.contains("comp=kdc kind=as_ok"));
+    }
+
+    #[test]
+    fn shared_mode_sched_cache_is_all_hits_and_stripes_render() {
+        // The warmup contract: by the time measurement starts every key
+        // schedule is resident, so the measured run records zero misses
+        // and exactly three hits per cycle (client + krbtgt on the AS
+        // path, the service on the TGS path).
+        let cfg = StatConfig {
+            iters: 10, users: 3, seed: 5, sim_clock: true, threads: 2,
+            mode: Some(StatMode::Shared),
+        };
+        let report = run_load(&cfg).unwrap();
+        assert_eq!(report.errors, 0);
+        assert!(report.json.contains("\"misses\": 0"), "{}", report.json);
+        assert!(report.json.contains(&format!("\"hits\": {}", 3 * 2 * 10)), "{}", report.json);
+        // The striped replay cache publishes its per-stripe counters in
+        // deterministic (zero-padded) label order.
+        assert!(report.render.contains("kdc_replay_stripe_hits_total{stripe=\"00\"}"));
+        assert!(report.render.contains("kdc_replay_stripe_hits_total{stripe=\"15\"}"));
+        assert!(report.render.contains("kdc_store_swaps_total"));
+    }
+
+    #[test]
+    fn run_scale_appends_scaling_rows() {
+        let cfg = StatConfig {
+            iters: 8, users: 3, seed: 13, sim_clock: true, threads: 1, mode: None,
+        };
+        let report = run_scale(&cfg, &[1, 2]).unwrap();
+        assert!(report.json.contains("\"scaling\": ["), "{}", report.json);
+        assert!(report.json.contains("\"speedup\": 1.00"), "{}", report.json);
+        assert_eq!(report.json.matches("\"threads\":").count(), 3, "{}", report.json);
+        assert!(looks_like_json(&report.json), "malformed JSON:\n{}", report.json);
+        // Base fields describe the first (1-thread) run.
+        assert!(report.json.contains("\"threads\": 1,"), "{}", report.json);
+        assert!(report.json.contains("\"mode\": \"shared\""), "{}", report.json);
     }
 
     #[test]

@@ -261,11 +261,8 @@ fn smoke_run(seed: u64) -> Result<String, ToolError> {
 
     let journal = Journal::shared();
     let clock_us = lcg_clock_us(seed, 40, 400);
-    {
-        let mut master = dep.master.lock();
-        master.set_telemetry(Registry::shared(), ClockUs::clone(&clock_us));
-        master.set_journal(Arc::clone(&journal));
-    }
+    dep.master.set_telemetry(Registry::shared(), ClockUs::clone(&clock_us));
+    dep.master.set_journal(Arc::clone(&journal));
 
     let service = Principal::parse("sample.host", SMOKE_REALM)?;
     let sched = Scheduled::new(&svc_key);

@@ -17,7 +17,7 @@ pub mod ticket_file;
 pub mod workstation;
 
 pub use kdb_init::{kdb_init, register_service, register_user, RealmBootstrap};
-pub use krbstat::{run_load, StatConfig, StatReport, REQUIRED_JSON_KEYS};
+pub use krbstat::{run_load, run_scale, StatConfig, StatMode, StatReport, REQUIRED_JSON_KEYS};
 pub use krbtrace::{
     group_traces, parse_dump, render_json as render_trace_json, render_timelines, Timeline,
     TraceEvent, TraceFilter,
@@ -25,7 +25,7 @@ pub use krbtrace::{
 pub use smartcard::Smartcard;
 pub use srvtab::{Srvtab, SrvtabEntry};
 pub use ticket_file::TicketFile;
-pub use workstation::Workstation;
+pub use workstation::{align_trace, Workstation};
 
 /// Errors from the user programs: protocol failures or transport failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,10 +125,10 @@ mod tests {
         ws.kinit(&mut router, "bcn", "bcn-pw").unwrap();
         let rlogin = Principal::parse("rlogin.priam", REALM).unwrap();
         let c1 = ws.get_service_ticket(&mut router, &rlogin).unwrap();
-        let tgs_count = dep.master.lock().stats().tgs_ok;
+        let tgs_count = dep.master.stats().tgs_ok;
         let c2 = ws.get_service_ticket(&mut router, &rlogin).unwrap();
         assert_eq!(c1, c2);
-        assert_eq!(dep.master.lock().stats().tgs_ok, tgs_count, "second hit came from cache");
+        assert_eq!(dep.master.stats().tgs_ok, tgs_count, "second hit came from cache");
         assert_eq!(ws.klist().len(), 2);
     }
 
@@ -163,8 +163,8 @@ mod tests {
         let (_, dep) = rig(0);
         let mut srvtab = Srvtab::new();
         {
-            let kdc = dep.master.lock();
-            srvtab.extract(kdc.db(), REALM, "rlogin", "priam").unwrap();
+            let snap = dep.master.snapshot();
+            srvtab.extract(snap.db(), REALM, "rlogin", "priam").unwrap();
         }
         let svc = Principal::parse("rlogin.priam", REALM).unwrap();
         let e = srvtab.key_for(&svc).unwrap();
@@ -185,7 +185,7 @@ mod tests {
         let (ap, _) = ws.mk_request(&mut router, &svc, 0, false).unwrap();
 
         let mut srvtab = Srvtab::new();
-        srvtab.extract(dep.master.lock().db(), REALM, "rlogin", "priam").unwrap();
+        srvtab.extract(dep.master.snapshot().db(), REALM, "rlogin", "priam").unwrap();
         let key = srvtab.key_for(&svc).unwrap().key;
         let mut rc = kerberos::ReplayCache::new();
         let v = kerberos::krb_rd_req(&ap, &svc, &key, ws.addr, ws.now(), &mut rc).unwrap();

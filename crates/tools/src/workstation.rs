@@ -41,6 +41,9 @@ pub struct Workstation {
     last_auth_ts: u32,
     /// Journal + microsecond clock + trace seed, when tracing is enabled.
     tracing: Option<(Arc<Journal>, ClockUs, u64)>,
+    /// `(shard, nshards)` when minted trace ids must land on one shard of
+    /// a sharded KDC journal (see [`Workstation::enable_tracing_sharded`]).
+    trace_align: Option<(u64, u64)>,
     /// Logins performed — the counter behind deterministic trace minting.
     logins: u64,
     /// The active login's trace id; every hop of this session carries it.
@@ -60,6 +63,7 @@ impl Workstation {
             remote_kdcs: Vec::new(),
             last_auth_ts: 0,
             tracing: None,
+            trace_align: None,
             logins: 0,
             current_trace: None,
         }
@@ -71,6 +75,25 @@ impl Workstation {
     /// workstation sends (simulator metadata — never the V4 wire bytes).
     pub fn enable_tracing(&mut self, journal: Arc<Journal>, clock_us: ClockUs, seed: u64) {
         self.tracing = Some((journal, clock_us, seed));
+        self.trace_align = None;
+    }
+
+    /// Like [`Workstation::enable_tracing`], but every minted trace id is
+    /// re-aligned so `trace % nshards == shard`. A KDC with a sharded
+    /// journal sink routes events by exactly that remainder, so this
+    /// workstation's KDC hops land in its own worker's journal — the
+    /// per-shard rings stay a pure function of each worker's own
+    /// execution even when many workers hammer one shared KDC.
+    pub fn enable_tracing_sharded(
+        &mut self,
+        journal: Arc<Journal>,
+        clock_us: ClockUs,
+        seed: u64,
+        shard: u64,
+        nshards: u64,
+    ) {
+        self.tracing = Some((journal, clock_us, seed));
+        self.trace_align = Some((shard, nshards.max(1)));
     }
 
     /// The active login's trace id, if tracing is enabled.
@@ -90,7 +113,10 @@ impl Workstation {
     /// Start a new login trace (called by the `kinit` variants).
     fn begin_login_trace(&mut self, username: &str) -> Option<TraceCtx> {
         let (journal, clock, seed) = self.tracing.as_ref()?;
-        let trace = TraceId::derive(*seed, self.logins);
+        let mut trace = TraceId::derive(*seed, self.logins);
+        if let Some((shard, nshards)) = self.trace_align {
+            trace = TraceId(align_trace(trace.0, shard, nshards));
+        }
         self.logins += 1;
         self.current_trace = Some(trace);
         let ctx = TraceCtx::new(Arc::clone(journal), ClockUs::clone(clock), trace);
@@ -393,5 +419,50 @@ impl Workstation {
     /// Remote realm KDCs known to this workstation.
     pub fn remote_kdc_table(&self) -> &[(String, Endpoint)] {
         &self.remote_kdcs
+    }
+}
+
+/// Re-align a trace id onto `shard` modulo `nshards`, preserving the id's
+/// high bits (so aligned ids from different seeds stay distinct). This is
+/// the workstation half of the sharded-journal contract: a KDC with a
+/// sharded sink routes each event to `trace % nshards`.
+pub fn align_trace(trace: u64, shard: u64, nshards: u64) -> u64 {
+    if nshards <= 1 {
+        return trace;
+    }
+    let base = trace - (trace % nshards);
+    if base > u64::MAX - shard {
+        base - nshards + shard
+    } else {
+        base + shard
+    }
+}
+
+#[cfg(test)]
+mod trace_align_tests {
+    use super::align_trace;
+
+    #[test]
+    fn aligned_ids_land_on_their_shard() {
+        for nshards in [1u64, 2, 3, 4, 7, 16] {
+            for shard in 0..nshards {
+                for trace in [0u64, 1, 5, 1 << 40, u64::MAX - 3, u64::MAX] {
+                    let aligned = align_trace(trace, shard, nshards);
+                    if nshards > 1 {
+                        assert_eq!(aligned % nshards, shard, "trace={trace} nshards={nshards}");
+                    } else {
+                        assert_eq!(aligned, trace);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_preserves_distinctness_within_a_shard() {
+        // Two traces that differ above the shard bits stay distinct.
+        let a = align_trace(0x1234_5678_9abc_0000, 3, 4);
+        let b = align_trace(0x1234_5678_9abd_0000, 3, 4);
+        assert_ne!(a, b);
     }
 }

@@ -73,24 +73,61 @@ echo "== krb-stat --smoke"
 # tests; this guards the binary + JSON plumbing end to end).
 smoke_json="$(mktmp)"
 cargo run -q -p krb-tools --bin krb-stat -- --smoke --out "$smoke_json"
-for key in as_per_sec tgs_per_sec latency_us p50 p95 p99 threads sched_cache \
-        journal events dropped; do
+for key in as_per_sec tgs_per_sec latency_us p50 p95 p99 threads mode \
+        sched_cache journal events dropped; do
     if ! grep -q "\"$key\"" "$smoke_json"; then
         echo "krb-stat smoke output is missing \"$key\"" >&2
         exit 1
     fi
 done
 
+echo "== krb-stat --smoke --threads 4 --shared (byte-identity)"
+# Four workers hammer ONE realm through the lock-free snapshot path; the
+# per-shard journal rings must merge back to a byte-identical dump and the
+# whole JSON snapshot must be reproducible run-over-run (DESIGN.md §15).
+shared_a="$(mktmp)"
+shared_b="$(mktmp)"
+shared_ja="$(mktmp)"
+shared_jb="$(mktmp)"
+cargo run -q -p krb-tools --bin krb-stat -- --smoke --threads 4 --shared \
+    --out "$shared_a" --journal "$shared_ja"
+cargo run -q -p krb-tools --bin krb-stat -- --smoke --threads 4 --shared \
+    --out "$shared_b" --journal "$shared_jb"
+if ! diff -q "$shared_a" "$shared_b" > /dev/null; then
+    echo "shared-realm krb-stat is not deterministic (two JSON snapshots differ)" >&2
+    exit 1
+fi
+if ! diff -q "$shared_ja" "$shared_jb" > /dev/null; then
+    echo "shared-realm merged journal is not byte-identical across runs" >&2
+    exit 1
+fi
+if ! grep -q '"mode": "shared"' "$shared_a"; then
+    echo "krb-stat --shared did not record mode=shared" >&2
+    exit 1
+fi
+echo "== no Mutex<Kdc outside the lint fixtures"
+# The global KDC lock is gone; the only allowed occurrences of the old
+# pattern are krb-lint's own L8 test fixtures. Anything else is a
+# regression reintroducing the serialized service.
+if grep -rn --include='*.rs' 'Mutex<Kdc' crates tests src 2>/dev/null \
+        | grep -v '^crates/lint/'; then
+    echo "found a Mutex<Kdc> outside crates/lint fixtures (see above)" >&2
+    exit 1
+fi
+
 echo "== krb-trace --smoke"
 # Seeded full login + forced failures must reconstruct as deterministic
 # traces (byte-identical across two runs); exits non-zero on any drift.
 cargo run -q -p krb-tools --bin krb-trace -- --smoke > /dev/null
 
-echo "== krb-chaos --smoke"
-# The fault-injection soak: every fault profile at CI scale, all four
+echo "== krb-chaos + krb-adversary --smoke (shared-realm KDC soaks)"
+# One step, two soaks, both driving the snapshot-swapped shared-realm KDC
+# (every handler goes through `&self` / `Arc<Kdc>` since the global lock
+# was removed). krb-chaos: every fault profile at CI scale, all four
 # oracle families (safety, liveness, conservation, trace completeness)
-# green, and the determinism contract holds — two same-seed runs must be
-# byte-identical.
+# green. krb-adversary: honest protocol green under active Dolev-Yao
+# attack, each --leak mode tripping exactly the matching oracles. Both
+# hold the determinism contract — two same-seed runs byte-identical.
 chaos_a="$(mktmp)"
 chaos_b="$(mktmp)"
 cargo run -q -p krb-sim --bin krb-chaos -- --smoke > "$chaos_a"
@@ -108,10 +145,6 @@ for key in tool seed profiles profile ops logins_ok app_ok replay_hits \
     fi
 done
 
-echo "== krb-adversary --smoke"
-# The Dolev–Yao attacker soak: honest protocol green under active attack,
-# each --leak mode tripping exactly the matching secrecy/authentication
-# oracles (the run self-verifies), and two same-seed runs byte-identical.
 adv_a="$(mktmp)"
 adv_b="$(mktmp)"
 cargo run -q -p krb-adversary --bin krb-adversary -- --smoke > "$adv_a"
@@ -131,11 +164,12 @@ for key in tool seed steps leak logins_ok app_ok injections replay \
 done
 
 echo "== BENCH_kdc.json schema"
-# The committed bench snapshot must carry the current schema (threads +
-# schedule-cache counters); a stale file means the numbers predate the
-# scheduled-key cache and are not comparable.
+# The committed bench snapshot must carry the current schema (threads,
+# realm mode, the shared-realm scaling sweep, schedule-cache counters); a
+# stale file means the numbers predate the concurrent KDC and are not
+# comparable. Regenerate with: krb-stat --scale.
 if [ -f BENCH_kdc.json ]; then
-    for key in threads sched_cache journal; do
+    for key in threads mode scaling sched_cache journal; do
         if ! grep -q "\"$key\"" BENCH_kdc.json; then
             echo "BENCH_kdc.json is missing \"$key\" — regenerate with krb-stat" >&2
             exit 1

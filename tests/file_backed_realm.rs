@@ -32,7 +32,7 @@ fn full_protocol_over_file_backed_database() {
     db.add_principal("rlogin", "priam", &string_to_key("srv"), NOW * 2, 96, NOW, "i.").unwrap();
     db.sync().unwrap();
 
-    let mut kdc = Kdc::new(db, RealmConfig::new(REALM), fixed_clock(NOW), KdcRole::Master, 1);
+    let kdc = Kdc::new(db, RealmConfig::new(REALM), fixed_clock(NOW), KdcRole::Master, 1);
     let client = Principal::parse("bcn", REALM).unwrap();
     let tgs = Principal::tgs(REALM, REALM);
     let rlogin = Principal::parse("rlogin.priam", REALM).unwrap();
@@ -62,7 +62,7 @@ fn database_survives_restart() {
     let store = HashStore::open(&base).unwrap();
     let db = PrincipalDb::open(store, string_to_key("master")).unwrap();
     assert_eq!(db.len(), 202); // K.M + krbtgt + 200 users
-    let mut kdc = Kdc::new(db, RealmConfig::new(REALM), fixed_clock(NOW), KdcRole::Master, 2);
+    let kdc = Kdc::new(db, RealmConfig::new(REALM), fixed_clock(NOW), KdcRole::Master, 2);
     let client = Principal::parse("user150", REALM).unwrap();
     let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
     assert!(read_as_reply_with_password(&kdc.handle(&req, WS), "pw150", NOW).is_ok());
@@ -88,7 +88,7 @@ fn propagation_from_file_backed_master_to_file_backed_slave() {
         athena_kerberos::kprop::kpropd_receive(&packet, slave_store, string_to_key("master"))
             .unwrap();
     assert_eq!(slave_db.len(), db.len());
-    let mut slave = Kdc::new(slave_db, RealmConfig::new(REALM), fixed_clock(NOW), KdcRole::Slave, 3);
+    let slave = Kdc::new(slave_db, RealmConfig::new(REALM), fixed_clock(NOW), KdcRole::Slave, 3);
     let client = Principal::parse("bcn", REALM).unwrap();
     let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, NOW);
     assert!(read_as_reply_with_password(&slave.handle(&req, WS), "bcn-pw", NOW).is_ok());

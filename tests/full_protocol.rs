@@ -210,7 +210,7 @@ fn journal_reconstructs_a_full_login_as_one_trace() {
     let mut r = realm();
     let journal = Journal::shared();
     let clock: ClockUs = lcg_clock_us(42, 40, 400);
-    r.dep.master.lock().set_journal(Arc::clone(&journal));
+    r.dep.master.set_journal(Arc::clone(&journal));
     let mut ws = workstation(&r);
     ws.enable_tracing(Arc::clone(&journal), ClockUs::clone(&clock), 42);
 
@@ -257,7 +257,7 @@ fn journal_dump_never_contains_key_material() {
     let mut r = realm();
     let journal = Journal::shared();
     let clock: ClockUs = lcg_clock_us(7, 40, 400);
-    r.dep.master.lock().set_journal(Arc::clone(&journal));
+    r.dep.master.set_journal(Arc::clone(&journal));
     let mut ws = workstation(&r);
     ws.enable_tracing(Arc::clone(&journal), ClockUs::clone(&clock), 7);
 
@@ -304,7 +304,7 @@ fn every_error_kind_is_constructible_and_journals_at_its_hop() {
     let mut r = realm();
     let journal = Journal::shared();
     let clock: ClockUs = lcg_clock_us(11, 40, 400);
-    r.dep.master.lock().set_journal(Arc::clone(&journal));
+    r.dep.master.set_journal(Arc::clone(&journal));
     let mut ws = workstation(&r);
     ws.enable_tracing(Arc::clone(&journal), ClockUs::clone(&clock), 11);
     let mut seen: HashSet<&'static str> = HashSet::new();

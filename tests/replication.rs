@@ -70,12 +70,13 @@ fn password_change_reaches_slaves_only_after_propagation() {
     assert!(probe.kinit(&mut router, "bcn", "bcn-pw").is_ok(), "old password still valid on slave");
 
     // Propagate (Fig. 13) and the slave converges.
-    let packet = kprop_build(dep.master.lock().db()).unwrap();
+    let snap = dep.master.snapshot();
+    let packet = kprop_build(snap.db()).unwrap();
     let entries = kpropd_verify(&packet, &dep.master_key).unwrap();
     let mut store = athena_kerberos::kdb::MemStore::new();
     athena_kerberos::kdb::dump::install(&mut store, &entries).unwrap();
     let db = athena_kerberos::kdb::PrincipalDb::open(store, dep.master_key).unwrap();
-    dep.slaves[0].1.lock().install_db(db);
+    dep.slaves[0].1.install_db(db);
 
     let mut probe = ws(&dep);
     probe.kdc_endpoints = vec![slave_ep];
@@ -105,7 +106,8 @@ fn master_down_blocks_admin_but_not_authentication() {
 #[test]
 fn tampered_propagation_is_rejected_and_slave_keeps_serving() {
     let (mut router, dep) = deploy(1);
-    let mut packet = kprop_build(dep.master.lock().db()).unwrap();
+    let snap = dep.master.snapshot();
+    let mut packet = kprop_build(snap.db()).unwrap();
     let n = packet.len();
     packet[n - 1] ^= 0x01;
     assert_eq!(
@@ -146,7 +148,7 @@ fn krbtgt_rollover_via_propagation_invalidates_schedule_caches() {
     probe.kdc_endpoints = vec![slave_ep];
     probe.kinit(&mut router, "bcn", "bcn-pw").unwrap();
     probe.get_service_ticket(&mut router, &rcmd).unwrap();
-    let warm_misses = slave.lock().telemetry().counter_value("kdc_sched_cache_misses_total");
+    let warm_misses = slave.telemetry().counter_value("kdc_sched_cache_misses_total");
     assert!(warm_misses > 0, "first requests must populate the schedule cache");
 
     // Steady state: a second login/ticket cycle builds no new schedules.
@@ -155,7 +157,7 @@ fn krbtgt_rollover_via_propagation_invalidates_schedule_caches() {
     probe2.kinit(&mut router, "bcn", "bcn-pw").unwrap();
     probe2.get_service_ticket(&mut router, &rcmd).unwrap();
     {
-        let t = slave.lock().telemetry();
+        let t = slave.telemetry();
         assert_eq!(
             t.counter_value("kdc_sched_cache_misses_total"),
             warm_misses,
@@ -177,7 +179,7 @@ fn krbtgt_rollover_via_propagation_invalidates_schedule_caches() {
     let mut store = athena_kerberos::kdb::MemStore::new();
     athena_kerberos::kdb::dump::install(&mut store, &entries).unwrap();
     let db = athena_kerberos::kdb::PrincipalDb::open(store, dep.master_key).unwrap();
-    slave.lock().install_db(db);
+    slave.install_db(db);
 
     // The old TGT is sealed under the retired krbtgt key; asking the TGS
     // for a not-yet-cached service must fail, not be served from a stale
@@ -194,7 +196,7 @@ fn krbtgt_rollover_via_propagation_invalidates_schedule_caches() {
     fresh.get_service_ticket(&mut router, &pop).unwrap();
 
     // ...and the invalidation is observable: the cleared LRU re-misses.
-    let after = slave.lock().telemetry().counter_value("kdc_sched_cache_misses_total");
+    let after = slave.telemetry().counter_value("kdc_sched_cache_misses_total");
     assert!(after > warm_misses, "install_db must clear the schedule cache ({after} vs {warm_misses})");
 }
 
@@ -321,4 +323,82 @@ fn propagation_scales_with_database_size() {
     }
     assert!(sizes[1] > sizes[0] * 3 && sizes[1] < sizes[0] * 5, "{sizes:?}");
     assert!(sizes[2] > sizes[1] * 3 && sizes[2] < sizes[1] * 5, "{sizes:?}");
+}
+
+#[test]
+fn concurrent_load_never_observes_a_half_installed_database() {
+    // The concurrent extension of the rollover regression above: while
+    // reader threads hammer the AS path lock-free, the kpropd apply path
+    // (`install_db`) keeps swapping between two complete databases that
+    // differ in bcn's password. Because the snapshot is built before the
+    // swap and replaced atomically, every single reply must decode under
+    // exactly one of the two passwords — a reply that decodes under
+    // neither would mean a request saw a torn view (e.g. krbtgt present
+    // but the user missing, or a key schedule from the retired database).
+    use athena_kerberos::kdc::{fixed_clock, Kdc, KdcRole};
+    use athena_kerberos::krb::{build_as_req, read_as_reply_with_password};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    let start = athena_kerberos::netsim::EPOCH_1987;
+    let make_db = |seed: u64, pw: &str| {
+        let mut boot = kdb_init(REALM, "mk", start, seed).unwrap();
+        register_user(&mut boot.db, "bcn", "", pw, start).unwrap();
+        boot.db
+    };
+    let kdc = std::sync::Arc::new(Kdc::new(
+        make_db(400, "pw-a"),
+        RealmConfig::new(REALM),
+        fixed_clock(start),
+        KdcRole::Slave,
+        401,
+    ));
+    let client = Principal::parse("bcn", REALM).unwrap();
+    let req = build_as_req(&client, &Principal::tgs(REALM, REALM), 96, start);
+
+    const READERS: usize = 4;
+    const PER_READER: u32 = 300;
+    const INSTALLS: u64 = 20;
+    let handled = AtomicU32::new(0);
+    let (seen_a, seen_b, torn) = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..READERS)
+            .map(|_| {
+                s.spawn(|| {
+                    let (mut a, mut b, mut bad) = (0u32, 0u32, 0u32);
+                    for _ in 0..PER_READER {
+                        let reply = kdc.handle(&req, WS_ADDR);
+                        let ok_a = read_as_reply_with_password(&reply, "pw-a", start).is_ok();
+                        let ok_b = read_as_reply_with_password(&reply, "pw-b", start).is_ok();
+                        match (ok_a, ok_b) {
+                            (true, false) => a += 1,
+                            (false, true) => b += 1,
+                            _ => bad += 1,
+                        }
+                        handled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (a, b, bad)
+                })
+            })
+            .collect();
+
+        // Alternate complete databases under the readers' feet, pacing so
+        // at least 8 requests complete against each installed version.
+        let total = READERS as u32 * PER_READER;
+        for i in 0..INSTALLS {
+            let pw = if i % 2 == 0 { "pw-b" } else { "pw-a" };
+            kdc.install_db(make_db(402 + i, pw));
+            let target = (handled.load(Ordering::Relaxed) + 8).min(total);
+            while handled.load(Ordering::Relaxed) < target {
+                std::thread::yield_now();
+            }
+        }
+
+        workers.into_iter().map(|h| h.join().unwrap()).fold(
+            (0u32, 0u32, 0u32),
+            |(a, b, bad), (ra, rb, rbad)| (a + ra, b + rb, bad + rbad),
+        )
+    });
+
+    assert_eq!(torn, 0, "{torn} replies decoded under neither database version");
+    assert!(seen_a > 0 && seen_b > 0, "both versions must serve ({seen_a} / {seen_b})");
+    assert_eq!(kdc.telemetry().counter_value("kdc_store_swaps_total"), INSTALLS);
 }

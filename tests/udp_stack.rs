@@ -9,7 +9,6 @@ use athena_kerberos::krb::{
 };
 use athena_kerberos::netsim::{udp_request, Packet, UdpServer};
 use athena_kerberos::tools::{kdb_init, register_service, register_user};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -27,16 +26,16 @@ fn full_protocol_over_real_udp() {
     let mut keygen = athena_kerberos::crypto::KeyGenerator::new(StdRng::seed_from_u64(301));
     let svc_key = register_service(&mut boot.db, "echo", "localhost", NOW, &mut keygen).unwrap();
 
-    let kdc = Arc::new(Mutex::new(Kdc::new(
+    let kdc = Arc::new(Kdc::new(
         boot.db,
         RealmConfig::new(REALM),
         fixed_clock(NOW),
         KdcRole::Master,
         302,
-    )));
+    ));
     let kdc_for_service = Arc::clone(&kdc);
     let server = UdpServer::spawn("127.0.0.1:0", move |req: &Packet| {
-        Some(kdc_for_service.lock().handle(&req.payload, req.src.addr.0))
+        Some(kdc_for_service.handle(&req.payload, req.src.addr.0))
     })
     .unwrap();
 
@@ -65,15 +64,15 @@ fn full_protocol_over_real_udp() {
 fn udp_wrong_password_fails_the_same_way() {
     let mut boot = kdb_init(REALM, "master", NOW, 310).unwrap();
     register_user(&mut boot.db, "bcn", "", "bcn-pw", NOW).unwrap();
-    let kdc = Arc::new(Mutex::new(Kdc::new(
+    let kdc = Arc::new(Kdc::new(
         boot.db,
         RealmConfig::new(REALM),
         fixed_clock(NOW),
         KdcRole::Master,
         311,
-    )));
+    ));
     let server = UdpServer::spawn("127.0.0.1:0", move |req: &Packet| {
-        Some(kdc.lock().handle(&req.payload, req.src.addr.0))
+        Some(kdc.handle(&req.payload, req.src.addr.0))
     })
     .unwrap();
     let client = Principal::parse("bcn", REALM).unwrap();
