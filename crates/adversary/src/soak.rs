@@ -262,6 +262,7 @@ pub const ADVERSARY_JSON_KEYS: &[&str] = &[
     "oracles",
     "secrecy",
     "authentication",
+    "metrics_journal",
     "violations",
 ];
 
@@ -355,9 +356,12 @@ impl AdvReport {
             ",\"journal\":{{\"events\":{},\"dropped\":{}}}",
             self.journal_events, self.journal_dropped
         );
+        // `metrics_journal` is constant here by construction: a report only
+        // exists when `run` finished, and `run` aborts with an `AdvFailure`
+        // on any metrics≡journal mismatch before building the report.
         let _ = write!(
             s,
-            ",\"oracles\":{{\"secrecy\":\"{}\",\"authentication\":\"{}\"}}",
+            ",\"oracles\":{{\"secrecy\":\"{}\",\"authentication\":\"{}\",\"metrics_journal\":\"pass\"}}",
             if self.secrecy_ok() { "pass" } else { "tripped" },
             if self.auth_ok() { "pass" } else { "tripped" }
         );
@@ -1080,6 +1084,18 @@ pub fn run(cfg: AdvConfig) -> Result<AdvReport, AdvFailure> {
         eng.attack_round();
         eng.observe_new();
         eng.oracle_check(step)?;
+    }
+    // Telemetry consistency: every counter the victim realm exported must
+    // be recomputable from the journal, even under active attack — forged
+    // and replayed traffic has to be *counted* exactly as it is journaled.
+    match krb_mon::consistency_check(&eng.registry, &eng.journal) {
+        Ok(consistency) => {
+            if !consistency.is_consistent() {
+                let detail = consistency.describe_mismatches();
+                return Err(eng.fail("metrics_journal", cfg.steps, detail));
+            }
+        }
+        Err(e) => return Err(eng.fail("metrics_journal", cfg.steps, e.to_string())),
     }
     Ok(eng.finish())
 }

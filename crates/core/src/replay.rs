@@ -12,7 +12,7 @@
 
 use crate::time::MAX_SKEW_SECS;
 use krb_telemetry::{Counter, Registry};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 
 /// Identity of one request for replay purposes.
@@ -178,18 +178,21 @@ pub struct StripedReplayCache {
     stripes: Vec<Mutex<ReplayStripe>>,
     /// Per-stripe replay-hit counters, published with zero-padded labels
     /// so the registry's lexicographic render is also numeric order.
-    stripe_hits: Vec<Counter>,
-    hits: Counter,
-    evictions: Counter,
+    /// Handles sit behind `RwLock` so [`StripedReplayCache::publish`] can
+    /// rebind them to registry-owned storage (see its docs); the lock is
+    /// only read on the rare hit/eviction paths.
+    stripe_hits: Vec<RwLock<Counter>>,
+    hits: RwLock<Counter>,
+    evictions: RwLock<Counter>,
 }
 
 impl Default for StripedReplayCache {
     fn default() -> Self {
         StripedReplayCache {
             stripes: (0..REPLAY_STRIPES).map(|_| Mutex::new(ReplayStripe::default())).collect(),
-            stripe_hits: (0..REPLAY_STRIPES).map(|_| Counter::new()).collect(),
-            hits: Counter::new(),
-            evictions: Counter::new(),
+            stripe_hits: (0..REPLAY_STRIPES).map(|_| RwLock::new(Counter::new())).collect(),
+            hits: RwLock::new(Counter::new()),
+            evictions: RwLock::new(Counter::new()),
         }
     }
 }
@@ -210,38 +213,44 @@ impl StripedReplayCache {
     pub fn check_and_insert(&self, key: ReplayKey, now: u32) -> bool {
         let i = Self::stripe_of(&key);
         let mut stripe = self.stripes[i].lock();
-        stripe.maybe_purge(now, &self.evictions);
+        stripe.maybe_purge(now, &self.evictions.read());
         if stripe.seen.contains_key(&key) {
-            self.hits.inc();
-            self.stripe_hits[i].inc();
+            self.hits.read().inc();
+            self.stripe_hits[i].read().inc();
             return false;
         }
         stripe.seen.insert(key, now);
         true
     }
 
-    /// Replays detected so far, across all stripes.
+    /// Replays detected so far. After [`StripedReplayCache::publish`] into
+    /// a registry shared with other caches, this reads the *shared*
+    /// counter — replays across every publisher of the same prefix.
     pub fn replay_hits(&self) -> u64 {
-        self.hits.get()
+        self.hits.read().get()
     }
 
     /// Entries evicted by the per-stripe purge sweeps so far.
     pub fn evictions(&self) -> u64 {
-        self.evictions.get()
+        self.evictions.read().get()
     }
 
-    /// Publish the aggregate counters as `{prefix}_replay_hits_total` /
-    /// `{prefix}_replay_evictions_total` (same names the single-lock cache
-    /// uses, so dashboards survive the swap) plus one
-    /// `{prefix}_replay_stripe_hits_total{stripe="NN"}` per stripe.
+    /// Bind the cache's counters to the registry's storage for
+    /// `{prefix}_replay_hits_total` / `{prefix}_replay_evictions_total`
+    /// (same names the single-lock cache uses, so dashboards survive the
+    /// swap) plus one `{prefix}_replay_stripe_hits_total{stripe="NN"}` per
+    /// stripe. Get-or-create, not adopt: several caches publishing the
+    /// same prefix into one shared registry (a master and its slaves)
+    /// increment *one* set of counters instead of silently shadowing each
+    /// other — the metrics ≡ journal oracle depends on this. Counts
+    /// recorded before publishing are dropped; publish right after
+    /// construction (or accept the documented `set_telemetry` reset).
     pub fn publish(&self, registry: &Registry, prefix: &str) {
-        registry.adopt_counter(&format!("{prefix}_replay_hits_total"), &self.hits);
-        registry.adopt_counter(&format!("{prefix}_replay_evictions_total"), &self.evictions);
+        *self.hits.write() = registry.counter(&format!("{prefix}_replay_hits_total"));
+        *self.evictions.write() = registry.counter(&format!("{prefix}_replay_evictions_total"));
         for (i, c) in self.stripe_hits.iter().enumerate() {
-            registry.adopt_counter(
-                &format!("{prefix}_replay_stripe_hits_total{{stripe=\"{i:02}\"}}"),
-                c,
-            );
+            *c.write() =
+                registry.counter(&format!("{prefix}_replay_stripe_hits_total{{stripe=\"{i:02}\"}}"));
         }
     }
 

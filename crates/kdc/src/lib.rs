@@ -18,5 +18,7 @@ pub mod server;
 pub mod service;
 
 pub use realm::{pair_realms, RealmConfig};
-pub use server::{fixed_clock, shared_clock, Clock, Kdc, KdcRole, KdcSnapshot, KdcStats};
+pub use server::{
+    fixed_clock, shared_clock, Clock, Kdc, KdcRole, KdcSnapshot, KdcStats, KdcTopStats,
+};
 pub use service::{Deployment, KdcService};

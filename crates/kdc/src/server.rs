@@ -27,7 +27,8 @@ use kerberos::{
 use krb_kdb::{MemStore, PrincipalDb, PrincipalEntry, Store, ATTR_DISABLED, ATTR_NO_TGS};
 use krb_crypto::{seal_with, KeyGenerator, Mode, Scheduled};
 use krb_telemetry::{
-    ClockUs, Component, Counter, EventKind, Field, Histogram, Journal, Registry, Span, TraceId,
+    ClockUs, Component, Counter, EventKind, Field, Histogram, Journal, Registry, SpaceSaving,
+    Span, TraceId,
 };
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -90,6 +91,36 @@ pub struct KdcStats {
     pub errors: u64,
     /// The same errors broken down by taxonomy kind.
     pub errors_by_kind: ErrorKindCounts,
+}
+
+/// Bounded per-principal heavy-hitter tables (`krb-mon`'s `TopPrincipals`
+/// frame). Space-saving sketches with a fixed capacity `K`, so telemetry
+/// memory stays O(K) however many principals the realm holds (ROADMAP
+/// item 2 targets 10^6+). Cloning yields handles onto the same tables.
+///
+/// Deliberately *not* published into the registry: concurrent eviction
+/// makes the monitored set near the tail schedule-dependent, which would
+/// break [`Registry::render`]'s byte-determinism contract. The sketches
+/// are surfaced through `MonService` frames only.
+#[derive(Clone, Debug)]
+pub struct KdcTopStats {
+    /// Client principals by successful AS exchanges.
+    pub as_clients: SpaceSaving,
+    /// Target services (`name.instance`) by successful TGS exchanges.
+    pub tgs_services: SpaceSaving,
+    /// Exchange subjects (client or service) by failed exchanges.
+    pub error_principals: SpaceSaving,
+}
+
+impl KdcTopStats {
+    /// Three tables of capacity `k` each.
+    pub fn new(k: usize) -> Self {
+        KdcTopStats {
+            as_clients: SpaceSaving::new(k),
+            tgs_services: SpaceSaving::new(k),
+            error_principals: SpaceSaving::new(k),
+        }
+    }
 }
 
 /// The KDC's telemetry handles, registered under `kdc_*` names.
@@ -255,8 +286,14 @@ pub struct Kdc<S: Store> {
     replay: StripedReplayCache,
     role: KdcRole,
     hooks: RwLock<Arc<KdcHooks>>,
-    /// How many snapshot swaps have been installed (`kdc_store_swaps_total`).
-    swaps: Counter,
+    /// How many snapshot swaps have been installed
+    /// (`kdc_store_swaps_total`). Behind `RwLock` so `set_telemetry` can
+    /// rebind the handle to shared registry storage; swaps are rare
+    /// (admin writes), so the read-lock cost is irrelevant.
+    swaps: RwLock<Counter>,
+    /// Optional heavy-hitter tables (absent until
+    /// [`Kdc::enable_top_stats`]; one relaxed read per request when off).
+    top: RwLock<Option<KdcTopStats>>,
 }
 
 impl<S: Store> Kdc<S> {
@@ -269,8 +306,7 @@ impl<S: Store> Kdc<S> {
         let metrics = KdcMetrics::new(&registry);
         let replay = StripedReplayCache::new();
         replay.publish(&registry, "kdc");
-        let swaps = Counter::default();
-        registry.adopt_counter("kdc_store_swaps_total", &swaps);
+        let swaps = RwLock::new(registry.counter("kdc_store_swaps_total"));
         let protocol_clock = Arc::clone(&clock);
         let clock_us: ClockUs = Arc::new(move || u64::from(protocol_clock()) * 1_000_000);
         let snapshot = build_snapshot(&db, &config.realm);
@@ -289,7 +325,22 @@ impl<S: Store> Kdc<S> {
                 journal: JournalSink::None,
             })),
             swaps,
+            top: RwLock::new(None),
         }
+    }
+
+    /// Start maintaining bounded per-principal heavy-hitter tables of
+    /// capacity `k` (see [`KdcTopStats`]). Idempotent per call — calling
+    /// again resets the tables with the new capacity.
+    pub fn enable_top_stats(&self, k: usize) -> KdcTopStats {
+        let stats = KdcTopStats::new(k);
+        *self.top.write() = Some(stats.clone());
+        stats
+    }
+
+    /// Handles onto the heavy-hitter tables, if enabled.
+    pub fn top_stats(&self) -> Option<KdcTopStats> {
+        self.top.read().clone()
     }
 
     /// The current read snapshot. The returned `Arc` stays valid (and
@@ -311,12 +362,13 @@ impl<S: Store> Kdc<S> {
     /// Report into a caller-provided registry and time spans with a
     /// caller-provided microsecond clock. Counts recorded so far are
     /// dropped (call right after construction); the replay cache's
-    /// counters and the swap counter are re-published into the new
-    /// registry.
+    /// counters and the swap counter rebind to the new registry's storage
+    /// — several KDCs sharing one registry (a master and its slaves)
+    /// increment shared counters rather than shadowing each other.
     pub fn set_telemetry(&self, registry: Arc<Registry>, clock_us: ClockUs) {
         let metrics = KdcMetrics::new(&registry);
         self.replay.publish(&registry, "kdc");
-        registry.adopt_counter("kdc_store_swaps_total", &self.swaps);
+        *self.swaps.write() = registry.counter("kdc_store_swaps_total");
         let journal = self.hooks().journal.clone();
         *self.hooks.write() = Arc::new(KdcHooks { registry, metrics, clock_us, journal });
     }
@@ -415,7 +467,7 @@ impl<S: Store> Kdc<S> {
                 let out = f(&mut db);
                 let snap = build_snapshot(&db, &self.config.realm);
                 *self.snapshot.write() = Arc::new(snap);
-                self.swaps.inc();
+                self.swaps.read().inc();
                 Some(out)
             }
         }
@@ -429,7 +481,7 @@ impl<S: Store> Kdc<S> {
         let mut primary = self.primary.lock();
         *primary = db;
         *self.snapshot.write() = Arc::new(snap);
-        self.swaps.inc();
+        self.swaps.read().inc();
     }
 
     /// Handle one datagram; always returns a reply (success or KRB_ERROR).
@@ -456,7 +508,12 @@ impl<S: Store> Kdc<S> {
         }
         let snap = self.snapshot();
         let hooks = self.hooks();
-        let span = Span::start(&hooks.clock_us, &hooks.metrics.as_latency_us);
+        let mut span = Span::start(&hooks.clock_us, &hooks.metrics.as_latency_us);
+        if let Some(t) = trace {
+            // The latency bucket this exchange lands in remembers the
+            // trace as its exemplar, linking render spikes to timelines.
+            span = span.with_trace(t);
+        }
         // `who` names the exchange's subject for the journal: the client
         // principal (AS) or the target service (TGS) — never key material.
         let (kind, result, who) = match Message::decode(request) {
@@ -487,8 +544,16 @@ impl<S: Store> Kdc<S> {
                 None
             }
         };
+        let top = self.top.read().clone();
         match result {
             Ok(reply) => {
+                if let (Some(top), Some((_, value))) = (&top, &who) {
+                    match ok_kind {
+                        Some(EventKind::AsOk) => top.as_clients.observe(value),
+                        Some(EventKind::TgsOk) => top.tgs_services.observe(value),
+                        _ => {}
+                    }
+                }
                 if hooks.journal.attached() {
                     if let Some(event) = ok_kind {
                         let mut fields: Vec<(&'static str, Field)> = Vec::with_capacity(1);
@@ -503,6 +568,9 @@ impl<S: Store> Kdc<S> {
             Err(code) => {
                 hooks.metrics.errors.inc();
                 hooks.metrics.error_kinds[code.kind_index()].inc();
+                if let (Some(top), Some((_, value))) = (&top, &who) {
+                    top.error_principals.observe(value);
+                }
                 if hooks.journal.attached() {
                     let mut fields: Vec<(&'static str, Field)> = vec![
                         ("err_kind", Field::from(code.kind())),
@@ -1180,5 +1248,58 @@ mod tests {
             Message::Err(e) => assert_eq!(e.code, ErrorCode::RdApVersion),
             other => panic!("expected error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn top_stats_track_principals_per_exchange_kind() {
+        let kdc = test_kdc();
+        assert!(kdc.top_stats().is_none(), "disabled by default");
+        kdc.enable_top_stats(8);
+
+        let client = principal("bcn");
+        let tgs = Principal::tgs(REALM, REALM);
+        let as_req = build_as_req(&client, &tgs, 96, NOW);
+        let tgt =
+            read_as_reply_with_password(&kdc.handle(&as_req, WS), "bcn-password", NOW).unwrap();
+        let tgs_req = build_tgs_req(&tgt, &client, WS, NOW, &principal("rlogin.priam"), 96);
+        read_tgs_reply(&kdc.handle(&tgs_req, WS), &tgt, NOW).unwrap();
+        // Unknown principal: the error table keys on the offending name.
+        let bad = build_as_req(&principal("mallory"), &tgs, 96, NOW);
+        kdc.handle(&bad, WS);
+
+        let top = kdc.top_stats().expect("enabled above");
+        let flat = |entries: Vec<krb_telemetry::SketchEntry>| -> Vec<(String, u64)> {
+            entries.into_iter().map(|e| (e.key, e.count)).collect()
+        };
+        assert_eq!(flat(top.as_clients.top(8)), vec![("bcn".to_string(), 1)]);
+        assert_eq!(flat(top.tgs_services.top(8)), vec![("rlogin.priam".to_string(), 1)]);
+        assert_eq!(flat(top.error_principals.top(8)), vec![("mallory".to_string(), 1)]);
+    }
+
+    #[test]
+    fn traced_exchanges_stamp_latency_exemplars() {
+        let kdc = test_kdc();
+        let trace = TraceId(0xE7);
+        let as_req = build_as_req(&principal("bcn"), &Principal::tgs(REALM, REALM), 96, NOW);
+        kdc.handle_traced(&as_req, WS, Some(trace));
+        let traces: Vec<_> = kdc
+            .telemetry()
+            .histogram("kdc_as_latency_us")
+            .exemplars()
+            .into_iter()
+            .filter_map(|(_, t)| t)
+            .collect();
+        assert_eq!(traces, vec![trace], "the traced AS exchange stamps its bucket");
+        // Untraced traffic leaves no exemplar behind.
+        let before = traces.len();
+        kdc.handle(&as_req, WS);
+        let after: usize = kdc
+            .telemetry()
+            .histogram("kdc_as_latency_us")
+            .exemplars()
+            .into_iter()
+            .filter(|(_, t)| t.is_some())
+            .count();
+        assert_eq!(after, before, "untraced requests do not add exemplars");
     }
 }

@@ -67,6 +67,10 @@ pub const LOCK_ORDER: &[&str] = &[
     "master", "kdc", "slave", "kdbm", "primary", "snapshot", "hooks", "keygen",
     "sched_cache", "ledger", "captured", "clients", "registry", "journal", "metrics",
     "stripes", "state",
+    // Rebindable counter handles (`RwLock<Counter>`): innermost leaves,
+    // held only for the instant of an `.inc()` or a publish-time rebind,
+    // and never acquiring anything beneath them.
+    "hits", "evictions", "stripe_hits", "swaps",
 ];
 
 fn rank(lock: &str) -> Option<usize> {

@@ -16,8 +16,10 @@
 //!   data)` yields ciphertext, and treating every derived value as secret
 //!   would drown the rule in false positives (the paper's protocol
 //!   *depends* on ciphertext being safe to transmit).
-//! - **Sinks**: the formatting macros ([`SINK_MACROS`]) and the journal's
-//!   `Field::from` constructor. Sink arguments are checked for tainted
+//! - **Sinks**: the formatting macros ([`SINK_MACROS`]), the journal's
+//!   `Field::from` constructor, and the `MonService` response builders
+//!   ([`MON_SINK_FNS`]) — a monitoring frame is cleartext on the wire.
+//!   Sink arguments are checked for tainted
 //!   names, for secret types used inline, and — via the lexer's
 //!   inline-capture extraction — for `format!("{key}")`-style captures
 //!   that never mention the name outside the string literal (L7's
@@ -54,6 +56,11 @@ pub const SINK_MACROS: &[&str] = &[
     "dbg",
 ];
 
+/// `MonService` response builders are sinks: everything framed here goes
+/// to a monitoring client in cleartext, so a health/stats frame must
+/// never carry key material.
+pub const MON_SINK_FNS: &[&str] = &["frame_str", "frame_u64", "frame_bytes"];
+
 /// Is `name` secret by convention alone?
 fn name_is_secret(name: &str) -> bool {
     SECRET_IDENTS.contains(&name)
@@ -75,6 +82,8 @@ pub fn check_l9(rel: &str, tokens: &[Token], model: &ScopeModel) -> Vec<Finding>
                 && c.path_prefix.as_deref() == Some("Field")
             {
                 Some("Field::from".to_string())
+            } else if !c.is_macro && MON_SINK_FNS.contains(&c.callee.as_str()) {
+                Some(c.callee.clone())
             } else {
                 None
             };
@@ -338,6 +347,26 @@ mod tests {
     fn field_from_sink_fires_on_secret_type() {
         let src = "fn f(key: &DesKey) { let x = Field::from(DesKey::clone(key)); }";
         assert_eq!(l9(src), vec!["DesKey"]);
+    }
+
+    #[test]
+    fn mon_frame_builders_are_sinks() {
+        // Key material packed into a MonService reply frame fires...
+        let src = "fn reply(out: &mut Vec<u8>, key: &DesKey) {\n\
+                   frame_bytes(out, key.to_bytes());\n\
+                   }";
+        assert_eq!(l9(src), vec!["key"]);
+        // ...multi-hop taint reaches the builder too...
+        let src = "fn reply(out: &mut Vec<u8>, password: &str) {\n\
+                   let copied = password;\n\
+                   frame_str(out, copied);\n\
+                   }";
+        assert_eq!(l9(src), vec!["copied"]);
+        // ...while framing a laundered scalar stays clean.
+        let src = "fn reply(out: &mut Vec<u8>, key: &DesKey) {\n\
+                   frame_u64(out, key.len() as u64);\n\
+                   }";
+        assert!(l9(src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,6 @@
+// L9 fixture (bad): a session key framed into a MonService reply —
+// monitoring frames are cleartext on the wire. Expected: exactly one
+// finding, L9 / session_key.
+pub fn stat_reply(out: &mut Vec<u8>, session_key: &DesKey) {
+    frame_bytes(out, session_key.to_bytes());
+}

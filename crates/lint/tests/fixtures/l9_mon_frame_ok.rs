@@ -1,0 +1,6 @@
+// L9 fixture (good twin): only the key's *length* reaches the frame —
+// `.len()` launders the secret into a harmless scalar. Expected: no
+// findings.
+pub fn stat_reply(out: &mut Vec<u8>, session_key: &DesKey) {
+    frame_u64(out, session_key.len() as u64);
+}

@@ -1,0 +1,629 @@
+//! The `MonService` wire frames: requests, responses, and the builder
+//! primitives responses are assembled from.
+//!
+//! The encoding is deliberately primitive — tag byte plus length-prefixed
+//! little-endian fields — so that `krbd` (ROADMAP item 1) can serve the
+//! identical bytes on a real UDP socket without pulling a serialization
+//! dependency into the workspace. Every frame round-trips through
+//! `encode`/`decode`, and encoding is a pure function of the frame value,
+//! so equal snapshots produce byte-identical replies (the property
+//! `krb-top --once --json` determinism rests on).
+//!
+//! ## Redaction boundary
+//!
+//! [`frame_str`], [`frame_u64`], and [`frame_bytes`] are the **only** ways
+//! payload data enters a response frame, which makes them the natural
+//! secret-taint sinks: lint rule **L9** flags any call that feeds a value
+//! derived from key material (`DesKey`, `SecretKey`, `Scheduled`,
+//! password fragments) into one of them. A stats frame names principals
+//! and counts — never keys.
+
+use krb_telemetry::SketchEntry;
+
+/// One monitoring query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MonRequest {
+    /// Full counter/gauge/histogram snapshot.
+    Stat,
+    /// Per-component health verdicts.
+    Health,
+    /// The most recent `n` journal lines.
+    Tail(u32),
+    /// The top `n` entries of every heavy-hitter table.
+    Top(u32),
+    /// The most recent `n` flight-recorder failure captures.
+    ErrTraces(u32),
+}
+
+const TAG_STAT: u8 = 0x01;
+const TAG_HEALTH: u8 = 0x02;
+const TAG_TAIL: u8 = 0x03;
+const TAG_TOP: u8 = 0x04;
+const TAG_ERR_TRACES: u8 = 0x05;
+
+impl MonRequest {
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            MonRequest::Stat => out.push(TAG_STAT),
+            MonRequest::Health => out.push(TAG_HEALTH),
+            MonRequest::Tail(n) => {
+                out.push(TAG_TAIL);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            MonRequest::Top(n) => {
+                out.push(TAG_TOP);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            MonRequest::ErrTraces(n) => {
+                out.push(TAG_ERR_TRACES);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let frame = match r.u8()? {
+            TAG_STAT => MonRequest::Stat,
+            TAG_HEALTH => MonRequest::Health,
+            TAG_TAIL => MonRequest::Tail(r.u32()?),
+            TAG_TOP => MonRequest::Top(r.u32()?),
+            TAG_ERR_TRACES => MonRequest::ErrTraces(r.u32()?),
+            _ => return None,
+        };
+        r.done().then_some(frame)
+    }
+}
+
+/// Append a string to a response frame body: `u32` LE length + UTF-8
+/// bytes. **L9 sink** — never feed key-derived values through here.
+pub fn frame_str(out: &mut Vec<u8>, s: &str) {
+    frame_bytes(out, s.as_bytes());
+}
+
+/// Append a `u64` to a response frame body (8 bytes LE). **L9 sink**.
+pub fn frame_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append raw bytes to a response frame body: `u32` LE length + bytes.
+/// **L9 sink**.
+pub fn frame_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// Sequential frame reader (the decode-side dual of the builders).
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn frame_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Point-in-time histogram readout carried by [`StatSnapshot`]:
+/// percentiles plus per-bucket exemplar trace ids.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistStat {
+    /// Registry name of the histogram.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (microseconds).
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (upper estimate).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// `(bucket upper bound, exemplar trace id)` for every bucket that has
+    /// one; `None` bound is the overflow bucket. The exemplar links the
+    /// bucket straight to a `krb-trace` timeline.
+    pub exemplars: Vec<(Option<u64>, u64)>,
+}
+
+/// The `Stat` reply: every counter and gauge plus histogram readouts,
+/// all sorted by name.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct StatSnapshot {
+    /// The serving component ("kdc-master", "app-server", ...).
+    pub component: String,
+    /// `(name, value)` for every registered counter, sorted by name —
+    /// includes the per-stripe replay-cache hit counters
+    /// (`kdc_replay_stripe_hits_total{stripe="NN"}`) and
+    /// `kdc_store_swaps_total`, so stripe imbalance is visible live.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram readouts with exemplars, sorted by name.
+    pub hists: Vec<HistStat>,
+    /// Journal events recorded so far.
+    pub journal_events: u64,
+    /// Journal events evicted by the ring bound.
+    pub journal_dropped: u64,
+}
+
+impl StatSnapshot {
+    /// Per-stripe replay-cache hits, in stripe order, parsed from the
+    /// counter table (empty if this component has no replay cache).
+    pub fn stripe_hits(&self) -> Vec<u64> {
+        let prefix = "kdc_replay_stripe_hits_total{stripe=\"";
+        self.counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .collect()
+    }
+
+    /// The `kdc_store_swaps_total` reading (0 for non-KDC components).
+    pub fn store_swaps(&self) -> u64 {
+        self.counters
+            .iter()
+            .find(|(name, _)| name == "kdc_store_swaps_total")
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Encode to a reply frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![TAG_STAT];
+        frame_str(&mut out, &self.component);
+        frame_u64(&mut out, self.counters.len() as u64);
+        for (name, v) in &self.counters {
+            frame_str(&mut out, name);
+            frame_u64(&mut out, *v);
+        }
+        frame_u64(&mut out, self.gauges.len() as u64);
+        for (name, v) in &self.gauges {
+            frame_str(&mut out, name);
+            frame_i64(&mut out, *v);
+        }
+        frame_u64(&mut out, self.hists.len() as u64);
+        for h in &self.hists {
+            frame_str(&mut out, &h.name);
+            for v in [h.count, h.sum, h.max, h.p50, h.p95, h.p99] {
+                frame_u64(&mut out, v);
+            }
+            frame_u64(&mut out, h.exemplars.len() as u64);
+            for (bound, trace) in &h.exemplars {
+                // u64::MAX marks the overflow bucket (never a real bound).
+                frame_u64(&mut out, bound.unwrap_or(u64::MAX));
+                frame_u64(&mut out, *trace);
+            }
+        }
+        frame_u64(&mut out, self.journal_events);
+        frame_u64(&mut out, self.journal_dropped);
+        out
+    }
+
+    /// Decode a reply frame.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        (r.u8()? == TAG_STAT).then_some(())?;
+        let component = r.str()?;
+        let mut counters = Vec::new();
+        for _ in 0..r.u64()? {
+            counters.push((r.str()?, r.u64()?));
+        }
+        let mut gauges = Vec::new();
+        for _ in 0..r.u64()? {
+            gauges.push((r.str()?, r.i64()?));
+        }
+        let mut hists = Vec::new();
+        for _ in 0..r.u64()? {
+            let name = r.str()?;
+            let (count, sum, max) = (r.u64()?, r.u64()?, r.u64()?);
+            let (p50, p95, p99) = (r.u64()?, r.u64()?, r.u64()?);
+            let mut exemplars = Vec::new();
+            for _ in 0..r.u64()? {
+                let bound = match r.u64()? {
+                    u64::MAX => None,
+                    b => Some(b),
+                };
+                exemplars.push((bound, r.u64()?));
+            }
+            hists.push(HistStat { name, count, sum, max, p50, p95, p99, exemplars });
+        }
+        let journal_events = r.u64()?;
+        let journal_dropped = r.u64()?;
+        r.done().then_some(StatSnapshot {
+            component,
+            counters,
+            gauges,
+            hists,
+            journal_events,
+            journal_dropped,
+        })
+    }
+}
+
+/// One component's verdict inside a [`HealthReport`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ComponentHealth {
+    /// Component label ("kdc", "app", ...).
+    pub component: String,
+    /// Verdict slug: `healthy` / `degraded` / `failing`.
+    pub state: String,
+    /// Error rate, per-mille of total requests.
+    pub err_permille: u64,
+    /// Replay-hit rate, per-mille of total requests.
+    pub replay_permille: u64,
+    /// Total requests the rates are over.
+    pub total: u64,
+    /// Journal events dropped (shared journal: same for every component).
+    pub journal_dropped: u64,
+}
+
+/// The `Health` reply: one verdict per configured component, in
+/// configuration order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct HealthReport {
+    /// Per-component verdicts.
+    pub components: Vec<ComponentHealth>,
+}
+
+impl HealthReport {
+    /// Encode to a reply frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![TAG_HEALTH];
+        frame_u64(&mut out, self.components.len() as u64);
+        for c in &self.components {
+            frame_str(&mut out, &c.component);
+            frame_str(&mut out, &c.state);
+            for v in [c.err_permille, c.replay_permille, c.total, c.journal_dropped] {
+                frame_u64(&mut out, v);
+            }
+        }
+        out
+    }
+
+    /// Decode a reply frame.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        (r.u8()? == TAG_HEALTH).then_some(())?;
+        let mut components = Vec::new();
+        for _ in 0..r.u64()? {
+            components.push(ComponentHealth {
+                component: r.str()?,
+                state: r.str()?,
+                err_permille: r.u64()?,
+                replay_permille: r.u64()?,
+                total: r.u64()?,
+                journal_dropped: r.u64()?,
+            });
+        }
+        r.done().then_some(HealthReport { components })
+    }
+}
+
+/// The `Tail` reply: the last `n` retained journal lines plus the
+/// journal's own accounting, so a reader can tell a short tail from a
+/// wrapped one.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct JournalTail {
+    /// Rendered event lines (see `Event::render_line`), oldest first.
+    pub lines: Vec<String>,
+    /// Total events ever recorded.
+    pub events: u64,
+    /// Events evicted by the ring bound.
+    pub dropped: u64,
+}
+
+impl JournalTail {
+    /// Encode to a reply frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![TAG_TAIL];
+        frame_u64(&mut out, self.lines.len() as u64);
+        for line in &self.lines {
+            frame_str(&mut out, line);
+        }
+        frame_u64(&mut out, self.events);
+        frame_u64(&mut out, self.dropped);
+        out
+    }
+
+    /// Decode a reply frame.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        (r.u8()? == TAG_TAIL).then_some(())?;
+        let mut lines = Vec::new();
+        for _ in 0..r.u64()? {
+            lines.push(r.str()?);
+        }
+        let events = r.u64()?;
+        let dropped = r.u64()?;
+        r.done().then_some(JournalTail { lines, events, dropped })
+    }
+}
+
+/// The `Top` reply: every labeled heavy-hitter table, truncated to the
+/// requested depth.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TopPrincipals {
+    /// `(table label, entries)` in configuration order; entries sorted by
+    /// count descending then key ascending.
+    pub tables: Vec<(String, Vec<SketchEntry>)>,
+}
+
+impl TopPrincipals {
+    /// Encode to a reply frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![TAG_TOP];
+        frame_u64(&mut out, self.tables.len() as u64);
+        for (label, entries) in &self.tables {
+            frame_str(&mut out, label);
+            frame_u64(&mut out, entries.len() as u64);
+            for e in entries {
+                frame_str(&mut out, &e.key);
+                frame_u64(&mut out, e.count);
+                frame_u64(&mut out, e.err);
+            }
+        }
+        out
+    }
+
+    /// Decode a reply frame.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        (r.u8()? == TAG_TOP).then_some(())?;
+        let mut tables = Vec::new();
+        for _ in 0..r.u64()? {
+            let label = r.str()?;
+            let mut entries = Vec::new();
+            for _ in 0..r.u64()? {
+                entries.push(SketchEntry { key: r.str()?, count: r.u64()?, err: r.u64()? });
+            }
+            tables.push((label, entries));
+        }
+        r.done().then_some(TopPrincipals { tables })
+    }
+}
+
+/// One reconstructed failure inside an [`ErrorTraces`] reply.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ErrTrace {
+    /// The failing trace id.
+    pub trace: u64,
+    /// Slug of the error event that triggered the capture.
+    pub fail_kind: String,
+    /// Injected-clock timestamp of the triggering event.
+    pub at_us: u64,
+    /// Whether the chain may be missing its head (journal had wrapped).
+    pub truncated: bool,
+    /// Journal drop count at capture time.
+    pub dropped_at_capture: u64,
+    /// Rendered event lines of the chain, oldest first.
+    pub chain: Vec<String>,
+}
+
+/// The `ErrTraces` reply: the most recent flight-recorder captures,
+/// newest first, plus the recorder's accounting.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ErrorTraces {
+    /// Captured failures, newest first.
+    pub records: Vec<ErrTrace>,
+    /// Failures captured in total.
+    pub captures: u64,
+    /// Failure records evicted by the ring bound.
+    pub evicted: u64,
+}
+
+impl ErrorTraces {
+    /// Encode to a reply frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![TAG_ERR_TRACES];
+        frame_u64(&mut out, self.records.len() as u64);
+        for rec in &self.records {
+            frame_u64(&mut out, rec.trace);
+            frame_str(&mut out, &rec.fail_kind);
+            frame_u64(&mut out, rec.at_us);
+            frame_u64(&mut out, u64::from(rec.truncated));
+            frame_u64(&mut out, rec.dropped_at_capture);
+            frame_u64(&mut out, rec.chain.len() as u64);
+            for line in &rec.chain {
+                frame_str(&mut out, line);
+            }
+        }
+        frame_u64(&mut out, self.captures);
+        frame_u64(&mut out, self.evicted);
+        out
+    }
+
+    /// Decode a reply frame.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        (r.u8()? == TAG_ERR_TRACES).then_some(())?;
+        let mut records = Vec::new();
+        for _ in 0..r.u64()? {
+            let trace = r.u64()?;
+            let fail_kind = r.str()?;
+            let at_us = r.u64()?;
+            let truncated = r.u64()? != 0;
+            let dropped_at_capture = r.u64()?;
+            let mut chain = Vec::new();
+            for _ in 0..r.u64()? {
+                chain.push(r.str()?);
+            }
+            records.push(ErrTrace { trace, fail_kind, at_us, truncated, dropped_at_capture, chain });
+        }
+        let captures = r.u64()?;
+        let evicted = r.u64()?;
+        r.done().then_some(ErrorTraces { records, captures, evicted })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            MonRequest::Stat,
+            MonRequest::Health,
+            MonRequest::Tail(25),
+            MonRequest::Top(10),
+            MonRequest::ErrTraces(5),
+        ] {
+            assert_eq!(MonRequest::decode(&req.encode()), Some(req));
+        }
+        assert_eq!(MonRequest::decode(&[0x77]), None, "unknown tag");
+        assert_eq!(MonRequest::decode(&[]), None, "empty frame");
+        assert_eq!(MonRequest::decode(&[TAG_TAIL, 1]), None, "short arg");
+        let mut trailing = MonRequest::Stat.encode();
+        trailing.push(0);
+        assert_eq!(MonRequest::decode(&trailing), None, "trailing bytes");
+    }
+
+    #[test]
+    fn stat_snapshot_round_trips() {
+        let snap = StatSnapshot {
+            component: "kdc-master".into(),
+            counters: vec![
+                ("kdc_as_ok_total".into(), 7),
+                ("kdc_replay_stripe_hits_total{stripe=\"00\"}".into(), 3),
+                ("kdc_replay_stripe_hits_total{stripe=\"01\"}".into(), 0),
+                ("kdc_store_swaps_total".into(), 2),
+            ],
+            gauges: vec![("depth".into(), -4)],
+            hists: vec![HistStat {
+                name: "kdc_as_latency_us".into(),
+                count: 9,
+                sum: 450,
+                max: 120,
+                p50: 50,
+                p95: 100,
+                p99: 120,
+                exemplars: vec![(Some(50), 0xABCD), (None, 0xEF01)],
+            }],
+            journal_events: 100,
+            journal_dropped: 4,
+        };
+        let decoded = StatSnapshot::decode(&snap.encode()).expect("round trip");
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.stripe_hits(), [3, 0]);
+        assert_eq!(decoded.store_swaps(), 2);
+    }
+
+    #[test]
+    fn health_report_round_trips() {
+        let report = HealthReport {
+            components: vec![ComponentHealth {
+                component: "kdc".into(),
+                state: "degraded".into(),
+                err_permille: 51,
+                replay_permille: 0,
+                total: 1000,
+                journal_dropped: 0,
+            }],
+        };
+        assert_eq!(HealthReport::decode(&report.encode()), Some(report));
+    }
+
+    #[test]
+    fn journal_tail_round_trips() {
+        let tail = JournalTail {
+            lines: vec!["seq=0 us=10 trace=- comp=kdc kind=as_ok".into()],
+            events: 12,
+            dropped: 4,
+        };
+        assert_eq!(JournalTail::decode(&tail.encode()), Some(tail));
+    }
+
+    #[test]
+    fn top_principals_round_trips() {
+        let top = TopPrincipals {
+            tables: vec![(
+                "as_clients".into(),
+                vec![SketchEntry { key: "bcn".into(), count: 41, err: 2 }],
+            )],
+        };
+        assert_eq!(TopPrincipals::decode(&top.encode()), Some(top));
+    }
+
+    #[test]
+    fn error_traces_round_trips() {
+        let traces = ErrorTraces {
+            records: vec![ErrTrace {
+                trace: 0xDEAD,
+                fail_kind: "kdc_err".into(),
+                at_us: 999,
+                truncated: true,
+                dropped_at_capture: 16,
+                chain: vec!["seq=9 us=999 ...".into()],
+            }],
+            captures: 3,
+            evicted: 1,
+        };
+        assert_eq!(ErrorTraces::decode(&traces.encode()), Some(traces));
+    }
+
+    #[test]
+    fn decoders_reject_the_wrong_frame_kind() {
+        let stat = StatSnapshot::default().encode();
+        assert!(HealthReport::decode(&stat).is_none());
+        assert!(JournalTail::decode(&stat).is_none());
+        assert!(TopPrincipals::decode(&stat).is_none());
+        assert!(ErrorTraces::decode(&stat).is_none());
+    }
+
+    #[test]
+    fn truncated_frames_decode_to_none_not_panic() {
+        let full = StatSnapshot {
+            component: "kdc".into(),
+            counters: vec![("a".into(), 1)],
+            ..Default::default()
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(StatSnapshot::decode(&full[..cut]).is_none(), "cut at {cut}");
+        }
+    }
+}

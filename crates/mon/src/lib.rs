@@ -1,0 +1,36 @@
+//! # krb-mon — the live introspection plane
+//!
+//! The paper's Athena deployment ran Kerberos as shared infrastructure
+//! that operators had to keep healthy for thousands of users; this crate
+//! is the reproduction's answer to "how is the KDC doing *right now*".
+//! Three pieces:
+//!
+//! - [`frames`] — the `MonService` wire protocol: five query frames
+//!   (`Stat`, `Health`, `Tail`, `Top`, `ErrTraces`) with a primitive
+//!   length-prefixed encoding that a future `krbd` can serve unchanged on
+//!   a real UDP socket.
+//! - [`service`] — [`MonState`] bundles read handles onto a component's
+//!   telemetry (registry, journal, flight recorder, heavy-hitter
+//!   sketches, health specs) and answers queries; [`MonService`] binds it
+//!   to the netsim RPC seam on [`krb_netsim::ports::MON`].
+//! - [`oracle`] — the metrics ≡ journal consistency oracle: recomputes
+//!   outcome counters from the event journal and demands exact equality,
+//!   run after every chaos/adversary soak.
+//!
+//! The `krb-top` tool (crates/tools) is the human front end: it polls
+//! these frames and renders a dashboard, or emits a deterministic JSON
+//! snapshot for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frames;
+pub mod oracle;
+pub mod service;
+
+pub use frames::{
+    frame_bytes, frame_str, frame_u64, ComponentHealth, ErrTrace, ErrorTraces, HealthReport,
+    HistStat, JournalTail, MonRequest, StatSnapshot, TopPrincipals,
+};
+pub use oracle::{consistency_check, ConsistencyCheck, ConsistencyError, ConsistencyReport};
+pub use service::{HealthSpec, MonService, MonState};

@@ -1,0 +1,387 @@
+//! The metrics ≡ journal consistency oracle.
+//!
+//! The workspace has two telemetry systems that are written independently
+//! at every instrumented site: the counter [`Registry`] (outcome totals)
+//! and the event [`Journal`] (per-request chains). Nothing structural
+//! forces them to agree — a refactor can move a counter increment out of
+//! the branch that journals the event, and both dumps still *look*
+//! plausible. This oracle recomputes the counters from the journal and
+//! demands exact equality, so the chaos and adversary soaks catch
+//! instrumentation drift mechanically.
+//!
+//! ## What is checked
+//!
+//! - `kdc_as_ok_total` / `kdc_tgs_ok_total` against `comp=kdc` success
+//!   events,
+//! - `kdc_error_total` against `comp=kdc kind=kdc_err` events, and every
+//!   per-kind counter (`kdc_error_total{kind="…"}` — enumerated from the
+//!   registry, so new kinds are covered automatically) against the events
+//!   carrying that `err_kind`,
+//! - `kdc_replay_hits_total` against both the per-stripe counter sum
+//!   (registry-internal) and the `err_kind=replay` events,
+//! - app outcomes: summed `*_requests_ok_total` / `*_requests_err_total` /
+//!   `*_replay_hits_total` of the rlogin/POP/Zephyr servers against
+//!   `comp=app` `app_ok` / `app_err` / `replay_hit` events.
+//!
+//! ## Precondition
+//!
+//! The recomputation needs the *complete* event stream: if the journal's
+//! ring has dropped events the oracle refuses to run
+//! ([`ConsistencyError::JournalWrapped`]) rather than reporting a
+//! spurious mismatch. Soak configurations size their journals so nothing
+//! drops.
+
+use krb_telemetry::{Component, EventKind, Field, Journal, Registry};
+use std::collections::BTreeMap;
+
+/// One recomputed equality: the counter reading and the journal count
+/// that must match it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConsistencyCheck {
+    /// What is being compared (counter name or a described sum).
+    pub name: String,
+    /// The registry-side reading.
+    pub registry: u64,
+    /// The journal-side recomputation.
+    pub journal: u64,
+}
+
+impl ConsistencyCheck {
+    /// Whether the two sides agree.
+    pub fn holds(&self) -> bool {
+        self.registry == self.journal
+    }
+}
+
+/// The oracle's full comparison table.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConsistencyReport {
+    /// Every equality checked, in a stable order.
+    pub checks: Vec<ConsistencyCheck>,
+}
+
+impl ConsistencyReport {
+    /// The checks that failed.
+    pub fn mismatches(&self) -> Vec<&ConsistencyCheck> {
+        self.checks.iter().filter(|c| !c.holds()).collect()
+    }
+
+    /// Whether every equality held.
+    pub fn is_consistent(&self) -> bool {
+        self.checks.iter().all(ConsistencyCheck::holds)
+    }
+
+    /// `pass` / `fail` slug for soak JSON.
+    pub fn verdict(&self) -> &'static str {
+        if self.is_consistent() {
+            "pass"
+        } else {
+            "fail"
+        }
+    }
+
+    /// Human-readable mismatch list (empty string when consistent), for
+    /// soak failure output.
+    pub fn describe_mismatches(&self) -> String {
+        self.mismatches()
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}: registry={} journal={}\n",
+                    c.name, c.registry, c.journal
+                )
+            })
+            .collect()
+    }
+}
+
+/// Why the oracle could not run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConsistencyError {
+    /// The journal dropped events; the counters cannot be recomputed from
+    /// a partial stream. Carries the drop count.
+    JournalWrapped(u64),
+}
+
+impl std::fmt::Display for ConsistencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConsistencyError::JournalWrapped(n) => {
+                write!(f, "journal dropped {n} events; cannot recompute counters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConsistencyError {}
+
+/// Field value of `key` on an event, if it is a string field.
+fn str_field<'a>(fields: &'a [(&'static str, Field)], key: &str) -> Option<&'a str> {
+    fields.iter().find_map(|(k, v)| match v {
+        Field::Str(s) if *k == key => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+/// The three Kerberized application services whose outcome counters the
+/// soaks drive.
+const APP_PREFIXES: &[&str] = &["rlogin", "pop", "zephyr"];
+
+/// Recompute the registry's outcome counters from the journal and compare
+/// exactly. See the module docs for the check list.
+pub fn consistency_check(
+    registry: &Registry,
+    journal: &Journal,
+) -> Result<ConsistencyReport, ConsistencyError> {
+    let dropped = journal.events_dropped();
+    if dropped > 0 {
+        return Err(ConsistencyError::JournalWrapped(dropped));
+    }
+    let events = journal.dump();
+
+    // Journal-side tallies, one pass.
+    let mut kdc_as_ok = 0u64;
+    let mut kdc_tgs_ok = 0u64;
+    let mut kdc_err = 0u64;
+    let mut kdc_err_by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut app_ok = 0u64;
+    let mut app_err = 0u64;
+    let mut app_replay = 0u64;
+    for e in &events {
+        match (e.component, e.kind) {
+            (Component::Kdc, EventKind::AsOk) => kdc_as_ok += 1,
+            (Component::Kdc, EventKind::TgsOk) => kdc_tgs_ok += 1,
+            (Component::Kdc, EventKind::KdcErr) => {
+                kdc_err += 1;
+                if let Some(kind) = str_field(&e.fields, "err_kind") {
+                    *kdc_err_by_kind.entry(kind.to_string()).or_default() += 1;
+                }
+            }
+            (Component::App, EventKind::AppOk) => app_ok += 1,
+            (Component::App, EventKind::AppErr) => app_err += 1,
+            (Component::App, EventKind::ReplayHit) => app_replay += 1,
+            _ => {}
+        }
+    }
+
+    let counters = registry.counters();
+    let value = |name: &str| registry.counter_value(name);
+    let mut checks = vec![
+        ConsistencyCheck {
+            name: "kdc_as_ok_total".into(),
+            registry: value("kdc_as_ok_total"),
+            journal: kdc_as_ok,
+        },
+        ConsistencyCheck {
+            name: "kdc_tgs_ok_total".into(),
+            registry: value("kdc_tgs_ok_total"),
+            journal: kdc_tgs_ok,
+        },
+        ConsistencyCheck {
+            name: "kdc_error_total".into(),
+            registry: value("kdc_error_total"),
+            journal: kdc_err,
+        },
+    ];
+
+    // Per-kind error counters, enumerated from the registry so a future
+    // error kind is covered without touching the oracle.
+    let kind_prefix = "kdc_error_total{kind=\"";
+    for (name, reading) in &counters {
+        if let Some(rest) = name.strip_prefix(kind_prefix) {
+            let kind = rest.trim_end_matches("\"}");
+            checks.push(ConsistencyCheck {
+                name: name.clone(),
+                registry: *reading,
+                journal: kdc_err_by_kind.get(kind).copied().unwrap_or(0),
+            });
+        }
+    }
+    // ...and the reverse direction: an err_kind seen in the journal but
+    // never registered as a counter is itself an instrumentation gap.
+    for (kind, n) in &kdc_err_by_kind {
+        let name = format!("{kind_prefix}{kind}\"}}");
+        if !counters.iter().any(|(c, _)| *c == name) {
+            checks.push(ConsistencyCheck { name, registry: 0, journal: *n });
+        }
+    }
+
+    // Replay hits: the striped cache's total vs its per-stripe counters
+    // (registry-internal) and vs the journaled replay rejections.
+    let stripe_sum: u64 = counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("kdc_replay_stripe_hits_total{stripe=\""))
+        .map(|(_, v)| *v)
+        .sum();
+    checks.push(ConsistencyCheck {
+        name: "kdc_replay_hits_total=sum(stripes)".into(),
+        registry: value("kdc_replay_hits_total"),
+        journal: stripe_sum,
+    });
+    checks.push(ConsistencyCheck {
+        name: "kdc_replay_hits_total=journal(err_kind=replay)".into(),
+        registry: value("kdc_replay_hits_total"),
+        journal: kdc_err_by_kind.get("replay").copied().unwrap_or(0),
+    });
+
+    // App outcomes, pooled across the three services (the journal's
+    // `app_ok`/`app_err` events do not name the service).
+    let pooled = |suffix: &str| {
+        APP_PREFIXES
+            .iter()
+            .map(|p| value(&format!("{p}_{suffix}")))
+            .sum::<u64>()
+    };
+    checks.push(ConsistencyCheck {
+        name: "app_requests_ok_total".into(),
+        registry: pooled("requests_ok_total"),
+        journal: app_ok,
+    });
+    checks.push(ConsistencyCheck {
+        name: "app_requests_err_total".into(),
+        registry: pooled("requests_err_total"),
+        journal: app_err,
+    });
+    checks.push(ConsistencyCheck {
+        name: "app_replay_hits_total".into(),
+        registry: pooled("replay_hits_total"),
+        journal: app_replay,
+    });
+
+    Ok(ConsistencyReport { checks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krb_telemetry::TraceId;
+
+    fn rig() -> (Registry, Journal) {
+        (Registry::new(), Journal::new(1 << 10))
+    }
+
+    fn kdc_ok(j: &Journal, kind: EventKind, n: u64) {
+        j.record(n, Some(TraceId(n)), Component::Kdc, kind, vec![]);
+    }
+
+    fn kdc_err(j: &Journal, kind: &'static str, n: u64) {
+        j.record(
+            n,
+            Some(TraceId(n)),
+            Component::Kdc,
+            EventKind::KdcErr,
+            vec![("err_kind", Field::from(kind))],
+        );
+    }
+
+    #[test]
+    fn matched_counters_and_journal_pass() {
+        let (r, j) = rig();
+        r.counter("kdc_as_ok_total").add(2);
+        r.counter("kdc_tgs_ok_total").add(1);
+        r.counter("kdc_error_total").add(1);
+        r.counter("kdc_error_total{kind=\"bad_password\"}").inc();
+        kdc_ok(&j, EventKind::AsOk, 0);
+        kdc_ok(&j, EventKind::AsOk, 1);
+        kdc_ok(&j, EventKind::TgsOk, 2);
+        kdc_err(&j, "bad_password", 3);
+        let report = consistency_check(&r, &j).expect("runs");
+        assert!(report.is_consistent(), "{}", report.describe_mismatches());
+        assert_eq!(report.verdict(), "pass");
+    }
+
+    #[test]
+    fn desynced_counter_fails_the_oracle() {
+        // The teeth test: bump a counter without journaling the event.
+        let (r, j) = rig();
+        r.counter("kdc_as_ok_total").add(3);
+        kdc_ok(&j, EventKind::AsOk, 0);
+        kdc_ok(&j, EventKind::AsOk, 1);
+        let report = consistency_check(&r, &j).expect("runs");
+        assert!(!report.is_consistent());
+        assert_eq!(report.verdict(), "fail");
+        let mismatches = report.mismatches();
+        assert_eq!(mismatches.len(), 1);
+        assert_eq!(mismatches[0].name, "kdc_as_ok_total");
+        assert_eq!((mismatches[0].registry, mismatches[0].journal), (3, 2));
+        assert!(report.describe_mismatches().contains("registry=3 journal=2"));
+    }
+
+    #[test]
+    fn journaled_event_without_counter_fails_too() {
+        // The other drift direction: the journal saw it, the counter
+        // never moved.
+        let (r, j) = rig();
+        kdc_err(&j, "skew", 0);
+        let report = consistency_check(&r, &j).expect("runs");
+        assert!(!report.is_consistent());
+        // Both the total and the (unregistered) per-kind line flag it.
+        assert!(report
+            .mismatches()
+            .iter()
+            .any(|c| c.name == "kdc_error_total"));
+        assert!(report
+            .mismatches()
+            .iter()
+            .any(|c| c.name == "kdc_error_total{kind=\"skew\"}"));
+    }
+
+    #[test]
+    fn per_kind_counters_are_enumerated_from_the_registry() {
+        let (r, j) = rig();
+        r.counter("kdc_error_total").add(2);
+        r.counter("kdc_error_total{kind=\"skew\"}").add(1);
+        r.counter("kdc_error_total{kind=\"decode\"}").add(1);
+        kdc_err(&j, "skew", 0);
+        kdc_err(&j, "decode", 1);
+        let report = consistency_check(&r, &j).expect("runs");
+        assert!(report.is_consistent(), "{}", report.describe_mismatches());
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "kdc_error_total{kind=\"decode\"}"));
+    }
+
+    #[test]
+    fn replay_hits_check_stripes_and_journal() {
+        let (r, j) = rig();
+        r.counter("kdc_replay_hits_total").add(2);
+        r.counter("kdc_replay_stripe_hits_total{stripe=\"00\"}").add(1);
+        r.counter("kdc_replay_stripe_hits_total{stripe=\"07\"}").add(1);
+        r.counter("kdc_error_total").add(2);
+        r.counter("kdc_error_total{kind=\"replay\"}").add(2);
+        kdc_err(&j, "replay", 0);
+        kdc_err(&j, "replay", 1);
+        let report = consistency_check(&r, &j).expect("runs");
+        assert!(report.is_consistent(), "{}", report.describe_mismatches());
+    }
+
+    #[test]
+    fn app_outcomes_pool_across_services() {
+        let (r, j) = rig();
+        r.counter("rlogin_requests_ok_total").add(2);
+        r.counter("pop_requests_ok_total").add(1);
+        r.counter("zephyr_requests_err_total").add(1);
+        r.counter("rlogin_replay_hits_total").add(1);
+        for n in 0..3 {
+            j.record(n, Some(TraceId(n)), Component::App, EventKind::AppOk, vec![]);
+        }
+        j.record(3, Some(TraceId(3)), Component::App, EventKind::AppErr, vec![]);
+        j.record(4, Some(TraceId(4)), Component::App, EventKind::ReplayHit, vec![]);
+        let report = consistency_check(&r, &j).expect("runs");
+        assert!(report.is_consistent(), "{}", report.describe_mismatches());
+    }
+
+    #[test]
+    fn wrapped_journal_refuses_to_judge() {
+        let r = Registry::new();
+        let j = Journal::new(8);
+        for n in 0..32 {
+            kdc_ok(&j, EventKind::AsOk, n);
+        }
+        match consistency_check(&r, &j) {
+            Err(ConsistencyError::JournalWrapped(n)) => assert_eq!(n, 24),
+            other => panic!("expected JournalWrapped, got {other:?}"),
+        }
+    }
+}

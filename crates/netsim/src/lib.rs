@@ -181,4 +181,8 @@ pub mod ports {
     pub const NFS: u16 = 2049;
     /// Service Management System.
     pub const SMS: u16 = 760;
+    /// The `krb-mon` introspection plane (`MonService` query frames).
+    /// Not a historical V4 assignment: chosen from the same privileged
+    /// range the KDC family occupies, unused by any service above.
+    pub const MON: u16 = 755;
 }

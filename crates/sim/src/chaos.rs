@@ -317,6 +317,7 @@ pub const CHAOS_JSON_KEYS: &[&str] = &[
     "liveness",
     "conservation",
     "trace_completeness",
+    "metrics_journal",
 ];
 
 impl SoakReport {
@@ -378,7 +379,8 @@ impl SoakReport {
         );
         s.push_str(
             ",\"oracles\":{\"safety\":\"pass\",\"liveness\":\"pass\",\
-             \"conservation\":\"pass\",\"trace_completeness\":\"pass\"}}",
+             \"conservation\":\"pass\",\"trace_completeness\":\"pass\",\
+             \"metrics_journal\":\"pass\"}}",
         );
         s
     }
@@ -882,6 +884,19 @@ pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
                 format!("trace {trace:016x}: kprop_dump without apply/reject"),
             ));
         }
+    }
+
+    // --- Metrics ≡ journal consistency oracle (krb-mon): every outcome
+    // counter must be exactly recomputable from the event journal. A
+    // mismatch in either direction is an instrumentation bug — a counter
+    // bumped without its event, or an event without its counter.
+    match krb_mon::consistency_check(&registry, &journal) {
+        Ok(consistency) => {
+            if !consistency.is_consistent() {
+                return Err(fail("metrics_journal", consistency.describe_mismatches()));
+            }
+        }
+        Err(e) => return Err(fail("metrics_journal", e.to_string())),
     }
 
     report.net = router.stats();

@@ -1,0 +1,287 @@
+//! The flight recorder: a bounded ring of reconstructed failure traces.
+//!
+//! The journal retains a sliding window of *all* events; under sustained
+//! load an interesting failure's chain can be evicted long before an
+//! operator looks. The [`FlightRecorder`] hooks [`Journal::record`]
+//! (see [`Journal::set_flight_recorder`]): every time an error-kind event
+//! with a trace id lands, the recorder snapshots that trace's complete
+//! event chain out of the journal into its own ring — so the last N
+//! *failures* stay reconstructible even after the journal has wrapped
+//! past them.
+//!
+//! ## Truncation honesty
+//!
+//! If the journal has already dropped events by capture time, the head of
+//! the failing trace's chain may be gone. A [`FailureRecord`] is marked
+//! [`FailureRecord::truncated`] whenever drops have occurred *and* the
+//! captured chain does not begin with a chain-head kind
+//! ([`EventKind::LoginStart`], [`EventKind::KpropDump`],
+//! [`EventKind::AdvInject`]). The bias is deliberate: the recorder may
+//! call a complete chain truncated (a trace legitimately starting
+//! mid-protocol under drops), but it never presents a truncated chain as
+//! complete.
+
+use crate::journal::{Event, EventKind, Journal, TraceId};
+use crate::metrics::Counter;
+use crate::registry::Registry;
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard};
+
+/// Event kinds that legitimately begin a trace's chain.
+const CHAIN_HEADS: &[EventKind] =
+    &[EventKind::LoginStart, EventKind::KpropDump, EventKind::AdvInject];
+
+/// One captured failure: the trace, the error that tripped the capture,
+/// and the full journal chain as of capture time.
+#[derive(Clone, Debug)]
+pub struct FailureRecord {
+    /// The failing trace.
+    pub trace: TraceId,
+    /// The error-kind event that triggered this capture.
+    pub fail_kind: EventKind,
+    /// Injected-clock timestamp of the triggering event.
+    pub at_us: u64,
+    /// Every journal event carrying `trace`, in sequence order (includes
+    /// the triggering error event).
+    pub chain: Vec<Event>,
+    /// The chain may be missing its head: the journal had dropped events
+    /// and no chain-head kind survives. Never false for a truncated chain.
+    pub truncated: bool,
+    /// `Journal::events_dropped()` at capture time, for drop accounting.
+    pub dropped_at_capture: u64,
+}
+
+/// A bounded ring of the most recent failed traces. One record per trace:
+/// a later failure on the same trace replaces (and refreshes) its record.
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<FailureRecord>>,
+    captures: Counter,
+    evicted: Counter,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` failures (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+            captures: Counter::new(),
+            evicted: Counter::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<FailureRecord>> {
+        match self.ring.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The ring bound this recorder was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Failures captured in total (including since-evicted ones).
+    pub fn captures_total(&self) -> u64 {
+        self.captures.get()
+    }
+
+    /// Failure records evicted by the ring bound.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted.get()
+    }
+
+    /// Publish the recorder's counters into `registry` as
+    /// `flight_captures_total` / `flight_evicted_total`.
+    pub fn publish(&self, registry: &Registry) {
+        registry.adopt_counter("flight_captures_total", &self.captures);
+        registry.adopt_counter("flight_evicted_total", &self.evicted);
+    }
+
+    /// Capture the chain of `trace` out of `journal`, triggered by an
+    /// error event of `fail_kind` at `at_us`. Called by
+    /// [`Journal::record`] *after* the triggering event is in the ring
+    /// and its stripe lock is released.
+    pub(crate) fn capture(
+        &self,
+        journal: &Journal,
+        at_us: u64,
+        trace: TraceId,
+        fail_kind: EventKind,
+    ) {
+        let chain: Vec<Event> = journal
+            .dump()
+            .into_iter()
+            .filter(|e| e.trace == Some(trace))
+            .collect();
+        let dropped_at_capture = journal.events_dropped();
+        let truncated = dropped_at_capture > 0
+            && !chain.first().is_some_and(|e| CHAIN_HEADS.contains(&e.kind));
+        let record = FailureRecord { trace, fail_kind, at_us, chain, truncated, dropped_at_capture };
+        let mut ring = self.lock();
+        if let Some(pos) = ring.iter().position(|r| r.trace == trace) {
+            // Refresh: the later failure has the fuller chain; move the
+            // record to the most-recent end.
+            ring.remove(pos);
+        } else if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.evicted.inc();
+        }
+        ring.push_back(record);
+        self.captures.inc();
+    }
+
+    /// Snapshot of the retained failures, oldest first.
+    pub fn records(&self) -> Vec<FailureRecord> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// The most recent `n` failures, newest first (the `ErrorTraces`
+    /// frame order).
+    pub fn recent(&self, n: usize) -> Vec<FailureRecord> {
+        self.lock().iter().rev().take(n).cloned().collect()
+    }
+
+    /// Retained failure count.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no failure has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("captures", &self.captures_total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{Component, Field};
+    use std::sync::Arc;
+
+    fn login_then_fail(j: &Journal, trace: TraceId, base_us: u64) {
+        j.record(base_us, Some(trace), Component::Ws, EventKind::LoginStart, vec![]);
+        j.record(base_us + 1, Some(trace), Component::Ws, EventKind::AsReq, vec![]);
+        j.record(
+            base_us + 2,
+            Some(trace),
+            Component::Kdc,
+            EventKind::KdcErr,
+            vec![("err_kind", Field::from("unknown_principal"))],
+        );
+    }
+
+    #[test]
+    fn error_events_trigger_a_full_chain_capture() {
+        let j = Journal::new(64);
+        let fr = Arc::new(FlightRecorder::new(4));
+        j.set_flight_recorder(Arc::clone(&fr));
+        let t = TraceId::derive(1, 0);
+        login_then_fail(&j, t, 100);
+        // A healthy event on another trace captures nothing.
+        j.record(200, Some(TraceId::derive(1, 1)), Component::Kdc, EventKind::AsOk, vec![]);
+
+        let records = fr.records();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.trace, t);
+        assert_eq!(r.fail_kind, EventKind::KdcErr);
+        assert_eq!(r.at_us, 102);
+        let kinds: Vec<EventKind> = r.chain.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, [EventKind::LoginStart, EventKind::AsReq, EventKind::KdcErr]);
+        assert!(!r.truncated, "no drops: the chain is provably complete");
+        assert_eq!(r.dropped_at_capture, 0);
+    }
+
+    #[test]
+    fn untraced_errors_are_not_captured() {
+        let j = Journal::new(64);
+        let fr = Arc::new(FlightRecorder::new(4));
+        j.set_flight_recorder(Arc::clone(&fr));
+        j.record(5, None, Component::App, EventKind::AppErr, vec![]);
+        assert!(fr.is_empty());
+    }
+
+    #[test]
+    fn ring_bound_evicts_oldest_failure() {
+        let j = Journal::new(1024);
+        let fr = Arc::new(FlightRecorder::new(2));
+        j.set_flight_recorder(Arc::clone(&fr));
+        for n in 0..3 {
+            login_then_fail(&j, TraceId::derive(7, n), n * 10);
+        }
+        assert_eq!(fr.len(), 2);
+        assert_eq!(fr.captures_total(), 3);
+        assert_eq!(fr.evicted_total(), 1);
+        let traces: Vec<TraceId> = fr.records().iter().map(|r| r.trace).collect();
+        assert_eq!(traces, [TraceId::derive(7, 1), TraceId::derive(7, 2)]);
+        // recent() is newest-first.
+        assert_eq!(fr.recent(1)[0].trace, TraceId::derive(7, 2));
+    }
+
+    #[test]
+    fn repeat_failure_on_one_trace_refreshes_not_duplicates() {
+        let j = Journal::new(64);
+        let fr = Arc::new(FlightRecorder::new(4));
+        j.set_flight_recorder(Arc::clone(&fr));
+        let t = TraceId::derive(3, 0);
+        login_then_fail(&j, t, 0);
+        j.record(9, Some(t), Component::Ws, EventKind::LoginErr, vec![]);
+        assert_eq!(fr.len(), 1, "same trace: one record");
+        let r = &fr.records()[0];
+        assert_eq!(r.fail_kind, EventKind::LoginErr, "latest failure wins");
+        assert_eq!(r.chain.len(), 4, "refreshed chain includes both errors");
+    }
+
+    #[test]
+    fn wrapped_journal_yields_honestly_truncated_records() {
+        // Journal capacity 8: flood it so the failing trace's login_start
+        // is evicted before the error lands.
+        let j = Journal::new(8);
+        let fr = Arc::new(FlightRecorder::new(4));
+        j.set_flight_recorder(Arc::clone(&fr));
+        let t = TraceId::derive(9, 0);
+        j.record(0, Some(t), Component::Ws, EventKind::LoginStart, vec![]);
+        for n in 0..32 {
+            j.record(10 + n, Some(TraceId::derive(9, 99)), Component::Kdc, EventKind::AsOk, vec![]);
+        }
+        j.record(99, Some(t), Component::Kdc, EventKind::KdcErr, vec![]);
+        let r = &fr.records()[0];
+        assert!(r.truncated, "evicted chain head must be reported as truncated");
+        assert_eq!(r.dropped_at_capture, j.events_dropped());
+        assert!(r.chain.iter().all(|e| e.kind != EventKind::LoginStart));
+    }
+
+    #[test]
+    fn complete_chain_under_drops_is_not_flagged() {
+        // Drops happened, but this trace's chain-head survived: the
+        // conservative rule still recognizes it as complete.
+        let j = Journal::new(8);
+        let fr = Arc::new(FlightRecorder::new(4));
+        j.set_flight_recorder(Arc::clone(&fr));
+        for n in 0..32 {
+            j.record(n, Some(TraceId::derive(4, 99)), Component::Kdc, EventKind::AsOk, vec![]);
+        }
+        let t = TraceId::derive(4, 0);
+        login_then_fail(&j, t, 100);
+        let r = fr
+            .records()
+            .into_iter()
+            .find(|r| r.trace == t)
+            .expect("captured");
+        assert!(j.events_dropped() > 0);
+        assert!(!r.truncated, "chain starts at login_start: complete");
+    }
+}

@@ -28,13 +28,14 @@
 //! crate — an event built from a ticket can name the client principal,
 //! but never the session key that sealed it.
 
+use crate::flight::FlightRecorder;
 use crate::metrics::Counter;
 use crate::registry::Registry;
 use crate::ClockUs;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Per-login correlation identifier, minted by the workstation and
 /// propagated out-of-band (packet metadata and function parameters,
@@ -334,6 +335,10 @@ pub struct Journal {
     seq: AtomicU64,
     events: Counter,
     dropped: Counter,
+    /// Optional flight recorder notified of every traced error event
+    /// (see [`crate::flight`]). Set-once; absent on the hot path costs one
+    /// relaxed `OnceLock` load.
+    flight: OnceLock<Arc<FlightRecorder>>,
 }
 
 impl Journal {
@@ -347,7 +352,20 @@ impl Journal {
             seq: AtomicU64::new(0),
             events: Counter::new(),
             dropped: Counter::new(),
+            flight: OnceLock::new(),
         }
+    }
+
+    /// Attach a flight recorder: from now on every error-kind event that
+    /// carries a trace triggers a chain capture into `recorder`. Can be
+    /// set once per journal; a second call is ignored.
+    pub fn set_flight_recorder(&self, recorder: Arc<FlightRecorder>) {
+        let _ = self.flight.set(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.get()
     }
 
     /// A default-capacity journal behind an `Arc`, ready to share.
@@ -374,13 +392,22 @@ impl Journal {
     ) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let event = Event { seq, at_us, trace, component, kind, fields };
-        let mut stripe = self.lock_stripe((seq as usize) % STRIPES);
-        if stripe.len() >= self.stripe_cap {
-            stripe.pop_front();
-            self.dropped.inc();
+        {
+            let mut stripe = self.lock_stripe((seq as usize) % STRIPES);
+            if stripe.len() >= self.stripe_cap {
+                stripe.pop_front();
+                self.dropped.inc();
+            }
+            stripe.push_back(event);
         }
-        stripe.push_back(event);
         self.events.inc();
+        // The stripe guard is dropped before the capture: the recorder
+        // re-enters the journal via `dump()`, which locks every stripe.
+        if kind.is_error() {
+            if let (Some(trace), Some(recorder)) = (trace, self.flight.get()) {
+                recorder.capture(self, at_us, trace, kind);
+            }
+        }
     }
 
     /// Total events ever recorded (including since-evicted ones).

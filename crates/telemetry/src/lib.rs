@@ -31,16 +31,22 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod flight;
+pub mod health;
 pub mod journal;
 pub mod metrics;
 pub mod registry;
+pub mod sketch;
 
 pub use clock::{fixed_clock_us, lcg_clock_us, shared_clock_us, wall_clock_us, ClockUs};
+pub use flight::{FailureRecord, FlightRecorder};
+pub use health::{HealthInputs, HealthState, HealthThresholds, HealthVerdict};
 pub use journal::{
     merge_journals, merge_render, Component, Event, EventKind, Field, Journal, TraceCtx, TraceId,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, LATENCY_BUCKETS_US};
 pub use registry::Registry;
+pub use sketch::{SketchEntry, SpaceSaving};
 
 /// An in-progress timed section: reads the clock at [`Span::start`] and
 /// records the elapsed microseconds into a [`Histogram`] at
@@ -55,6 +61,7 @@ pub struct Span {
     clock: ClockUs,
     started_at: u64,
     histogram: Option<Histogram>,
+    trace: Option<TraceId>,
 }
 
 impl Span {
@@ -64,7 +71,17 @@ impl Span {
             clock: ClockUs::clone(clock),
             started_at: clock(),
             histogram: Some(histogram.clone()),
+            trace: None,
         }
+    }
+
+    /// Attach a trace id: whichever bucket this span's sample lands in
+    /// will remember it as that bucket's exemplar (see
+    /// [`Histogram::exemplars`]). Applies to every finish path, including
+    /// the record-on-drop one.
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     fn elapsed(&self) -> u64 {
@@ -76,7 +93,7 @@ impl Span {
     pub fn finish(mut self) -> u64 {
         let elapsed = self.elapsed();
         if let Some(hist) = self.histogram.take() {
-            hist.record(elapsed);
+            hist.record_with_trace(elapsed, self.trace);
         }
         elapsed
     }
@@ -87,7 +104,7 @@ impl Span {
     pub fn finish_into(mut self, histogram: &Histogram) -> u64 {
         let elapsed = self.elapsed();
         self.histogram = None;
-        histogram.record(elapsed);
+        histogram.record_with_trace(elapsed, self.trace);
         elapsed
     }
 
@@ -101,7 +118,7 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(hist) = self.histogram.take() {
-            hist.record(self.elapsed());
+            hist.record_with_trace(self.elapsed(), self.trace);
         }
     }
 }
@@ -158,6 +175,30 @@ mod tests {
         }
         assert_eq!(hist.count(), 1);
         assert_eq!(hist.sum(), 75);
+    }
+
+    #[test]
+    fn traced_span_stamps_an_exemplar_on_every_finish_path() {
+        let cell = Arc::new(AtomicU64::new(0));
+        let clock = shared_clock_us(Arc::clone(&cell));
+        let hist = Histogram::latency_us();
+        // finish()
+        let span = Span::start(&clock, &hist).with_trace(TraceId(0xA));
+        cell.store(5, Ordering::SeqCst);
+        span.finish();
+        // drop — elapsed 40 lands in a different bucket than the first
+        {
+            let _span = Span::start(&clock, &hist).with_trace(TraceId(0xB));
+            cell.store(45, Ordering::SeqCst);
+        }
+        // finish_into()
+        let other = Histogram::latency_us();
+        Span::start(&clock, &other).with_trace(TraceId(0xC)).finish_into(&other);
+        let traces: Vec<TraceId> =
+            hist.exemplars().into_iter().filter_map(|(_, t)| t).collect();
+        assert_eq!(traces.len(), 2);
+        assert!(traces.contains(&TraceId(0xA)) && traces.contains(&TraceId(0xB)));
+        assert!(other.exemplars().iter().any(|(_, t)| *t == Some(TraceId(0xC))));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! second handle onto the same storage, which is how a component keeps a
 //! private handle while the [`crate::Registry`] exports the same value.
 
+use crate::journal::TraceId;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -101,6 +102,13 @@ struct HistogramInner {
     sum: AtomicU64,
     count: AtomicU64,
     max: AtomicU64,
+    /// Per-bucket exemplar: the raw `TraceId` of the most recent traced
+    /// sample that landed in the bucket (latest-wins, advisory).
+    exemplars: Vec<AtomicU64>,
+    /// 1 once the matching exemplar slot has ever been written. A separate
+    /// flag because `TraceId(0)`, while astronomically unlikely from
+    /// [`TraceId::derive`], is a legal id.
+    exemplar_set: Vec<AtomicU64>,
 }
 
 /// A fixed-bucket histogram with percentile readout.
@@ -137,12 +145,16 @@ impl Histogram {
         bounds.sort_unstable();
         bounds.dedup();
         let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        let exemplars = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        let exemplar_set = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
         Histogram(Arc::new(HistogramInner {
             bounds,
             counts,
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplars,
+            exemplar_set,
         }))
     }
 
@@ -153,12 +165,28 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&self, v: u64) {
+        self.record_with_trace(v, None);
+    }
+
+    /// Record one sample, optionally stamping the bucket's exemplar with
+    /// the trace id of the request that produced it. The exemplar is the
+    /// *most recent* traced sample per bucket — a p99 spike in the render
+    /// then links straight to a `krb-trace` timeline. Untraced samples
+    /// leave existing exemplars in place.
+    pub fn record_with_trace(&self, v: u64, trace: Option<TraceId>) {
         let inner = &self.0;
         let idx = inner.bounds.partition_point(|&b| b < v);
         inner.counts[idx].fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(v, Ordering::Relaxed);
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.max.fetch_max(v, Ordering::Relaxed);
+        if let Some(t) = trace {
+            // Two relaxed stores, not one atomic pair: exemplars are
+            // advisory (latest-wins), and a torn set-flag/value pair can
+            // only surface some other *valid* recent trace id.
+            inner.exemplars[idx].store(t.0, Ordering::Relaxed);
+            inner.exemplar_set[idx].store(1, Ordering::Relaxed);
+        }
     }
 
     /// Total samples recorded.
@@ -179,6 +207,25 @@ impl Histogram {
     /// The bucket index a value lands in (for tests and exporters).
     pub fn bucket_index(&self, v: u64) -> usize {
         self.0.bounds.partition_point(|&b| b < v)
+    }
+
+    /// `(upper_bound, latest exemplar)` per bucket; `None` bound is the
+    /// overflow bucket, `None` exemplar means no traced sample has landed
+    /// there yet.
+    pub fn exemplars(&self) -> Vec<(Option<u64>, Option<TraceId>)> {
+        let inner = &self.0;
+        inner
+            .exemplars
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let set = inner.exemplar_set[i].load(Ordering::Relaxed) != 0;
+                (
+                    inner.bounds.get(i).copied(),
+                    set.then(|| TraceId(e.load(Ordering::Relaxed))),
+                )
+            })
+            .collect()
     }
 
     /// `(upper_bound, count)` per bucket; `None` is the overflow bucket.
@@ -311,6 +358,35 @@ mod tests {
         assert_eq!(h.percentile(95.0), 100);
         assert_eq!(h.max(), 100);
         assert_eq!(h.sum(), 5050);
+    }
+
+    #[test]
+    fn exemplars_remember_the_latest_traced_sample_per_bucket() {
+        let h = Histogram::new(&[10, 20]);
+        h.record_with_trace(5, Some(TraceId(0xAAAA)));
+        h.record_with_trace(7, Some(TraceId(0xBBBB))); // same bucket: latest wins
+        h.record_with_trace(15, Some(TraceId(0xCCCC)));
+        h.record(18); // untraced: must not clobber the exemplar
+        h.record_with_trace(99, Some(TraceId(0xDDDD))); // overflow bucket
+        let ex = h.exemplars();
+        assert_eq!(
+            ex,
+            vec![
+                (Some(10), Some(TraceId(0xBBBB))),
+                (Some(20), Some(TraceId(0xCCCC))),
+                (None, Some(TraceId(0xDDDD))),
+            ]
+        );
+        // Counts are unaffected by exemplar stamping.
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn untouched_buckets_report_no_exemplar() {
+        let h = Histogram::new(&[10]);
+        assert_eq!(h.exemplars(), vec![(Some(10), None), (None, None)]);
+        h.record(3);
+        assert_eq!(h.exemplars(), vec![(Some(10), None), (None, None)]);
     }
 
     #[test]

@@ -119,6 +119,41 @@ impl Registry {
         self.lock().keys().cloned().collect()
     }
 
+    /// Every registered counter as `(name, value)`, sorted by name — the
+    /// enumeration the `MonService` `StatSnapshot` frame is built from.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .iter()
+            .filter_map(|(name, metric)| match metric {
+                Metric::Counter(c) => Some((name.clone(), c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every registered gauge as `(name, value)`, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        self.lock()
+            .iter()
+            .filter_map(|(name, metric)| match metric {
+                Metric::Gauge(g) => Some((name.clone(), g.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every registered histogram as `(name, handle)`, sorted by name.
+    /// The handles share storage with the registered metrics.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.lock()
+            .iter()
+            .filter_map(|(name, metric)| match metric {
+                Metric::Histogram(h) => Some((name.clone(), h.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Export every metric as Prometheus-style text lines, sorted by
     /// name. Counters render as `name value`; histograms render
     /// cumulative `name_bucket{le="..."}` lines plus `_sum`, `_count`,
@@ -228,6 +263,26 @@ mod tests {
         assert!(a.contains("lat_us_sum 7"));
         assert!(a.contains("lat_us_count 1"));
         assert!(a.contains("lat_us_max 7"));
+    }
+
+    #[test]
+    fn enumerators_return_sorted_typed_views() {
+        let r = Registry::new();
+        r.counter("b_total").add(2);
+        r.counter("a_total").add(1);
+        r.gauge("depth").set(-3);
+        r.histogram("lat_us").record(7);
+        assert_eq!(
+            r.counters(),
+            vec![("a_total".to_string(), 1), ("b_total".to_string(), 2)]
+        );
+        assert_eq!(r.gauges(), vec![("depth".to_string(), -3)]);
+        let hists = r.histograms();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].0, "lat_us");
+        // The enumerated handle shares storage with the registered one.
+        hists[0].1.record(9);
+        assert_eq!(r.histogram("lat_us").count(), 2);
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! A bounded heavy-hitter sketch (the *space-saving* algorithm of
+//! Metwally, Agrawal & El Abbadi, 2005).
+//!
+//! ROADMAP item 2 targets realms of 10^6+ principals; exact per-principal
+//! counters would make telemetry memory proportional to the principal
+//! population. [`SpaceSaving`] keeps at most `k` monitored keys and
+//! guarantees, after `n` observations:
+//!
+//! - every reported estimate is an **over**-estimate: `true ≤ est`,
+//! - the overestimation is bounded per entry by its recorded error term
+//!   (`est - err ≤ true`), which itself never exceeds `n / k`,
+//! - any key whose true count exceeds `n / k` is guaranteed monitored.
+//!
+//! The proptest below checks all three against exact counts at small
+//! scale. Like every handle in this crate the sketch is `Arc`-backed and
+//! thread-safe; unlike the atomics it takes a short `Mutex` per
+//! observation, so it belongs on request paths (microseconds apart), not
+//! inner loops.
+//!
+//! ## Determinism
+//!
+//! Eviction picks the minimum `(count, key)` entry — a pure function of
+//! the observation multiset *in order*. Single-threaded drivers (the soak
+//! engines, `krb-top --once`) therefore reproduce byte-identical top-K
+//! tables from the same seed. Concurrent observers stay safe but the
+//! eviction order, and thus the monitored set near the tail, becomes
+//! schedule-dependent — which is why the KDC's sketches are surfaced
+//! through `MonService` frames and never through [`crate::Registry::render`].
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One monitored entry: the estimated count and its error bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SketchEntry {
+    /// The monitored key (principal or service name).
+    pub key: String,
+    /// Estimated observation count (never an underestimate).
+    pub count: u64,
+    /// Maximum overestimation: `count - err ≤ true count ≤ count`.
+    pub err: u64,
+}
+
+struct SketchInner {
+    k: usize,
+    /// key → (estimated count, error bound). A `BTreeMap` keeps eviction
+    /// scans deterministic (sorted key order breaks count ties).
+    entries: Mutex<BTreeMap<String, (u64, u64)>>,
+    total: std::sync::atomic::AtomicU64,
+}
+
+/// A fixed-capacity top-K counter. Cloning yields a second handle onto
+/// the same storage (the [`crate::Counter`] convention).
+#[derive(Clone)]
+pub struct SpaceSaving(Arc<SketchInner>);
+
+impl SpaceSaving {
+    /// A sketch monitoring at most `k` keys (`k` is clamped to ≥ 1).
+    pub fn new(k: usize) -> Self {
+        SpaceSaving(Arc::new(SketchInner {
+            k: k.max(1),
+            entries: Mutex::new(BTreeMap::new()),
+            total: std::sync::atomic::AtomicU64::new(0),
+        }))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, (u64, u64)>> {
+        match self.0.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The capacity `k` this sketch was built with.
+    pub fn k(&self) -> usize {
+        self.0.k
+    }
+
+    /// Total observations across all keys (monitored or not).
+    pub fn total(&self) -> u64 {
+        self.0.total.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Count one observation of `key`.
+    pub fn observe(&self, key: &str) {
+        self.0
+            .total
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut entries = self.lock();
+        if let Some((count, _)) = entries.get_mut(key) {
+            *count += 1;
+            return;
+        }
+        if entries.len() < self.0.k {
+            entries.insert(key.to_string(), (1, 0));
+            return;
+        }
+        // Evict the minimum-(count, key) entry; the newcomer inherits its
+        // count as the error bound (the classic space-saving step).
+        let evict = entries
+            .iter()
+            .map(|(k, (c, _))| (*c, k.clone()))
+            .min()
+            .map(|(c, k)| (k, c));
+        if let Some((victim, min_count)) = evict {
+            entries.remove(&victim);
+            entries.insert(key.to_string(), (min_count + 1, min_count));
+        }
+    }
+
+    /// Currently monitored key count (≤ `k` — the O(K) memory bound).
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been monitored yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// The top `n` entries, sorted by count descending then key ascending
+    /// — a deterministic function of the monitored table.
+    pub fn top(&self, n: usize) -> Vec<SketchEntry> {
+        let mut all: Vec<SketchEntry> = self
+            .lock()
+            .iter()
+            .map(|(key, (count, err))| SketchEntry {
+                key: key.clone(),
+                count: *count,
+                err: *err,
+            })
+            .collect();
+        all.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        all.truncate(n);
+        all
+    }
+
+    /// The estimate for one key, if monitored.
+    pub fn estimate(&self, key: &str) -> Option<SketchEntry> {
+        self.lock().get(key).map(|(count, err)| SketchEntry {
+            key: key.to_string(),
+            count: *count,
+            err: *err,
+        })
+    }
+}
+
+impl std::fmt::Debug for SpaceSaving {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpaceSaving")
+            .field("k", &self.0.k)
+            .field("len", &self.len())
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_below_capacity() {
+        let s = SpaceSaving::new(8);
+        for _ in 0..5 {
+            s.observe("alice");
+        }
+        for _ in 0..3 {
+            s.observe("bob");
+        }
+        s.observe("carol");
+        let top = s.top(10);
+        assert_eq!(top.len(), 3);
+        assert_eq!((top[0].key.as_str(), top[0].count, top[0].err), ("alice", 5, 0));
+        assert_eq!((top[1].key.as_str(), top[1].count, top[1].err), ("bob", 3, 0));
+        assert_eq!((top[2].key.as_str(), top[2].count, top[2].err), ("carol", 1, 0));
+        assert_eq!(s.total(), 9);
+    }
+
+    #[test]
+    fn eviction_keeps_the_heavy_hitter_and_stays_bounded() {
+        let s = SpaceSaving::new(2);
+        for _ in 0..100 {
+            s.observe("heavy");
+        }
+        for i in 0..50 {
+            s.observe(&format!("light{i}"));
+        }
+        assert!(s.len() <= 2, "O(K) bound violated: {}", s.len());
+        let heavy = s.estimate("heavy").expect("a >n/k key must stay monitored");
+        assert!(heavy.count >= 100, "estimates never underestimate");
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let run = || {
+            let s = SpaceSaving::new(3);
+            for key in ["b", "a", "c", "d", "a", "b", "e"] {
+                s.observe(key);
+            }
+            s.top(3)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn top_orders_by_count_then_key() {
+        let s = SpaceSaving::new(8);
+        for key in ["z", "m", "m", "a"] {
+            s.observe(key);
+        }
+        let top = s.top(8);
+        let keys: Vec<&str> = top.iter().map(|e| e.key.as_str()).collect();
+        assert_eq!(keys, ["m", "a", "z"]);
+    }
+
+    proptest! {
+        /// The space-saving guarantees against exact counts: estimates
+        /// never underestimate, per-entry error bounds hold, the error
+        /// never exceeds n/k, and any key heavier than n/k is monitored.
+        #[test]
+        fn sketch_error_is_bounded_vs_exact(
+            stream in proptest::collection::vec(0u8..12, 1..400),
+            k in 2usize..10,
+        ) {
+            let s = SpaceSaving::new(k);
+            let mut exact: HashMap<String, u64> = HashMap::new();
+            for sym in &stream {
+                let key = format!("p{sym}");
+                s.observe(&key);
+                *exact.entry(key).or_default() += 1;
+            }
+            let n = stream.len() as u64;
+            prop_assert!(s.len() <= k);
+            prop_assert_eq!(s.total(), n);
+            let bound = n / k as u64;
+            for e in s.top(k) {
+                let truth = exact.get(&e.key).copied().unwrap_or(0);
+                prop_assert!(e.count >= truth, "{}: est {} < true {}", e.key, e.count, truth);
+                prop_assert!(e.count - e.err <= truth,
+                    "{}: est {} - err {} exceeds true {}", e.key, e.count, e.err, truth);
+                prop_assert!(e.err <= bound, "{}: err {} > n/k {}", e.key, e.err, bound);
+            }
+            for (key, truth) in &exact {
+                if *truth > bound {
+                    prop_assert!(s.estimate(key).is_some(),
+                        "heavy key {key} (true {truth} > n/k {bound}) fell out");
+                }
+            }
+        }
+    }
+}

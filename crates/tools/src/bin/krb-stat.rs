@@ -81,6 +81,14 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // Bench-rot check: before overwriting, compare against whatever
+    // snapshot is committed at the output path. Advisory only — CI output
+    // shows the warning, the exit code stays 0.
+    if let Ok(committed) = std::fs::read_to_string(&out) {
+        if let Some(warning) = krb_tools::drift_warning(&report.json, &committed) {
+            eprintln!("{warning}");
+        }
+    }
     if let Err(e) = std::fs::write(&out, &report.json) {
         eprintln!("krb-stat: cannot write {out}: {e}");
         std::process::exit(1);

@@ -1,0 +1,79 @@
+//! `krb-top` — the operator's dashboard over the KDC introspection plane.
+//!
+//! ```text
+//! krb-top [--seed N] [--polls N] [--tail N] [--top K] [--once] [--json]
+//! ```
+//!
+//! Stands up the seeded monitoring rig (a realm whose KDC serves the
+//! `krb-mon` frames on the MON port), drives deterministic traffic, and
+//! polls the introspection frames after each round. Without flags it
+//! prints one dashboard screen per poll. `--once` runs a single poll;
+//! `--json` emits the final poll's machine-readable snapshot instead —
+//! `krb-top --once --json` is byte-identical across runs and is the CI
+//! gate `scripts/check.sh` pins. Exemplar and flight-record trace ids in
+//! the output resolve to full timelines via `krb-trace` on the same
+//! run's journal dump. See `crates/tools/src/krbtop.rs`.
+
+use krb_tools::krbtop::{render_dashboard, render_json, run, TopConfig};
+
+fn main() {
+    let mut cfg = TopConfig::default();
+    let mut json = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match args[i].as_str() {
+            "--seed" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.seed = n,
+                None => return usage("--seed needs a number"),
+            },
+            "--polls" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.polls = n,
+                None => return usage("--polls needs a number"),
+            },
+            "--tail" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.tail = n,
+                None => return usage("--tail needs a number"),
+            },
+            "--top" => match take_value(&mut i).and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.top_k = n,
+                None => return usage("--top needs a number"),
+            },
+            "--once" => cfg.polls = 1,
+            "--json" => json = true,
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let run = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("krb-top: monitoring rig failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if json {
+        match run.snapshots.last() {
+            Some(snap) => print!("{}", render_json(snap)),
+            None => {
+                eprintln!("krb-top: no snapshot produced");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        for snap in &run.snapshots {
+            print!("{}", render_dashboard(snap));
+        }
+    }
+}
+
+fn usage(err: &str) {
+    eprintln!("krb-top: {err}");
+    eprintln!("usage: krb-top [--seed N] [--polls N] [--tail N] [--top K] [--once] [--json]");
+    std::process::exit(2);
+}

@@ -541,7 +541,10 @@ fn finish_report(
 /// Run the shared-realm load at each thread count and emit one combined
 /// snapshot: the base fields describe the first count's run, plus a
 /// `"scaling"` array with one row per count. `speedup` is each row's
-/// total (AS+TGS) throughput relative to the first row's.
+/// total (AS+TGS) throughput relative to the in-run **1-thread** row —
+/// the single-threaded baseline is the only row against which "speedup"
+/// means anything. If the sweep carries no 1-thread row (custom counts),
+/// the first row stands in and every speedup is relative to it.
 pub fn run_scale(cfg: &StatConfig, thread_counts: &[usize]) -> Result<StatReport, ToolError> {
     let counts: &[usize] = if thread_counts.is_empty() { &[1] } else { thread_counts };
     let mut base: Option<StatReport> = None;
@@ -565,7 +568,8 @@ pub fn run_scale(cfg: &StatConfig, thread_counts: &[usize]) -> Result<StatReport
         Some(b) => b,
         None => return Err(ToolError::Krb(kerberos::ErrorCode::KdcGenErr)),
     };
-    let base_total = rows.first().map(|(_, _, a, t)| a + t).unwrap_or(0.0);
+    let base_row = rows.iter().find(|(t, ..)| *t == 1).or_else(|| rows.first());
+    let base_total = base_row.map(|(_, _, a, t)| a + t).unwrap_or(0.0);
     let rows_json: Vec<String> = rows
         .iter()
         .map(|(t, e, asps, tgsps)| {
@@ -591,6 +595,52 @@ pub fn run_scale(cfg: &StatConfig, thread_counts: &[usize]) -> Result<StatReport
 
 fn per_sec(count: u64, elapsed_us: u64) -> f64 {
     (count as f64) * 1_000_000.0 / (elapsed_us.max(1) as f64)
+}
+
+/// Regression threshold for [`drift_warning`], in percent of the
+/// committed throughput.
+pub const DRIFT_TOLERANCE_PCT: f64 = 15.0;
+
+/// First top-level numeric field named `key` in our hand-rolled JSON.
+/// The emitter writes base fields before the `"scaling"` array, so the
+/// first match is the snapshot-level value, not a per-row duplicate.
+fn json_f64_field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)?;
+    let rest = json[at + needle.len()..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare a fresh run against the previously committed `BENCH_kdc.json`
+/// and describe bench rot: returns a warning line when the run's total
+/// AS+TGS throughput sits more than [`DRIFT_TOLERANCE_PCT`] percent
+/// below the committed snapshot's, `None` when within budget or when
+/// either side lacks the throughput fields (first run, fresh clone).
+/// Apples-to-apples is the caller's concern — `krb-stat` compares the
+/// file it is about to overwrite, which was produced by the same
+/// configuration it just ran.
+pub fn drift_warning(current_json: &str, committed_json: &str) -> Option<String> {
+    let total = |json: &str| {
+        Some(json_f64_field(json, "as_per_sec")? + json_f64_field(json, "tgs_per_sec")?)
+    };
+    let cur = total(current_json)?;
+    let old = total(committed_json)?;
+    if old <= 0.0 {
+        return None;
+    }
+    let drop_pct = (old - cur) / old * 100.0;
+    if drop_pct > DRIFT_TOLERANCE_PCT {
+        Some(format!(
+            "krb-stat: drift warning: AS+TGS throughput {cur:.2}/s is {drop_pct:.1}% below the \
+             committed BENCH_kdc.json ({old:.2}/s; tolerance {DRIFT_TOLERANCE_PCT:.0}%) — \
+             investigate or regenerate the baseline"
+        ))
+    } else {
+        None
+    }
 }
 
 fn latency_json(s: &HistogramSummary) -> String {
@@ -865,6 +915,22 @@ mod tests {
         assert!(report.render.contains("kdc_replay_stripe_hits_total{stripe=\"00\"}"));
         assert!(report.render.contains("kdc_replay_stripe_hits_total{stripe=\"15\"}"));
         assert!(report.render.contains("kdc_store_swaps_total"));
+        // Render-ordering determinism: all sixteen stripe counters appear,
+        // in ascending label order (the zero-padding is what makes the
+        // registry's name sort line up with the numeric stripe index)...
+        let positions: Vec<usize> = (0..16)
+            .map(|i| {
+                let name = format!("kdc_replay_stripe_hits_total{{stripe=\"{i:02}\"}}");
+                report.render.find(&name).unwrap_or_else(|| panic!("{name} not rendered"))
+            })
+            .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "stripe counters render out of label order"
+        );
+        // ...and the whole text export is byte-identical run-over-run.
+        let again = run_load(&cfg).unwrap();
+        assert_eq!(report.render, again.render, "registry render must be deterministic");
     }
 
     #[test]
@@ -898,5 +964,63 @@ mod tests {
             .and_then(|s| s.trim().parse().ok())
             .expect("sched_cache.hits in snapshot");
         assert!(hits > 0, "expected schedule-cache hits in:\n{}", report.json);
+    }
+
+    #[test]
+    fn scale_speedup_baseline_is_the_one_thread_row() {
+        // Put the 1-thread run *last* in the sweep: its speedup must still
+        // come out 1.00, proving the baseline is found by thread count and
+        // not by list position.
+        let cfg = StatConfig {
+            iters: 8, users: 3, seed: 13, sim_clock: true, threads: 1, mode: None,
+        };
+        let report = run_scale(&cfg, &[2, 1]).unwrap();
+        let one_thread_row = report
+            .json
+            .lines()
+            .find(|l| l.contains("{\"threads\": 1,"))
+            .expect("1-thread scaling row");
+        assert!(one_thread_row.contains("\"speedup\": 1.00"), "{one_thread_row}");
+    }
+
+    #[test]
+    fn drift_warning_fires_only_past_the_tolerance() {
+        let snapshot = |asps: f64, tgsps: f64| {
+            format!(
+                "{{\n  \"bench\": \"kdc_load\",\n  \"as_per_sec\": {asps:.2},\n  \
+                 \"tgs_per_sec\": {tgsps:.2},\n  \"scaling\": [\n    {{\"threads\": 4, \
+                 \"as_per_sec\": 9.99, \"tgs_per_sec\": 9.99}}\n  ]\n}}\n"
+            )
+        };
+        let committed = snapshot(1000.0, 1000.0);
+        // 10% down: within the 15% budget.
+        assert_eq!(drift_warning(&snapshot(900.0, 900.0), &committed), None);
+        // 20% down: rot.
+        let warning = drift_warning(&snapshot(800.0, 800.0), &committed)
+            .expect("20% regression must warn");
+        assert!(warning.contains("20.0% below"), "{warning}");
+        assert!(warning.contains("BENCH_kdc.json"), "{warning}");
+        // Faster than committed never warns.
+        assert_eq!(drift_warning(&snapshot(2000.0, 2000.0), &committed), None);
+        // A committed file without the fields (or garbage) is not an error.
+        assert_eq!(drift_warning(&snapshot(1.0, 1.0), "{}"), None);
+        assert_eq!(drift_warning("not json", &committed), None);
+        // The top-level fields win over scaling-row duplicates: a committed
+        // snapshot whose only difference is row order must parse the same.
+        assert_eq!(
+            drift_warning(&committed, &committed),
+            None,
+            "identical snapshots must never drift"
+        );
+    }
+
+    #[test]
+    fn committed_bench_parses_with_the_drift_scanner() {
+        // The scanner must understand the real committed snapshot format,
+        // not only the synthetic fixtures above.
+        let committed = include_str!("../../../BENCH_kdc.json");
+        assert_eq!(json_f64_field(committed, "as_per_sec").map(|v| v > 0.0), Some(true));
+        assert_eq!(json_f64_field(committed, "tgs_per_sec").map(|v| v > 0.0), Some(true));
+        assert_eq!(drift_warning(committed, committed), None);
     }
 }

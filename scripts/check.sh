@@ -138,7 +138,7 @@ if ! diff -q "$chaos_a" "$chaos_b" > /dev/null; then
 fi
 for key in tool seed profiles profile ops logins_ok app_ok replay_hits \
         dups_at_server healed_logins net corrupted journal oracles safety \
-        liveness conservation trace_completeness; do
+        liveness conservation trace_completeness metrics_journal; do
     if ! grep -q "\"$key\"" "$chaos_a"; then
         echo "krb-chaos smoke output is missing \"$key\"" >&2
         exit 1
@@ -156,9 +156,34 @@ fi
 for key in tool seed steps leak logins_ok app_ok injections replay \
         time_shift splice forge impersonate accepted_forgeries rejections \
         closure keys creds blobs atoms derivations key_fps tape_dropped \
-        journal events dropped oracles secrecy authentication violations; do
+        journal events dropped oracles secrecy authentication \
+        metrics_journal violations; do
     if ! grep -q "\"$key\"" "$adv_a"; then
         echo "krb-adversary smoke output is missing \"$key\"" >&2
+        exit 1
+    fi
+done
+
+echo "== krb-top --once --json (schema + byte-identity)"
+# The introspection dashboard's CI mode queries the live MonService over
+# the netsim seam; the JSON snapshot must carry the full schema (health,
+# latency exemplars, heavy-hitter tables, flight records) and be
+# byte-identical across two same-seed runs.
+top_a="$(mktmp)"
+top_b="$(mktmp)"
+cargo run -q -p krb-tools --bin krb-top -- --once --json > "$top_a"
+cargo run -q -p krb-tools --bin krb-top -- --once --json > "$top_b"
+if ! diff -q "$top_a" "$top_b" > /dev/null; then
+    echo "krb-top --once --json is not deterministic (two runs differ)" >&2
+    exit 1
+fi
+for key in tool component health state err_permille replay_permille \
+        journal_dropped kdc as_ok tgs_ok errors replay_hits store_swaps \
+        stripe_hits latency_us exemplars top as_clients tgs_services \
+        error_principals journal events dropped flight captures trace \
+        fail_kind truncated chain; do
+    if ! grep -q "\"$key\"" "$top_a"; then
+        echo "krb-top --once --json output is missing \"$key\"" >&2
         exit 1
     fi
 done

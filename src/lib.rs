@@ -23,6 +23,7 @@
 //! | [`apps`] | Kerberized applications (`rlogin`, POP, Zephyr, `register`) |
 //! | [`sim`] | Athena environment simulator |
 //! | [`adversary`] | seeded Dolev–Yao active attacker with secrecy/authentication oracles |
+//! | [`mon`] | live introspection plane (`MonService` frames, consistency oracle) |
 
 #![forbid(unsafe_code)]
 
@@ -35,6 +36,7 @@ pub use krb_kadm as kadm;
 pub use krb_kdb as kdb;
 pub use krb_kdc as kdc;
 pub use krb_kprop as kprop;
+pub use krb_mon as mon;
 pub use krb_netsim as netsim;
 pub use krb_nfs as nfs;
 pub use krb_sim as sim;

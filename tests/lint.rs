@@ -54,6 +54,7 @@ fn l8_l9_fixture_corpus_fires_deterministically() {
         ("l9_multihop_format.rs", "L9", "aliased"),
         ("l9_password_println.rs", "L9", "password"),
         ("l9_field_from.rs", "L9", "DesKey"),
+        ("l9_mon_frame.rs", "L9", "session_key"),
     ];
     for (file, rule, key) in bad {
         let src = std::fs::read_to_string(dir.join(file)).expect(file);
