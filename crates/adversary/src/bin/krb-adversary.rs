@@ -1,7 +1,7 @@
 //! `krb-adversary` — seeded Dolev–Yao active attacker with oracles.
 //!
 //! ```text
-//! krb-adversary [--seed N] [--steps N] [--leak none|user-key|service-key]
+//! krb-adversary [--seed N] [--steps N] [--leak none|user-key|service-key|master-key]
 //!               [--json] [--smoke]
 //! ```
 //!
@@ -40,7 +40,7 @@ fn main() {
             },
             "--leak" => match take_value(&mut i).as_deref().and_then(Leak::parse) {
                 Some(l) => cfg.leak = l,
-                None => return usage("--leak needs one of: none user-key service-key"),
+                None => return usage("--leak needs one of: none user-key service-key master-key"),
             },
             "--json" => json = true,
             "--smoke" => smoke = true,
@@ -83,7 +83,7 @@ fn usage(err: &str) {
     eprintln!("krb-adversary: {err}");
     eprintln!(
         "usage: krb-adversary [--seed N] [--steps N] \
-         [--leak none|user-key|service-key] [--json] [--smoke]"
+         [--leak none|user-key|service-key|master-key] [--json] [--smoke]"
     );
     std::process::exit(2);
 }

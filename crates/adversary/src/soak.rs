@@ -20,7 +20,13 @@
 //!   that *explicitly leaked* a key can make this stick);
 //! * **impersonate** — a bogus AS reply injected at the victim with the
 //!   KDC's spoofed source address (the password-derived decryption and
-//!   nonce check must refuse it).
+//!   nonce check must refuse it);
+//! * **kprop replay / splice / truncate / forge** — captured incremental
+//!   propagation segments (the realm runs a live master→slave journal
+//!   stream) re-sent verbatim, re-headed with another segment's checksum,
+//!   chopped mid-record, or minted from whole cloth. The slave's `kpropd`
+//!   must refuse each with a typed rejection; only an explicitly leaked
+//!   master key can make a forged transfer stick.
 //!
 //! After every step two oracle families are checked:
 //!
@@ -50,8 +56,13 @@ use kerberos::{
     KdcRep, Message, Principal, Ticket, MAX_SKEW_SECS,
 };
 use krb_apps::{frame_request, parse_reply, request_cksum, RloginNetService, RloginServer};
-use krb_crypto::{open, seal, string_to_key, DesKey, KeyGenerator, Mode, SecretKey};
+use krb_crypto::{open, seal, string_to_key, DesKey, KeyGenerator, Mode, Scheduled, SecretKey};
+use krb_kdb::dump as kdump;
 use krb_kdc::{Deployment, RealmConfig};
+use krb_kprop::{
+    build_full_seq, build_incr_segment, parse_incr_reply, IncrKpropdService, IncrReply, ShipPlan,
+    SlaveCursor, UpdateLog, UpdateOp, UpdateRecord, FULL_MAGIC, INCR_MAGIC,
+};
 use krb_netsim::{
     ports, Endpoint, InjectKind, NetConfig, Packet, Router, SimNet, EPOCH_1987,
 };
@@ -73,6 +84,8 @@ pub const ADV_SEED: u64 = 0xD01E;
 const MASTER_ADDR: HostAddr = [18, 72, 9, 1];
 /// Application server host.
 const APP_ADDR: HostAddr = [18, 72, 9, 40];
+/// The slave KDC receiving the incremental propagation stream.
+const SLAVE_ADDR: HostAddr = [18, 72, 9, 2];
 /// The honest victim's workstation.
 const WS_ADDR: HostAddr = [18, 72, 9, 100];
 /// Bound on the attacker's capture tape; overflow is reported, not eaten.
@@ -95,6 +108,12 @@ pub enum Leak {
     /// secrecy) and self-minted tickets verify (tripping authentication),
     /// but the user's key and the TGT session key must stay safe.
     ServiceKey,
+    /// The KDC master key (the §5.2 catastrophic compromise). Every
+    /// principal key in a captured propagation dump decrypts — the
+    /// secrecy cascade must reach the user, service, and krbtgt keys —
+    /// and a forged incremental transfer seals correctly, so the slave's
+    /// `kpropd` accepts it (tripping authentication).
+    MasterKey,
 }
 
 impl Leak {
@@ -104,6 +123,7 @@ impl Leak {
             Leak::None => "none",
             Leak::UserKey => "user-key",
             Leak::ServiceKey => "service-key",
+            Leak::MasterKey => "master-key",
         }
     }
 
@@ -113,13 +133,15 @@ impl Leak {
             "none" => Leak::None,
             "user-key" => Leak::UserKey,
             "service-key" => Leak::ServiceKey,
+            "master-key" => Leak::MasterKey,
             _ => return None,
         })
     }
 }
 
 /// Every leak mode, in the order the smoke gate runs them.
-pub const ALL_LEAKS: [Leak; 3] = [Leak::None, Leak::UserKey, Leak::ServiceKey];
+pub const ALL_LEAKS: [Leak; 4] =
+    [Leak::None, Leak::UserKey, Leak::ServiceKey, Leak::MasterKey];
 
 /// Soak parameters. A run is a pure function of this struct.
 #[derive(Clone, Copy, Debug)]
@@ -205,6 +227,20 @@ pub struct AdvReport {
     pub accepted_forgeries: u64,
     /// Typed rejections of adversary traffic, by protocol error code.
     pub rejections: BTreeMap<u8, u64>,
+    /// Honest incremental propagation transfers shipped to the slave.
+    pub kprop_transfers: u64,
+    /// Honest transfers the slave verified and installed.
+    pub kprop_accepted: u64,
+    /// Captured journal segments replayed verbatim at the slave.
+    pub kprop_replays: u64,
+    /// Segments re-headed with another segment's checksum.
+    pub kprop_splices: u64,
+    /// Segments chopped mid-record.
+    pub kprop_truncates: u64,
+    /// Transfers minted from whole cloth (leaked or guessed master key).
+    pub kprop_forges: u64,
+    /// Slave `kpropd` rejections of adversary transfers, by reject slug.
+    pub kprop_rejections: BTreeMap<String, u64>,
     /// Keys in the final closure.
     pub closure_keys: u64,
     /// Credentials (ticket + matching session key) in the final closure.
@@ -248,6 +284,11 @@ pub const ADVERSARY_JSON_KEYS: &[&str] = &[
     "impersonate",
     "accepted_forgeries",
     "rejections",
+    "kprop",
+    "transfers",
+    "accepted",
+    "truncate",
+    "why",
     "closure",
     "keys",
     "creds",
@@ -284,6 +325,11 @@ impl AdvReport {
     /// Total injections across all attack kinds.
     pub fn injections(&self) -> u64 {
         self.replays + self.time_shifts + self.splices + self.forges + self.impersonations
+    }
+
+    /// Total injections aimed at the propagation stream.
+    pub fn kprop_injections(&self) -> u64 {
+        self.kprop_replays + self.kprop_splices + self.kprop_truncates + self.kprop_forges
     }
 
     /// Did the secrecy oracle stay green?
@@ -333,6 +379,24 @@ impl AdvReport {
             let _ = write!(s, "{{\"code\":{code},\"n\":{n}}}");
         }
         s.push(']');
+        let _ = write!(
+            s,
+            ",\"kprop\":{{\"transfers\":{},\"accepted\":{},\"replay\":{},\"splice\":{},\
+             \"truncate\":{},\"forge\":{},\"rejections\":[",
+            self.kprop_transfers,
+            self.kprop_accepted,
+            self.kprop_replays,
+            self.kprop_splices,
+            self.kprop_truncates,
+            self.kprop_forges
+        );
+        for (i, (why, n)) in self.kprop_rejections.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"why\":\"{why}\",\"n\":{n}}}");
+        }
+        s.push_str("]}");
         let _ = write!(
             s,
             ",\"closure\":{{\"keys\":{},\"creds\":{},\"blobs\":{},\"atoms\":{},\
@@ -399,6 +463,21 @@ impl AdvReport {
             let _ = write!(rej, " {}x{:?}", n, kerberos::ErrorCode::from_u8(*code));
         }
         let _ = writeln!(s, "  rejections:{}", if rej.is_empty() { " none" } else { &rej });
+        let _ = writeln!(
+            s,
+            "  kprop: {}/{} honest transfers ok; injected {} replay, {} splice, {} truncate, {} forge",
+            self.kprop_accepted,
+            self.kprop_transfers,
+            self.kprop_replays,
+            self.kprop_splices,
+            self.kprop_truncates,
+            self.kprop_forges
+        );
+        let mut krej = String::new();
+        for (why, n) in &self.kprop_rejections {
+            let _ = write!(krej, " {n}x{why}");
+        }
+        let _ = writeln!(s, "  kprop rejections:{}", if krej.is_empty() { " none" } else { &krej });
         let _ = writeln!(s, "  accepted forgeries: {}", self.accepted_forgeries);
         s.push_str(&self.closure_dump);
         let _ = writeln!(
@@ -459,6 +538,19 @@ struct Engine {
     /// First journal sequence number not yet scanned by the oracles.
     journal_cursor: u64,
     logged_in: bool,
+    /// Master-key schedule driving the honest propagation stream.
+    sched: Scheduled,
+    /// The master's append-only update journal.
+    kprop_log: UpdateLog,
+    /// Master-side view of the slave's replication progress.
+    kprop_cursor: SlaveCursor,
+    /// Key source for the admin-churn rotations the stream carries.
+    kprop_keygen: KeyGenerator<StdRng>,
+    /// Honest kprop trace counter (traces are allowlisted).
+    kprop_trace_seq: u64,
+    /// The key the scenario handed the attacker, if any — used by the
+    /// kprop forgery the way a real attacker would use stolen material.
+    leaked_key: Option<DesKey>,
     report: AdvReport,
 }
 
@@ -467,6 +559,9 @@ impl Engine {
         let start = EPOCH_1987;
         let mut boot = kdb_init(REALM, "adv-master", start, cfg.seed).unwrap();
         register_user(&mut boot.db, "victim", "", "victim-pw", start).unwrap();
+        // Admin-churn principal: only the KDBM rotates it, so the
+        // propagation stream always has fresh updates to carry.
+        register_user(&mut boot.db, "propchurn", "", "propchurn-pw", start).unwrap();
         let mut keygen = KeyGenerator::new(StdRng::seed_from_u64(cfg.seed.wrapping_add(9)));
         let svc_key = register_service(&mut boot.db, "svc", "host", start, &mut keygen).unwrap();
         let svc = Principal::new("svc", "host", REALM).unwrap();
@@ -509,6 +604,13 @@ impl Engine {
         );
         ws.enable_tracing(Arc::clone(&journal), ClockUs::clone(&clock_us), cfg.seed ^ 0x3A11);
 
+        // The slave `kpropd` receiving the incremental stream — another
+        // honest victim, whose transfers transit the tapped wire.
+        let mut kpropd = IncrKpropdService::new(dep.master_key, |_db| {});
+        kpropd.set_registry(Arc::clone(&registry));
+        kpropd.set_journal(Arc::clone(&journal), ClockUs::clone(&clock_us));
+        router.serve(Endpoint::new(SLAVE_ADDR, ports::KPROP), kpropd);
+
         let user_key = string_to_key("victim-pw");
 
         // The protected set: every long-term key in the realm, by
@@ -517,6 +619,7 @@ impl Engine {
         let mut protected = BTreeMap::new();
         protected.insert(key_fingerprint(&user_key), "user-key");
         protected.insert(key_fingerprint(&svc_key), "service-key");
+        protected.insert(key_fingerprint(&string_to_key("propchurn-pw")), "propchurn-key");
         let tgt_key = {
             let snap = dep.master.snapshot();
             let (_, k) = snap.db().get_with_key("krbtgt", REALM).unwrap().unwrap();
@@ -529,17 +632,26 @@ impl Engine {
         // exempt exactly that fingerprint from the secrecy oracle.
         let mut kn = Knowledge::new();
         let mut exempt = BTreeSet::new();
+        let mut leaked_key = None;
         match cfg.leak {
             Leak::None => {}
             Leak::UserKey => {
                 let fp = key_fingerprint(&user_key);
                 exempt.insert(fp);
                 kn.learn_key(&user_key, "leaked: victim's password-derived key");
+                leaked_key = Some(user_key);
             }
             Leak::ServiceKey => {
                 let fp = key_fingerprint(&svc_key);
                 exempt.insert(fp);
                 kn.learn_key(&svc_key, "leaked: svc.host srvtab key");
+                leaked_key = Some(svc_key);
+            }
+            Leak::MasterKey => {
+                let fp = key_fingerprint(&dep.master_key);
+                exempt.insert(fp);
+                kn.learn_key(&dep.master_key, "leaked: the KDC master key");
+                leaked_key = Some(dep.master_key);
             }
         }
 
@@ -559,6 +671,13 @@ impl Engine {
             impersonations: 0,
             accepted_forgeries: 0,
             rejections: BTreeMap::new(),
+            kprop_transfers: 0,
+            kprop_accepted: 0,
+            kprop_replays: 0,
+            kprop_splices: 0,
+            kprop_truncates: 0,
+            kprop_forges: 0,
+            kprop_rejections: BTreeMap::new(),
             closure_keys: 0,
             closure_creds: 0,
             closure_blobs: 0,
@@ -573,6 +692,7 @@ impl Engine {
             closure_dump: String::new(),
         };
 
+        let sched = Scheduled::new(&dep.master_key);
         Engine {
             rng: StdRng::seed_from_u64(cfg.seed ^ ADV_SEED),
             cfg,
@@ -598,6 +718,12 @@ impl Engine {
             auth_flagged: BTreeSet::new(),
             journal_cursor: 0,
             logged_in: false,
+            sched,
+            kprop_log: UpdateLog::new(64),
+            kprop_cursor: SlaveCursor::new(),
+            kprop_keygen: KeyGenerator::new(StdRng::seed_from_u64(cfg.seed ^ 0x6B92)),
+            kprop_trace_seq: 0,
+            leaked_key,
             report,
         }
     }
@@ -682,7 +808,96 @@ impl Engine {
                     ],
                 );
             }
+            // The §5.3 eavesdropper guarantee inverted: dump lines carry
+            // principal keys encrypted in the master key, so a leaked
+            // master key decrypts every key a captured full transfer
+            // ships — the secrecy cascade the self-test demands.
+            if self.cfg.leak == Leak::MasterKey
+                && p.dst.port == ports::KPROP
+                && p.payload.starts_with(FULL_MAGIC)
+                && p.payload.len() > 28
+            {
+                let Ok(text) = std::str::from_utf8(&p.payload[28..]) else { continue };
+                let Ok(entries) = kdump::parse(text) else { continue };
+                for e in entries {
+                    let mut block = e.key_encrypted;
+                    self.sched.decrypt_block(&mut block);
+                    let k = DesKey::from_bytes(block);
+                    let via = format!("decrypted from propagated dump: {}", e.name);
+                    for (fp, how) in self.kn.learn_key(&k, &via) {
+                        self.journal.record(
+                            (self.clock_us)(),
+                            None,
+                            Component::Net,
+                            EventKind::AdvLearn,
+                            vec![
+                                ("fp", Field::Str(format!("{fp:016x}"))),
+                                ("via", Field::from(how)),
+                            ],
+                        );
+                    }
+                }
+            }
         }
+    }
+
+    /// One honest propagation round: the KDBM rotates the churn
+    /// principal's key, and the master ships the planned transfer to the
+    /// slave — bootstrap full dump first, incremental segments after.
+    fn kprop_round(&mut self) {
+        let now = self.ws.now();
+        let new_key = self.kprop_keygen.generate();
+        let op = self
+            .dep
+            .master
+            .with_db_mut(|db| {
+                db.change_key("propchurn", "", &new_key, now, "kadmin.").ok()?;
+                db.get("propchurn", "").ok().flatten().map(UpdateOp::Put)
+            })
+            .flatten();
+        if let Some(op) = op {
+            // Ground truth: the rotated key transits only inside the
+            // (master-key-encrypted) dump line, so it is protected.
+            self.protected.entry(key_fingerprint(&new_key)).or_insert("propchurn-key");
+            self.kprop_log.append(op);
+        }
+        let (packet, expected) = match self.kprop_cursor.plan(&self.kprop_log) {
+            ShipPlan::Full => {
+                let text = self.dep.master.dump_text().unwrap();
+                (
+                    build_full_seq(&self.sched, self.kprop_log.head(), text.as_bytes()),
+                    self.kprop_log.head(),
+                )
+            }
+            ShipPlan::Segment(records) => {
+                if records.is_empty() {
+                    return;
+                }
+                let expected = self.kprop_cursor.acked + records.len() as u64;
+                (
+                    build_incr_segment(&self.sched, self.kprop_cursor.acked, &records).unwrap(),
+                    expected,
+                )
+            }
+        };
+        self.kprop_trace_seq += 1;
+        let t = TraceId::derive(self.cfg.seed ^ 0x6B92, self.kprop_trace_seq);
+        self.honest_traces.insert(t.0);
+        self.report.kprop_transfers += 1;
+        let src = Endpoint::new(MASTER_ADDR, 2000 + (self.kprop_trace_seq % 50_000) as u16);
+        let dst = Endpoint::new(SLAVE_ADDR, ports::KPROP);
+        match self.router.rpc_traced(src, dst, &packet, Some(t)) {
+            Ok(reply) => match parse_incr_reply(&reply) {
+                // Corroborate the ack against what was shipped.
+                IncrReply::Accepted(seq) if seq == expected => {
+                    self.kprop_cursor.on_ack(seq);
+                    self.report.kprop_accepted += 1;
+                }
+                IncrReply::Accepted(_) | IncrReply::Rejected(_) => self.kprop_cursor.on_failure(),
+            },
+            Err(_) => self.kprop_cursor.on_failure(),
+        }
+        drain(&mut self.router, src);
     }
 
     /// One honest victim round: log in if needed, otherwise run a real
@@ -954,14 +1169,117 @@ impl Engine {
         self.inject(InjectKind::Impersonate, self.kdc_ep, ws_ep, wire);
     }
 
+    /// Captured incremental journal segments (never the attacker's own
+    /// spoofed injections). Full dumps are excluded: replaying the latest
+    /// one is idempotent by design — same state, same sequence — so only
+    /// segments make a crisp refuse-always pool.
+    fn captured_kprop_segments(&self) -> Vec<Packet> {
+        let tape = self.tape.lock();
+        tape.iter()
+            .filter(|p| {
+                !p.spoofed && p.dst.port == ports::KPROP && p.payload.starts_with(INCR_MAGIC)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// The highest sequence number the slave has acknowledged on the
+    /// tapped wire — everything a real attacker needs to aim a forgery.
+    fn observed_kprop_head(&self) -> Option<u64> {
+        let tape = self.tape.lock();
+        tape.iter()
+            .filter(|p| !p.spoofed && p.src.port == ports::KPROP)
+            .filter_map(|p| match parse_incr_reply(&p.payload) {
+                IncrReply::Accepted(n) => Some(n),
+                IncrReply::Rejected(_) => None,
+            })
+            .max()
+    }
+
+    /// Re-send a captured journal segment verbatim. The slave has already
+    /// applied it, so the sequencing check must refuse it as a replayed
+    /// update — the skew-edge twin of §4.3's replay cache.
+    fn attack_kprop_replay(&mut self) {
+        let pool = self.captured_kprop_segments();
+        if pool.is_empty() {
+            return;
+        }
+        let pick = pool[self.rng.random_range(0..pool.len())].clone();
+        self.report.kprop_replays += 1;
+        self.inject(InjectKind::Replay, pick.src, pick.dst, pick.payload);
+        drain(&mut self.router, pick.src);
+    }
+
+    /// Head of one captured segment (magic + checksum) on the body of
+    /// another: the keyed checksum must refuse the hybrid.
+    fn attack_kprop_splice(&mut self) {
+        let pool = self.captured_kprop_segments();
+        if pool.len() < 2 {
+            return;
+        }
+        let i = self.rng.random_range(0..pool.len());
+        let mut j = self.rng.random_range(0..pool.len());
+        if i == j {
+            j = (j + 1) % pool.len();
+        }
+        let mut wire = pool[j].payload[..16].to_vec();
+        wire.extend_from_slice(&pool[i].payload[16..]);
+        self.report.kprop_splices += 1;
+        self.inject(InjectKind::Splice, pool[i].src, pool[i].dst, wire);
+        drain(&mut self.router, pool[i].src);
+    }
+
+    /// Chop the tail off a captured segment — truncation must read as
+    /// damage (bad packet or checksum), never as a shorter valid transfer.
+    fn attack_kprop_truncate(&mut self) {
+        let pool = self.captured_kprop_segments();
+        if pool.is_empty() {
+            return;
+        }
+        let pick = pool[self.rng.random_range(0..pool.len())].clone();
+        let cut =
+            (1 + self.rng.random_range(0..16usize)).min(pick.payload.len().saturating_sub(1));
+        let wire = pick.payload[..pick.payload.len() - cut].to_vec();
+        self.report.kprop_truncates += 1;
+        self.inject(InjectKind::Spoof, pick.src, pick.dst, wire);
+        drain(&mut self.router, pick.src);
+    }
+
+    /// Mint an incremental transfer from whole cloth, aimed at the
+    /// sequence number the slave last acknowledged on the wire, sealed
+    /// under the scenario's leaked key (or a guess). Only the leaked
+    /// *master* key verifies — anything else must draw a checksum
+    /// rejection.
+    fn attack_kprop_forge(&mut self) {
+        let Some(head) = self.observed_kprop_head() else { return };
+        let sealing = self
+            .leaked_key
+            .unwrap_or_else(|| DesKey::from_bytes(self.rng.random::<u64>().to_be_bytes()));
+        let record = UpdateRecord {
+            seq: head + 1,
+            op: UpdateOp::Delete { name: "propchurn".to_string(), instance: String::new() },
+        };
+        let Ok(wire) = build_incr_segment(&Scheduled::new(&sealing), head, &[record]) else {
+            return;
+        };
+        self.report.kprop_forges += 1;
+        let src = Endpoint::new(MASTER_ADDR, 1900);
+        self.inject(InjectKind::Forge, src, Endpoint::new(SLAVE_ADDR, ports::KPROP), wire);
+        drain(&mut self.router, src);
+    }
+
     fn attack_round(&mut self) {
-        match self.rng.random_range(0..6u32) {
+        match self.rng.random_range(0..10u32) {
             0 => self.attack_replay(false),
             1 => self.attack_replay(true),
             2 => self.attack_splice(),
             3 => self.attack_forge_ticket(),
             4 => self.attack_forge_session(),
-            _ => self.attack_impersonate_kdc(),
+            5 => self.attack_impersonate_kdc(),
+            6 => self.attack_kprop_replay(),
+            7 => self.attack_kprop_splice(),
+            8 => self.attack_kprop_truncate(),
+            _ => self.attack_kprop_forge(),
         }
     }
 
@@ -1000,6 +1318,49 @@ impl Engine {
                             *self.report.rejections.entry(*code as u8).or_insert(0) += 1;
                         }
                     }
+                }
+            }
+            // A slave installing an adversary-injected transfer is an
+            // authentication violation of the propagation stream; typed
+            // refusals of adversary transfers are tallied by reject slug.
+            if e.component == Component::Kprop {
+                match e.kind {
+                    EventKind::KpropApply => match e.trace {
+                        Some(t) if self.honest_traces.contains(&t.0) => {}
+                        Some(t) if self.adv_traces.contains(&t.0) => {
+                            if self.auth_flagged.insert(t.0) {
+                                self.report.accepted_forgeries += 1;
+                                new_auth.push(format!(
+                                    "slave kpropd installed adversary transfer (step {step})"
+                                ));
+                            }
+                        }
+                        Some(t) => {
+                            if self.auth_flagged.insert(t.0) {
+                                new_auth.push(format!(
+                                    "slave kpropd installed transfer on unknown trace \
+                                     {t:016x} (step {step})",
+                                    t = t.0
+                                ));
+                            }
+                        }
+                        None => new_auth.push(format!(
+                            "slave kpropd installed untraced transfer (step {step}, seq {})",
+                            e.seq
+                        )),
+                    },
+                    EventKind::KpropReject if adv => {
+                        let why = e
+                            .fields
+                            .iter()
+                            .find_map(|(k, v)| match (k, v) {
+                                (&"why", Field::Str(s)) => Some(s.clone()),
+                                _ => None,
+                            })
+                            .unwrap_or_else(|| "unknown".to_string());
+                        *self.report.kprop_rejections.entry(why).or_insert(0) += 1;
+                    }
+                    _ => {}
                 }
             }
             if e.component == Component::App
@@ -1080,6 +1441,7 @@ pub fn run(cfg: AdvConfig) -> Result<AdvReport, AdvFailure> {
     for step in 0..cfg.steps {
         eng.dep.advance_time(1);
         eng.honest_round();
+        eng.kprop_round();
         eng.observe_new();
         eng.attack_round();
         eng.observe_new();
@@ -1119,6 +1481,15 @@ pub fn verify_expectations(r: &AdvReport) -> Result<(), String> {
             if r.app_ok == 0 || r.logins_ok == 0 {
                 return Err("honest traffic never succeeded — the soak is vacuous".to_string());
             }
+            if r.kprop_transfers == 0 || r.kprop_accepted == 0 {
+                return Err("the propagation stream never ran — the soak is vacuous".to_string());
+            }
+            if r.kprop_injections() == 0 {
+                return Err("no injections targeted the propagation stream".to_string());
+            }
+            if r.kprop_rejections.is_empty() {
+                return Err("kprop injections were never refused with typed errors".to_string());
+            }
         }
         Leak::UserKey => {
             if !has("tgt-session") || !has("svc-session") {
@@ -1152,6 +1523,25 @@ pub fn verify_expectations(r: &AdvReport) -> Result<(), String> {
             }
             if r.auth_ok() {
                 return Err("service-key leak never produced an accepted forgery".to_string());
+            }
+        }
+        Leak::MasterKey => {
+            for need in ["user-key", "service-key", "krbtgt-key", "propchurn-key"] {
+                if !has(need) {
+                    return Err(format!(
+                        "master-key leak must decrypt every key in the propagated dump \
+                         (missing {need}), got {:?}",
+                        r.secrecy_violations
+                    ));
+                }
+            }
+            if r.auth_ok() {
+                return Err(
+                    "master-key leak never produced an accepted forged transfer".to_string()
+                );
+            }
+            if r.kprop_forges == 0 {
+                return Err("master-key leak never forged a propagation transfer".to_string());
             }
         }
     }
@@ -1221,6 +1611,24 @@ mod tests {
         let r = run(AdvConfig::smoke(ADV_SEED, Leak::ServiceKey)).expect("leak modes never abort");
         verify_expectations(&r).expect("service-key expectations");
         assert!(r.accepted_forgeries > 0);
+    }
+
+    #[test]
+    fn leaked_master_key_cascades_through_the_propagation_stream() {
+        let r = run(AdvConfig::smoke(ADV_SEED, Leak::MasterKey)).expect("leak modes never abort");
+        verify_expectations(&r).expect("master-key expectations");
+        assert!(r.kprop_forges > 0, "{r:?}");
+        assert!(r.accepted_forgeries > 0, "{r:?}");
+    }
+
+    #[test]
+    fn honest_kprop_stream_refuses_every_injection() {
+        let r = run(AdvConfig::smoke(ADV_SEED, Leak::None)).expect("oracles hold");
+        assert!(r.kprop_injections() > 0, "{r:?}");
+        assert!(!r.kprop_rejections.is_empty(), "{r:?}");
+        // Sequencing and integrity refusals both appear: replays draw
+        // `replayed_update`, splices/truncates draw damage slugs.
+        assert!(r.kprop_rejections.contains_key("replayed_update"), "{:?}", r.kprop_rejections);
     }
 
     #[test]

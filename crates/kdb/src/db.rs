@@ -76,6 +76,14 @@ impl<S: Store> PrincipalDb<S> {
         &self.master
     }
 
+    /// The backing store, read-only — for telemetry and structure
+    /// inspection (`stats`, `pages`, `depth` on a [`HashStore`]).
+    ///
+    /// [`HashStore`]: crate::ndbm::HashStore
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
     /// Encrypt a principal key in the master key (single-block ECB).
     pub fn encrypt_key(&self, key: &DesKey) -> [u8; 8] {
         let mut block = *key.as_bytes();
@@ -120,6 +128,45 @@ impl<S: Store> PrincipalDb<S> {
             mod_by: mod_by.into(),
         };
         self.store.store(&db_key, &entry.encode())
+    }
+
+    /// Register a batch of principals in one store pass — the
+    /// million-principal bootstrap path. Goes through [`Store::bulk_load`],
+    /// so the extendible-hash store pre-splits its directory instead of
+    /// splitting one overflow per insert. Name components are validated and
+    /// `K.M` is refused; duplicate `(name, instance)` pairs resolve
+    /// last-write-wins and silently overwrite existing principals, so
+    /// incremental administration should keep using [`Self::add_principal`],
+    /// which refuses duplicates.
+    pub fn bulk_register(
+        &mut self,
+        principals: &[(String, String, DesKey)],
+        expiration: u32,
+        max_life: u8,
+        now: u32,
+        mod_by: &str,
+    ) -> Result<(), DbError> {
+        let mut pairs = Vec::with_capacity(principals.len());
+        for (name, instance, key) in principals {
+            PrincipalEntry::validate_name(name)?;
+            PrincipalEntry::validate_instance(instance)?;
+            if name == MASTER_NAME && instance == MASTER_INSTANCE {
+                return Err(DbError::AlreadyExists("K.M".into()));
+            }
+            let entry = PrincipalEntry {
+                name: name.clone(),
+                instance: instance.clone(),
+                key_encrypted: self.encrypt_key(key),
+                key_version: 1,
+                expiration,
+                max_life,
+                attributes: 0,
+                mod_time: now,
+                mod_by: mod_by.into(),
+            };
+            pairs.push((PrincipalEntry::db_key(name, instance), entry.encode()));
+        }
+        self.store.bulk_load(pairs)
     }
 
     /// Fetch a principal's record (key still encrypted).

@@ -22,7 +22,7 @@ pub mod principal;
 pub mod store;
 
 pub use db::{PrincipalDb, MASTER_INSTANCE, MASTER_NAME};
-pub use ndbm::HashStore;
+pub use ndbm::{HashStore, StoreStats};
 pub use principal::{PrincipalEntry, ATTR_DISABLED, ATTR_NO_TGS, NAME_SZ};
 pub use store::{Cursor, MemStore, Store};
 

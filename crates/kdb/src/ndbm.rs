@@ -149,6 +149,25 @@ impl Page {
     }
 }
 
+/// Split/growth accounting for one store, for benches and telemetry.
+///
+/// `splits` and `dir_doubles` count events since *open* (they are not
+/// persisted in the directory file); `pages`, `depth` and `records`
+/// describe the current on-disk structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Live bucket pages.
+    pub pages: u32,
+    /// Global directory depth (directory holds `2^depth` slots).
+    pub depth: u8,
+    /// Live records.
+    pub records: u64,
+    /// Bucket splits performed since open (incremental or bulk).
+    pub splits: u64,
+    /// Directory doublings performed since open.
+    pub dir_doubles: u64,
+}
+
 /// File-backed extendible-hash store (the `ndbm` role).
 pub struct HashStore {
     pag: File,
@@ -159,6 +178,10 @@ pub struct HashStore {
     global_depth: u8,
     page_count: u32,
     record_count: u64,
+    /// Bucket splits since open (session counter, not persisted).
+    splits: u64,
+    /// Directory doublings since open (session counter, not persisted).
+    dir_doubles: u64,
     /// Write-through page cache (all pages touched since open).
     cache: std::collections::HashMap<u32, Page>,
 }
@@ -184,6 +207,8 @@ impl HashStore {
             global_depth: 0,
             page_count: 1,
             record_count: 0,
+            splits: 0,
+            dir_doubles: 0,
             cache: std::collections::HashMap::new(),
         };
         if store.dir_path.exists() {
@@ -282,9 +307,11 @@ impl HashStore {
             let old = self.dir.clone();
             self.dir = old.iter().chain(old.iter()).copied().collect();
             self.global_depth += 1;
+            self.dir_doubles += 1;
         }
         let new_page_no = self.page_count;
         self.page_count += 1;
+        self.splits += 1;
         let mut old_page = Page::empty(local + 1);
         let mut new_page = Page::empty(local + 1);
         for (k, v) in &pairs {
@@ -324,6 +351,151 @@ impl HashStore {
     /// Current global directory depth.
     pub fn depth(&self) -> u8 {
         self.global_depth
+    }
+
+    /// Publish the store's structure and split accounting into a telemetry
+    /// registry: gauges `kdb_pages` / `kdb_depth` / `kdb_records` for the
+    /// current structure, monotonic counters `kdb_splits_total` /
+    /// `kdb_dir_doubles_total` topped up to the session totals. One store
+    /// per registry: the counters track this store's session counters.
+    pub fn publish_stats(&self, registry: &krb_telemetry::Registry) {
+        let s = self.stats();
+        registry.gauge("kdb_pages").set(i64::from(s.pages));
+        registry.gauge("kdb_depth").set(i64::from(s.depth));
+        registry.gauge("kdb_records").set(s.records as i64);
+        let splits = registry.counter("kdb_splits_total");
+        splits.add(s.splits.saturating_sub(splits.get()));
+        let doubles = registry.counter("kdb_dir_doubles_total");
+        doubles.add(s.dir_doubles.saturating_sub(doubles.get()));
+    }
+
+    /// Structure and split accounting (see [`StoreStats`]).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            pages: self.page_count,
+            depth: self.global_depth,
+            records: self.record_count,
+            splits: self.splits,
+            dir_doubles: self.dir_doubles,
+        }
+    }
+
+    /// Drop the write-through page cache, forcing subsequent reads back to
+    /// the page file — the "cold" starting state for lookup benches.
+    pub fn drop_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Read every bucket page into the cache (the "warm" state for benches).
+    pub fn warm_cache(&mut self) -> Result<(), DbError> {
+        for page_no in 0..self.page_count {
+            self.read_page(page_no)?;
+        }
+        Ok(())
+    }
+
+    /// Batch insert with directory pre-splitting.
+    ///
+    /// Instead of inserting one record at a time — each overflow splitting
+    /// one bucket and rewriting two pages through the write-through cache —
+    /// this plans the final extendible-hash structure in memory (splitting
+    /// logical buckets until every one fits a page, doubling a logical
+    /// directory exactly as the incremental path would) and then writes the
+    /// page file once, front to back. Existing records are folded in, and
+    /// duplicate keys resolve last-write-wins, so the result is
+    /// lookup-equivalent to calling [`Store::store`] per pair in order.
+    /// The page cache is left empty: a bulk-loaded store starts cold.
+    fn bulk_load_presplit(&mut self, new_pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Result<(), DbError> {
+        for (k, v) in &new_pairs {
+            if k.len() + v.len() > MAX_RECORD {
+                return Err(DbError::RecordTooLarge(k.len() + v.len()));
+            }
+        }
+        // Existing records first, then the batch: later writes win.
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> =
+            Vec::with_capacity(self.record_count as usize + new_pairs.len());
+        self.for_each(&mut |k, v| pairs.push((k.to_vec(), v.to_vec())))?;
+        pairs.extend(new_pairs);
+        // Stable-sort reversed input by key: the first element of each
+        // equal-key run is the latest write; dedup_by keeps it.
+        pairs.reverse();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        pairs.dedup_by(|cur, prev| cur.0 == prev.0);
+
+        let hashes: Vec<u64> = pairs.iter().map(|(k, _)| fnv1a(k)).collect();
+        let entry_size = |i: usize| 4 + pairs[i].0.len() + pairs[i].1.len();
+
+        // Logical buckets: (local_depth, used bytes, member indices).
+        struct Bucket {
+            depth: u8,
+            used: usize,
+            items: Vec<usize>,
+        }
+        let mut buckets = vec![Bucket {
+            depth: 0,
+            used: (0..pairs.len()).map(entry_size).sum(),
+            items: (0..pairs.len()).collect(),
+        }];
+        let mut dir: Vec<u32> = vec![0];
+        let mut global: u8 = 0;
+        let mut work: Vec<u32> = vec![0];
+        while let Some(b) = work.pop() {
+            let bi = b as usize;
+            if BUCKET_HDR + buckets[bi].used <= PAGE_SIZE {
+                continue;
+            }
+            let local = buckets[bi].depth;
+            if local == global {
+                if global >= MAX_GLOBAL_DEPTH {
+                    return Err(DbError::Full);
+                }
+                let old = dir.clone();
+                dir = old.iter().chain(old.iter()).copied().collect();
+                global += 1;
+                self.dir_doubles += 1;
+            }
+            let new_no = buckets.len() as u32;
+            let items = std::mem::take(&mut buckets[bi].items);
+            let (mut stay, mut go) = (Vec::new(), Vec::new());
+            let (mut stay_used, mut go_used) = (0usize, 0usize);
+            for i in items {
+                if (hashes[i] >> local) & 1 == 1 {
+                    go_used += entry_size(i);
+                    go.push(i);
+                } else {
+                    stay_used += entry_size(i);
+                    stay.push(i);
+                }
+            }
+            buckets[bi] = Bucket { depth: local + 1, used: stay_used, items: stay };
+            buckets.push(Bucket { depth: local + 1, used: go_used, items: go });
+            for (j, slot) in dir.iter_mut().enumerate() {
+                if *slot == b && (j >> local) & 1 == 1 {
+                    *slot = new_no;
+                }
+            }
+            self.splits += 1;
+            work.push(b);
+            work.push(new_no);
+        }
+
+        // One sequential pass over the page file; bucket index == page number.
+        self.pag.seek(SeekFrom::Start(0)).map_err(DbError::io)?;
+        for bucket in &buckets {
+            let mut page = Page::empty(bucket.depth);
+            for &i in &bucket.items {
+                page.push(&pairs[i].0, &pairs[i].1);
+            }
+            self.pag.write_all(&page.0[..]).map_err(DbError::io)?;
+        }
+        let len = buckets.len() as u64 * PAGE_SIZE as u64;
+        self.pag.set_len(len).map_err(DbError::io)?;
+        self.dir = dir;
+        self.global_depth = global;
+        self.page_count = buckets.len() as u32;
+        self.record_count = pairs.len() as u64;
+        self.cache.clear();
+        self.sync()
     }
 }
 
@@ -425,6 +597,10 @@ impl Store for HashStore {
     fn sync(&mut self) -> Result<(), DbError> {
         self.pag.sync_all().map_err(DbError::io)?;
         self.sync_dir()
+    }
+
+    fn bulk_load(&mut self, pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Result<(), DbError> {
+        self.bulk_load_presplit(pairs)
     }
 }
 
@@ -568,6 +744,138 @@ mod tests {
             HashStore::open(&path),
             Err(DbError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn bulk_load_matches_sequential_lookups() {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0u32..2000)
+            .map(|i| (format!("principal-{i}").into_bytes(), vec![i as u8; 100]))
+            .collect();
+        let mut seq = HashStore::open(tmp("bulkseq")).unwrap();
+        for (k, v) in &pairs {
+            seq.store(k, v).unwrap();
+        }
+        let mut bulk = HashStore::open(tmp("bulkload")).unwrap();
+        bulk.bulk_load(pairs.clone()).unwrap();
+        assert_eq!(bulk.len(), seq.len());
+        for (k, _) in &pairs {
+            assert_eq!(bulk.fetch(k).unwrap(), seq.fetch(k).unwrap());
+        }
+        // Final extendible-hash structure is determined by the key set, so
+        // both paths must agree on depth and page count exactly.
+        assert_eq!(bulk.depth(), seq.depth());
+        assert_eq!(bulk.pages(), seq.pages());
+        assert_eq!(bulk.stats().splits, seq.stats().splits);
+    }
+
+    #[test]
+    fn bulk_load_persists_across_reopen() {
+        let path = tmp("bulkpersist");
+        {
+            let mut s = HashStore::open(&path).unwrap();
+            s.bulk_load(
+                (0u32..1500)
+                    .map(|i| (format!("k{i}").into_bytes(), format!("v{i}").into_bytes()))
+                    .collect(),
+            )
+            .unwrap();
+        }
+        let s = HashStore::open(&path).unwrap();
+        assert_eq!(s.len(), 1500);
+        for i in 0u32..1500 {
+            assert_eq!(
+                s.fetch(format!("k{i}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes()),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_load_folds_in_existing_records_and_dedups_last_wins() {
+        let mut s = HashStore::open(tmp("bulkmerge")).unwrap();
+        s.store(b"existing", b"old").unwrap();
+        s.store(b"kept", b"keep").unwrap();
+        s.bulk_load(vec![
+            (b"existing".to_vec(), b"new".to_vec()),
+            (b"dup".to_vec(), b"first".to_vec()),
+            (b"dup".to_vec(), b"last".to_vec()),
+        ])
+        .unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.fetch(b"existing").unwrap().as_deref(), Some(&b"new"[..]));
+        assert_eq!(s.fetch(b"kept").unwrap().as_deref(), Some(&b"keep"[..]));
+        assert_eq!(s.fetch(b"dup").unwrap().as_deref(), Some(&b"last"[..]));
+    }
+
+    #[test]
+    fn bulk_load_rejects_oversized_records() {
+        let mut s = HashStore::open(tmp("bulkbig")).unwrap();
+        let big = vec![0u8; MAX_RECORD + 1];
+        assert!(matches!(
+            s.bulk_load(vec![(b"k".to_vec(), big)]),
+            Err(DbError::RecordTooLarge(_))
+        ));
+        // The failed load must not have disturbed the store.
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn bulk_load_shrinks_page_file_of_previously_larger_store() {
+        let path = tmp("bulkshrink");
+        let mut s = HashStore::open(&path).unwrap();
+        for i in 0u32..2000 {
+            s.store(format!("grow{i}").as_bytes(), &[7u8; 100]).unwrap();
+        }
+        let grown_pages = s.pages();
+        assert!(grown_pages > 1);
+        for i in 0u32..2000 {
+            s.delete(format!("grow{i}").as_bytes()).unwrap();
+        }
+        s.bulk_load(vec![(b"only".to_vec(), b"one".to_vec())]).unwrap();
+        assert!(s.pages() < grown_pages, "bulk load must rebuild compactly");
+        assert_eq!(s.fetch(b"only").unwrap().as_deref(), Some(&b"one"[..]));
+        // for_each over the rebuilt (truncated) page range still works.
+        let mut n = 0;
+        s.for_each(&mut |_, _| n += 1).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn stats_track_splits_and_doubles() {
+        let mut s = HashStore::open(tmp("stats")).unwrap();
+        assert_eq!(s.stats().splits, 0);
+        for i in 0u32..2000 {
+            s.store(format!("p{i}").as_bytes(), &[0u8; 100]).unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.pages, s.pages());
+        assert_eq!(st.depth, s.depth());
+        assert_eq!(st.records, 2000);
+        assert_eq!(st.splits, u64::from(st.pages) - 1, "each split adds one page");
+        assert!(st.dir_doubles >= u64::from(st.depth), "doubles reach final depth");
+    }
+
+    #[test]
+    fn cold_and_warm_cache_agree() {
+        let mut s = HashStore::open(tmp("coldwarm")).unwrap();
+        s.bulk_load(
+            (0u32..500)
+                .map(|i| (format!("k{i}").into_bytes(), format!("v{i}").into_bytes()))
+                .collect(),
+        )
+        .unwrap();
+        // Bulk-loaded store starts cold; warm it and re-check every key.
+        let cold: Vec<_> = (0..500u32)
+            .map(|i| s.fetch(format!("k{i}").as_bytes()).unwrap())
+            .collect();
+        s.warm_cache().unwrap();
+        let warm: Vec<_> = (0..500u32)
+            .map(|i| s.fetch(format!("k{i}").as_bytes()).unwrap())
+            .collect();
+        assert_eq!(cold, warm);
+        s.drop_cache();
+        assert_eq!(s.fetch(b"k42").unwrap(), Some(b"v42".to_vec()));
     }
 
     #[test]

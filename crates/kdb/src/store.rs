@@ -30,6 +30,18 @@ pub trait Store {
     fn for_each(&self, f: &mut dyn FnMut(&[u8], &[u8])) -> Result<(), DbError>;
     /// Flush buffered state to durable storage (no-op for memory stores).
     fn sync(&mut self) -> Result<(), DbError>;
+    /// Insert a batch of records in one pass, then flush. Duplicate keys
+    /// resolve last-write-wins, so the result is lookup-equivalent to
+    /// calling [`Store::store`] once per pair in order. Engines may
+    /// override with a batch-aware fast path (the extendible-hash store
+    /// pre-splits its directory instead of splitting one overflow at a
+    /// time); the default is a plain loop.
+    fn bulk_load(&mut self, pairs: Vec<(Vec<u8>, Vec<u8>)>) -> Result<(), DbError> {
+        for (k, v) in &pairs {
+            self.store(k, v)?;
+        }
+        self.sync()
+    }
 }
 
 /// In-memory [`Store`], ordered for deterministic iteration in tests.

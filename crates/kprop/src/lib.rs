@@ -19,13 +19,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incr;
 pub mod net;
 
 use krb_crypto::{cbc_checksum, cbc_checksum_with, constant_time_eq, DesKey, Scheduled};
 use krb_kdb::dump as kdump;
 use krb_kdb::{DbError, PrincipalDb, PrincipalEntry, Store};
 
-pub use net::{parse_kprop_reply, tcp_kprop_send, KpropReply, KpropdService, TcpKpropd};
+pub use incr::{
+    build_full_seq, build_incr_segment, packet_kind, Applied, IncrReplica, PacketKind, ShipPlan,
+    SlaveCursor, UpdateLog, UpdateOp, UpdateRecord, DEFAULT_LOG_CAP, FULL_MAGIC, INCR_MAGIC,
+};
+pub use net::{
+    parse_incr_reply, parse_kprop_reply, reject_kind, tcp_kprop_send, IncrKpropdService,
+    IncrReply, KpropReply, KpropdService, TcpKpropd,
+};
 
 /// How often the master dumps and propagates: hourly (§5.3).
 pub const PROPAGATION_INTERVAL_SECS: u32 = 3600;
@@ -38,6 +46,23 @@ pub enum PropError {
     /// The keyed checksum did not match: tampering, corruption, or a
     /// sender who does not possess the master database key.
     ChecksumMismatch,
+    /// An incremental segment started at or before an already-applied
+    /// sequence number (duplicate delivery or a replayed capture).
+    ReplayedUpdate {
+        /// The replica's applied sequence number.
+        applied: u64,
+        /// First sequence number the refused transfer carried.
+        first: u64,
+    },
+    /// An incremental segment started past the next expected sequence
+    /// number: updates were lost in between (or arrived out of order);
+    /// the master must fall back to a full dump.
+    SequenceGap {
+        /// The replica's applied sequence number.
+        applied: u64,
+        /// First sequence number the refused segment carried.
+        first: u64,
+    },
     /// The dump did not parse or install.
     Db(DbError),
 }
@@ -47,6 +72,14 @@ impl std::fmt::Display for PropError {
         match self {
             PropError::BadPacket => write!(f, "malformed propagation packet"),
             PropError::ChecksumMismatch => write!(f, "propagation checksum mismatch"),
+            PropError::ReplayedUpdate { applied, first } => write!(
+                f,
+                "replayed update: segment starts at seq {first} but {applied} is already applied"
+            ),
+            PropError::SequenceGap { applied, first } => write!(
+                f,
+                "sequence gap: segment starts at seq {first} but replica is at {applied}"
+            ),
             PropError::Db(e) => write!(f, "propagation database error: {e}"),
         }
     }

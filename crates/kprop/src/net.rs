@@ -2,11 +2,14 @@
 //! simulated network, and the era-faithful bulk transfer over a real TCP
 //! stream (the original `kprop` pushed whole-database dumps over TCP).
 
+use crate::incr::{packet_kind, Applied, IncrReplica, PacketKind};
 use crate::{kpropd_verify, PropError};
 use krb_crypto::DesKey;
-use krb_kdb::PrincipalEntry;
+use krb_kdb::{MemStore, PrincipalDb, PrincipalEntry};
 use krb_netsim::{Packet, Service};
-use krb_telemetry::{ClockUs, Component, Counter, EventKind, Field, Journal, Registry, TraceCtx};
+use krb_telemetry::{
+    ClockUs, Component, Counter, EventKind, Field, Gauge, Journal, Registry, TraceCtx,
+};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -148,6 +151,195 @@ impl Service for KpropdService {
                 Some(format!("ERR {e}").into_bytes())
             }
         }
+    }
+}
+
+/// `kpropd` for journaled incremental propagation: wraps an
+/// [`IncrReplica`] behind the netsim service seam. Each packet (segment or
+/// sequenced full dump) is verified and applied stage-then-swap; on commit
+/// the install hook receives the new mirror so the serving KDC can swap its
+/// snapshot. Replies `OK <seq>` (the applied sequence number, which is the
+/// master's cursor ack) or `ERR <why>`.
+pub struct IncrKpropdService {
+    replica: IncrReplica,
+    on_install: Box<dyn FnMut(&PrincipalDb<MemStore>) + Send>,
+    registry: Arc<Registry>,
+    rounds: Counter,
+    accepted: Counter,
+    rejected: Counter,
+    bytes: Counter,
+    incr_rounds: Counter,
+    full_rounds: Counter,
+    applied_seq: Gauge,
+    tracing: Option<(Arc<Journal>, ClockUs)>,
+}
+
+impl IncrKpropdService {
+    /// Build around a fresh (un-bootstrapped) replica and an install hook.
+    pub fn new(
+        master_key: DesKey,
+        on_install: impl FnMut(&PrincipalDb<MemStore>) + Send + 'static,
+    ) -> Self {
+        let registry = Registry::shared();
+        let mut svc = IncrKpropdService {
+            replica: IncrReplica::new(master_key),
+            on_install: Box::new(on_install),
+            registry: Arc::clone(&registry),
+            rounds: Counter::new(),
+            accepted: Counter::new(),
+            rejected: Counter::new(),
+            bytes: Counter::new(),
+            incr_rounds: Counter::new(),
+            full_rounds: Counter::new(),
+            applied_seq: Gauge::new(),
+            tracing: None,
+        };
+        svc.bind_metrics(&registry);
+        svc
+    }
+
+    fn bind_metrics(&mut self, registry: &Registry) {
+        self.rounds = registry.counter("kprop_rounds_total");
+        self.accepted = registry.counter("kprop_accepted_total");
+        self.rejected = registry.counter("kprop_rejected_total");
+        self.bytes = registry.counter("kprop_bytes_total");
+        self.incr_rounds = registry.counter("kprop_incr_total");
+        self.full_rounds = registry.counter("kprop_full_total");
+        self.applied_seq = registry.gauge("kprop_applied_seq");
+    }
+
+    /// The registry this service reports into.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Report into a caller-provided registry (call right after
+    /// construction; counts recorded so far are dropped).
+    pub fn set_registry(&mut self, registry: Arc<Registry>) {
+        self.bind_metrics(&registry);
+        self.registry = registry;
+    }
+
+    /// Attach an event journal (see [`KpropdService::set_journal`]).
+    pub fn set_journal(&mut self, journal: Arc<Journal>, clock_us: ClockUs) {
+        self.tracing = Some((journal, clock_us));
+    }
+
+    /// The replica's applied sequence number.
+    pub fn applied_seq(&self) -> u64 {
+        self.replica.applied_seq()
+    }
+
+    /// Read access to the replica (tests and oracles).
+    pub fn replica(&self) -> &IncrReplica {
+        &self.replica
+    }
+}
+
+impl Service for IncrKpropdService {
+    fn handle(&mut self, req: &Packet) -> Option<Vec<u8>> {
+        self.rounds.inc();
+        self.bytes.add(req.payload.len() as u64);
+        let mode = match packet_kind(&req.payload) {
+            PacketKind::IncrSegment => "incr",
+            PacketKind::FullWithSeq => "full",
+            PacketKind::LegacyFull => "legacy",
+        };
+        let ctx = match (&self.tracing, req.trace) {
+            (Some((journal, clock)), Some(trace)) => {
+                Some(TraceCtx::new(Arc::clone(journal), ClockUs::clone(clock), trace))
+            }
+            _ => None,
+        };
+        if let Some(ctx) = &ctx {
+            ctx.record(
+                Component::Kprop,
+                EventKind::KpropTransfer,
+                vec![
+                    ("bytes", Field::from(req.payload.len())),
+                    ("mode", Field::from(mode)),
+                ],
+            );
+        }
+        match self.replica.apply(&req.payload) {
+            Ok(applied) => {
+                self.accepted.inc();
+                let (entries, seq) = match applied {
+                    Applied::Incremental { records, seq } => {
+                        self.incr_rounds.inc();
+                        (records, seq)
+                    }
+                    Applied::Full { entries, seq } => {
+                        self.full_rounds.inc();
+                        (entries, seq)
+                    }
+                };
+                self.applied_seq.set(seq as i64);
+                if let Some(db) = self.replica.db() {
+                    (self.on_install)(db);
+                }
+                if let Some(ctx) = &ctx {
+                    ctx.record(
+                        Component::Kprop,
+                        EventKind::KpropApply,
+                        vec![
+                            ("entries", Field::from(entries)),
+                            ("seq", Field::from(seq)),
+                            ("mode", Field::from(mode)),
+                        ],
+                    );
+                }
+                Some(format!("OK {seq}").into_bytes())
+            }
+            Err(e) => {
+                self.rejected.inc();
+                if let Some(ctx) = &ctx {
+                    ctx.record(
+                        Component::Kprop,
+                        EventKind::KpropReject,
+                        vec![
+                            ("why", Field::from(reject_kind(&e))),
+                            ("mode", Field::from(mode)),
+                        ],
+                    );
+                }
+                Some(format!("ERR {e}").into_bytes())
+            }
+        }
+    }
+}
+
+/// Short classification of a propagation refusal for journal fields and
+/// report tallies (the full [`PropError`] rendering goes on the wire).
+pub fn reject_kind(e: &PropError) -> &'static str {
+    match e {
+        PropError::BadPacket => "bad_packet",
+        PropError::ChecksumMismatch => "checksum",
+        PropError::ReplayedUpdate { .. } => "replayed_update",
+        PropError::SequenceGap { .. } => "sequence_gap",
+        PropError::Db(_) => "db",
+    }
+}
+
+/// Typed view of an incremental `kpropd` reply (`OK <seq>` / `ERR <why>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncrReply {
+    /// The slave applied the transfer and is now at this sequence number.
+    Accepted(u64),
+    /// The slave refused; the reason string from the wire.
+    Rejected(String),
+}
+
+/// Parse an [`IncrKpropdService`] reply. Anything unreadable is a
+/// rejection: an unparseable ack must never advance the master's cursor.
+pub fn parse_incr_reply(reply: &[u8]) -> IncrReply {
+    match std::str::from_utf8(reply) {
+        Ok(s) if s.starts_with("OK ") => match s[3..].parse::<u64>() {
+            Ok(seq) => IncrReply::Accepted(seq),
+            Err(_) => IncrReply::Rejected("malformed ack seq".to_string()),
+        },
+        Ok(s) if s.starts_with("ERR ") => IncrReply::Rejected(s[4..].to_string()),
+        _ => IncrReply::Rejected("malformed reply".to_string()),
     }
 }
 

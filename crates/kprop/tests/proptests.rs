@@ -26,7 +26,7 @@ proptest! {
         let idx = (idx_seed as usize) % packet.len();
         packet[idx] ^= flip;
         match kpropd_verify(&packet, &string_to_key("mk")) {
-            Err(PropError::ChecksumMismatch) | Err(PropError::BadPacket) | Err(PropError::Db(_)) => {}
+            Err(_) => {}
             Ok(_) => prop_assert!(false, "corruption at {idx} accepted"),
         }
         // The pristine packet still verifies (the corruption detection is

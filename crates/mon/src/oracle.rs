@@ -21,7 +21,13 @@
 //!   (registry-internal) and the `err_kind=replay` events,
 //! - app outcomes: summed `*_requests_ok_total` / `*_requests_err_total` /
 //!   `*_replay_hits_total` of the rlogin/POP/Zephyr servers against
-//!   `comp=app` `app_ok` / `app_err` / `replay_hit` events.
+//!   `comp=app` `app_ok` / `app_err` / `replay_hit` events,
+//! - kprop outcomes: `kprop_accepted_total` against `comp=kprop
+//!   kind=kprop_apply` events, and `kprop_rejected_total` against
+//!   `comp=kprop kind=kprop_reject` events whose `why` is not `net` —
+//!   a `why=net` reject is the *master's* terminal for a transfer that
+//!   died on the wire, recorded so the trace oracle holds; no slave-side
+//!   counter ever moves for it.
 //!
 //! ## Precondition
 //!
@@ -147,6 +153,8 @@ pub fn consistency_check(
     let mut app_ok = 0u64;
     let mut app_err = 0u64;
     let mut app_replay = 0u64;
+    let mut kprop_apply = 0u64;
+    let mut kprop_reject = 0u64;
     for e in &events {
         match (e.component, e.kind) {
             (Component::Kdc, EventKind::AsOk) => kdc_as_ok += 1,
@@ -160,6 +168,14 @@ pub fn consistency_check(
             (Component::App, EventKind::AppOk) => app_ok += 1,
             (Component::App, EventKind::AppErr) => app_err += 1,
             (Component::App, EventKind::ReplayHit) => app_replay += 1,
+            (Component::Kprop, EventKind::KpropApply) => kprop_apply += 1,
+            (Component::Kprop, EventKind::KpropReject) => {
+                // `why=net` is journaled by the master when the wire ate the
+                // transfer; the slave never saw it, so no counter moved.
+                if str_field(&e.fields, "why") != Some("net") {
+                    kprop_reject += 1;
+                }
+            }
             _ => {}
         }
     }
@@ -246,6 +262,20 @@ pub fn consistency_check(
         name: "app_replay_hits_total".into(),
         registry: pooled("replay_hits_total"),
         journal: app_replay,
+    });
+
+    // Propagation outcomes: the slave-side kpropd counters against the
+    // journaled verdicts (master-side `why=net` terminals excluded — see
+    // the module docs).
+    checks.push(ConsistencyCheck {
+        name: "kprop_accepted_total".into(),
+        registry: value("kprop_accepted_total"),
+        journal: kprop_apply,
+    });
+    checks.push(ConsistencyCheck {
+        name: "kprop_rejected_total".into(),
+        registry: value("kprop_rejected_total"),
+        journal: kprop_reject,
     });
 
     Ok(ConsistencyReport { checks })
@@ -370,6 +400,43 @@ mod tests {
         j.record(4, Some(TraceId(4)), Component::App, EventKind::ReplayHit, vec![]);
         let report = consistency_check(&r, &j).expect("runs");
         assert!(report.is_consistent(), "{}", report.describe_mismatches());
+    }
+
+    #[test]
+    fn kprop_outcomes_recompute_excluding_net_terminals() {
+        let (r, j) = rig();
+        r.counter("kprop_accepted_total").add(2);
+        r.counter("kprop_rejected_total").add(1);
+        j.record(0, Some(TraceId(0)), Component::Kprop, EventKind::KpropApply, vec![]);
+        j.record(1, Some(TraceId(1)), Component::Kprop, EventKind::KpropApply, vec![]);
+        j.record(
+            2,
+            Some(TraceId(2)),
+            Component::Kprop,
+            EventKind::KpropReject,
+            vec![("why", Field::from("checksum"))],
+        );
+        // A wire-death terminal the master journaled: no counter moved.
+        j.record(
+            3,
+            Some(TraceId(3)),
+            Component::Kprop,
+            EventKind::KpropReject,
+            vec![("why", Field::from("net"))],
+        );
+        let report = consistency_check(&r, &j).expect("runs");
+        assert!(report.is_consistent(), "{}", report.describe_mismatches());
+    }
+
+    #[test]
+    fn kprop_counter_without_apply_event_fails() {
+        let (r, j) = rig();
+        r.counter("kprop_accepted_total").inc();
+        let report = consistency_check(&r, &j).expect("runs");
+        assert!(report
+            .mismatches()
+            .iter()
+            .any(|c| c.name == "kprop_accepted_total"));
     }
 
     #[test]

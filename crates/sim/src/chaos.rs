@@ -15,7 +15,11 @@
 //!   succeeds via master-or-slave failover;
 //! * **conservation** — telemetry counters balance at every idle point:
 //!   `sent + duplicated == delivered + dropped` (corruption never
-//!   double-counts: a corrupted packet is still delivered);
+//!   double-counts: a corrupted packet is still delivered); and for
+//!   replication, at every quiescent point — a slave acknowledging the
+//!   master's journal head — the slave's installed mirror dumps
+//!   byte-identically to the master's database (a faulted incremental
+//!   stream converges or is rejected, never installs divergence);
 //! * **trace completeness** — every minted TraceId terminates in an
 //!   `_ok`/`_err` journal event, every `ap_sent` is followed by a verdict,
 //!   every `kprop_dump` by an apply or reject, and the journal drops
@@ -28,9 +32,12 @@
 
 use kerberos::{krb_rd_req, ApReq, ErrorCode, HostAddr, Principal, ReplayCache};
 use krb_apps::{frame_request, parse_reply, request_cksum, RloginNetService, RloginServer};
-use krb_crypto::{string_to_key, DesKey, KeyGenerator};
+use krb_crypto::{string_to_key, DesKey, KeyGenerator, Scheduled};
 use krb_kdc::{Deployment, RealmConfig};
-use krb_kprop::{frame, parse_kprop_reply, KpropReply, KpropdService};
+use krb_kprop::{
+    build_full_seq, build_incr_segment, parse_incr_reply, IncrKpropdService, IncrReply, ShipPlan,
+    SlaveCursor, UpdateLog, UpdateOp,
+};
 use krb_netsim::{
     ports, Endpoint, Fault, FaultPlan, FaultWindow, Ipv4, LinkMatch, NetConfig, NetStats, Packet,
     Router, Service, SimNet, EPOCH_1987,
@@ -49,12 +56,19 @@ use std::sync::Arc;
 const REALM: &str = "ATHENA.MIT.EDU";
 /// Domain-separation constant mixed into the engine's RNG stream.
 const CHAOS_SEED: u64 = 0xC4A05;
-/// Master KDC host; slaves get consecutive last octets.
-const MASTER_ADDR: HostAddr = [18, 72, 5, 1];
+/// Master KDC host; slaves get consecutive last octets. (Shared with the
+/// `krb-repl` scenario so [`Profile::windows`]' master-link faults apply.)
+pub(crate) const MASTER_ADDR: HostAddr = [18, 72, 5, 1];
 /// The application server host.
 const APP_ADDR: HostAddr = [18, 72, 5, 40];
 /// Base of the workstation address range.
 const WS_ADDR_BASE: u8 = 10;
+/// Principals in the admin-churn pool: only the KDBM touches these, so
+/// key rotations and deletes never strand a workstation login.
+const N_CHURN: usize = 4;
+/// Every n-th transfer to a slave is forced to a full dump: the scheduled
+/// anti-entropy that catches a slave restart the master never observed.
+const ANTI_ENTROPY_EVERY: u64 = 5;
 
 /// A named fault profile: which windows the plan schedules.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -111,8 +125,9 @@ impl Profile {
     /// Times are simulated-network milliseconds; net time only advances
     /// while packets are in flight, so active windows are short and
     /// "until heal" windows are open-ended (`u64::MAX`, closed by
-    /// [`SimNet::heal_faults`]).
-    fn windows(self, slave_addrs: &[HostAddr]) -> Vec<FaultWindow> {
+    /// [`SimNet::heal_faults`]). Shared with the `krb-repl` scenario,
+    /// which batters its replication links with the same profiles.
+    pub(crate) fn windows(self, slave_addrs: &[HostAddr]) -> Vec<FaultWindow> {
         let any = LinkMatch::Any;
         let master = LinkMatch::Host(Ipv4(MASTER_ADDR));
         let app = LinkMatch::Host(Ipv4(APP_ADDR));
@@ -195,6 +210,10 @@ pub struct SoakConfig {
     pub slaves: usize,
     /// Ops between kprop propagation rounds.
     pub kprop_every: usize,
+    /// Master update-journal retention (records). Small caps force
+    /// gap-induced full-dump fallbacks when a slave lags behind a fault
+    /// window — exactly the recovery path the soak should exercise.
+    pub kprop_log_cap: usize,
 }
 
 impl Default for SoakConfig {
@@ -206,6 +225,7 @@ impl Default for SoakConfig {
             profile: Profile::Stormy,
             slaves: 2,
             kprop_every: 16,
+            kprop_log_cap: 32,
         }
     }
 }
@@ -213,7 +233,15 @@ impl Default for SoakConfig {
 impl SoakConfig {
     /// The CI smoke shape: small and fast, but every oracle family fires.
     pub fn smoke(seed: u64, profile: Profile) -> Self {
-        SoakConfig { workstations: 3, ops: 36, seed, profile, slaves: 1, kprop_every: 9 }
+        SoakConfig {
+            workstations: 3,
+            ops: 36,
+            seed,
+            profile,
+            slaves: 1,
+            kprop_every: 9,
+            kprop_log_cap: 4,
+        }
     }
 }
 
@@ -267,12 +295,20 @@ pub struct SoakReport {
     pub app_err: u64,
     /// Safety probe rounds executed (each = corrupt + wrong-key + replay).
     pub safety_probes: u64,
-    /// kprop rounds attempted (per slave).
+    /// kprop transfers attempted (per slave).
     pub kprop_rounds: u64,
     /// kprop transfers the slave verified and installed.
     pub kprop_accepted: u64,
-    /// kprop transfers rejected (checksum, framing, or network failure).
+    /// kprop transfers rejected (checksum, framing, sequencing, or
+    /// network failure).
     pub kprop_rejected: u64,
+    /// Incremental segments shipped.
+    pub kprop_incr: u64,
+    /// Sequenced full dumps shipped (bootstrap, fallback, anti-entropy).
+    pub kprop_full: u64,
+    /// Seeded admin mutations journaled on the master (key rotations,
+    /// principal adds/deletes of the churn pool).
+    pub admin_writes: u64,
     /// `replay_hit` count at the application server.
     pub replay_hits: u64,
     /// Injected duplicates that reached the application server.
@@ -318,6 +354,10 @@ pub const CHAOS_JSON_KEYS: &[&str] = &[
     "conservation",
     "trace_completeness",
     "metrics_journal",
+    "kprop_incr",
+    "kprop_full",
+    "admin_writes",
+    "repl_conservation",
 ];
 
 impl SoakReport {
@@ -346,6 +386,11 @@ impl SoakReport {
             s,
             ",\"kprop_rounds\":{},\"kprop_accepted\":{},\"kprop_rejected\":{}",
             self.kprop_rounds, self.kprop_accepted, self.kprop_rejected
+        );
+        let _ = write!(
+            s,
+            ",\"kprop_incr\":{},\"kprop_full\":{},\"admin_writes\":{}",
+            self.kprop_incr, self.kprop_full, self.admin_writes
         );
         let _ = write!(
             s,
@@ -380,7 +425,7 @@ impl SoakReport {
         s.push_str(
             ",\"oracles\":{\"safety\":\"pass\",\"liveness\":\"pass\",\
              \"conservation\":\"pass\",\"trace_completeness\":\"pass\",\
-             \"metrics_journal\":\"pass\"}}",
+             \"metrics_journal\":\"pass\",\"repl_conservation\":\"pass\"}}",
         );
         s
     }
@@ -468,6 +513,10 @@ pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
     for i in 0..nws {
         register_user(&mut boot.db, &format!("chaos{i}"), "", &format!("pw{i}"), start).unwrap();
     }
+    for c in 0..N_CHURN {
+        register_user(&mut boot.db, &format!("churn{c}"), "", &format!("churn-pw{c}"), start)
+            .unwrap();
+    }
     let mut keygen = KeyGenerator::new(StdRng::seed_from_u64(config.seed.wrapping_add(17)));
     let rcmd_key = register_service(&mut boot.db, "rcmd", "chaosd", start, &mut keygen).unwrap();
     let wrong_key = string_to_key("not-the-srvtab-key");
@@ -528,27 +577,32 @@ pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
     let app_ep = Endpoint::new(APP_ADDR, ports::KLOGIN);
     router.serve(app_ep, CountingService { inner: rlogin_net, ledger: Arc::clone(&ledger) });
 
-    // kpropd per slave, installing verified dumps into the slave KDC.
+    // Incremental kpropd per slave: an IncrReplica behind the netsim seam.
+    // On every accepted transfer the hook installs the new mirror into the
+    // serving slave KDC (snapshot swap) and publishes its canonical dump
+    // text for the replication conservation oracle.
+    let mut slave_dumps: Vec<Arc<Mutex<Option<String>>>> = Vec::new();
     for (addr, slave) in &dep.slaves {
         let slave2 = Arc::clone(slave);
-        let master_key = dep.master_key;
-        let mut kpropd = KpropdService::new(master_key, move |entries| {
-            let mut store = krb_kdb::MemStore::new();
-            if krb_kdb::dump::install(&mut store, &entries).is_err() {
-                return false;
+        let dump_slot: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let slot2 = Arc::clone(&dump_slot);
+        let mut kpropd = IncrKpropdService::new(dep.master_key, move |db| {
+            if let Ok(mirror) = db.snapshot_mem() {
+                slave2.install_db(mirror);
             }
-            match krb_kdb::PrincipalDb::open(store, master_key) {
-                Ok(db) => {
-                    slave2.install_db(db);
-                    true
-                }
-                Err(_) => false,
-            }
+            *slot2.lock() = krb_kdb::dump::dump(db).ok();
         });
         kpropd.set_registry(Arc::clone(&registry));
         kpropd.set_journal(Arc::clone(&journal), ClockUs::clone(&clock_us));
         router.serve(Endpoint::new(*addr, ports::KPROP), kpropd);
+        slave_dumps.push(dump_slot);
     }
+    // Master-side replication state: the update journal the KDBM appends
+    // to, and one cursor per slave encoding the full-dump fallback policy.
+    let master_sched = Scheduled::new(&dep.master_key);
+    let mut log = UpdateLog::new(config.kprop_log_cap);
+    let mut cursors = vec![SlaveCursor::new(); config.slaves];
+    let mut churn_exists = vec![true; N_CHURN];
     // Each transfer uses a fresh master-side port: under duplication and
     // reordering, a stale reply to a previous transfer must not be
     // mistaken for this one's (the payloads are identical "OK" bytes).
@@ -591,6 +645,9 @@ pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
         kprop_rounds: 0,
         kprop_accepted: 0,
         kprop_rejected: 0,
+        kprop_incr: 0,
+        kprop_full: 0,
+        admin_writes: 0,
         replay_hits: 0,
         dups_at_server: 0,
         pending_after_faults: 0,
@@ -702,14 +759,80 @@ pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
         }
         drain(&mut router, ws_ep);
 
-        // kprop round: master pushes its live database to every slave.
-        // `dump_text` reads the master's atomically-swapped snapshot, so
-        // framing + transfer never hold any KDC lock.
+        // Seeded admin write (KDBM): rotate, add, or delete a churn-pool
+        // principal and journal the mutation — the update stream that
+        // incremental propagation ships slave-ward.
+        if op % 4 == 2 {
+            let c = rng.random_range(0..N_CHURN);
+            let name = format!("churn{c}");
+            let now = start + op as u32 + 1;
+            let kind = rng.random_range(0..4u8);
+            let exists = churn_exists[c];
+            let logged = dep
+                .master
+                .with_db_mut(|db| {
+                    if exists && kind == 0 {
+                        db.delete(&name, "").ok()?;
+                        Some(UpdateOp::Delete { name: name.clone(), instance: String::new() })
+                    } else {
+                        let key = string_to_key(&format!("churn-{c}-{op}"));
+                        if exists {
+                            db.change_key(&name, "", &key, now, "kadmin.").ok()?;
+                        } else {
+                            db.add_principal(&name, "", &key, u32::MAX, 96, now, "kadmin.")
+                                .ok()?;
+                        }
+                        Some(UpdateOp::Put(db.get(&name, "").ok()??))
+                    }
+                })
+                .flatten();
+            if let Some(mutation) = logged {
+                churn_exists[c] = !matches!(mutation, UpdateOp::Delete { .. });
+                log.append(mutation);
+                report.admin_writes += 1;
+            }
+        }
+
+        // kprop round: journaled incremental propagation. Each slave's
+        // cursor decides segment vs full dump (any refusal or wire death
+        // falls back to a full dump next round), and every n-th transfer
+        // is forced to a full dump for anti-entropy. `dump_text` reads the
+        // master's atomically-swapped snapshot, so building a transfer
+        // never holds any KDC lock.
         if config.kprop_every > 0 && op % config.kprop_every == config.kprop_every - 1 {
-            let text = dep.master.dump_text().unwrap();
-            let packet = frame(&dep.master_key, text.as_bytes());
             for (i, (addr, _)) in dep.slaves.iter().enumerate() {
+                let transfer_no = report.kprop_rounds + 1;
+                let anti_entropy = transfer_no % ANTI_ENTROPY_EVERY == 0;
+                let plan = if anti_entropy { ShipPlan::Full } else { cursors[i].plan(&log) };
+                let (packet, mode, expected) = match plan {
+                    ShipPlan::Full => {
+                        let text = dep.master.dump_text().unwrap();
+                        (
+                            build_full_seq(&master_sched, log.head(), text.as_bytes()),
+                            "full",
+                            log.head(),
+                        )
+                    }
+                    ShipPlan::Segment(records) => {
+                        if records.is_empty() {
+                            // In sync with nothing new: no transfer due.
+                            continue;
+                        }
+                        let expected = cursors[i].acked + records.len() as u64;
+                        (
+                            build_incr_segment(&master_sched, cursors[i].acked, &records)
+                                .expect("journal slice is consecutive"),
+                            "incr",
+                            expected,
+                        )
+                    }
+                };
                 report.kprop_rounds += 1;
+                if mode == "incr" {
+                    report.kprop_incr += 1;
+                } else {
+                    report.kprop_full += 1;
+                }
                 let trace = krb_telemetry::TraceId::derive(
                     config.seed ^ 0x6B70,
                     report.kprop_rounds,
@@ -719,16 +842,47 @@ pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
                     Some(trace),
                     Component::Kprop,
                     EventKind::KpropDump,
-                    vec![("slave", Field::from(i)), ("bytes", Field::from(packet.len()))],
+                    vec![
+                        ("slave", Field::from(i)),
+                        ("bytes", Field::from(packet.len())),
+                        ("mode", Field::from(mode)),
+                    ],
                 );
                 let dst = Endpoint::new(*addr, ports::KPROP);
                 let kprop_src = Endpoint::new(MASTER_ADDR, kprop_src_port(report.kprop_rounds));
                 match router.rpc_traced(kprop_src, dst, &packet, Some(trace)) {
-                    Ok(reply) => match parse_kprop_reply(&reply) {
-                        KpropReply::Accepted => report.kprop_accepted += 1,
-                        KpropReply::Rejected(_) => report.kprop_rejected += 1,
+                    Ok(reply) => match parse_incr_reply(&reply) {
+                        // Corroborate the ack against what was shipped: a
+                        // reply corrupted into a plausible "OK <n>" must
+                        // never advance the cursor.
+                        IncrReply::Accepted(seq) if seq == expected => {
+                            cursors[i].on_ack(seq);
+                            report.kprop_accepted += 1;
+                            // Replication conservation oracle at a
+                            // quiescent point: the slave acknowledged the
+                            // journal head, so its installed mirror must
+                            // dump byte-identically to the master.
+                            if seq == log.head() {
+                                let slave_text = slave_dumps[i].lock().clone();
+                                let master_text = dep.master.dump_text().unwrap();
+                                if slave_text.as_deref() != Some(master_text.as_str()) {
+                                    return Err(fail(
+                                        "repl_conservation",
+                                        format!(
+                                            "slave {i} acked head seq {seq} but its \
+                                             mirror diverges from the master dump"
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                        IncrReply::Accepted(_) | IncrReply::Rejected(_) => {
+                            cursors[i].on_failure();
+                            report.kprop_rejected += 1;
+                        }
                     },
                     Err(_) => {
+                        cursors[i].on_failure();
                         report.kprop_rejected += 1;
                         // Master-side terminal for the trace oracle: the
                         // transfer died on the wire.
@@ -737,7 +891,7 @@ pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
                             Some(trace),
                             Component::Kprop,
                             EventKind::KpropReject,
-                            vec![("why", Field::from("net"))],
+                            vec![("why", Field::from("net")), ("mode", Field::from(mode))],
                         );
                     }
                 }
@@ -793,6 +947,106 @@ pub fn run(config: SoakConfig) -> Result<SoakReport, OracleFailure> {
 
     router.pump();
     conservation(&router, "post-heal".to_string())?;
+
+    // --- Post-heal replication: with the network clean, force rounds
+    // until every slave stands at the journal head, then demand a
+    // byte-identical mirror — the replication conservation oracle's final
+    // word. A slave the fault windows starved all run must recover here
+    // via the full-dump fallback.
+    for (i, (addr, _)) in dep.slaves.iter().enumerate() {
+        for _attempt in 0..4 {
+            if cursors[i].synced && cursors[i].acked == log.head() {
+                break;
+            }
+            let plan = cursors[i].plan(&log);
+            let (packet, mode, expected) = match plan {
+                ShipPlan::Full => {
+                    let text = dep.master.dump_text().unwrap();
+                    (
+                        build_full_seq(&master_sched, log.head(), text.as_bytes()),
+                        "full",
+                        log.head(),
+                    )
+                }
+                ShipPlan::Segment(records) => {
+                    // Unreachable in practice: an in-sync cursor at the
+                    // head broke out above, and an unsynced one plans Full.
+                    if records.is_empty() {
+                        break;
+                    }
+                    let expected = cursors[i].acked + records.len() as u64;
+                    (
+                        build_incr_segment(&master_sched, cursors[i].acked, &records)
+                            .expect("journal slice is consecutive"),
+                        "incr",
+                        expected,
+                    )
+                }
+            };
+            report.kprop_rounds += 1;
+            if mode == "incr" {
+                report.kprop_incr += 1;
+            } else {
+                report.kprop_full += 1;
+            }
+            let trace =
+                krb_telemetry::TraceId::derive(config.seed ^ 0x6B70, report.kprop_rounds);
+            journal.record(
+                (clock_us)(),
+                Some(trace),
+                Component::Kprop,
+                EventKind::KpropDump,
+                vec![
+                    ("slave", Field::from(i)),
+                    ("bytes", Field::from(packet.len())),
+                    ("mode", Field::from(mode)),
+                ],
+            );
+            let dst = Endpoint::new(*addr, ports::KPROP);
+            let kprop_src = Endpoint::new(MASTER_ADDR, kprop_src_port(report.kprop_rounds));
+            match router.rpc_traced(kprop_src, dst, &packet, Some(trace)) {
+                Ok(reply) => match parse_incr_reply(&reply) {
+                    IncrReply::Accepted(seq) if seq == expected => {
+                        cursors[i].on_ack(seq);
+                        report.kprop_accepted += 1;
+                    }
+                    IncrReply::Accepted(_) | IncrReply::Rejected(_) => {
+                        cursors[i].on_failure();
+                        report.kprop_rejected += 1;
+                    }
+                },
+                Err(_) => {
+                    cursors[i].on_failure();
+                    report.kprop_rejected += 1;
+                    journal.record(
+                        (clock_us)(),
+                        Some(trace),
+                        Component::Kprop,
+                        EventKind::KpropReject,
+                        vec![("why", Field::from("net")), ("mode", Field::from(mode))],
+                    );
+                }
+            }
+            drain(&mut router, kprop_src);
+        }
+        if !(cursors[i].synced && cursors[i].acked == log.head()) {
+            return Err(fail(
+                "repl_conservation",
+                format!("slave {i} cannot reach journal head {} after heal", log.head()),
+            ));
+        }
+        let slave_text = slave_dumps[i].lock().clone();
+        let master_text = dep.master.dump_text().unwrap();
+        if slave_text.as_deref() != Some(master_text.as_str()) {
+            return Err(fail(
+                "repl_conservation",
+                format!(
+                    "slave {i} mirror diverges from the master after heal (journal head {})",
+                    log.head()
+                ),
+            ));
+        }
+    }
 
     // --- Replay-cache accounting oracle (§4.3).
     report.replay_hits = registry.counter_value("rlogin_replay_hits_total");
@@ -954,6 +1208,7 @@ mod tests {
             slaves: 1,
             seed: 0xD0D0,
             kprop_every: 16,
+            kprop_log_cap: 32,
         })
         .expect("oracles hold");
         assert!(report.dups_at_server > 0, "{report:?}");
@@ -969,12 +1224,40 @@ mod tests {
             slaves: 1,
             seed: 0x9A87,
             kprop_every: 10,
+            kprop_log_cap: 4,
         })
         .expect("oracles hold");
         // The full-partition window must actually strand somebody, and the
         // heal must recover every one of them.
         assert_eq!(report.pending_after_faults, report.healed_logins);
         assert!(report.fault_partitioned > 0, "{report:?}");
+        // With the small journal cap, a slave partitioned across admin
+        // writes must have recovered through the full-dump fallback.
+        assert!(report.kprop_full > 0, "{report:?}");
+        assert!(report.admin_writes > 0, "{report:?}");
+    }
+
+    #[test]
+    fn incremental_stream_carries_the_steady_state() {
+        // Mild profile: most transfers land, so after bootstrap the steady
+        // state ships segments, not dumps — and the replication oracle
+        // still holds at every quiescent point.
+        let report = run(SoakConfig {
+            profile: Profile::Mild,
+            ops: 80,
+            workstations: 3,
+            slaves: 2,
+            seed: 0x1DC2,
+            kprop_every: 8,
+            kprop_log_cap: 64,
+        })
+        .expect("oracles hold");
+        assert!(report.admin_writes > 0, "{report:?}");
+        assert!(report.kprop_incr > 0, "steady state never went incremental: {report:?}");
+        assert!(
+            report.kprop_incr > report.kprop_full,
+            "segments should dominate dumps on a mild network: {report:?}"
+        );
     }
 
     #[test]
@@ -986,6 +1269,7 @@ mod tests {
             slaves: 1,
             seed: 0xBADB17,
             kprop_every: 12,
+            kprop_log_cap: 16,
         })
         .expect("oracles hold");
         assert!(report.net.corrupted > 0, "{report:?}");

@@ -15,6 +15,7 @@ pub mod attacks;
 pub mod chaos;
 pub mod full_day;
 pub mod lifetime;
+pub mod repl;
 pub mod scenario;
 
 pub use attacks::{
@@ -24,6 +25,7 @@ pub use chaos::{
     smoke_json, OracleFailure, Profile, SoakConfig, SoakReport, ALL_PROFILES, CHAOS_JSON_KEYS,
 };
 pub use full_day::{run_full_day, FullDayConfig, FullDayReport};
+pub use repl::{run_repl, ReplConfig, ReplFailure, ReplReport, REPL_JSON_KEYS};
 pub use lifetime::{tradeoff, LifetimeConfig, TradeoffRow};
 pub use scenario::{run, ScenarioConfig, ScenarioReport};
 

@@ -164,6 +164,29 @@ for key in tool seed steps leak logins_ok app_ok injections replay \
     fi
 done
 
+echo "== krb-repl --smoke (replication gate, byte-identity)"
+# Bulk-loads a realm at depth through the kdb pre-splitting batch path,
+# then drives journaled incremental propagation rounds against the
+# slaves under faults; the conservation oracle (slave dump ≡ master
+# dump at every corroborated head ack) and the metrics≡journal oracle
+# must hold, and two same-seed runs must be byte-identical.
+repl_a="$(mktmp)"
+repl_b="$(mktmp)"
+cargo run -q -p krb-sim --bin krb-repl -- --smoke > "$repl_a"
+cargo run -q -p krb-sim --bin krb-repl -- --smoke > "$repl_b"
+if ! diff -q "$repl_a" "$repl_b" > /dev/null; then
+    echo "krb-repl --smoke is not deterministic (two runs differ)" >&2
+    exit 1
+fi
+for key in tool principals rounds seed profile admin_writes transfers \
+        accepted rejected incr full final_seq bytes_shipped oracles \
+        repl_conservation metrics_journal; do
+    if ! grep -q "\"$key\"" "$repl_a"; then
+        echo "krb-repl smoke output is missing \"$key\"" >&2
+        exit 1
+    fi
+done
+
 echo "== krb-top --once --json (schema + byte-identity)"
 # The introspection dashboard's CI mode queries the live MonService over
 # the netsim seam; the JSON snapshot must carry the full schema (health,
@@ -204,5 +227,28 @@ else
     echo "BENCH_kdc.json not found — generate with: cargo run --release -p krb-tools --bin krb-stat" >&2
     exit 1
 fi
+
+echo "== krb-kdbench --smoke + BENCH_kdb.json schema"
+# The kdb depth bench must run end to end at CI scale and emit the full
+# schema, and the committed million-principal snapshot must carry it
+# too (wall-clock numbers are host-specific; the structural fields are
+# deterministic). Regenerate with: krb-kdbench (release).
+kdbench_json="$(mktmp)"
+cargo run -q -p krb-tools --bin krb-kdbench -- --smoke --out "$kdbench_json" \
+    > /dev/null
+for f in "$kdbench_json" BENCH_kdb.json; do
+    if [ ! -f "$f" ]; then
+        echo "$f not found — generate with: cargo run --release -p krb-tools --bin krb-kdbench" >&2
+        exit 1
+    fi
+    for key in bench principals seed clock bulk elapsed_us per_sec store \
+            pages depth records splits dir_doubles lookup_ns cold warm \
+            samples p50 p95 p99 max; do
+        if ! grep -q "\"$key\"" "$f"; then
+            echo "$f is missing \"$key\" — regenerate with krb-kdbench" >&2
+            exit 1
+        fi
+    done
+done
 
 echo "== OK"
